@@ -1,0 +1,64 @@
+// Ablation: firstprivate vs map(to:) for read-only scalars (paper §IV-D).
+// The paper credits firstprivate for 57%/33%/38% memcpy-call reductions in
+// hotspot/nw/xsbench; this bench disables the optimization and measures the
+// call-count delta on those three benchmarks.
+#include "driver/tool.hpp"
+#include "exp/experiment.hpp"
+#include "interp/interp.hpp"
+#include "suite/benchmarks.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+unsigned callsWith(const std::string &benchmarkName, bool useFirstprivate) {
+  ompdart::ToolOptions options;
+  options.planner.useFirstprivate = useFirstprivate;
+  const auto *def = ompdart::suite::findBenchmark(benchmarkName);
+  const auto tool = ompdart::runOmpDart(def->unoptimized, options);
+  const auto run = ompdart::interp::runProgram(tool.output);
+  return run.ledger.totalCalls();
+}
+
+void firstprivateAblation(benchmark::State &state,
+                          const std::string &benchmarkName) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(callsWith(benchmarkName, true));
+  }
+  state.counters["calls_firstprivate"] = callsWith(benchmarkName, true);
+  state.counters["calls_map_to"] = callsWith(benchmarkName, false);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const char *name : {"hotspot", "nw", "xsbench"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("firstprivate/") + name).c_str(),
+        [name](benchmark::State &state) {
+          firstprivateAblation(state, name);
+        })
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\nABLATION: firstprivate vs map(to:) for read-only scalars\n");
+  std::printf("  benchmark    calls(firstprivate)  calls(map-to)  "
+              "reduction   paper\n");
+  const double paperReduction[] = {57.0, 33.0, 38.0};
+  int index = 0;
+  for (const char *name : {"hotspot", "nw", "xsbench"}) {
+    const unsigned with = callsWith(name, true);
+    const unsigned without = callsWith(name, false);
+    const double reduction =
+        without > 0 ? 100.0 * (without - with) / without : 0.0;
+    std::printf("  %-10s %15u %15u %9.0f%% %6.0f%%\n", name, with, without,
+                reduction, paperReduction[index++]);
+  }
+  return 0;
+}

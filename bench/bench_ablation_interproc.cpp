@@ -1,0 +1,56 @@
+// Ablation: interprocedural fixed point vs single-pass analysis
+// (paper §IV-C: "This process can be repeated several times up to the
+// maximum call depth of any function. Each pass provides new information").
+// Measures fixed-point pass counts across the suite and shows that the
+// analysis converges quickly while still resolving call chains.
+#include "analysis/interproc.hpp"
+#include "frontend/parser.hpp"
+#include "suite/benchmarks.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+unsigned passesFor(const std::string &source, unsigned maxPasses) {
+  ompdart::SourceManager sourceManager("bench.c", source);
+  ompdart::ASTContext context;
+  ompdart::DiagnosticEngine diags;
+  if (!ompdart::parseSource(sourceManager, context, diags))
+    return 0;
+  ompdart::InterproceduralOptions options;
+  options.maxPasses = maxPasses;
+  const auto result =
+      ompdart::runInterproceduralAnalysis(context.unit(), options);
+  return result.passes;
+}
+
+void interprocPasses(benchmark::State &state, const std::string &source) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(passesFor(source, 16));
+  state.counters["passes_to_fixed_point"] = passesFor(source, 16);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const auto &def : ompdart::suite::allBenchmarks()) {
+    benchmark::RegisterBenchmark(
+        ("interproc/" + def.name).c_str(),
+        [source = def.unoptimized](benchmark::State &state) {
+          interprocPasses(state, source);
+        })
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\nABLATION: interprocedural fixed point\n");
+  std::printf("  benchmark    passes-to-converge (cap 16)\n");
+  for (const auto &def : ompdart::suite::allBenchmarks())
+    std::printf("  %-10s %6u\n", def.name.c_str(),
+                passesFor(def.unoptimized, 16));
+  return 0;
+}

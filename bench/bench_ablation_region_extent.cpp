@@ -1,0 +1,64 @@
+// Ablation: single hoisted target-data region vs per-kernel mapping
+// (paper §IV-D: "Misplacing a data construct in a loop when it could be
+// placed outside the loop body will almost definitely incur a significant
+// performance penalty"). Disabling region extension reduces OMPDart to
+// per-kernel clauses, which re-transfers on every launch inside loops.
+#include "driver/tool.hpp"
+#include "exp/experiment.hpp"
+#include "interp/interp.hpp"
+#include "suite/benchmarks.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+std::uint64_t bytesWith(const std::string &benchmarkName, bool extend) {
+  ompdart::ToolOptions options;
+  options.planner.extendRegionOverLoops = extend;
+  const auto *def = ompdart::suite::findBenchmark(benchmarkName);
+  const auto tool = ompdart::runOmpDart(def->unoptimized, options);
+  const auto run = ompdart::interp::runProgram(
+      tool.success ? tool.output : def->unoptimized);
+  return run.ledger.totalBytes();
+}
+
+void regionExtent(benchmark::State &state, const std::string &name) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bytesWith(name, true));
+  state.counters["bytes_hoisted"] =
+      static_cast<double>(bytesWith(name, true));
+  state.counters["bytes_per_kernel"] =
+      static_cast<double>(bytesWith(name, false));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const char *name : {"ace", "accuracy", "xsbench"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("region_extent/") + name).c_str(),
+        [name](benchmark::State &state) { regionExtent(state, name); })
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\nABLATION: region extent (hoisted region vs per-kernel "
+              "maps)\n");
+  std::printf("  benchmark    hoisted-region    per-kernel     penalty\n");
+  for (const char *name : {"ace", "accuracy", "xsbench"}) {
+    const std::uint64_t hoisted = bytesWith(name, true);
+    const std::uint64_t perKernel = bytesWith(name, false);
+    std::printf("  %-10s %15s %13s %9.1fx\n", name,
+                ompdart::exp::formatBytes(hoisted).c_str(),
+                ompdart::exp::formatBytes(perKernel).c_str(),
+                hoisted > 0 ? static_cast<double>(perKernel) /
+                                  static_cast<double>(hoisted)
+                            : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates paper Figure 3: HtoD/DtoH bytes for unoptimized vs OMPDart vs
+// expert across the nine benchmarks (simulated A100-class runtime).
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+
+int main() {
+  const auto results = ompdart::exp::runAllBenchmarks();
+  std::printf("%s", ompdart::exp::renderFigure3(results).c_str());
+  return 0;
+}

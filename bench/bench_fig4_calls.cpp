@@ -1,0 +1,10 @@
+// Regenerates paper Figure 4: HtoD/DtoH memcpy call counts per variant.
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+
+int main() {
+  const auto results = ompdart::exp::runAllBenchmarks();
+  std::printf("%s", ompdart::exp::renderFigure4(results).c_str());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates paper Figure 5: modeled end-to-end speedups over the
+// unoptimized variant, plus the paper's geometric-mean summary claims.
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+
+int main() {
+  const auto results = ompdart::exp::runAllBenchmarks();
+  std::printf("%s", ompdart::exp::renderFigure5(results).c_str());
+  return 0;
+}

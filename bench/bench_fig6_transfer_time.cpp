@@ -1,0 +1,11 @@
+// Regenerates paper Figure 6: improvements in data-transfer wall time over
+// the unoptimized variant (modeled: bytes/bandwidth + per-call latency).
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+
+int main() {
+  const auto results = ompdart::exp::runAllBenchmarks();
+  std::printf("%s", ompdart::exp::renderFigure6(results).c_str());
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Table III: the benchmark roster.
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+
+int main() {
+  std::printf("%s", ompdart::exp::renderTable3().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates paper Table IV: data-mapping complexity per benchmark
+// (kernels, offloaded lines, mapped variables, possible mappings), with the
+// paper's values alongside our re-authored benchmarks' measurements.
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+
+int main() {
+  const auto results = ompdart::exp::runAllBenchmarks();
+  std::printf("%s", ompdart::exp::renderTable4(results).c_str());
+  return 0;
+}

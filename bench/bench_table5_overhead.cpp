@@ -1,0 +1,41 @@
+// Regenerates paper Table V: OMPDart tool execution time per benchmark.
+// google-benchmark times the full tool pipeline (parse -> analyses -> plan
+// -> rewrite) on each benchmark's unoptimized source, then the paper-style
+// table is printed from single-shot runs.
+#include "driver/tool.hpp"
+#include "exp/experiment.hpp"
+#include "suite/benchmarks.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+void toolOnBenchmark(benchmark::State &state, const std::string &source) {
+  for (auto _ : state) {
+    auto result = ompdart::runOmpDart(source);
+    benchmark::DoNotOptimize(result.output.data());
+    if (!result.success)
+      state.SkipWithError("tool failed");
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const auto &def : ompdart::suite::allBenchmarks()) {
+    benchmark::RegisterBenchmark(("tool/" + def.name).c_str(),
+                                 [source = def.unoptimized](
+                                     benchmark::State &state) {
+                                   toolOnBenchmark(state, source);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto results = ompdart::exp::runAllBenchmarks();
+  std::printf("\n%s", ompdart::exp::renderTable5(results).c_str());
+  return 0;
+}

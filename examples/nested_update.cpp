@@ -1,0 +1,81 @@
+// The paper's Listing 6 / Algorithm 1 walkthrough: a kernel produces
+// partial sums on the device, the host consumes them in nested loops, and
+// the placement of `target update from(partial_sum)` decides whether data
+// moves once per epoch or once per inner iteration. Compares Algorithm 1's
+// hoisted placement against naive innermost placement (the paper's 2 GB ->
+// 5 MB / 14x example).
+//
+//   $ ./nested_update
+#include "driver/tool.hpp"
+#include "interp/interp.hpp"
+
+#include <cstdio>
+
+namespace {
+
+const char *const kSource = R"(
+#define HID 16
+#define BLOCKS 64
+#define EPOCHS 32
+
+double partial_sum[BLOCKS * HID];
+double hidden_units[HID];
+
+int main() {
+  double checksum = 0.0;
+  for (int epoch = 0; epoch < EPOCHS; ++epoch) {
+    #pragma omp target teams distribute parallel for
+    for (int t = 0; t < BLOCKS * HID; ++t) {
+      partial_sum[t] = t * 0.001 + epoch;
+    }
+    for (int j = 1; j <= HID; j++) {
+      double sum = 0.0;
+      for (int k = 0; k < BLOCKS; k++) {
+        sum += partial_sum[k * HID + j - 1];
+      }
+      hidden_units[j - 1] = 1.0 / (1.0 + exp(-sum));
+    }
+  }
+  for (int j = 0; j < HID; ++j) checksum += hidden_units[j];
+  printf("checksum=%.6f\n", checksum);
+  return 0;
+}
+)";
+
+void showVariant(const char *title, bool hoist) {
+  ompdart::ToolOptions options;
+  options.planner.hoistUpdates = hoist;
+  const auto tool = ompdart::runOmpDart(kSource, options);
+  if (!tool.success) {
+    std::printf("%s: tool failed\n", title);
+    return;
+  }
+  const auto run = ompdart::interp::runProgram(tool.output);
+  std::printf("%-28s %6u memcpy calls, %10llu bytes, output %s", title,
+              run.ledger.totalCalls(),
+              static_cast<unsigned long long>(run.ledger.totalBytes()),
+              run.output.c_str());
+  // Show where the update landed.
+  const auto pos = tool.output.find("#pragma omp target update from");
+  if (pos != std::string::npos) {
+    const auto lineStart = tool.output.rfind('\n', pos) + 1;
+    const auto lineEnd = tool.output.find('\n', pos);
+    std::printf("  placement: %s\n",
+                tool.output.substr(lineStart, lineEnd - lineStart).c_str());
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("Algorithm 1 (FIND_UPDATE_INSERT_LOC) on the backprop motif\n");
+  std::printf("---------------------------------------------------------\n");
+  showVariant("Algorithm 1 (hoisted):", true);
+  showVariant("naive (innermost loop):", false);
+
+  const auto baseline = ompdart::interp::runProgram(kSource);
+  std::printf("%-28s %6u memcpy calls, %10llu bytes (implicit rules)\n",
+              "no tool (reference):", baseline.ledger.totalCalls(),
+              static_cast<unsigned long long>(baseline.ledger.totalBytes()));
+  return 0;
+}

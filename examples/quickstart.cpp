@@ -1,0 +1,49 @@
+// Quickstart: feed OMPDart an OpenMP offload program with no explicit data
+// mappings and print the transformed source plus the plan summary.
+//
+//   $ ./quickstart
+#include "driver/tool.hpp"
+
+#include <cstdio>
+
+int main() {
+  const std::string source = R"(void saxpy(double *x, double *y, int n) {
+  double a = 2.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; ++i) {
+      y[i] = a * x[i] + y[i];
+    }
+  }
+}
+)";
+
+  std::printf("=== input ===\n%s\n", source.c_str());
+
+  const ompdart::ToolResult result = ompdart::runOmpDart(source);
+  if (!result.success) {
+    std::printf("tool failed:\n");
+    for (const auto &diag : result.diagnostics)
+      std::printf("  %s\n", diag.str().c_str());
+    return 1;
+  }
+
+  std::printf("=== OMPDart output ===\n%s\n", result.output.c_str());
+  std::printf("=== plan summary ===\n");
+  for (const auto &region : result.plan.regions) {
+    std::printf("function '%s': %zu map item(s), %zu update(s), %zu "
+                "firstprivate(s)\n",
+                region.function->name().c_str(), region.maps.size(),
+                region.updates.size(), region.firstprivates.size());
+    for (const auto &map : region.maps)
+      std::printf("  map(%s: %s)\n",
+                  ompdart::mapTypeSpelling(map.mapType),
+                  map.section.empty() ? map.var->name().c_str()
+                                      : map.section.c_str());
+    for (const auto &fp : region.firstprivates)
+      std::printf("  firstprivate(%s) on a kernel\n",
+                  fp.var->name().c_str());
+  }
+  std::printf("tool time: %.4f s\n", result.toolSeconds);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Runs one benchmark of the evaluation suite through all three variants
+// (unoptimized / OMPDart / expert) on the simulated runtime and prints a
+// per-variant transfer report — a one-benchmark slice of Figures 3-6.
+//
+//   $ ./transfer_report            # defaults to ace
+//   $ ./transfer_report lulesh
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+#include <string>
+
+int main(int argc, char **argv) {
+  const std::string name = argc > 1 ? argv[1] : "ace";
+  const auto *def = ompdart::suite::findBenchmark(name);
+  if (def == nullptr) {
+    std::printf("unknown benchmark '%s'; available:", name.c_str());
+    for (const auto &bench : ompdart::suite::allBenchmarks())
+      std::printf(" %s", bench.name.c_str());
+    std::printf("\n");
+    return 1;
+  }
+
+  const auto cmp = ompdart::exp::runBenchmark(*def);
+  std::printf("benchmark: %s (%s, %s)\n", def->name.c_str(),
+              def->suiteName.c_str(), def->domain.c_str());
+  std::printf("  %s\n\n", def->description.c_str());
+
+  auto show = [](const char *title, const ompdart::exp::VariantResult &v) {
+    std::printf("%-12s HtoD %10s in %5u calls | DtoH %10s in %5u calls | "
+                "%3u launches | modeled %8.1f us\n",
+                title, ompdart::exp::formatBytes(v.bytesHtoD).c_str(),
+                v.callsHtoD, ompdart::exp::formatBytes(v.bytesDtoH).c_str(),
+                v.callsDtoH, v.kernelLaunches, v.totalSeconds * 1e6);
+  };
+  show("unoptimized", cmp.unoptimized);
+  show("OMPDart", cmp.ompdart);
+  show("expert", cmp.expert);
+
+  std::printf("\noutputs match across variants: %s\n",
+              cmp.outputsMatch ? "yes" : "NO");
+  std::printf("OMPDart vs unoptimized: %.1fx less data, %.2fx speedup "
+              "(paper: %.0fx / %.1fx)\n",
+              cmp.transferReduction(cmp.ompdart), cmp.speedup(cmp.ompdart),
+              cmp.paper.transferReduction, cmp.paper.speedup);
+  std::printf("tool time: %.4f s\n", cmp.toolSeconds);
+  return 0;
+}

@@ -1,0 +1,462 @@
+#include "analysis/access.hpp"
+
+#include <algorithm>
+
+namespace ompdart {
+
+namespace {
+
+/// Builtin functions whose pointer arguments have known effects; anything
+/// else without a visible body is treated pessimistically by the
+/// interprocedural pass.
+enum class BuiltinEffect { None, ReadsArgs, WritesArg0, Memcpy, Unknown };
+
+BuiltinEffect builtinEffect(const std::string &name) {
+  static const char *pure[] = {"exp",  "sqrt", "fabs",  "pow",  "log",
+                               "sin",  "cos",  "tan",   "atan", "floor",
+                               "ceil", "fmin", "fmax",  "expf", "sqrtf",
+                               "fabsf", "powf", "logf", "sinf", "cosf",
+                               "fminf", "fmaxf", "log2", "cbrt", "abs",
+                               "rand",  "srand", "atoi", "exit"};
+  for (const char *fn : pure)
+    if (name == fn)
+      return BuiltinEffect::ReadsArgs;
+  if (name == "printf")
+    return BuiltinEffect::ReadsArgs;
+  if (name == "malloc" || name == "calloc" || name == "free")
+    return BuiltinEffect::None; // allocation, not data access
+  if (name == "memset")
+    return BuiltinEffect::WritesArg0;
+  if (name == "memcpy")
+    return BuiltinEffect::Memcpy;
+  return BuiltinEffect::Unknown;
+}
+
+/// Walks expressions collecting accesses; maintains per-statement read and
+/// write lists so emission order is reads-then-writes.
+class AccessCollector {
+public:
+  explicit AccessCollector(FunctionAccessInfo &info) : info_(info) {}
+
+  void run(const FunctionDecl *fn) {
+    info_.function = fn;
+    if (fn->body() != nullptr)
+      visitStmt(fn->body());
+  }
+
+private:
+  struct StmtAccesses {
+    std::vector<AccessEvent> reads;
+    std::vector<AccessEvent> writes;
+  };
+
+  void visitStmt(const Stmt *stmt) {
+    if (stmt == nullptr)
+      return;
+    switch (stmt->kind()) {
+    case StmtKind::Compound:
+      for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+        visitStmt(sub);
+      return;
+    case StmtKind::Decl: {
+      beginStmt(stmt);
+      for (const VarDecl *var : static_cast<const DeclStmt *>(stmt)->decls()) {
+        if (var->init() != nullptr) {
+          visitExpr(var->init(), AccessKind::Read);
+          // The declaration itself writes the variable.
+          emit(const_cast<VarDecl *>(var), AccessKind::Write, nullptr);
+        }
+      }
+      endStmt(stmt);
+      return;
+    }
+    case StmtKind::Expr:
+      beginStmt(stmt);
+      visitExpr(static_cast<const ExprStmt *>(stmt)->expr(),
+                AccessKind::Read);
+      endStmt(stmt);
+      return;
+    case StmtKind::If: {
+      const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+      beginStmt(stmt);
+      visitExpr(ifStmt->cond(), AccessKind::Read);
+      endStmt(stmt);
+      ++conditionalDepth_;
+      visitStmt(ifStmt->thenStmt());
+      visitStmt(ifStmt->elseStmt());
+      --conditionalDepth_;
+      return;
+    }
+    case StmtKind::For: {
+      const auto *forStmt = static_cast<const ForStmt *>(stmt);
+      visitStmt(forStmt->init());
+      if (forStmt->cond() != nullptr) {
+        beginStmt(stmt);
+        visitExpr(forStmt->cond(), AccessKind::Read);
+        endStmt(stmt);
+      }
+      visitStmt(forStmt->body());
+      if (forStmt->inc() != nullptr) {
+        beginStmt(stmt);
+        visitExpr(forStmt->inc(), AccessKind::Read);
+        endStmt(stmt);
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto *whileStmt = static_cast<const WhileStmt *>(stmt);
+      beginStmt(stmt);
+      visitExpr(whileStmt->cond(), AccessKind::Read);
+      endStmt(stmt);
+      visitStmt(whileStmt->body());
+      return;
+    }
+    case StmtKind::Do: {
+      const auto *doStmt = static_cast<const DoStmt *>(stmt);
+      visitStmt(doStmt->body());
+      beginStmt(stmt);
+      visitExpr(doStmt->cond(), AccessKind::Read);
+      endStmt(stmt);
+      return;
+    }
+    case StmtKind::Switch: {
+      const auto *switchStmt = static_cast<const SwitchStmt *>(stmt);
+      beginStmt(stmt);
+      visitExpr(switchStmt->cond(), AccessKind::Read);
+      endStmt(stmt);
+      visitStmt(switchStmt->body());
+      return;
+    }
+    case StmtKind::Case:
+      ++conditionalDepth_;
+      visitStmt(static_cast<const CaseStmt *>(stmt)->sub());
+      --conditionalDepth_;
+      return;
+    case StmtKind::Default:
+      ++conditionalDepth_;
+      visitStmt(static_cast<const DefaultStmt *>(stmt)->sub());
+      --conditionalDepth_;
+      return;
+    case StmtKind::Return: {
+      const auto *returnStmt = static_cast<const ReturnStmt *>(stmt);
+      if (returnStmt->value() != nullptr) {
+        beginStmt(stmt);
+        visitExpr(returnStmt->value(), AccessKind::Read);
+        endStmt(stmt);
+      }
+      return;
+    }
+    case StmtKind::OmpDirective: {
+      const auto *directive = static_cast<const OmpDirectiveStmt *>(stmt);
+      // Clause expressions (num_teams etc.) are host-evaluated reads.
+      beginStmt(stmt);
+      for (const OmpClause &clause : directive->clauses()) {
+        if (clause.value != nullptr)
+          visitExpr(clause.value, AccessKind::Read);
+        // Reduction variables are read and written on the device.
+        if (clause.kind == OmpClauseKind::Reduction &&
+            directive->isOffloadKernel()) {
+          for (const OmpObject &object : clause.objects) {
+            if (object.var == nullptr)
+              continue;
+            const OmpDirectiveStmt *outerKernel = kernel_;
+            kernel_ = directive;
+            emit(object.var, AccessKind::ReadWrite, nullptr);
+            kernel_ = outerKernel;
+          }
+        }
+      }
+      endStmt(stmt);
+      if (directive->associated() != nullptr) {
+        if (directive->isOffloadKernel()) {
+          const OmpDirectiveStmt *outerKernel = kernel_;
+          kernel_ = directive;
+          visitStmt(directive->associated());
+          kernel_ = outerKernel;
+        } else {
+          visitStmt(directive->associated());
+        }
+      }
+      return;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Null:
+      return;
+    }
+  }
+
+  void visitExpr(const Expr *expr, AccessKind context) {
+    if (expr == nullptr)
+      return;
+    switch (expr->kind()) {
+    case ExprKind::IntLiteral:
+    case ExprKind::FloatLiteral:
+    case ExprKind::CharLiteral:
+    case ExprKind::StringLiteral:
+    case ExprKind::Sizeof:
+      return;
+    case ExprKind::DeclRef: {
+      VarDecl *var = static_cast<const DeclRefExpr *>(expr)->decl();
+      if (var != nullptr && !var->name().empty())
+        emit(var, context, nullptr);
+      return;
+    }
+    case ExprKind::ArraySubscript: {
+      const auto *subscript = static_cast<const ArraySubscriptExpr *>(expr);
+      // Every index along the (possibly multi-dimensional) subscript chain
+      // is a read; the base variable carries the access context. The event
+      // records the outermost subscript so the bounds analysis sees the
+      // whole `a[i][j]` access.
+      const Expr *cursor = subscript;
+      while (cursor != nullptr &&
+             cursor->kind() == ExprKind::ArraySubscript) {
+        const auto *level = static_cast<const ArraySubscriptExpr *>(cursor);
+        visitExpr(level->index(), AccessKind::Read);
+        cursor = ignoreParensAndCasts(level->base());
+      }
+      VarDecl *baseVar = baseVariableOf(subscript);
+      if (baseVar != nullptr) {
+        emit(baseVar, context, subscript, /*pointeeAccess=*/true);
+      } else if (cursor != nullptr) {
+        visitExpr(cursor, AccessKind::Read);
+      }
+      return;
+    }
+    case ExprKind::Member: {
+      const auto *member = static_cast<const MemberExpr *>(expr);
+      // Access to s.f (or p->f) is an access to the whole record object —
+      // the paper maps structs as units.
+      VarDecl *baseVar = referencedVar(member->base());
+      if (baseVar != nullptr)
+        emit(baseVar, context, nullptr, /*pointeeAccess=*/true);
+      else
+        visitExpr(member->base(), context);
+      return;
+    }
+    case ExprKind::Call: {
+      const auto *call = static_cast<const CallExpr *>(expr);
+      handleCall(call);
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto *unary = static_cast<const UnaryExpr *>(expr);
+      switch (unary->op()) {
+      case UnaryOp::PreInc:
+      case UnaryOp::PreDec:
+      case UnaryOp::PostInc:
+      case UnaryOp::PostDec:
+        visitExpr(unary->operand(), AccessKind::ReadWrite);
+        return;
+      case UnaryOp::Deref: {
+        // *p: an access to p's pointee; also reads p itself.
+        VarDecl *pointer = referencedVar(unary->operand());
+        if (pointer != nullptr) {
+          emit(pointer, context, nullptr, /*pointeeAccess=*/true);
+        } else {
+          visitExpr(unary->operand(), AccessKind::Read);
+        }
+        return;
+      }
+      case UnaryOp::AddrOf: {
+        VarDecl *var = referencedVar(unary->operand());
+        if (var != nullptr) {
+          if (std::find(info_.addressTaken.begin(), info_.addressTaken.end(),
+                        var) == info_.addressTaken.end())
+            info_.addressTaken.push_back(var);
+          emit(var, AccessKind::Unknown, nullptr);
+        } else {
+          visitExpr(unary->operand(), AccessKind::Read);
+        }
+        return;
+      }
+      default:
+        visitExpr(unary->operand(), AccessKind::Read);
+        return;
+      }
+    }
+    case ExprKind::Binary: {
+      const auto *binary = static_cast<const BinaryExpr *>(expr);
+      if (isAssignmentOp(binary->op())) {
+        visitExpr(binary->rhs(), AccessKind::Read);
+        visitExpr(binary->lhs(), binary->op() == BinaryOp::Assign
+                                     ? AccessKind::Write
+                                     : AccessKind::ReadWrite);
+        return;
+      }
+      visitExpr(binary->lhs(), AccessKind::Read);
+      visitExpr(binary->rhs(), AccessKind::Read);
+      return;
+    }
+    case ExprKind::Conditional: {
+      const auto *conditional = static_cast<const ConditionalExpr *>(expr);
+      visitExpr(conditional->cond(), AccessKind::Read);
+      ++conditionalDepth_;
+      visitExpr(conditional->trueExpr(), context);
+      visitExpr(conditional->falseExpr(), context);
+      --conditionalDepth_;
+      return;
+    }
+    case ExprKind::Cast:
+      visitExpr(static_cast<const CastExpr *>(expr)->operand(), context);
+      return;
+    case ExprKind::Paren:
+      visitExpr(static_cast<const ParenExpr *>(expr)->inner(), context);
+      return;
+    case ExprKind::InitList:
+      for (const Expr *init :
+           static_cast<const InitListExpr *>(expr)->inits())
+        visitExpr(init, AccessKind::Read);
+      return;
+    }
+  }
+
+  void handleCall(const CallExpr *call) {
+    // Scalar arguments are reads; pointer arguments depend on the callee.
+    const BuiltinEffect effect =
+        call->callee() == nullptr ? builtinEffect(call->calleeName())
+                                  : BuiltinEffect::None;
+    unsigned index = 0;
+    for (const Expr *arg : call->args()) {
+      const Expr *stripped = ignoreParensAndCasts(arg);
+      VarDecl *var = referencedVar(stripped);
+      const bool pointerLike =
+          var != nullptr &&
+          (var->type()->isPointer() || var->type()->isArray());
+      if (!pointerLike) {
+        visitExpr(arg, AccessKind::Read);
+        ++index;
+        continue;
+      }
+      if (call->callee() != nullptr) {
+        // User function: the pointer value itself is read here; pointee
+        // effects are added by the interprocedural pass.
+        emit(var, AccessKind::Read, nullptr);
+      } else {
+        switch (effect) {
+        case BuiltinEffect::ReadsArgs:
+          emit(var, AccessKind::Read, nullptr, /*pointeeAccess=*/true);
+          break;
+        case BuiltinEffect::None:
+          emit(var, AccessKind::Read, nullptr);
+          break;
+        case BuiltinEffect::WritesArg0:
+        case BuiltinEffect::Memcpy:
+          emit(var, index == 0 ? AccessKind::Write : AccessKind::Read,
+               nullptr, /*pointeeAccess=*/true);
+          break;
+        case BuiltinEffect::Unknown:
+          emit(var, AccessKind::Unknown, nullptr, /*pointeeAccess=*/true);
+          break;
+        }
+      }
+      ++index;
+    }
+    if (call->callee() != nullptr)
+      info_.callSites.push_back(
+          CallSite{call, currentStmt_, kernel_ != nullptr, kernel_});
+  }
+
+  void emit(VarDecl *var, AccessKind kind,
+            const ArraySubscriptExpr *subscript,
+            bool pointeeAccess = false) {
+    AccessEvent event;
+    event.var = var;
+    event.kind = kind;
+    event.onDevice = kernel_ != nullptr;
+    event.kernel = kernel_;
+    event.stmt = currentStmt_;
+    event.subscript = subscript;
+    event.pointeeAccess = pointeeAccess || subscript != nullptr;
+    event.conditional = conditionalDepth_ > 0;
+    switch (kind) {
+    case AccessKind::Read:
+      current_.reads.push_back(event);
+      break;
+    case AccessKind::Write:
+      current_.writes.push_back(event);
+      break;
+    case AccessKind::ReadWrite:
+    case AccessKind::Unknown:
+      // Read component first, write component after.
+      current_.reads.push_back(event);
+      current_.writes.push_back(event);
+      break;
+    }
+  }
+
+  void beginStmt(const Stmt *stmt) {
+    currentStmt_ = stmt;
+    current_ = StmtAccesses{};
+  }
+
+  void endStmt(const Stmt *stmt) {
+    auto &bucket = info_.byStmt[stmt];
+    for (AccessEvent &event : current_.reads) {
+      // ReadWrite events appear in both lists; normalize the read copy.
+      AccessEvent read = event;
+      if (read.kind == AccessKind::ReadWrite)
+        read.kind = AccessKind::Read;
+      if (read.kind == AccessKind::Unknown)
+        read.kind = AccessKind::Unknown;
+      info_.events.push_back(read);
+      bucket.push_back(read);
+    }
+    for (AccessEvent &event : current_.writes) {
+      AccessEvent write = event;
+      if (write.kind == AccessKind::ReadWrite)
+        write.kind = AccessKind::Write;
+      if (write.kind == AccessKind::Unknown)
+        write.kind = AccessKind::Unknown;
+      info_.events.push_back(write);
+      bucket.push_back(write);
+    }
+    currentStmt_ = nullptr;
+  }
+
+  static VarDecl *baseVariableOf(const ArraySubscriptExpr *subscript) {
+    const Expr *base = ignoreParensAndCasts(subscript->base());
+    while (base != nullptr && base->kind() == ExprKind::ArraySubscript)
+      base = ignoreParensAndCasts(
+          static_cast<const ArraySubscriptExpr *>(base)->base());
+    return base != nullptr ? referencedVar(base) : nullptr;
+  }
+
+  FunctionAccessInfo &info_;
+  const OmpDirectiveStmt *kernel_ = nullptr;
+  const Stmt *currentStmt_ = nullptr;
+  unsigned conditionalDepth_ = 0;
+  StmtAccesses current_;
+};
+
+} // namespace
+
+const char *accessKindName(AccessKind kind) {
+  switch (kind) {
+  case AccessKind::Read:
+    return "read";
+  case AccessKind::Write:
+    return "write";
+  case AccessKind::ReadWrite:
+    return "read-write";
+  case AccessKind::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+FunctionAccessInfo collectAccesses(const FunctionDecl *fn) {
+  FunctionAccessInfo info;
+  AccessCollector collector(info);
+  collector.run(fn);
+  return info;
+}
+
+bool isAggregateLike(const VarDecl *var) {
+  if (var == nullptr)
+    return false;
+  const Type *type = var->type();
+  return type->isArray() || type->isPointer() || type->isRecord();
+}
+
+} // namespace ompdart

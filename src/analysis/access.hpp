@@ -1,0 +1,87 @@
+// Memory-access collection and classification (paper §IV-B).
+//
+// Every variable reference in a function is classified as read / write /
+// read-write / unknown, tagged with the memory space it executes in (host or
+// device), the leaf statement that performs it, and — for array accesses —
+// the innermost subscript expression (consumed by the bounds analysis and
+// Algorithm 1). Events for one statement are ordered reads-before-writes,
+// matching the RAW-dependency granularity the data-flow analysis needs.
+#pragma once
+
+#include "frontend/ast.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace ompdart {
+
+enum class AccessKind { Read, Write, ReadWrite, Unknown };
+
+[[nodiscard]] const char *accessKindName(AccessKind kind);
+
+/// One classified memory access.
+struct AccessEvent {
+  VarDecl *var = nullptr;
+  AccessKind kind = AccessKind::Read;
+  /// True when the access executes inside an offload kernel.
+  bool onDevice = false;
+  /// The kernel directive when onDevice.
+  const OmpDirectiveStmt *kernel = nullptr;
+  /// Leaf statement performing the access.
+  const Stmt *stmt = nullptr;
+  /// Innermost array subscript when the access is an element access
+  /// (`a[expr]`); null for whole-variable accesses.
+  const ArraySubscriptExpr *subscript = nullptr;
+  /// True when this event was synthesized from a callee's side effects.
+  bool fromCall = false;
+  /// True when the access touches the variable's *data* (array element,
+  /// dereferenced pointee, struct contents) rather than merely its value
+  /// (e.g. reading a pointer to pass it along). Mapping decisions for
+  /// aggregates only follow data accesses.
+  bool pointeeAccess = false;
+  /// True when the access sits under a branch (if/switch/?:) relative to its
+  /// enclosing kernel or function — such writes cannot prove full coverage.
+  bool conditional = false;
+
+  /// Whether this event represents an access to mapped data for `var`.
+  [[nodiscard]] bool isDataAccess() const {
+    return pointeeAccess || var == nullptr || !var->type()->isPointer();
+  }
+};
+
+/// A call site recorded for the interprocedural pass.
+struct CallSite {
+  const CallExpr *call = nullptr;
+  const Stmt *stmt = nullptr;
+  bool onDevice = false;
+  const OmpDirectiveStmt *kernel = nullptr;
+};
+
+/// Accesses of one function, in execution (source) order.
+struct FunctionAccessInfo {
+  const FunctionDecl *function = nullptr;
+  /// All events in order; events of one statement are reads-then-writes.
+  std::vector<AccessEvent> events;
+  /// Events grouped by leaf statement (same objects as `events`).
+  std::unordered_map<const Stmt *, std::vector<AccessEvent>> byStmt;
+  std::vector<CallSite> callSites;
+  /// Variables whose address is taken (escape; treated pessimistically).
+  std::vector<VarDecl *> addressTaken;
+
+  [[nodiscard]] bool isAddressTaken(const VarDecl *var) const {
+    for (const VarDecl *taken : addressTaken)
+      if (taken == var)
+        return true;
+    return false;
+  }
+};
+
+/// Collects accesses for one function. Call effects are added separately by
+/// the interprocedural pass (see interproc.hpp).
+[[nodiscard]] FunctionAccessInfo collectAccesses(const FunctionDecl *fn);
+
+/// True when the variable's type makes it mappable data (arrays, pointers
+/// to data, structs) rather than a scalar.
+[[nodiscard]] bool isAggregateLike(const VarDecl *var);
+
+} // namespace ompdart

@@ -1,0 +1,462 @@
+#include "analysis/bounds.hpp"
+
+#include "frontend/ast_printer.hpp"
+#include "frontend/const_fold.hpp"
+
+#include <algorithm>
+
+namespace ompdart {
+
+namespace {
+
+/// Collects every variable referenced in an expression tree.
+void collectVars(const Expr *expr, std::vector<VarDecl *> &out) {
+  if (expr == nullptr)
+    return;
+  switch (expr->kind()) {
+  case ExprKind::DeclRef: {
+    VarDecl *var = static_cast<const DeclRefExpr *>(expr)->decl();
+    if (var != nullptr &&
+        std::find(out.begin(), out.end(), var) == out.end())
+      out.push_back(var);
+    return;
+  }
+  case ExprKind::ArraySubscript: {
+    const auto *subscript = static_cast<const ArraySubscriptExpr *>(expr);
+    collectVars(subscript->base(), out);
+    collectVars(subscript->index(), out);
+    return;
+  }
+  case ExprKind::Member:
+    collectVars(static_cast<const MemberExpr *>(expr)->base(), out);
+    return;
+  case ExprKind::Call:
+    for (const Expr *arg : static_cast<const CallExpr *>(expr)->args())
+      collectVars(arg, out);
+    return;
+  case ExprKind::Unary:
+    collectVars(static_cast<const UnaryExpr *>(expr)->operand(), out);
+    return;
+  case ExprKind::Binary: {
+    const auto *binary = static_cast<const BinaryExpr *>(expr);
+    collectVars(binary->lhs(), out);
+    collectVars(binary->rhs(), out);
+    return;
+  }
+  case ExprKind::Conditional: {
+    const auto *conditional = static_cast<const ConditionalExpr *>(expr);
+    collectVars(conditional->cond(), out);
+    collectVars(conditional->trueExpr(), out);
+    collectVars(conditional->falseExpr(), out);
+    return;
+  }
+  case ExprKind::Cast:
+    collectVars(static_cast<const CastExpr *>(expr)->operand(), out);
+    return;
+  case ExprKind::Paren:
+    collectVars(static_cast<const ParenExpr *>(expr)->inner(), out);
+    return;
+  case ExprKind::InitList:
+    for (const Expr *init : static_cast<const InitListExpr *>(expr)->inits())
+      collectVars(init, out);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Matches `var = var (+|-) constant` or `var (+|-)= constant`; returns the
+/// signed step, or nullopt.
+std::optional<int> stepOfIncExpr(const Expr *inc, const VarDecl *var) {
+  inc = ignoreParensAndCasts(inc);
+  if (inc == nullptr)
+    return std::nullopt;
+  if (inc->kind() == ExprKind::Unary) {
+    const auto *unary = static_cast<const UnaryExpr *>(inc);
+    if (referencedVar(unary->operand()) != var)
+      return std::nullopt;
+    switch (unary->op()) {
+    case UnaryOp::PreInc:
+    case UnaryOp::PostInc:
+      return 1;
+    case UnaryOp::PreDec:
+    case UnaryOp::PostDec:
+      return -1;
+    default:
+      return std::nullopt;
+    }
+  }
+  if (inc->kind() == ExprKind::Binary) {
+    const auto *binary = static_cast<const BinaryExpr *>(inc);
+    if (referencedVar(binary->lhs()) != var)
+      return std::nullopt;
+    if (binary->op() == BinaryOp::AddAssign || binary->op() == BinaryOp::SubAssign) {
+      const auto step = foldIntegerConstant(binary->rhs());
+      if (!step)
+        return std::nullopt;
+      return binary->op() == BinaryOp::AddAssign ? static_cast<int>(*step)
+                                                 : -static_cast<int>(*step);
+    }
+    if (binary->op() == BinaryOp::Assign) {
+      const Expr *rhs = ignoreParensAndCasts(binary->rhs());
+      if (rhs == nullptr || rhs->kind() != ExprKind::Binary)
+        return std::nullopt;
+      const auto *sum = static_cast<const BinaryExpr *>(rhs);
+      if (sum->op() != BinaryOp::Add && sum->op() != BinaryOp::Sub)
+        return std::nullopt;
+      if (referencedVar(sum->lhs()) != var)
+        return std::nullopt;
+      const auto step = foldIntegerConstant(sum->rhs());
+      if (!step)
+        return std::nullopt;
+      return sum->op() == BinaryOp::Add ? static_cast<int>(*step)
+                                        : -static_cast<int>(*step);
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+LoopBounds analyzeForLoop(const ForStmt *loop) {
+  LoopBounds bounds;
+  if (loop == nullptr)
+    return bounds;
+
+  // Init: `int i = e` or `i = e`.
+  const Expr *lower = nullptr;
+  VarDecl *var = nullptr;
+  if (const auto *declStmt = dynamic_cast<const DeclStmt *>(loop->init())) {
+    if (declStmt->decls().size() == 1 &&
+        declStmt->decls()[0]->init() != nullptr) {
+      var = declStmt->decls()[0];
+      lower = declStmt->decls()[0]->init();
+    }
+  } else if (const auto *exprStmt =
+                 dynamic_cast<const ExprStmt *>(loop->init())) {
+    const Expr *init = ignoreParensAndCasts(exprStmt->expr());
+    if (init != nullptr && init->kind() == ExprKind::Binary) {
+      const auto *assign = static_cast<const BinaryExpr *>(init);
+      if (assign->op() == BinaryOp::Assign) {
+        var = referencedVar(assign->lhs());
+        lower = assign->rhs();
+      }
+    }
+  }
+  if (var == nullptr || lower == nullptr)
+    return bounds;
+
+  // Inc: determines direction.
+  const auto step = stepOfIncExpr(loop->inc(), var);
+  if (!step || (*step != 1 && *step != -1))
+    return bounds;
+
+  // Cond: `i < e`, `i <= e`, `i > e`, `i >= e` (or mirrored).
+  const Expr *cond = ignoreParensAndCasts(loop->cond());
+  if (cond == nullptr || cond->kind() != ExprKind::Binary)
+    return bounds;
+  const auto *cmp = static_cast<const BinaryExpr *>(cond);
+  BinaryOp op = cmp->op();
+  const Expr *boundExpr = nullptr;
+  if (referencedVar(cmp->lhs()) == var) {
+    boundExpr = cmp->rhs();
+  } else if (referencedVar(cmp->rhs()) == var) {
+    boundExpr = cmp->lhs();
+    // Mirror the comparison: `n > i` is `i < n`.
+    switch (op) {
+    case BinaryOp::LT:
+      op = BinaryOp::GT;
+      break;
+    case BinaryOp::GT:
+      op = BinaryOp::LT;
+      break;
+    case BinaryOp::LE:
+      op = BinaryOp::GE;
+      break;
+    case BinaryOp::GE:
+      op = BinaryOp::LE;
+      break;
+    default:
+      break;
+    }
+  } else {
+    return bounds;
+  }
+
+  const bool upward = *step > 0;
+  if (upward && op != BinaryOp::LT && op != BinaryOp::LE)
+    return bounds;
+  if (!upward && op != BinaryOp::GT && op != BinaryOp::GE)
+    return bounds;
+
+  bounds.valid = true;
+  bounds.inductionVar = var;
+  bounds.step = *step;
+  if (upward) {
+    bounds.lowerExpr = lower;
+    bounds.lowerConst = foldIntegerConstant(lower);
+    bounds.upperExpr = boundExpr;
+    bounds.upperConst = foldIntegerConstant(boundExpr);
+    if (op == BinaryOp::LE) {
+      bounds.upperInclusiveAdjusted = true;
+      if (bounds.upperConst)
+        bounds.upperConst = *bounds.upperConst + 1;
+    }
+  } else {
+    // Downward loop `for (i = hi; i >= lo; --i)`: lower bound is the cond
+    // bound, upper (exclusive) is init + 1.
+    bounds.lowerExpr = boundExpr;
+    bounds.lowerConst = foldIntegerConstant(boundExpr);
+    if (op == BinaryOp::GT && bounds.lowerConst)
+      bounds.lowerConst = *bounds.lowerConst + 1;
+    bounds.upperExpr = lower;
+    bounds.upperConst = foldIntegerConstant(lower);
+    if (bounds.upperConst)
+      bounds.upperConst = *bounds.upperConst + 1;
+    bounds.upperInclusiveAdjusted = true;
+  }
+  return bounds;
+}
+
+VarDecl *findIndexingVar(const Stmt *loop) {
+  const auto *forStmt = dynamic_cast<const ForStmt *>(loop);
+  if (forStmt == nullptr)
+    return nullptr; // while/do: "not a valid variable" -> caller continues
+  const LoopBounds bounds = analyzeForLoop(forStmt);
+  return bounds.valid ? bounds.inductionVar : nullptr;
+}
+
+std::vector<VarDecl *>
+referencedIndexVars(const ArraySubscriptExpr *access) {
+  std::vector<VarDecl *> vars;
+  const Expr *cursor = access;
+  while (cursor != nullptr && cursor->kind() == ExprKind::ArraySubscript) {
+    const auto *level = static_cast<const ArraySubscriptExpr *>(cursor);
+    collectVars(level->index(), vars);
+    cursor = ignoreParensAndCasts(level->base());
+  }
+  return vars;
+}
+
+const Stmt *findUpdateInsertLoc(const ArraySubscriptExpr *access,
+                                const Stmt *anchor,
+                                const std::vector<const Stmt *> &loops,
+                                SourceLocation locLim) {
+  const Stmt *pos = anchor;
+  if (access == nullptr)
+    return pos; // scalar access: no loop hoisting (paper Algorithm 1)
+  const std::vector<VarDecl *> indexingVars = referencedIndexVars(access);
+  // `loops` is outermost-first; the paper pops a stack whose top is the
+  // innermost loop, so iterate in reverse.
+  for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+    const Stmt *loop = *it;
+    if (locLim.isValid() && loop->range().begin.offset < locLim.offset)
+      break; // would hoist above the producer (locLim)
+    VarDecl *inductionVar = findIndexingVar(loop);
+    if (inductionVar == nullptr)
+      continue;
+    if (std::find(indexingVars.begin(), indexingVars.end(), inductionVar) !=
+        indexingVars.end())
+      pos = loop;
+  }
+  return pos;
+}
+
+MallocExtents::MallocExtents(const TranslationUnit &unit) {
+  for (const FunctionDecl *fn : unit.functions)
+    if (fn->isDefined())
+      scanStmt(fn->body());
+  for (const VarDecl *global : unit.globals)
+    if (global->init() != nullptr)
+      recordAssignment(global, global->init());
+}
+
+void MallocExtents::scanStmt(const Stmt *stmt) {
+  if (stmt == nullptr)
+    return;
+  switch (stmt->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+      scanStmt(sub);
+    return;
+  case StmtKind::Decl:
+    for (const VarDecl *var : static_cast<const DeclStmt *>(stmt)->decls())
+      if (var->init() != nullptr)
+        recordAssignment(var, var->init());
+    return;
+  case StmtKind::Expr: {
+    const Expr *expr =
+        ignoreParensAndCasts(static_cast<const ExprStmt *>(stmt)->expr());
+    if (expr != nullptr && expr->kind() == ExprKind::Binary) {
+      const auto *assign = static_cast<const BinaryExpr *>(expr);
+      if (assign->op() == BinaryOp::Assign) {
+        const VarDecl *var = referencedVar(assign->lhs());
+        if (var != nullptr)
+          recordAssignment(var, assign->rhs());
+      }
+    }
+    return;
+  }
+  case StmtKind::If: {
+    const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+    scanStmt(ifStmt->thenStmt());
+    scanStmt(ifStmt->elseStmt());
+    return;
+  }
+  case StmtKind::For:
+    scanStmt(static_cast<const ForStmt *>(stmt)->init());
+    scanStmt(static_cast<const ForStmt *>(stmt)->body());
+    return;
+  case StmtKind::While:
+    scanStmt(static_cast<const WhileStmt *>(stmt)->body());
+    return;
+  case StmtKind::Do:
+    scanStmt(static_cast<const DoStmt *>(stmt)->body());
+    return;
+  case StmtKind::Switch:
+    scanStmt(static_cast<const SwitchStmt *>(stmt)->body());
+    return;
+  case StmtKind::Case:
+    scanStmt(static_cast<const CaseStmt *>(stmt)->sub());
+    return;
+  case StmtKind::Default:
+    scanStmt(static_cast<const DefaultStmt *>(stmt)->sub());
+    return;
+  case StmtKind::OmpDirective:
+    scanStmt(static_cast<const OmpDirectiveStmt *>(stmt)->associated());
+    return;
+  default:
+    return;
+  }
+}
+
+void MallocExtents::recordAssignment(const VarDecl *var, const Expr *value) {
+  if (var == nullptr || !var->type()->isPointer())
+    return;
+  const Expr *stripped = ignoreParensAndCasts(value);
+  if (stripped == nullptr || stripped->kind() != ExprKind::Call)
+    return;
+  const auto *call = static_cast<const CallExpr *>(stripped);
+  const auto *pointer = static_cast<const PointerType *>(var->type());
+  const std::uint64_t elemSize = pointer->pointee()->sizeInBytes();
+  if (elemSize == 0)
+    return;
+
+  ExtentInfo info;
+  if (call->calleeName() == "malloc" && call->args().size() == 1) {
+    // Pattern: malloc(count * sizeof(T)) or malloc(sizeof(T) * count) or a
+    // constant byte count.
+    const Expr *size = ignoreParensAndCasts(call->args()[0]);
+    if (const auto bytes = foldIntegerConstant(size);
+        bytes && *bytes >= 0 && *bytes % static_cast<std::int64_t>(elemSize) == 0) {
+      info.constElems = static_cast<std::uint64_t>(*bytes) / elemSize;
+      info.spelling = std::to_string(*info.constElems);
+    } else if (size != nullptr && size->kind() == ExprKind::Binary) {
+      const auto *product = static_cast<const BinaryExpr *>(size);
+      if (product->op() == BinaryOp::Mul) {
+        const Expr *lhs = ignoreParensAndCasts(product->lhs());
+        const Expr *rhs = ignoreParensAndCasts(product->rhs());
+        const Expr *count = nullptr;
+        if (lhs != nullptr && lhs->kind() == ExprKind::Sizeof)
+          count = rhs;
+        else if (rhs != nullptr && rhs->kind() == ExprKind::Sizeof)
+          count = lhs;
+        if (count != nullptr) {
+          info.expr = count;
+          info.constElems = [&]() -> std::optional<std::uint64_t> {
+            if (auto folded = foldIntegerConstant(count); folded && *folded >= 0)
+              return static_cast<std::uint64_t>(*folded);
+            return std::nullopt;
+          }();
+          info.spelling = exprToSource(count);
+        }
+      }
+    }
+  } else if (call->calleeName() == "calloc" && call->args().size() == 2) {
+    const Expr *count = ignoreParensAndCasts(call->args()[0]);
+    info.expr = count;
+    if (auto folded = foldIntegerConstant(count); folded && *folded >= 0)
+      info.constElems = static_cast<std::uint64_t>(*folded);
+    info.spelling = exprToSource(count);
+  }
+  if (info.known())
+    extents_[var] = std::move(info);
+}
+
+ExtentInfo dataExtent(const VarDecl *var, const MallocExtents &mallocExtents) {
+  ExtentInfo info;
+  if (var == nullptr)
+    return info;
+  if (const auto *array = dynamic_cast<const ArrayType *>(var->type())) {
+    // Multi-dimensional arrays report the flattened element count so byte
+    // accounting matches the simulator; the spelling keeps the outer extent.
+    std::uint64_t total = 1;
+    bool allKnown = true;
+    const Type *cursor = array;
+    while (const auto *dim = dynamic_cast<const ArrayType *>(cursor)) {
+      if (dim->extent())
+        total *= *dim->extent();
+      else
+        allKnown = false;
+      cursor = dim->element();
+    }
+    if (allKnown) {
+      info.constElems = total;
+      info.spelling = std::to_string(total);
+    } else {
+      info.spelling = array->extentSpelling();
+    }
+    return info;
+  }
+  if (var->type()->isPointer()) {
+    if (const ExtentInfo *fromMalloc = mallocExtents.lookup(var))
+      return *fromMalloc;
+    return info;
+  }
+  // Scalars and records: one element.
+  info.constElems = 1;
+  info.spelling = "1";
+  return info;
+}
+
+bool isFullCoverageWrite(const AccessEvent &event, const VarDecl *var,
+                         const ExtentInfo &extent,
+                         const std::vector<const Stmt *> &loops) {
+  if (event.kind != AccessKind::Write || event.conditional ||
+      event.subscript == nullptr || var == nullptr)
+    return false;
+  // Only single-dimension direct `a[i]` accesses are provable.
+  const Expr *index = ignoreParensAndCasts(event.subscript->index());
+  VarDecl *indexVar = referencedVar(index);
+  if (indexVar == nullptr)
+    return false;
+  const Expr *base = ignoreParensAndCasts(event.subscript->base());
+  if (base == nullptr || base->kind() == ExprKind::ArraySubscript)
+    return false; // multi-dimensional: be conservative
+  // Find the enclosing loop driven by the index variable.
+  for (const Stmt *loop : loops) {
+    const auto *forStmt = dynamic_cast<const ForStmt *>(loop);
+    if (forStmt == nullptr)
+      continue;
+    const LoopBounds bounds = analyzeForLoop(forStmt);
+    if (!bounds.valid || bounds.inductionVar != indexVar)
+      continue;
+    if (bounds.step != 1)
+      return false;
+    if (!bounds.lowerConst || *bounds.lowerConst != 0)
+      return false;
+    // Upper bound must cover the full extent: equal constants or textually
+    // identical symbolic spellings.
+    if (bounds.upperConst && extent.constElems &&
+        static_cast<std::uint64_t>(*bounds.upperConst) >= *extent.constElems)
+      return true;
+    if (bounds.upperExpr != nullptr && !extent.spelling.empty() &&
+        exprToSource(bounds.upperExpr) == extent.spelling &&
+        !bounds.upperInclusiveAdjusted)
+      return true;
+    return false;
+  }
+  return false;
+}
+
+} // namespace ompdart

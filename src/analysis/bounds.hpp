@@ -1,0 +1,106 @@
+// Array-bounds and loop-structure analysis (paper §IV-E).
+//
+// Extends the Guo et al. compile-time bounds algorithm to multi-dimensional
+// arrays and nested loops, and implements the paper's Algorithm 1
+// (FIND_UPDATE_INSERT_LOC) for hoisting `target update` directives out of
+// loops whose induction variables participate in the array's subscript.
+#pragma once
+
+#include "analysis/access.hpp"
+#include "frontend/ast.hpp"
+#include "support/source_location.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+/// Normalized description of a canonical `for` loop. Only unit-stride loops
+/// with a recognizable induction variable are considered analyzable; the
+/// paper notes that missing/complex init, cond or inc statements impede the
+/// analysis, which this struct reports via `valid`.
+struct LoopBounds {
+  bool valid = false;
+  VarDecl *inductionVar = nullptr;
+  const Expr *lowerExpr = nullptr; ///< Initial value.
+  std::optional<std::int64_t> lowerConst;
+  /// Exclusive upper bound (normalized: `i <= n` becomes `n + 1` with
+  /// upperInclusiveAdjusted set).
+  const Expr *upperExpr = nullptr;
+  std::optional<std::int64_t> upperConst;
+  bool upperInclusiveAdjusted = false;
+  int step = 1; ///< +1 or -1.
+};
+
+/// Recognizes init/cond/inc of a `for` statement (paper Listing 5 walk).
+[[nodiscard]] LoopBounds analyzeForLoop(const ForStmt *loop);
+
+/// The induction variable of a loop statement, or null when the loop is not
+/// an analyzable `for` (paper: while/do yield "not a valid variable").
+[[nodiscard]] VarDecl *findIndexingVar(const Stmt *loop);
+
+/// All variables referenced anywhere in the (multi-dimensional) subscript
+/// chain of an array access.
+[[nodiscard]] std::vector<VarDecl *>
+referencedIndexVars(const ArraySubscriptExpr *access);
+
+/// Paper Algorithm 1. `loops` is the stack of loops enclosing the access,
+/// outermost first. `locLim` is a source location the insertion must not
+/// precede (typically the end of the producing kernel). Returns the
+/// statement the update directive should directly precede (from-direction)
+/// or follow (to-direction): either `anchor` itself or an enclosing loop.
+[[nodiscard]] const Stmt *
+findUpdateInsertLoc(const ArraySubscriptExpr *access, const Stmt *anchor,
+                    const std::vector<const Stmt *> &loops,
+                    SourceLocation locLim);
+
+/// Knowledge about the allocated extent of an array/pointer variable.
+struct ExtentInfo {
+  /// Total element count of the outermost dimension when constant.
+  std::optional<std::uint64_t> constElems;
+  /// Source spelling of the element count (e.g. "n" or "1024"); empty when
+  /// unknown.
+  std::string spelling;
+  /// Defining expression when symbolic (points into the AST).
+  const Expr *expr = nullptr;
+
+  [[nodiscard]] bool known() const {
+    return constElems.has_value() || !spelling.empty();
+  }
+};
+
+/// Extents for pointer variables initialized via malloc/calloc patterns
+/// (`p = (T *)malloc(n * sizeof(T))`), scanned across the whole unit.
+class MallocExtents {
+public:
+  explicit MallocExtents(const TranslationUnit &unit);
+
+  [[nodiscard]] const ExtentInfo *lookup(const VarDecl *var) const {
+    auto it = extents_.find(var);
+    return it != extents_.end() ? &it->second : nullptr;
+  }
+
+private:
+  void scanStmt(const Stmt *stmt);
+  void recordAssignment(const VarDecl *var, const Expr *value);
+  std::map<const VarDecl *, ExtentInfo> extents_;
+};
+
+/// Extent of a variable's mapped data: declared array extent, or malloc
+/// extent for pointers. Unknown extents return !known().
+[[nodiscard]] ExtentInfo dataExtent(const VarDecl *var,
+                                    const MallocExtents &mallocExtents);
+
+/// True when `event` provably writes every element of `var` within its
+/// kernel: the subscript is exactly the induction variable of an enclosing
+/// unit-stride loop spanning [0, extent), and the write is unconditional.
+/// Used to suppress `to`-mappings for arrays fully overwritten on device.
+[[nodiscard]] bool isFullCoverageWrite(const AccessEvent &event,
+                                       const VarDecl *var,
+                                       const ExtentInfo &extent,
+                                       const std::vector<const Stmt *> &loops);
+
+} // namespace ompdart

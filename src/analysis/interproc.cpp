@@ -1,0 +1,233 @@
+#include "analysis/interproc.hpp"
+
+namespace ompdart {
+
+namespace {
+
+/// Resolves which caller variable a call argument exposes to the callee
+/// (pointer passing, array decay, &scalar). Returns null when the argument
+/// does not name a trackable object.
+VarDecl *argumentObject(const Expr *arg) {
+  const Expr *stripped = ignoreParensAndCasts(arg);
+  if (stripped == nullptr)
+    return nullptr;
+  if (VarDecl *var = referencedVar(stripped))
+    return var;
+  if (stripped->kind() == ExprKind::Unary) {
+    const auto *unary = static_cast<const UnaryExpr *>(stripped);
+    if (unary->op() == UnaryOp::AddrOf)
+      return referencedVar(unary->operand());
+  }
+  if (stripped->kind() == ExprKind::Binary) {
+    // Pointer arithmetic: `a + offset` exposes a.
+    const auto *binary = static_cast<const BinaryExpr *>(stripped);
+    if (binary->op() == BinaryOp::Add || binary->op() == BinaryOp::Sub) {
+      VarDecl *lhs = referencedVar(binary->lhs());
+      if (lhs != nullptr && isAggregateLike(lhs))
+        return lhs;
+      VarDecl *rhs = referencedVar(binary->rhs());
+      if (rhs != nullptr && isAggregateLike(rhs))
+        return rhs;
+    }
+  }
+  if (stripped->kind() == ExprKind::ArraySubscript) {
+    // Passing &a[i] or a row of a 2-D array exposes a.
+    const Expr *base = stripped;
+    while (base != nullptr && base->kind() == ExprKind::ArraySubscript)
+      base = ignoreParensAndCasts(
+          static_cast<const ArraySubscriptExpr *>(base)->base());
+    return base != nullptr ? referencedVar(base) : nullptr;
+  }
+  return nullptr;
+}
+
+/// Index of `var` in the function's parameter list, or -1.
+int paramIndex(const FunctionDecl *fn, const VarDecl *var) {
+  for (std::size_t i = 0; i < fn->params().size(); ++i)
+    if (fn->params()[i] == var)
+      return static_cast<int>(i);
+  return -1;
+}
+
+ObjectEffect effectFromEvent(const AccessEvent &event) {
+  ObjectEffect effect;
+  const bool read = event.kind == AccessKind::Read ||
+                    event.kind == AccessKind::ReadWrite ||
+                    event.kind == AccessKind::Unknown;
+  const bool write = event.kind == AccessKind::Write ||
+                     event.kind == AccessKind::ReadWrite ||
+                     event.kind == AccessKind::Unknown;
+  if (event.onDevice) {
+    effect.readDevice = read;
+    effect.writeDevice = write;
+  } else {
+    effect.readHost = read;
+    effect.writeHost = write;
+  }
+  effect.unknown = event.kind == AccessKind::Unknown;
+  return effect;
+}
+
+/// Pessimistic summary for a function whose body is not visible. `const T*`
+/// parameters are read-only; all other pointer parameters may be read and
+/// written on the host (the paper's rule for cross-TU functions).
+FunctionSummary externalSummary(const FunctionDecl *fn) {
+  FunctionSummary summary;
+  summary.function = fn;
+  summary.isExternal = true;
+  summary.params.resize(fn->params().size());
+  for (std::size_t i = 0; i < fn->params().size(); ++i) {
+    const VarDecl *param = fn->params()[i];
+    const auto *pointer = dynamic_cast<const PointerType *>(param->type());
+    if (pointer == nullptr)
+      continue;
+    ObjectEffect &effect = summary.params[i];
+    effect.readHost = true;
+    if (!pointer->isPointeeConst()) {
+      effect.writeHost = true;
+      effect.unknown = true;
+    }
+  }
+  return summary;
+}
+
+} // namespace
+
+InterproceduralResult
+runInterproceduralAnalysis(const TranslationUnit &unit,
+                           InterproceduralOptions options) {
+  InterproceduralResult result;
+
+  // Base access collection (intra-procedural only).
+  std::unordered_map<const FunctionDecl *, FunctionAccessInfo> baseAccesses;
+  for (const FunctionDecl *fn : unit.functions) {
+    if (fn->isDefined())
+      baseAccesses[fn] = collectAccesses(fn);
+    result.summaries[fn] =
+        fn->isDefined() ? FunctionSummary{} : externalSummary(fn);
+    result.summaries[fn].function = fn;
+  }
+
+  // Fixed point: recompute each defined function's summary from its events
+  // plus current callee summaries until nothing changes.
+  for (unsigned pass = 0; pass < options.maxPasses; ++pass) {
+    ++result.passes;
+    bool changed = false;
+    for (const FunctionDecl *fn : unit.functions) {
+      if (!fn->isDefined())
+        continue;
+      const FunctionAccessInfo &info = baseAccesses[fn];
+      FunctionSummary summary;
+      summary.function = fn;
+      summary.params.resize(fn->params().size());
+
+      for (const AccessEvent &event : info.events) {
+        if (event.var == nullptr)
+          continue;
+        if (event.onDevice)
+          summary.launchesKernels = true;
+        if (event.var->isGlobal()) {
+          summary.globals[event.var].mergeFrom(effectFromEvent(event));
+          continue;
+        }
+        const int index = paramIndex(fn, event.var);
+        if (index < 0)
+          continue;
+        // Only pointee accesses of pointer parameters are externally
+        // visible; by-value parameters (scalars, structs) are local copies.
+        if (event.var->type()->isPointer() && event.pointeeAccess)
+          summary.params[static_cast<std::size_t>(index)].mergeFrom(
+              effectFromEvent(event));
+      }
+
+      for (const CallSite &site : info.callSites) {
+        const FunctionDecl *callee = site.call->callee();
+        if (callee == nullptr)
+          continue;
+        const FunctionSummary &calleeSummary = result.summaries[callee];
+        summary.launchesKernels |= calleeSummary.launchesKernels;
+        // Map callee parameter effects onto caller objects.
+        const auto &args = site.call->args();
+        for (std::size_t i = 0;
+             i < calleeSummary.params.size() && i < args.size(); ++i) {
+          const ObjectEffect &effect = calleeSummary.params[i];
+          if (!effect.any())
+            continue;
+          VarDecl *object = argumentObject(args[i]);
+          if (object == nullptr)
+            continue;
+          if (object->isGlobal()) {
+            summary.globals[object].mergeFrom(effect);
+            continue;
+          }
+          const int index = paramIndex(fn, object);
+          if (index >= 0)
+            summary.params[static_cast<std::size_t>(index)].mergeFrom(effect);
+          // Effects on locals stay local; the augmentation step below still
+          // surfaces them at the call site.
+        }
+        for (const auto &[global, effect] : calleeSummary.globals)
+          summary.globals[global].mergeFrom(effect);
+      }
+
+      if (!(result.summaries[fn] == summary)) {
+        result.summaries[fn] = std::move(summary);
+        changed = true;
+      }
+    }
+    if (!changed)
+      break;
+  }
+
+  // Augmentation: synthesize call-site events so the data-flow walk sees
+  // callee side effects inline.
+  for (auto &[fn, info] : baseAccesses) {
+    FunctionAccessInfo augmented = info;
+    for (const CallSite &site : info.callSites) {
+      const FunctionDecl *callee = site.call->callee();
+      if (callee == nullptr)
+        continue;
+      const FunctionSummary &calleeSummary = result.summaries[callee];
+
+      auto synthesize = [&](VarDecl *object, const ObjectEffect &effect) {
+        if (object == nullptr || !effect.any())
+          return;
+        auto add = [&](AccessKind kind, bool onDevice) {
+          AccessEvent event;
+          event.var = object;
+          event.kind = kind;
+          event.onDevice = onDevice || site.onDevice;
+          event.kernel = site.kernel;
+          event.stmt = site.stmt;
+          event.fromCall = true;
+          event.pointeeAccess = true;
+          augmented.events.push_back(event);
+          augmented.byStmt[site.stmt].push_back(event);
+        };
+        if (effect.unknown) {
+          add(AccessKind::Unknown, effect.readDevice || effect.writeDevice);
+          return;
+        }
+        if (effect.readHost)
+          add(AccessKind::Read, false);
+        if (effect.readDevice)
+          add(AccessKind::Read, true);
+        if (effect.writeHost)
+          add(AccessKind::Write, false);
+        if (effect.writeDevice)
+          add(AccessKind::Write, true);
+      };
+
+      const auto &args = site.call->args();
+      for (std::size_t i = 0;
+           i < calleeSummary.params.size() && i < args.size(); ++i)
+        synthesize(argumentObject(args[i]), calleeSummary.params[i]);
+      for (const auto &[global, effect] : calleeSummary.globals)
+        synthesize(global, effect);
+    }
+    result.accesses[fn] = std::move(augmented);
+  }
+  return result;
+}
+
+} // namespace ompdart

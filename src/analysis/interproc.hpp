@@ -1,0 +1,99 @@
+// Interprocedural side-effect analysis (paper §IV-C).
+//
+// For every function we summarize how it touches data visible to callers:
+// pointee data of pointer parameters and global variables, split by memory
+// space (host vs device). Summaries are computed to a fixed point over the
+// call graph, bounded by the maximum call depth, and call sites in each
+// function's access stream are then *augmented* with synthesized events so
+// the data-flow analysis sees callee effects inline ("maximally pessimistic"
+// for functions without visible bodies; `const T *` parameters are assumed
+// read-only, matching the paper's conservative rules).
+#pragma once
+
+#include "analysis/access.hpp"
+#include "frontend/ast.hpp"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace ompdart {
+
+/// Effect of a function on one externally visible object.
+struct ObjectEffect {
+  bool readHost = false;
+  bool writeHost = false;
+  bool readDevice = false;
+  bool writeDevice = false;
+  /// Set when the effect is not statically known (external function).
+  bool unknown = false;
+
+  void mergeFrom(const ObjectEffect &other) {
+    readHost |= other.readHost;
+    writeHost |= other.writeHost;
+    readDevice |= other.readDevice;
+    writeDevice |= other.writeDevice;
+    unknown |= other.unknown;
+  }
+  [[nodiscard]] bool any() const {
+    return readHost || writeHost || readDevice || writeDevice || unknown;
+  }
+  [[nodiscard]] bool operator==(const ObjectEffect &other) const {
+    return readHost == other.readHost && writeHost == other.writeHost &&
+           readDevice == other.readDevice &&
+           writeDevice == other.writeDevice && unknown == other.unknown;
+  }
+};
+
+/// Side-effect summary for one function.
+struct FunctionSummary {
+  const FunctionDecl *function = nullptr;
+  /// Effect per parameter index (only meaningful for pointer params).
+  std::vector<ObjectEffect> params;
+  /// Effects on global variables.
+  std::map<VarDecl *, ObjectEffect> globals;
+  /// True when the function (transitively) launches offload kernels.
+  bool launchesKernels = false;
+  /// External function without a body: callers must assume the worst.
+  bool isExternal = false;
+
+  [[nodiscard]] bool operator==(const FunctionSummary &other) const {
+    return params == other.params && globals == other.globals &&
+           launchesKernels == other.launchesKernels;
+  }
+};
+
+/// Result of the interprocedural pass over a translation unit.
+struct InterproceduralResult {
+  /// Per-function summaries.
+  std::unordered_map<const FunctionDecl *, FunctionSummary> summaries;
+  /// Per-function access info, augmented with call-site effects.
+  std::unordered_map<const FunctionDecl *, FunctionAccessInfo> accesses;
+  /// Number of fixed-point passes performed.
+  unsigned passes = 0;
+
+  [[nodiscard]] const FunctionSummary *
+  summaryFor(const FunctionDecl *fn) const {
+    auto it = summaries.find(fn);
+    return it != summaries.end() ? &it->second : nullptr;
+  }
+  [[nodiscard]] const FunctionAccessInfo *
+  accessesFor(const FunctionDecl *fn) const {
+    auto it = accesses.find(fn);
+    return it != accesses.end() ? &it->second : nullptr;
+  }
+};
+
+struct InterproceduralOptions {
+  /// Cap on fixed-point passes (the paper: "can be repeated several times up
+  /// to the maximum call depth ... stopped early if no updates are made").
+  unsigned maxPasses = 16;
+};
+
+/// Runs access collection plus the interprocedural fixed point for every
+/// defined function in the unit.
+[[nodiscard]] InterproceduralResult
+runInterproceduralAnalysis(const TranslationUnit &unit,
+                           InterproceduralOptions options = {});
+
+} // namespace ompdart

@@ -1,0 +1,141 @@
+#include "analysis/liveness.hpp"
+
+namespace ompdart {
+
+const std::set<const VarDecl *> LivenessAnalysis::kEmpty;
+
+bool LivenessAnalysis::eventReads(const AccessEvent &event) {
+  // Device-side reads do not keep a variable live on the *host*; only host
+  // reads (and unknowns) do.
+  if (event.onDevice)
+    return false;
+  return event.kind == AccessKind::Read || event.kind == AccessKind::Unknown;
+}
+
+bool LivenessAnalysis::eventKills(const AccessEvent &event) {
+  // Only unconditional host writes to whole scalars kill; array-element /
+  // pointee writes and device writes never kill host liveness.
+  if (event.onDevice || event.conditional)
+    return false;
+  if (event.kind != AccessKind::Write)
+    return false;
+  return event.var != nullptr && !isAggregateLike(event.var);
+}
+
+LivenessAnalysis::LivenessAnalysis(const AstCfg &cfg,
+                                   const FunctionAccessInfo &accesses)
+    : cfg_(cfg), accesses_(accesses) {
+  // Escape set.
+  for (const VarDecl *taken : accesses.addressTaken)
+    escaping_.insert(taken);
+  if (cfg.function() != nullptr) {
+    for (const VarDecl *param : cfg.function()->params())
+      if (isAggregateLike(param))
+        escaping_.insert(param);
+  }
+
+  // Per-block use/kill, walking elements in order.
+  for (const auto &block : cfg.blocks()) {
+    BlockSets &sets = sets_[block.get()];
+    for (const Stmt *stmt : block->elements()) {
+      auto it = accesses.byStmt.find(stmt);
+      if (it == accesses.byStmt.end())
+        continue;
+      for (const AccessEvent &event : it->second) {
+        if (event.var == nullptr)
+          continue;
+        if (event.var->isGlobal()) {
+          escaping_.insert(event.var);
+          continue;
+        }
+        if (eventReads(event) && !sets.kill.count(event.var))
+          sets.use.insert(event.var);
+        if (eventKills(event))
+          sets.kill.insert(event.var);
+      }
+    }
+  }
+
+  // Standard backward fixed point.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto &block : cfg.blocks()) {
+      BlockSets &sets = sets_[block.get()];
+      std::set<const VarDecl *> liveOut;
+      for (const CfgEdge &edge : block->successors()) {
+        const BlockSets &succ = sets_[edge.target];
+        liveOut.insert(succ.liveIn.begin(), succ.liveIn.end());
+      }
+      std::set<const VarDecl *> liveIn = sets.use;
+      for (const VarDecl *var : liveOut)
+        if (!sets.kill.count(var))
+          liveIn.insert(var);
+      if (liveIn != sets.liveIn || liveOut != sets.liveOut) {
+        sets.liveIn = std::move(liveIn);
+        sets.liveOut = std::move(liveOut);
+        changed = true;
+      }
+    }
+  }
+}
+
+bool LivenessAnalysis::escapes(const VarDecl *var) const {
+  if (var == nullptr)
+    return true;
+  if (var->isGlobal())
+    return true;
+  if (var->isParam() && isAggregateLike(var))
+    return true;
+  return escaping_.count(var) > 0;
+}
+
+bool LivenessAnalysis::isLiveAfter(const Stmt *stmt,
+                                   const VarDecl *var) const {
+  if (escapes(var))
+    return true;
+  const BasicBlock *block = cfg_.blockOf(stmt);
+  if (block == nullptr)
+    return true; // unknown placement: be conservative
+  auto setsIt = sets_.find(block);
+  if (setsIt == sets_.end())
+    return true;
+  const BlockSets &sets = setsIt->second;
+
+  // Walk the remainder of the block after `stmt`.
+  bool after = false;
+  for (const Stmt *element : block->elements()) {
+    if (element == stmt) {
+      after = true;
+      continue;
+    }
+    if (!after)
+      continue;
+    auto it = accesses_.byStmt.find(element);
+    if (it == accesses_.byStmt.end())
+      continue;
+    for (const AccessEvent &event : it->second) {
+      if (event.var != var)
+        continue;
+      if (eventReads(event))
+        return true;
+      if (eventKills(event))
+        return false;
+    }
+  }
+  return sets.liveOut.count(var) > 0;
+}
+
+const std::set<const VarDecl *> &
+LivenessAnalysis::liveIn(const BasicBlock *block) const {
+  auto it = sets_.find(block);
+  return it != sets_.end() ? it->second.liveIn : kEmpty;
+}
+
+const std::set<const VarDecl *> &
+LivenessAnalysis::liveOut(const BasicBlock *block) const {
+  auto it = sets_.find(block);
+  return it != sets_.end() ? it->second.liveOut : kEmpty;
+}
+
+} // namespace ompdart

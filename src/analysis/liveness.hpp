@@ -1,0 +1,54 @@
+// Backward live-variable analysis over the AST-CFG (paper §II-B, used in
+// §IV-D: "Upon reaching the end of the target data region ... the problem
+// becomes a liveness problem"). Determines, for the region-exit decision,
+// whether a variable written on the device may still be read on the host
+// after the region, in which case the `from` map-type must be emitted.
+#pragma once
+
+#include "analysis/access.hpp"
+#include "cfg/cfg.hpp"
+
+#include <set>
+#include <unordered_map>
+
+namespace ompdart {
+
+class LivenessAnalysis {
+public:
+  /// Computes block-level live-in/live-out sets for host-side reads.
+  LivenessAnalysis(const AstCfg &cfg, const FunctionAccessInfo &accesses);
+
+  /// True when `var` may be read (on the host) at some program point after
+  /// the given leaf statement. Conservative: unknown accesses count as
+  /// reads; only unconditional whole-variable writes kill.
+  [[nodiscard]] bool isLiveAfter(const Stmt *stmt, const VarDecl *var) const;
+
+  /// True when `var` outlives the function from the caller's perspective
+  /// (global, pointer/array parameter data, or address-taken local) — such
+  /// variables are always treated as live after the region.
+  [[nodiscard]] bool escapes(const VarDecl *var) const;
+
+  [[nodiscard]] const std::set<const VarDecl *> &
+  liveIn(const BasicBlock *block) const;
+  [[nodiscard]] const std::set<const VarDecl *> &
+  liveOut(const BasicBlock *block) const;
+
+private:
+  struct BlockSets {
+    std::set<const VarDecl *> use;  ///< read before any kill in the block
+    std::set<const VarDecl *> kill; ///< definitely overwritten
+    std::set<const VarDecl *> liveIn;
+    std::set<const VarDecl *> liveOut;
+  };
+
+  [[nodiscard]] static bool eventReads(const AccessEvent &event);
+  [[nodiscard]] static bool eventKills(const AccessEvent &event);
+
+  const AstCfg &cfg_;
+  const FunctionAccessInfo &accesses_;
+  std::unordered_map<const BasicBlock *, BlockSets> sets_;
+  std::set<const VarDecl *> escaping_;
+  static const std::set<const VarDecl *> kEmpty;
+};
+
+} // namespace ompdart

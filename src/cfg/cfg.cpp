@@ -1,0 +1,351 @@
+#include "cfg/cfg.hpp"
+
+#include <sstream>
+
+namespace ompdart {
+
+namespace {
+
+const char *edgeKindName(EdgeKind kind) {
+  switch (kind) {
+  case EdgeKind::Fallthrough:
+    return "";
+  case EdgeKind::True:
+    return "true";
+  case EdgeKind::False:
+    return "false";
+  case EdgeKind::LoopBack:
+    return "back";
+  case EdgeKind::Break:
+    return "break";
+  case EdgeKind::Continue:
+    return "continue";
+  case EdgeKind::Return:
+    return "return";
+  case EdgeKind::SwitchCase:
+    return "case";
+  }
+  return "";
+}
+
+} // namespace
+
+std::string AstCfg::toDot() const {
+  std::ostringstream out;
+  out << "digraph \"" << (function_ != nullptr ? function_->name() : "cfg")
+      << "\" {\n";
+  for (const auto &block : blocks_) {
+    out << "  B" << block->id() << " [label=\"B" << block->id();
+    if (block.get() == entry_)
+      out << " (entry)";
+    if (block.get() == exit_)
+      out << " (exit)";
+    out << "\\n" << block->elements().size() << " stmts\"";
+    if (block->isOffloaded())
+      out << ", style=filled, fillcolor=lightblue";
+    out << "];\n";
+  }
+  for (const auto &block : blocks_) {
+    for (const CfgEdge &edge : block->successors()) {
+      out << "  B" << block->id() << " -> B" << edge.target->id();
+      const char *label = edgeKindName(edge.kind);
+      if (label[0] != '\0')
+        out << " [label=\"" << label << "\"]";
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+BasicBlock *CfgBuilder::newBlock() {
+  auto block = std::make_unique<BasicBlock>(nextId_++);
+  if (!offloadStack_.empty())
+    block->setOffloadRegion(offloadStack_.back());
+  BasicBlock *raw = block.get();
+  cfg_->blocks_.push_back(std::move(block));
+  return raw;
+}
+
+void CfgBuilder::addEdge(BasicBlock *from, BasicBlock *to, EdgeKind kind) {
+  if (from == nullptr || to == nullptr)
+    return;
+  from->successors_.push_back(CfgEdge{to, kind});
+  to->predecessors_.push_back(CfgEdge{from, kind});
+}
+
+void CfgBuilder::recordLeaf(const Stmt *stmt, BasicBlock *block) {
+  block->appendElement(stmt);
+  cfg_->blockOfStmt_[stmt] = block;
+  cfg_->loopStack_[stmt] = loopStack_;
+}
+
+std::unique_ptr<AstCfg> CfgBuilder::build(const FunctionDecl *fn) {
+  auto cfg = std::make_unique<AstCfg>();
+  cfg_ = cfg.get();
+  nextId_ = 0;
+  breakTargets_.clear();
+  continueTargets_.clear();
+  offloadStack_.clear();
+  loopStack_.clear();
+
+  cfg->function_ = fn;
+  cfg->entry_ = newBlock();
+  cfg->exit_ = newBlock();
+
+  BasicBlock *last = cfg->entry_;
+  if (fn->body() != nullptr)
+    last = visitCompound(fn->body(), cfg->entry_);
+  if (last != nullptr)
+    addEdge(last, cfg->exit_, EdgeKind::Fallthrough);
+
+  cfg_ = nullptr;
+  return cfg;
+}
+
+BasicBlock *CfgBuilder::visitStmt(const Stmt *stmt, BasicBlock *current) {
+  if (stmt == nullptr || current == nullptr)
+    return current;
+  switch (stmt->kind()) {
+  case StmtKind::Compound:
+    return visitCompound(static_cast<const CompoundStmt *>(stmt), current);
+  case StmtKind::If:
+    return visitIf(static_cast<const IfStmt *>(stmt), current);
+  case StmtKind::For:
+    return visitFor(static_cast<const ForStmt *>(stmt), current);
+  case StmtKind::While:
+    return visitWhile(static_cast<const WhileStmt *>(stmt), current);
+  case StmtKind::Do:
+    return visitDo(static_cast<const DoStmt *>(stmt), current);
+  case StmtKind::Switch:
+    return visitSwitch(static_cast<const SwitchStmt *>(stmt), current);
+  case StmtKind::OmpDirective:
+    return visitOmpDirective(static_cast<const OmpDirectiveStmt *>(stmt),
+                             current);
+  case StmtKind::Break: {
+    recordLeaf(stmt, current);
+    if (!breakTargets_.empty())
+      addEdge(current, breakTargets_.back(), EdgeKind::Break);
+    return nullptr;
+  }
+  case StmtKind::Continue: {
+    recordLeaf(stmt, current);
+    if (!continueTargets_.empty())
+      addEdge(current, continueTargets_.back(), EdgeKind::Continue);
+    return nullptr;
+  }
+  case StmtKind::Return: {
+    recordLeaf(stmt, current);
+    addEdge(current, cfg_->exit_, EdgeKind::Return);
+    return nullptr;
+  }
+  case StmtKind::Case: {
+    const auto *caseStmt = static_cast<const CaseStmt *>(stmt);
+    recordLeaf(stmt, current);
+    return visitStmt(caseStmt->sub(), current);
+  }
+  case StmtKind::Default: {
+    const auto *defaultStmt = static_cast<const DefaultStmt *>(stmt);
+    recordLeaf(stmt, current);
+    return visitStmt(defaultStmt->sub(), current);
+  }
+  case StmtKind::Decl:
+  case StmtKind::Expr:
+  case StmtKind::Null:
+    recordLeaf(stmt, current);
+    return current;
+  }
+  return current;
+}
+
+BasicBlock *CfgBuilder::visitCompound(const CompoundStmt *stmt,
+                                      BasicBlock *current) {
+  for (const Stmt *sub : stmt->body()) {
+    if (current == nullptr) {
+      // Unreachable code after break/continue/return: give it its own block
+      // so analyses can still inspect it, but without an incoming edge.
+      current = newBlock();
+    }
+    current = visitStmt(sub, current);
+  }
+  return current;
+}
+
+BasicBlock *CfgBuilder::visitIf(const IfStmt *stmt, BasicBlock *current) {
+  recordLeaf(stmt, current);
+  current->setTerminator(stmt, stmt->cond());
+
+  BasicBlock *thenBlock = newBlock();
+  addEdge(current, thenBlock, EdgeKind::True);
+  BasicBlock *thenEnd = visitStmt(stmt->thenStmt(), thenBlock);
+
+  BasicBlock *elseEnd = nullptr;
+  BasicBlock *join = newBlock();
+  if (stmt->elseStmt() != nullptr) {
+    BasicBlock *elseBlock = newBlock();
+    addEdge(current, elseBlock, EdgeKind::False);
+    elseEnd = visitStmt(stmt->elseStmt(), elseBlock);
+  } else {
+    addEdge(current, join, EdgeKind::False);
+  }
+  if (thenEnd != nullptr)
+    addEdge(thenEnd, join, EdgeKind::Fallthrough);
+  if (elseEnd != nullptr)
+    addEdge(elseEnd, join, EdgeKind::Fallthrough);
+  return join;
+}
+
+BasicBlock *CfgBuilder::visitFor(const ForStmt *stmt, BasicBlock *current) {
+  if (stmt->init() != nullptr)
+    recordLeaf(stmt->init(), current);
+
+  BasicBlock *head = newBlock();
+  addEdge(current, head, EdgeKind::Fallthrough);
+  recordLeaf(stmt, head);
+  head->setTerminator(stmt, stmt->cond());
+
+  BasicBlock *exitBlock = newBlock();
+  BasicBlock *body = newBlock();
+  addEdge(head, body, EdgeKind::True);
+  addEdge(head, exitBlock, EdgeKind::False);
+
+  breakTargets_.push_back(exitBlock);
+  continueTargets_.push_back(head);
+  loopStack_.push_back(stmt);
+  BasicBlock *bodyEnd = visitStmt(stmt->body(), body);
+  loopStack_.pop_back();
+  continueTargets_.pop_back();
+  breakTargets_.pop_back();
+
+  if (bodyEnd != nullptr)
+    addEdge(bodyEnd, head, EdgeKind::LoopBack);
+  return exitBlock;
+}
+
+BasicBlock *CfgBuilder::visitWhile(const WhileStmt *stmt,
+                                   BasicBlock *current) {
+  BasicBlock *head = newBlock();
+  addEdge(current, head, EdgeKind::Fallthrough);
+  recordLeaf(stmt, head);
+  head->setTerminator(stmt, stmt->cond());
+
+  BasicBlock *exitBlock = newBlock();
+  BasicBlock *body = newBlock();
+  addEdge(head, body, EdgeKind::True);
+  addEdge(head, exitBlock, EdgeKind::False);
+
+  breakTargets_.push_back(exitBlock);
+  continueTargets_.push_back(head);
+  loopStack_.push_back(stmt);
+  BasicBlock *bodyEnd = visitStmt(stmt->body(), body);
+  loopStack_.pop_back();
+  continueTargets_.pop_back();
+  breakTargets_.pop_back();
+
+  if (bodyEnd != nullptr)
+    addEdge(bodyEnd, head, EdgeKind::LoopBack);
+  return exitBlock;
+}
+
+BasicBlock *CfgBuilder::visitDo(const DoStmt *stmt, BasicBlock *current) {
+  BasicBlock *body = newBlock();
+  addEdge(current, body, EdgeKind::Fallthrough);
+
+  BasicBlock *cond = newBlock();
+  BasicBlock *exitBlock = newBlock();
+
+  breakTargets_.push_back(exitBlock);
+  continueTargets_.push_back(cond);
+  loopStack_.push_back(stmt);
+  BasicBlock *bodyEnd = visitStmt(stmt->body(), body);
+  loopStack_.pop_back();
+  continueTargets_.pop_back();
+  breakTargets_.pop_back();
+
+  if (bodyEnd != nullptr)
+    addEdge(bodyEnd, cond, EdgeKind::Fallthrough);
+  recordLeaf(stmt, cond);
+  cond->setTerminator(stmt, stmt->cond());
+  addEdge(cond, body, EdgeKind::LoopBack);
+  addEdge(cond, exitBlock, EdgeKind::False);
+  return exitBlock;
+}
+
+BasicBlock *CfgBuilder::visitSwitch(const SwitchStmt *stmt,
+                                    BasicBlock *current) {
+  recordLeaf(stmt, current);
+  current->setTerminator(stmt, stmt->cond());
+  BasicBlock *exitBlock = newBlock();
+  breakTargets_.push_back(exitBlock);
+
+  // Model the body as a chain where each case label is also an entry from
+  // the switch head (fallthrough between cases preserved).
+  const auto *body = dynamic_cast<const CompoundStmt *>(stmt->body());
+  BasicBlock *previous = nullptr;
+  bool sawDefault = false;
+  if (body != nullptr) {
+    for (const Stmt *sub : body->body()) {
+      const bool isLabel = sub->kind() == StmtKind::Case ||
+                           sub->kind() == StmtKind::Default;
+      if (isLabel) {
+        BasicBlock *caseBlock = newBlock();
+        addEdge(current, caseBlock, EdgeKind::SwitchCase);
+        if (previous != nullptr)
+          addEdge(previous, caseBlock, EdgeKind::Fallthrough);
+        sawDefault |= sub->kind() == StmtKind::Default;
+        previous = visitStmt(sub, caseBlock);
+      } else if (previous != nullptr) {
+        previous = visitStmt(sub, previous);
+      }
+    }
+  } else if (stmt->body() != nullptr) {
+    BasicBlock *caseBlock = newBlock();
+    addEdge(current, caseBlock, EdgeKind::SwitchCase);
+    previous = visitStmt(stmt->body(), caseBlock);
+  }
+  if (previous != nullptr)
+    addEdge(previous, exitBlock, EdgeKind::Fallthrough);
+  if (!sawDefault)
+    addEdge(current, exitBlock, EdgeKind::False);
+  breakTargets_.pop_back();
+  return exitBlock;
+}
+
+BasicBlock *CfgBuilder::visitOmpDirective(const OmpDirectiveStmt *stmt,
+                                          BasicBlock *current) {
+  recordLeaf(stmt, current);
+  if (stmt->isOffloadKernel())
+    cfg_->kernels_.push_back(stmt);
+
+  if (stmt->associated() == nullptr)
+    return current; // standalone directive (target update etc.)
+
+  if (stmt->isOffloadKernel()) {
+    // Blocks inside the kernel are marked as offloaded.
+    BasicBlock *kernelEntry = newBlock();
+    offloadStack_.push_back(stmt);
+    kernelEntry->setOffloadRegion(stmt);
+    addEdge(current, kernelEntry, EdgeKind::Fallthrough);
+    BasicBlock *kernelEnd = visitStmt(stmt->associated(), kernelEntry);
+    offloadStack_.pop_back();
+    BasicBlock *after = newBlock();
+    if (kernelEnd != nullptr)
+      addEdge(kernelEnd, after, EdgeKind::Fallthrough);
+    return after;
+  }
+  // target data (and host `parallel for`): structured block on the host.
+  return visitStmt(stmt->associated(), current);
+}
+
+std::vector<std::unique_ptr<AstCfg>> buildAllCfgs(const TranslationUnit &unit) {
+  std::vector<std::unique_ptr<AstCfg>> cfgs;
+  for (const FunctionDecl *fn : unit.functions) {
+    if (!fn->isDefined())
+      continue;
+    CfgBuilder builder;
+    cfgs.push_back(builder.build(fn));
+  }
+  return cfgs;
+}
+
+} // namespace ompdart

@@ -1,0 +1,165 @@
+// Control-flow graph and the paper's hybrid AST-CFG representation.
+//
+// Each function gets a CFG whose basic blocks hold pointers back into the
+// AST (the "AST edge" of Fig. 2 in the paper); blocks inside an offload
+// kernel are marked with the owning directive. The data-flow and liveness
+// analyses traverse CFG edges while consulting the linked AST nodes for
+// access patterns — exactly the split the paper describes.
+#pragma once
+
+#include "frontend/ast.hpp"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ompdart {
+
+enum class EdgeKind {
+  Fallthrough,
+  True,     ///< Branch taken when the condition is true.
+  False,    ///< Branch taken when the condition is false.
+  LoopBack, ///< Back edge to a loop head.
+  Break,
+  Continue,
+  Return,
+  SwitchCase,
+};
+
+class BasicBlock;
+
+struct CfgEdge {
+  BasicBlock *target = nullptr;
+  EdgeKind kind = EdgeKind::Fallthrough;
+};
+
+/// A node of the CFG. `elements` lists the leaf statements/expressions the
+/// block executes in order; each points back into the AST.
+class BasicBlock {
+public:
+  explicit BasicBlock(unsigned id) : id_(id) {}
+
+  [[nodiscard]] unsigned id() const { return id_; }
+  [[nodiscard]] const std::vector<const Stmt *> &elements() const {
+    return elements_;
+  }
+  [[nodiscard]] const std::vector<CfgEdge> &successors() const {
+    return successors_;
+  }
+  [[nodiscard]] const std::vector<CfgEdge> &predecessors() const {
+    return predecessors_;
+  }
+  /// Innermost offload kernel containing this block, or null for host code.
+  [[nodiscard]] const OmpDirectiveStmt *offloadRegion() const {
+    return offloadRegion_;
+  }
+  [[nodiscard]] bool isOffloaded() const { return offloadRegion_ != nullptr; }
+  /// The branch statement that terminates this block (if/loop/switch), when
+  /// the block ends in a conditional edge pair.
+  [[nodiscard]] const Stmt *terminator() const { return terminator_; }
+  /// Condition expression evaluated at the end of this block, if any.
+  [[nodiscard]] const Expr *condition() const { return condition_; }
+
+  void appendElement(const Stmt *stmt) { elements_.push_back(stmt); }
+  void setOffloadRegion(const OmpDirectiveStmt *region) {
+    offloadRegion_ = region;
+  }
+  void setTerminator(const Stmt *stmt, const Expr *condition) {
+    terminator_ = stmt;
+    condition_ = condition;
+  }
+
+private:
+  friend class CfgBuilder;
+  unsigned id_;
+  std::vector<const Stmt *> elements_;
+  std::vector<CfgEdge> successors_;
+  std::vector<CfgEdge> predecessors_;
+  const OmpDirectiveStmt *offloadRegion_ = nullptr;
+  const Stmt *terminator_ = nullptr;
+  const Expr *condition_ = nullptr;
+};
+
+/// Hybrid AST-CFG for one function: the CFG plus AST back-links and the
+/// loop/kernel structure the mapping planner consumes.
+class AstCfg {
+public:
+  [[nodiscard]] const FunctionDecl *function() const { return function_; }
+  [[nodiscard]] BasicBlock *entry() const { return entry_; }
+  [[nodiscard]] BasicBlock *exit() const { return exit_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<BasicBlock>> &blocks()
+      const {
+    return blocks_;
+  }
+
+  /// Block that executes a given leaf statement.
+  [[nodiscard]] BasicBlock *blockOf(const Stmt *stmt) const {
+    auto it = blockOfStmt_.find(stmt);
+    return it != blockOfStmt_.end() ? it->second : nullptr;
+  }
+
+  /// Offload kernels in source order.
+  [[nodiscard]] const std::vector<const OmpDirectiveStmt *> &kernels() const {
+    return kernels_;
+  }
+
+  /// Stack of loops (outermost first) enclosing a statement. Populated for
+  /// kernels and for every leaf statement.
+  [[nodiscard]] const std::vector<const Stmt *> *
+  enclosingLoops(const Stmt *stmt) const {
+    auto it = loopStack_.find(stmt);
+    return it != loopStack_.end() ? &it->second : nullptr;
+  }
+
+  /// Number of reachable blocks (entry/exit included).
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+  /// Graphviz dot rendering (block ids, edge kinds, offload shading).
+  [[nodiscard]] std::string toDot() const;
+
+private:
+  friend class CfgBuilder;
+  const FunctionDecl *function_ = nullptr;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  BasicBlock *entry_ = nullptr;
+  BasicBlock *exit_ = nullptr;
+  std::unordered_map<const Stmt *, BasicBlock *> blockOfStmt_;
+  std::vector<const OmpDirectiveStmt *> kernels_;
+  std::unordered_map<const Stmt *, std::vector<const Stmt *>> loopStack_;
+};
+
+/// Builds the AST-CFG for a function definition.
+class CfgBuilder {
+public:
+  [[nodiscard]] std::unique_ptr<AstCfg> build(const FunctionDecl *fn);
+
+private:
+  BasicBlock *newBlock();
+  void addEdge(BasicBlock *from, BasicBlock *to, EdgeKind kind);
+  /// Visits a statement, threading the "current" block; returns the block
+  /// control flow continues in (null when the path terminated, e.g. return).
+  BasicBlock *visitStmt(const Stmt *stmt, BasicBlock *current);
+  BasicBlock *visitCompound(const CompoundStmt *stmt, BasicBlock *current);
+  BasicBlock *visitIf(const IfStmt *stmt, BasicBlock *current);
+  BasicBlock *visitFor(const ForStmt *stmt, BasicBlock *current);
+  BasicBlock *visitWhile(const WhileStmt *stmt, BasicBlock *current);
+  BasicBlock *visitDo(const DoStmt *stmt, BasicBlock *current);
+  BasicBlock *visitSwitch(const SwitchStmt *stmt, BasicBlock *current);
+  BasicBlock *visitOmpDirective(const OmpDirectiveStmt *stmt,
+                                BasicBlock *current);
+  void recordLeaf(const Stmt *stmt, BasicBlock *block);
+
+  AstCfg *cfg_ = nullptr;
+  unsigned nextId_ = 0;
+  std::vector<BasicBlock *> breakTargets_;
+  std::vector<BasicBlock *> continueTargets_;
+  std::vector<const OmpDirectiveStmt *> offloadStack_;
+  std::vector<const Stmt *> loopStack_;
+};
+
+/// Builds AST-CFGs for every defined function in the unit.
+[[nodiscard]] std::vector<std::unique_ptr<AstCfg>>
+buildAllCfgs(const TranslationUnit &unit);
+
+} // namespace ompdart

@@ -1,0 +1,75 @@
+// OMPDart tool façade: the full source-to-source pipeline of Fig. 1 in the
+// paper (Clang-equivalent front end -> AST-CFG -> interprocedural pass ->
+// data-flow analysis -> rewriter), plus the Table IV complexity counters and
+// Table V tool-overhead timing.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "mapping/planner.hpp"
+#include "support/diagnostics.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ompdart {
+
+/// Benchmark data-mapping complexity metrics (paper Table IV).
+struct ComplexityMetrics {
+  unsigned kernels = 0;
+  unsigned offloadedLines = 0;
+  unsigned mappedVariables = 0;
+  /// Paper's formula: kernels*vars*4 + (lines/2)*vars*3, where `lines`
+  /// counts the lines of functions containing kernels.
+  std::uint64_t possibleMappings = 0;
+};
+
+struct ToolOptions {
+  PlannerOptions planner;
+  /// Reject inputs that already contain target data / target update
+  /// directives (paper §IV-A: the expected input has none).
+  bool rejectExistingDataDirectives = true;
+};
+
+struct ToolResult {
+  bool success = false;
+  /// Transformed source (original text when the tool failed).
+  std::string output;
+  /// The parsed AST backing `plan` (plan nodes point into it); kept alive
+  /// so callers can inspect the plan after the tool returns.
+  std::shared_ptr<ASTContext> ast;
+  MappingPlan plan;
+  ComplexityMetrics metrics;
+  /// All diagnostics from parsing and planning.
+  std::vector<Diagnostic> diagnostics;
+  /// Wall-clock seconds the tool spent (Table V).
+  double toolSeconds = 0.0;
+
+  [[nodiscard]] bool hasErrors() const {
+    for (const Diagnostic &diag : diagnostics)
+      if (diag.severity == Severity::Error)
+        return true;
+    return false;
+  }
+};
+
+/// Runs OMPDart on one translation unit.
+class OmpDartTool {
+public:
+  explicit OmpDartTool(ToolOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] ToolResult run(const std::string &fileName,
+                               const std::string &source) const;
+
+private:
+  ToolOptions options_;
+};
+
+/// One-call helper.
+[[nodiscard]] ToolResult runOmpDart(const std::string &source,
+                                    ToolOptions options = {});
+
+/// Computes Table IV metrics for a source (independent of transformation).
+[[nodiscard]] ComplexityMetrics computeComplexity(const std::string &source);
+
+} // namespace ompdart

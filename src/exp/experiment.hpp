@@ -1,0 +1,105 @@
+// Experiment harness: regenerates the paper's evaluation (Figures 3-6,
+// Tables III-V). For each benchmark it runs the three variants of §V —
+// unoptimized (implicit rules), OMPDart (tool output on the unoptimized
+// source) and expert (hand mappings) — through the interpreter + simulated
+// runtime, checks output equality (the paper's correctness criterion), and
+// derives transfer/runtime comparisons from the ledgers and cost model.
+#pragma once
+
+#include "sim/runtime.hpp"
+#include "suite/benchmarks.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompdart::exp {
+
+/// Measurements for one benchmark variant.
+struct VariantResult {
+  std::string name; ///< "unoptimized" | "ompdart" | "expert"
+  bool ok = false;
+  std::string error;
+  std::string output;
+  std::uint64_t bytesHtoD = 0;
+  std::uint64_t bytesDtoH = 0;
+  unsigned callsHtoD = 0;
+  unsigned callsDtoH = 0;
+  unsigned kernelLaunches = 0;
+  double transferSeconds = 0.0;
+  double totalSeconds = 0.0;
+
+  [[nodiscard]] std::uint64_t totalBytes() const {
+    return bytesHtoD + bytesDtoH;
+  }
+  [[nodiscard]] unsigned totalCalls() const { return callsHtoD + callsDtoH; }
+};
+
+/// Full comparison for one benchmark (one row of each figure).
+struct BenchmarkComparison {
+  std::string name;
+  suite::PaperReference paper;
+  VariantResult unoptimized;
+  VariantResult ompdart;
+  VariantResult expert;
+  /// The paper's correctness criterion: outputs identical across variants.
+  bool outputsMatch = false;
+  /// Tool execution time on this benchmark (Table V).
+  double toolSeconds = 0.0;
+  /// Complexity metrics of this benchmark measured on our re-authoring.
+  unsigned kernels = 0;
+  unsigned offloadedLines = 0;
+  unsigned mappedVariables = 0;
+  std::uint64_t possibleMappings = 0;
+  /// The tool's transformed source (for inspection/examples).
+  std::string transformedSource;
+
+  [[nodiscard]] double speedup(const VariantResult &variant) const {
+    return variant.totalSeconds > 0.0
+               ? unoptimized.totalSeconds / variant.totalSeconds
+               : 0.0;
+  }
+  [[nodiscard]] double transferReduction(const VariantResult &variant) const {
+    return variant.totalBytes() > 0
+               ? static_cast<double>(unoptimized.totalBytes()) /
+                     static_cast<double>(variant.totalBytes())
+               : 0.0;
+  }
+  [[nodiscard]] double
+  transferTimeImprovement(const VariantResult &variant) const {
+    return variant.transferSeconds > 0.0
+               ? unoptimized.transferSeconds / variant.transferSeconds
+               : 0.0;
+  }
+};
+
+/// Runs all three variants of one benchmark.
+[[nodiscard]] BenchmarkComparison runBenchmark(const suite::BenchmarkDef &def,
+                                               const sim::CostModel &model = {});
+
+/// Runs the full nine-benchmark suite.
+[[nodiscard]] std::vector<BenchmarkComparison>
+runAllBenchmarks(const sim::CostModel &model = {});
+
+/// Geometric mean over positive values (the paper's summary statistic).
+[[nodiscard]] double geometricMean(const std::vector<double> &values);
+
+// --- Paper-style table renderers (one per table/figure) ---
+[[nodiscard]] std::string renderTable3();
+[[nodiscard]] std::string
+renderTable4(const std::vector<BenchmarkComparison> &results);
+[[nodiscard]] std::string
+renderTable5(const std::vector<BenchmarkComparison> &results);
+[[nodiscard]] std::string
+renderFigure3(const std::vector<BenchmarkComparison> &results);
+[[nodiscard]] std::string
+renderFigure4(const std::vector<BenchmarkComparison> &results);
+[[nodiscard]] std::string
+renderFigure5(const std::vector<BenchmarkComparison> &results);
+[[nodiscard]] std::string
+renderFigure6(const std::vector<BenchmarkComparison> &results);
+
+/// Human-readable byte count ("1.2 MB").
+[[nodiscard]] std::string formatBytes(std::uint64_t bytes);
+
+} // namespace ompdart::exp

@@ -1,0 +1,230 @@
+#include "frontend/ast.hpp"
+
+namespace ompdart {
+
+bool isAssignmentOp(BinaryOp op) {
+  switch (op) {
+  case BinaryOp::Assign:
+  case BinaryOp::MulAssign:
+  case BinaryOp::DivAssign:
+  case BinaryOp::RemAssign:
+  case BinaryOp::AddAssign:
+  case BinaryOp::SubAssign:
+  case BinaryOp::ShlAssign:
+  case BinaryOp::ShrAssign:
+  case BinaryOp::AndAssign:
+  case BinaryOp::XorAssign:
+  case BinaryOp::OrAssign:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isCompoundAssignmentOp(BinaryOp op) {
+  return isAssignmentOp(op) && op != BinaryOp::Assign;
+}
+
+const char *binaryOpSpelling(BinaryOp op) {
+  switch (op) {
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::LT:
+    return "<";
+  case BinaryOp::GT:
+    return ">";
+  case BinaryOp::LE:
+    return "<=";
+  case BinaryOp::GE:
+    return ">=";
+  case BinaryOp::EQ:
+    return "==";
+  case BinaryOp::NE:
+    return "!=";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::LAnd:
+    return "&&";
+  case BinaryOp::LOr:
+    return "||";
+  case BinaryOp::Assign:
+    return "=";
+  case BinaryOp::MulAssign:
+    return "*=";
+  case BinaryOp::DivAssign:
+    return "/=";
+  case BinaryOp::RemAssign:
+    return "%=";
+  case BinaryOp::AddAssign:
+    return "+=";
+  case BinaryOp::SubAssign:
+    return "-=";
+  case BinaryOp::ShlAssign:
+    return "<<=";
+  case BinaryOp::ShrAssign:
+    return ">>=";
+  case BinaryOp::AndAssign:
+    return "&=";
+  case BinaryOp::XorAssign:
+    return "^=";
+  case BinaryOp::OrAssign:
+    return "|=";
+  case BinaryOp::Comma:
+    return ",";
+  }
+  return "?";
+}
+
+const char *unaryOpSpelling(UnaryOp op) {
+  switch (op) {
+  case UnaryOp::Plus:
+    return "+";
+  case UnaryOp::Minus:
+    return "-";
+  case UnaryOp::Not:
+    return "~";
+  case UnaryOp::LNot:
+    return "!";
+  case UnaryOp::Deref:
+    return "*";
+  case UnaryOp::AddrOf:
+    return "&";
+  case UnaryOp::PreInc:
+  case UnaryOp::PostInc:
+    return "++";
+  case UnaryOp::PreDec:
+  case UnaryOp::PostDec:
+    return "--";
+  }
+  return "?";
+}
+
+const Expr *ignoreParensAndCasts(const Expr *expr) {
+  while (expr != nullptr) {
+    if (expr->kind() == ExprKind::Paren) {
+      expr = static_cast<const ParenExpr *>(expr)->inner();
+      continue;
+    }
+    if (expr->kind() == ExprKind::Cast) {
+      expr = static_cast<const CastExpr *>(expr)->operand();
+      continue;
+    }
+    break;
+  }
+  return expr;
+}
+
+Expr *ignoreParensAndCasts(Expr *expr) {
+  return const_cast<Expr *>(
+      ignoreParensAndCasts(static_cast<const Expr *>(expr)));
+}
+
+VarDecl *referencedVar(const Expr *expr) {
+  expr = ignoreParensAndCasts(expr);
+  if (expr == nullptr)
+    return nullptr;
+  if (expr->kind() == ExprKind::DeclRef)
+    return static_cast<const DeclRefExpr *>(expr)->decl();
+  return nullptr;
+}
+
+bool isOffloadKernelDirective(OmpDirectiveKind kind) {
+  switch (kind) {
+  case OmpDirectiveKind::Target:
+  case OmpDirectiveKind::TargetParallel:
+  case OmpDirectiveKind::TargetParallelFor:
+  case OmpDirectiveKind::TargetParallelForSimd:
+  case OmpDirectiveKind::TargetParallelLoop:
+  case OmpDirectiveKind::TargetSimd:
+  case OmpDirectiveKind::TargetTeams:
+  case OmpDirectiveKind::TargetTeamsDistribute:
+  case OmpDirectiveKind::TargetTeamsDistributeParallelFor:
+  case OmpDirectiveKind::TargetTeamsDistributeParallelForSimd:
+  case OmpDirectiveKind::TargetTeamsDistributeSimd:
+  case OmpDirectiveKind::TargetTeamsLoop:
+    return true;
+  case OmpDirectiveKind::TargetData:
+  case OmpDirectiveKind::TargetEnterData:
+  case OmpDirectiveKind::TargetExitData:
+  case OmpDirectiveKind::TargetUpdate:
+  case OmpDirectiveKind::ParallelFor:
+    return false;
+  }
+  return false;
+}
+
+const char *directiveSpelling(OmpDirectiveKind kind) {
+  switch (kind) {
+  case OmpDirectiveKind::Target:
+    return "target";
+  case OmpDirectiveKind::TargetParallel:
+    return "target parallel";
+  case OmpDirectiveKind::TargetParallelFor:
+    return "target parallel for";
+  case OmpDirectiveKind::TargetParallelForSimd:
+    return "target parallel for simd";
+  case OmpDirectiveKind::TargetParallelLoop:
+    return "target parallel loop";
+  case OmpDirectiveKind::TargetSimd:
+    return "target simd";
+  case OmpDirectiveKind::TargetTeams:
+    return "target teams";
+  case OmpDirectiveKind::TargetTeamsDistribute:
+    return "target teams distribute";
+  case OmpDirectiveKind::TargetTeamsDistributeParallelFor:
+    return "target teams distribute parallel for";
+  case OmpDirectiveKind::TargetTeamsDistributeParallelForSimd:
+    return "target teams distribute parallel for simd";
+  case OmpDirectiveKind::TargetTeamsDistributeSimd:
+    return "target teams distribute simd";
+  case OmpDirectiveKind::TargetTeamsLoop:
+    return "target teams loop";
+  case OmpDirectiveKind::TargetData:
+    return "target data";
+  case OmpDirectiveKind::TargetEnterData:
+    return "target enter data";
+  case OmpDirectiveKind::TargetExitData:
+    return "target exit data";
+  case OmpDirectiveKind::TargetUpdate:
+    return "target update";
+  case OmpDirectiveKind::ParallelFor:
+    return "parallel for";
+  }
+  return "?";
+}
+
+const char *mapTypeSpelling(OmpMapType type) {
+  switch (type) {
+  case OmpMapType::To:
+    return "to";
+  case OmpMapType::From:
+    return "from";
+  case OmpMapType::ToFrom:
+    return "tofrom";
+  case OmpMapType::Alloc:
+    return "alloc";
+  case OmpMapType::Release:
+    return "release";
+  case OmpMapType::Delete:
+    return "delete";
+  }
+  return "?";
+}
+
+} // namespace ompdart

@@ -1,0 +1,764 @@
+// Typed AST for the C subset with OpenMP offload directives. Mirrors the
+// Clang node inventory that OMPDart consumes (Table I of the paper) closely
+// enough that the paper's analyses translate one-to-one. All nodes are owned
+// by an ASTContext arena and passed around as raw non-owning pointers.
+#pragma once
+
+#include "frontend/type.hpp"
+#include "support/source_location.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+class Expr;
+class Stmt;
+class VarDecl;
+class FunctionDecl;
+class RecordDecl;
+class CompoundStmt;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+  DeclRef,
+  ArraySubscript,
+  Member,
+  Call,
+  Unary,
+  Binary,
+  Conditional,
+  Cast,
+  Paren,
+  InitList,
+  Sizeof,
+};
+
+enum class UnaryOp {
+  Plus,
+  Minus,
+  Not,     // ~
+  LNot,    // !
+  Deref,   // *
+  AddrOf,  // &
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+};
+
+enum class BinaryOp {
+  Mul,
+  Div,
+  Rem,
+  Add,
+  Sub,
+  Shl,
+  Shr,
+  LT,
+  GT,
+  LE,
+  GE,
+  EQ,
+  NE,
+  BitAnd,
+  BitXor,
+  BitOr,
+  LAnd,
+  LOr,
+  Assign,
+  MulAssign,
+  DivAssign,
+  RemAssign,
+  AddAssign,
+  SubAssign,
+  ShlAssign,
+  ShrAssign,
+  AndAssign,
+  XorAssign,
+  OrAssign,
+  Comma,
+};
+
+[[nodiscard]] bool isAssignmentOp(BinaryOp op);
+[[nodiscard]] bool isCompoundAssignmentOp(BinaryOp op);
+[[nodiscard]] const char *binaryOpSpelling(BinaryOp op);
+[[nodiscard]] const char *unaryOpSpelling(UnaryOp op);
+
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] const Type *type() const { return type_; }
+  [[nodiscard]] SourceRange range() const { return range_; }
+
+  void setType(const Type *type) { type_ = type; }
+  void setRange(SourceRange range) { range_ = range; }
+
+protected:
+  Expr(ExprKind kind, const Type *type) : kind_(kind), type_(type) {}
+
+private:
+  ExprKind kind_;
+  const Type *type_ = nullptr;
+  SourceRange range_;
+};
+
+class IntLiteralExpr final : public Expr {
+public:
+  IntLiteralExpr(std::int64_t value, const Type *type)
+      : Expr(ExprKind::IntLiteral, type), value_(value) {}
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+private:
+  std::int64_t value_;
+};
+
+class FloatLiteralExpr final : public Expr {
+public:
+  FloatLiteralExpr(double value, const Type *type)
+      : Expr(ExprKind::FloatLiteral, type), value_(value) {}
+  [[nodiscard]] double value() const { return value_; }
+
+private:
+  double value_;
+};
+
+class CharLiteralExpr final : public Expr {
+public:
+  CharLiteralExpr(char value, const Type *type)
+      : Expr(ExprKind::CharLiteral, type), value_(value) {}
+  [[nodiscard]] char value() const { return value_; }
+
+private:
+  char value_;
+};
+
+class StringLiteralExpr final : public Expr {
+public:
+  StringLiteralExpr(std::string value, const Type *type)
+      : Expr(ExprKind::StringLiteral, type), value_(std::move(value)) {}
+  [[nodiscard]] const std::string &value() const { return value_; }
+
+private:
+  std::string value_;
+};
+
+class DeclRefExpr final : public Expr {
+public:
+  DeclRefExpr(VarDecl *decl, const Type *type)
+      : Expr(ExprKind::DeclRef, type), decl_(decl) {}
+  [[nodiscard]] VarDecl *decl() const { return decl_; }
+
+private:
+  VarDecl *decl_;
+};
+
+class ArraySubscriptExpr final : public Expr {
+public:
+  ArraySubscriptExpr(Expr *base, Expr *index, const Type *type)
+      : Expr(ExprKind::ArraySubscript, type), base_(base), index_(index) {}
+  [[nodiscard]] Expr *base() const { return base_; }
+  [[nodiscard]] Expr *index() const { return index_; }
+
+private:
+  Expr *base_;
+  Expr *index_;
+};
+
+class MemberExpr final : public Expr {
+public:
+  MemberExpr(Expr *base, std::string member, bool isArrow, const Type *type)
+      : Expr(ExprKind::Member, type), base_(base), member_(std::move(member)),
+        isArrow_(isArrow) {}
+  [[nodiscard]] Expr *base() const { return base_; }
+  [[nodiscard]] const std::string &member() const { return member_; }
+  [[nodiscard]] bool isArrow() const { return isArrow_; }
+
+private:
+  Expr *base_;
+  std::string member_;
+  bool isArrow_;
+};
+
+class CallExpr final : public Expr {
+public:
+  CallExpr(std::string calleeName, FunctionDecl *callee,
+           std::vector<Expr *> args, const Type *type)
+      : Expr(ExprKind::Call, type), calleeName_(std::move(calleeName)),
+        callee_(callee), args_(std::move(args)) {}
+  [[nodiscard]] const std::string &calleeName() const { return calleeName_; }
+  /// Resolved declaration; null for builtins (printf, exp, malloc, ...).
+  [[nodiscard]] FunctionDecl *callee() const { return callee_; }
+  [[nodiscard]] const std::vector<Expr *> &args() const { return args_; }
+
+private:
+  std::string calleeName_;
+  FunctionDecl *callee_;
+  std::vector<Expr *> args_;
+};
+
+class UnaryExpr final : public Expr {
+public:
+  UnaryExpr(UnaryOp op, Expr *operand, const Type *type)
+      : Expr(ExprKind::Unary, type), op_(op), operand_(operand) {}
+  [[nodiscard]] UnaryOp op() const { return op_; }
+  [[nodiscard]] Expr *operand() const { return operand_; }
+
+private:
+  UnaryOp op_;
+  Expr *operand_;
+};
+
+class BinaryExpr final : public Expr {
+public:
+  BinaryExpr(BinaryOp op, Expr *lhs, Expr *rhs, const Type *type)
+      : Expr(ExprKind::Binary, type), op_(op), lhs_(lhs), rhs_(rhs) {}
+  [[nodiscard]] BinaryOp op() const { return op_; }
+  [[nodiscard]] Expr *lhs() const { return lhs_; }
+  [[nodiscard]] Expr *rhs() const { return rhs_; }
+
+private:
+  BinaryOp op_;
+  Expr *lhs_;
+  Expr *rhs_;
+};
+
+class ConditionalExpr final : public Expr {
+public:
+  ConditionalExpr(Expr *cond, Expr *trueExpr, Expr *falseExpr,
+                  const Type *type)
+      : Expr(ExprKind::Conditional, type), cond_(cond), trueExpr_(trueExpr),
+        falseExpr_(falseExpr) {}
+  [[nodiscard]] Expr *cond() const { return cond_; }
+  [[nodiscard]] Expr *trueExpr() const { return trueExpr_; }
+  [[nodiscard]] Expr *falseExpr() const { return falseExpr_; }
+
+private:
+  Expr *cond_;
+  Expr *trueExpr_;
+  Expr *falseExpr_;
+};
+
+class CastExpr final : public Expr {
+public:
+  CastExpr(const Type *target, Expr *operand)
+      : Expr(ExprKind::Cast, target), operand_(operand) {}
+  [[nodiscard]] Expr *operand() const { return operand_; }
+
+private:
+  Expr *operand_;
+};
+
+class ParenExpr final : public Expr {
+public:
+  explicit ParenExpr(Expr *inner)
+      : Expr(ExprKind::Paren, inner->type()), inner_(inner) {}
+  [[nodiscard]] Expr *inner() const { return inner_; }
+
+private:
+  Expr *inner_;
+};
+
+class InitListExpr final : public Expr {
+public:
+  InitListExpr(std::vector<Expr *> inits, const Type *type)
+      : Expr(ExprKind::InitList, type), inits_(std::move(inits)) {}
+  [[nodiscard]] const std::vector<Expr *> &inits() const { return inits_; }
+
+private:
+  std::vector<Expr *> inits_;
+};
+
+class SizeofExpr final : public Expr {
+public:
+  SizeofExpr(const Type *argument, const Type *type)
+      : Expr(ExprKind::Sizeof, type), argument_(argument) {}
+  /// The type whose size is queried (sizeof(expr) is normalized to the
+  /// expression's type at parse time).
+  [[nodiscard]] const Type *argument() const { return argument_; }
+
+private:
+  const Type *argument_;
+};
+
+/// Strips ParenExpr and CastExpr wrappers.
+[[nodiscard]] const Expr *ignoreParensAndCasts(const Expr *expr);
+[[nodiscard]] Expr *ignoreParensAndCasts(Expr *expr);
+
+/// If `expr` (after stripping) refers to a variable, returns it.
+[[nodiscard]] VarDecl *referencedVar(const Expr *expr);
+
+// ---------------------------------------------------------------------------
+// OpenMP directives
+// ---------------------------------------------------------------------------
+
+/// Directive kinds recognized by the front end. The offload-kernel subset
+/// matches Table I of the paper exactly.
+enum class OmpDirectiveKind {
+  Target,
+  TargetParallel,
+  TargetParallelFor,
+  TargetParallelForSimd,
+  TargetParallelLoop,
+  TargetSimd,
+  TargetTeams,
+  TargetTeamsDistribute,
+  TargetTeamsDistributeParallelFor,
+  TargetTeamsDistributeParallelForSimd,
+  TargetTeamsDistributeSimd,
+  TargetTeamsLoop,
+  TargetData,
+  TargetEnterData,
+  TargetExitData,
+  TargetUpdate,
+  ParallelFor, ///< Host-side `omp parallel for` (not an offload kernel).
+};
+
+/// True for every directive in Table I (all target directives except
+/// target (enter/exit) data and target update).
+[[nodiscard]] bool isOffloadKernelDirective(OmpDirectiveKind kind);
+[[nodiscard]] const char *directiveSpelling(OmpDirectiveKind kind);
+
+enum class OmpClauseKind {
+  Map,
+  FirstPrivate,
+  Private,
+  Shared,
+  Reduction,
+  NumTeams,
+  ThreadLimit,
+  NumThreads,
+  Collapse,
+  UpdateTo,
+  UpdateFrom,
+  Device,
+  If,
+  Schedule,
+  DefaultMap,
+  Simdlen,
+  Nowait,
+};
+
+enum class OmpMapType { To, From, ToFrom, Alloc, Release, Delete };
+
+[[nodiscard]] const char *mapTypeSpelling(OmpMapType type);
+
+/// One dimension of an OpenMP array section `[lower : length]`. A plain
+/// subscript `[i]` is a section with length == nullptr.
+struct OmpArraySectionDim {
+  Expr *lower = nullptr;
+  Expr *length = nullptr;
+};
+
+/// A list item in a map/update/firstprivate clause.
+struct OmpObject {
+  VarDecl *var = nullptr;
+  std::string spelling; ///< Original item text, e.g. "a[0:n]".
+  std::vector<OmpArraySectionDim> sections;
+  SourceRange range;
+};
+
+struct OmpClause {
+  OmpClauseKind kind = OmpClauseKind::Map;
+  OmpMapType mapType = OmpMapType::ToFrom;
+  std::vector<OmpObject> objects;
+  Expr *value = nullptr;        ///< num_teams(...), collapse(...), etc.
+  std::string reductionOp;      ///< "+", "max", ... for reduction clauses.
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  Compound,
+  Decl,
+  Expr,
+  If,
+  For,
+  While,
+  Do,
+  Switch,
+  Case,
+  Default,
+  Break,
+  Continue,
+  Return,
+  Null,
+  OmpDirective,
+};
+
+class Stmt {
+public:
+  virtual ~Stmt() = default;
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] SourceRange range() const { return range_; }
+  void setRange(SourceRange range) { range_ = range; }
+
+protected:
+  explicit Stmt(StmtKind kind) : kind_(kind) {}
+
+private:
+  StmtKind kind_;
+  SourceRange range_;
+};
+
+class CompoundStmt final : public Stmt {
+public:
+  explicit CompoundStmt(std::vector<Stmt *> body)
+      : Stmt(StmtKind::Compound), body_(std::move(body)) {}
+  [[nodiscard]] const std::vector<Stmt *> &body() const { return body_; }
+
+private:
+  std::vector<Stmt *> body_;
+};
+
+class DeclStmt final : public Stmt {
+public:
+  explicit DeclStmt(std::vector<VarDecl *> decls)
+      : Stmt(StmtKind::Decl), decls_(std::move(decls)) {}
+  [[nodiscard]] const std::vector<VarDecl *> &decls() const { return decls_; }
+
+private:
+  std::vector<VarDecl *> decls_;
+};
+
+class ExprStmt final : public Stmt {
+public:
+  explicit ExprStmt(Expr *expr) : Stmt(StmtKind::Expr), expr_(expr) {}
+  [[nodiscard]] Expr *expr() const { return expr_; }
+
+private:
+  Expr *expr_;
+};
+
+class IfStmt final : public Stmt {
+public:
+  IfStmt(Expr *cond, Stmt *thenStmt, Stmt *elseStmt)
+      : Stmt(StmtKind::If), cond_(cond), then_(thenStmt), else_(elseStmt) {}
+  [[nodiscard]] Expr *cond() const { return cond_; }
+  [[nodiscard]] Stmt *thenStmt() const { return then_; }
+  [[nodiscard]] Stmt *elseStmt() const { return else_; }
+
+private:
+  Expr *cond_;
+  Stmt *then_;
+  Stmt *else_;
+};
+
+class ForStmt final : public Stmt {
+public:
+  ForStmt(Stmt *init, Expr *cond, Expr *inc, Stmt *body)
+      : Stmt(StmtKind::For), init_(init), cond_(cond), inc_(inc),
+        body_(body) {}
+  [[nodiscard]] Stmt *init() const { return init_; }
+  [[nodiscard]] Expr *cond() const { return cond_; }
+  [[nodiscard]] Expr *inc() const { return inc_; }
+  [[nodiscard]] Stmt *body() const { return body_; }
+
+private:
+  Stmt *init_;
+  Expr *cond_;
+  Expr *inc_;
+  Stmt *body_;
+};
+
+class WhileStmt final : public Stmt {
+public:
+  WhileStmt(Expr *cond, Stmt *body)
+      : Stmt(StmtKind::While), cond_(cond), body_(body) {}
+  [[nodiscard]] Expr *cond() const { return cond_; }
+  [[nodiscard]] Stmt *body() const { return body_; }
+
+private:
+  Expr *cond_;
+  Stmt *body_;
+};
+
+class DoStmt final : public Stmt {
+public:
+  DoStmt(Stmt *body, Expr *cond)
+      : Stmt(StmtKind::Do), body_(body), cond_(cond) {}
+  [[nodiscard]] Stmt *body() const { return body_; }
+  [[nodiscard]] Expr *cond() const { return cond_; }
+
+private:
+  Stmt *body_;
+  Expr *cond_;
+};
+
+class SwitchStmt final : public Stmt {
+public:
+  SwitchStmt(Expr *cond, Stmt *body)
+      : Stmt(StmtKind::Switch), cond_(cond), body_(body) {}
+  [[nodiscard]] Expr *cond() const { return cond_; }
+  [[nodiscard]] Stmt *body() const { return body_; }
+
+private:
+  Expr *cond_;
+  Stmt *body_;
+};
+
+class CaseStmt final : public Stmt {
+public:
+  CaseStmt(Expr *value, Stmt *sub)
+      : Stmt(StmtKind::Case), value_(value), sub_(sub) {}
+  [[nodiscard]] Expr *value() const { return value_; }
+  [[nodiscard]] Stmt *sub() const { return sub_; }
+
+private:
+  Expr *value_;
+  Stmt *sub_;
+};
+
+class DefaultStmt final : public Stmt {
+public:
+  explicit DefaultStmt(Stmt *sub) : Stmt(StmtKind::Default), sub_(sub) {}
+  [[nodiscard]] Stmt *sub() const { return sub_; }
+
+private:
+  Stmt *sub_;
+};
+
+class BreakStmt final : public Stmt {
+public:
+  BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+class ContinueStmt final : public Stmt {
+public:
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+class ReturnStmt final : public Stmt {
+public:
+  explicit ReturnStmt(Expr *value) : Stmt(StmtKind::Return), value_(value) {}
+  [[nodiscard]] Expr *value() const { return value_; }
+
+private:
+  Expr *value_;
+};
+
+class NullStmt final : public Stmt {
+public:
+  NullStmt() : Stmt(StmtKind::Null) {}
+};
+
+/// An OpenMP directive plus (when present) the statement it is associated
+/// with. `pragmaRange` spans the pragma line itself so the rewriter can
+/// append clauses to it.
+class OmpDirectiveStmt final : public Stmt {
+public:
+  OmpDirectiveStmt(OmpDirectiveKind directive, std::vector<OmpClause> clauses,
+                   Stmt *associated, SourceRange pragmaRange)
+      : Stmt(StmtKind::OmpDirective), directive_(directive),
+        clauses_(std::move(clauses)), associated_(associated),
+        pragmaRange_(pragmaRange) {}
+
+  [[nodiscard]] OmpDirectiveKind directive() const { return directive_; }
+  [[nodiscard]] const std::vector<OmpClause> &clauses() const {
+    return clauses_;
+  }
+  [[nodiscard]] std::vector<OmpClause> &clauses() { return clauses_; }
+  /// Null for standalone directives (target update, enter/exit data).
+  [[nodiscard]] Stmt *associated() const { return associated_; }
+  [[nodiscard]] SourceRange pragmaRange() const { return pragmaRange_; }
+  [[nodiscard]] bool isOffloadKernel() const {
+    return isOffloadKernelDirective(directive_);
+  }
+
+private:
+  OmpDirectiveKind directive_;
+  std::vector<OmpClause> clauses_;
+  Stmt *associated_;
+  SourceRange pragmaRange_;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+class VarDecl {
+public:
+  VarDecl(std::string name, const Type *type)
+      : name_(std::move(name)), type_(type) {}
+
+  [[nodiscard]] const std::string &name() const { return name_; }
+  [[nodiscard]] const Type *type() const { return type_; }
+  [[nodiscard]] Expr *init() const { return init_; }
+  [[nodiscard]] bool isGlobal() const { return isGlobal_; }
+  [[nodiscard]] bool isParam() const { return isParam_; }
+  [[nodiscard]] bool isConst() const { return isConst_; }
+  [[nodiscard]] bool isStatic() const { return isStatic_; }
+  [[nodiscard]] SourceRange range() const { return range_; }
+  /// Range of the whole declaration statement; used for the paper's
+  /// "declaration must precede the target data region" check.
+  [[nodiscard]] SourceRange declStmtRange() const { return declStmtRange_; }
+
+  void setInit(Expr *init) { init_ = init; }
+  void setGlobal(bool value) { isGlobal_ = value; }
+  void setParam(bool value) { isParam_ = value; }
+  void setConst(bool value) { isConst_ = value; }
+  void setStatic(bool value) { isStatic_ = value; }
+  void setRange(SourceRange range) { range_ = range; }
+  void setDeclStmtRange(SourceRange range) { declStmtRange_ = range; }
+
+private:
+  std::string name_;
+  const Type *type_;
+  Expr *init_ = nullptr;
+  bool isGlobal_ = false;
+  bool isParam_ = false;
+  bool isConst_ = false;
+  bool isStatic_ = false;
+  SourceRange range_;
+  SourceRange declStmtRange_;
+};
+
+struct FieldDecl {
+  std::string name;
+  const Type *type = nullptr;
+  std::uint64_t offset = 0; ///< Packed byte offset within the record.
+};
+
+class RecordDecl {
+public:
+  explicit RecordDecl(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string &name() const { return name_; }
+  [[nodiscard]] const std::vector<FieldDecl> &fields() const {
+    return fields_;
+  }
+  [[nodiscard]] std::uint64_t sizeInBytes() const { return size_; }
+
+  void addField(std::string name, const Type *type) {
+    fields_.push_back(FieldDecl{std::move(name), type, size_});
+    size_ += type->sizeInBytes();
+  }
+  [[nodiscard]] const FieldDecl *findField(const std::string &name) const {
+    for (const FieldDecl &field : fields_)
+      if (field.name == name)
+        return &field;
+    return nullptr;
+  }
+
+private:
+  std::string name_;
+  std::vector<FieldDecl> fields_;
+  std::uint64_t size_ = 0;
+};
+
+class FunctionDecl {
+public:
+  FunctionDecl(std::string name, const Type *returnType,
+               std::vector<VarDecl *> params)
+      : name_(std::move(name)), returnType_(returnType),
+        params_(std::move(params)) {}
+
+  [[nodiscard]] const std::string &name() const { return name_; }
+  [[nodiscard]] const Type *returnType() const { return returnType_; }
+  [[nodiscard]] const std::vector<VarDecl *> &params() const {
+    return params_;
+  }
+  [[nodiscard]] CompoundStmt *body() const { return body_; }
+  [[nodiscard]] bool isDefined() const { return body_ != nullptr; }
+  [[nodiscard]] SourceRange range() const { return range_; }
+
+  void setBody(CompoundStmt *body) { body_ = body; }
+  void setRange(SourceRange range) { range_ = range; }
+  /// Rebinds parameters when a definition follows a prototype, so analyses
+  /// see the VarDecls the body actually references.
+  void setParams(std::vector<VarDecl *> params) { params_ = std::move(params); }
+
+private:
+  std::string name_;
+  const Type *returnType_;
+  std::vector<VarDecl *> params_;
+  CompoundStmt *body_ = nullptr;
+  SourceRange range_;
+};
+
+// ---------------------------------------------------------------------------
+// Translation unit & context
+// ---------------------------------------------------------------------------
+
+struct TranslationUnit {
+  std::vector<VarDecl *> globals;
+  std::vector<FunctionDecl *> functions;
+  std::vector<RecordDecl *> records;
+
+  [[nodiscard]] FunctionDecl *findFunction(const std::string &name) const {
+    for (FunctionDecl *fn : functions)
+      if (fn->name() == name)
+        return fn;
+    return nullptr;
+  }
+};
+
+/// Arena owning every AST node, declaration and type for one parse.
+class ASTContext {
+public:
+  ASTContext() = default;
+  ASTContext(const ASTContext &) = delete;
+  ASTContext &operator=(const ASTContext &) = delete;
+
+  [[nodiscard]] TypeContext &types() { return types_; }
+  [[nodiscard]] const TypeContext &types() const { return types_; }
+  [[nodiscard]] TranslationUnit &unit() { return unit_; }
+  [[nodiscard]] const TranslationUnit &unit() const { return unit_; }
+
+  template <typename T, typename... Args> T *createExpr(Args &&...args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T *raw = node.get();
+    exprs_.push_back(std::move(node));
+    return raw;
+  }
+  template <typename T, typename... Args> T *createStmt(Args &&...args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T *raw = node.get();
+    stmts_.push_back(std::move(node));
+    return raw;
+  }
+  VarDecl *createVar(std::string name, const Type *type) {
+    auto decl = std::make_unique<VarDecl>(std::move(name), type);
+    VarDecl *raw = decl.get();
+    vars_.push_back(std::move(decl));
+    return raw;
+  }
+  FunctionDecl *createFunction(std::string name, const Type *returnType,
+                               std::vector<VarDecl *> params) {
+    auto decl = std::make_unique<FunctionDecl>(std::move(name), returnType,
+                                               std::move(params));
+    FunctionDecl *raw = decl.get();
+    functions_.push_back(std::move(decl));
+    return raw;
+  }
+  RecordDecl *createRecord(std::string name) {
+    auto decl = std::make_unique<RecordDecl>(std::move(name));
+    RecordDecl *raw = decl.get();
+    records_.push_back(std::move(decl));
+    return raw;
+  }
+
+private:
+  TypeContext types_;
+  TranslationUnit unit_;
+  std::vector<std::unique_ptr<Expr>> exprs_;
+  std::vector<std::unique_ptr<Stmt>> stmts_;
+  std::vector<std::unique_ptr<VarDecl>> vars_;
+  std::vector<std::unique_ptr<FunctionDecl>> functions_;
+  std::vector<std::unique_ptr<RecordDecl>> records_;
+};
+
+} // namespace ompdart

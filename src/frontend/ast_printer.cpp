@@ -1,0 +1,361 @@
+#include "frontend/ast_printer.hpp"
+
+#include <sstream>
+
+namespace ompdart {
+
+namespace {
+
+std::string pad(unsigned indent) { return std::string(indent * 2, ' '); }
+
+} // namespace
+
+std::string exprToSource(const Expr *expr) {
+  if (expr == nullptr)
+    return "";
+  switch (expr->kind()) {
+  case ExprKind::IntLiteral:
+    return std::to_string(static_cast<const IntLiteralExpr *>(expr)->value());
+  case ExprKind::FloatLiteral: {
+    std::ostringstream out;
+    out << static_cast<const FloatLiteralExpr *>(expr)->value();
+    return out.str();
+  }
+  case ExprKind::CharLiteral:
+    return std::string("'") +
+           static_cast<const CharLiteralExpr *>(expr)->value() + "'";
+  case ExprKind::StringLiteral:
+    return "\"" + static_cast<const StringLiteralExpr *>(expr)->value() + "\"";
+  case ExprKind::DeclRef: {
+    const auto *ref = static_cast<const DeclRefExpr *>(expr);
+    return ref->decl() != nullptr ? ref->decl()->name() : "?";
+  }
+  case ExprKind::ArraySubscript: {
+    const auto *subscript = static_cast<const ArraySubscriptExpr *>(expr);
+    return exprToSource(subscript->base()) + "[" +
+           exprToSource(subscript->index()) + "]";
+  }
+  case ExprKind::Member: {
+    const auto *member = static_cast<const MemberExpr *>(expr);
+    return exprToSource(member->base()) + (member->isArrow() ? "->" : ".") +
+           member->member();
+  }
+  case ExprKind::Call: {
+    const auto *call = static_cast<const CallExpr *>(expr);
+    std::string out = call->calleeName() + "(";
+    bool first = true;
+    for (const Expr *arg : call->args()) {
+      if (!first)
+        out += ", ";
+      out += exprToSource(arg);
+      first = false;
+    }
+    return out + ")";
+  }
+  case ExprKind::Unary: {
+    const auto *unary = static_cast<const UnaryExpr *>(expr);
+    if (unary->op() == UnaryOp::PostInc || unary->op() == UnaryOp::PostDec)
+      return exprToSource(unary->operand()) + unaryOpSpelling(unary->op());
+    return std::string(unaryOpSpelling(unary->op())) +
+           exprToSource(unary->operand());
+  }
+  case ExprKind::Binary: {
+    const auto *binary = static_cast<const BinaryExpr *>(expr);
+    return exprToSource(binary->lhs()) + " " +
+           binaryOpSpelling(binary->op()) + " " + exprToSource(binary->rhs());
+  }
+  case ExprKind::Conditional: {
+    const auto *conditional = static_cast<const ConditionalExpr *>(expr);
+    return exprToSource(conditional->cond()) + " ? " +
+           exprToSource(conditional->trueExpr()) + " : " +
+           exprToSource(conditional->falseExpr());
+  }
+  case ExprKind::Cast: {
+    const auto *cast = static_cast<const CastExpr *>(expr);
+    return "(" + cast->type()->spelling() + ")" +
+           exprToSource(cast->operand());
+  }
+  case ExprKind::Paren:
+    return "(" + exprToSource(static_cast<const ParenExpr *>(expr)->inner()) +
+           ")";
+  case ExprKind::InitList: {
+    const auto *initList = static_cast<const InitListExpr *>(expr);
+    std::string out = "{";
+    bool first = true;
+    for (const Expr *init : initList->inits()) {
+      if (!first)
+        out += ", ";
+      out += exprToSource(init);
+      first = false;
+    }
+    return out + "}";
+  }
+  case ExprKind::Sizeof:
+    return "sizeof(" +
+           static_cast<const SizeofExpr *>(expr)->argument()->spelling() + ")";
+  }
+  return "?";
+}
+
+std::string dumpExpr(const Expr *expr, unsigned indent) {
+  if (expr == nullptr)
+    return pad(indent) + "<null-expr>\n";
+  std::string out = pad(indent);
+  switch (expr->kind()) {
+  case ExprKind::IntLiteral:
+    out += "IntegerLiteral " +
+           std::to_string(static_cast<const IntLiteralExpr *>(expr)->value()) +
+           "\n";
+    return out;
+  case ExprKind::FloatLiteral: {
+    std::ostringstream value;
+    value << static_cast<const FloatLiteralExpr *>(expr)->value();
+    out += "FloatingLiteral " + value.str() + "\n";
+    return out;
+  }
+  case ExprKind::CharLiteral:
+    out += "CharacterLiteral\n";
+    return out;
+  case ExprKind::StringLiteral:
+    out += "StringLiteral\n";
+    return out;
+  case ExprKind::DeclRef: {
+    const auto *ref = static_cast<const DeclRefExpr *>(expr);
+    out += "DeclRefExpr '" +
+           (ref->decl() != nullptr ? ref->decl()->name() : "?") + "'";
+    if (expr->type() != nullptr)
+      out += " '" + expr->type()->spelling() + "'";
+    out += "\n";
+    return out;
+  }
+  case ExprKind::ArraySubscript: {
+    const auto *subscript = static_cast<const ArraySubscriptExpr *>(expr);
+    out += "ArraySubscriptExpr\n";
+    out += dumpExpr(subscript->base(), indent + 1);
+    out += dumpExpr(subscript->index(), indent + 1);
+    return out;
+  }
+  case ExprKind::Member: {
+    const auto *member = static_cast<const MemberExpr *>(expr);
+    out += std::string("MemberExpr ") + (member->isArrow() ? "->" : ".") +
+           member->member() + "\n";
+    out += dumpExpr(member->base(), indent + 1);
+    return out;
+  }
+  case ExprKind::Call: {
+    const auto *call = static_cast<const CallExpr *>(expr);
+    out += "CallExpr '" + call->calleeName() + "'\n";
+    for (const Expr *arg : call->args())
+      out += dumpExpr(arg, indent + 1);
+    return out;
+  }
+  case ExprKind::Unary: {
+    const auto *unary = static_cast<const UnaryExpr *>(expr);
+    out += std::string("UnaryOperator '") + unaryOpSpelling(unary->op()) +
+           "'\n";
+    out += dumpExpr(unary->operand(), indent + 1);
+    return out;
+  }
+  case ExprKind::Binary: {
+    const auto *binary = static_cast<const BinaryExpr *>(expr);
+    out += std::string("BinaryOperator '") + binaryOpSpelling(binary->op()) +
+           "'\n";
+    out += dumpExpr(binary->lhs(), indent + 1);
+    out += dumpExpr(binary->rhs(), indent + 1);
+    return out;
+  }
+  case ExprKind::Conditional: {
+    const auto *conditional = static_cast<const ConditionalExpr *>(expr);
+    out += "ConditionalOperator\n";
+    out += dumpExpr(conditional->cond(), indent + 1);
+    out += dumpExpr(conditional->trueExpr(), indent + 1);
+    out += dumpExpr(conditional->falseExpr(), indent + 1);
+    return out;
+  }
+  case ExprKind::Cast: {
+    const auto *cast = static_cast<const CastExpr *>(expr);
+    out += "CStyleCastExpr '" + cast->type()->spelling() + "'\n";
+    out += dumpExpr(cast->operand(), indent + 1);
+    return out;
+  }
+  case ExprKind::Paren:
+    out += "ParenExpr\n";
+    out += dumpExpr(static_cast<const ParenExpr *>(expr)->inner(), indent + 1);
+    return out;
+  case ExprKind::InitList: {
+    out += "InitListExpr\n";
+    for (const Expr *init :
+         static_cast<const InitListExpr *>(expr)->inits())
+      out += dumpExpr(init, indent + 1);
+    return out;
+  }
+  case ExprKind::Sizeof:
+    out += "UnaryExprOrTypeTraitExpr sizeof\n";
+    return out;
+  }
+  return out + "?\n";
+}
+
+std::string dumpStmt(const Stmt *stmt, unsigned indent) {
+  if (stmt == nullptr)
+    return pad(indent) + "<null-stmt>\n";
+  std::string out = pad(indent);
+  switch (stmt->kind()) {
+  case StmtKind::Compound: {
+    out += "CompoundStmt\n";
+    for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+      out += dumpStmt(sub, indent + 1);
+    return out;
+  }
+  case StmtKind::Decl: {
+    out += "DeclStmt\n";
+    for (const VarDecl *var : static_cast<const DeclStmt *>(stmt)->decls()) {
+      out += pad(indent + 1) + "VarDecl '" + var->name() + "' '" +
+             var->type()->spelling() + "'\n";
+      if (var->init() != nullptr)
+        out += dumpExpr(var->init(), indent + 2);
+    }
+    return out;
+  }
+  case StmtKind::Expr:
+    out += "ExprStmt\n";
+    return out + dumpExpr(static_cast<const ExprStmt *>(stmt)->expr(),
+                          indent + 1);
+  case StmtKind::If: {
+    const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+    out += "IfStmt\n";
+    out += dumpExpr(ifStmt->cond(), indent + 1);
+    out += dumpStmt(ifStmt->thenStmt(), indent + 1);
+    if (ifStmt->elseStmt() != nullptr)
+      out += dumpStmt(ifStmt->elseStmt(), indent + 1);
+    return out;
+  }
+  case StmtKind::For: {
+    const auto *forStmt = static_cast<const ForStmt *>(stmt);
+    out += "ForStmt\n";
+    if (forStmt->init() != nullptr)
+      out += dumpStmt(forStmt->init(), indent + 1);
+    if (forStmt->cond() != nullptr)
+      out += dumpExpr(forStmt->cond(), indent + 1);
+    if (forStmt->inc() != nullptr)
+      out += dumpExpr(forStmt->inc(), indent + 1);
+    out += dumpStmt(forStmt->body(), indent + 1);
+    return out;
+  }
+  case StmtKind::While: {
+    const auto *whileStmt = static_cast<const WhileStmt *>(stmt);
+    out += "WhileStmt\n";
+    out += dumpExpr(whileStmt->cond(), indent + 1);
+    out += dumpStmt(whileStmt->body(), indent + 1);
+    return out;
+  }
+  case StmtKind::Do: {
+    const auto *doStmt = static_cast<const DoStmt *>(stmt);
+    out += "DoStmt\n";
+    out += dumpStmt(doStmt->body(), indent + 1);
+    out += dumpExpr(doStmt->cond(), indent + 1);
+    return out;
+  }
+  case StmtKind::Switch: {
+    const auto *switchStmt = static_cast<const SwitchStmt *>(stmt);
+    out += "SwitchStmt\n";
+    out += dumpExpr(switchStmt->cond(), indent + 1);
+    out += dumpStmt(switchStmt->body(), indent + 1);
+    return out;
+  }
+  case StmtKind::Case: {
+    const auto *caseStmt = static_cast<const CaseStmt *>(stmt);
+    out += "CaseStmt\n";
+    out += dumpExpr(caseStmt->value(), indent + 1);
+    out += dumpStmt(caseStmt->sub(), indent + 1);
+    return out;
+  }
+  case StmtKind::Default:
+    out += "DefaultStmt\n";
+    return out + dumpStmt(static_cast<const DefaultStmt *>(stmt)->sub(),
+                          indent + 1);
+  case StmtKind::Break:
+    return out + "BreakStmt\n";
+  case StmtKind::Continue:
+    return out + "ContinueStmt\n";
+  case StmtKind::Return: {
+    out += "ReturnStmt\n";
+    const auto *returnStmt = static_cast<const ReturnStmt *>(stmt);
+    if (returnStmt->value() != nullptr)
+      out += dumpExpr(returnStmt->value(), indent + 1);
+    return out;
+  }
+  case StmtKind::Null:
+    return out + "NullStmt\n";
+  case StmtKind::OmpDirective: {
+    const auto *directive = static_cast<const OmpDirectiveStmt *>(stmt);
+    out += std::string("OmpDirective 'omp ") +
+           directiveSpelling(directive->directive()) + "'";
+    for (const OmpClause &clause : directive->clauses()) {
+      out += " ";
+      switch (clause.kind) {
+      case OmpClauseKind::Map:
+        out += std::string("map(") + mapTypeSpelling(clause.mapType) + ":";
+        break;
+      case OmpClauseKind::FirstPrivate:
+        out += "firstprivate(";
+        break;
+      case OmpClauseKind::UpdateTo:
+        out += "to(";
+        break;
+      case OmpClauseKind::UpdateFrom:
+        out += "from(";
+        break;
+      case OmpClauseKind::Reduction:
+        out += "reduction(" + clause.reductionOp + ":";
+        break;
+      default:
+        out += "clause(";
+        break;
+      }
+      bool first = true;
+      for (const OmpObject &object : clause.objects) {
+        if (!first)
+          out += ",";
+        out += object.spelling;
+        first = false;
+      }
+      out += ")";
+    }
+    out += "\n";
+    if (directive->associated() != nullptr)
+      out += dumpStmt(directive->associated(), indent + 1);
+    return out;
+  }
+  }
+  return out + "?\n";
+}
+
+std::string dumpFunction(const FunctionDecl *fn) {
+  std::string out = "FunctionDecl '" + fn->name() + "' '" +
+                    fn->returnType()->spelling() + "(";
+  bool first = true;
+  for (const VarDecl *param : fn->params()) {
+    if (!first)
+      out += ", ";
+    out += param->type()->spelling();
+    first = false;
+  }
+  out += ")'\n";
+  if (fn->body() != nullptr)
+    out += dumpStmt(fn->body(), 1);
+  return out;
+}
+
+std::string dumpTranslationUnit(const TranslationUnit &unit) {
+  std::string out = "TranslationUnit\n";
+  for (const VarDecl *global : unit.globals) {
+    out += "  GlobalVar '" + global->name() + "' '" +
+           global->type()->spelling() + "'\n";
+  }
+  for (const FunctionDecl *fn : unit.functions)
+    out += dumpFunction(fn);
+  return out;
+}
+
+} // namespace ompdart

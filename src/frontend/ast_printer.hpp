@@ -1,0 +1,22 @@
+// Debug/diagnostic AST dumping, in the spirit of `clang -ast-dump`
+// (Listing 5 of the paper). Used by tests to assert parse shapes and by the
+// CLI's --dump-ast mode.
+#pragma once
+
+#include "frontend/ast.hpp"
+
+#include <string>
+
+namespace ompdart {
+
+/// Renders an indented tree dump of the node and its children.
+[[nodiscard]] std::string dumpExpr(const Expr *expr, unsigned indent = 0);
+[[nodiscard]] std::string dumpStmt(const Stmt *stmt, unsigned indent = 0);
+[[nodiscard]] std::string dumpFunction(const FunctionDecl *fn);
+[[nodiscard]] std::string dumpTranslationUnit(const TranslationUnit &unit);
+
+/// Renders an expression back to compact C-like source (used when emitting
+/// array sections and update clauses in generated directives).
+[[nodiscard]] std::string exprToSource(const Expr *expr);
+
+} // namespace ompdart

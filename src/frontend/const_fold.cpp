@@ -1,0 +1,104 @@
+#include "frontend/const_fold.hpp"
+
+namespace ompdart {
+
+std::optional<std::int64_t> foldIntegerConstant(const Expr *expr) {
+  if (expr == nullptr)
+    return std::nullopt;
+  expr = ignoreParensAndCasts(expr);
+  switch (expr->kind()) {
+  case ExprKind::IntLiteral:
+    return static_cast<const IntLiteralExpr *>(expr)->value();
+  case ExprKind::CharLiteral:
+    return static_cast<const CharLiteralExpr *>(expr)->value();
+  case ExprKind::FloatLiteral: {
+    // Only exactly-integral floating literals fold (e.g. `2.0 ? a : b`).
+    const double value = static_cast<const FloatLiteralExpr *>(expr)->value();
+    const auto truncated = static_cast<std::int64_t>(value);
+    if (static_cast<double>(truncated) == value)
+      return truncated;
+    return std::nullopt;
+  }
+  case ExprKind::Sizeof: {
+    const auto *sizeofExpr = static_cast<const SizeofExpr *>(expr);
+    return static_cast<std::int64_t>(sizeofExpr->argument()->sizeInBytes());
+  }
+  case ExprKind::Unary: {
+    const auto *unary = static_cast<const UnaryExpr *>(expr);
+    const auto operand = foldIntegerConstant(unary->operand());
+    if (!operand)
+      return std::nullopt;
+    switch (unary->op()) {
+    case UnaryOp::Plus:
+      return *operand;
+    case UnaryOp::Minus:
+      return -*operand;
+    case UnaryOp::Not:
+      return ~*operand;
+    case UnaryOp::LNot:
+      return *operand == 0 ? 1 : 0;
+    default:
+      return std::nullopt;
+    }
+  }
+  case ExprKind::Conditional: {
+    const auto *conditional = static_cast<const ConditionalExpr *>(expr);
+    const auto cond = foldIntegerConstant(conditional->cond());
+    if (!cond)
+      return std::nullopt;
+    return foldIntegerConstant(*cond != 0 ? conditional->trueExpr()
+                                          : conditional->falseExpr());
+  }
+  case ExprKind::Binary: {
+    const auto *binary = static_cast<const BinaryExpr *>(expr);
+    const auto lhs = foldIntegerConstant(binary->lhs());
+    const auto rhs = foldIntegerConstant(binary->rhs());
+    if (!lhs || !rhs)
+      return std::nullopt;
+    switch (binary->op()) {
+    case BinaryOp::Mul:
+      return *lhs * *rhs;
+    case BinaryOp::Div:
+      return *rhs == 0 ? std::nullopt : std::optional(*lhs / *rhs);
+    case BinaryOp::Rem:
+      return *rhs == 0 ? std::nullopt : std::optional(*lhs % *rhs);
+    case BinaryOp::Add:
+      return *lhs + *rhs;
+    case BinaryOp::Sub:
+      return *lhs - *rhs;
+    case BinaryOp::Shl:
+      return *lhs << *rhs;
+    case BinaryOp::Shr:
+      return *lhs >> *rhs;
+    case BinaryOp::LT:
+      return *lhs < *rhs ? 1 : 0;
+    case BinaryOp::GT:
+      return *lhs > *rhs ? 1 : 0;
+    case BinaryOp::LE:
+      return *lhs <= *rhs ? 1 : 0;
+    case BinaryOp::GE:
+      return *lhs >= *rhs ? 1 : 0;
+    case BinaryOp::EQ:
+      return *lhs == *rhs ? 1 : 0;
+    case BinaryOp::NE:
+      return *lhs != *rhs ? 1 : 0;
+    case BinaryOp::BitAnd:
+      return *lhs & *rhs;
+    case BinaryOp::BitXor:
+      return *lhs ^ *rhs;
+    case BinaryOp::BitOr:
+      return *lhs | *rhs;
+    case BinaryOp::LAnd:
+      return (*lhs != 0 && *rhs != 0) ? 1 : 0;
+    case BinaryOp::LOr:
+      return (*lhs != 0 || *rhs != 0) ? 1 : 0;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace ompdart

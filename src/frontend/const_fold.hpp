@@ -1,0 +1,18 @@
+// Compile-time integer constant folding over the AST. Used by the parser
+// (array extents), the array-bounds analysis (loop trip counts, section
+// sizes) and the Table IV complexity counters.
+#pragma once
+
+#include "frontend/ast.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace ompdart {
+
+/// Evaluates `expr` as an integer constant if possible. Handles literals,
+/// parens, casts, unary +/-/~/!, all arithmetic/bitwise/relational binary
+/// operators, ?: with constant condition, and sizeof.
+[[nodiscard]] std::optional<std::int64_t> foldIntegerConstant(const Expr *expr);
+
+} // namespace ompdart

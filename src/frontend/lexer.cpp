@@ -1,0 +1,581 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace ompdart {
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> table = {
+      {"void", TokenKind::KwVoid},         {"bool", TokenKind::KwBool},
+      {"char", TokenKind::KwChar},         {"short", TokenKind::KwShort},
+      {"int", TokenKind::KwInt},           {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},       {"double", TokenKind::KwDouble},
+      {"unsigned", TokenKind::KwUnsigned}, {"signed", TokenKind::KwSigned},
+      {"const", TokenKind::KwConst},       {"static", TokenKind::KwStatic},
+      {"extern", TokenKind::KwExtern},     {"struct", TokenKind::KwStruct},
+      {"typedef", TokenKind::KwTypedef},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},         {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},       {"do", TokenKind::KwDo},
+      {"switch", TokenKind::KwSwitch},     {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault},   {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"return", TokenKind::KwReturn},
+      {"sizeof", TokenKind::KwSizeof},
+  };
+  return table;
+}
+
+constexpr unsigned kMaxExpansionDepth = 16;
+
+} // namespace
+
+const char *tokenKindName(TokenKind kind) {
+  switch (kind) {
+  case TokenKind::Eof:
+    return "eof";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::CharLiteral:
+    return "char literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::PragmaOmp:
+    return "#pragma omp";
+  case TokenKind::PragmaEnd:
+    return "end of pragma";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  default:
+    return "token";
+  }
+}
+
+Lexer::Lexer(const SourceManager &sourceManager, DiagnosticEngine &diags)
+    : sourceManager_(sourceManager), diags_(diags),
+      text_(sourceManager.text()) {}
+
+char Lexer::peek(std::size_t lookahead) const {
+  const std::size_t index = pos_ + lookahead;
+  return index < text_.size() ? text_[index] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = text_[pos_++];
+  // "Line start" tolerates leading horizontal whitespace so that indented
+  // `#pragma` / `#define` lines are still recognized as directives.
+  atLineStart_ = (c == '\n') || (atLineStart_ && (c == ' ' || c == '\t'));
+  return c;
+}
+
+Token Lexer::makeToken(TokenKind kind, std::size_t beginOffset,
+                       std::string text) const {
+  Token token;
+  token.kind = kind;
+  token.text = std::move(text);
+  token.location = sourceManager_.locationFor(beginOffset);
+  token.endOffset = pos_;
+  return token;
+}
+
+Token Lexer::next() {
+  unsigned splices = 0;
+  while (true) {
+    Token token;
+    if (!pending_.empty()) {
+      token = pending_.front();
+      pending_.pop_front();
+    } else {
+      token = lexToken();
+    }
+    if (token.kind != TokenKind::Identifier)
+      return token;
+    const auto it = macros_.find(token.text);
+    if (it == macros_.end())
+      return token;
+    if (++splices > kMaxExpansionDepth) {
+      diags_.error(token.location,
+                   "macro expansion too deep for '" + token.text + "'");
+      return token;
+    }
+    // Splice replacement tokens, re-anchored to the use site so downstream
+    // source edits refer to real text. Pending tokens re-enter this check,
+    // which expands nested macros; the splice cap breaks self-reference.
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+      Token copy = *rit;
+      copy.location = token.location;
+      copy.endOffset = token.endOffset;
+      pending_.push_front(std::move(copy));
+    }
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = next();
+    const bool isEof = token.kind == TokenKind::Eof;
+    tokens.push_back(std::move(token));
+    if (isEof)
+      break;
+  }
+  return tokens;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    const char c = peek();
+    if (c == '\\' && peek(1) == '\n') {
+      // Line continuation: consume both, do not end a pragma.
+      pos_ += 2;
+      continue;
+    }
+    if (c == '\n') {
+      if (inPragma_)
+        return; // Significant: terminates the pragma.
+      advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      pos_ += 2;
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!atEnd())
+        pos_ += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexToken() {
+  while (true) {
+    skipWhitespaceAndComments();
+    if (inPragma_ && (atEnd() || peek() == '\n')) {
+      inPragma_ = false;
+      const std::size_t begin = pos_;
+      if (!atEnd())
+        advance();
+      return makeToken(TokenKind::PragmaEnd, begin, "");
+    }
+    if (atEnd())
+      return makeToken(TokenKind::Eof, pos_, "");
+    if (peek() == '#' && atLineStart_ && !inPragma_) {
+      const std::size_t hashPos = pos_;
+      handleDirective();
+      if (inPragma_) {
+        Token token = makeToken(TokenKind::PragmaOmp, hashPos, "#pragma omp");
+        return token;
+      }
+      continue;
+    }
+    break;
+  }
+
+  const std::size_t begin = pos_;
+  const char c = peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber();
+  if (c == '\'')
+    return lexCharLiteral();
+  if (c == '"')
+    return lexStringLiteral();
+
+  advance();
+  switch (c) {
+  case '(':
+    return makeToken(TokenKind::LParen, begin, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, begin, ")");
+  case '{':
+    return makeToken(TokenKind::LBrace, begin, "{");
+  case '}':
+    return makeToken(TokenKind::RBrace, begin, "}");
+  case '[':
+    return makeToken(TokenKind::LBracket, begin, "[");
+  case ']':
+    return makeToken(TokenKind::RBracket, begin, "]");
+  case ';':
+    return makeToken(TokenKind::Semi, begin, ";");
+  case ',':
+    return makeToken(TokenKind::Comma, begin, ",");
+  case '.':
+    return makeToken(TokenKind::Dot, begin, ".");
+  case '?':
+    return makeToken(TokenKind::Question, begin, "?");
+  case ':':
+    return makeToken(TokenKind::Colon, begin, ":");
+  case '~':
+    return makeToken(TokenKind::Tilde, begin, "~");
+  case '+':
+    if (peek() == '+') {
+      advance();
+      return makeToken(TokenKind::PlusPlus, begin, "++");
+    }
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::PlusEqual, begin, "+=");
+    }
+    return makeToken(TokenKind::Plus, begin, "+");
+  case '-':
+    if (peek() == '-') {
+      advance();
+      return makeToken(TokenKind::MinusMinus, begin, "--");
+    }
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::MinusEqual, begin, "-=");
+    }
+    if (peek() == '>') {
+      advance();
+      return makeToken(TokenKind::Arrow, begin, "->");
+    }
+    return makeToken(TokenKind::Minus, begin, "-");
+  case '*':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::StarEqual, begin, "*=");
+    }
+    return makeToken(TokenKind::Star, begin, "*");
+  case '/':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::SlashEqual, begin, "/=");
+    }
+    return makeToken(TokenKind::Slash, begin, "/");
+  case '%':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::PercentEqual, begin, "%=");
+    }
+    return makeToken(TokenKind::Percent, begin, "%");
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeToken(TokenKind::AmpAmp, begin, "&&");
+    }
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::AmpEqual, begin, "&=");
+    }
+    return makeToken(TokenKind::Amp, begin, "&");
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeToken(TokenKind::PipePipe, begin, "||");
+    }
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::PipeEqual, begin, "|=");
+    }
+    return makeToken(TokenKind::Pipe, begin, "|");
+  case '^':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::CaretEqual, begin, "^=");
+    }
+    return makeToken(TokenKind::Caret, begin, "^");
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::ExclaimEqual, begin, "!=");
+    }
+    return makeToken(TokenKind::Exclaim, begin, "!");
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqualEqual, begin, "==");
+    }
+    return makeToken(TokenKind::Equal, begin, "=");
+  case '<':
+    if (peek() == '<') {
+      advance();
+      if (peek() == '=') {
+        advance();
+        return makeToken(TokenKind::LessLessEqual, begin, "<<=");
+      }
+      return makeToken(TokenKind::LessLess, begin, "<<");
+    }
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEqual, begin, "<=");
+    }
+    return makeToken(TokenKind::Less, begin, "<");
+  case '>':
+    if (peek() == '>') {
+      advance();
+      if (peek() == '=') {
+        advance();
+        return makeToken(TokenKind::GreaterGreaterEqual, begin, ">>=");
+      }
+      return makeToken(TokenKind::GreaterGreater, begin, ">>");
+    }
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEqual, begin, ">=");
+    }
+    return makeToken(TokenKind::Greater, begin, ">");
+  default:
+    diags_.error(sourceManager_.locationFor(begin),
+                 std::string("unexpected character '") + c + "'");
+    return makeToken(TokenKind::Unknown, begin, std::string(1, c));
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  const std::size_t begin = pos_;
+  std::string text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    text.push_back(advance());
+  const auto &keywords = keywordTable();
+  auto it = keywords.find(text);
+  if (it != keywords.end())
+    return makeToken(it->second, begin, std::move(text));
+  return makeToken(TokenKind::Identifier, begin, std::move(text));
+}
+
+Token Lexer::lexNumber() {
+  const std::size_t begin = pos_;
+  std::string text;
+  bool isFloat = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    text.push_back(advance());
+    text.push_back(advance());
+    while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek())))
+      text.push_back(advance());
+  } else {
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      text.push_back(advance());
+    if (peek() == '.') {
+      isFloat = true;
+      text.push_back(advance());
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        text.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      const char sign = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(sign)) ||
+          ((sign == '+' || sign == '-') &&
+           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+        isFloat = true;
+        text.push_back(advance());
+        if (peek() == '+' || peek() == '-')
+          text.push_back(advance());
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+          text.push_back(advance());
+      }
+    }
+  }
+  // Suffixes (f, F, u, U, l, L in any combination) are consumed but only 'f'
+  // affects the token kind.
+  while (peek() == 'f' || peek() == 'F' || peek() == 'u' || peek() == 'U' ||
+         peek() == 'l' || peek() == 'L') {
+    if (peek() == 'f' || peek() == 'F')
+      isFloat = true;
+    text.push_back(advance());
+  }
+  return makeToken(isFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                   begin, std::move(text));
+}
+
+Token Lexer::lexCharLiteral() {
+  const std::size_t begin = pos_;
+  advance(); // opening quote
+  std::string text;
+  while (!atEnd() && peek() != '\'') {
+    if (peek() == '\\') {
+      advance();
+      const char esc = advance();
+      switch (esc) {
+      case 'n':
+        text.push_back('\n');
+        break;
+      case 't':
+        text.push_back('\t');
+        break;
+      case '0':
+        text.push_back('\0');
+        break;
+      case '\\':
+        text.push_back('\\');
+        break;
+      case '\'':
+        text.push_back('\'');
+        break;
+      default:
+        text.push_back(esc);
+        break;
+      }
+    } else {
+      text.push_back(advance());
+    }
+  }
+  if (!atEnd())
+    advance(); // closing quote
+  else
+    diags_.error(sourceManager_.locationFor(begin),
+                 "unterminated character literal");
+  return makeToken(TokenKind::CharLiteral, begin, std::move(text));
+}
+
+Token Lexer::lexStringLiteral() {
+  const std::size_t begin = pos_;
+  advance(); // opening quote
+  std::string text;
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\\') {
+      advance();
+      const char esc = advance();
+      switch (esc) {
+      case 'n':
+        text.push_back('\n');
+        break;
+      case 't':
+        text.push_back('\t');
+        break;
+      case '"':
+        text.push_back('"');
+        break;
+      case '\\':
+        text.push_back('\\');
+        break;
+      default:
+        text.push_back(esc);
+        break;
+      }
+    } else {
+      text.push_back(advance());
+    }
+  }
+  if (!atEnd())
+    advance(); // closing quote
+  else
+    diags_.error(sourceManager_.locationFor(begin),
+                 "unterminated string literal");
+  return makeToken(TokenKind::StringLiteral, begin, std::move(text));
+}
+
+void Lexer::handleDirective() {
+  const std::size_t hashPos = pos_;
+  advance(); // '#'
+  while (peek() == ' ' || peek() == '\t')
+    advance();
+  std::string word;
+  while (std::isalpha(static_cast<unsigned char>(peek())))
+    word.push_back(advance());
+
+  if (word == "pragma") {
+    while (peek() == ' ' || peek() == '\t')
+      advance();
+    std::string pragmaName;
+    const std::size_t nameBegin = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      pragmaName.push_back(advance());
+    if (pragmaName == "omp") {
+      inPragma_ = true;
+      return;
+    }
+    (void)nameBegin;
+    skipToEndOfLine(); // Non-OpenMP pragmas are irrelevant to the analysis.
+    return;
+  }
+  if (word == "define") {
+    handleDefine();
+    return;
+  }
+  if (word == "include" || word == "ifdef" || word == "ifndef" ||
+      word == "endif" || word == "undef" || word == "if" || word == "else" ||
+      word == "elif" || word == "error") {
+    skipToEndOfLine();
+    return;
+  }
+  diags_.warning(sourceManager_.locationFor(hashPos),
+                 "ignoring unknown preprocessor directive '#" + word + "'");
+  skipToEndOfLine();
+}
+
+void Lexer::handleDefine() {
+  while (peek() == ' ' || peek() == '\t')
+    advance();
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    name.push_back(advance());
+  if (name.empty()) {
+    skipToEndOfLine();
+    return;
+  }
+  if (peek() == '(') {
+    // Function-like macros are out of scope for the subset; skip them whole.
+    diags_.warning(sourceManager_.locationFor(pos_),
+                   "function-like macro '" + name + "' is ignored");
+    skipToEndOfLine();
+    return;
+  }
+  // Lex replacement tokens up to end of line by bracketing with pragma-style
+  // line significance.
+  std::vector<Token> replacement;
+  while (true) {
+    while (peek() == ' ' || peek() == '\t')
+      advance();
+    if (peek() == '\\' && peek(1) == '\n') {
+      pos_ += 2;
+      continue;
+    }
+    if (atEnd() || peek() == '\n')
+      break;
+    if (peek() == '/' && peek(1) == '/') {
+      skipToEndOfLine();
+      break;
+    }
+    Token token = lexToken();
+    if (token.kind == TokenKind::Eof || token.kind == TokenKind::Unknown)
+      break;
+    replacement.push_back(std::move(token));
+  }
+  macros_[name] = std::move(replacement);
+}
+
+void Lexer::skipToEndOfLine() {
+  while (!atEnd() && peek() != '\n') {
+    if (peek() == '\\' && peek(1) == '\n')
+      pos_ += 2;
+    else
+      advance();
+  }
+}
+
+} // namespace ompdart

@@ -1,0 +1,65 @@
+// Lexer for the C subset. Includes a "preprocessor-lite":
+//  - `#define NAME <tokens>` object-like macros are recorded and expanded at
+//    identifier lookup (expansion carries the use-site location so rewriter
+//    edits stay anchored to the original text),
+//  - `#include` and unrecognized preprocessor lines are skipped,
+//  - `#pragma omp ...` lines are surfaced as PragmaOmp ... PragmaEnd token
+//    runs, honoring backslash line continuations.
+#pragma once
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ompdart {
+
+class Lexer {
+public:
+  Lexer(const SourceManager &sourceManager, DiagnosticEngine &diags);
+
+  /// Lexes and returns the next token (expanding macros).
+  Token next();
+
+  /// Lexes the entire buffer; the final token is Eof.
+  [[nodiscard]] std::vector<Token> lexAll();
+
+  /// Macros seen so far, name -> replacement tokens. Exposed for tests.
+  [[nodiscard]] const std::unordered_map<std::string, std::vector<Token>> &
+  macros() const {
+    return macros_;
+  }
+
+private:
+  Token lexToken();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  void handleDirective();
+  void handleDefine();
+  void skipToEndOfLine();
+  void skipWhitespaceAndComments();
+
+  [[nodiscard]] char peek(std::size_t lookahead = 0) const;
+  char advance();
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] Token makeToken(TokenKind kind, std::size_t beginOffset,
+                                std::string text) const;
+
+  const SourceManager &sourceManager_;
+  DiagnosticEngine &diags_;
+  const std::string &text_;
+  std::size_t pos_ = 0;
+  bool atLineStart_ = true;
+  bool inPragma_ = false;
+  std::unordered_map<std::string, std::vector<Token>> macros_;
+  /// Pending macro-expansion tokens, delivered before lexing resumes.
+  std::deque<Token> pending_;
+};
+
+} // namespace ompdart

@@ -1,0 +1,127 @@
+// Token definitions for the C-subset front end. The lexer produces a flat
+// token stream; `#pragma omp` lines are bracketed by PragmaOmp/PragmaEnd so
+// the parser can treat directives as statements with exact source extents.
+#pragma once
+
+#include "support/source_location.hpp"
+
+#include <string>
+
+namespace ompdart {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid,
+  KwBool,
+  KwChar,
+  KwShort,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwUnsigned,
+  KwSigned,
+  KwConst,
+  KwStatic,
+  KwExtern,
+  KwStruct,
+  KwTypedef,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwDo,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwSizeof,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,
+  Question,
+  Colon,
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Exclaim,
+  PlusPlus,
+  MinusMinus,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  ExclaimEqual,
+  AmpAmp,
+  PipePipe,
+  LessLess,
+  GreaterGreater,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+
+  // OpenMP pragma brackets.
+  PragmaOmp, ///< Marks the start of a `#pragma omp` line.
+  PragmaEnd, ///< Marks the end of a pragma line (logical newline).
+
+  Unknown,
+};
+
+[[nodiscard]] const char *tokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  /// The token's spelling. For macro-expanded tokens this is the expansion
+  /// spelling while the range still points at the macro use site.
+  std::string text;
+  SourceLocation location;
+  /// Offset one past the last character of the token in the original buffer.
+  std::size_t endOffset = 0;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool isIdentifier(const char *name) const {
+    return kind == TokenKind::Identifier && text == name;
+  }
+  [[nodiscard]] SourceRange range() const {
+    SourceLocation end = location;
+    end.offset = endOffset;
+    return SourceRange(location, end);
+  }
+};
+
+} // namespace ompdart

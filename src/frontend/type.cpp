@@ -1,0 +1,184 @@
+#include "frontend/type.hpp"
+
+#include "frontend/ast.hpp"
+
+namespace ompdart {
+
+bool Type::isFloatingPoint() const {
+  if (const auto *builtin = dynamic_cast<const BuiltinType *>(this))
+    return builtin->builtinKind() == BuiltinKind::Float ||
+           builtin->builtinKind() == BuiltinKind::Double;
+  return false;
+}
+
+bool Type::isInteger() const {
+  if (const auto *builtin = dynamic_cast<const BuiltinType *>(this)) {
+    switch (builtin->builtinKind()) {
+    case BuiltinKind::Bool:
+    case BuiltinKind::Char:
+    case BuiltinKind::Short:
+    case BuiltinKind::Int:
+    case BuiltinKind::UInt:
+    case BuiltinKind::Long:
+    case BuiltinKind::ULong:
+      return true;
+    default:
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Type::isVoid() const {
+  if (const auto *builtin = dynamic_cast<const BuiltinType *>(this))
+    return builtin->builtinKind() == BuiltinKind::Void;
+  return false;
+}
+
+std::uint64_t Type::sizeInBytes() const {
+  switch (kind()) {
+  case TypeKind::Builtin:
+    switch (static_cast<const BuiltinType *>(this)->builtinKind()) {
+    case BuiltinKind::Void:
+      return 0;
+    case BuiltinKind::Bool:
+    case BuiltinKind::Char:
+      return 1;
+    case BuiltinKind::Short:
+      return 2;
+    case BuiltinKind::Int:
+    case BuiltinKind::UInt:
+    case BuiltinKind::Float:
+      return 4;
+    case BuiltinKind::Long:
+    case BuiltinKind::ULong:
+    case BuiltinKind::Double:
+      return 8;
+    }
+    return 0;
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    const auto *array = static_cast<const ArrayType *>(this);
+    const std::uint64_t elementSize = array->element()->sizeInBytes();
+    return array->extent() ? *array->extent() * elementSize : elementSize;
+  }
+  case TypeKind::Record:
+    return static_cast<const RecordType *>(this)->decl()->sizeInBytes();
+  }
+  return 0;
+}
+
+std::string Type::spelling() const {
+  switch (kind()) {
+  case TypeKind::Builtin:
+    switch (static_cast<const BuiltinType *>(this)->builtinKind()) {
+    case BuiltinKind::Void:
+      return "void";
+    case BuiltinKind::Bool:
+      return "bool";
+    case BuiltinKind::Char:
+      return "char";
+    case BuiltinKind::Short:
+      return "short";
+    case BuiltinKind::Int:
+      return "int";
+    case BuiltinKind::UInt:
+      return "unsigned int";
+    case BuiltinKind::Long:
+      return "long";
+    case BuiltinKind::ULong:
+      return "unsigned long";
+    case BuiltinKind::Float:
+      return "float";
+    case BuiltinKind::Double:
+      return "double";
+    }
+    return "?";
+  case TypeKind::Pointer: {
+    const auto *pointer = static_cast<const PointerType *>(this);
+    std::string out;
+    if (pointer->isPointeeConst())
+      out += "const ";
+    out += pointer->pointee()->spelling();
+    out += " *";
+    return out;
+  }
+  case TypeKind::Array: {
+    const auto *array = static_cast<const ArrayType *>(this);
+    std::string out = array->element()->spelling();
+    out += " [";
+    out += array->extentSpelling();
+    out += "]";
+    return out;
+  }
+  case TypeKind::Record:
+    return "struct " +
+           static_cast<const RecordType *>(this)->decl()->name();
+  }
+  return "?";
+}
+
+TypeContext::TypeContext() {
+  // Pre-create one instance per builtin kind so pointers compare equal.
+  for (int i = 0; i <= static_cast<int>(BuiltinKind::Double); ++i)
+    builtins_.push_back(
+        std::make_unique<BuiltinType>(static_cast<BuiltinKind>(i)));
+}
+
+const BuiltinType *TypeContext::builtin(BuiltinKind kind) const {
+  return builtins_[static_cast<std::size_t>(kind)].get();
+}
+
+const PointerType *TypeContext::pointerTo(const Type *pointee,
+                                          bool pointeeConst) {
+  for (const auto &type : owned_) {
+    if (const auto *pointer = dynamic_cast<const PointerType *>(type.get()))
+      if (pointer->pointee() == pointee &&
+          pointer->isPointeeConst() == pointeeConst)
+        return pointer;
+  }
+  auto type = std::make_unique<PointerType>(pointee, pointeeConst);
+  const PointerType *raw = type.get();
+  owned_.push_back(std::move(type));
+  return raw;
+}
+
+const ArrayType *TypeContext::arrayOf(const Type *element,
+                                      std::optional<std::uint64_t> extent,
+                                      std::string extentSpelling) {
+  auto type = std::make_unique<ArrayType>(element, extent,
+                                          std::move(extentSpelling));
+  const ArrayType *raw = type.get();
+  owned_.push_back(std::move(type));
+  return raw;
+}
+
+const RecordType *TypeContext::recordOf(const RecordDecl *decl) {
+  for (const auto &type : owned_) {
+    if (const auto *record = dynamic_cast<const RecordType *>(type.get()))
+      if (record->decl() == decl)
+        return record;
+  }
+  auto type = std::make_unique<RecordType>(decl);
+  const RecordType *raw = type.get();
+  owned_.push_back(std::move(type));
+  return raw;
+}
+
+const Type *scalarBaseType(const Type *type) {
+  while (type != nullptr) {
+    if (const auto *pointer = dynamic_cast<const PointerType *>(type)) {
+      type = pointer->pointee();
+      continue;
+    }
+    if (const auto *array = dynamic_cast<const ArrayType *>(type)) {
+      type = array->element();
+      continue;
+    }
+    break;
+  }
+  return type;
+}
+
+} // namespace ompdart

@@ -1,0 +1,150 @@
+// Minimal C type system: builtins, pointers, sized arrays, and packed
+// structs. Sizes feed the transfer ledger (bytes moved per map/update), so
+// sizeOf must agree between the static analysis and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+class RecordDecl;
+
+enum class TypeKind { Builtin, Pointer, Array, Record };
+
+enum class BuiltinKind {
+  Void,
+  Bool,
+  Char,
+  Short,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  Float,
+  Double,
+};
+
+class Type {
+public:
+  virtual ~Type() = default;
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  [[nodiscard]] bool isBuiltin() const { return kind_ == TypeKind::Builtin; }
+  [[nodiscard]] bool isPointer() const { return kind_ == TypeKind::Pointer; }
+  [[nodiscard]] bool isArray() const { return kind_ == TypeKind::Array; }
+  [[nodiscard]] bool isRecord() const { return kind_ == TypeKind::Record; }
+
+  /// A scalar for mapping purposes: a non-aggregate, non-pointer value.
+  [[nodiscard]] bool isScalar() const { return isBuiltin(); }
+  [[nodiscard]] bool isFloatingPoint() const;
+  [[nodiscard]] bool isInteger() const;
+  [[nodiscard]] bool isVoid() const;
+
+  /// Size in bytes (structs are packed; arrays of unknown extent report the
+  /// element size). Used by both the analysis and the simulated runtime.
+  [[nodiscard]] std::uint64_t sizeInBytes() const;
+
+  /// C-like spelling, e.g. "double *", "int [256]", "struct atom".
+  [[nodiscard]] std::string spelling() const;
+
+protected:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+private:
+  TypeKind kind_;
+};
+
+class BuiltinType final : public Type {
+public:
+  explicit BuiltinType(BuiltinKind builtin)
+      : Type(TypeKind::Builtin), builtin_(builtin) {}
+
+  [[nodiscard]] BuiltinKind builtinKind() const { return builtin_; }
+
+private:
+  BuiltinKind builtin_;
+};
+
+class PointerType final : public Type {
+public:
+  PointerType(const Type *pointee, bool pointeeConst)
+      : Type(TypeKind::Pointer), pointee_(pointee),
+        pointeeConst_(pointeeConst) {}
+
+  [[nodiscard]] const Type *pointee() const { return pointee_; }
+  /// True for `const T *`: the paper treats such parameters as read-only.
+  [[nodiscard]] bool isPointeeConst() const { return pointeeConst_; }
+
+private:
+  const Type *pointee_;
+  bool pointeeConst_;
+};
+
+class ArrayType final : public Type {
+public:
+  ArrayType(const Type *element, std::optional<std::uint64_t> extent,
+            std::string extentSpelling)
+      : Type(TypeKind::Array), element_(element), extent_(extent),
+        extentSpelling_(std::move(extentSpelling)) {}
+
+  [[nodiscard]] const Type *element() const { return element_; }
+  /// Number of elements when known at parse time.
+  [[nodiscard]] std::optional<std::uint64_t> extent() const { return extent_; }
+  /// Original spelling of the extent expression (kept for emitting array
+  /// sections in generated map clauses).
+  [[nodiscard]] const std::string &extentSpelling() const {
+    return extentSpelling_;
+  }
+
+private:
+  const Type *element_;
+  std::optional<std::uint64_t> extent_;
+  std::string extentSpelling_;
+};
+
+class RecordType final : public Type {
+public:
+  explicit RecordType(const RecordDecl *decl)
+      : Type(TypeKind::Record), decl_(decl) {}
+
+  [[nodiscard]] const RecordDecl *decl() const { return decl_; }
+
+private:
+  const RecordDecl *decl_;
+};
+
+/// Owns all Type instances for one translation unit, uniquing builtins.
+class TypeContext {
+public:
+  TypeContext();
+
+  [[nodiscard]] const BuiltinType *builtin(BuiltinKind kind) const;
+  [[nodiscard]] const BuiltinType *voidType() const {
+    return builtin(BuiltinKind::Void);
+  }
+  [[nodiscard]] const BuiltinType *intType() const {
+    return builtin(BuiltinKind::Int);
+  }
+  [[nodiscard]] const BuiltinType *doubleType() const {
+    return builtin(BuiltinKind::Double);
+  }
+
+  const PointerType *pointerTo(const Type *pointee, bool pointeeConst = false);
+  const ArrayType *arrayOf(const Type *element,
+                           std::optional<std::uint64_t> extent,
+                           std::string extentSpelling);
+  const RecordType *recordOf(const RecordDecl *decl);
+
+private:
+  std::vector<std::unique_ptr<BuiltinType>> builtins_;
+  std::vector<std::unique_ptr<Type>> owned_;
+};
+
+/// Element type reached by stripping all array/pointer layers.
+[[nodiscard]] const Type *scalarBaseType(const Type *type);
+
+} // namespace ompdart

@@ -1,0 +1,1717 @@
+#include "interp/interp.hpp"
+
+#include "frontend/parser.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace ompdart::interp {
+
+namespace {
+
+/// Control-flow signals.
+struct ReturnSignal {
+  Value value;
+};
+struct BreakSignal {};
+struct ContinueSignal {};
+struct ExitSignal {
+  std::int64_t code;
+};
+struct RuntimeError {
+  std::string message;
+};
+
+/// Collects DeclRef variables in an expression/statement tree, excluding
+/// variables declared within it (kernel-local temporaries).
+class RefCollector {
+public:
+  std::vector<VarDecl *> ordered;
+  std::set<VarDecl *> seen;
+  std::set<VarDecl *> declared;
+
+  void addVar(VarDecl *var) {
+    if (var == nullptr || declared.count(var))
+      return;
+    if (seen.insert(var).second)
+      ordered.push_back(var);
+  }
+
+  void visitExpr(const Expr *expr) {
+    if (expr == nullptr)
+      return;
+    switch (expr->kind()) {
+    case ExprKind::DeclRef:
+      addVar(static_cast<const DeclRefExpr *>(expr)->decl());
+      return;
+    case ExprKind::ArraySubscript: {
+      const auto *subscript = static_cast<const ArraySubscriptExpr *>(expr);
+      visitExpr(subscript->base());
+      visitExpr(subscript->index());
+      return;
+    }
+    case ExprKind::Member:
+      visitExpr(static_cast<const MemberExpr *>(expr)->base());
+      return;
+    case ExprKind::Call:
+      for (const Expr *arg : static_cast<const CallExpr *>(expr)->args())
+        visitExpr(arg);
+      return;
+    case ExprKind::Unary:
+      visitExpr(static_cast<const UnaryExpr *>(expr)->operand());
+      return;
+    case ExprKind::Binary: {
+      const auto *binary = static_cast<const BinaryExpr *>(expr);
+      visitExpr(binary->lhs());
+      visitExpr(binary->rhs());
+      return;
+    }
+    case ExprKind::Conditional: {
+      const auto *conditional = static_cast<const ConditionalExpr *>(expr);
+      visitExpr(conditional->cond());
+      visitExpr(conditional->trueExpr());
+      visitExpr(conditional->falseExpr());
+      return;
+    }
+    case ExprKind::Cast:
+      visitExpr(static_cast<const CastExpr *>(expr)->operand());
+      return;
+    case ExprKind::Paren:
+      visitExpr(static_cast<const ParenExpr *>(expr)->inner());
+      return;
+    case ExprKind::InitList:
+      for (const Expr *init : static_cast<const InitListExpr *>(expr)->inits())
+        visitExpr(init);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void visitStmt(const Stmt *stmt) {
+    if (stmt == nullptr)
+      return;
+    switch (stmt->kind()) {
+    case StmtKind::Compound:
+      for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+        visitStmt(sub);
+      return;
+    case StmtKind::Decl:
+      for (VarDecl *var : static_cast<const DeclStmt *>(stmt)->decls()) {
+        declared.insert(var);
+        if (var->init() != nullptr)
+          visitExpr(var->init());
+      }
+      return;
+    case StmtKind::Expr:
+      visitExpr(static_cast<const ExprStmt *>(stmt)->expr());
+      return;
+    case StmtKind::If: {
+      const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+      visitExpr(ifStmt->cond());
+      visitStmt(ifStmt->thenStmt());
+      visitStmt(ifStmt->elseStmt());
+      return;
+    }
+    case StmtKind::For: {
+      const auto *forStmt = static_cast<const ForStmt *>(stmt);
+      visitStmt(forStmt->init());
+      visitExpr(forStmt->cond());
+      visitExpr(forStmt->inc());
+      visitStmt(forStmt->body());
+      return;
+    }
+    case StmtKind::While: {
+      const auto *whileStmt = static_cast<const WhileStmt *>(stmt);
+      visitExpr(whileStmt->cond());
+      visitStmt(whileStmt->body());
+      return;
+    }
+    case StmtKind::Do: {
+      const auto *doStmt = static_cast<const DoStmt *>(stmt);
+      visitStmt(doStmt->body());
+      visitExpr(doStmt->cond());
+      return;
+    }
+    case StmtKind::Switch: {
+      const auto *switchStmt = static_cast<const SwitchStmt *>(stmt);
+      visitExpr(switchStmt->cond());
+      visitStmt(switchStmt->body());
+      return;
+    }
+    case StmtKind::Case: {
+      const auto *caseStmt = static_cast<const CaseStmt *>(stmt);
+      visitExpr(caseStmt->value());
+      visitStmt(caseStmt->sub());
+      return;
+    }
+    case StmtKind::Default:
+      visitStmt(static_cast<const DefaultStmt *>(stmt)->sub());
+      return;
+    case StmtKind::Return:
+      visitExpr(static_cast<const ReturnStmt *>(stmt)->value());
+      return;
+    case StmtKind::OmpDirective: {
+      const auto *directive = static_cast<const OmpDirectiveStmt *>(stmt);
+      for (const OmpClause &clause : directive->clauses()) {
+        visitExpr(clause.value);
+        for (const OmpObject &object : clause.objects)
+          addVar(object.var);
+      }
+      visitStmt(directive->associated());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+};
+
+/// Aggregate-like variables (arrays, pointers, structs) follow the implicit
+/// map(tofrom:) rule; scalars default to firstprivate.
+bool aggregateLike(const VarDecl *var) {
+  if (var == nullptr)
+    return false;
+  const Type *type = var->type();
+  return type->isArray() || type->isPointer() || type->isRecord();
+}
+
+sim::MapKind toSimMapKind(OmpMapType type) {
+  switch (type) {
+  case OmpMapType::To:
+    return sim::MapKind::To;
+  case OmpMapType::From:
+    return sim::MapKind::From;
+  case OmpMapType::ToFrom:
+    return sim::MapKind::ToFrom;
+  case OmpMapType::Alloc:
+    return sim::MapKind::Alloc;
+  case OmpMapType::Release:
+    return sim::MapKind::Release;
+  case OmpMapType::Delete:
+    return sim::MapKind::Delete;
+  }
+  return sim::MapKind::ToFrom;
+}
+
+} // namespace
+
+Interpreter::Interpreter(const TranslationUnit &unit, InterpOptions options)
+    : unit_(unit), options_(options) {
+  dev_ = std::make_unique<sim::DeviceDataEnvironment>(ledger_);
+}
+
+void Interpreter::countOp() {
+  ++opCount_;
+  if (opCount_ > options_.maxOps)
+    fail("operation budget exceeded (possible runaway loop)");
+  if (deviceMode_)
+    ledger_.addDeviceOps(1);
+  else
+    ledger_.addHostOps(1);
+}
+
+void Interpreter::fail(const std::string &message) {
+  throw RuntimeError{message};
+}
+
+std::uint64_t Interpreter::slotsOf(const Type *type) const {
+  if (type == nullptr)
+    return 1;
+  switch (type->kind()) {
+  case TypeKind::Builtin:
+  case TypeKind::Pointer:
+    return 1;
+  case TypeKind::Array: {
+    const auto *array = static_cast<const ArrayType *>(type);
+    return array->extent().value_or(0) * slotsOf(array->element());
+  }
+  case TypeKind::Record:
+    return static_cast<const RecordType *>(type)->decl()->fields().size();
+  }
+  return 1;
+}
+
+int Interpreter::createObject(std::string name, const Type *elemType,
+                              std::uint64_t slots) {
+  auto obj = std::make_unique<MemoryObject>();
+  obj->id = static_cast<int>(objects_.size());
+  obj->name = std::move(name);
+  obj->elemType = elemType;
+  obj->elemBytes = elemType != nullptr ? elemType->sizeInBytes() : 8;
+  if (obj->elemBytes == 0)
+    obj->elemBytes = 1;
+  obj->byteSize = slots * obj->elemBytes;
+  obj->host.assign(slots, Value{std::int64_t{0}});
+  const int id = obj->id;
+  objects_.push_back(std::move(obj));
+  return id;
+}
+
+int Interpreter::createUntypedObject(std::string name, std::uint64_t bytes) {
+  auto obj = std::make_unique<MemoryObject>();
+  obj->id = static_cast<int>(objects_.size());
+  obj->name = std::move(name);
+  obj->untyped = true;
+  obj->byteSize = bytes;
+  obj->elemBytes = 1;
+  const int id = obj->id;
+  objects_.push_back(std::move(obj));
+  return id;
+}
+
+void Interpreter::retypeObject(MemoryObject &obj, const Type *elemType) {
+  if (!obj.untyped || elemType == nullptr || elemType->sizeInBytes() == 0)
+    return;
+  obj.untyped = false;
+  obj.elemType = elemType;
+  obj.elemBytes = elemType->sizeInBytes();
+  obj.host.assign(obj.byteSize / obj.elemBytes, Value{std::int64_t{0}});
+}
+
+std::vector<Value> &Interpreter::activeBuffer(MemoryObject &obj) {
+  if (deviceMode_ && obj.deviceAllocated && dev_->isPresent(obj.id))
+    return obj.device;
+  return obj.host;
+}
+
+Value *Interpreter::lookupBinding(VarDecl *var) {
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    auto found = it->bindings.find(var);
+    if (found != it->bindings.end())
+      return &found->second;
+  }
+  auto found = globals_.bindings.find(var);
+  return found != globals_.bindings.end() ? &found->second : nullptr;
+}
+
+void Interpreter::bind(VarDecl *var, Value value) {
+  if (frames_.empty())
+    globals_.bindings[var] = value;
+  else
+    frames_.back().bindings[var] = value;
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+double Interpreter::asDouble(const Value &value) {
+  if (std::holds_alternative<double>(value))
+    return std::get<double>(value);
+  if (std::holds_alternative<std::int64_t>(value))
+    return static_cast<double>(std::get<std::int64_t>(value));
+  return 0.0;
+}
+
+std::int64_t Interpreter::asInt(const Value &value) {
+  if (std::holds_alternative<std::int64_t>(value))
+    return std::get<std::int64_t>(value);
+  if (std::holds_alternative<double>(value))
+    return static_cast<std::int64_t>(std::get<double>(value));
+  return std::get<PtrValue>(value).isNull() ? 0 : 1;
+}
+
+bool Interpreter::truthy(const Value &value) {
+  if (std::holds_alternative<PtrValue>(value))
+    return !std::get<PtrValue>(value).isNull();
+  if (std::holds_alternative<double>(value))
+    return std::get<double>(value) != 0.0;
+  return std::get<std::int64_t>(value) != 0;
+}
+
+Value Interpreter::convert(const Value &value, const Type *type) {
+  if (type == nullptr)
+    return value;
+  if (type->isPointer()) {
+    if (std::holds_alternative<PtrValue>(value)) {
+      PtrValue ptr = std::get<PtrValue>(value);
+      const auto *pointer = static_cast<const PointerType *>(type);
+      if (ptr.objectId >= 0) {
+        MemoryObject &obj = object(ptr.objectId);
+        retypeObject(obj, scalarBaseType(pointer->pointee()));
+      }
+      ptr.elemType = pointer->pointee();
+      return ptr;
+    }
+    return PtrValue{}; // null pointer from integer 0
+  }
+  if (type->isFloatingPoint())
+    return asDouble(value);
+  if (type->isInteger() || type->isScalar()) {
+    if (std::holds_alternative<double>(value)) {
+      double d = std::get<double>(value);
+      // Narrowing conversions for sub-64-bit integer types.
+      return static_cast<std::int64_t>(d);
+    }
+    return asInt(value);
+  }
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Program setup
+// ---------------------------------------------------------------------------
+
+RunResult Interpreter::run() {
+  RunResult result;
+  try {
+    // Globals: create backing objects and evaluate initializers in order.
+    for (VarDecl *var : unit_.globals) {
+      const Type *type = var->type();
+      const Type *elem = scalarBaseType(type);
+      const std::uint64_t slots = std::max<std::uint64_t>(1, slotsOf(type));
+      const int id = createObject(var->name(), elem, slots);
+      bind(var, Value{PtrValue{id, 0, elem}});
+      if (var->init() != nullptr) {
+        if (var->init()->kind() == ExprKind::InitList) {
+          const auto *init = static_cast<const InitListExpr *>(var->init());
+          MemoryObject &obj = object(id);
+          for (std::size_t i = 0;
+               i < init->inits().size() && i < obj.host.size(); ++i)
+            obj.host[i] = convert(evalExpr(init->inits()[i]), elem);
+        } else if (type->isScalar() || type->isPointer()) {
+          object(id).host[0] = convert(evalExpr(var->init()), type);
+        }
+      }
+    }
+    FunctionDecl *mainFn = unit_.findFunction("main");
+    if (mainFn == nullptr || !mainFn->isDefined())
+      fail("no main() function");
+    const Value exitValue = callFunction(mainFn, {});
+    result.exitCode = asInt(exitValue);
+    result.ok = true;
+  } catch (const ExitSignal &signal) {
+    result.exitCode = signal.code;
+    result.ok = true;
+  } catch (const RuntimeError &error) {
+    result.error = error.message;
+  } catch (const ReturnSignal &) {
+    result.error = "return outside function";
+  }
+  result.output = output_;
+  result.ledger = ledger_;
+  return result;
+}
+
+Value Interpreter::callFunction(FunctionDecl *fn, std::vector<Value> args) {
+  if (fn->body() == nullptr)
+    fail("call to undefined function '" + fn->name() + "'");
+  Frame frame;
+  frames_.push_back(std::move(frame));
+  for (std::size_t i = 0; i < fn->params().size(); ++i) {
+    VarDecl *param = fn->params()[i];
+    Value value = i < args.size() ? args[i] : Value{std::int64_t{0}};
+    // Uniform memory model: every variable (including pointer parameters)
+    // is backed by a 1-slot object holding its current value, so address-of
+    // and slot loads behave identically everywhere.
+    const int id = createObject(param->name(), param->type(), 1);
+    object(id).host[0] = convert(value, param->type());
+    frames_.back().bindings[param] = Value{PtrValue{id, 0, param->type()}};
+  }
+  Value returned{std::int64_t{0}};
+  try {
+    execStmt(fn->body());
+  } catch (ReturnSignal &signal) {
+    returned = signal.value;
+  }
+  frames_.pop_back();
+  return returned;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Interpreter::execStmt(const Stmt *stmt) {
+  if (stmt == nullptr)
+    return;
+  switch (stmt->kind()) {
+  case StmtKind::Compound:
+    execCompound(static_cast<const CompoundStmt *>(stmt));
+    return;
+  case StmtKind::Decl:
+    execDecl(static_cast<const DeclStmt *>(stmt));
+    return;
+  case StmtKind::Expr:
+    evalExpr(static_cast<const ExprStmt *>(stmt)->expr());
+    return;
+  case StmtKind::If: {
+    const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+    if (truthy(evalExpr(ifStmt->cond())))
+      execStmt(ifStmt->thenStmt());
+    else
+      execStmt(ifStmt->elseStmt());
+    return;
+  }
+  case StmtKind::For: {
+    const auto *forStmt = static_cast<const ForStmt *>(stmt);
+    execStmt(forStmt->init());
+    while (forStmt->cond() == nullptr ||
+           truthy(evalExpr(forStmt->cond()))) {
+      try {
+        execStmt(forStmt->body());
+      } catch (BreakSignal &) {
+        break;
+      } catch (ContinueSignal &) {
+      }
+      if (forStmt->inc() != nullptr)
+        evalExpr(forStmt->inc());
+    }
+    return;
+  }
+  case StmtKind::While: {
+    const auto *whileStmt = static_cast<const WhileStmt *>(stmt);
+    while (truthy(evalExpr(whileStmt->cond()))) {
+      try {
+        execStmt(whileStmt->body());
+      } catch (BreakSignal &) {
+        break;
+      } catch (ContinueSignal &) {
+      }
+    }
+    return;
+  }
+  case StmtKind::Do: {
+    const auto *doStmt = static_cast<const DoStmt *>(stmt);
+    do {
+      try {
+        execStmt(doStmt->body());
+      } catch (BreakSignal &) {
+        break;
+      } catch (ContinueSignal &) {
+      }
+    } while (truthy(evalExpr(doStmt->cond())));
+    return;
+  }
+  case StmtKind::Switch: {
+    const auto *switchStmt = static_cast<const SwitchStmt *>(stmt);
+    const std::int64_t selector = asInt(evalExpr(switchStmt->cond()));
+    const auto *body =
+        dynamic_cast<const CompoundStmt *>(switchStmt->body());
+    if (body == nullptr)
+      return;
+    // Find the matching case (or default), then execute with fallthrough.
+    // Consecutive labels parse as nested wrappers (`case 0: case 1: stmt`),
+    // so the scan unwraps the whole label chain of each child.
+    auto labelsMatch = [&](const Stmt *sub, bool &hasDefault) {
+      while (sub != nullptr) {
+        if (sub->kind() == StmtKind::Case) {
+          const auto *caseStmt = static_cast<const CaseStmt *>(sub);
+          if (asInt(evalExpr(caseStmt->value())) == selector)
+            return true;
+          sub = caseStmt->sub();
+        } else if (sub->kind() == StmtKind::Default) {
+          hasDefault = true;
+          sub = static_cast<const DefaultStmt *>(sub)->sub();
+        } else {
+          break;
+        }
+      }
+      return false;
+    };
+    std::size_t start = body->body().size();
+    std::size_t defaultIndex = body->body().size();
+    for (std::size_t i = 0; i < body->body().size(); ++i) {
+      bool hasDefault = false;
+      if (labelsMatch(body->body()[i], hasDefault)) {
+        start = i;
+        break;
+      }
+      if (hasDefault && defaultIndex == body->body().size())
+        defaultIndex = i;
+    }
+    if (start == body->body().size())
+      start = defaultIndex;
+    try {
+      for (std::size_t i = start; i < body->body().size(); ++i) {
+        const Stmt *sub = body->body()[i];
+        if (sub->kind() == StmtKind::Case)
+          execStmt(static_cast<const CaseStmt *>(sub)->sub());
+        else if (sub->kind() == StmtKind::Default)
+          execStmt(static_cast<const DefaultStmt *>(sub)->sub());
+        else
+          execStmt(sub);
+      }
+    } catch (BreakSignal &) {
+    }
+    return;
+  }
+  case StmtKind::Break:
+    throw BreakSignal{};
+  case StmtKind::Continue:
+    throw ContinueSignal{};
+  case StmtKind::Return: {
+    const auto *returnStmt = static_cast<const ReturnStmt *>(stmt);
+    Value value{std::int64_t{0}};
+    if (returnStmt->value() != nullptr)
+      value = evalExpr(returnStmt->value());
+    throw ReturnSignal{value};
+  }
+  case StmtKind::Null:
+    return;
+  case StmtKind::OmpDirective:
+    execOmp(static_cast<const OmpDirectiveStmt *>(stmt));
+    return;
+  case StmtKind::Case:
+    execStmt(static_cast<const CaseStmt *>(stmt)->sub());
+    return;
+  case StmtKind::Default:
+    execStmt(static_cast<const DefaultStmt *>(stmt)->sub());
+    return;
+  }
+}
+
+void Interpreter::execCompound(const CompoundStmt *stmt) {
+  for (const Stmt *sub : stmt->body())
+    execStmt(sub);
+}
+
+void Interpreter::execDecl(const DeclStmt *stmt) {
+  for (VarDecl *var : stmt->decls()) {
+    const Type *type = var->type();
+    const Type *elem = scalarBaseType(type);
+    const std::uint64_t slots = std::max<std::uint64_t>(1, slotsOf(type));
+    const int id = createObject(var->name(), elem, slots);
+    bind(var, Value{PtrValue{id, 0, elem}});
+    if (var->init() == nullptr)
+      continue;
+    if (var->init()->kind() == ExprKind::InitList) {
+      const auto *init = static_cast<const InitListExpr *>(var->init());
+      MemoryObject &obj = object(id);
+      auto &buffer = activeBuffer(obj);
+      for (std::size_t i = 0; i < init->inits().size() && i < buffer.size();
+           ++i)
+        buffer[i] = convert(evalExpr(init->inits()[i]), elem);
+    } else if (type->isPointer()) {
+      // Pointer variables store their pointer value in slot 0.
+      Value value = convert(evalExpr(var->init()), type);
+      activeBuffer(object(id))[0] = value;
+    } else if (type->isScalar()) {
+      activeBuffer(object(id))[0] = convert(evalExpr(var->init()), type);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Value Interpreter::evalExpr(const Expr *expr) {
+  countOp();
+  if (expr == nullptr)
+    return Value{std::int64_t{0}};
+  switch (expr->kind()) {
+  case ExprKind::IntLiteral:
+    return Value{static_cast<const IntLiteralExpr *>(expr)->value()};
+  case ExprKind::FloatLiteral:
+    return Value{static_cast<const FloatLiteralExpr *>(expr)->value()};
+  case ExprKind::CharLiteral:
+    return Value{static_cast<std::int64_t>(
+        static_cast<const CharLiteralExpr *>(expr)->value())};
+  case ExprKind::StringLiteral: {
+    const auto *literal = static_cast<const StringLiteralExpr *>(expr);
+    auto it = stringObjects_.find(literal);
+    int id = 0;
+    if (it != stringObjects_.end()) {
+      id = it->second;
+    } else {
+      id = createObject("<string>", nullptr, literal->value().size() + 1);
+      MemoryObject &obj = object(id);
+      obj.elemBytes = 1;
+      obj.byteSize = literal->value().size() + 1;
+      for (std::size_t i = 0; i < literal->value().size(); ++i)
+        obj.host[i] = Value{static_cast<std::int64_t>(literal->value()[i])};
+      stringObjects_[literal] = id;
+    }
+    return Value{PtrValue{id, 0, nullptr}};
+  }
+  case ExprKind::DeclRef: {
+    VarDecl *var = static_cast<const DeclRefExpr *>(expr)->decl();
+    Value *binding = lookupBinding(var);
+    if (binding == nullptr)
+      fail("unbound variable '" + (var ? var->name() : "?") + "'");
+    const PtrValue base = std::get<PtrValue>(*binding);
+    const Type *type = var->type();
+    if (type->isArray() || type->isRecord()) {
+      // Arrays decay; structs are referenced by address.
+      PtrValue ptr = base;
+      if (const auto *array = dynamic_cast<const ArrayType *>(type))
+        ptr.elemType = array->element();
+      else
+        ptr.elemType = type;
+      return Value{ptr};
+    }
+    // Scalar or pointer variable: load its slot.
+    MemoryObject &obj = object(base.objectId);
+    Value value = activeBuffer(obj)[static_cast<std::size_t>(base.offset)];
+    return value;
+  }
+  case ExprKind::ArraySubscript:
+  case ExprKind::Member: {
+    const LValue lv = evalLValue(expr);
+    // Intermediate dimensions of multi-dimensional arrays decay to pointers
+    // rather than loading a slot (`g[i]` of `double g[3][4]`).
+    if (expr->type() != nullptr && expr->type()->isArray()) {
+      PtrValue ptr;
+      ptr.objectId = lv.objectId;
+      ptr.offset = lv.slot;
+      ptr.elemType =
+          static_cast<const ArrayType *>(expr->type())->element();
+      return Value{ptr};
+    }
+    return load(lv);
+  }
+  case ExprKind::Call:
+    return evalCall(static_cast<const CallExpr *>(expr));
+  case ExprKind::Unary:
+    return evalUnary(static_cast<const UnaryExpr *>(expr));
+  case ExprKind::Binary:
+    return evalBinary(static_cast<const BinaryExpr *>(expr));
+  case ExprKind::Conditional: {
+    const auto *conditional = static_cast<const ConditionalExpr *>(expr);
+    return truthy(evalExpr(conditional->cond()))
+               ? evalExpr(conditional->trueExpr())
+               : evalExpr(conditional->falseExpr());
+  }
+  case ExprKind::Cast: {
+    const auto *cast = static_cast<const CastExpr *>(expr);
+    if (cast->type()->isVoid()) {
+      evalExpr(cast->operand());
+      return Value{std::int64_t{0}};
+    }
+    return convert(evalExpr(cast->operand()), cast->type());
+  }
+  case ExprKind::Paren:
+    return evalExpr(static_cast<const ParenExpr *>(expr)->inner());
+  case ExprKind::InitList:
+    fail("initializer list in expression context");
+  case ExprKind::Sizeof:
+    return Value{static_cast<std::int64_t>(
+        static_cast<const SizeofExpr *>(expr)->argument()->sizeInBytes())};
+  }
+  return Value{std::int64_t{0}};
+}
+
+Interpreter::LValue Interpreter::evalLValue(const Expr *expr) {
+  expr = ignoreParensAndCasts(expr);
+  if (expr == nullptr)
+    fail("null lvalue");
+  switch (expr->kind()) {
+  case ExprKind::DeclRef: {
+    VarDecl *var = static_cast<const DeclRefExpr *>(expr)->decl();
+    Value *binding = lookupBinding(var);
+    if (binding == nullptr)
+      fail("unbound variable '" + (var ? var->name() : "?") + "'");
+    const PtrValue base = std::get<PtrValue>(*binding);
+    return LValue{base.objectId, base.offset};
+  }
+  case ExprKind::ArraySubscript: {
+    const auto *subscript = static_cast<const ArraySubscriptExpr *>(expr);
+    const PtrValue base = evalPointerLike(subscript->base());
+    const std::int64_t index = asInt(evalExpr(subscript->index()));
+    const std::uint64_t stride = slotsOf(base.elemType);
+    return LValue{base.objectId,
+                  base.offset + index * static_cast<std::int64_t>(stride)};
+  }
+  case ExprKind::Member: {
+    const auto *member = static_cast<const MemberExpr *>(expr);
+    PtrValue base;
+    if (member->isArrow()) {
+      base = std::get<PtrValue>(evalExpr(member->base()));
+    } else {
+      base = evalPointerLike(member->base());
+    }
+    // Field ordinal = slot offset within the record object.
+    const RecordDecl *record = nullptr;
+    const Type *baseType = member->base()->type();
+    if (member->isArrow()) {
+      if (const auto *pointer = dynamic_cast<const PointerType *>(baseType))
+        baseType = pointer->pointee();
+    }
+    if (const auto *recordType = dynamic_cast<const RecordType *>(baseType))
+      record = recordType->decl();
+    if (record == nullptr)
+      fail("member access on non-struct");
+    std::int64_t ordinal = 0;
+    for (const FieldDecl &field : record->fields()) {
+      if (field.name == member->member())
+        break;
+      ++ordinal;
+    }
+    return LValue{base.objectId, base.offset + ordinal};
+  }
+  case ExprKind::Unary: {
+    const auto *unary = static_cast<const UnaryExpr *>(expr);
+    if (unary->op() == UnaryOp::Deref) {
+      const PtrValue ptr = std::get<PtrValue>(evalExpr(unary->operand()));
+      if (ptr.isNull())
+        fail("null pointer dereference");
+      return LValue{ptr.objectId, ptr.offset};
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  fail("expression is not an lvalue");
+}
+
+Value Interpreter::load(const LValue &lv) {
+  if (lv.objectId < 0)
+    fail("load from null");
+  MemoryObject &obj = object(lv.objectId);
+  if (obj.freed)
+    fail("use after free of '" + obj.name + "'");
+  auto &buffer = activeBuffer(obj);
+  if (lv.slot < 0 || static_cast<std::size_t>(lv.slot) >= buffer.size())
+    fail("out-of-bounds access in '" + obj.name + "' (slot " +
+         std::to_string(lv.slot) + " of " + std::to_string(buffer.size()) +
+         ")");
+  return buffer[static_cast<std::size_t>(lv.slot)];
+}
+
+void Interpreter::store(const LValue &lv, Value value,
+                        const Type *targetType) {
+  if (lv.objectId < 0)
+    fail("store to null");
+  MemoryObject &obj = object(lv.objectId);
+  if (obj.freed)
+    fail("use after free of '" + obj.name + "'");
+  auto &buffer = activeBuffer(obj);
+  if (lv.slot < 0 || static_cast<std::size_t>(lv.slot) >= buffer.size())
+    fail("out-of-bounds store in '" + obj.name + "' (slot " +
+         std::to_string(lv.slot) + " of " + std::to_string(buffer.size()) +
+         ")");
+  buffer[static_cast<std::size_t>(lv.slot)] = convert(value, targetType);
+}
+
+PtrValue Interpreter::evalPointerLike(const Expr *expr) {
+  const Value value = evalExpr(expr);
+  if (std::holds_alternative<PtrValue>(value)) {
+    PtrValue ptr = std::get<PtrValue>(value);
+    if (ptr.elemType == nullptr) {
+      // Derive from the static type.
+      const Type *type = expr->type();
+      if (const auto *pointer = dynamic_cast<const PointerType *>(type))
+        ptr.elemType = pointer->pointee();
+      else if (const auto *array = dynamic_cast<const ArrayType *>(type))
+        ptr.elemType = array->element();
+    }
+    return ptr;
+  }
+  fail("expected a pointer value");
+}
+
+Value Interpreter::evalUnary(const UnaryExpr *expr) {
+  switch (expr->op()) {
+  case UnaryOp::Plus:
+    return evalExpr(expr->operand());
+  case UnaryOp::Minus: {
+    const Value value = evalExpr(expr->operand());
+    if (std::holds_alternative<double>(value))
+      return Value{-std::get<double>(value)};
+    return Value{-asInt(value)};
+  }
+  case UnaryOp::Not:
+    return Value{~asInt(evalExpr(expr->operand()))};
+  case UnaryOp::LNot:
+    return Value{static_cast<std::int64_t>(
+        truthy(evalExpr(expr->operand())) ? 0 : 1)};
+  case UnaryOp::Deref: {
+    const PtrValue ptr = std::get<PtrValue>(evalExpr(expr->operand()));
+    if (ptr.isNull())
+      fail("null pointer dereference");
+    return load(LValue{ptr.objectId, ptr.offset});
+  }
+  case UnaryOp::AddrOf: {
+    const LValue lv = evalLValue(expr->operand());
+    PtrValue ptr;
+    ptr.objectId = lv.objectId;
+    ptr.offset = lv.slot;
+    ptr.elemType = expr->operand()->type();
+    return Value{ptr};
+  }
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+  case UnaryOp::PostInc:
+  case UnaryOp::PostDec: {
+    const LValue lv = evalLValue(expr->operand());
+    const Value old = load(lv);
+    const bool inc =
+        expr->op() == UnaryOp::PreInc || expr->op() == UnaryOp::PostInc;
+    Value updated;
+    if (std::holds_alternative<PtrValue>(old)) {
+      PtrValue ptr = std::get<PtrValue>(old);
+      const std::int64_t stride =
+          static_cast<std::int64_t>(slotsOf(ptr.elemType));
+      ptr.offset += inc ? stride : -stride;
+      updated = ptr;
+    } else if (std::holds_alternative<double>(old)) {
+      updated = std::get<double>(old) + (inc ? 1.0 : -1.0);
+    } else {
+      updated = asInt(old) + (inc ? 1 : -1);
+    }
+    store(lv, updated, expr->operand()->type());
+    const bool isPost =
+        expr->op() == UnaryOp::PostInc || expr->op() == UnaryOp::PostDec;
+    return isPost ? old : updated;
+  }
+  }
+  return Value{std::int64_t{0}};
+}
+
+Value Interpreter::evalBinary(const BinaryExpr *expr) {
+  const BinaryOp op = expr->op();
+
+  if (op == BinaryOp::LAnd) {
+    if (!truthy(evalExpr(expr->lhs())))
+      return Value{std::int64_t{0}};
+    return Value{static_cast<std::int64_t>(
+        truthy(evalExpr(expr->rhs())) ? 1 : 0)};
+  }
+  if (op == BinaryOp::LOr) {
+    if (truthy(evalExpr(expr->lhs())))
+      return Value{std::int64_t{1}};
+    return Value{static_cast<std::int64_t>(
+        truthy(evalExpr(expr->rhs())) ? 1 : 0)};
+  }
+  if (op == BinaryOp::Comma) {
+    evalExpr(expr->lhs());
+    return evalExpr(expr->rhs());
+  }
+
+  if (isAssignmentOp(op)) {
+    const Value rhs = evalExpr(expr->rhs());
+    const LValue lv = evalLValue(expr->lhs());
+    Value result;
+    if (op == BinaryOp::Assign) {
+      result = rhs;
+    } else {
+      const Value lhs = load(lv);
+      // Rebuild the non-assign operator for the combine step.
+      BinaryOp combine = BinaryOp::Add;
+      switch (op) {
+      case BinaryOp::MulAssign:
+        combine = BinaryOp::Mul;
+        break;
+      case BinaryOp::DivAssign:
+        combine = BinaryOp::Div;
+        break;
+      case BinaryOp::RemAssign:
+        combine = BinaryOp::Rem;
+        break;
+      case BinaryOp::AddAssign:
+        combine = BinaryOp::Add;
+        break;
+      case BinaryOp::SubAssign:
+        combine = BinaryOp::Sub;
+        break;
+      case BinaryOp::ShlAssign:
+        combine = BinaryOp::Shl;
+        break;
+      case BinaryOp::ShrAssign:
+        combine = BinaryOp::Shr;
+        break;
+      case BinaryOp::AndAssign:
+        combine = BinaryOp::BitAnd;
+        break;
+      case BinaryOp::XorAssign:
+        combine = BinaryOp::BitXor;
+        break;
+      case BinaryOp::OrAssign:
+        combine = BinaryOp::BitOr;
+        break;
+      default:
+        break;
+      }
+      // Numeric combine (pointer compound assign unsupported).
+      const bool isFloat = std::holds_alternative<double>(lhs) ||
+                           std::holds_alternative<double>(rhs);
+      if (isFloat) {
+        const double a = asDouble(lhs);
+        const double b = asDouble(rhs);
+        double r = 0.0;
+        switch (combine) {
+        case BinaryOp::Mul:
+          r = a * b;
+          break;
+        case BinaryOp::Div:
+          r = a / b;
+          break;
+        case BinaryOp::Add:
+          r = a + b;
+          break;
+        case BinaryOp::Sub:
+          r = a - b;
+          break;
+        default:
+          fail("invalid compound assignment on floating value");
+        }
+        result = r;
+      } else {
+        const std::int64_t a = asInt(lhs);
+        const std::int64_t b = asInt(rhs);
+        std::int64_t r = 0;
+        switch (combine) {
+        case BinaryOp::Mul:
+          r = a * b;
+          break;
+        case BinaryOp::Div:
+          if (b == 0)
+            fail("integer division by zero");
+          r = a / b;
+          break;
+        case BinaryOp::Rem:
+          if (b == 0)
+            fail("integer modulo by zero");
+          r = a % b;
+          break;
+        case BinaryOp::Add:
+          r = a + b;
+          break;
+        case BinaryOp::Sub:
+          r = a - b;
+          break;
+        case BinaryOp::Shl:
+          r = a << b;
+          break;
+        case BinaryOp::Shr:
+          r = a >> b;
+          break;
+        case BinaryOp::BitAnd:
+          r = a & b;
+          break;
+        case BinaryOp::BitXor:
+          r = a ^ b;
+          break;
+        case BinaryOp::BitOr:
+          r = a | b;
+          break;
+        default:
+          break;
+        }
+        result = r;
+      }
+    }
+    store(lv, result, expr->lhs()->type());
+    return load(lv);
+  }
+
+  const Value lhs = evalExpr(expr->lhs());
+  const Value rhs = evalExpr(expr->rhs());
+
+  // Pointer arithmetic / comparisons.
+  const bool lhsPtr = std::holds_alternative<PtrValue>(lhs);
+  const bool rhsPtr = std::holds_alternative<PtrValue>(rhs);
+  if (lhsPtr || rhsPtr) {
+    if (op == BinaryOp::Add || op == BinaryOp::Sub) {
+      if (lhsPtr && !rhsPtr) {
+        PtrValue ptr = std::get<PtrValue>(lhs);
+        const std::int64_t stride =
+            static_cast<std::int64_t>(slotsOf(ptr.elemType));
+        const std::int64_t n = asInt(rhs) * stride;
+        ptr.offset += op == BinaryOp::Add ? n : -n;
+        return Value{ptr};
+      }
+      if (rhsPtr && !lhsPtr && op == BinaryOp::Add) {
+        PtrValue ptr = std::get<PtrValue>(rhs);
+        ptr.offset +=
+            asInt(lhs) * static_cast<std::int64_t>(slotsOf(ptr.elemType));
+        return Value{ptr};
+      }
+      if (lhsPtr && rhsPtr && op == BinaryOp::Sub) {
+        const PtrValue a = std::get<PtrValue>(lhs);
+        const PtrValue b = std::get<PtrValue>(rhs);
+        const std::int64_t stride = static_cast<std::int64_t>(
+            std::max<std::uint64_t>(1, slotsOf(a.elemType)));
+        return Value{(a.offset - b.offset) / stride};
+      }
+    }
+    // Comparisons: compare (object, offset) pairs; integers compare as null.
+    auto key = [](const Value &value) -> std::pair<std::int64_t, std::int64_t> {
+      if (std::holds_alternative<PtrValue>(value)) {
+        const PtrValue ptr = std::get<PtrValue>(value);
+        return {ptr.objectId, ptr.offset};
+      }
+      return {-1, asInt(value)};
+    };
+    const auto a = key(lhs);
+    const auto b = key(rhs);
+    std::int64_t r = 0;
+    switch (op) {
+    case BinaryOp::EQ:
+      r = a == b;
+      break;
+    case BinaryOp::NE:
+      r = a != b;
+      break;
+    case BinaryOp::LT:
+      r = a < b;
+      break;
+    case BinaryOp::GT:
+      r = b < a;
+      break;
+    case BinaryOp::LE:
+      r = !(b < a);
+      break;
+    case BinaryOp::GE:
+      r = !(a < b);
+      break;
+    default:
+      fail("unsupported pointer operation");
+    }
+    return Value{r};
+  }
+
+  const bool isFloat = std::holds_alternative<double>(lhs) ||
+                       std::holds_alternative<double>(rhs);
+  if (isFloat) {
+    const double a = asDouble(lhs);
+    const double b = asDouble(rhs);
+    switch (op) {
+    case BinaryOp::Mul:
+      return Value{a * b};
+    case BinaryOp::Div:
+      return Value{a / b};
+    case BinaryOp::Add:
+      return Value{a + b};
+    case BinaryOp::Sub:
+      return Value{a - b};
+    case BinaryOp::LT:
+      return Value{static_cast<std::int64_t>(a < b)};
+    case BinaryOp::GT:
+      return Value{static_cast<std::int64_t>(a > b)};
+    case BinaryOp::LE:
+      return Value{static_cast<std::int64_t>(a <= b)};
+    case BinaryOp::GE:
+      return Value{static_cast<std::int64_t>(a >= b)};
+    case BinaryOp::EQ:
+      return Value{static_cast<std::int64_t>(a == b)};
+    case BinaryOp::NE:
+      return Value{static_cast<std::int64_t>(a != b)};
+    default:
+      fail("invalid floating-point operation");
+    }
+  }
+
+  const std::int64_t a = asInt(lhs);
+  const std::int64_t b = asInt(rhs);
+  switch (op) {
+  case BinaryOp::Mul:
+    return Value{a * b};
+  case BinaryOp::Div:
+    if (b == 0)
+      fail("integer division by zero");
+    return Value{a / b};
+  case BinaryOp::Rem:
+    if (b == 0)
+      fail("integer modulo by zero");
+    return Value{a % b};
+  case BinaryOp::Add:
+    return Value{a + b};
+  case BinaryOp::Sub:
+    return Value{a - b};
+  case BinaryOp::Shl:
+    return Value{a << b};
+  case BinaryOp::Shr:
+    return Value{a >> b};
+  case BinaryOp::LT:
+    return Value{static_cast<std::int64_t>(a < b)};
+  case BinaryOp::GT:
+    return Value{static_cast<std::int64_t>(a > b)};
+  case BinaryOp::LE:
+    return Value{static_cast<std::int64_t>(a <= b)};
+  case BinaryOp::GE:
+    return Value{static_cast<std::int64_t>(a >= b)};
+  case BinaryOp::EQ:
+    return Value{static_cast<std::int64_t>(a == b)};
+  case BinaryOp::NE:
+    return Value{static_cast<std::int64_t>(a != b)};
+  case BinaryOp::BitAnd:
+    return Value{a & b};
+  case BinaryOp::BitXor:
+    return Value{a ^ b};
+  case BinaryOp::BitOr:
+    return Value{a | b};
+  default:
+    fail("unsupported integer operation");
+  }
+  return Value{std::int64_t{0}};
+}
+
+// ---------------------------------------------------------------------------
+// Calls & builtins
+// ---------------------------------------------------------------------------
+
+Value Interpreter::evalCall(const CallExpr *expr) {
+  std::vector<Value> args;
+  args.reserve(expr->args().size());
+  for (const Expr *arg : expr->args())
+    args.push_back(evalExpr(arg));
+
+  if (expr->callee() != nullptr && expr->callee()->isDefined())
+    return callFunction(expr->callee(), std::move(args));
+
+  bool handled = false;
+  Value result = builtinCall(expr->calleeName(), expr, args, handled);
+  if (handled)
+    return result;
+  fail("call to unknown function '" + expr->calleeName() + "'");
+  return Value{std::int64_t{0}};
+}
+
+std::string Interpreter::cString(const Value &value) {
+  if (!std::holds_alternative<PtrValue>(value))
+    return {};
+  const PtrValue ptr = std::get<PtrValue>(value);
+  if (ptr.isNull())
+    return {};
+  const MemoryObject &obj = *objects_[static_cast<std::size_t>(ptr.objectId)];
+  std::string out;
+  for (std::size_t i = static_cast<std::size_t>(ptr.offset);
+       i < obj.host.size(); ++i) {
+    const std::int64_t c = asInt(obj.host[i]);
+    if (c == 0)
+      break;
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+void Interpreter::doPrintf(const std::vector<Value> &args,
+                           const CallExpr *expr) {
+  std::string format;
+  const Expr *first =
+      expr->args().empty() ? nullptr : ignoreParensAndCasts(expr->args()[0]);
+  if (first != nullptr && first->kind() == ExprKind::StringLiteral)
+    format = static_cast<const StringLiteralExpr *>(first)->value();
+  else if (!args.empty())
+    format = cString(args[0]);
+
+  std::string out;
+  std::size_t argIndex = 1;
+  char buffer[128];
+  for (std::size_t i = 0; i < format.size(); ++i) {
+    if (format[i] != '%') {
+      out.push_back(format[i]);
+      continue;
+    }
+    if (i + 1 < format.size() && format[i + 1] == '%') {
+      out.push_back('%');
+      ++i;
+      continue;
+    }
+    // Parse the conversion spec: %[flags][width][.prec][length]conv
+    std::string spec = "%";
+    ++i;
+    while (i < format.size() &&
+           (std::isdigit(static_cast<unsigned char>(format[i])) ||
+            format[i] == '.' || format[i] == '-' || format[i] == '+' ||
+            format[i] == ' ' || format[i] == '#' || format[i] == '0')) {
+      spec.push_back(format[i]);
+      ++i;
+    }
+    while (i < format.size() && (format[i] == 'l' || format[i] == 'h' ||
+                                 format[i] == 'z'))
+      ++i; // drop length modifiers; we rebuild them
+    if (i >= format.size())
+      break;
+    const char conv = format[i];
+    const Value arg = argIndex < args.size() ? args[argIndex]
+                                             : Value{std::int64_t{0}};
+    ++argIndex;
+    switch (conv) {
+    case 'd':
+    case 'i':
+    case 'u':
+    case 'x':
+    case 'X': {
+      spec += "ll";
+      spec.push_back(conv == 'u' ? 'd' : conv); // render unsigned as signed
+      std::snprintf(buffer, sizeof buffer, spec.c_str(),
+                    static_cast<long long>(asInt(arg)));
+      out += buffer;
+      break;
+    }
+    case 'f':
+    case 'e':
+    case 'E':
+    case 'g':
+    case 'G': {
+      spec.push_back(conv);
+      std::snprintf(buffer, sizeof buffer, spec.c_str(), asDouble(arg));
+      out += buffer;
+      break;
+    }
+    case 'c': {
+      out.push_back(static_cast<char>(asInt(arg)));
+      break;
+    }
+    case 's': {
+      out += cString(arg);
+      break;
+    }
+    default:
+      out.push_back(conv);
+      break;
+    }
+  }
+  output_ += out;
+}
+
+Value Interpreter::builtinCall(const std::string &name, const CallExpr *expr,
+                               std::vector<Value> &args, bool &handled) {
+  handled = true;
+  auto arg = [&](std::size_t i) -> Value {
+    return i < args.size() ? args[i] : Value{std::int64_t{0}};
+  };
+  auto d = [&](std::size_t i) { return asDouble(arg(i)); };
+
+  if (name == "exp")
+    return Value{std::exp(d(0))};
+  if (name == "expf")
+    return Value{static_cast<double>(std::exp(static_cast<float>(d(0))))};
+  if (name == "sqrt" || name == "sqrtf")
+    return Value{std::sqrt(d(0))};
+  if (name == "fabs" || name == "fabsf")
+    return Value{std::fabs(d(0))};
+  if (name == "pow" || name == "powf")
+    return Value{std::pow(d(0), d(1))};
+  if (name == "log" || name == "logf")
+    return Value{std::log(d(0))};
+  if (name == "log2")
+    return Value{std::log2(d(0))};
+  if (name == "sin" || name == "sinf")
+    return Value{std::sin(d(0))};
+  if (name == "cos" || name == "cosf")
+    return Value{std::cos(d(0))};
+  if (name == "tan")
+    return Value{std::tan(d(0))};
+  if (name == "atan")
+    return Value{std::atan(d(0))};
+  if (name == "floor")
+    return Value{std::floor(d(0))};
+  if (name == "ceil")
+    return Value{std::ceil(d(0))};
+  if (name == "cbrt")
+    return Value{std::cbrt(d(0))};
+  if (name == "fmin" || name == "fminf")
+    return Value{std::fmin(d(0), d(1))};
+  if (name == "fmax" || name == "fmaxf")
+    return Value{std::fmax(d(0), d(1))};
+  if (name == "abs")
+    return Value{std::llabs(asInt(arg(0)))};
+  if (name == "rand") {
+    // xorshift*: deterministic across platforms.
+    randState_ ^= randState_ >> 12;
+    randState_ ^= randState_ << 25;
+    randState_ ^= randState_ >> 27;
+    return Value{static_cast<std::int64_t>(
+        (randState_ * 0x2545F4914F6CDD1DULL) >> 40 & 0x7FFF)};
+  }
+  if (name == "srand") {
+    randState_ = static_cast<std::uint64_t>(asInt(arg(0))) * 2654435761u + 1;
+    return Value{std::int64_t{0}};
+  }
+  if (name == "malloc") {
+    const std::uint64_t bytes = static_cast<std::uint64_t>(asInt(arg(0)));
+    const int id = createUntypedObject("<malloc>", bytes);
+    return Value{PtrValue{id, 0, nullptr}};
+  }
+  if (name == "calloc") {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(asInt(arg(0)) * asInt(arg(1)));
+    const int id = createUntypedObject("<calloc>", bytes);
+    return Value{PtrValue{id, 0, nullptr}};
+  }
+  if (name == "free") {
+    if (std::holds_alternative<PtrValue>(arg(0))) {
+      const PtrValue ptr = std::get<PtrValue>(arg(0));
+      if (!ptr.isNull())
+        object(ptr.objectId).freed = true;
+    }
+    return Value{std::int64_t{0}};
+  }
+  if (name == "memset") {
+    const PtrValue ptr = std::get<PtrValue>(arg(0));
+    if (!ptr.isNull()) {
+      MemoryObject &obj = object(ptr.objectId);
+      auto &buffer = activeBuffer(obj);
+      const std::int64_t fill = asInt(arg(1));
+      const std::uint64_t bytes = static_cast<std::uint64_t>(asInt(arg(2)));
+      const std::uint64_t slots =
+          std::min<std::uint64_t>(bytes / std::max<std::uint64_t>(
+                                              1, obj.elemBytes),
+                                  buffer.size() - ptr.offset);
+      const bool isFloat =
+          obj.elemType != nullptr && obj.elemType->isFloatingPoint();
+      for (std::uint64_t i = 0; i < slots; ++i)
+        buffer[static_cast<std::size_t>(ptr.offset) + i] =
+            isFloat && fill == 0 ? Value{0.0} : Value{fill};
+    }
+    return Value{std::int64_t{0}};
+  }
+  if (name == "memcpy") {
+    const PtrValue dst = std::get<PtrValue>(arg(0));
+    const PtrValue src = std::get<PtrValue>(arg(1));
+    if (!dst.isNull() && !src.isNull()) {
+      MemoryObject &dstObj = object(dst.objectId);
+      MemoryObject &srcObj = object(src.objectId);
+      auto &dstBuf = activeBuffer(dstObj);
+      auto &srcBuf = activeBuffer(srcObj);
+      const std::uint64_t bytes = static_cast<std::uint64_t>(asInt(arg(2)));
+      const std::uint64_t slots =
+          bytes / std::max<std::uint64_t>(1, dstObj.elemBytes);
+      for (std::uint64_t i = 0; i < slots; ++i) {
+        const std::size_t from = static_cast<std::size_t>(src.offset) + i;
+        const std::size_t to = static_cast<std::size_t>(dst.offset) + i;
+        if (from < srcBuf.size() && to < dstBuf.size())
+          dstBuf[to] = srcBuf[from];
+      }
+    }
+    return Value{std::int64_t{0}};
+  }
+  if (name == "printf") {
+    doPrintf(args, expr);
+    return Value{std::int64_t{0}};
+  }
+  if (name == "exit")
+    throw ExitSignal{asInt(arg(0))};
+  if (name == "atoi")
+    return Value{static_cast<std::int64_t>(
+        std::strtoll(cString(arg(0)).c_str(), nullptr, 10))};
+
+  handled = false;
+  return Value{std::int64_t{0}};
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP execution
+// ---------------------------------------------------------------------------
+
+Interpreter::MapItem Interpreter::wholeObjectItem(int objectId,
+                                                  sim::MapKind kind) {
+  MapItem item;
+  item.objectId = objectId;
+  item.kind = kind;
+  MemoryObject &obj = object(objectId);
+  item.sliceLo = 0;
+  item.sliceLen = obj.host.size();
+  item.bytes = obj.byteSize;
+  item.tag = obj.name;
+  return item;
+}
+
+Interpreter::MapItem Interpreter::mapItemFor(const OmpObject &ompObject,
+                                             sim::MapKind kind) {
+  MapItem item;
+  item.kind = kind;
+  VarDecl *var = ompObject.var;
+  if (var == nullptr)
+    fail("unresolved variable in map clause");
+  Value *binding = lookupBinding(var);
+  if (binding == nullptr)
+    fail("unbound variable '" + var->name() + "' in map clause");
+  PtrValue base = std::get<PtrValue>(*binding);
+  int objectId = base.objectId;
+  if (var->type()->isPointer()) {
+    // The mapped data is the pointee.
+    const Value stored = object(base.objectId).host[0];
+    if (!std::holds_alternative<PtrValue>(stored) ||
+        std::get<PtrValue>(stored).isNull())
+      fail("mapping null pointer '" + var->name() + "'");
+    objectId = std::get<PtrValue>(stored).objectId;
+  }
+  MemoryObject &obj = object(objectId);
+  item.objectId = objectId;
+  item.tag = var->name();
+  item.sliceLo = 0;
+  item.sliceLen = obj.host.size();
+  if (ompObject.sections.size() == 1) {
+    const OmpArraySectionDim &dim = ompObject.sections[0];
+    const std::uint64_t lower =
+        dim.lower != nullptr
+            ? static_cast<std::uint64_t>(asInt(evalExpr(dim.lower)))
+            : 0;
+    std::uint64_t length = obj.host.size() - std::min<std::uint64_t>(
+                                                 lower, obj.host.size());
+    if (dim.length != nullptr)
+      length = static_cast<std::uint64_t>(asInt(evalExpr(dim.length)));
+    else if (dim.lower != nullptr && dim.length == nullptr &&
+             ompObject.spelling.find(':') == std::string::npos)
+      length = 1; // plain a[i]
+    item.sliceLo = lower;
+    item.sliceLen = length;
+  }
+  item.bytes = item.sliceLen * obj.elemBytes;
+  return item;
+}
+
+void Interpreter::copySlice(MemoryObject &obj, bool toDevice,
+                            std::uint64_t lo, std::uint64_t len) {
+  if (!obj.deviceAllocated)
+    return;
+  const std::uint64_t end =
+      std::min<std::uint64_t>(lo + len, obj.host.size());
+  for (std::uint64_t i = lo; i < end; ++i) {
+    if (toDevice)
+      obj.device[static_cast<std::size_t>(i)] =
+          obj.host[static_cast<std::size_t>(i)];
+    else
+      obj.host[static_cast<std::size_t>(i)] =
+          obj.device[static_cast<std::size_t>(i)];
+  }
+}
+
+void Interpreter::applyMapEnter(const MapItem &item) {
+  MemoryObject &obj = object(item.objectId);
+  const auto action =
+      dev_->mapEnter(item.objectId, item.kind, item.bytes, item.tag);
+  if (action.allocate) {
+    obj.device.assign(obj.host.size(), Value{std::int64_t{0}});
+    obj.deviceAllocated = true;
+  }
+  if (action.copyToDevice)
+    copySlice(obj, /*toDevice=*/true, item.sliceLo, item.sliceLen);
+}
+
+void Interpreter::applyMapExit(const MapItem &item) {
+  MemoryObject &obj = object(item.objectId);
+  const auto action =
+      dev_->mapExit(item.objectId, item.kind, item.bytes, item.tag);
+  if (action.copyFromDevice)
+    copySlice(obj, /*toDevice=*/false, item.sliceLo, item.sliceLen);
+  if (action.deallocate) {
+    obj.device.clear();
+    obj.deviceAllocated = false;
+  }
+}
+
+std::vector<VarDecl *>
+Interpreter::kernelReferencedVars(const OmpDirectiveStmt *directive) {
+  RefCollector collector;
+  for (const OmpClause &clause : directive->clauses())
+    for (const OmpObject &object : clause.objects)
+      collector.addVar(object.var);
+  collector.visitStmt(directive->associated());
+  return collector.ordered;
+}
+
+void Interpreter::execOmp(const OmpDirectiveStmt *directive) {
+  switch (directive->directive()) {
+  case OmpDirectiveKind::TargetData: {
+    std::vector<MapItem> items;
+    for (const OmpClause &clause : directive->clauses()) {
+      if (clause.kind != OmpClauseKind::Map)
+        continue;
+      for (const OmpObject &object : clause.objects)
+        items.push_back(mapItemFor(object, toSimMapKind(clause.mapType)));
+    }
+    for (const MapItem &item : items)
+      applyMapEnter(item);
+    execStmt(directive->associated());
+    for (auto it = items.rbegin(); it != items.rend(); ++it)
+      applyMapExit(*it);
+    return;
+  }
+  case OmpDirectiveKind::TargetEnterData: {
+    for (const OmpClause &clause : directive->clauses()) {
+      if (clause.kind != OmpClauseKind::Map)
+        continue;
+      for (const OmpObject &object : clause.objects)
+        applyMapEnter(mapItemFor(object, toSimMapKind(clause.mapType)));
+    }
+    return;
+  }
+  case OmpDirectiveKind::TargetExitData: {
+    for (const OmpClause &clause : directive->clauses()) {
+      if (clause.kind != OmpClauseKind::Map)
+        continue;
+      for (const OmpObject &object : clause.objects)
+        applyMapExit(mapItemFor(object, toSimMapKind(clause.mapType)));
+    }
+    return;
+  }
+  case OmpDirectiveKind::TargetUpdate: {
+    for (const OmpClause &clause : directive->clauses()) {
+      if (clause.kind != OmpClauseKind::UpdateTo &&
+          clause.kind != OmpClauseKind::UpdateFrom)
+        continue;
+      const bool to = clause.kind == OmpClauseKind::UpdateTo;
+      for (const OmpObject &ompObject : clause.objects) {
+        MapItem item = mapItemFor(ompObject, sim::MapKind::ToFrom);
+        MemoryObject &obj = object(item.objectId);
+        const bool copied =
+            to ? dev_->updateTo(item.objectId, item.bytes, item.tag)
+               : dev_->updateFrom(item.objectId, item.bytes, item.tag);
+        if (copied)
+          copySlice(obj, to, item.sliceLo, item.sliceLen);
+      }
+    }
+    return;
+  }
+  case OmpDirectiveKind::ParallelFor:
+    execStmt(directive->associated());
+    return;
+  default:
+    break;
+  }
+  if (directive->isOffloadKernel()) {
+    execKernel(directive);
+    return;
+  }
+  execStmt(directive->associated());
+}
+
+void Interpreter::execKernel(const OmpDirectiveStmt *directive) {
+  // Gather explicit clauses.
+  std::vector<MapItem> explicitItems;
+  std::set<VarDecl *> explicitlyMapped;
+  std::set<VarDecl *> firstprivateVars;
+  std::set<VarDecl *> privateVars;
+  std::set<VarDecl *> reductionVars;
+  for (const OmpClause &clause : directive->clauses()) {
+    switch (clause.kind) {
+    case OmpClauseKind::Map:
+      for (const OmpObject &object : clause.objects) {
+        explicitItems.push_back(
+            mapItemFor(object, toSimMapKind(clause.mapType)));
+        explicitlyMapped.insert(object.var);
+      }
+      break;
+    case OmpClauseKind::FirstPrivate:
+      for (const OmpObject &object : clause.objects)
+        firstprivateVars.insert(object.var);
+      break;
+    case OmpClauseKind::Private:
+      for (const OmpObject &object : clause.objects)
+        privateVars.insert(object.var);
+      break;
+    case OmpClauseKind::Reduction:
+      for (const OmpObject &object : clause.objects)
+        reductionVars.insert(object.var);
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Implicit data-mapping rules (OpenMP 5.2): unmapped aggregates referenced
+  // by the kernel map tofrom for the kernel's duration; unmapped scalars are
+  // firstprivate; reduction variables map tofrom.
+  std::vector<MapItem> implicitItems;
+  std::vector<VarDecl *> implicitFirstprivate;
+  std::set<int> mappedObjects;
+  for (const MapItem &item : explicitItems)
+    mappedObjects.insert(item.objectId);
+
+  for (VarDecl *var : kernelReferencedVars(directive)) {
+    if (explicitlyMapped.count(var) || firstprivateVars.count(var) ||
+        privateVars.count(var))
+      continue;
+    Value *binding = lookupBinding(var);
+    if (binding == nullptr)
+      continue; // function name or unresolvable: not data
+    const PtrValue base = std::get<PtrValue>(*binding);
+    if (reductionVars.count(var)) {
+      // Reduction implies map(tofrom: var).
+      MapItem item = wholeObjectItem(base.objectId, sim::MapKind::ToFrom);
+      item.tag = var->name();
+      if (!dev_->isPresent(item.objectId) &&
+          !mappedObjects.count(item.objectId)) {
+        implicitItems.push_back(item);
+        mappedObjects.insert(item.objectId);
+      }
+      continue;
+    }
+    const bool aggregate = aggregateLike(var);
+    if (!aggregate) {
+      implicitFirstprivate.push_back(var);
+      continue;
+    }
+    // Aggregate: resolve the data object (pointee for pointer vars).
+    int objectId = base.objectId;
+    if (var->type()->isPointer()) {
+      const Value stored = object(base.objectId).host[0];
+      if (!std::holds_alternative<PtrValue>(stored) ||
+          std::get<PtrValue>(stored).isNull())
+        continue; // null pointer never dereferenced (or about to fail)
+      objectId = std::get<PtrValue>(stored).objectId;
+    }
+    if (dev_->isPresent(objectId) || mappedObjects.count(objectId))
+      continue;
+    MapItem item = wholeObjectItem(objectId, sim::MapKind::ToFrom);
+    item.tag = var->name();
+    implicitItems.push_back(item);
+    mappedObjects.insert(objectId);
+  }
+
+  for (const MapItem &item : explicitItems)
+    applyMapEnter(item);
+  for (const MapItem &item : implicitItems)
+    applyMapEnter(item);
+
+  ledger_.recordKernelLaunch();
+
+  // firstprivate copies: fresh host-side objects the kernel reads/writes;
+  // values are passed as kernel arguments (no memcpy — the optimization the
+  // paper leverages).
+  frames_.emplace_back();
+  for (VarDecl *var : firstprivateVars) {
+    if (var == nullptr)
+      continue;
+    Value *binding = lookupBinding(var);
+    if (binding == nullptr)
+      continue;
+    const PtrValue base = std::get<PtrValue>(*binding);
+    const int id = createObject(var->name() + ".fp", var->type(), 1);
+    object(id).host[0] = object(base.objectId).host[0];
+    frames_.back().bindings[var] = Value{PtrValue{id, 0, var->type()}};
+  }
+  for (VarDecl *var : implicitFirstprivate) {
+    Value *binding = lookupBinding(var);
+    if (binding == nullptr)
+      continue;
+    const PtrValue base = std::get<PtrValue>(*binding);
+    const int id = createObject(var->name() + ".ifp", var->type(), 1);
+    object(id).host[0] =
+        object(base.objectId).host[static_cast<std::size_t>(base.offset)];
+    frames_.back().bindings[var] = Value{PtrValue{id, 0, var->type()}};
+  }
+  for (VarDecl *var : privateVars) {
+    if (var == nullptr)
+      continue;
+    const int id = createObject(var->name() + ".priv", var->type(), 1);
+    frames_.back().bindings[var] = Value{PtrValue{id, 0, var->type()}};
+  }
+
+  const bool previousMode = deviceMode_;
+  deviceMode_ = true;
+  execStmt(directive->associated());
+  deviceMode_ = previousMode;
+
+  frames_.pop_back();
+
+  for (auto it = implicitItems.rbegin(); it != implicitItems.rend(); ++it)
+    applyMapExit(*it);
+  for (auto it = explicitItems.rbegin(); it != explicitItems.rend(); ++it)
+    applyMapExit(*it);
+}
+
+RunResult runProgram(const std::string &source, InterpOptions options) {
+  SourceManager sourceManager("program.c", source);
+  ASTContext context;
+  DiagnosticEngine diags;
+  RunResult result;
+  if (!parseSource(sourceManager, context, diags)) {
+    result.error = "parse error:\n" + diags.summary();
+    return result;
+  }
+  Interpreter interpreter(context.unit(), options);
+  return interpreter.run();
+}
+
+} // namespace ompdart::interp

@@ -1,0 +1,173 @@
+// Tree-walking interpreter for the C subset with OpenMP offload semantics.
+//
+// Executes a parsed program against the simulated device runtime
+// (sim::DeviceDataEnvironment): host code reads/writes host buffers, kernel
+// code reads/writes device buffers of present objects, and every map /
+// update / implicit-mapping decision produces ledger traffic exactly as the
+// OpenMP 5.2 rules dictate. This is the testbed substitute that regenerates
+// the paper's Figures 3-6 without a GPU:
+//   - implicit rules at kernel launch: unmapped aggregates map tofrom for
+//     the kernel's duration; unmapped scalars are firstprivate (no memcpy);
+//     reduction variables map tofrom,
+//   - explicit target data / target update / firstprivate honored with
+//     reference counting,
+//   - program output (printf) is captured so variant outputs can be diffed
+//     for the paper's correctness check,
+//   - host/device op counts feed the analytic cost model.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "sim/runtime.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ompdart::interp {
+
+/// A typed pointer into a memory object (offset in elements/slots).
+struct PtrValue {
+  int objectId = -1;
+  std::int64_t offset = 0;
+  /// Type of the pointed-to element (for pointer arithmetic strides).
+  const Type *elemType = nullptr;
+
+  [[nodiscard]] bool isNull() const { return objectId < 0; }
+};
+
+using Value = std::variant<std::int64_t, double, PtrValue>;
+
+/// One allocation: a named slot buffer with host and device images.
+struct MemoryObject {
+  int id = -1;
+  std::string name;
+  const Type *elemType = nullptr; ///< scalar element type of each slot
+  std::uint64_t elemBytes = 8;
+  std::uint64_t byteSize = 0;
+  std::vector<Value> host;
+  std::vector<Value> device;
+  bool deviceAllocated = false;
+  bool freed = false;
+  bool untyped = false; ///< fresh malloc before the pointee type is known
+};
+
+struct InterpOptions {
+  /// Abort guard for runaway programs (ops across host+device).
+  std::uint64_t maxOps = 400'000'000;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  /// Captured printf output; used for correctness diffs across variants.
+  std::string output;
+  std::int64_t exitCode = 0;
+  sim::TransferLedger ledger;
+};
+
+/// Parses and runs a full program (entry point: `main`).
+[[nodiscard]] RunResult runProgram(const std::string &source,
+                                   InterpOptions options = {});
+
+/// Runs an already-parsed unit (the unit must outlive the call).
+class Interpreter {
+public:
+  Interpreter(const TranslationUnit &unit, InterpOptions options = {});
+
+  [[nodiscard]] RunResult run();
+
+private:
+  // --- memory ---
+  MemoryObject &object(int id) { return *objects_[static_cast<size_t>(id)]; }
+  int createObject(std::string name, const Type *elemType,
+                   std::uint64_t slots);
+  int createUntypedObject(std::string name, std::uint64_t bytes);
+  void retypeObject(MemoryObject &obj, const Type *elemType);
+  std::vector<Value> &activeBuffer(MemoryObject &obj);
+
+  // --- environment ---
+  struct Frame {
+    std::map<VarDecl *, Value> bindings;
+  };
+  Value *lookupBinding(VarDecl *var);
+  void bind(VarDecl *var, Value value);
+
+  // --- execution ---
+  void execStmt(const Stmt *stmt);
+  void execCompound(const CompoundStmt *stmt);
+  void execDecl(const DeclStmt *stmt);
+  void execOmp(const OmpDirectiveStmt *directive);
+  void execKernel(const OmpDirectiveStmt *directive);
+  Value callFunction(FunctionDecl *fn, std::vector<Value> args);
+
+  Value evalExpr(const Expr *expr);
+  Value evalBinary(const BinaryExpr *expr);
+  Value evalUnary(const UnaryExpr *expr);
+  Value evalCall(const CallExpr *expr);
+
+  /// An lvalue: a slot in an object.
+  struct LValue {
+    int objectId = -1;
+    std::int64_t slot = 0;
+  };
+  LValue evalLValue(const Expr *expr);
+  Value load(const LValue &lv);
+  void store(const LValue &lv, Value value, const Type *targetType);
+
+  /// Resolves an expression to pointer-like {object, offset, elemType}.
+  PtrValue evalPointerLike(const Expr *expr);
+
+  // --- OpenMP helpers ---
+  struct MapItem {
+    int objectId = -1;
+    sim::MapKind kind = sim::MapKind::ToFrom;
+    std::uint64_t sliceLo = 0;   ///< slot index
+    std::uint64_t sliceLen = 0;  ///< slots
+    std::uint64_t bytes = 0;
+    std::string tag;
+  };
+  MapItem mapItemFor(const OmpObject &object, sim::MapKind kind);
+  MapItem wholeObjectItem(int objectId, sim::MapKind kind);
+  void applyMapEnter(const MapItem &item);
+  void applyMapExit(const MapItem &item);
+  void copySlice(MemoryObject &obj, bool toDevice, std::uint64_t lo,
+                 std::uint64_t len);
+  /// Variables referenced inside a kernel (excluding kernel-local decls).
+  std::vector<VarDecl *> kernelReferencedVars(const OmpDirectiveStmt *d);
+
+  // --- values ---
+  static double asDouble(const Value &value);
+  static std::int64_t asInt(const Value &value);
+  static bool truthy(const Value &value);
+  Value convert(const Value &value, const Type *type);
+  [[nodiscard]] std::uint64_t slotsOf(const Type *type) const;
+
+  // --- builtins ---
+  Value builtinCall(const std::string &name, const CallExpr *expr,
+                    std::vector<Value> &args, bool &handled);
+  void doPrintf(const std::vector<Value> &args, const CallExpr *expr);
+  std::string cString(const Value &value);
+
+  void countOp();
+  [[noreturn]] void fail(const std::string &message);
+
+  const TranslationUnit &unit_;
+  InterpOptions options_;
+  std::vector<std::unique_ptr<MemoryObject>> objects_;
+  std::vector<Frame> frames_;
+  Frame globals_;
+  bool deviceMode_ = false;
+  std::uint64_t opCount_ = 0;
+  sim::TransferLedger ledger_;
+  std::unique_ptr<sim::DeviceDataEnvironment> dev_;
+  std::string output_;
+  std::uint64_t randState_ = 0x2545F4914F6CDD1DULL;
+  std::map<const StringLiteralExpr *, int> stringObjects_;
+};
+
+} // namespace ompdart::interp

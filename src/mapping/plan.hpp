@@ -1,0 +1,98 @@
+// Output of the mapping planner: a per-function target-data region with map
+// clauses, update insertions and firstprivate additions (Table II of the
+// paper lists exactly these constructs). The rewriter consumes this plan to
+// produce transformed source.
+#pragma once
+
+#include "frontend/ast.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+enum class UpdateDirection { To, From };
+
+[[nodiscard]] inline const char *updateDirectionName(UpdateDirection dir) {
+  return dir == UpdateDirection::To ? "to" : "from";
+}
+
+/// One list item of the region's map clause set.
+struct MapSpec {
+  VarDecl *var = nullptr;
+  OmpMapType mapType = OmpMapType::ToFrom;
+  /// Item spelling including array section, e.g. "a[0:n]"; plain variable
+  /// name when empty.
+  std::string section;
+  /// Estimated bytes this mapping moves one way (for reports/ablations).
+  std::uint64_t approxBytes = 0;
+};
+
+/// Where an update directive lands relative to its anchor statement
+/// (paper §IV-F: loop-conditional accesses need body-begin/body-end forms).
+enum class UpdatePlacement {
+  Before,    ///< Directly before the anchor statement (typical `from`).
+  After,     ///< Directly after the anchor statement (typical `to`).
+  BodyBegin, ///< At the start of the anchor loop's body.
+  BodyEnd,   ///< At the end of the anchor loop's body.
+};
+
+/// One `target update` directive to insert.
+struct UpdateInsertion {
+  VarDecl *var = nullptr;
+  UpdateDirection direction = UpdateDirection::From;
+  /// Statement the directive attaches to (Algorithm 1 output; may be a loop
+  /// statement after hoisting).
+  const Stmt *anchor = nullptr;
+  UpdatePlacement placement = UpdatePlacement::Before;
+  std::string section;
+  /// True when the anchor is a loop statement rather than the access stmt.
+  bool hoisted = false;
+};
+
+/// firstprivate(var) appended to one kernel directive.
+struct FirstprivateInsertion {
+  const OmpDirectiveStmt *kernel = nullptr;
+  VarDecl *var = nullptr;
+};
+
+/// The single target-data region planned for one function (paper §IV-D:
+/// "for each function with at least one true dependency, we create a single
+/// target data region that encompasses all the kernels").
+struct RegionPlan {
+  const FunctionDecl *function = nullptr;
+  /// Region spans [startStmt .. endStmt] inclusive, both children of the
+  /// same compound statement.
+  const Stmt *startStmt = nullptr;
+  const Stmt *endStmt = nullptr;
+  std::vector<MapSpec> maps;
+  std::vector<UpdateInsertion> updates;
+  std::vector<FirstprivateInsertion> firstprivates;
+  /// When the region is exactly one kernel, clauses are appended to its
+  /// pragma instead of creating a new target data directive.
+  const OmpDirectiveStmt *soleKernel = nullptr;
+
+  [[nodiscard]] bool appendsToKernel() const { return soleKernel != nullptr; }
+};
+
+struct MappingPlan {
+  std::vector<RegionPlan> regions;
+
+  [[nodiscard]] const RegionPlan *
+  regionFor(const FunctionDecl *fn) const {
+    for (const RegionPlan &region : regions)
+      if (region.function == fn)
+        return &region;
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t totalUpdates() const {
+    std::size_t count = 0;
+    for (const RegionPlan &region : regions)
+      count += region.updates.size();
+    return count;
+  }
+};
+
+} // namespace ompdart

@@ -1,0 +1,917 @@
+#include "mapping/planner.hpp"
+
+#include "frontend/ast_printer.hpp"
+#include "frontend/const_fold.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ompdart {
+
+namespace {
+
+/// Builds child-statement -> parent-statement links for a function body.
+class ParentMap {
+public:
+  explicit ParentMap(const FunctionDecl *fn) {
+    if (fn->body() != nullptr)
+      visit(fn->body(), nullptr);
+  }
+
+  [[nodiscard]] const Stmt *parentOf(const Stmt *stmt) const {
+    auto it = parents_.find(stmt);
+    return it != parents_.end() ? it->second : nullptr;
+  }
+
+  /// Chain from the outermost statement down to `stmt` (inclusive).
+  [[nodiscard]] std::vector<const Stmt *> chainOf(const Stmt *stmt) const {
+    std::vector<const Stmt *> chain;
+    for (const Stmt *cursor = stmt; cursor != nullptr;
+         cursor = parentOf(cursor))
+      chain.push_back(cursor);
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+  }
+
+private:
+  void visit(const Stmt *stmt, const Stmt *parent) {
+    if (stmt == nullptr)
+      return;
+    parents_[stmt] = parent;
+    switch (stmt->kind()) {
+    case StmtKind::Compound:
+      for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+        visit(sub, stmt);
+      return;
+    case StmtKind::If: {
+      const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+      visit(ifStmt->thenStmt(), stmt);
+      visit(ifStmt->elseStmt(), stmt);
+      return;
+    }
+    case StmtKind::For: {
+      const auto *forStmt = static_cast<const ForStmt *>(stmt);
+      visit(forStmt->init(), stmt);
+      visit(forStmt->body(), stmt);
+      return;
+    }
+    case StmtKind::While:
+      visit(static_cast<const WhileStmt *>(stmt)->body(), stmt);
+      return;
+    case StmtKind::Do:
+      visit(static_cast<const DoStmt *>(stmt)->body(), stmt);
+      return;
+    case StmtKind::Switch:
+      visit(static_cast<const SwitchStmt *>(stmt)->body(), stmt);
+      return;
+    case StmtKind::Case:
+      visit(static_cast<const CaseStmt *>(stmt)->sub(), stmt);
+      return;
+    case StmtKind::Default:
+      visit(static_cast<const DefaultStmt *>(stmt)->sub(), stmt);
+      return;
+    case StmtKind::OmpDirective:
+      visit(static_cast<const OmpDirectiveStmt *>(stmt)->associated(), stmt);
+      return;
+    default:
+      return;
+    }
+  }
+
+  std::unordered_map<const Stmt *, const Stmt *> parents_;
+};
+
+bool statesEqual(const std::map<VarDecl *, bool> &a,
+                 const std::map<VarDecl *, bool> &b) {
+  return a == b;
+}
+
+} // namespace
+
+MappingPlanner::MappingPlanner(const TranslationUnit &unit,
+                               const InterproceduralResult &interproc,
+                               DiagnosticEngine &diags,
+                               PlannerOptions options)
+    : unit_(unit), interproc_(interproc), diags_(diags), options_(options),
+      mallocExtents_(unit) {}
+
+MappingPlan MappingPlanner::plan() {
+  MappingPlan result;
+  auto cfgs = buildAllCfgs(unit_);
+  for (const auto &cfg : cfgs) {
+    if (cfg->kernels().empty())
+      continue;
+    planFunction(cfg->function(), *cfg, result);
+  }
+  return result;
+}
+
+bool MappingPlanner::contains(const Stmt *outer, const Stmt *inner) {
+  return outer != nullptr && inner != nullptr &&
+         outer->range().contains(inner->range());
+}
+
+bool MappingPlanner::chooseRegionExtent(const AstCfg &cfg,
+                                        RegionPlan &region) {
+  const auto &kernels = cfg.kernels();
+  const OmpDirectiveStmt *firstKernel = kernels.front();
+  const OmpDirectiveStmt *lastKernel = kernels.back();
+
+  auto outermostLoopOf = [&](const OmpDirectiveStmt *kernel) -> const Stmt * {
+    if (!options_.extendRegionOverLoops)
+      return kernel;
+    const auto *loops = cfg.enclosingLoops(kernel);
+    if (loops != nullptr && !loops->empty())
+      return loops->front();
+    return kernel;
+  };
+
+  const Stmt *startAnchor = outermostLoopOf(firstKernel);
+  const Stmt *endAnchor = outermostLoopOf(lastKernel);
+
+  // Lift anchors to children of their lowest common compound so the region
+  // is a well-formed statement sequence.
+  ParentMap parents(cfg.function());
+  const auto startChain = parents.chainOf(startAnchor);
+  const auto endChain = parents.chainOf(endAnchor);
+  std::size_t common = 0;
+  while (common < startChain.size() && common < endChain.size() &&
+         startChain[common] == endChain[common])
+    ++common;
+  if (common == 0)
+    return false;
+  const Stmt *lca = startChain[common - 1];
+  // Walk up until the common ancestor is a compound statement.
+  while (lca != nullptr && lca->kind() != StmtKind::Compound)
+    lca = parents.parentOf(lca);
+  if (lca == nullptr)
+    return false;
+  auto childWithin = [&](const std::vector<const Stmt *> &chain)
+      -> const Stmt * {
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+      if (chain[i] == lca)
+        return chain[i + 1];
+    return chain.back();
+  };
+  region.startStmt = childWithin(startChain);
+  region.endStmt = childWithin(endChain);
+  if (region.startStmt->range().begin.offset >
+      region.endStmt->range().begin.offset)
+    std::swap(region.startStmt, region.endStmt);
+
+  // Single-kernel special case: append clauses to the kernel's pragma.
+  if (region.startStmt == region.endStmt && kernels.size() == 1 &&
+      region.startStmt == firstKernel)
+    region.soleKernel = firstKernel;
+  return true;
+}
+
+void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
+                                  MappingPlan &outPlan) {
+  accesses_ = interproc_.accessesFor(fn);
+  if (accesses_ == nullptr)
+    return;
+  cfg_ = &cfg;
+  facts_.clear();
+  updateKeys_.clear();
+  liveness_ = std::make_unique<LivenessAnalysis>(cfg, *accesses_);
+
+  RegionPlan region;
+  region.function = fn;
+  if (!chooseRegionExtent(cfg, region))
+    return;
+  regionBeginOffset_ = region.startStmt->range().begin.offset;
+  regionEndOffset_ = region.endStmt->range().end.offset;
+
+  // Validity walk over the region children of the enclosing compound.
+  WalkContext ctx;
+  {
+    // The region statements are consecutive children of one compound; walk
+    // them in order. Find that compound by walking the function body.
+    struct RegionWalker {
+      MappingPlanner &planner;
+      const Stmt *start;
+      const Stmt *end;
+      WalkContext &ctx;
+      RegionPlan &region;
+      bool active = false;
+      bool done = false;
+
+      void visit(const Stmt *stmt) {
+        if (done || stmt == nullptr)
+          return;
+        if (stmt->kind() == StmtKind::Compound) {
+          for (const Stmt *sub :
+               static_cast<const CompoundStmt *>(stmt)->body()) {
+            if (sub == start)
+              active = true;
+            if (active)
+              planner.walkStmt(sub, ctx, region);
+            if (sub == end && active) {
+              done = true;
+              return;
+            }
+            if (!active)
+              visit(sub); // descend looking for the region
+          }
+          return;
+        }
+        switch (stmt->kind()) {
+        case StmtKind::If: {
+          const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+          visit(ifStmt->thenStmt());
+          visit(ifStmt->elseStmt());
+          return;
+        }
+        case StmtKind::For:
+          visit(static_cast<const ForStmt *>(stmt)->body());
+          return;
+        case StmtKind::While:
+          visit(static_cast<const WhileStmt *>(stmt)->body());
+          return;
+        case StmtKind::Do:
+          visit(static_cast<const DoStmt *>(stmt)->body());
+          return;
+        case StmtKind::Switch:
+          visit(static_cast<const SwitchStmt *>(stmt)->body());
+          return;
+        case StmtKind::OmpDirective:
+          visit(static_cast<const OmpDirectiveStmt *>(stmt)->associated());
+          return;
+        default:
+          return;
+        }
+      }
+    } walker{*this, region.startStmt, region.endStmt, ctx, region};
+    walker.visit(fn->body());
+  }
+
+  // Region-exit decisions.
+  for (auto &[var, facts] : facts_) {
+    if (!facts.referencedInKernel)
+      continue;
+    const VarState &state = ctx.state[var];
+
+    // Liveness: the host must see device results if the variable may be
+    // read on the host after the region (paper: "the problem becomes a
+    // liveness problem").
+    bool needsFrom = false;
+    if (facts.deviceWrite && !state.hostValid) {
+      // Globals normally escape (another caller may read them), but inside
+      // `main` nothing runs after the function returns and the augmented
+      // event stream already covers callee accesses, so the event scan
+      // below is a sound and precise liveness answer there.
+      const bool preciseGlobals =
+          fn->name() == "main" && var->isGlobal();
+      bool liveAfter = !preciseGlobals && liveness_->escapes(var);
+      if (!liveAfter) {
+        for (const AccessEvent &event : accesses_->events) {
+          if (event.var != var || event.onDevice || event.stmt == nullptr)
+            continue;
+          if (event.kind != AccessKind::Read &&
+              event.kind != AccessKind::Unknown)
+            continue;
+          if (!event.isDataAccess())
+            continue;
+          if (event.stmt->range().begin.offset >= regionEndOffset_) {
+            liveAfter = true;
+            break;
+          }
+        }
+      }
+      needsFrom = liveAfter;
+    }
+
+    // A `from` mapping copies out unconditionally at region exit; when the
+    // host wrote last (device copy stale on some path), the device must be
+    // re-synchronized after that write or the copy-out clobbers newer host
+    // data. Resolve it like any host->device RAW: update-to after the
+    // producing write (to-direction Algorithm 1).
+    if (needsFrom && !state.devValid && state.hostWroteSinceEntry &&
+        state.lastHostWriteStmt != nullptr) {
+      bool hoisted = false;
+      const Stmt *pos = hoistAfterHostWrite(state, nullptr, hoisted);
+      if (pos != nullptr)
+        addUpdate(var, UpdateDirection::To, pos, UpdatePlacement::After,
+                  hoisted, region);
+    }
+
+    MapSpec spec;
+    spec.var = var;
+    const auto [section, bytes] = sectionFor(var);
+    spec.section = section;
+    spec.approxBytes = bytes;
+    if (facts.needsTo && needsFrom)
+      spec.mapType = OmpMapType::ToFrom;
+    else if (facts.needsTo)
+      spec.mapType = OmpMapType::To;
+    else if (needsFrom)
+      spec.mapType = OmpMapType::From;
+    else
+      spec.mapType = OmpMapType::Alloc;
+    region.maps.push_back(spec);
+  }
+
+  // firstprivate post-pass (paper §IV-D): read-only device scalars become
+  // firstprivate on each kernel instead of mapped region entries; their
+  // update-to insertions are dropped because the value is passed afresh at
+  // every kernel launch.
+  if (options_.useFirstprivate) {
+    std::vector<VarDecl *> firstprivateVars;
+    for (auto &[var, facts] : facts_) {
+      if (!facts.referencedInKernel || facts.deviceWrite || !facts.deviceRead)
+        continue;
+      if (isAggregateLike(var))
+        continue;
+      firstprivateVars.push_back(var);
+    }
+    for (VarDecl *var : firstprivateVars) {
+      region.maps.erase(
+          std::remove_if(region.maps.begin(), region.maps.end(),
+                         [&](const MapSpec &spec) { return spec.var == var; }),
+          region.maps.end());
+      region.updates.erase(
+          std::remove_if(region.updates.begin(), region.updates.end(),
+                         [&](const UpdateInsertion &update) {
+                           return update.var == var &&
+                                  update.direction == UpdateDirection::To;
+                         }),
+          region.updates.end());
+      for (const OmpDirectiveStmt *kernel : cfg.kernels()) {
+        // Attach only to kernels that actually reference the variable.
+        bool references = false;
+        for (const AccessEvent &event : accesses_->events)
+          if (event.var == var && event.kernel == kernel)
+            references = true;
+        // Skip kernels that already privatize it via an existing clause.
+        for (const OmpClause &clause : kernel->clauses()) {
+          if (clause.kind != OmpClauseKind::FirstPrivate &&
+              clause.kind != OmpClauseKind::Private)
+            continue;
+          for (const OmpObject &object : clause.objects)
+            if (object.var == var)
+              references = false;
+        }
+        if (references)
+          region.firstprivates.push_back(FirstprivateInsertion{kernel, var});
+      }
+    }
+  }
+
+  // Declaration-before-region validation (paper §IV-D): every mapped
+  // variable declared inside the function must precede the region.
+  bool declarationError = false;
+  for (const MapSpec &spec : region.maps) {
+    const VarDecl *var = spec.var;
+    if (var->isGlobal() || var->isParam())
+      continue;
+    if (!var->declStmtRange().isValid())
+      continue;
+    if (var->declStmtRange().begin.offset >= regionBeginOffset_ &&
+        !region.appendsToKernel()) {
+      diags_.error(var->declStmtRange().begin,
+                   "declaration of '" + var->name() +
+                       "' must be moved before the target data region "
+                       "(before offset " +
+                       std::to_string(regionBeginOffset_) +
+                       ") so it can be mapped");
+      declarationError = true;
+    }
+  }
+  if (declarationError)
+    return;
+
+  if (!region.maps.empty() || !region.updates.empty() ||
+      !region.firstprivates.empty())
+    outPlan.regions.push_back(std::move(region));
+}
+
+void MappingPlanner::walkStmt(const Stmt *stmt, WalkContext &ctx,
+                              RegionPlan &region) {
+  if (stmt == nullptr)
+    return;
+  switch (stmt->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+      walkStmt(sub, ctx, region);
+    return;
+  case StmtKind::Decl:
+  case StmtKind::Expr:
+  case StmtKind::Return:
+    processLeafEvents(stmt, ctx, region);
+    return;
+  case StmtKind::If: {
+    const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+    processLeafEvents(stmt, ctx, region); // condition reads
+    auto snapshot = ctx.state;
+    walkStmt(ifStmt->thenStmt(), ctx, region);
+    auto thenState = std::move(ctx.state);
+    ctx.state = snapshot;
+    if (ifStmt->elseStmt() != nullptr)
+      walkStmt(ifStmt->elseStmt(), ctx, region);
+    mergeStates(ctx.state, thenState);
+    return;
+  }
+  case StmtKind::For:
+  case StmtKind::While:
+  case StmtKind::Do: {
+    const Stmt *body = nullptr;
+    if (stmt->kind() == StmtKind::For) {
+      const auto *forStmt = static_cast<const ForStmt *>(stmt);
+      walkStmt(forStmt->init(), ctx, region);
+      body = forStmt->body();
+    } else if (stmt->kind() == StmtKind::While) {
+      body = static_cast<const WhileStmt *>(stmt)->body();
+    } else {
+      body = static_cast<const DoStmt *>(stmt)->body();
+    }
+    auto entryState = ctx.state;
+    ctx.loops.push_back(stmt);
+    // Iterate the body until the validity state stabilizes: the second pass
+    // exposes loop-carried host<->device dependencies (paper: data valid on
+    // entry must be valid again at the end of the body).
+    for (int iteration = 0; iteration < 4; ++iteration) {
+      std::map<VarDecl *, bool> before;
+      for (const auto &[var, state] : ctx.state)
+        before[var] = state.hostValid && state.devValid;
+      processLeafEvents(stmt, ctx, region); // cond/inc reads
+      walkStmt(body, ctx, region);
+      std::map<VarDecl *, bool> after;
+      for (const auto &[var, state] : ctx.state)
+        after[var] = state.hostValid && state.devValid;
+      if (statesEqual(before, after) && iteration > 0)
+        break;
+    }
+    ctx.loops.pop_back();
+    // for/while bodies may not execute: merge with the entry state.
+    if (stmt->kind() != StmtKind::Do)
+      mergeStates(ctx.state, entryState);
+    return;
+  }
+  case StmtKind::Switch: {
+    const auto *switchStmt = static_cast<const SwitchStmt *>(stmt);
+    processLeafEvents(stmt, ctx, region);
+    auto snapshot = ctx.state;
+    walkStmt(switchStmt->body(), ctx, region);
+    mergeStates(ctx.state, snapshot);
+    return;
+  }
+  case StmtKind::Case:
+    walkStmt(static_cast<const CaseStmt *>(stmt)->sub(), ctx, region);
+    return;
+  case StmtKind::Default:
+    walkStmt(static_cast<const DefaultStmt *>(stmt)->sub(), ctx, region);
+    return;
+  case StmtKind::OmpDirective: {
+    const auto *directive = static_cast<const OmpDirectiveStmt *>(stmt);
+    processLeafEvents(stmt, ctx, region); // clause values / reductions
+    if (directive->associated() != nullptr)
+      walkStmt(directive->associated(), ctx, region);
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Null:
+    return;
+  }
+}
+
+bool MappingPlanner::isKernelLocal(const VarDecl *var) const {
+  // Variables declared inside an offload kernel (loop induction variables,
+  // kernel-local temporaries) are device-private per OpenMP semantics and
+  // never participate in mapping decisions.
+  if (var == nullptr || !var->declStmtRange().isValid())
+    return false;
+  for (const OmpDirectiveStmt *kernel : cfg_->kernels())
+    if (kernel->range().contains(var->declStmtRange()))
+      return true;
+  return false;
+}
+
+void MappingPlanner::processLeafEvents(const Stmt *stmt, WalkContext &ctx,
+                                       RegionPlan &region) {
+  auto it = accesses_->byStmt.find(stmt);
+  if (it == accesses_->byStmt.end())
+    return;
+  for (const AccessEvent &event : it->second) {
+    if (event.var == nullptr)
+      continue;
+    if (isAggregateLike(event.var) && !event.isDataAccess())
+      continue;
+    if (event.onDevice && isKernelLocal(event.var))
+      continue;
+    const bool reads = event.kind == AccessKind::Read ||
+                       event.kind == AccessKind::Unknown;
+    const bool writes = event.kind == AccessKind::Write ||
+                        event.kind == AccessKind::Unknown;
+    if (event.onDevice) {
+      if (reads)
+        handleDeviceRead(event, ctx, region);
+      if (writes)
+        handleDeviceWrite(event, ctx, region);
+    } else {
+      if (reads)
+        handleHostRead(event, ctx, region);
+      if (writes)
+        handleHostWrite(event, ctx);
+    }
+  }
+}
+
+void MappingPlanner::handleDeviceRead(const AccessEvent &event,
+                                      WalkContext &ctx, RegionPlan &region) {
+  VarDecl *var = event.var;
+  VarFacts &facts = facts_[var];
+  facts.referencedInKernel = true;
+  facts.deviceRead = true;
+  VarState &state = ctx.state[var];
+  if (state.devValid)
+    return;
+  if (!state.hostWroteSinceEntry) {
+    // The value at region entry is still current: a region-entry map(to:)
+    // satisfies this dependency.
+    facts.needsTo = true;
+    state.devValid = true;
+    return;
+  }
+  // Host produced a newer value inside the region: insert `update to` after
+  // the producing write, hoisted out of index loops (to-direction variant of
+  // Algorithm 1) but never above the consuming kernel boundary.
+  const Stmt *anchor =
+      state.lastHostWriteStmt != nullptr ? state.lastHostWriteStmt
+                                         : event.stmt;
+  bool hoisted = false;
+  const Stmt *pos = hoistAfterHostWrite(state, event.kernel, hoisted);
+  if (pos == nullptr)
+    pos = anchor;
+  UpdatePlacement placement = UpdatePlacement::After;
+  if (pos == anchor && anchor != nullptr &&
+      (anchor->kind() == StmtKind::For || anchor->kind() == StmtKind::While ||
+       anchor->kind() == StmtKind::Do) &&
+      state.lastHostWriteSubscript == nullptr) {
+    // The producing write sits in a loop conditional: place the update at
+    // the start of the loop body (paper SIV-F).
+    placement = UpdatePlacement::BodyBegin;
+  }
+  addUpdate(var, UpdateDirection::To, pos, placement, hoisted, region);
+  state.devValid = true;
+}
+
+void MappingPlanner::handleDeviceWrite(const AccessEvent &event,
+                                       WalkContext &ctx, RegionPlan &region) {
+  VarDecl *var = event.var;
+  VarFacts &facts = facts_[var];
+  facts.referencedInKernel = true;
+  facts.deviceWrite = true;
+  VarState &state = ctx.state[var];
+
+  // A partial write behaves like a read-modify-write of the whole object:
+  // untouched elements must hold current values before the kernel runs.
+  const ExtentInfo extent = effectiveExtent(var);
+  std::vector<const Stmt *> kernelLoops;
+  if (const auto *loops = cfg_->enclosingLoops(event.stmt)) {
+    for (const Stmt *loop : *loops)
+      if (event.kernel == nullptr || contains(event.kernel, loop))
+        kernelLoops.push_back(loop);
+  }
+  const bool fullCoverage =
+      !isAggregateLike(var) // whole-scalar writes always cover the value
+          ? !event.conditional
+          : isFullCoverageWrite(event, var, extent, kernelLoops);
+  if (!fullCoverage && !state.devValid) {
+    // A partial write needs the object's current value on the device first
+    // (untouched elements must survive a later copy-out); resolve it exactly
+    // like a read dependency.
+    AccessEvent asRead = event;
+    asRead.kind = AccessKind::Read;
+    handleDeviceRead(asRead, ctx, region);
+  }
+  state.devValid = true;
+  state.hostValid = false;
+  state.lastDeviceWriteKernel = event.kernel;
+}
+
+void MappingPlanner::handleHostRead(const AccessEvent &event,
+                                    WalkContext &ctx, RegionPlan &region) {
+  VarDecl *var = event.var;
+  VarState &state = ctx.state[var];
+  if (state.hostValid)
+    return;
+  // True dependency: the device holds the current value. Insert an
+  // `update from` before the reading statement, hoisted per Algorithm 1.
+  SourceLocation locLim;
+  if (state.lastDeviceWriteKernel != nullptr)
+    locLim = state.lastDeviceWriteKernel->range().end;
+  const Stmt *pos = event.stmt;
+  bool hoisted = false;
+  if (options_.hoistUpdates) {
+    const Stmt *found =
+        findUpdateInsertLoc(event.subscript, event.stmt, ctx.loops, locLim);
+    hoisted = found != event.stmt;
+    pos = found;
+  }
+  UpdatePlacement placement = UpdatePlacement::Before;
+  const bool anchorIsLoopCond =
+      pos == event.stmt && (pos->kind() == StmtKind::For ||
+                            pos->kind() == StmtKind::While ||
+                            pos->kind() == StmtKind::Do);
+  if (anchorIsLoopCond) {
+    // Reading stale data in a loop conditional: when the producing kernel
+    // runs inside the same loop the value changes every iteration, so the
+    // update belongs at the end of the loop body (always, for do-loops,
+    // whose condition evaluates after the body — paper SIV-F).
+    const bool producerInsideLoop =
+        state.lastDeviceWriteKernel != nullptr &&
+        contains(pos, state.lastDeviceWriteKernel);
+    if (producerInsideLoop || pos->kind() == StmtKind::Do)
+      placement = UpdatePlacement::BodyEnd;
+  }
+  addUpdate(var, UpdateDirection::From, pos, placement, hoisted, region);
+  state.hostValid = true;
+}
+
+const Stmt *MappingPlanner::hoistAfterHostWrite(
+    const VarState &state, const OmpDirectiveStmt *consumerKernel,
+    bool &hoisted) const {
+  hoisted = false;
+  const Stmt *pos = state.lastHostWriteStmt;
+  if (pos == nullptr)
+    return nullptr;
+  if (!options_.hoistUpdates || state.lastHostWriteSubscript == nullptr)
+    return pos;
+  const auto *loops = cfg_->enclosingLoops(state.lastHostWriteStmt);
+  if (loops == nullptr)
+    return pos;
+  const auto indexVars = referencedIndexVars(state.lastHostWriteSubscript);
+  for (auto loopIt = loops->rbegin(); loopIt != loops->rend(); ++loopIt) {
+    const Stmt *loop = *loopIt;
+    if (loop->range().begin.offset < regionBeginOffset_)
+      break; // never hoist outside the data region
+    if (consumerKernel != nullptr && contains(loop, consumerKernel))
+      break; // hoisting past the consumer would reorder the update
+    VarDecl *inductionVar = findIndexingVar(loop);
+    if (inductionVar == nullptr)
+      continue;
+    if (std::find(indexVars.begin(), indexVars.end(), inductionVar) !=
+        indexVars.end()) {
+      pos = loop;
+      hoisted = true;
+    }
+  }
+  return pos;
+}
+
+void MappingPlanner::handleHostWrite(const AccessEvent &event,
+                                     WalkContext &ctx) {
+  VarDecl *var = event.var;
+  VarState &state = ctx.state[var];
+  state.hostValid = true;
+  state.devValid = false;
+  state.hostWroteSinceEntry = true;
+  state.lastHostWriteStmt = event.stmt;
+  state.lastHostWriteSubscript = event.subscript;
+}
+
+void MappingPlanner::mergeStates(
+    std::map<VarDecl *, VarState> &into,
+    const std::map<VarDecl *, VarState> &branch) {
+  for (const auto &[var, branchState] : branch) {
+    VarState &state = into[var];
+    state.hostValid = state.hostValid && branchState.hostValid;
+    state.devValid = state.devValid && branchState.devValid;
+    state.hostWroteSinceEntry =
+        state.hostWroteSinceEntry || branchState.hostWroteSinceEntry;
+    if (state.lastHostWriteStmt == nullptr)
+      state.lastHostWriteStmt = branchState.lastHostWriteStmt;
+    if (state.lastHostWriteSubscript == nullptr)
+      state.lastHostWriteSubscript = branchState.lastHostWriteSubscript;
+    if (state.lastDeviceWriteKernel == nullptr)
+      state.lastDeviceWriteKernel = branchState.lastDeviceWriteKernel;
+  }
+}
+
+void MappingPlanner::addUpdate(VarDecl *var, UpdateDirection direction,
+                               const Stmt *anchor, UpdatePlacement placement,
+                               bool hoisted, RegionPlan &region) {
+  const auto key = std::make_tuple(var, direction, anchor);
+  if (!updateKeys_.insert(key).second)
+    return;
+  UpdateInsertion update;
+  update.var = var;
+  update.direction = direction;
+  update.anchor = anchor;
+  update.placement = placement;
+  update.hoisted = hoisted;
+  update.section = sectionFor(var).first;
+  region.updates.push_back(std::move(update));
+}
+
+ExtentInfo MappingPlanner::effectiveExtent(VarDecl *var) const {
+  ExtentInfo extent = dataExtent(var, mallocExtents_);
+  if (extent.known())
+    return extent;
+  // Guo-style inference: when the allocation size is invisible (pointer
+  // parameter), derive the accessed extent from the loop bounds of the
+  // device accesses. All accesses must be single-dimension `a[i]` with an
+  // analyzable enclosing loop (or constant index).
+  std::optional<std::uint64_t> maxConst;
+  std::string symbolicSpelling;
+  const Expr *symbolicExpr = nullptr;
+  for (const AccessEvent &event : accesses_->events) {
+    if (event.var != var || !event.isDataAccess())
+      continue;
+    if (event.subscript == nullptr)
+      return callSiteExtent(var); // whole-object access: try call sites
+    const Expr *base = ignoreParensAndCasts(event.subscript->base());
+    if (base == nullptr || base->kind() == ExprKind::ArraySubscript)
+      return callSiteExtent(var);
+    if (const auto constIndex =
+            foldIntegerConstant(event.subscript->index());
+        constIndex && *constIndex >= 0) {
+      maxConst = std::max<std::uint64_t>(
+          maxConst.value_or(0), static_cast<std::uint64_t>(*constIndex) + 1);
+      continue;
+    }
+    VarDecl *indexVar =
+        referencedVar(ignoreParensAndCasts(event.subscript->index()));
+    const auto *loops = cfg_->enclosingLoops(event.stmt);
+    bool bounded = false;
+    if (indexVar != nullptr && loops != nullptr) {
+      for (const Stmt *loop : *loops) {
+        const auto *forStmt = dynamic_cast<const ForStmt *>(loop);
+        if (forStmt == nullptr)
+          continue;
+        const LoopBounds loopBounds = analyzeForLoop(forStmt);
+        if (!loopBounds.valid || loopBounds.inductionVar != indexVar)
+          continue;
+        if (loopBounds.upperConst) {
+          maxConst = std::max<std::uint64_t>(
+              maxConst.value_or(0),
+              static_cast<std::uint64_t>(
+                  std::max<std::int64_t>(0, *loopBounds.upperConst)));
+          bounded = true;
+        } else if (loopBounds.upperExpr != nullptr &&
+                   !loopBounds.upperInclusiveAdjusted) {
+          const std::string spelling = exprToSource(loopBounds.upperExpr);
+          if (symbolicSpelling.empty() || symbolicSpelling == spelling) {
+            symbolicSpelling = spelling;
+            symbolicExpr = loopBounds.upperExpr;
+            bounded = true;
+          }
+        }
+        break;
+      }
+    }
+    if (!bounded)
+      return callSiteExtent(var);
+  }
+  if (!symbolicSpelling.empty()) {
+    extent.spelling = symbolicSpelling;
+    extent.expr = symbolicExpr;
+  } else if (maxConst) {
+    extent.constElems = maxConst;
+    extent.spelling = std::to_string(*maxConst);
+  }
+  if (extent.known())
+    return extent;
+  return callSiteExtent(var);
+}
+
+ExtentInfo MappingPlanner::callSiteExtent(VarDecl *var) const {
+  // Interprocedural extent propagation: a pointer parameter whose accesses
+  // defeat loop-bound inference (e.g. neighbor stencils `a[i - cols]`) can
+  // still get its extent from the arguments at every call site, provided
+  // they agree.
+  ExtentInfo extent;
+  const FunctionDecl *owner = nullptr;
+  int paramIndex = -1;
+  for (const FunctionDecl *fn : unit_.functions) {
+    for (std::size_t i = 0; i < fn->params().size(); ++i) {
+      if (fn->params()[i] == var) {
+        owner = fn;
+        paramIndex = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  if (owner == nullptr || paramIndex < 0)
+    return extent;
+  bool first = true;
+  for (const FunctionDecl *caller : unit_.functions) {
+    const FunctionAccessInfo *info = interproc_.accessesFor(caller);
+    if (info == nullptr)
+      continue;
+    for (const CallSite &site : info->callSites) {
+      if (site.call->callee() != owner ||
+          static_cast<std::size_t>(paramIndex) >= site.call->args().size())
+        continue;
+      VarDecl *argVar =
+          referencedVar(ignoreParensAndCasts(
+              site.call->args()[static_cast<std::size_t>(paramIndex)]));
+      if (argVar == nullptr)
+        return ExtentInfo{}; // untrackable argument: give up
+      const ExtentInfo argExtent = dataExtent(argVar, mallocExtents_);
+      if (!argExtent.known())
+        return ExtentInfo{};
+      if (first) {
+        extent = argExtent;
+        first = false;
+      } else if (extent.spelling != argExtent.spelling ||
+                 extent.constElems != argExtent.constElems) {
+        return ExtentInfo{}; // call sites disagree: stay conservative
+      }
+    }
+  }
+  return extent;
+}
+
+std::pair<std::string, std::uint64_t>
+MappingPlanner::sectionFor(VarDecl *var) const {
+  const ExtentInfo extent = effectiveExtent(var);
+  const Type *base = scalarBaseType(var->type());
+  const std::uint64_t elemSize = base != nullptr ? base->sizeInBytes() : 1;
+
+  if (var->type()->isPointer()) {
+    if (!extent.known()) {
+      diags_.warning(var->range().begin,
+                     "cannot determine extent of pointer '" + var->name() +
+                         "'; mapping requires a known allocation size");
+      return {var->name() + "[0:0]", 0};
+    }
+    const std::uint64_t bytes =
+        extent.constElems ? *extent.constElems * elemSize : 0;
+    return {var->name() + "[0:" + extent.spelling + "]", bytes};
+  }
+  if (var->type()->isArray()) {
+    // Guo-style unused-segment filtering: when every device access is
+    // provably bounded below the declared extent, map the smaller section.
+    std::optional<std::uint64_t> maxUpper;
+    bool allBounded = true;
+    for (const AccessEvent &event : accesses_->events) {
+      if (event.var != var || !event.onDevice || !event.isDataAccess())
+        continue;
+      if (event.subscript == nullptr) {
+        allBounded = false;
+        break;
+      }
+      // Direct single-dimension `a[i]` with an analyzable enclosing loop.
+      const Expr *baseExpr = ignoreParensAndCasts(event.subscript->base());
+      if (baseExpr == nullptr ||
+          baseExpr->kind() == ExprKind::ArraySubscript) {
+        allBounded = false;
+        break;
+      }
+      VarDecl *indexVar =
+          referencedVar(ignoreParensAndCasts(event.subscript->index()));
+      const auto *loops = cfg_->enclosingLoops(event.stmt);
+      bool bounded = false;
+      if (indexVar != nullptr && loops != nullptr) {
+        for (const Stmt *loop : *loops) {
+          const auto *forStmt = dynamic_cast<const ForStmt *>(loop);
+          if (forStmt == nullptr)
+            continue;
+          const LoopBounds loopBounds = analyzeForLoop(forStmt);
+          if (!loopBounds.valid || loopBounds.inductionVar != indexVar)
+            continue;
+          if (loopBounds.upperConst && loopBounds.lowerConst &&
+              *loopBounds.lowerConst >= 0) {
+            maxUpper = std::max<std::uint64_t>(
+                maxUpper.value_or(0),
+                static_cast<std::uint64_t>(*loopBounds.upperConst));
+            bounded = true;
+          }
+          break;
+        }
+      } else if (const auto constIndex =
+                     foldIntegerConstant(event.subscript->index());
+                 constIndex && *constIndex >= 0) {
+        maxUpper = std::max<std::uint64_t>(
+            maxUpper.value_or(0), static_cast<std::uint64_t>(*constIndex) + 1);
+        bounded = true;
+      }
+      if (!bounded) {
+        allBounded = false;
+        break;
+      }
+    }
+    if (allBounded && maxUpper && extent.constElems &&
+        *maxUpper < *extent.constElems) {
+      return {var->name() + "[0:" + std::to_string(*maxUpper) + "]",
+              *maxUpper * elemSize};
+    }
+    const std::uint64_t bytes =
+        extent.constElems ? *extent.constElems * elemSize : 0;
+    return {var->name(), bytes};
+  }
+  // Scalars and records map whole.
+  return {var->name(), var->type()->sizeInBytes()};
+}
+
+MappingPlan planMappings(const TranslationUnit &unit,
+                         const InterproceduralResult &interproc,
+                         DiagnosticEngine &diags, PlannerOptions options) {
+  MappingPlanner planner(unit, interproc, diags, options);
+  return planner.plan();
+}
+
+} // namespace ompdart

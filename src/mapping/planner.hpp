@@ -1,0 +1,146 @@
+// The mapping planner: OMPDart's decision engine (paper §IV-D / §IV-E).
+//
+// For every function containing offload kernels it:
+//   1. chooses the extent of the single target-data region (hoisted outside
+//      any loops capturing the first/last kernel),
+//   2. validates that mapped variables are declared before the region
+//      (emitting the paper's "move this declaration" error otherwise),
+//   3. runs a forward validity walk over the AST-CFG region tracking which
+//      memory space holds each variable's current value, resolving every
+//      host<->device RAW dependency with the cheapest construct: region
+//      map(to/from/tofrom/alloc), a hoisted `target update` (Algorithm 1),
+//      or `firstprivate` for read-only scalars,
+//   4. infers array sections from bounds analysis / malloc extents.
+#pragma once
+
+#include "analysis/bounds.hpp"
+#include "analysis/interproc.hpp"
+#include "analysis/liveness.hpp"
+#include "cfg/cfg.hpp"
+#include "mapping/plan.hpp"
+#include "support/diagnostics.hpp"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace ompdart {
+
+struct PlannerOptions {
+  /// Use firstprivate for read-only scalars (paper §IV-D); disabling this is
+  /// the `firstprivate` ablation.
+  bool useFirstprivate = true;
+  /// Hoist update directives per Algorithm 1; disabling places updates at
+  /// the innermost access position (the paper's 14x motivating comparison).
+  bool hoistUpdates = true;
+  /// Extend the data region outside loops capturing kernels; disabling maps
+  /// per kernel (region == each kernel) for the region-extent ablation.
+  bool extendRegionOverLoops = true;
+  /// Run the interprocedural fixed point; disabling treats every call
+  /// pessimistically (interproc ablation).
+  bool interprocedural = true;
+};
+
+class MappingPlanner {
+public:
+  MappingPlanner(const TranslationUnit &unit,
+                 const InterproceduralResult &interproc,
+                 DiagnosticEngine &diags, PlannerOptions options = {});
+
+  /// Plans regions for every defined function that launches kernels.
+  [[nodiscard]] MappingPlan plan();
+
+private:
+  struct VarState {
+    bool hostValid = true;
+    bool devValid = false;
+    bool hostWroteSinceEntry = false;
+    const Stmt *lastHostWriteStmt = nullptr;
+    const ArraySubscriptExpr *lastHostWriteSubscript = nullptr;
+    const OmpDirectiveStmt *lastDeviceWriteKernel = nullptr;
+  };
+  struct VarFacts {
+    bool needsTo = false;
+    bool deviceRead = false;
+    bool deviceWrite = false;
+    bool referencedInKernel = false;
+  };
+  struct WalkContext {
+    std::map<VarDecl *, VarState> state;
+    /// Loops (outermost-first) currently enclosing the walk position,
+    /// restricted to host-side loops inside the region.
+    std::vector<const Stmt *> loops;
+  };
+
+  void planFunction(const FunctionDecl *fn, const AstCfg &cfg,
+                    MappingPlan &outPlan);
+
+  /// Region extent selection (step 1).
+  bool chooseRegionExtent(const AstCfg &cfg, RegionPlan &region);
+
+  /// Validity walk (step 3).
+  void walkStmt(const Stmt *stmt, WalkContext &ctx, RegionPlan &region);
+  void processLeafEvents(const Stmt *stmt, WalkContext &ctx,
+                         RegionPlan &region);
+  void handleDeviceRead(const AccessEvent &event, WalkContext &ctx,
+                        RegionPlan &region);
+  void handleDeviceWrite(const AccessEvent &event, WalkContext &ctx,
+                         RegionPlan &region);
+  void handleHostRead(const AccessEvent &event, WalkContext &ctx,
+                      RegionPlan &region);
+  void handleHostWrite(const AccessEvent &event, WalkContext &ctx);
+  void mergeStates(std::map<VarDecl *, VarState> &into,
+                   const std::map<VarDecl *, VarState> &branch);
+
+  void addUpdate(VarDecl *var, UpdateDirection direction, const Stmt *anchor,
+                 UpdatePlacement placement, bool hoisted, RegionPlan &region);
+
+  /// To-direction Algorithm 1: position after the last host write, hoisted
+  /// out of indexing loops but never past `consumerKernel` (null = region
+  /// end). Returns null when there is no recorded host write.
+  [[nodiscard]] const Stmt *
+  hoistAfterHostWrite(const VarState &state,
+                      const OmpDirectiveStmt *consumerKernel,
+                      bool &hoisted) const;
+
+  /// Section spelling + byte estimate for a mapped variable.
+  [[nodiscard]] std::pair<std::string, std::uint64_t>
+  sectionFor(VarDecl *var) const;
+
+  /// Declared/malloc extent, falling back to inference from the loop bounds
+  /// of device accesses when the allocation size is invisible.
+  [[nodiscard]] ExtentInfo effectiveExtent(VarDecl *var) const;
+
+  /// Extent of a pointer parameter derived from agreeing call-site
+  /// arguments (interprocedural propagation).
+  [[nodiscard]] ExtentInfo callSiteExtent(VarDecl *var) const;
+
+  /// True for variables declared inside an offload kernel (device-private).
+  [[nodiscard]] bool isKernelLocal(const VarDecl *var) const;
+
+  /// Whether a loop statement (by source range) contains another statement.
+  [[nodiscard]] static bool contains(const Stmt *outer, const Stmt *inner);
+
+  const TranslationUnit &unit_;
+  const InterproceduralResult &interproc_;
+  DiagnosticEngine &diags_;
+  PlannerOptions options_;
+  MallocExtents mallocExtents_;
+
+  // Per-function working state.
+  const FunctionAccessInfo *accesses_ = nullptr;
+  std::unique_ptr<LivenessAnalysis> liveness_;
+  const AstCfg *cfg_ = nullptr;
+  std::map<VarDecl *, VarFacts> facts_;
+  std::set<std::tuple<VarDecl *, UpdateDirection, const Stmt *>> updateKeys_;
+  std::size_t regionBeginOffset_ = 0;
+  std::size_t regionEndOffset_ = 0;
+};
+
+/// Convenience: full pipeline for a parsed unit.
+[[nodiscard]] MappingPlan planMappings(const TranslationUnit &unit,
+                                       const InterproceduralResult &interproc,
+                                       DiagnosticEngine &diags,
+                                       PlannerOptions options = {});
+
+} // namespace ompdart

@@ -1,0 +1,220 @@
+#include "rewrite/rewriter.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ompdart {
+
+void SourceRewriter::insert(std::size_t offset, std::string text) {
+  edits_.push_back(
+      Edit{offset, static_cast<unsigned>(edits_.size()), std::move(text)});
+}
+
+std::string SourceRewriter::apply() const {
+  std::vector<Edit> sorted = edits_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Edit &a, const Edit &b) {
+                     if (a.offset != b.offset)
+                       return a.offset < b.offset;
+                     return a.sequence < b.sequence;
+                   });
+  const std::string &original = sourceManager_.text();
+  std::string out;
+  out.reserve(original.size() + 256);
+  std::size_t cursor = 0;
+  for (const Edit &edit : sorted) {
+    const std::size_t offset = std::min(edit.offset, original.size());
+    out.append(original, cursor, offset - cursor);
+    out.append(edit.text);
+    cursor = offset;
+  }
+  out.append(original, cursor, original.size() - cursor);
+  return out;
+}
+
+std::size_t PlanRewriter::lineStartFor(std::size_t offset) const {
+  return sourceManager_.lineStartOffset(sourceManager_.lineNumber(offset));
+}
+
+std::size_t PlanRewriter::lineEndFor(std::size_t offset) const {
+  const unsigned line = sourceManager_.lineNumber(offset);
+  std::size_t end = sourceManager_.lineEndOffset(line);
+  if (end < sourceManager_.size())
+    ++end; // past the newline
+  return end;
+}
+
+std::string PlanRewriter::mapClausesText(const RegionPlan &region) {
+  // Group map items by map type in a stable to/from/tofrom/alloc order.
+  const OmpMapType order[] = {OmpMapType::To, OmpMapType::From,
+                              OmpMapType::ToFrom, OmpMapType::Alloc};
+  std::string out;
+  for (OmpMapType type : order) {
+    std::string items;
+    for (const MapSpec &spec : region.maps) {
+      if (spec.mapType != type)
+        continue;
+      if (!items.empty())
+        items += ", ";
+      items += spec.section.empty() ? spec.var->name() : spec.section;
+    }
+    if (items.empty())
+      continue;
+    out += " map(";
+    out += mapTypeSpelling(type);
+    out += ": ";
+    out += items;
+    out += ")";
+  }
+  return out;
+}
+
+void PlanRewriter::rewriteRegion(const RegionPlan &region,
+                                 SourceRewriter &rewriter) {
+  const std::string clauses = mapClausesText(region);
+  if (clauses.empty())
+    return;
+  if (region.appendsToKernel()) {
+    // Single kernel: append clauses to its pragma line.
+    rewriter.insert(region.soleKernel->pragmaRange().end.offset, clauses);
+    return;
+  }
+  const std::size_t startLine =
+      lineStartFor(region.startStmt->range().begin.offset);
+  const std::string indent =
+      sourceManager_.indentationAt(region.startStmt->range().begin.offset);
+  rewriter.insert(startLine, indent + "#pragma omp target data" + clauses +
+                                 "\n" + indent + "{\n");
+  const std::size_t endLine = lineEndFor(region.endStmt->range().end.offset > 0
+                                             ? region.endStmt->range().end.offset - 1
+                                             : 0);
+  rewriter.insert(endLine, indent + "}\n");
+}
+
+void PlanRewriter::emitUpdates(const RegionPlan &region,
+                               SourceRewriter &rewriter) {
+  // Consolidate: one directive per (insertion offset, direction), listing
+  // every variable that updates there (paper §IV-F last paragraph).
+  struct Point {
+    std::size_t offset;
+    UpdateDirection direction;
+    std::string indent;
+    std::vector<std::string> items;
+    bool newlineBefore = false; ///< text begins with "\n" (after-statement)
+  };
+  std::map<std::pair<std::size_t, int>, Point> points;
+
+  for (const UpdateInsertion &update : region.updates) {
+    const Stmt *anchor = update.anchor;
+    std::size_t offset = 0;
+    std::string indent;
+    bool newlineBefore = false;
+    switch (update.placement) {
+    case UpdatePlacement::Before:
+      offset = lineStartFor(anchor->range().begin.offset);
+      indent = sourceManager_.indentationAt(anchor->range().begin.offset);
+      break;
+    case UpdatePlacement::After:
+      offset = lineEndFor(anchor->range().end.offset > 0
+                              ? anchor->range().end.offset - 1
+                              : 0);
+      indent = sourceManager_.indentationAt(anchor->range().begin.offset);
+      break;
+    case UpdatePlacement::BodyBegin:
+    case UpdatePlacement::BodyEnd: {
+      const Stmt *body = nullptr;
+      if (anchor->kind() == StmtKind::For)
+        body = static_cast<const ForStmt *>(anchor)->body();
+      else if (anchor->kind() == StmtKind::While)
+        body = static_cast<const WhileStmt *>(anchor)->body();
+      else if (anchor->kind() == StmtKind::Do)
+        body = static_cast<const DoStmt *>(anchor)->body();
+      if (body == nullptr)
+        body = anchor;
+      indent =
+          sourceManager_.indentationAt(anchor->range().begin.offset) + "  ";
+      if (update.placement == UpdatePlacement::BodyBegin) {
+        // Just after the opening brace (or before a braceless body).
+        if (body->kind() == StmtKind::Compound)
+          offset = lineEndFor(body->range().begin.offset);
+        else
+          offset = lineStartFor(body->range().begin.offset);
+      } else {
+        // Just before the closing brace (or after a braceless body).
+        if (body->kind() == StmtKind::Compound)
+          offset = lineStartFor(body->range().end.offset > 0
+                                    ? body->range().end.offset - 1
+                                    : 0);
+        else
+          offset = lineEndFor(body->range().end.offset > 0
+                                  ? body->range().end.offset - 1
+                                  : 0);
+      }
+      break;
+    }
+    }
+    auto &point = points[{offset, static_cast<int>(update.direction)}];
+    point.offset = offset;
+    point.direction = update.direction;
+    point.indent = indent;
+    point.newlineBefore = newlineBefore;
+    const std::string item =
+        update.section.empty() ? update.var->name() : update.section;
+    if (std::find(point.items.begin(), point.items.end(), item) ==
+        point.items.end())
+      point.items.push_back(item);
+  }
+
+  for (const auto &[key, point] : points) {
+    std::string items;
+    for (const std::string &item : point.items) {
+      if (!items.empty())
+        items += ", ";
+      items += item;
+    }
+    std::string text = point.indent + "#pragma omp target update " +
+                       (point.direction == UpdateDirection::To ? "to("
+                                                               : "from(") +
+                       items + ")\n";
+    rewriter.insert(point.offset, std::move(text));
+  }
+}
+
+void PlanRewriter::emitFirstprivates(const RegionPlan &region,
+                                     SourceRewriter &rewriter) {
+  // Consolidate per kernel.
+  std::map<const OmpDirectiveStmt *, std::vector<std::string>> byKernel;
+  for (const FirstprivateInsertion &fp : region.firstprivates) {
+    auto &names = byKernel[fp.kernel];
+    if (std::find(names.begin(), names.end(), fp.var->name()) == names.end())
+      names.push_back(fp.var->name());
+  }
+  for (const auto &[kernel, names] : byKernel) {
+    std::string items;
+    for (const std::string &name : names) {
+      if (!items.empty())
+        items += ", ";
+      items += name;
+    }
+    rewriter.insert(kernel->pragmaRange().end.offset,
+                    " firstprivate(" + items + ")");
+  }
+}
+
+std::string PlanRewriter::rewrite() {
+  SourceRewriter rewriter(sourceManager_);
+  for (const RegionPlan &region : plan_.regions) {
+    rewriteRegion(region, rewriter);
+    emitUpdates(region, rewriter);
+    emitFirstprivates(region, rewriter);
+  }
+  return rewriter.apply();
+}
+
+std::string applyMappingPlan(const SourceManager &sourceManager,
+                             const MappingPlan &plan) {
+  PlanRewriter rewriter(sourceManager, plan);
+  return rewriter.rewrite();
+}
+
+} // namespace ompdart

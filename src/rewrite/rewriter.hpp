@@ -1,0 +1,75 @@
+// Source rewriter (paper §IV-F).
+//
+// Materializes a MappingPlan as text edits on the original buffer:
+//  - a new `#pragma omp target data map(...)` directive + braces around the
+//    region, or clause appends onto a sole kernel's pragma,
+//  - consolidated `#pragma omp target update to/from(...)` directives at
+//    each insertion point (one directive per point, multiple list items),
+//  - `firstprivate(...)` clauses appended to kernel pragmas.
+#pragma once
+
+#include "mapping/plan.hpp"
+#include "support/source_manager.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+/// Offset-keyed insert-only text editor. Edits at the same offset apply in
+/// the order they were added.
+class SourceRewriter {
+public:
+  explicit SourceRewriter(const SourceManager &sourceManager)
+      : sourceManager_(sourceManager) {}
+
+  void insert(std::size_t offset, std::string text);
+
+  /// Applies all edits and returns the rewritten buffer.
+  [[nodiscard]] std::string apply() const;
+
+  [[nodiscard]] const SourceManager &sourceManager() const {
+    return sourceManager_;
+  }
+
+private:
+  struct Edit {
+    std::size_t offset;
+    unsigned sequence;
+    std::string text;
+  };
+  const SourceManager &sourceManager_;
+  std::vector<Edit> edits_;
+};
+
+/// Renders a MappingPlan into the transformed source text.
+class PlanRewriter {
+public:
+  PlanRewriter(const SourceManager &sourceManager, const MappingPlan &plan)
+      : sourceManager_(sourceManager), plan_(plan) {}
+
+  [[nodiscard]] std::string rewrite();
+
+private:
+  void rewriteRegion(const RegionPlan &region, SourceRewriter &rewriter);
+  void emitUpdates(const RegionPlan &region, SourceRewriter &rewriter);
+  void emitFirstprivates(const RegionPlan &region, SourceRewriter &rewriter);
+
+  /// Builds the map clause list text for a region, grouped by map type.
+  [[nodiscard]] static std::string mapClausesText(const RegionPlan &region);
+
+  /// Offset of the first character of the line containing `offset`.
+  [[nodiscard]] std::size_t lineStartFor(std::size_t offset) const;
+  /// Offset just past the line containing `offset` (after its newline).
+  [[nodiscard]] std::size_t lineEndFor(std::size_t offset) const;
+
+  const SourceManager &sourceManager_;
+  const MappingPlan &plan_;
+};
+
+/// Convenience: apply `plan` to the source and return the transformed text.
+[[nodiscard]] std::string applyMappingPlan(const SourceManager &sourceManager,
+                                           const MappingPlan &plan);
+
+} // namespace ompdart

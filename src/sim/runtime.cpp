@@ -1,0 +1,118 @@
+#include "sim/runtime.hpp"
+
+namespace ompdart::sim {
+
+void TransferLedger::record(TransferDir dir, std::uint64_t bytes,
+                            std::string tag) {
+  transfers_.push_back(Transfer{dir, bytes, std::move(tag)});
+  if (dir == TransferDir::HtoD) {
+    bytesHtoD_ += bytes;
+    ++callsHtoD_;
+  } else {
+    bytesDtoH_ += bytes;
+    ++callsDtoH_;
+  }
+}
+
+void TransferLedger::reset() {
+  transfers_.clear();
+  bytesHtoD_ = bytesDtoH_ = 0;
+  callsHtoD_ = callsDtoH_ = 0;
+  kernelLaunches_ = 0;
+  hostOps_ = deviceOps_ = 0;
+}
+
+double CostModel::transferSeconds(const TransferLedger &ledger) const {
+  const double htod =
+      static_cast<double>(ledger.bytes(TransferDir::HtoD)) /
+      hostToDeviceBytesPerSec;
+  const double dtoh =
+      static_cast<double>(ledger.bytes(TransferDir::DtoH)) /
+      deviceToHostBytesPerSec;
+  const double latency = perTransferLatencySec * ledger.totalCalls();
+  return htod + dtoh + latency;
+}
+
+double CostModel::totalSeconds(const TransferLedger &ledger) const {
+  return transferSeconds(ledger) +
+         perKernelLaunchSec * ledger.kernelLaunches() +
+         hostSecPerOp * static_cast<double>(ledger.hostOps()) +
+         deviceSecPerOp * static_cast<double>(ledger.deviceOps());
+}
+
+MapEnterAction DeviceDataEnvironment::mapEnter(int objectId, MapKind kind,
+                                               std::uint64_t bytes,
+                                               const std::string &tag) {
+  MapEnterAction action;
+  Entry &entry = entries_[objectId];
+  if (entry.refCount == 0) {
+    action.allocate = true;
+    if (kind == MapKind::To || kind == MapKind::ToFrom) {
+      action.copyToDevice = true;
+      ledger_.record(TransferDir::HtoD, bytes, tag);
+    }
+  }
+  ++entry.refCount;
+  return action;
+}
+
+MapExitAction DeviceDataEnvironment::mapExit(int objectId, MapKind kind,
+                                             std::uint64_t bytes,
+                                             const std::string &tag) {
+  MapExitAction action;
+  auto it = entries_.find(objectId);
+  if (it == entries_.end())
+    return action; // exit without matching entry: no-op
+  Entry &entry = it->second;
+  if (entry.refCount > 0)
+    --entry.refCount;
+  if (kind == MapKind::Delete)
+    entry.refCount = 0;
+  if (entry.refCount == 0) {
+    // Data is only copied back when the reference count reaches zero — the
+    // exact trap of the paper's Listing 3.
+    if (kind == MapKind::From || kind == MapKind::ToFrom) {
+      action.copyFromDevice = true;
+      ledger_.record(TransferDir::DtoH, bytes, tag);
+    }
+    action.deallocate = true;
+    entries_.erase(it);
+  }
+  return action;
+}
+
+bool DeviceDataEnvironment::updateTo(int objectId, std::uint64_t bytes,
+                                     const std::string &tag) {
+  if (!isPresent(objectId))
+    return false;
+  ledger_.record(TransferDir::HtoD, bytes, tag);
+  return true;
+}
+
+bool DeviceDataEnvironment::updateFrom(int objectId, std::uint64_t bytes,
+                                       const std::string &tag) {
+  if (!isPresent(objectId))
+    return false;
+  ledger_.record(TransferDir::DtoH, bytes, tag);
+  return true;
+}
+
+const char *mapKindSpelling(MapKind kind) {
+  switch (kind) {
+  case MapKind::To:
+    return "to";
+  case MapKind::From:
+    return "from";
+  case MapKind::ToFrom:
+    return "tofrom";
+  case MapKind::Alloc:
+    return "alloc";
+  case MapKind::Release:
+    return "release";
+  case MapKind::Delete:
+    return "delete";
+  }
+  return "?";
+}
+
+} // namespace ompdart::sim

@@ -1,0 +1,21 @@
+#include "suite/benchmarks.hpp"
+
+namespace ompdart::suite {
+
+const std::vector<BenchmarkDef> &allBenchmarks() {
+  static const std::vector<BenchmarkDef> benchmarks = {
+      makeAccuracy(), makeAce(),     makeBackprop(),
+      makeBfs(),      makeClenergy(), makeHotspot(),
+      makeLulesh(),   makeNw(),       makeXsbench(),
+  };
+  return benchmarks;
+}
+
+const BenchmarkDef *findBenchmark(const std::string &name) {
+  for (const BenchmarkDef &def : allBenchmarks())
+    if (def.name == name)
+      return &def;
+  return nullptr;
+}
+
+} // namespace ompdart::suite

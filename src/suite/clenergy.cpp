@@ -1,0 +1,178 @@
+// clenergy — HeCBench "Coulombic Potential": direct Coulomb summation of
+// atom charges onto a 3-D lattice, processed slab by slab. A small lattice
+// configuration struct is read by every kernel launch; the expert mappings
+// overlook it (the paper's 66% memcpy-call reduction anecdote), while
+// OMPDart maps it with the data region.
+#include "suite/benchmarks.hpp"
+
+namespace ompdart::suite {
+
+namespace {
+
+const char *const kUnoptimized = R"(
+#define ATOMS 64
+#define GRIDX 16
+#define GRIDY 16
+#define SLABS 12
+
+struct lattice {
+  double spacing;
+  double origin_x;
+  double origin_y;
+  double origin_z;
+};
+
+double atom_x[ATOMS];
+double atom_y[ATOMS];
+double atom_z[ATOMS];
+double atom_q[ATOMS];
+double energygrid[SLABS * GRIDY * GRIDX];
+struct lattice grid;
+
+void init_atoms() {
+  srand(23);
+  grid.spacing = 0.5;
+  grid.origin_x = -4.0;
+  grid.origin_y = -4.0;
+  grid.origin_z = -3.0;
+  for (int a = 0; a < ATOMS; ++a) {
+    atom_x[a] = (double)(rand() % 800) * 0.01 - 4.0;
+    atom_y[a] = (double)(rand() % 800) * 0.01 - 4.0;
+    atom_z[a] = (double)(rand() % 600) * 0.01 - 3.0;
+    atom_q[a] = (double)(rand() % 200) * 0.01 - 1.0;
+  }
+  for (int i = 0; i < SLABS * GRIDY * GRIDX; ++i) {
+    energygrid[i] = 0.0;
+  }
+}
+
+int main() {
+  init_atoms();
+  for (int slab = 0; slab < SLABS; ++slab) {
+    #pragma omp target teams distribute parallel for
+    for (int g = 0; g < GRIDY * GRIDX; ++g) {
+      int gx = g % GRIDX;
+      int gy = g / GRIDX;
+      double px = grid.origin_x + gx * grid.spacing;
+      double py = grid.origin_y + gy * grid.spacing;
+      double pz = grid.origin_z + slab * grid.spacing;
+      double energy = 0.0;
+      for (int a = 0; a < ATOMS; ++a) {
+        double dx = px - atom_x[a];
+        double dy = py - atom_y[a];
+        double dz = pz - atom_z[a];
+        double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+        energy += atom_q[a] / sqrt(r2);
+      }
+      energygrid[slab * GRIDY * GRIDX + g] += energy;
+    }
+    #pragma omp target teams distribute parallel for
+    for (int g = 0; g < GRIDY * GRIDX; ++g) {
+      int idx = slab * GRIDY * GRIDX + g;
+      energygrid[idx] = energygrid[idx] * grid.spacing;
+    }
+  }
+  double total = 0.0;
+  for (int i = 0; i < SLABS * GRIDY * GRIDX; ++i) {
+    total += energygrid[i];
+  }
+  printf("potential=%.6f\n", total);
+  return 0;
+}
+)";
+
+const char *const kExpert = R"(
+#define ATOMS 64
+#define GRIDX 16
+#define GRIDY 16
+#define SLABS 12
+
+struct lattice {
+  double spacing;
+  double origin_x;
+  double origin_y;
+  double origin_z;
+};
+
+double atom_x[ATOMS];
+double atom_y[ATOMS];
+double atom_z[ATOMS];
+double atom_q[ATOMS];
+double energygrid[SLABS * GRIDY * GRIDX];
+struct lattice grid;
+
+void init_atoms() {
+  srand(23);
+  grid.spacing = 0.5;
+  grid.origin_x = -4.0;
+  grid.origin_y = -4.0;
+  grid.origin_z = -3.0;
+  for (int a = 0; a < ATOMS; ++a) {
+    atom_x[a] = (double)(rand() % 800) * 0.01 - 4.0;
+    atom_y[a] = (double)(rand() % 800) * 0.01 - 4.0;
+    atom_z[a] = (double)(rand() % 600) * 0.01 - 3.0;
+    atom_q[a] = (double)(rand() % 200) * 0.01 - 1.0;
+  }
+  for (int i = 0; i < SLABS * GRIDY * GRIDX; ++i) {
+    energygrid[i] = 0.0;
+  }
+}
+
+int main() {
+  init_atoms();
+  // Expert mapping from the suite: atom arrays and the grid are mapped, but
+  // the small lattice struct was overlooked and keeps falling back to the
+  // implicit per-kernel map.
+  #pragma omp target data map(to: atom_x, atom_y, atom_z, atom_q) \
+      map(tofrom: energygrid)
+  {
+    for (int slab = 0; slab < SLABS; ++slab) {
+      #pragma omp target teams distribute parallel for firstprivate(slab)
+      for (int g = 0; g < GRIDY * GRIDX; ++g) {
+        int gx = g % GRIDX;
+        int gy = g / GRIDX;
+        double px = grid.origin_x + gx * grid.spacing;
+        double py = grid.origin_y + gy * grid.spacing;
+        double pz = grid.origin_z + slab * grid.spacing;
+        double energy = 0.0;
+        for (int a = 0; a < ATOMS; ++a) {
+          double dx = px - atom_x[a];
+          double dy = py - atom_y[a];
+          double dz = pz - atom_z[a];
+          double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+          energy += atom_q[a] / sqrt(r2);
+        }
+        energygrid[slab * GRIDY * GRIDX + g] += energy;
+      }
+      #pragma omp target teams distribute parallel for firstprivate(slab)
+      for (int g = 0; g < GRIDY * GRIDX; ++g) {
+        int idx = slab * GRIDY * GRIDX + g;
+        energygrid[idx] = energygrid[idx] * grid.spacing;
+      }
+    }
+  }
+  double total = 0.0;
+  for (int i = 0; i < SLABS * GRIDY * GRIDX; ++i) {
+    total += energygrid[i];
+  }
+  printf("potential=%.6f\n", total);
+  return 0;
+}
+)";
+
+} // namespace
+
+BenchmarkDef makeClenergy() {
+  BenchmarkDef def;
+  def.name = "clenergy";
+  def.suiteName = "HeCBench";
+  def.domain = "Physics Simulation";
+  def.description = "Evaluates electrostatic potentials on a 3-D lattice "
+                    "using direct Coulomb summation";
+  def.unoptimized = kUnoptimized;
+  def.expert = kExpert;
+  def.paper = PaperReference{2, 103, 5, 812, 65.0, 1.11, 0.16};
+  return def;
+}
+
+} // namespace ompdart::suite

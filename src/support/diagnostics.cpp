@@ -1,0 +1,50 @@
+#include "support/diagnostics.hpp"
+
+namespace ompdart {
+
+const char *severityName(Severity severity) {
+  switch (severity) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string out;
+  if (location.isValid()) {
+    out += location.str();
+    out += ": ";
+  }
+  out += severityName(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLocation loc,
+                              std::string message) {
+  if (severity == Severity::Error)
+    ++errorCount_;
+  diagnostics_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::summary() const {
+  std::string out;
+  for (const Diagnostic &diag : diagnostics_) {
+    out += diag.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diagnostics_.clear();
+  errorCount_ = 0;
+}
+
+} // namespace ompdart

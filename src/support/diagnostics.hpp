@@ -1,0 +1,57 @@
+// Diagnostics engine: collects errors/warnings/notes with source locations.
+// The tool reports analysis obstacles through this channel (e.g. the paper's
+// "declaration must precede the target data region" error) instead of
+// aborting, so callers can decide how to proceed.
+#pragma once
+
+#include "support/source_location.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] const char *severityName(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLocation location;
+  std::string message;
+
+  /// "12:3: error: ..." rendering used in test expectations and CLI output.
+  [[nodiscard]] std::string str() const;
+};
+
+class DiagnosticEngine {
+public:
+  void report(Severity severity, SourceLocation loc, std::string message);
+
+  void error(SourceLocation loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLocation loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLocation loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic> &diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+  [[nodiscard]] unsigned errorCount() const { return errorCount_; }
+
+  /// All diagnostics joined by newlines; convenient for error messages.
+  [[nodiscard]] std::string summary() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+  unsigned errorCount_ = 0;
+};
+
+} // namespace ompdart

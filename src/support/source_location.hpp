@@ -1,0 +1,66 @@
+// Source locations and ranges used throughout the front end, analyses and
+// rewriter. Locations are byte offsets into the original source buffer plus
+// cached 1-based line/column; the rewriter keys every edit on `offset`, so a
+// location must always refer to the *unexpanded* input text.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ompdart {
+
+/// A position in the original source buffer.
+struct SourceLocation {
+  /// Byte offset into the source buffer. `kInvalid` marks an unset location.
+  std::size_t offset = kInvalid;
+  /// 1-based line number (0 when invalid).
+  unsigned line = 0;
+  /// 1-based column number (0 when invalid).
+  unsigned column = 0;
+
+  static constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool isValid() const { return offset != kInvalid; }
+
+  [[nodiscard]] bool operator==(const SourceLocation &other) const {
+    return offset == other.offset;
+  }
+  [[nodiscard]] bool operator<(const SourceLocation &other) const {
+    return offset < other.offset;
+  }
+
+  /// Renders as "line:column" for diagnostics.
+  [[nodiscard]] std::string str() const {
+    if (!isValid())
+      return "<invalid>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// A half-open range [begin, end) over the source buffer. `end` points one
+/// past the last byte of the ranged entity.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  SourceRange() = default;
+  SourceRange(SourceLocation b, SourceLocation e) : begin(b), end(e) {}
+
+  [[nodiscard]] bool isValid() const {
+    return begin.isValid() && end.isValid();
+  }
+
+  /// True when `loc` falls inside the range.
+  [[nodiscard]] bool contains(SourceLocation loc) const {
+    return isValid() && loc.isValid() && begin.offset <= loc.offset &&
+           loc.offset < end.offset;
+  }
+
+  /// True when `other` is entirely inside this range.
+  [[nodiscard]] bool contains(const SourceRange &other) const {
+    return isValid() && other.isValid() && begin.offset <= other.begin.offset &&
+           other.end.offset <= end.offset;
+  }
+};
+
+} // namespace ompdart

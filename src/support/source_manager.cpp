@@ -1,0 +1,65 @@
+#include "support/source_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ompdart {
+
+SourceManager::SourceManager(std::string fileName, std::string text)
+    : fileName_(std::move(fileName)), text_(std::move(text)) {
+  lineOffsets_.push_back(0);
+  for (std::size_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n')
+      lineOffsets_.push_back(i + 1);
+  }
+}
+
+SourceLocation SourceManager::locationFor(std::size_t offset) const {
+  if (offset > text_.size())
+    offset = text_.size();
+  const unsigned line = lineNumber(offset);
+  SourceLocation loc;
+  loc.offset = offset;
+  loc.line = line;
+  loc.column = static_cast<unsigned>(offset - lineOffsets_[line - 1]) + 1;
+  return loc;
+}
+
+unsigned SourceManager::lineNumber(std::size_t offset) const {
+  auto it = std::upper_bound(lineOffsets_.begin(), lineOffsets_.end(), offset);
+  return static_cast<unsigned>(it - lineOffsets_.begin());
+}
+
+std::string_view SourceManager::lineText(unsigned line) const {
+  assert(line >= 1 && line <= lineOffsets_.size());
+  const std::size_t begin = lineOffsets_[line - 1];
+  const std::size_t end = lineEndOffset(line);
+  return std::string_view(text_).substr(begin, end - begin);
+}
+
+std::size_t SourceManager::lineStartOffset(unsigned line) const {
+  assert(line >= 1 && line <= lineOffsets_.size());
+  return lineOffsets_[line - 1];
+}
+
+std::size_t SourceManager::lineEndOffset(unsigned line) const {
+  assert(line >= 1 && line <= lineOffsets_.size());
+  if (line < lineOffsets_.size())
+    return lineOffsets_[line] - 1; // position of the '\n'
+  return text_.size();
+}
+
+std::string SourceManager::indentationAt(std::size_t offset) const {
+  const unsigned line = lineNumber(offset);
+  const std::string_view text = lineText(line);
+  std::string indent;
+  for (const char c : text) {
+    if (c == ' ' || c == '\t')
+      indent.push_back(c);
+    else
+      break;
+  }
+  return indent;
+}
+
+} // namespace ompdart

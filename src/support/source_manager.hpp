@@ -1,0 +1,55 @@
+// Owns the text of one translation unit and answers location queries
+// (offset -> line/column, line extraction, indentation). The rewriter and
+// diagnostics both consult it; there is exactly one SourceManager per tool
+// invocation since OMPDart analyzes a single translation unit at a time.
+#pragma once
+
+#include "support/source_location.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ompdart {
+
+class SourceManager {
+public:
+  SourceManager() = default;
+  SourceManager(std::string fileName, std::string text);
+
+  [[nodiscard]] const std::string &fileName() const { return fileName_; }
+  [[nodiscard]] const std::string &text() const { return text_; }
+  [[nodiscard]] std::size_t size() const { return text_.size(); }
+
+  /// Builds a full SourceLocation (line/column) for a byte offset.
+  [[nodiscard]] SourceLocation locationFor(std::size_t offset) const;
+
+  /// 1-based line number containing `offset`.
+  [[nodiscard]] unsigned lineNumber(std::size_t offset) const;
+
+  /// The text of the (1-based) line, without the trailing newline.
+  [[nodiscard]] std::string_view lineText(unsigned line) const;
+
+  /// Byte offset of the first character of the (1-based) line.
+  [[nodiscard]] std::size_t lineStartOffset(unsigned line) const;
+
+  /// Offset just past the last character of the line (the newline position,
+  /// or end of buffer for the final line).
+  [[nodiscard]] std::size_t lineEndOffset(unsigned line) const;
+
+  /// Leading whitespace of the line containing `offset`; used by the
+  /// rewriter to indent inserted directives like the surrounding code.
+  [[nodiscard]] std::string indentationAt(std::size_t offset) const;
+
+  [[nodiscard]] unsigned lineCount() const {
+    return static_cast<unsigned>(lineOffsets_.size());
+  }
+
+private:
+  std::string fileName_;
+  std::string text_;
+  /// lineOffsets_[i] = byte offset where line i+1 starts.
+  std::vector<std::size_t> lineOffsets_;
+};
+
+} // namespace ompdart

@@ -1,0 +1,233 @@
+#include "../common/test_util.hpp"
+
+#include "analysis/access.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+FunctionAccessInfo accessesOf(const test::ParsedUnit &parsed,
+                              const std::string &name = "f") {
+  FunctionDecl *fn = parsed.function(name);
+  EXPECT_NE(fn, nullptr);
+  return collectAccesses(fn);
+}
+
+/// Events of `var` filtered by a predicate.
+template <typename Pred>
+std::vector<AccessEvent> eventsOf(const FunctionAccessInfo &info,
+                                  const std::string &varName, Pred pred) {
+  std::vector<AccessEvent> out;
+  for (const AccessEvent &event : info.events)
+    if (event.var != nullptr && event.var->name() == varName && pred(event))
+      out.push_back(event);
+  return out;
+}
+
+std::vector<AccessEvent> eventsOf(const FunctionAccessInfo &info,
+                                  const std::string &varName) {
+  return eventsOf(info, varName, [](const AccessEvent &) { return true; });
+}
+
+TEST(AccessTest, SimpleReadAndWrite) {
+  auto parsed = test::parse("void f(int a, int b) { a = b; }");
+  auto info = accessesOf(parsed);
+  auto aEvents = eventsOf(info, "a");
+  ASSERT_EQ(aEvents.size(), 1u);
+  EXPECT_EQ(aEvents[0].kind, AccessKind::Write);
+  auto bEvents = eventsOf(info, "b");
+  ASSERT_EQ(bEvents.size(), 1u);
+  EXPECT_EQ(bEvents[0].kind, AccessKind::Read);
+}
+
+TEST(AccessTest, CompoundAssignmentIsReadWrite) {
+  auto parsed = test::parse("void f(int a) { a += 2; }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "a");
+  ASSERT_EQ(events.size(), 2u); // read + write halves
+  EXPECT_EQ(events[0].kind, AccessKind::Read);
+  EXPECT_EQ(events[1].kind, AccessKind::Write);
+}
+
+TEST(AccessTest, ReadsEmittedBeforeWritesWithinStatement) {
+  auto parsed = test::parse("void f(int *a, int i) { a[i] = a[i + 1]; }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "a");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, AccessKind::Read);
+  EXPECT_EQ(events[1].kind, AccessKind::Write);
+}
+
+TEST(AccessTest, IncrementOperators) {
+  auto parsed = test::parse("void f(int a) { ++a; a--; }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "a");
+  ASSERT_EQ(events.size(), 4u); // two read+write pairs
+}
+
+TEST(AccessTest, ArraySubscriptRecordsSubscript) {
+  auto parsed = test::parse("void f(double *a, int i) { a[i] = 1.0; }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "a");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AccessKind::Write);
+  EXPECT_NE(events[0].subscript, nullptr);
+  EXPECT_TRUE(events[0].pointeeAccess);
+  EXPECT_TRUE(events[0].isDataAccess());
+}
+
+TEST(AccessTest, MultiDimSubscriptIndicesAreReads) {
+  auto parsed =
+      test::parse("void f(double g[4][8], int i, int j) { g[i][j] = 0.0; }");
+  auto info = accessesOf(parsed);
+  EXPECT_EQ(eventsOf(info, "i").size(), 1u);
+  EXPECT_EQ(eventsOf(info, "j").size(), 1u);
+  auto gEvents = eventsOf(info, "g");
+  ASSERT_EQ(gEvents.size(), 1u);
+  EXPECT_EQ(gEvents[0].kind, AccessKind::Write);
+}
+
+TEST(AccessTest, DerefIsPointeeAccess) {
+  auto parsed = test::parse("void f(int *p) { *p = 3; }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "p");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AccessKind::Write);
+  EXPECT_TRUE(events[0].pointeeAccess);
+}
+
+TEST(AccessTest, PointerValueReadIsNotDataAccess) {
+  auto parsed = test::parse("void g(int *q);\nvoid f(int *p) { g(p); }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "p");
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_FALSE(events[0].pointeeAccess);
+  EXPECT_FALSE(events[0].isDataAccess());
+}
+
+TEST(AccessTest, AddressOfMarksEscape) {
+  auto parsed = test::parse("void g(int *q);\nvoid f() { int x = 0; g(&x); }");
+  auto info = accessesOf(parsed);
+  bool escaped = false;
+  for (const VarDecl *var : info.addressTaken)
+    escaped |= var->name() == "x";
+  EXPECT_TRUE(escaped);
+}
+
+TEST(AccessTest, DeviceEventsMarkedWithKernel) {
+  auto parsed = test::parse(R"(
+void f(int n, double *a) {
+  a[0] = 1.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) a[i] = a[i] * 2.0;
+}
+)");
+  auto info = accessesOf(parsed);
+  auto hostEvents = eventsOf(info, "a", [](const AccessEvent &event) {
+    return !event.onDevice;
+  });
+  auto deviceEvents = eventsOf(info, "a", [](const AccessEvent &event) {
+    return event.onDevice;
+  });
+  EXPECT_EQ(hostEvents.size(), 1u);
+  ASSERT_EQ(deviceEvents.size(), 2u); // read + write
+  EXPECT_NE(deviceEvents[0].kernel, nullptr);
+}
+
+TEST(AccessTest, ReductionVariableIsDeviceReadWrite) {
+  auto parsed = test::parse(R"(
+void f(int n, double *a) {
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for reduction(+: sum)
+  for (int i = 0; i < n; ++i) sum += a[i];
+  a[0] = sum;
+}
+)");
+  auto info = accessesOf(parsed);
+  auto deviceSum = eventsOf(info, "sum", [](const AccessEvent &event) {
+    return event.onDevice;
+  });
+  // reduction clause RW + loop body compound-assign RW
+  ASSERT_GE(deviceSum.size(), 2u);
+}
+
+TEST(AccessTest, ConditionalWriteFlagged) {
+  auto parsed = test::parse(
+      "void f(int n, int *a) { if (n > 0) { a[0] = 1; } a[1] = 2; }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "a");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].conditional);
+  EXPECT_FALSE(events[1].conditional);
+}
+
+TEST(AccessTest, MathBuiltinsReadOnly) {
+  auto parsed = test::parse("void f(double x, double *r) { r[0] = exp(x); }");
+  auto info = accessesOf(parsed);
+  auto xEvents = eventsOf(info, "x");
+  ASSERT_EQ(xEvents.size(), 1u);
+  EXPECT_EQ(xEvents[0].kind, AccessKind::Read);
+}
+
+TEST(AccessTest, MemsetWritesPointee) {
+  auto parsed = test::parse("void f(int n, double *a) { memset(a, 0, n); }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "a");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AccessKind::Write);
+  EXPECT_TRUE(events[0].pointeeAccess);
+}
+
+TEST(AccessTest, UnknownExternWritesPessimistic) {
+  auto parsed = test::parse("void f(double *a) { mystery(a); }");
+  // mystery is undeclared -> builtin lookup fails -> Unknown effect.
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "a");
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AccessKind::Unknown);
+}
+
+TEST(AccessTest, CallSitesRecorded) {
+  auto parsed = test::parse(R"(
+void helper(double *p) { p[0] = 1.0; }
+void f(double *a) { helper(a); }
+)");
+  auto info = accessesOf(parsed);
+  ASSERT_EQ(info.callSites.size(), 1u);
+  EXPECT_EQ(info.callSites[0].call->calleeName(), "helper");
+  EXPECT_FALSE(info.callSites[0].onDevice);
+}
+
+TEST(AccessTest, DeclInitIsWrite) {
+  auto parsed = test::parse("void f(int n) { int x = n + 1; x = x; }");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "x");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, AccessKind::Write); // declaration init
+}
+
+TEST(AccessTest, LoopConditionAccessAttachedToLoopStmt) {
+  auto parsed = test::parse("void f(int n) { while (n > 0) { n--; } }");
+  auto info = accessesOf(parsed);
+  FunctionDecl *fn = parsed.function("f");
+  Stmt *whileStmt = fn->body()->body()[0];
+  auto it = info.byStmt.find(whileStmt);
+  ASSERT_NE(it, info.byStmt.end());
+  EXPECT_FALSE(it->second.empty());
+}
+
+TEST(AccessTest, MemberAccessTouchesWholeStruct) {
+  auto parsed = test::parse(R"(
+struct cfg { int n; double scale; };
+void f(struct cfg c, double *a) { a[0] = c.scale; }
+)");
+  auto info = accessesOf(parsed);
+  auto events = eventsOf(info, "c");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AccessKind::Read);
+  EXPECT_TRUE(events[0].isDataAccess());
+}
+
+} // namespace
+} // namespace ompdart

@@ -1,0 +1,414 @@
+#include "../common/test_util.hpp"
+
+#include "analysis/bounds.hpp"
+#include "cfg/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+const ForStmt *firstForLoop(const Stmt *stmt) {
+  if (stmt == nullptr)
+    return nullptr;
+  if (stmt->kind() == StmtKind::For)
+    return static_cast<const ForStmt *>(stmt);
+  switch (stmt->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+      if (const ForStmt *found = firstForLoop(sub))
+        return found;
+    return nullptr;
+  case StmtKind::OmpDirective:
+    return firstForLoop(
+        static_cast<const OmpDirectiveStmt *>(stmt)->associated());
+  case StmtKind::If: {
+    const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+    if (const ForStmt *found = firstForLoop(ifStmt->thenStmt()))
+      return found;
+    return firstForLoop(ifStmt->elseStmt());
+  }
+  default:
+    return nullptr;
+  }
+}
+
+LoopBounds boundsOf(const std::string &loopSource) {
+  static std::vector<test::ParsedUnit> keepAlive;
+  keepAlive.push_back(
+      test::parse("void f(int n, int m, double *a) {\n" + loopSource +
+                  "\n}\n"));
+  const auto &parsed = keepAlive.back();
+  EXPECT_TRUE(parsed.ok) << parsed.diags->summary();
+  const ForStmt *loop = firstForLoop(parsed.function("f")->body());
+  EXPECT_NE(loop, nullptr);
+  return analyzeForLoop(loop);
+}
+
+TEST(LoopBoundsTest, CanonicalUpwardLoop) {
+  const LoopBounds bounds = boundsOf("for (int i = 0; i < n; ++i) a[i] = i;");
+  ASSERT_TRUE(bounds.valid);
+  EXPECT_EQ(bounds.inductionVar->name(), "i");
+  EXPECT_EQ(bounds.lowerConst.value_or(-1), 0);
+  EXPECT_FALSE(bounds.upperConst.has_value()); // symbolic n
+  EXPECT_EQ(bounds.step, 1);
+}
+
+TEST(LoopBoundsTest, ConstantBounds) {
+  const LoopBounds bounds =
+      boundsOf("for (int i = 2; i < 100; i++) a[i] = i;");
+  ASSERT_TRUE(bounds.valid);
+  EXPECT_EQ(bounds.lowerConst.value_or(-1), 2);
+  EXPECT_EQ(bounds.upperConst.value_or(-1), 100);
+}
+
+TEST(LoopBoundsTest, InclusiveUpperBoundAdjusted) {
+  const LoopBounds bounds =
+      boundsOf("for (int i = 0; i <= 9; ++i) a[i] = i;");
+  ASSERT_TRUE(bounds.valid);
+  EXPECT_EQ(bounds.upperConst.value_or(-1), 10);
+  EXPECT_TRUE(bounds.upperInclusiveAdjusted);
+}
+
+TEST(LoopBoundsTest, PaperListing4Bound) {
+  // Paper Listing 4: for (int i = 0; i < N/2; i++) with N == 100.
+  const LoopBounds bounds =
+      boundsOf("for (int i = 0; i < 100 / 2; i++) a[i] = i;");
+  ASSERT_TRUE(bounds.valid);
+  EXPECT_EQ(bounds.upperConst.value_or(-1), 50);
+}
+
+TEST(LoopBoundsTest, MirroredComparison) {
+  const LoopBounds bounds = boundsOf("for (int i = 0; n > i; ++i) a[i] = i;");
+  ASSERT_TRUE(bounds.valid);
+  EXPECT_EQ(bounds.inductionVar->name(), "i");
+}
+
+TEST(LoopBoundsTest, DownwardLoop) {
+  const LoopBounds bounds =
+      boundsOf("for (int i = 9; i >= 0; --i) a[i] = i;");
+  ASSERT_TRUE(bounds.valid);
+  EXPECT_EQ(bounds.step, -1);
+  EXPECT_EQ(bounds.lowerConst.value_or(-1), 0);
+  EXPECT_EQ(bounds.upperConst.value_or(-1), 10); // exclusive of init+1
+}
+
+TEST(LoopBoundsTest, AssignmentInit) {
+  const LoopBounds bounds =
+      boundsOf("int i; for (i = 1; i < n; i = i + 1) a[i] = i;");
+  ASSERT_TRUE(bounds.valid);
+  EXPECT_EQ(bounds.lowerConst.value_or(-1), 1);
+}
+
+TEST(LoopBoundsTest, CompoundAssignStep) {
+  const LoopBounds bounds =
+      boundsOf("for (int i = 0; i < n; i += 1) a[i] = i;");
+  ASSERT_TRUE(bounds.valid);
+  EXPECT_EQ(bounds.step, 1);
+}
+
+TEST(LoopBoundsTest, NonUnitStrideRejected) {
+  const LoopBounds bounds =
+      boundsOf("for (int i = 0; i < n; i += 2) a[i] = i;");
+  EXPECT_FALSE(bounds.valid);
+}
+
+TEST(LoopBoundsTest, MissingConditionRejected) {
+  const LoopBounds bounds = boundsOf("for (int i = 0; ; ++i) { a[i] = i; "
+                                     "if (i > 3) break; }");
+  EXPECT_FALSE(bounds.valid);
+}
+
+TEST(LoopBoundsTest, ComplexConditionRejected) {
+  const LoopBounds bounds =
+      boundsOf("for (int i = 0; i * i < n; ++i) a[i] = i;");
+  EXPECT_FALSE(bounds.valid);
+}
+
+TEST(LoopBoundsTest, WhileLoopHasNoIndexingVar) {
+  auto parsed = test::parse("void f(int n) { while (n > 0) { n--; } }");
+  const Stmt *whileStmt = parsed.function("f")->body()->body()[0];
+  EXPECT_EQ(findIndexingVar(whileStmt), nullptr);
+}
+
+// --- Algorithm 1 ---
+
+struct Alg1Fixture {
+  test::ParsedUnit parsed;
+  std::unique_ptr<AstCfg> cfg;
+  FunctionAccessInfo info;
+
+  explicit Alg1Fixture(const std::string &source)
+      : parsed(test::parse(source)) {
+    EXPECT_TRUE(parsed.ok) << parsed.diags->summary();
+    CfgBuilder builder;
+    cfg = builder.build(parsed.function("f"));
+    info = collectAccesses(parsed.function("f"));
+  }
+
+  /// First host read event of `name` that has a subscript.
+  const AccessEvent *hostReadOf(const std::string &name) {
+    for (const AccessEvent &event : info.events)
+      if (event.var != nullptr && event.var->name() == name &&
+          !event.onDevice && event.kind == AccessKind::Read &&
+          event.subscript != nullptr)
+        return &event;
+    return nullptr;
+  }
+};
+
+TEST(Alg1Test, HoistsOutOfIndexingLoops) {
+  // The backprop motif (paper Listing 6): host reads partial_sum[k*hid+j-1]
+  // inside nested loops; the update belongs before the outermost loop whose
+  // induction variable indexes the access (j), i.e. before both loops.
+  Alg1Fixture fixture(R"(
+void f(int hid, int num_blocks, double *partial_sum, double *hidden) {
+  double sum = 0.0;
+  for (int j = 1; j <= hid; j++) {
+    sum = 0.0;
+    for (int k = 0; k < num_blocks; k++) {
+      sum += partial_sum[k * hid + j - 1];
+    }
+    hidden[j] = sum;
+  }
+}
+)");
+  const AccessEvent *access = fixture.hostReadOf("partial_sum");
+  ASSERT_NE(access, nullptr);
+  const auto *loops = fixture.cfg->enclosingLoops(access->stmt);
+  ASSERT_NE(loops, nullptr);
+  ASSERT_EQ(loops->size(), 2u);
+  const Stmt *pos = findUpdateInsertLoc(access->subscript, access->stmt,
+                                        *loops, SourceLocation{});
+  EXPECT_EQ(pos, (*loops)[0]); // hoisted before the outermost (j) loop
+}
+
+TEST(Alg1Test, StopsAtNonIndexingLoop) {
+  // The outer time loop's induction var (t) does not appear in the
+  // subscript: the update stays inside it, before the j loop.
+  Alg1Fixture fixture(R"(
+void f(int n, double *data, double *out) {
+  for (int t = 0; t < 10; ++t) {
+    for (int j = 0; j < n; ++j) {
+      out[t] += data[j];
+    }
+  }
+}
+)");
+  const AccessEvent *access = fixture.hostReadOf("data");
+  ASSERT_NE(access, nullptr);
+  const auto *loops = fixture.cfg->enclosingLoops(access->stmt);
+  ASSERT_EQ(loops->size(), 2u);
+  const Stmt *pos = findUpdateInsertLoc(access->subscript, access->stmt,
+                                        *loops, SourceLocation{});
+  EXPECT_EQ(pos, (*loops)[1]); // the j loop, not the t loop
+}
+
+TEST(Alg1Test, LocLimBoundsHoisting) {
+  Alg1Fixture fixture(R"(
+void f(int n, double *data) {
+  double acc = 0.0;
+  for (int j = 0; j < n; ++j) {
+    acc += data[j];
+  }
+}
+)");
+  const AccessEvent *access = fixture.hostReadOf("data");
+  ASSERT_NE(access, nullptr);
+  const auto *loops = fixture.cfg->enclosingLoops(access->stmt);
+  ASSERT_EQ(loops->size(), 1u);
+  // locLim *after* the loop start: hoisting above the loop is forbidden.
+  SourceLocation locLim;
+  locLim.offset = (*loops)[0]->range().begin.offset + 1;
+  const Stmt *pos =
+      findUpdateInsertLoc(access->subscript, access->stmt, *loops, locLim);
+  EXPECT_EQ(pos, access->stmt);
+}
+
+TEST(Alg1Test, ScalarAccessNotHoisted) {
+  Alg1Fixture fixture(R"(
+void f(int n, double *data) {
+  double acc = 0.0;
+  for (int j = 0; j < n; ++j) {
+    acc += data[0];
+  }
+}
+)");
+  // Constant subscript: no indexing variables, so Algorithm 1 keeps the
+  // anchor statement.
+  const AccessEvent *access = fixture.hostReadOf("data");
+  ASSERT_NE(access, nullptr);
+  const auto *loops = fixture.cfg->enclosingLoops(access->stmt);
+  const Stmt *pos = findUpdateInsertLoc(access->subscript, access->stmt,
+                                        *loops, SourceLocation{});
+  EXPECT_EQ(pos, access->stmt);
+}
+
+// --- Extents ---
+
+TEST(ExtentTest, DeclaredArrayExtent) {
+  auto parsed = test::parse("double grid[4][8];\nvoid f() { grid[0][0] = 1.0; }");
+  MallocExtents mallocExtents(parsed.unit());
+  const ExtentInfo extent =
+      dataExtent(parsed.unit().globals[0], mallocExtents);
+  EXPECT_EQ(extent.constElems.value_or(0), 32u); // flattened
+}
+
+TEST(ExtentTest, MallocElementCount) {
+  auto parsed = test::parse(
+      "void f(int n) { double *p = (double *)malloc(n * sizeof(double)); "
+      "p[0] = 1.0; free(p); }");
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+  MallocExtents mallocExtents(parsed.unit());
+  auto *declStmt = test::firstStmtAs<DeclStmt>(parsed.function("f"));
+  const ExtentInfo extent = dataExtent(declStmt->decls()[0], mallocExtents);
+  EXPECT_TRUE(extent.known());
+  EXPECT_EQ(extent.spelling, "n");
+  EXPECT_FALSE(extent.constElems.has_value());
+}
+
+TEST(ExtentTest, MallocConstantBytes) {
+  auto parsed = test::parse(
+      "void f() { double *p = (double *)malloc(800); p[0] = 1.0; free(p); }");
+  MallocExtents mallocExtents(parsed.unit());
+  auto *declStmt = test::firstStmtAs<DeclStmt>(parsed.function("f"));
+  const ExtentInfo extent = dataExtent(declStmt->decls()[0], mallocExtents);
+  EXPECT_EQ(extent.constElems.value_or(0), 100u);
+}
+
+TEST(ExtentTest, MallocSizeofFirst) {
+  auto parsed = test::parse(
+      "void f(int count) { float *p = (float *)malloc(sizeof(float) * "
+      "count); p[0] = 1.0f; free(p); }");
+  MallocExtents mallocExtents(parsed.unit());
+  auto *declStmt = test::firstStmtAs<DeclStmt>(parsed.function("f"));
+  const ExtentInfo extent = dataExtent(declStmt->decls()[0], mallocExtents);
+  EXPECT_EQ(extent.spelling, "count");
+}
+
+TEST(ExtentTest, CallocPattern) {
+  auto parsed = test::parse(
+      "void f(int n) { int *p = (int *)calloc(n, sizeof(int)); p[0] = 1; "
+      "free(p); }");
+  MallocExtents mallocExtents(parsed.unit());
+  auto *declStmt = test::firstStmtAs<DeclStmt>(parsed.function("f"));
+  const ExtentInfo extent = dataExtent(declStmt->decls()[0], mallocExtents);
+  EXPECT_EQ(extent.spelling, "n");
+}
+
+TEST(ExtentTest, AssignedAfterDeclaration) {
+  auto parsed = test::parse(R"(
+void f(int n) {
+  double *p;
+  p = (double *)malloc(n * sizeof(double));
+  p[0] = 1.0;
+  free(p);
+}
+)");
+  MallocExtents mallocExtents(parsed.unit());
+  auto *declStmt = test::firstStmtAs<DeclStmt>(parsed.function("f"));
+  const ExtentInfo extent = dataExtent(declStmt->decls()[0], mallocExtents);
+  EXPECT_EQ(extent.spelling, "n");
+}
+
+TEST(ExtentTest, UnknownPointerExtent) {
+  auto parsed = test::parse("void f(double *p) { p[0] = 1.0; }");
+  MallocExtents mallocExtents(parsed.unit());
+  const ExtentInfo extent =
+      dataExtent(parsed.function("f")->params()[0], mallocExtents);
+  EXPECT_FALSE(extent.known());
+}
+
+TEST(ExtentTest, ScalarIsOneElement) {
+  auto parsed = test::parse("int x;");
+  MallocExtents mallocExtents(parsed.unit());
+  const ExtentInfo extent =
+      dataExtent(parsed.unit().globals[0], mallocExtents);
+  EXPECT_EQ(extent.constElems.value_or(0), 1u);
+}
+
+// --- Full coverage ---
+
+TEST(CoverageTest, FullWriteDetected) {
+  Alg1Fixture fixture(R"(
+void f(double *a) {
+  for (int i = 0; i < 256; ++i) {
+    a[i] = i;
+  }
+}
+)");
+  // Give `a` a known extent of 256 via a synthetic ExtentInfo.
+  ExtentInfo extent;
+  extent.constElems = 256;
+  extent.spelling = "256";
+  const AccessEvent *write = nullptr;
+  for (const AccessEvent &event : fixture.info.events)
+    if (event.var->name() == "a" && event.kind == AccessKind::Write)
+      write = &event;
+  ASSERT_NE(write, nullptr);
+  const auto *loops = fixture.cfg->enclosingLoops(write->stmt);
+  ASSERT_NE(loops, nullptr);
+  EXPECT_TRUE(isFullCoverageWrite(*write, write->var, extent, *loops));
+}
+
+TEST(CoverageTest, PartialWriteNotFullCoverage) {
+  Alg1Fixture fixture(R"(
+void f(double *a) {
+  for (int i = 0; i < 128; ++i) {
+    a[i] = i;
+  }
+}
+)");
+  ExtentInfo extent;
+  extent.constElems = 256;
+  extent.spelling = "256";
+  const AccessEvent *write = nullptr;
+  for (const AccessEvent &event : fixture.info.events)
+    if (event.var->name() == "a" && event.kind == AccessKind::Write)
+      write = &event;
+  ASSERT_NE(write, nullptr);
+  const auto *loops = fixture.cfg->enclosingLoops(write->stmt);
+  EXPECT_FALSE(isFullCoverageWrite(*write, write->var, extent, *loops));
+}
+
+TEST(CoverageTest, ConditionalWriteNotFullCoverage) {
+  Alg1Fixture fixture(R"(
+void f(double *a, int flag) {
+  for (int i = 0; i < 256; ++i) {
+    if (flag) a[i] = i;
+  }
+}
+)");
+  ExtentInfo extent;
+  extent.constElems = 256;
+  extent.spelling = "256";
+  const AccessEvent *write = nullptr;
+  for (const AccessEvent &event : fixture.info.events)
+    if (event.var->name() == "a" && event.kind == AccessKind::Write)
+      write = &event;
+  ASSERT_NE(write, nullptr);
+  const auto *loops = fixture.cfg->enclosingLoops(write->stmt);
+  EXPECT_FALSE(isFullCoverageWrite(*write, write->var, extent, *loops));
+}
+
+TEST(CoverageTest, SymbolicExtentMatchesLoopBound) {
+  Alg1Fixture fixture(R"(
+void f(double *a, int n) {
+  for (int i = 0; i < n; ++i) {
+    a[i] = i;
+  }
+}
+)");
+  ExtentInfo extent;
+  extent.spelling = "n";
+  const AccessEvent *write = nullptr;
+  for (const AccessEvent &event : fixture.info.events)
+    if (event.var->name() == "a" && event.kind == AccessKind::Write)
+      write = &event;
+  ASSERT_NE(write, nullptr);
+  const auto *loops = fixture.cfg->enclosingLoops(write->stmt);
+  EXPECT_TRUE(isFullCoverageWrite(*write, write->var, extent, *loops));
+}
+
+} // namespace
+} // namespace ompdart

@@ -1,0 +1,173 @@
+#include "../common/test_util.hpp"
+
+#include "analysis/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+struct Fixture {
+  test::ParsedUnit parsed;
+  std::unique_ptr<AstCfg> cfg;
+  FunctionAccessInfo info;
+  std::unique_ptr<LivenessAnalysis> liveness;
+
+  explicit Fixture(const std::string &source) : parsed(test::parse(source)) {
+    EXPECT_TRUE(parsed.ok) << parsed.diags->summary();
+    CfgBuilder builder;
+    cfg = builder.build(parsed.function("f"));
+    info = collectAccesses(parsed.function("f"));
+    liveness = std::make_unique<LivenessAnalysis>(*cfg, info);
+  }
+
+  VarDecl *localVar(const std::string &name) {
+    for (const AccessEvent &event : info.events)
+      if (event.var != nullptr && event.var->name() == name)
+        return event.var;
+    return nullptr;
+  }
+  const Stmt *bodyStmt(std::size_t index) {
+    return parsed.function("f")->body()->body()[index];
+  }
+};
+
+TEST(LivenessTest, ReadAfterKeepsLive) {
+  Fixture fx(R"(
+int f() {
+  int x = 1;
+  int y = 2;
+  return x + y;
+}
+)");
+  EXPECT_TRUE(fx.liveness->isLiveAfter(fx.bodyStmt(0), fx.localVar("x")));
+  EXPECT_TRUE(fx.liveness->isLiveAfter(fx.bodyStmt(1), fx.localVar("y")));
+}
+
+TEST(LivenessTest, OverwriteKills) {
+  Fixture fx(R"(
+int f() {
+  int x = 1;
+  x = 2;
+  x = 3;
+  return x;
+}
+)");
+  // After the first statement, x is overwritten before any read.
+  EXPECT_FALSE(fx.liveness->isLiveAfter(fx.bodyStmt(0), fx.localVar("x")));
+  EXPECT_TRUE(fx.liveness->isLiveAfter(fx.bodyStmt(2), fx.localVar("x")));
+}
+
+TEST(LivenessTest, DeadAfterLastUse) {
+  Fixture fx(R"(
+int f() {
+  int t = 5;
+  int r = t * 2;
+  return r;
+}
+)");
+  EXPECT_FALSE(fx.liveness->isLiveAfter(fx.bodyStmt(1), fx.localVar("t")));
+}
+
+TEST(LivenessTest, LoopKeepsVariableLiveAcrossBackEdge) {
+  Fixture fx(R"(
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc = acc + i;
+  }
+  return acc;
+}
+)");
+  EXPECT_TRUE(fx.liveness->isLiveAfter(fx.bodyStmt(0), fx.localVar("acc")));
+}
+
+TEST(LivenessTest, BranchMergeIsConservative) {
+  Fixture fx(R"(
+int f(int c) {
+  int x = 1;
+  if (c) {
+    x = 2;
+  }
+  return x;
+}
+)");
+  // x may flow to the return via the else path: live.
+  EXPECT_TRUE(fx.liveness->isLiveAfter(fx.bodyStmt(0), fx.localVar("x")));
+}
+
+TEST(LivenessTest, ConditionalWriteDoesNotKill) {
+  Fixture fx(R"(
+int f(int c) {
+  int x = 1;
+  if (c) { x = 2; }
+  x = x + 1;
+  return x;
+}
+)");
+  EXPECT_TRUE(fx.liveness->isLiveAfter(fx.bodyStmt(0), fx.localVar("x")));
+}
+
+TEST(LivenessTest, GlobalsAlwaysEscape) {
+  Fixture fx(R"(
+int counter;
+int f() {
+  counter = 1;
+  return 0;
+}
+)");
+  VarDecl *counter = fx.localVar("counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_TRUE(fx.liveness->escapes(counter));
+  EXPECT_TRUE(fx.liveness->isLiveAfter(fx.bodyStmt(0), counter));
+}
+
+TEST(LivenessTest, PointerParamsEscape) {
+  Fixture fx("void f(double *a) { a[0] = 1.0; }");
+  EXPECT_TRUE(fx.liveness->escapes(fx.parsed.function("f")->params()[0]));
+}
+
+TEST(LivenessTest, ScalarParamsDoNotEscape) {
+  Fixture fx("int f(int n) { return n + 1; }");
+  EXPECT_FALSE(fx.liveness->escapes(fx.parsed.function("f")->params()[0]));
+}
+
+TEST(LivenessTest, AddressTakenEscapes) {
+  Fixture fx(R"(
+void g(int *p);
+void f() {
+  int x = 0;
+  g(&x);
+}
+)");
+  EXPECT_TRUE(fx.liveness->escapes(fx.localVar("x")));
+}
+
+TEST(LivenessTest, ArrayElementWriteDoesNotKill) {
+  Fixture fx(R"(
+int f() {
+  int a[4] = {};
+  a[0] = 1;
+  return a[0];
+}
+)");
+  EXPECT_TRUE(fx.liveness->isLiveAfter(fx.bodyStmt(0), fx.localVar("a")));
+}
+
+TEST(LivenessTest, DeviceReadsDoNotKeepHostLive) {
+  Fixture fx(R"(
+void f(int n) {
+  int scale = 3;
+  double out[64] = {};
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) out[i] = scale;
+  out[0] = 0.0;
+}
+)");
+  // scale is only read on the device after its definition; host liveness
+  // (used for map(from:) decisions) must NOT consider device reads.
+  EXPECT_FALSE(fx.liveness->isLiveAfter(fx.bodyStmt(0), fx.localVar("scale")));
+}
+
+} // namespace
+} // namespace ompdart

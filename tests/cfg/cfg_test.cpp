@@ -1,0 +1,303 @@
+#include "../common/test_util.hpp"
+
+#include "cfg/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ompdart {
+namespace {
+
+using test::parse;
+
+std::unique_ptr<AstCfg> buildCfg(const std::string &source,
+                                 const std::string &fnName = "f") {
+  auto parsed = test::parse(source);
+  EXPECT_TRUE(parsed.ok) << parsed.diags->summary();
+  FunctionDecl *fn = parsed.function(fnName);
+  EXPECT_NE(fn, nullptr);
+  CfgBuilder builder;
+  auto cfg = builder.build(fn);
+  // The AST context must outlive CFG consumers in real use; tests keep it
+  // alive via static storage of the parse result.
+  static std::vector<test::ParsedUnit> keepAlive;
+  keepAlive.push_back(std::move(parsed));
+  return cfg;
+}
+
+/// All blocks reachable from entry.
+std::set<const BasicBlock *> reachable(const AstCfg &cfg) {
+  std::set<const BasicBlock *> seen;
+  std::vector<const BasicBlock *> stack{cfg.entry()};
+  while (!stack.empty()) {
+    const BasicBlock *block = stack.back();
+    stack.pop_back();
+    if (!seen.insert(block).second)
+      continue;
+    for (const CfgEdge &edge : block->successors())
+      stack.push_back(edge.target);
+  }
+  return seen;
+}
+
+TEST(CfgTest, StraightLineCode) {
+  auto cfg = buildCfg("void f() { int a = 1; int b = 2; a = b; }");
+  // entry and exit at minimum; straight-line statements share entry block.
+  EXPECT_NE(cfg->entry(), nullptr);
+  EXPECT_NE(cfg->exit(), nullptr);
+  auto blocks = reachable(*cfg);
+  EXPECT_TRUE(blocks.count(cfg->exit()));
+  EXPECT_EQ(cfg->entry()->elements().size(), 3u);
+}
+
+TEST(CfgTest, IfCreatesDiamond) {
+  auto cfg = buildCfg("void f(int x) { if (x > 0) { x = 1; } else { x = 2; } "
+                      "x = 3; }");
+  // entry(+cond) -> then, else -> join -> exit
+  const BasicBlock *entry = cfg->entry();
+  ASSERT_EQ(entry->successors().size(), 2u);
+  EXPECT_EQ(entry->successors()[0].kind, EdgeKind::True);
+  EXPECT_EQ(entry->successors()[1].kind, EdgeKind::False);
+  EXPECT_NE(entry->condition(), nullptr);
+}
+
+TEST(CfgTest, IfWithoutElseFallsThrough) {
+  auto cfg = buildCfg("void f(int x) { if (x) { x = 1; } x = 2; }");
+  const BasicBlock *entry = cfg->entry();
+  ASSERT_EQ(entry->successors().size(), 2u);
+  // False edge goes straight to the join block.
+  const BasicBlock *joined = entry->successors()[1].target;
+  EXPECT_FALSE(joined->elements().empty());
+}
+
+TEST(CfgTest, ForLoopHasBackEdge) {
+  auto cfg = buildCfg(
+      "void f(int n, int *a) { for (int i = 0; i < n; ++i) a[i] = i; }");
+  bool sawBackEdge = false;
+  for (const auto &block : cfg->blocks())
+    for (const CfgEdge &edge : block->successors())
+      sawBackEdge |= edge.kind == EdgeKind::LoopBack;
+  EXPECT_TRUE(sawBackEdge);
+}
+
+TEST(CfgTest, WhileLoopShape) {
+  auto cfg = buildCfg("void f(int n) { while (n > 0) { n--; } n = 5; }");
+  bool sawBackEdge = false;
+  unsigned loopHeads = 0;
+  for (const auto &block : cfg->blocks()) {
+    for (const CfgEdge &edge : block->successors())
+      if (edge.kind == EdgeKind::LoopBack) {
+        sawBackEdge = true;
+        ++loopHeads;
+      }
+  }
+  EXPECT_TRUE(sawBackEdge);
+  EXPECT_EQ(loopHeads, 1u);
+}
+
+TEST(CfgTest, DoLoopExecutesBodyFirst) {
+  auto cfg = buildCfg("void f(int n) { do { n--; } while (n > 0); }");
+  // Entry's successor is the body block, not a condition block.
+  const BasicBlock *entry = cfg->entry();
+  ASSERT_EQ(entry->successors().size(), 1u);
+  bool sawBackEdge = false;
+  for (const auto &block : cfg->blocks())
+    for (const CfgEdge &edge : block->successors())
+      sawBackEdge |= edge.kind == EdgeKind::LoopBack;
+  EXPECT_TRUE(sawBackEdge);
+}
+
+TEST(CfgTest, BreakLeavesLoop) {
+  auto cfg = buildCfg(
+      "void f(int n) { for (int i = 0; i < n; ++i) { if (i == 3) break; } }");
+  bool sawBreakEdge = false;
+  for (const auto &block : cfg->blocks())
+    for (const CfgEdge &edge : block->successors())
+      sawBreakEdge |= edge.kind == EdgeKind::Break;
+  EXPECT_TRUE(sawBreakEdge);
+}
+
+TEST(CfgTest, ContinueTargetsLoopHead) {
+  auto cfg = buildCfg("void f(int n) { for (int i = 0; i < n; ++i) { if (i) "
+                      "continue; n--; } }");
+  bool sawContinueEdge = false;
+  for (const auto &block : cfg->blocks())
+    for (const CfgEdge &edge : block->successors())
+      sawContinueEdge |= edge.kind == EdgeKind::Continue;
+  EXPECT_TRUE(sawContinueEdge);
+}
+
+TEST(CfgTest, ReturnEdgesToExit) {
+  auto cfg = buildCfg("int f(int x) { if (x) return 1; return 0; }");
+  unsigned returnEdges = 0;
+  for (const auto &block : cfg->blocks())
+    for (const CfgEdge &edge : block->successors())
+      if (edge.kind == EdgeKind::Return) {
+        ++returnEdges;
+        EXPECT_EQ(edge.target, cfg->exit());
+      }
+  EXPECT_EQ(returnEdges, 2u);
+}
+
+TEST(CfgTest, SwitchFanOut) {
+  auto cfg = buildCfg(R"(
+void f(int k) {
+  switch (k) {
+  case 0: k = 1; break;
+  case 1: k = 2; break;
+  default: k = 3;
+  }
+}
+)");
+  unsigned caseEdges = 0;
+  for (const auto &block : cfg->blocks())
+    for (const CfgEdge &edge : block->successors())
+      caseEdges += edge.kind == EdgeKind::SwitchCase ? 1 : 0;
+  EXPECT_EQ(caseEdges, 3u);
+}
+
+TEST(CfgTest, OffloadRegionMarking) {
+  auto cfg = buildCfg(R"(
+void f(int n, double *a) {
+  a[0] = 1.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) a[i] = i;
+  a[1] = 2.0;
+}
+)");
+  ASSERT_EQ(cfg->kernels().size(), 1u);
+  bool sawOffloadBlock = false;
+  bool sawHostBlock = false;
+  for (const auto &block : cfg->blocks()) {
+    if (block->elements().empty())
+      continue;
+    if (block->isOffloaded())
+      sawOffloadBlock = true;
+    else
+      sawHostBlock = true;
+  }
+  EXPECT_TRUE(sawOffloadBlock);
+  EXPECT_TRUE(sawHostBlock);
+}
+
+TEST(CfgTest, KernelsListedInSourceOrder) {
+  auto cfg = buildCfg(R"(
+void f(int n, double *a) {
+  #pragma omp target
+  for (int i = 0; i < n; ++i) a[i] = i;
+  #pragma omp target teams
+  for (int i = 0; i < n; ++i) a[i] *= 2.0;
+}
+)");
+  ASSERT_EQ(cfg->kernels().size(), 2u);
+  EXPECT_EQ(cfg->kernels()[0]->directive(), OmpDirectiveKind::Target);
+  EXPECT_EQ(cfg->kernels()[1]->directive(), OmpDirectiveKind::TargetTeams);
+  EXPECT_LT(cfg->kernels()[0]->range().begin.offset,
+            cfg->kernels()[1]->range().begin.offset);
+}
+
+TEST(CfgTest, EnclosingLoopsForKernel) {
+  auto cfg = buildCfg(R"(
+void f(int n, double *a) {
+  for (int t = 0; t < 10; ++t) {
+    #pragma omp target
+    for (int i = 0; i < n; ++i) a[i] += t;
+  }
+}
+)");
+  ASSERT_EQ(cfg->kernels().size(), 1u);
+  const auto *loops = cfg->enclosingLoops(cfg->kernels()[0]);
+  ASSERT_NE(loops, nullptr);
+  ASSERT_EQ(loops->size(), 1u);
+  EXPECT_EQ((*loops)[0]->kind(), StmtKind::For);
+}
+
+TEST(CfgTest, NestedLoopStackOrder) {
+  auto cfg = buildCfg(R"(
+void f(int n, double *a) {
+  for (int t = 0; t < 10; ++t) {
+    while (n > 0) {
+      #pragma omp target
+      for (int i = 0; i < n; ++i) a[i] += t;
+      n--;
+    }
+  }
+}
+)");
+  ASSERT_EQ(cfg->kernels().size(), 1u);
+  const auto *loops = cfg->enclosingLoops(cfg->kernels()[0]);
+  ASSERT_NE(loops, nullptr);
+  ASSERT_EQ(loops->size(), 2u);
+  EXPECT_EQ((*loops)[0]->kind(), StmtKind::For);   // outermost first
+  EXPECT_EQ((*loops)[1]->kind(), StmtKind::While);
+}
+
+TEST(CfgTest, TargetDataRegionIsNotOffloaded) {
+  auto cfg = buildCfg(R"(
+void f(int n, double *a) {
+  #pragma omp target data map(tofrom: a[0:n])
+  {
+    a[0] = 1.0;
+    #pragma omp target
+    for (int i = 0; i < n; ++i) a[i] = i;
+  }
+}
+)");
+  ASSERT_EQ(cfg->kernels().size(), 1u);
+  // The host statement inside the data region must not be marked offloaded.
+  bool hostAssignFound = false;
+  for (const auto &block : cfg->blocks()) {
+    for (const Stmt *stmt : block->elements()) {
+      if (stmt->kind() == StmtKind::Expr && !block->isOffloaded())
+        hostAssignFound = true;
+    }
+  }
+  EXPECT_TRUE(hostAssignFound);
+}
+
+TEST(CfgTest, UnreachableCodeGetsDetachedBlock) {
+  auto cfg = buildCfg("int f() { return 1; int dead = 2; return dead; }");
+  auto blocks = reachable(*cfg);
+  // Some block holding `dead` is NOT reachable.
+  bool foundUnreachable = false;
+  for (const auto &block : cfg->blocks())
+    if (!blocks.count(block.get()) && !block->elements().empty())
+      foundUnreachable = true;
+  EXPECT_TRUE(foundUnreachable);
+}
+
+TEST(CfgTest, DotExportMentionsBlocksAndEdges) {
+  auto cfg = buildCfg(R"(
+void f(int n, double *a) {
+  #pragma omp target
+  for (int i = 0; i < n; ++i) a[i] = i;
+}
+)");
+  const std::string dot = cfg->toDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos); // offloaded block
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(CfgTest, BlockOfStmtLookup) {
+  auto cfg = buildCfg("void f() { int a = 1; a = 2; }");
+  const auto &elements = cfg->entry()->elements();
+  ASSERT_EQ(elements.size(), 2u);
+  EXPECT_EQ(cfg->blockOf(elements[0]), cfg->entry());
+  EXPECT_EQ(cfg->blockOf(elements[1]), cfg->entry());
+}
+
+TEST(CfgTest, AllDefinedFunctionsGetCfgs) {
+  auto parsed = parse(R"(
+void a() { }
+void b(int x);
+void c() { a(); }
+)");
+  ASSERT_TRUE(parsed.ok);
+  auto cfgs = buildAllCfgs(parsed.unit());
+  EXPECT_EQ(cfgs.size(), 2u); // prototypes skipped
+}
+
+} // namespace
+} // namespace ompdart

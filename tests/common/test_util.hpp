@@ -1,0 +1,81 @@
+// Shared helpers for OMPDart tests: parse a source string and hand back the
+// AST plus diagnostics in one bundle.
+#pragma once
+
+#include "frontend/parser.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <memory>
+#include <string>
+
+namespace ompdart::test {
+
+struct ParsedUnit {
+  std::unique_ptr<SourceManager> sourceManager;
+  std::unique_ptr<ASTContext> context;
+  std::unique_ptr<DiagnosticEngine> diags;
+  bool ok = false;
+
+  [[nodiscard]] const TranslationUnit &unit() const {
+    return context->unit();
+  }
+  [[nodiscard]] FunctionDecl *function(const std::string &name) const {
+    return context->unit().findFunction(name);
+  }
+};
+
+inline ParsedUnit parse(const std::string &source,
+                        const std::string &fileName = "test.c") {
+  ParsedUnit result;
+  result.sourceManager = std::make_unique<SourceManager>(fileName, source);
+  result.context = std::make_unique<ASTContext>();
+  result.diags = std::make_unique<DiagnosticEngine>();
+  result.ok =
+      parseSource(*result.sourceManager, *result.context, *result.diags);
+  return result;
+}
+
+/// First statement of a function body, cast to the requested type.
+template <typename T> T *firstStmtAs(FunctionDecl *fn) {
+  if (fn == nullptr || fn->body() == nullptr || fn->body()->body().empty())
+    return nullptr;
+  return dynamic_cast<T *>(fn->body()->body().front());
+}
+
+/// Finds the first OpenMP directive in a statement tree (depth first).
+OmpDirectiveStmt *findFirstDirective(Stmt *stmt);
+
+inline OmpDirectiveStmt *findFirstDirectiveImpl(Stmt *stmt) {
+  if (stmt == nullptr)
+    return nullptr;
+  if (auto *directive = dynamic_cast<OmpDirectiveStmt *>(stmt))
+    return directive;
+  switch (stmt->kind()) {
+  case StmtKind::Compound:
+    for (Stmt *sub : static_cast<CompoundStmt *>(stmt)->body())
+      if (auto *found = findFirstDirectiveImpl(sub))
+        return found;
+    return nullptr;
+  case StmtKind::If: {
+    auto *ifStmt = static_cast<IfStmt *>(stmt);
+    if (auto *found = findFirstDirectiveImpl(ifStmt->thenStmt()))
+      return found;
+    return findFirstDirectiveImpl(ifStmt->elseStmt());
+  }
+  case StmtKind::For:
+    return findFirstDirectiveImpl(static_cast<ForStmt *>(stmt)->body());
+  case StmtKind::While:
+    return findFirstDirectiveImpl(static_cast<WhileStmt *>(stmt)->body());
+  case StmtKind::Do:
+    return findFirstDirectiveImpl(static_cast<DoStmt *>(stmt)->body());
+  default:
+    return nullptr;
+  }
+}
+
+inline OmpDirectiveStmt *findFirstDirective(FunctionDecl *fn) {
+  return fn != nullptr ? findFirstDirectiveImpl(fn->body()) : nullptr;
+}
+
+} // namespace ompdart::test

@@ -1,0 +1,86 @@
+#include "../common/test_util.hpp"
+
+#include "frontend/const_fold.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+std::optional<std::int64_t> foldInitOf(const std::string &expr) {
+  auto parsed = test::parse("int v = " + expr + ";");
+  if (!parsed.ok || parsed.unit().globals.empty())
+    return std::nullopt;
+  return foldIntegerConstant(parsed.unit().globals[0]->init());
+}
+
+TEST(ConstFoldTest, Literals) {
+  EXPECT_EQ(foldInitOf("42").value_or(-1), 42);
+  EXPECT_EQ(foldInitOf("0x10").value_or(-1), 16);
+}
+
+TEST(ConstFoldTest, Arithmetic) {
+  EXPECT_EQ(foldInitOf("2 + 3 * 4").value_or(-1), 14);
+  EXPECT_EQ(foldInitOf("100 / 2 - 1").value_or(-1), 49);
+  EXPECT_EQ(foldInitOf("17 % 5").value_or(-1), 2);
+}
+
+TEST(ConstFoldTest, Shifts) {
+  EXPECT_EQ(foldInitOf("1 << 10").value_or(-1), 1024);
+  EXPECT_EQ(foldInitOf("256 >> 4").value_or(-1), 16);
+}
+
+TEST(ConstFoldTest, Bitwise) {
+  EXPECT_EQ(foldInitOf("0xF0 & 0x1F").value_or(-1), 0x10);
+  EXPECT_EQ(foldInitOf("1 | 6").value_or(-1), 7);
+  EXPECT_EQ(foldInitOf("5 ^ 3").value_or(-1), 6);
+}
+
+TEST(ConstFoldTest, Comparisons) {
+  EXPECT_EQ(foldInitOf("3 < 4").value_or(-1), 1);
+  EXPECT_EQ(foldInitOf("3 >= 4").value_or(-1), 0);
+  EXPECT_EQ(foldInitOf("3 == 3 && 1").value_or(-1), 1);
+  EXPECT_EQ(foldInitOf("0 || 0").value_or(-1), 0);
+}
+
+TEST(ConstFoldTest, Unary) {
+  EXPECT_EQ(foldInitOf("-5").value_or(0), -5);
+  EXPECT_EQ(foldInitOf("~0").value_or(0), -1);
+  EXPECT_EQ(foldInitOf("!3").value_or(-1), 0);
+  EXPECT_EQ(foldInitOf("!0").value_or(-1), 1);
+}
+
+TEST(ConstFoldTest, Conditional) {
+  EXPECT_EQ(foldInitOf("1 ? 7 : 9").value_or(-1), 7);
+  EXPECT_EQ(foldInitOf("0 ? 7 : 9").value_or(-1), 9);
+}
+
+TEST(ConstFoldTest, DivisionByZeroIsNotConstant) {
+  EXPECT_FALSE(foldInitOf("1 / 0").has_value());
+  EXPECT_FALSE(foldInitOf("1 % 0").has_value());
+}
+
+TEST(ConstFoldTest, SizeofFolds) {
+  EXPECT_EQ(foldInitOf("sizeof(double)").value_or(-1), 8);
+  EXPECT_EQ(foldInitOf("4 * sizeof(int)").value_or(-1), 16);
+}
+
+TEST(ConstFoldTest, VariableReferencesAreNotConstant) {
+  auto parsed = test::parse("int a = 1; int v = a + 2;");
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_FALSE(foldIntegerConstant(parsed.unit().globals[1]->init()));
+}
+
+TEST(ConstFoldTest, ParensAndCasts) {
+  EXPECT_EQ(foldInitOf("(int)(2.0 ? 3 : 4)").value_or(-1), 3);
+  EXPECT_EQ(foldInitOf("((2)) * ((3))").value_or(-1), 6);
+}
+
+TEST(ConstFoldTest, PaperListing4Bound) {
+  // The paper's Listing 4/5 example: upper bound 100/2, minus one for the
+  // strict `<` comparison.
+  EXPECT_EQ(foldInitOf("100 / 2").value_or(-1), 50);
+}
+
+} // namespace
+} // namespace ompdart

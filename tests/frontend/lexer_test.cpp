@@ -1,0 +1,209 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ompdart {
+namespace {
+
+std::vector<Token> lex(const std::string &source) {
+  SourceManager sourceManager("test.c", source);
+  DiagnosticEngine diags;
+  Lexer lexer(sourceManager, diags);
+  return lexer.lexAll();
+}
+
+std::vector<TokenKind> kindsOf(const std::vector<Token> &tokens) {
+  std::vector<TokenKind> kinds;
+  for (const Token &token : tokens)
+    kinds.push_back(token.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Identifiers) {
+  const auto tokens = lex("alpha _beta gamma9");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "alpha");
+  EXPECT_EQ(tokens[1].text, "_beta");
+  EXPECT_EQ(tokens[2].text, "gamma9");
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(tokens[i].kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, KeywordsAreDistinguished) {
+  const auto tokens = lex("int intx for fortune while");
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwInt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[2].kind, TokenKind::KwFor);
+  EXPECT_EQ(tokens[3].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[4].kind, TokenKind::KwWhile);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  const auto tokens = lex("0 42 0x1F 100u 7L");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(tokens[i].kind, TokenKind::IntLiteral) << i;
+  EXPECT_EQ(tokens[2].text, "0x1F");
+}
+
+TEST(LexerTest, FloatLiterals) {
+  const auto tokens = lex("1.0 .5 2e10 3.14f 1E-3");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(tokens[i].kind, TokenKind::FloatLiteral) << i;
+}
+
+TEST(LexerTest, IntegerFollowedByDotIsFloat) {
+  const auto tokens = lex("1. 2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(tokens[1].kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, MaximalMunchOperators) {
+  const auto tokens = lex("a+++b a<<=2 x>>=1 p->q i!=j");
+  const auto kinds = kindsOf(tokens);
+  // a ++ + b
+  EXPECT_EQ(kinds[1], TokenKind::PlusPlus);
+  EXPECT_EQ(kinds[2], TokenKind::Plus);
+  EXPECT_EQ(kinds[5], TokenKind::LessLessEqual);
+  EXPECT_EQ(kinds[8], TokenKind::GreaterGreaterEqual);
+  EXPECT_EQ(kinds[11], TokenKind::Arrow);
+  EXPECT_EQ(kinds[14], TokenKind::ExclaimEqual);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  const auto tokens = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, StringAndCharLiterals) {
+  const auto tokens = lex("\"hi\\n\" 'x' '\\n'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::StringLiteral);
+  EXPECT_EQ(tokens[0].text, "hi\n");
+  EXPECT_EQ(tokens[1].kind, TokenKind::CharLiteral);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].text, "\n");
+}
+
+TEST(LexerTest, LineColumnTracking) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[1].location.column, 3u);
+}
+
+TEST(LexerTest, PragmaOmpIsBracketed) {
+  const auto tokens = lex("#pragma omp target\nx;");
+  const auto kinds = kindsOf(tokens);
+  ASSERT_GE(kinds.size(), 5u);
+  EXPECT_EQ(kinds[0], TokenKind::PragmaOmp);
+  EXPECT_EQ(kinds[1], TokenKind::Identifier); // target
+  EXPECT_EQ(kinds[2], TokenKind::PragmaEnd);
+  EXPECT_EQ(kinds[3], TokenKind::Identifier); // x
+}
+
+TEST(LexerTest, PragmaLineContinuation) {
+  const auto tokens =
+      lex("#pragma omp target teams \\\n    distribute\ny;");
+  const auto kinds = kindsOf(tokens);
+  // pragma, target, teams, distribute, end, y, ;, eof
+  EXPECT_EQ(kinds[0], TokenKind::PragmaOmp);
+  EXPECT_EQ(tokens[1].text, "target");
+  EXPECT_EQ(tokens[2].text, "teams");
+  EXPECT_EQ(tokens[3].text, "distribute");
+  EXPECT_EQ(kinds[4], TokenKind::PragmaEnd);
+}
+
+TEST(LexerTest, NonOmpPragmaSkipped) {
+  const auto tokens = lex("#pragma once\nint a;");
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwInt);
+}
+
+TEST(LexerTest, IncludeLinesSkipped) {
+  const auto tokens = lex("#include <stdio.h>\n#include \"x.h\"\nint a;");
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwInt);
+}
+
+TEST(LexerTest, ObjectMacroExpansion) {
+  const auto tokens = lex("#define N 100\nint a[N];");
+  // int a [ 100 ] ;
+  EXPECT_EQ(tokens[3].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(tokens[3].text, "100");
+}
+
+TEST(LexerTest, MacroExpansionKeepsUseSiteLocation) {
+  const std::string source = "#define N 100\nint a[N];";
+  SourceManager sourceManager("test.c", source);
+  DiagnosticEngine diags;
+  Lexer lexer(sourceManager, diags);
+  const auto tokens = lexer.lexAll();
+  // The `100` token must point at the `N` use, line 2.
+  EXPECT_EQ(tokens[3].location.line, 2u);
+}
+
+TEST(LexerTest, MacroExpandsToExpression) {
+  const auto tokens = lex("#define SZ (4 * 256)\nint a[SZ];");
+  // int a [ ( 4 * 256 ) ] ;
+  EXPECT_EQ(tokens[3].kind, TokenKind::LParen);
+  EXPECT_EQ(tokens[4].text, "4");
+  EXPECT_EQ(tokens[5].kind, TokenKind::Star);
+  EXPECT_EQ(tokens[6].text, "256");
+}
+
+TEST(LexerTest, NestedMacroExpansion) {
+  const auto tokens = lex("#define A 7\n#define B A\nint x = B;");
+  EXPECT_EQ(tokens[3].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(tokens[3].text, "7");
+}
+
+TEST(LexerTest, SelfReferentialMacroTerminates) {
+  SourceManager sourceManager("test.c", "#define X X\nint a = X;");
+  DiagnosticEngine diags;
+  Lexer lexer(sourceManager, diags);
+  const auto tokens = lexer.lexAll();
+  EXPECT_FALSE(tokens.empty());
+  EXPECT_TRUE(diags.hasErrors()); // expansion-depth error reported
+}
+
+TEST(LexerTest, FunctionLikeMacroIgnoredWithWarning) {
+  SourceManager sourceManager("test.c", "#define SQ(x) ((x)*(x))\nint a;");
+  DiagnosticEngine diags;
+  Lexer lexer(sourceManager, diags);
+  const auto tokens = lexer.lexAll();
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwInt);
+  ASSERT_FALSE(diags.diagnostics().empty());
+  EXPECT_EQ(diags.diagnostics()[0].severity, Severity::Warning);
+}
+
+TEST(LexerTest, UnterminatedStringReportsError) {
+  SourceManager sourceManager("test.c", "\"abc");
+  DiagnosticEngine diags;
+  Lexer lexer(sourceManager, diags);
+  (void)lexer.lexAll();
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, TokenEndOffsetsCoverSpelling) {
+  const std::string source = "alpha beta";
+  SourceManager sourceManager("test.c", source);
+  DiagnosticEngine diags;
+  Lexer lexer(sourceManager, diags);
+  const auto tokens = lexer.lexAll();
+  EXPECT_EQ(tokens[0].location.offset, 0u);
+  EXPECT_EQ(tokens[0].endOffset, 5u);
+  EXPECT_EQ(tokens[1].location.offset, 6u);
+  EXPECT_EQ(tokens[1].endOffset, 10u);
+}
+
+} // namespace
+} // namespace ompdart

@@ -1,0 +1,92 @@
+#include "frontend/ast.hpp"
+#include "frontend/type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+TEST(TypeTest, BuiltinSizes) {
+  TypeContext types;
+  EXPECT_EQ(types.builtin(BuiltinKind::Char)->sizeInBytes(), 1u);
+  EXPECT_EQ(types.builtin(BuiltinKind::Short)->sizeInBytes(), 2u);
+  EXPECT_EQ(types.builtin(BuiltinKind::Int)->sizeInBytes(), 4u);
+  EXPECT_EQ(types.builtin(BuiltinKind::UInt)->sizeInBytes(), 4u);
+  EXPECT_EQ(types.builtin(BuiltinKind::Float)->sizeInBytes(), 4u);
+  EXPECT_EQ(types.builtin(BuiltinKind::Long)->sizeInBytes(), 8u);
+  EXPECT_EQ(types.builtin(BuiltinKind::Double)->sizeInBytes(), 8u);
+  EXPECT_EQ(types.voidType()->sizeInBytes(), 0u);
+}
+
+TEST(TypeTest, BuiltinsAreUniqued) {
+  TypeContext types;
+  EXPECT_EQ(types.builtin(BuiltinKind::Int), types.builtin(BuiltinKind::Int));
+  EXPECT_NE(types.builtin(BuiltinKind::Int),
+            types.builtin(BuiltinKind::UInt));
+}
+
+TEST(TypeTest, PointerUniquing) {
+  TypeContext types;
+  const Type *p1 = types.pointerTo(types.doubleType());
+  const Type *p2 = types.pointerTo(types.doubleType());
+  EXPECT_EQ(p1, p2);
+  const Type *pc = types.pointerTo(types.doubleType(), /*pointeeConst=*/true);
+  EXPECT_NE(p1, pc);
+  EXPECT_EQ(p1->sizeInBytes(), 8u);
+}
+
+TEST(TypeTest, ArraySize) {
+  TypeContext types;
+  const Type *array = types.arrayOf(types.doubleType(), 32, "32");
+  EXPECT_EQ(array->sizeInBytes(), 256u);
+}
+
+TEST(TypeTest, NestedArraySize) {
+  TypeContext types;
+  const Type *inner = types.arrayOf(types.intType(), 8, "8");
+  const Type *outer = types.arrayOf(inner, 4, "4");
+  EXPECT_EQ(outer->sizeInBytes(), 128u);
+}
+
+TEST(TypeTest, RecordPackedLayout) {
+  RecordDecl record("atom");
+  TypeContext types;
+  record.addField("x", types.builtin(BuiltinKind::Float));
+  record.addField("y", types.builtin(BuiltinKind::Float));
+  record.addField("q", types.doubleType());
+  EXPECT_EQ(record.sizeInBytes(), 16u);
+  EXPECT_EQ(record.findField("x")->offset, 0u);
+  EXPECT_EQ(record.findField("y")->offset, 4u);
+  EXPECT_EQ(record.findField("q")->offset, 8u);
+  EXPECT_EQ(record.findField("nope"), nullptr);
+}
+
+TEST(TypeTest, Spellings) {
+  TypeContext types;
+  EXPECT_EQ(types.doubleType()->spelling(), "double");
+  EXPECT_EQ(types.pointerTo(types.doubleType())->spelling(), "double *");
+  EXPECT_EQ(types.pointerTo(types.intType(), true)->spelling(),
+            "const int *");
+  EXPECT_EQ(types.arrayOf(types.intType(), 5, "5")->spelling(), "int [5]");
+}
+
+TEST(TypeTest, ScalarBaseTypeStripsLayers) {
+  TypeContext types;
+  const Type *array = types.arrayOf(types.doubleType(), 8, "8");
+  const Type *pointer = types.pointerTo(array);
+  EXPECT_EQ(scalarBaseType(pointer), types.doubleType());
+  EXPECT_EQ(scalarBaseType(types.intType()), types.intType());
+}
+
+TEST(TypeTest, Predicates) {
+  TypeContext types;
+  EXPECT_TRUE(types.doubleType()->isFloatingPoint());
+  EXPECT_FALSE(types.doubleType()->isInteger());
+  EXPECT_TRUE(types.intType()->isInteger());
+  EXPECT_TRUE(types.intType()->isScalar());
+  EXPECT_FALSE(types.pointerTo(types.intType())->isScalar());
+  EXPECT_TRUE(types.voidType()->isVoid());
+}
+
+} // namespace
+} // namespace ompdart

@@ -1,0 +1,332 @@
+// Core language semantics of the interpreter (no OpenMP): expressions,
+// control flow, functions, memory, builtins, printf.
+#include "interp/interp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart::interp {
+namespace {
+
+RunResult run(const std::string &source) { return runProgram(source); }
+
+TEST(InterpCoreTest, ReturnsExitCode) {
+  auto result = run("int main() { return 42; }");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 42);
+}
+
+TEST(InterpCoreTest, ArithmeticAndPrecedence) {
+  auto result = run("int main() { return 2 + 3 * 4 - 6 / 2; }");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 11);
+}
+
+TEST(InterpCoreTest, FloatingPointMath) {
+  auto result = run(R"(
+int main() {
+  double x = 2.0;
+  double y = sqrt(x * 8.0);
+  printf("%.1f\n", y);
+  return 0;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.output, "4.0\n");
+}
+
+TEST(InterpCoreTest, PrintfFormats) {
+  auto result = run(R"(
+int main() {
+  printf("%d %5d %.3f %e %s %c%%\n", 7, 42, 3.14159, 1234.5, "hi", 'x');
+  return 0;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.output, "7    42 3.142 1.234500e+03 hi x%\n");
+}
+
+TEST(InterpCoreTest, ForLoopAccumulates) {
+  auto result = run(R"(
+int main() {
+  int sum = 0;
+  for (int i = 1; i <= 10; ++i) sum += i;
+  return sum;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 55);
+}
+
+TEST(InterpCoreTest, WhileAndDoLoops) {
+  auto result = run(R"(
+int main() {
+  int n = 0;
+  while (n < 5) n++;
+  int m = 0;
+  do { m += 2; } while (m < 10);
+  return n + m;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 15);
+}
+
+TEST(InterpCoreTest, BreakAndContinue) {
+  auto result = run(R"(
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) continue;
+    if (i > 10) break;
+    sum += i;
+  }
+  return sum;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(InterpCoreTest, SwitchWithFallthrough) {
+  auto result = run(R"(
+int classify(int k) {
+  int r = 0;
+  switch (k) {
+  case 0:
+  case 1: r = 10; break;
+  case 2: r = 20; break;
+  default: r = 99;
+  }
+  return r;
+}
+int main() {
+  return classify(0) + classify(1) + classify(2) + classify(7);
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 10 + 10 + 20 + 99);
+}
+
+TEST(InterpCoreTest, RecursionWorks) {
+  auto result = run(R"(
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main() { return fib(12); }
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 144);
+}
+
+TEST(InterpCoreTest, ArraysAndPointers) {
+  auto result = run(R"(
+int main() {
+  int a[8] = {};
+  for (int i = 0; i < 8; ++i) a[i] = i * i;
+  int *p = a;
+  return p[3] + *(p + 4);
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 9 + 16);
+}
+
+TEST(InterpCoreTest, MultiDimensionalArrays) {
+  auto result = run(R"(
+int main() {
+  double g[3][4];
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j)
+      g[i][j] = i * 10 + j;
+  return (int)(g[2][3] + g[1][0]);
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 23 + 10);
+}
+
+TEST(InterpCoreTest, MallocFreeRoundTrip) {
+  auto result = run(R"(
+int main() {
+  int n = 16;
+  double *data = (double *)malloc(n * sizeof(double));
+  for (int i = 0; i < n; ++i) data[i] = i * 0.5;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += data[i];
+  free(data);
+  return (int)sum;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 60); // 0.5 * (0+..+15) = 60
+}
+
+TEST(InterpCoreTest, UseAfterFreeDetected) {
+  auto result = run(R"(
+int main() {
+  double *p = (double *)malloc(8 * sizeof(double));
+  free(p);
+  p[0] = 1.0;
+  return 0;
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("use after free"), std::string::npos);
+}
+
+TEST(InterpCoreTest, OutOfBoundsDetected) {
+  auto result = run(R"(
+int main() {
+  int a[4] = {};
+  a[10] = 1;
+  return 0;
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(InterpCoreTest, StructsAndMembers) {
+  auto result = run(R"(
+struct point { double x; double y; };
+int main() {
+  struct point p;
+  p.x = 3.0;
+  p.y = 4.0;
+  double d = sqrt(p.x * p.x + p.y * p.y);
+  return (int)d;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 5);
+}
+
+TEST(InterpCoreTest, StructPointerArrow) {
+  auto result = run(R"(
+struct counter { int value; };
+void bump(struct counter *c) { c->value += 1; }
+int main() {
+  struct counter c;
+  c.value = 0;
+  bump(&c);
+  bump(&c);
+  return c.value;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 2);
+}
+
+TEST(InterpCoreTest, GlobalsInitialized) {
+  auto result = run(R"(
+int table[4] = {10, 20, 30, 40};
+int scale = 2;
+int main() { return table[2] * scale; }
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 60);
+}
+
+TEST(InterpCoreTest, PassByPointerMutates) {
+  auto result = run(R"(
+void fill(double *out, int n, double v) {
+  for (int i = 0; i < n; ++i) out[i] = v;
+}
+int main() {
+  double a[4];
+  fill(a, 4, 2.5);
+  return (int)(a[0] + a[3]);
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 5);
+}
+
+TEST(InterpCoreTest, DeterministicRand) {
+  auto a = run(R"(
+int main() {
+  srand(7);
+  int s = 0;
+  for (int i = 0; i < 5; ++i) s += rand() % 100;
+  return s;
+}
+)");
+  auto b = run(R"(
+int main() {
+  srand(7);
+  int s = 0;
+  for (int i = 0; i < 5; ++i) s += rand() % 100;
+  return s;
+}
+)");
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.exitCode, b.exitCode);
+}
+
+TEST(InterpCoreTest, ShortCircuitEvaluation) {
+  auto result = run(R"(
+int main() {
+  int a[2] = {1, 2};
+  int i = 5;
+  // Without short-circuit this would be out of bounds.
+  if (i < 2 && a[i] > 0) return 1;
+  if (i >= 2 || a[i] > 0) return 7;
+  return 0;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 7);
+}
+
+TEST(InterpCoreTest, OpBudgetGuardsRunawayLoops) {
+  InterpOptions options;
+  options.maxOps = 10'000;
+  auto result = runProgram("int main() { while (1) { } return 0; }", options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("budget"), std::string::npos);
+}
+
+TEST(InterpCoreTest, MemsetZeroesArray) {
+  auto result = run(R"(
+int main() {
+  double a[8];
+  for (int i = 0; i < 8; ++i) a[i] = 5.0;
+  memset(a, 0, 8 * sizeof(double));
+  double sum = 0.0;
+  for (int i = 0; i < 8; ++i) sum += a[i];
+  return (int)sum;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 0);
+}
+
+TEST(InterpCoreTest, ExitBuiltinStopsProgram) {
+  auto result = run(R"(
+int main() {
+  printf("before\n");
+  exit(3);
+  printf("after\n");
+  return 0;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 3);
+  EXPECT_EQ(result.output, "before\n");
+}
+
+TEST(InterpCoreTest, TernaryAndComma) {
+  auto result = run(R"(
+int main() {
+  int x = 3;
+  int y = x > 2 ? 10 : 20;
+  int z;
+  for (z = 0; z < 3; ++z, y += 1) { }
+  return y;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 13);
+}
+
+} // namespace
+} // namespace ompdart::interp

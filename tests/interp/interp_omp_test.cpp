@@ -1,0 +1,368 @@
+// OpenMP offload semantics in the interpreter: implicit mapping rules,
+// target data reference counting, updates, firstprivate, plus the pipeline
+// property at the heart of the paper's evaluation — OMPDart-transformed
+// programs produce identical output with strictly less data transfer.
+#include "driver/tool.hpp"
+#include "interp/interp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart::interp {
+namespace {
+
+RunResult run(const std::string &source) { return runProgram(source); }
+
+TEST(InterpOmpTest, KernelExecutesAndResultsReturn) {
+  auto result = run(R"(
+int main() {
+  double a[16];
+  for (int i = 0; i < 16; ++i) a[i] = i;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) a[i] = a[i] * 2.0;
+  double sum = 0.0;
+  for (int i = 0; i < 16; ++i) sum += a[i];
+  return (int)sum;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 240); // 2 * (0+...+15)
+  EXPECT_EQ(result.ledger.kernelLaunches(), 1u);
+}
+
+TEST(InterpOmpTest, ImplicitMapMovesWholeArrayBothWays) {
+  auto result = run(R"(
+int main() {
+  double a[100];
+  for (int i = 0; i < 100; ++i) a[i] = 1.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 100; ++i) a[i] += 1.0;
+  return (int)a[99];
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 2);
+  EXPECT_EQ(result.ledger.bytes(sim::TransferDir::HtoD), 800u);
+  EXPECT_EQ(result.ledger.bytes(sim::TransferDir::DtoH), 800u);
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::HtoD), 1u);
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::DtoH), 1u);
+}
+
+TEST(InterpOmpTest, ListingOneRedundantTransfersEachIteration) {
+  // Paper Listing 1: kernel in a loop without explicit mappings transfers
+  // both ways on every iteration.
+  auto result = run(R"(
+int main() {
+  double a[64] = {};
+  for (int t = 0; t < 10; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int j = 0; j < 64; ++j) a[j] += j;
+  }
+  return (int)a[1];
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 10);
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::HtoD), 10u);
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::DtoH), 10u);
+  EXPECT_EQ(result.ledger.totalBytes(), 2u * 10u * 64u * 8u);
+}
+
+TEST(InterpOmpTest, TargetDataRegionEliminatesPerKernelTraffic) {
+  auto result = run(R"(
+int main() {
+  double a[64] = {};
+  #pragma omp target data map(tofrom: a)
+  {
+    for (int t = 0; t < 10; ++t) {
+      #pragma omp target teams distribute parallel for
+      for (int j = 0; j < 64; ++j) a[j] += j;
+    }
+  }
+  return (int)a[1];
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 10);
+  // Exactly one copy each way regardless of iteration count.
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::HtoD), 1u);
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::DtoH), 1u);
+}
+
+TEST(InterpOmpTest, ImplicitScalarIsFirstprivate) {
+  // Writes to an unmapped scalar inside a kernel are lost (OpenMP >= 4.5
+  // semantics) and generate no transfers.
+  auto result = run(R"(
+int main() {
+  double a[8] = {};
+  int flag = 0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 8; ++i) {
+    a[i] = 1.0;
+    flag = 1;
+  }
+  return flag;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 0) << "firstprivate write must not escape";
+}
+
+TEST(InterpOmpTest, ScalarValueReachesKernelWithoutMemcpy) {
+  auto result = run(R"(
+int main() {
+  double a[8] = {};
+  double factor = 2.5;
+  #pragma omp target teams distribute parallel for firstprivate(factor)
+  for (int i = 0; i < 8; ++i) a[i] = factor;
+  // Only the array transfers; factor travels as a kernel argument.
+  return (int)(a[7] * 2.0);
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 5);
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::HtoD), 1u); // array only
+}
+
+TEST(InterpOmpTest, MapToScalarCountsAsTransfer) {
+  auto result = run(R"(
+int main() {
+  double a[8] = {};
+  double factor = 2.5;
+  #pragma omp target teams distribute parallel for map(to: factor)
+  for (int i = 0; i < 8; ++i) a[i] = factor;
+  return (int)a[0];
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  // Array HtoD + scalar HtoD: the call-count difference behind the paper's
+  // hotspot/nw/xsbench firstprivate wins (Figure 4).
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::HtoD), 2u);
+}
+
+TEST(InterpOmpTest, ReductionMapsToFrom) {
+  auto result = run(R"(
+int main() {
+  double a[32];
+  for (int i = 0; i < 32; ++i) a[i] = 1.0;
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for reduction(+: sum)
+  for (int i = 0; i < 32; ++i) sum += a[i];
+  return (int)sum;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 32);
+}
+
+TEST(InterpOmpTest, UpdateFromRefreshesHost) {
+  auto result = run(R"(
+int main() {
+  double a[16] = {};
+  double total = 0.0;
+  #pragma omp target data map(tofrom: a)
+  {
+    for (int t = 0; t < 4; ++t) {
+      #pragma omp target teams distribute parallel for
+      for (int i = 0; i < 16; ++i) a[i] += 1.0;
+      #pragma omp target update from(a)
+      for (int i = 0; i < 16; ++i) total += a[i];
+    }
+  }
+  return (int)total;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 16 * (1 + 2 + 3 + 4));
+  EXPECT_EQ(result.ledger.calls(sim::TransferDir::DtoH), 4u + 1u);
+}
+
+TEST(InterpOmpTest, MissingUpdateReadsStaleData) {
+  // The buggy mapping of paper Listing 3: host reads stale zeros.
+  auto result = run(R"(
+int main() {
+  double a[16] = {};
+  double total = 0.0;
+  #pragma omp target data map(tofrom: a)
+  {
+    for (int t = 0; t < 4; ++t) {
+      #pragma omp target teams distribute parallel for map(from: a)
+      for (int i = 0; i < 16; ++i) a[i] += 1.0;
+      for (int i = 0; i < 16; ++i) total += a[i];
+    }
+  }
+  return (int)total;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 0) << "stale host reads must see zeros";
+}
+
+TEST(InterpOmpTest, UpdateToPushesHostWrites) {
+  auto result = run(R"(
+int main() {
+  double a[8] = {};
+  double b[8] = {};
+  #pragma omp target data map(to: a) map(from: b)
+  {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 8; ++i) b[i] = a[i];
+    for (int i = 0; i < 8; ++i) a[i] = 5.0;
+    #pragma omp target update to(a)
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 8; ++i) b[i] = a[i];
+  }
+  return (int)(b[0] + b[7]);
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 10);
+}
+
+TEST(InterpOmpTest, ArraySectionTransfersOnlySlice) {
+  auto result = run(R"(
+int main() {
+  double a[100] = {};
+  #pragma omp target data map(tofrom: a[0:10])
+  {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 10; ++i) a[i] = 1.0;
+  }
+  return (int)a[9];
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 1);
+  EXPECT_EQ(result.ledger.bytes(sim::TransferDir::HtoD), 80u);
+  EXPECT_EQ(result.ledger.bytes(sim::TransferDir::DtoH), 80u);
+}
+
+TEST(InterpOmpTest, MallocedArraysThroughKernel) {
+  auto result = run(R"(
+int main() {
+  int n = 32;
+  double *a = (double *)malloc(n * sizeof(double));
+  for (int i = 0; i < n; ++i) a[i] = 1.0;
+  #pragma omp target teams distribute parallel for map(tofrom: a[0:n])
+  for (int i = 0; i < n; ++i) a[i] *= 3.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += a[i];
+  free(a);
+  return (int)sum;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 96);
+  EXPECT_EQ(result.ledger.bytes(sim::TransferDir::HtoD), 256u);
+}
+
+TEST(InterpOmpTest, DeviceOpsCounted) {
+  auto result = run(R"(
+int main() {
+  double a[64] = {};
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 64; ++i) a[i] = i * 2.0;
+  return 0;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.ledger.deviceOps(), 64u);
+  EXPECT_GT(result.ledger.hostOps(), 0u);
+}
+
+TEST(InterpOmpTest, GlobalArraysMappable) {
+  auto result = run(R"(
+double table[32];
+int main() {
+  for (int i = 0; i < 32; ++i) table[i] = i;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 32; ++i) table[i] += 10.0;
+  return (int)table[31];
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 41);
+}
+
+TEST(InterpOmpTest, KernelInCalleeFunction) {
+  auto result = run(R"(
+void scale(double *data, int n, double f) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) data[i] *= f;
+}
+int main() {
+  double a[16];
+  for (int i = 0; i < 16; ++i) a[i] = 1.0;
+  scale(a, 16, 4.0);
+  return (int)a[5];
+}
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.exitCode, 4);
+}
+
+// --- The central pipeline property (paper §VI correctness evaluation) ---
+
+struct VariantComparison {
+  RunResult unoptimized;
+  RunResult transformed;
+};
+
+VariantComparison compareTransformed(const std::string &source) {
+  VariantComparison cmp;
+  cmp.unoptimized = runProgram(source);
+  auto tool = runOmpDart(source);
+  EXPECT_TRUE(tool.success) << "tool failed";
+  cmp.transformed = runProgram(tool.output);
+  return cmp;
+}
+
+TEST(InterpOmpTest, TransformedProgramKeepsOutputReducesTransfer) {
+  const std::string source = R"(
+int main() {
+  double a[128] = {};
+  double total = 0.0;
+  for (int t = 0; t < 20; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int j = 0; j < 128; ++j) a[j] += j * 0.5;
+    for (int j = 0; j < 128; ++j) total += a[j];
+  }
+  printf("total=%.2f\n", total);
+  return 0;
+}
+)";
+  auto cmp = compareTransformed(source);
+  ASSERT_TRUE(cmp.unoptimized.ok) << cmp.unoptimized.error;
+  ASSERT_TRUE(cmp.transformed.ok) << cmp.transformed.error;
+  EXPECT_EQ(cmp.unoptimized.output, cmp.transformed.output);
+  EXPECT_LT(cmp.transformed.ledger.totalBytes(),
+            cmp.unoptimized.ledger.totalBytes());
+  EXPECT_LT(cmp.transformed.ledger.calls(sim::TransferDir::HtoD),
+            cmp.unoptimized.ledger.calls(sim::TransferDir::HtoD));
+}
+
+TEST(InterpOmpTest, TransformedKernelChainKeepsOutput) {
+  const std::string source = R"(
+int main() {
+  double a[64] = {};
+  double b[64] = {};
+  for (int i = 0; i < 64; ++i) a[i] = i;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 64; ++i) a[i] += 1.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 64; ++i) b[i] = a[i] * 2.0;
+  double checksum = 0.0;
+  for (int i = 0; i < 64; ++i) checksum += b[i];
+  printf("%.1f\n", checksum);
+  return 0;
+}
+)";
+  auto cmp = compareTransformed(source);
+  ASSERT_TRUE(cmp.unoptimized.ok) << cmp.unoptimized.error;
+  ASSERT_TRUE(cmp.transformed.ok) << cmp.transformed.error;
+  EXPECT_EQ(cmp.unoptimized.output, cmp.transformed.output);
+  EXPECT_LE(cmp.transformed.ledger.totalCalls(),
+            cmp.unoptimized.ledger.totalCalls());
+}
+
+} // namespace
+} // namespace ompdart::interp

@@ -1,0 +1,264 @@
+// End-to-end rewriting tests: source in, transformed source out. These
+// exercise the full pipeline (parse -> analyses -> plan -> rewrite) the way
+// the paper's evaluation does, checking the *text* of the inserted
+// directives.
+#include "driver/tool.hpp"
+#include "frontend/parser.hpp"
+#include "rewrite/rewriter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+/// The transformed source must itself be parseable.
+void expectParseable(const std::string &source) {
+  SourceManager sourceManager("out.c", source);
+  ASTContext context;
+  DiagnosticEngine diags;
+  EXPECT_TRUE(parseSource(sourceManager, context, diags))
+      << diags.summary() << "\n--- source ---\n"
+      << source;
+}
+
+TEST(SourceRewriterTest, InsertionsApplyInOffsetOrder) {
+  SourceManager sourceManager("t.c", "abcdef");
+  SourceRewriter rewriter(sourceManager);
+  rewriter.insert(3, "X");
+  rewriter.insert(0, "Y");
+  rewriter.insert(6, "Z");
+  EXPECT_EQ(rewriter.apply(), "YabcXdefZ");
+}
+
+TEST(SourceRewriterTest, SameOffsetKeepsAddOrder) {
+  SourceManager sourceManager("t.c", "ab");
+  SourceRewriter rewriter(sourceManager);
+  rewriter.insert(1, "1");
+  rewriter.insert(1, "2");
+  EXPECT_EQ(rewriter.apply(), "a12b");
+}
+
+TEST(RewriteEndToEnd, ListingOneWrapsLoopInDataRegion) {
+  const std::string source = R"(void f(int *a, int n) {
+  for (int i = 0; i < n; ++i) {
+    #pragma omp target teams distribute parallel for
+    for (int j = 0; j < n; ++j) {
+      a[j] += j;
+    }
+  }
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success) << result.output;
+  EXPECT_NE(result.output.find("#pragma omp target data"),
+            std::string::npos);
+  // The data region directive must come before the outer for loop.
+  const auto dataPos = result.output.find("#pragma omp target data");
+  const auto loopPos = result.output.find("for (int i");
+  EXPECT_LT(dataPos, loopPos);
+  expectParseable(result.output);
+}
+
+TEST(RewriteEndToEnd, SingleKernelAppendsToPragma) {
+  const std::string source = R"(void f(double *out, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    out[i] = i * 2.0;
+  }
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  // No separate data region: the map clause lands on the kernel pragma.
+  EXPECT_EQ(result.output.find("#pragma omp target data"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("map(from:"), std::string::npos);
+  expectParseable(result.output);
+}
+
+TEST(RewriteEndToEnd, UpdateFromInsertedBeforeHostRead) {
+  const std::string source = R"(void f(int *a, int n, int m) {
+  int sum = 0;
+  for (int i = 0; i < m; ++i) {
+    #pragma omp target teams distribute parallel for
+    for (int j = 0; j < n; ++j) {
+      a[j] += j;
+    }
+    for (int j = 0; j < n; ++j) {
+      sum += a[j];
+    }
+  }
+  a[0] = sum;
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  const auto updatePos = result.output.find("#pragma omp target update from(");
+  ASSERT_NE(updatePos, std::string::npos) << result.output;
+  // It must appear after the kernel but before the summation loop.
+  const auto kernelPos = result.output.find("teams distribute");
+  const auto sumPos = result.output.find("sum += a[j]");
+  EXPECT_GT(updatePos, kernelPos);
+  EXPECT_LT(updatePos, sumPos);
+  expectParseable(result.output);
+}
+
+TEST(RewriteEndToEnd, FirstprivateAppendedToKernelPragma) {
+  const std::string source = R"(void f(double *a, int n) {
+  double factor = 2.5;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    a[i] *= factor;
+  }
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  // factor (and the read-only bound n) become firstprivate on the kernel.
+  EXPECT_NE(result.output.find("firstprivate(factor"), std::string::npos)
+      << result.output;
+  expectParseable(result.output);
+}
+
+TEST(RewriteEndToEnd, ConsolidatesUpdatesAtSamePoint) {
+  const std::string source = R"(void f(double *a, double *b, int n, int m) {
+  double total = 0.0;
+  for (int t = 0; t < m; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; ++i) {
+      a[i] += 1.0;
+      b[i] += 2.0;
+    }
+    for (int i = 0; i < n; ++i) {
+      total += a[i] + b[i];
+    }
+  }
+  a[0] = total;
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  // Both arrays update at the same point: a single consolidated directive.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = result.output.find("#pragma omp target update", pos)) !=
+         std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 1u) << result.output;
+  const auto updateLineStart =
+      result.output.find("#pragma omp target update from(");
+  ASSERT_NE(updateLineStart, std::string::npos);
+  const auto lineEnd = result.output.find('\n', updateLineStart);
+  const std::string line =
+      result.output.substr(updateLineStart, lineEnd - updateLineStart);
+  EXPECT_NE(line.find("a[0:"), std::string::npos);
+  EXPECT_NE(line.find("b[0:"), std::string::npos);
+  expectParseable(result.output);
+}
+
+TEST(RewriteEndToEnd, MapClausesGroupedByType) {
+  const std::string source = R"(void f(const double *in, double *out, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    out[i] = in[i] * 2.0;
+  }
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  EXPECT_NE(result.output.find("map(to: in[0:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("map(from: out[0:"), std::string::npos);
+  expectParseable(result.output);
+}
+
+TEST(RewriteEndToEnd, RejectsInputWithExistingDataDirectives) {
+  const std::string source = R"(void f(double *a, int n) {
+  #pragma omp target data map(tofrom: a[0:n])
+  {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; ++i) {
+      a[i] *= 2.0;
+    }
+  }
+}
+)";
+  auto result = runOmpDart(source);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.hasErrors());
+}
+
+TEST(RewriteEndToEnd, OutputIsStableUnderNoKernels) {
+  const std::string source = "int f(int x) { return x + 1; }\n";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.output, source);
+}
+
+TEST(RewriteEndToEnd, ToolReportsTiming) {
+  const std::string source = R"(void f(double *a, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    a[i] = i;
+  }
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  EXPECT_GT(result.toolSeconds, 0.0);
+  EXPECT_LT(result.toolSeconds, 5.0);
+}
+
+TEST(RewriteEndToEnd, ComplexityMetricsMatchStructure) {
+  const std::string source = R"(void f(double *a, double *b, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    a[i] = i;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    b[i] = a[i];
+  }
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.metrics.kernels, 2u);
+  EXPECT_GE(result.metrics.mappedVariables, 2u);
+  EXPECT_GT(result.metrics.offloadedLines, 0u);
+  EXPECT_GT(result.metrics.possibleMappings, 0u);
+}
+
+TEST(RewriteEndToEnd, BackpropMotifUpdatePlacement) {
+  const std::string source =
+      R"(void f(double *partial_sum, double *hidden, int hid, int nb) {
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    #pragma omp target teams distribute parallel for
+    for (int k = 0; k < nb * hid; ++k) {
+      partial_sum[k] = k * 0.5 + epoch;
+    }
+    for (int j = 1; j <= hid; j++) {
+      double sum = 0.0;
+      for (int k = 0; k < nb; k++) {
+        sum += partial_sum[k * hid + j - 1];
+      }
+      hidden[j] = 1.0 / (1.0 + exp(-sum));
+    }
+  }
+}
+)";
+  auto result = runOmpDart(source);
+  ASSERT_TRUE(result.success);
+  const auto updatePos =
+      result.output.find("#pragma omp target update from(partial_sum");
+  ASSERT_NE(updatePos, std::string::npos) << result.output;
+  // Before the outer j loop, not inside the k loop.
+  const auto jLoopPos = result.output.find("for (int j = 1");
+  EXPECT_LT(updatePos, jLoopPos) << result.output;
+  expectParseable(result.output);
+}
+
+} // namespace
+} // namespace ompdart

@@ -1,0 +1,183 @@
+// OpenMP 5.2 device-data-environment semantics (paper §III): reference
+// counts, copy-on-transition rules, update semantics, and the Listing 3
+// trap where an inner map(from:) does NOT copy because the reference count
+// stays above zero.
+#include "sim/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart::sim {
+namespace {
+
+TEST(LedgerTest, RecordsBytesAndCalls) {
+  TransferLedger ledger;
+  ledger.record(TransferDir::HtoD, 1000, "a");
+  ledger.record(TransferDir::HtoD, 500, "b");
+  ledger.record(TransferDir::DtoH, 250, "a");
+  EXPECT_EQ(ledger.bytes(TransferDir::HtoD), 1500u);
+  EXPECT_EQ(ledger.bytes(TransferDir::DtoH), 250u);
+  EXPECT_EQ(ledger.calls(TransferDir::HtoD), 2u);
+  EXPECT_EQ(ledger.calls(TransferDir::DtoH), 1u);
+  EXPECT_EQ(ledger.totalBytes(), 1750u);
+  EXPECT_EQ(ledger.totalCalls(), 3u);
+}
+
+TEST(LedgerTest, ResetClearsEverything) {
+  TransferLedger ledger;
+  ledger.record(TransferDir::HtoD, 10, "x");
+  ledger.recordKernelLaunch();
+  ledger.addHostOps(5);
+  ledger.addDeviceOps(7);
+  ledger.reset();
+  EXPECT_EQ(ledger.totalBytes(), 0u);
+  EXPECT_EQ(ledger.totalCalls(), 0u);
+  EXPECT_EQ(ledger.kernelLaunches(), 0u);
+  EXPECT_EQ(ledger.hostOps(), 0u);
+  EXPECT_EQ(ledger.deviceOps(), 0u);
+}
+
+TEST(PresentTableTest, FirstMapToCopiesIn) {
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  const auto action = env.mapEnter(1, MapKind::To, 800, "a");
+  EXPECT_TRUE(action.allocate);
+  EXPECT_TRUE(action.copyToDevice);
+  EXPECT_EQ(ledger.bytes(TransferDir::HtoD), 800u);
+  EXPECT_TRUE(env.isPresent(1));
+  EXPECT_EQ(env.refCount(1), 1u);
+}
+
+TEST(PresentTableTest, AllocDoesNotCopy) {
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  const auto action = env.mapEnter(1, MapKind::Alloc, 800, "a");
+  EXPECT_TRUE(action.allocate);
+  EXPECT_FALSE(action.copyToDevice);
+  EXPECT_EQ(ledger.totalBytes(), 0u);
+}
+
+TEST(PresentTableTest, MapFromCopiesOnlyOnExit) {
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  const auto enter = env.mapEnter(1, MapKind::From, 400, "a");
+  EXPECT_TRUE(enter.allocate);
+  EXPECT_FALSE(enter.copyToDevice);
+  const auto exit = env.mapExit(1, MapKind::From, 400, "a");
+  EXPECT_TRUE(exit.copyFromDevice);
+  EXPECT_TRUE(exit.deallocate);
+  EXPECT_EQ(ledger.bytes(TransferDir::DtoH), 400u);
+  EXPECT_FALSE(env.isPresent(1));
+}
+
+TEST(PresentTableTest, NestedRegionsIncrementRefCount) {
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  env.mapEnter(1, MapKind::ToFrom, 100, "a");
+  const auto inner = env.mapEnter(1, MapKind::ToFrom, 100, "a");
+  EXPECT_FALSE(inner.allocate);
+  EXPECT_FALSE(inner.copyToDevice); // ref count 1 -> 2: no transfer
+  EXPECT_EQ(env.refCount(1), 2u);
+  EXPECT_EQ(ledger.calls(TransferDir::HtoD), 1u);
+}
+
+TEST(PresentTableTest, PaperListingThreeTrap) {
+  // Outer region maps `a`; an inner kernel maps `a` with from. The paper's
+  // point: the inner exit decrements 2 -> 1, so NO copy-out happens and the
+  // host keeps reading stale data.
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  env.mapEnter(1, MapKind::ToFrom, 100, "a"); // outer target data
+  env.mapEnter(1, MapKind::From, 100, "a");   // inner kernel map(from:)
+  const auto innerExit = env.mapExit(1, MapKind::From, 100, "a");
+  EXPECT_FALSE(innerExit.copyFromDevice) << "Listing 3: no copy at ref 2->1";
+  EXPECT_TRUE(env.isPresent(1));
+  const auto outerExit = env.mapExit(1, MapKind::ToFrom, 100, "a");
+  EXPECT_TRUE(outerExit.copyFromDevice); // only the final exit copies
+  EXPECT_EQ(ledger.calls(TransferDir::DtoH), 1u);
+}
+
+TEST(PresentTableTest, UpdateCopiesWhenPresent) {
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  env.mapEnter(1, MapKind::Alloc, 64, "a");
+  EXPECT_TRUE(env.updateTo(1, 64, "a"));
+  EXPECT_TRUE(env.updateFrom(1, 64, "a"));
+  EXPECT_EQ(ledger.calls(TransferDir::HtoD), 1u);
+  EXPECT_EQ(ledger.calls(TransferDir::DtoH), 1u);
+}
+
+TEST(PresentTableTest, UpdateIsNoOpWhenAbsent) {
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  EXPECT_FALSE(env.updateTo(9, 64, "a"));
+  EXPECT_FALSE(env.updateFrom(9, 64, "a"));
+  EXPECT_EQ(ledger.totalCalls(), 0u);
+}
+
+TEST(PresentTableTest, ExitWithoutEntryIsNoOp) {
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  const auto action = env.mapExit(5, MapKind::From, 64, "a");
+  EXPECT_FALSE(action.copyFromDevice);
+  EXPECT_FALSE(action.deallocate);
+}
+
+TEST(PresentTableTest, DeleteForcesRelease) {
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  env.mapEnter(1, MapKind::ToFrom, 64, "a");
+  env.mapEnter(1, MapKind::ToFrom, 64, "a");
+  const auto action = env.mapExit(1, MapKind::Delete, 64, "a");
+  EXPECT_TRUE(action.deallocate);
+  EXPECT_FALSE(env.isPresent(1));
+}
+
+TEST(PresentTableTest, RepeatedKernelMapsTransferEachTime) {
+  // The unoptimized pattern (paper Listing 1): per-kernel tofrom maps move
+  // data on every launch.
+  TransferLedger ledger;
+  DeviceDataEnvironment env(ledger);
+  for (int i = 0; i < 10; ++i) {
+    env.mapEnter(1, MapKind::ToFrom, 1000, "a");
+    env.mapExit(1, MapKind::ToFrom, 1000, "a");
+  }
+  EXPECT_EQ(ledger.calls(TransferDir::HtoD), 10u);
+  EXPECT_EQ(ledger.calls(TransferDir::DtoH), 10u);
+  EXPECT_EQ(ledger.totalBytes(), 20000u);
+}
+
+TEST(CostModelTest, TransferTimeScalesWithBytesAndCalls) {
+  CostModel model;
+  TransferLedger small;
+  small.record(TransferDir::HtoD, 1000, "a");
+  TransferLedger large;
+  large.record(TransferDir::HtoD, 100'000'000, "a");
+  EXPECT_LT(model.transferSeconds(small), model.transferSeconds(large));
+
+  TransferLedger manyCalls;
+  for (int i = 0; i < 100; ++i)
+    manyCalls.record(TransferDir::HtoD, 10, "a");
+  TransferLedger oneCall;
+  oneCall.record(TransferDir::HtoD, 1000, "a");
+  EXPECT_LT(model.transferSeconds(oneCall),
+            model.transferSeconds(manyCalls));
+}
+
+TEST(CostModelTest, TotalIncludesComputeAndLaunch) {
+  CostModel model;
+  TransferLedger ledger;
+  ledger.addHostOps(1'000'000);
+  ledger.addDeviceOps(1'000'000);
+  ledger.recordKernelLaunch();
+  const double total = model.totalSeconds(ledger);
+  EXPECT_GT(total, model.transferSeconds(ledger));
+  // Device ops must be much cheaper than host ops (GPU advantage).
+  TransferLedger hostOnly;
+  hostOnly.addHostOps(1'000'000);
+  TransferLedger deviceOnly;
+  deviceOnly.addDeviceOps(1'000'000);
+  EXPECT_GT(model.totalSeconds(hostOnly), model.totalSeconds(deviceOnly));
+}
+
+} // namespace
+} // namespace ompdart::sim
