@@ -2,7 +2,7 @@
 // The paper credits firstprivate for 57%/33%/38% memcpy-call reductions in
 // hotspot/nw/xsbench; this bench disables the optimization and measures the
 // call-count delta on those three benchmarks.
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "exp/experiment.hpp"
 #include "interp/interp.hpp"
 #include "suite/benchmarks.hpp"
@@ -15,11 +15,11 @@
 namespace {
 
 unsigned callsWith(const std::string &benchmarkName, bool useFirstprivate) {
-  ompdart::ToolOptions options;
-  options.planner.useFirstprivate = useFirstprivate;
+  ompdart::PipelineConfig config;
+  config.planner.useFirstprivate = useFirstprivate;
   const auto *def = ompdart::suite::findBenchmark(benchmarkName);
-  const auto tool = ompdart::runOmpDart(def->unoptimized, options);
-  const auto run = ompdart::interp::runProgram(tool.output);
+  ompdart::Session session(benchmarkName + ".c", def->unoptimized, config);
+  const auto run = ompdart::interp::runProgram(session.rewrite());
   return run.ledger.totalCalls();
 }
 

@@ -3,8 +3,7 @@
 // maximum call depth of any function. Each pass provides new information").
 // Measures fixed-point pass counts across the suite and shows that the
 // analysis converges quickly while still resolving call chains.
-#include "analysis/interproc.hpp"
-#include "frontend/parser.hpp"
+#include "driver/pipeline.hpp"
 #include "suite/benchmarks.hpp"
 
 #include <benchmark/benchmark.h>
@@ -14,16 +13,14 @@
 namespace {
 
 unsigned passesFor(const std::string &source, unsigned maxPasses) {
-  ompdart::SourceManager sourceManager("bench.c", source);
-  ompdart::ASTContext context;
-  ompdart::DiagnosticEngine diags;
-  if (!ompdart::parseSource(sourceManager, context, diags))
+  // Direct artifact access: interproc() pulls in only its parse dependency,
+  // so the timing excludes CFG construction, planning and rewriting.
+  ompdart::PipelineConfig config;
+  config.interprocMaxPasses = maxPasses;
+  ompdart::Session session("bench.c", source, config);
+  if (!session.parseSucceeded())
     return 0;
-  ompdart::InterproceduralOptions options;
-  options.maxPasses = maxPasses;
-  const auto result =
-      ompdart::runInterproceduralAnalysis(context.unit(), options);
-  return result.passes;
+  return session.interproc().passes;
 }
 
 void interprocPasses(benchmark::State &state, const std::string &source) {

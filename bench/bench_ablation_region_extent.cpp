@@ -3,7 +3,7 @@
 // placed outside the loop body will almost definitely incur a significant
 // performance penalty"). Disabling region extension reduces OMPDart to
 // per-kernel clauses, which re-transfers on every launch inside loops.
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "exp/experiment.hpp"
 #include "interp/interp.hpp"
 #include "suite/benchmarks.hpp"
@@ -16,12 +16,13 @@
 namespace {
 
 std::uint64_t bytesWith(const std::string &benchmarkName, bool extend) {
-  ompdart::ToolOptions options;
-  options.planner.extendRegionOverLoops = extend;
+  ompdart::PipelineConfig config;
+  config.planner.extendRegionOverLoops = extend;
   const auto *def = ompdart::suite::findBenchmark(benchmarkName);
-  const auto tool = ompdart::runOmpDart(def->unoptimized, options);
+  ompdart::Session session(benchmarkName + ".c", def->unoptimized, config);
+  const bool ok = session.run();
   const auto run = ompdart::interp::runProgram(
-      tool.success ? tool.output : def->unoptimized);
+      ok ? session.rewrite() : def->unoptimized);
   return run.ledger.totalBytes();
 }
 

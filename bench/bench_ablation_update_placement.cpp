@@ -2,7 +2,7 @@
 // The paper's motivating example (Listing 6 / §IV-E) reports >2 GB vs <5 MB
 // and a 14x speedup from hoisting the update out of the nested loops; this
 // bench reproduces the comparison on the backprop motif at our scale.
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "exp/experiment.hpp"
 #include "interp/interp.hpp"
 #include "suite/benchmarks.hpp"
@@ -20,11 +20,11 @@ struct PlacementResult {
 };
 
 PlacementResult measure(bool hoist) {
-  ompdart::ToolOptions options;
-  options.planner.hoistUpdates = hoist;
+  ompdart::PipelineConfig config;
+  config.planner.hoistUpdates = hoist;
   const auto *def = ompdart::suite::findBenchmark("backprop");
-  const auto tool = ompdart::runOmpDart(def->unoptimized, options);
-  const auto run = ompdart::interp::runProgram(tool.output);
+  ompdart::Session session("backprop.c", def->unoptimized, config);
+  const auto run = ompdart::interp::runProgram(session.rewrite());
   ompdart::sim::CostModel model;
   PlacementResult result;
   result.bytes = run.ledger.totalBytes();

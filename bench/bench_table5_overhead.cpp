@@ -1,41 +1,123 @@
 // Regenerates paper Table V: OMPDart tool execution time per benchmark.
-// google-benchmark times the full tool pipeline (parse -> analyses -> plan
-// -> rewrite) on each benchmark's unoptimized source, then the paper-style
-// table is printed from single-shot runs.
-#include "driver/tool.hpp"
+// google-benchmark times the full staged pipeline (parse -> cfg ->
+// interproc -> plan -> rewrite -> metrics) on each benchmark's unoptimized
+// source; the paper-style table is then printed from the per-stage Report
+// timings of single-shot Sessions, a BatchDriver run compares concurrent
+// against sequential throughput on the same inputs, and the whole result
+// set is written to BENCH_table5.json.
+#include "driver/batch.hpp"
+#include "driver/pipeline.hpp"
 #include "exp/experiment.hpp"
 #include "suite/benchmarks.hpp"
+#include "support/json.hpp"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 namespace {
 
-void toolOnBenchmark(benchmark::State &state, const std::string &source) {
+void toolOnBenchmark(benchmark::State &state, const std::string &name,
+                     const std::string &source) {
   for (auto _ : state) {
-    auto result = ompdart::runOmpDart(source);
-    benchmark::DoNotOptimize(result.output.data());
-    if (!result.success)
+    ompdart::Session session(name + ".c", source);
+    session.run();
+    benchmark::DoNotOptimize(session.rewrite().data());
+    if (!session.success())
       state.SkipWithError("tool failed");
   }
+}
+
+std::vector<ompdart::BatchJob> suiteJobs() {
+  std::vector<ompdart::BatchJob> jobs;
+  for (const auto &def : ompdart::suite::allBenchmarks())
+    jobs.push_back({def.name, def.name + ".c", def.unoptimized});
+  return jobs;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   for (const auto &def : ompdart::suite::allBenchmarks()) {
-    benchmark::RegisterBenchmark(("tool/" + def.name).c_str(),
-                                 [source = def.unoptimized](
-                                     benchmark::State &state) {
-                                   toolOnBenchmark(state, source);
-                                 });
+    benchmark::RegisterBenchmark(
+        ("tool/" + def.name).c_str(),
+        [name = def.name,
+         source = def.unoptimized](benchmark::State &state) {
+          toolOnBenchmark(state, name, source);
+        });
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  const auto results = ompdart::exp::runAllBenchmarks();
-  std::printf("\n%s", ompdart::exp::renderTable5(results).c_str());
+  // Single-shot per-stage timings (the Table V refinement): one Session per
+  // benchmark, timings read from the structured Report.
+  const auto &defs = ompdart::suite::allBenchmarks();
+  std::vector<ompdart::Report> reports;
+  for (const auto &def : defs) {
+    ompdart::Session session(def.name + ".c", def.unoptimized);
+    session.run();
+    reports.push_back(session.report());
+  }
+
+  std::printf("\nTABLE V: OMPDart overhead, per pipeline stage (seconds)\n");
+  std::printf("  %-10s %9s %9s %9s %9s %9s %9s %10s %9s\n", "benchmark",
+              "parse", "cfg", "interproc", "plan", "rewrite", "metrics",
+              "total", "paper");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    const ompdart::Report &report = reports[i];
+    std::printf(
+        "  %-10s %9.5f %9.5f %9.5f %9.5f %9.5f %9.5f %10.5f %9.2f\n",
+        defs[i].name.c_str(), report.secondsFor(ompdart::Stage::Parse),
+        report.secondsFor(ompdart::Stage::Cfg),
+        report.secondsFor(ompdart::Stage::Interproc),
+        report.secondsFor(ompdart::Stage::Plan),
+        report.secondsFor(ompdart::Stage::Rewrite),
+        report.secondsFor(ompdart::Stage::Metrics), report.totalSeconds,
+        defs[i].paper.toolSeconds);
+    sum += report.totalSeconds;
+  }
+  std::printf("  %-10s %69.5f\n", "average",
+              defs.empty() ? 0.0 : sum / static_cast<double>(defs.size()));
+
+  // Batch throughput: the same nine programs, concurrent vs sequential.
+  const std::vector<ompdart::BatchJob> jobs = suiteJobs();
+  ompdart::BatchDriver::Options sequentialOptions;
+  sequentialOptions.threads = 1;
+  const ompdart::BatchResult sequential =
+      ompdart::BatchDriver(sequentialOptions).run(jobs);
+  const ompdart::BatchResult concurrent = ompdart::BatchDriver().run(jobs);
+  std::printf("\nBATCH: %u programs, sequential %.5fs wall vs concurrent "
+              "%.5fs wall on %u threads (%.2fx)\n",
+              concurrent.stats.jobs, sequential.stats.wallSeconds,
+              concurrent.stats.wallSeconds, concurrent.stats.threads,
+              concurrent.stats.wallSeconds > 0.0
+                  ? sequential.stats.wallSeconds /
+                        concurrent.stats.wallSeconds
+                  : 0.0);
+
+  // Machine-readable dump for downstream tooling/CI trend lines.
+  ompdart::json::Value doc = ompdart::json::Value::object();
+  ompdart::json::Value perBenchmark = ompdart::json::Value::array();
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    ompdart::json::Value entry = reports[i].toJson();
+    entry.set("benchmark", defs[i].name);
+    entry.set("paperToolSeconds", defs[i].paper.toolSeconds);
+    // The transformed source is bulky and reproducible; keep the JSON lean.
+    entry.set("output", ompdart::json::Value());
+    perBenchmark.push(std::move(entry));
+  }
+  doc.set("table5", std::move(perBenchmark));
+  doc.set("batchSequential", sequential.stats.toJson());
+  doc.set("batchConcurrent", concurrent.stats.toJson());
+
+  const char *jsonPath = "BENCH_table5.json";
+  std::ofstream out(jsonPath);
+  out << doc.dump(/*pretty=*/true);
+  std::printf("wrote %s\n", jsonPath);
   return 0;
 }

@@ -5,7 +5,7 @@
 //  - Listing 3's *incorrect* hand mapping is executed to demonstrate the
 //    reference-count trap (stale host reads), then contrasted with the
 //    tool's correct update-based mapping.
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "interp/interp.hpp"
 
 #include <cstdio>
@@ -22,8 +22,8 @@ void report(const char *title, const ompdart::interp::RunResult &run) {
 
 void transformAndCompare(const char *name, const std::string &source) {
   const auto before = ompdart::interp::runProgram(source);
-  const auto tool = ompdart::runOmpDart(source);
-  const auto after = ompdart::interp::runProgram(tool.output);
+  ompdart::Session session(std::string(name) + ".c", source);
+  const auto after = ompdart::interp::runProgram(session.rewrite());
   std::printf("--- %s ---\n", name);
   report("implicit mappings:", before);
   report("OMPDart mappings:", after);
@@ -115,8 +115,8 @@ int main() {
   report("incorrect hand mapping:", broken);
   const auto reference = ompdart::interp::runProgram(listing3Unmapped);
   report("implicit (correct):", reference);
-  const auto tool = ompdart::runOmpDart(listing3Unmapped);
-  const auto fixed = ompdart::interp::runProgram(tool.output);
+  ompdart::Session session("listing3.c", listing3Unmapped);
+  const auto fixed = ompdart::interp::runProgram(session.rewrite());
   report("OMPDart (correct):", fixed);
   std::printf("hand mapping silently wrong: %s; OMPDart matches reference: "
               "%s\n",

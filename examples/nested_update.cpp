@@ -6,7 +6,7 @@
 // 5 MB / 14x example).
 //
 //   $ ./nested_update
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "interp/interp.hpp"
 
 #include <cstdio>
@@ -43,25 +43,26 @@ int main() {
 )";
 
 void showVariant(const char *title, bool hoist) {
-  ompdart::ToolOptions options;
-  options.planner.hoistUpdates = hoist;
-  const auto tool = ompdart::runOmpDart(kSource, options);
-  if (!tool.success) {
+  ompdart::PipelineConfig config;
+  config.planner.hoistUpdates = hoist;
+  ompdart::Session session("nested_update.c", kSource, config);
+  if (!session.run()) {
     std::printf("%s: tool failed\n", title);
     return;
   }
-  const auto run = ompdart::interp::runProgram(tool.output);
+  const std::string &output = session.rewrite();
+  const auto run = ompdart::interp::runProgram(output);
   std::printf("%-28s %6u memcpy calls, %10llu bytes, output %s", title,
               run.ledger.totalCalls(),
               static_cast<unsigned long long>(run.ledger.totalBytes()),
               run.output.c_str());
   // Show where the update landed.
-  const auto pos = tool.output.find("#pragma omp target update from");
+  const auto pos = output.find("#pragma omp target update from");
   if (pos != std::string::npos) {
-    const auto lineStart = tool.output.rfind('\n', pos) + 1;
-    const auto lineEnd = tool.output.find('\n', pos);
+    const auto lineStart = output.rfind('\n', pos) + 1;
+    const auto lineEnd = output.find('\n', pos);
     std::printf("  placement: %s\n",
-                tool.output.substr(lineStart, lineEnd - lineStart).c_str());
+                output.substr(lineStart, lineEnd - lineStart).c_str());
   }
 }
 

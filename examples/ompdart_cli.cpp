@@ -1,17 +1,23 @@
-// Command-line front end, mirroring the paper's tool usage: read a C file
-// with OpenMP offload kernels, insert data-mapping directives, and write
-// the transformed source.
+// Command-line front end over the staged pipeline API: read a C file with
+// OpenMP offload kernels, run the pipeline (optionally stopping after a
+// given stage), and emit transformed source, the mapping plan, or the full
+// JSON report.
 //
-//   $ ./ompdart_cli input.c                # transformed source to stdout
-//   $ ./ompdart_cli input.c -o output.c    # ... or to a file
-//   $ ./ompdart_cli input.c --dump-ast     # front-end debugging
+//   $ ./ompdart_cli input.c                    # transformed source to stdout
+//   $ ./ompdart_cli input.c -o output.c        # ... or to a file
+//   $ ./ompdart_cli input.c --emit=json        # structured report (plan,
+//                                              #  diagnostics, timings)
+//   $ ./ompdart_cli input.c --emit=plan        # human-readable plan summary
+//   $ ./ompdart_cli input.c --stop-after=plan --emit=json
+//   $ ./ompdart_cli input.c --dump-ast         # front-end debugging
 //   $ ./ompdart_cli input.c --no-firstprivate --no-hoist
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "frontend/ast_printer.hpp"
 #include "frontend/parser.hpp"
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -20,12 +26,41 @@ namespace {
 void usage(const char *argv0) {
   std::printf(
       "usage: %s <input.c> [options]\n"
-      "  -o <file>          write transformed source to <file>\n"
-      "  --dump-ast         print the AST instead of transforming\n"
-      "  --no-firstprivate  disable the firstprivate optimization\n"
-      "  --no-hoist         disable Algorithm 1 update hoisting\n"
-      "  --per-kernel       do not extend data regions over loops\n",
+      "  -o <file>            write output to <file> instead of stdout\n"
+      "  --emit=<kind>        source (default) | plan | json\n"
+      "  --stop-after=<stage> parse | cfg | interproc | plan | rewrite |"
+      " metrics\n"
+      "  --dump-ast           print the AST instead of transforming\n"
+      "  --no-firstprivate    disable the firstprivate optimization\n"
+      "  --no-hoist           disable Algorithm 1 update hoisting\n"
+      "  --per-kernel         do not extend data regions over loops\n"
+      "  --no-interproc       disable the interprocedural fixed point\n",
       argv0);
+}
+
+std::string renderPlanSummary(ompdart::Session &session) {
+  std::ostringstream out;
+  const ompdart::Report &report = session.report();
+  for (const ompdart::ReportRegion &region : report.regions) {
+    out << "function '" << region.function << "' (lines " << region.beginLine
+        << ".." << region.endLine << ", "
+        << (region.appendsToKernel ? "clauses on kernel pragma"
+                                   : "new target data region")
+        << ")\n";
+    for (const ompdart::ReportMap &map : region.maps)
+      out << "  map(" << map.mapType << ": " << map.item << ")  ~"
+          << map.approxBytes << " bytes\n";
+    for (const ompdart::ReportUpdate &update : region.updates)
+      out << "  update " << update.direction << "(" << update.item
+          << ") at line " << update.anchorLine << " [" << update.placement
+          << (update.hoisted ? ", hoisted" : "") << "]\n";
+    for (const ompdart::ReportFirstprivate &fp : region.firstprivates)
+      out << "  firstprivate(" << fp.var << ") on kernel at line "
+          << fp.kernelLine << "\n";
+  }
+  if (report.regions.empty())
+    out << "no target data regions planned\n";
+  return out.str();
 }
 
 } // namespace
@@ -37,20 +72,36 @@ int main(int argc, char **argv) {
   }
   std::string inputPath;
   std::string outputPath;
+  std::string emit = "source";
   bool dumpAst = false;
-  ompdart::ToolOptions options;
+  ompdart::PipelineConfig config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-o" && i + 1 < argc) {
       outputPath = argv[++i];
     } else if (arg == "--dump-ast") {
       dumpAst = true;
+    } else if (arg.rfind("--emit=", 0) == 0) {
+      emit = arg.substr(7);
+      if (emit != "source" && emit != "plan" && emit != "json") {
+        std::fprintf(stderr, "unknown emit kind '%s'\n", emit.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--stop-after=", 0) == 0) {
+      const std::string stage = arg.substr(13);
+      config.stopAfter = ompdart::stageFromName(stage);
+      if (!config.stopAfter) {
+        std::fprintf(stderr, "unknown stage '%s'\n", stage.c_str());
+        return 1;
+      }
     } else if (arg == "--no-firstprivate") {
-      options.planner.useFirstprivate = false;
+      config.planner.useFirstprivate = false;
     } else if (arg == "--no-hoist") {
-      options.planner.hoistUpdates = false;
+      config.planner.hoistUpdates = false;
     } else if (arg == "--per-kernel") {
-      options.planner.extendRegionOverLoops = false;
+      config.planner.extendRegionOverLoops = false;
+    } else if (arg == "--no-interproc") {
+      config.planner.interprocedural = false;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -63,6 +114,13 @@ int main(int argc, char **argv) {
   }
   if (inputPath.empty()) {
     usage(argv[0]);
+    return 1;
+  }
+  if (emit == "source" && config.stopAfter &&
+      *config.stopAfter < ompdart::Stage::Rewrite) {
+    std::fprintf(stderr,
+                 "--emit=source needs the rewrite stage; drop --stop-after "
+                 "or use --emit=plan/json\n");
     return 1;
   }
 
@@ -87,25 +145,38 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  ompdart::OmpDartTool tool(options);
-  const ompdart::ToolResult result = tool.run(inputPath, source);
-  for (const auto &diag : result.diagnostics)
-    std::fprintf(stderr, "%s: %s\n", inputPath.c_str(), diag.str().c_str());
-  if (!result.success)
-    return 1;
+  ompdart::Session session(inputPath, source, config);
+  // Pretty-print diagnostics to stderr as they are reported.
+  ompdart::StreamSink diagnosticPrinter(std::cerr, inputPath);
+  session.diagnostics().setSink(&diagnosticPrinter);
+
+  const bool ok = session.run();
+
+  std::string payload;
+  if (emit == "json") {
+    payload = session.report().toJson().dump(/*pretty=*/true);
+  } else if (emit == "plan") {
+    payload = renderPlanSummary(session);
+  } else {
+    if (!ok)
+      return 1;
+    payload = session.rewrite();
+  }
 
   if (outputPath.empty()) {
-    std::printf("%s", result.output.c_str());
+    std::printf("%s", payload.c_str());
   } else {
     std::ofstream out(outputPath);
-    out << result.output;
-    std::fprintf(stderr, "wrote %s (%zu map items, %zu updates, tool time "
-                         "%.4fs)\n",
-                 outputPath.c_str(),
-                 result.plan.regions.empty()
-                     ? 0
-                     : result.plan.regions.front().maps.size(),
-                 result.plan.totalUpdates(), result.toolSeconds);
+    out << payload;
+    const ompdart::Report &report = session.report();
+    std::size_t maps = 0, updates = 0;
+    for (const ompdart::ReportRegion &region : report.regions) {
+      maps += region.maps.size();
+      updates += region.updates.size();
+    }
+    std::fprintf(stderr,
+                 "wrote %s (%zu map items, %zu updates, tool time %.4fs)\n",
+                 outputPath.c_str(), maps, updates, report.totalSeconds);
   }
-  return 0;
+  return ok ? 0 : 1;
 }

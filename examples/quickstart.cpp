@@ -1,8 +1,9 @@
 // Quickstart: feed OMPDart an OpenMP offload program with no explicit data
-// mappings and print the transformed source plus the plan summary.
+// mappings and print the transformed source plus the plan summary — using
+// the staged Session API (each stage is a lazy, cached artifact).
 //
 //   $ ./quickstart
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 
 #include <cstdio>
 
@@ -20,17 +21,17 @@ int main() {
 
   std::printf("=== input ===\n%s\n", source.c_str());
 
-  const ompdart::ToolResult result = ompdart::runOmpDart(source);
-  if (!result.success) {
+  ompdart::Session session("quickstart.c", source);
+  if (!session.run()) {
     std::printf("tool failed:\n");
-    for (const auto &diag : result.diagnostics)
+    for (const auto &diag : session.diagnostics().sortedDiagnostics())
       std::printf("  %s\n", diag.str().c_str());
     return 1;
   }
 
-  std::printf("=== OMPDart output ===\n%s\n", result.output.c_str());
+  std::printf("=== OMPDart output ===\n%s\n", session.rewrite().c_str());
   std::printf("=== plan summary ===\n");
-  for (const auto &region : result.plan.regions) {
+  for (const auto &region : session.plan().regions) {
     std::printf("function '%s': %zu map item(s), %zu update(s), %zu "
                 "firstprivate(s)\n",
                 region.function->name().c_str(), region.maps.size(),
@@ -44,6 +45,10 @@ int main() {
       std::printf("  firstprivate(%s) on a kernel\n",
                   fp.var->name().c_str());
   }
-  std::printf("tool time: %.4f s\n", result.toolSeconds);
+  std::printf("=== per-stage timings ===\n");
+  for (const auto &timing : session.report().timings)
+    std::printf("  %-9s %.6f s\n", ompdart::stageName(timing.stage),
+                timing.seconds);
+  std::printf("tool time: %.4f s\n", session.totalSeconds());
   return 0;
 }

@@ -43,5 +43,8 @@ int main(int argc, char **argv) {
               cmp.transferReduction(cmp.ompdart), cmp.speedup(cmp.ompdart),
               cmp.paper.transferReduction, cmp.paper.speedup);
   std::printf("tool time: %.4f s\n", cmp.toolSeconds);
+  for (const auto &timing : cmp.toolReport.timings)
+    std::printf("  %-9s %.6f s\n", ompdart::stageName(timing.stage),
+                timing.seconds);
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "analysis/interproc.hpp"
 
+#include <algorithm>
+
 namespace ompdart {
 
 namespace {
@@ -222,8 +224,15 @@ runInterproceduralAnalysis(const TranslationUnit &unit,
       for (std::size_t i = 0;
            i < calleeSummary.params.size() && i < args.size(); ++i)
         synthesize(argumentObject(args[i]), calleeSummary.params[i]);
+      // Declaration order: the synthesized event order feeds the planner's
+      // validity walk, so it must not depend on pointer ordering.
+      std::vector<VarDecl *> globals;
+      globals.reserve(calleeSummary.globals.size());
       for (const auto &[global, effect] : calleeSummary.globals)
-        synthesize(global, effect);
+        globals.push_back(global);
+      std::sort(globals.begin(), globals.end(), varDeclBefore);
+      for (VarDecl *global : globals)
+        synthesize(global, calleeSummary.globals.at(global));
     }
     result.accesses[fn] = std::move(augmented);
   }

@@ -1,0 +1,90 @@
+#include "driver/batch.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ompdart {
+
+json::Value BatchStats::toJson() const {
+  json::Value out = json::Value::object();
+  out.set("jobs", jobs);
+  out.set("succeeded", succeeded);
+  out.set("failed", failed);
+  out.set("threads", threads);
+  out.set("wallSeconds", wallSeconds);
+  out.set("cpuSeconds", cpuSeconds);
+  out.set("speedup", speedup());
+  json::Value stages = json::Value::object();
+  for (const Stage stage : allStages())
+    stages.set(stageName(stage), stageSeconds[static_cast<unsigned>(stage)]);
+  out.set("stageSeconds", std::move(stages));
+  return out;
+}
+
+BatchResult BatchDriver::run(const std::vector<BatchJob> &jobs) const {
+  BatchResult result;
+  result.items.resize(jobs.size());
+  result.stats.jobs = static_cast<unsigned>(jobs.size());
+  if (jobs.empty())
+    return result;
+
+  unsigned threadCount = options_.threads;
+  if (threadCount == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    threadCount = hardware > 0 ? hardware : 2;
+  }
+  if (threadCount > jobs.size())
+    threadCount = static_cast<unsigned>(jobs.size());
+  result.stats.threads = threadCount;
+
+  const auto wallStart = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> cursor{0};
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t index = cursor.fetch_add(1);
+      if (index >= jobs.size())
+        return;
+      const BatchJob &job = jobs[index];
+      Session session(job.fileName.empty() ? job.name : job.fileName,
+                      job.source, options_.config);
+      BatchItem &item = result.items[index];
+      item.name = job.name;
+      item.success = session.run();
+      item.report = session.report();
+      // Respect stopAfter: only read the transformed source when the
+      // rewrite stage actually ran.
+      if (session.stageRuns(Stage::Rewrite) > 0)
+        item.output = session.rewrite();
+    }
+  };
+
+  if (threadCount == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(threadCount);
+    for (unsigned i = 0; i < threadCount; ++i)
+      threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+      thread.join();
+  }
+
+  const auto wallEnd = std::chrono::steady_clock::now();
+  result.stats.wallSeconds =
+      std::chrono::duration<double>(wallEnd - wallStart).count();
+  for (const BatchItem &item : result.items) {
+    if (item.success)
+      ++result.stats.succeeded;
+    else
+      ++result.stats.failed;
+    result.stats.cpuSeconds += item.report.totalSeconds;
+    for (const StageTiming &timing : item.report.timings)
+      result.stats.stageSeconds[static_cast<unsigned>(timing.stage)] +=
+          timing.seconds;
+  }
+  return result;
+}
+
+} // namespace ompdart

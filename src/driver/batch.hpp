@@ -1,0 +1,87 @@
+// Thread-safe batch driver: runs N independent pipeline Sessions in
+// parallel over a worker pool. Sessions share no mutable state (each owns
+// its SourceManager, ASTContext and DiagnosticEngine), so the only
+// coordination is the work queue cursor. Results come back in input order
+// with per-stage timing and aggregate statistics; per-item diagnostics are
+// sorted by source location, so batch output is deterministic regardless of
+// scheduling.
+#pragma once
+
+#include "driver/pipeline.hpp"
+#include "driver/report.hpp"
+#include "support/json.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+/// One translation unit to push through the pipeline.
+struct BatchJob {
+  std::string name;     ///< label used in results/statistics
+  std::string fileName; ///< diagnostics file name (defaults to `name`)
+  std::string source;
+};
+
+/// Outcome for one job, in input order.
+struct BatchItem {
+  std::string name;
+  bool success = false;
+  Report report;
+  /// Transformed source (empty when the rewrite stage was stopped before).
+  std::string output;
+};
+
+/// Aggregate statistics over one batch run.
+struct BatchStats {
+  unsigned jobs = 0;
+  unsigned succeeded = 0;
+  unsigned failed = 0;
+  unsigned threads = 0;
+  /// End-to-end wall time of the batch.
+  double wallSeconds = 0.0;
+  /// Sum of per-session pipeline seconds (what a sequential run would cost).
+  double cpuSeconds = 0.0;
+  /// Per-stage seconds summed across all sessions, indexed by Stage.
+  std::array<double, kStageCount> stageSeconds{};
+
+  /// Parallel efficiency proxy: sequential-cost / wall-time.
+  [[nodiscard]] double speedup() const {
+    return wallSeconds > 0.0 ? cpuSeconds / wallSeconds : 0.0;
+  }
+  [[nodiscard]] json::Value toJson() const;
+};
+
+struct BatchResult {
+  std::vector<BatchItem> items;
+  BatchStats stats;
+
+  [[nodiscard]] const BatchItem *find(const std::string &name) const {
+    for (const BatchItem &item : items)
+      if (item.name == name)
+        return &item;
+    return nullptr;
+  }
+};
+
+class BatchDriver {
+public:
+  struct Options {
+    /// Worker threads; 0 = min(hardware_concurrency, job count).
+    unsigned threads = 0;
+    /// Pipeline configuration applied to every session.
+    PipelineConfig config;
+  };
+
+  BatchDriver() = default;
+  explicit BatchDriver(Options options) : options_(std::move(options)) {}
+
+  /// Runs every job through its own Session, in parallel.
+  [[nodiscard]] BatchResult run(const std::vector<BatchJob> &jobs) const;
+
+private:
+  Options options_;
+};
+
+} // namespace ompdart

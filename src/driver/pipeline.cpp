@@ -1,0 +1,386 @@
+#include "driver/pipeline.hpp"
+
+#include "frontend/parser.hpp"
+#include "rewrite/rewriter.hpp"
+
+#include <chrono>
+#include <set>
+
+namespace ompdart {
+
+namespace {
+
+/// Scans for pre-existing data-mapping directives (paper §IV-A: the input
+/// "should not include any instances of target data or target update").
+bool containsDataDirectives(const Stmt *stmt) {
+  if (stmt == nullptr)
+    return false;
+  if (stmt->kind() == StmtKind::OmpDirective) {
+    const auto *directive = static_cast<const OmpDirectiveStmt *>(stmt);
+    switch (directive->directive()) {
+    case OmpDirectiveKind::TargetData:
+    case OmpDirectiveKind::TargetEnterData:
+    case OmpDirectiveKind::TargetExitData:
+    case OmpDirectiveKind::TargetUpdate:
+      return true;
+    default:
+      return containsDataDirectives(directive->associated());
+    }
+  }
+  switch (stmt->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+      if (containsDataDirectives(sub))
+        return true;
+    return false;
+  case StmtKind::If: {
+    const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+    return containsDataDirectives(ifStmt->thenStmt()) ||
+           containsDataDirectives(ifStmt->elseStmt());
+  }
+  case StmtKind::For:
+    return containsDataDirectives(static_cast<const ForStmt *>(stmt)->body());
+  case StmtKind::While:
+    return containsDataDirectives(
+        static_cast<const WhileStmt *>(stmt)->body());
+  case StmtKind::Do:
+    return containsDataDirectives(static_cast<const DoStmt *>(stmt)->body());
+  case StmtKind::Switch:
+    return containsDataDirectives(
+        static_cast<const SwitchStmt *>(stmt)->body());
+  case StmtKind::Case:
+    return containsDataDirectives(static_cast<const CaseStmt *>(stmt)->sub());
+  case StmtKind::Default:
+    return containsDataDirectives(
+        static_cast<const DefaultStmt *>(stmt)->sub());
+  default:
+    return false;
+  }
+}
+
+const char *placementName(UpdatePlacement placement) {
+  switch (placement) {
+  case UpdatePlacement::Before:
+    return "before";
+  case UpdatePlacement::After:
+    return "after";
+  case UpdatePlacement::BodyBegin:
+    return "body-begin";
+  case UpdatePlacement::BodyEnd:
+    return "body-end";
+  }
+  return "unknown";
+}
+
+std::string itemSpelling(const VarDecl *var, const std::string &section) {
+  if (!section.empty())
+    return section;
+  return var != nullptr ? var->name() : std::string();
+}
+
+unsigned lineOf(const Stmt *stmt) {
+  return stmt != nullptr && stmt->range().isValid() ? stmt->range().begin.line
+                                                    : 0;
+}
+
+} // namespace
+
+/// RAII stage timer: accumulates wall-clock seconds and marks the stage done
+/// exactly once, so cached accesses never re-enter the computation.
+class Session::StageTimer {
+public:
+  StageTimer(Session &session, Stage stage)
+      : session_(session), stage_(static_cast<unsigned>(stage)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    session_.seconds_[stage_] +=
+        std::chrono::duration<double>(end - start_).count();
+    session_.runs_[stage_] += 1;
+    session_.done_[stage_] = true;
+  }
+
+private:
+  Session &session_;
+  unsigned stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+Session::Session(std::string fileName, std::string source,
+                 PipelineConfig config)
+    : fileName_(std::move(fileName)), config_(config),
+      sourceManager_(fileName_, std::move(source)),
+      ast_(std::make_shared<ASTContext>()) {}
+
+void Session::ensureParse() {
+  if (done(Stage::Parse))
+    return;
+  StageTimer timer(*this, Stage::Parse);
+  parseOk_ = parseSource(sourceManager_, *ast_, diags_);
+  if (!parseOk_)
+    return;
+  if (config_.rejectExistingDataDirectives) {
+    for (const FunctionDecl *fn : ast_->unit().functions) {
+      if (fn->isDefined() && containsDataDirectives(fn->body())) {
+        diags_.error(fn->range().begin,
+                     "input already contains target data/update directives "
+                     "in '" +
+                         fn->name() + "'; OMPDart expects unmapped input");
+      }
+    }
+    if (diags_.hasErrors())
+      parseOk_ = false;
+  }
+}
+
+void Session::ensureCfg() {
+  if (done(Stage::Cfg))
+    return;
+  ensureParse();
+  StageTimer timer(*this, Stage::Cfg);
+  if (parseOk_)
+    cfgs_ = buildAllCfgs(ast_->unit());
+}
+
+void Session::ensureInterproc() {
+  if (done(Stage::Interproc))
+    return;
+  ensureParse();
+  StageTimer timer(*this, Stage::Interproc);
+  if (!parseOk_)
+    return;
+  InterproceduralOptions options;
+  options.maxPasses =
+      config_.planner.interprocedural ? config_.interprocMaxPasses : 1;
+  interproc_ = runInterproceduralAnalysis(ast_->unit(), options);
+}
+
+void Session::ensurePlan() {
+  if (done(Stage::Plan))
+    return;
+  ensureCfg();
+  ensureInterproc();
+  StageTimer timer(*this, Stage::Plan);
+  if (!parseOk_ || diags_.hasErrors())
+    return;
+  plan_ = planMappings(ast_->unit(), interproc_, diags_, config_.planner,
+                       &cfgs_);
+}
+
+void Session::ensureRewrite() {
+  if (done(Stage::Rewrite))
+    return;
+  ensurePlan();
+  StageTimer timer(*this, Stage::Rewrite);
+  if (!parseOk_ || diags_.hasErrors()) {
+    rewritten_ = sourceManager_.text();
+    return;
+  }
+  rewritten_ = applyMappingPlan(sourceManager_, plan_);
+}
+
+void Session::ensureMetrics() {
+  if (done(Stage::Metrics))
+    return;
+  ensurePlan();
+  StageTimer timer(*this, Stage::Metrics);
+  metrics_ = ComplexityMetrics{};
+  if (!parseOk_)
+    return;
+
+  std::set<const VarDecl *> mapped;
+  for (const RegionPlan &region : plan_.regions) {
+    for (const MapSpec &spec : region.maps)
+      mapped.insert(spec.var);
+    for (const FirstprivateInsertion &fp : region.firstprivates)
+      mapped.insert(fp.var);
+  }
+  metrics_.mappedVariables = static_cast<unsigned>(mapped.size());
+
+  unsigned kernelFunctionLines = 0;
+  for (const auto &cfg : cfgs_) {
+    if (cfg->kernels().empty())
+      continue;
+    metrics_.kernels += static_cast<unsigned>(cfg->kernels().size());
+    for (const OmpDirectiveStmt *kernel : cfg->kernels()) {
+      const SourceRange range = kernel->range();
+      if (range.isValid())
+        metrics_.offloadedLines +=
+            range.end.line >= range.begin.line
+                ? range.end.line - range.begin.line + 1
+                : 1;
+    }
+    const SourceRange fnRange = cfg->function()->range();
+    if (fnRange.isValid() && fnRange.end.line >= fnRange.begin.line)
+      kernelFunctionLines += fnRange.end.line - fnRange.begin.line + 1;
+  }
+  // Paper Table IV formula.
+  const std::uint64_t vars = metrics_.mappedVariables;
+  metrics_.possibleMappings =
+      static_cast<std::uint64_t>(metrics_.kernels) * vars * 4 +
+      (static_cast<std::uint64_t>(kernelFunctionLines) / 2) * vars * 3;
+}
+
+void Session::ensureStage(Stage stage) {
+  switch (stage) {
+  case Stage::Parse:
+    ensureParse();
+    return;
+  case Stage::Cfg:
+    ensureCfg();
+    return;
+  case Stage::Interproc:
+    ensureInterproc();
+    return;
+  case Stage::Plan:
+    ensurePlan();
+    return;
+  case Stage::Rewrite:
+    ensureRewrite();
+    return;
+  case Stage::Metrics:
+    ensureMetrics();
+    return;
+  }
+}
+
+const ASTContext &Session::parse() {
+  ensureParse();
+  return *ast_;
+}
+
+const std::vector<std::unique_ptr<AstCfg>> &Session::cfg() {
+  ensureCfg();
+  return cfgs_;
+}
+
+const InterproceduralResult &Session::interproc() {
+  ensureInterproc();
+  return interproc_;
+}
+
+const MappingPlan &Session::plan() {
+  ensurePlan();
+  return plan_;
+}
+
+const std::string &Session::rewrite() {
+  ensureRewrite();
+  return rewritten_;
+}
+
+const ComplexityMetrics &Session::metrics() {
+  ensureMetrics();
+  return metrics_;
+}
+
+bool Session::run() {
+  for (const Stage stage : allStages()) {
+    ensureStage(stage);
+    if (!parseOk_ || diags_.hasErrors())
+      break;
+    if (config_.stopAfter && stage == *config_.stopAfter)
+      break;
+  }
+  return success();
+}
+
+bool Session::parseSucceeded() {
+  ensureParse();
+  return parseOk_;
+}
+
+bool Session::success() const {
+  return done(Stage::Parse) && parseOk_ && !diags_.hasErrors();
+}
+
+double Session::totalSeconds() const {
+  double total = 0.0;
+  for (const double seconds : seconds_)
+    total += seconds;
+  return total;
+}
+
+Report Session::buildReport() {
+  Report report;
+  report.fileName = fileName_;
+  report.success = success();
+  for (const Stage stage : allStages()) {
+    if (runs_[static_cast<unsigned>(stage)] == 0)
+      continue;
+    StageTiming timing;
+    timing.stage = stage;
+    timing.seconds = stageSeconds(stage);
+    timing.runs = stageRuns(stage);
+    report.timings.push_back(timing);
+    report.stoppedAfter = stageName(stage);
+  }
+  report.totalSeconds = totalSeconds();
+  report.diagnostics = diags_.sortedDiagnostics();
+  if (done(Stage::Metrics))
+    report.metrics = metrics_;
+
+  if (done(Stage::Plan)) {
+    for (const RegionPlan &region : plan_.regions) {
+      ReportRegion out;
+      out.function =
+          region.function != nullptr ? region.function->name() : "";
+      out.beginLine = lineOf(region.startStmt);
+      out.endLine = region.endStmt != nullptr &&
+                            region.endStmt->range().isValid()
+                        ? region.endStmt->range().end.line
+                        : 0;
+      out.appendsToKernel = region.appendsToKernel();
+      for (const MapSpec &map : region.maps) {
+        ReportMap entry;
+        entry.mapType = mapTypeSpelling(map.mapType);
+        entry.item = itemSpelling(map.var, map.section);
+        entry.approxBytes = map.approxBytes;
+        out.maps.push_back(std::move(entry));
+      }
+      for (const UpdateInsertion &update : region.updates) {
+        ReportUpdate entry;
+        entry.direction = updateDirectionName(update.direction);
+        entry.item = itemSpelling(update.var, update.section);
+        entry.anchorLine = lineOf(update.anchor);
+        entry.placement = placementName(update.placement);
+        entry.hoisted = update.hoisted;
+        out.updates.push_back(std::move(entry));
+      }
+      for (const FirstprivateInsertion &fp : region.firstprivates) {
+        ReportFirstprivate entry;
+        entry.var = fp.var != nullptr ? fp.var->name() : "";
+        entry.kernelLine = lineOf(fp.kernel);
+        out.firstprivates.push_back(std::move(entry));
+      }
+      report.regions.push_back(std::move(out));
+    }
+  }
+
+  if (done(Stage::Rewrite) && config_.includeOutputInReport)
+    report.output = rewritten_;
+  return report;
+}
+
+const Report &Session::report() {
+  run();
+  // The report is invalidated whenever another stage executes after it was
+  // built (e.g. report() under stopAfter, then an explicit rewrite()).
+  if (report_) {
+    unsigned executed = 0;
+    for (const unsigned runs : runs_)
+      executed += runs;
+    if (executed != reportStageRuns_)
+      report_.reset();
+  }
+  if (!report_) {
+    report_ = buildReport();
+    unsigned executed = 0;
+    for (const unsigned runs : runs_)
+      executed += runs;
+    reportStageRuns_ = executed;
+  }
+  return *report_;
+}
+
+} // namespace ompdart

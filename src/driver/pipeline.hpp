@@ -1,0 +1,155 @@
+// Staged pipeline API for OMPDart (paper Fig. 1).
+//
+// A `Session` owns one translation unit and exposes each pipeline stage as
+// an explicit, lazily-computed, cached artifact:
+//
+//   parse()     -> const ASTContext &          front end (+ §IV-A input check)
+//   cfg()       -> per-function AST-CFGs       Fig. 2 hybrid representation
+//   interproc() -> InterproceduralResult       §IV-C fixed point
+//   plan()      -> MappingPlan                 §IV-D/§IV-E decision engine
+//   rewrite()   -> transformed source          §IV-F
+//   metrics()   -> ComplexityMetrics           Table IV counters
+//   report()    -> Report                      aggregate, JSON-serializable
+//
+// Stages compute their dependencies on demand; repeated accesses return the
+// cached artifact (`stageRuns` proves it). `run()` executes stages in order
+// up to `PipelineConfig::stopAfter`, which is how the CLI's `--stop-after`
+// and ablation harnesses skip the stages they do not need. Each Session is
+// confined to one thread; independent Sessions share no mutable state, which
+// is what BatchDriver exploits to run them in parallel.
+#pragma once
+
+#include "analysis/interproc.hpp"
+#include "cfg/cfg.hpp"
+#include "driver/report.hpp"
+#include "frontend/ast.hpp"
+#include "mapping/plan.hpp"
+#include "mapping/planner.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+/// Unified configuration for the whole pipeline.
+struct PipelineConfig {
+  PlannerOptions planner;
+  /// Reject inputs that already contain target data / target update
+  /// directives (paper §IV-A: the expected input has none).
+  bool rejectExistingDataDirectives = true;
+  /// Cap on interprocedural fixed-point passes (forced to 1 when
+  /// `planner.interprocedural` is off).
+  unsigned interprocMaxPasses = 16;
+  /// `run()`/`report()` execute stages only up to this one; nullopt runs
+  /// the full pipeline.
+  std::optional<Stage> stopAfter;
+  /// Embed the transformed source in `report().output` (and its JSON).
+  bool includeOutputInReport = true;
+};
+
+/// One translation unit moving through the staged pipeline.
+class Session {
+public:
+  Session(std::string fileName, std::string source,
+          PipelineConfig config = {});
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  // --- stage artifacts (lazy, cached) ---
+
+  /// Front end. Always returns the context; check `parseSucceeded()` or
+  /// `diagnostics()` for errors.
+  const ASTContext &parse();
+  /// Per-function hybrid AST-CFGs (empty when parsing failed).
+  const std::vector<std::unique_ptr<AstCfg>> &cfg();
+  /// Interprocedural side-effect summaries.
+  const InterproceduralResult &interproc();
+  /// The mapping plan (empty when any earlier stage reported errors).
+  const MappingPlan &plan();
+  /// Transformed source; the original text when the pipeline failed.
+  const std::string &rewrite();
+  /// Table IV complexity counters.
+  const ComplexityMetrics &metrics();
+  /// Aggregate report over every stage that has run. Executes stages up to
+  /// `config.stopAfter` first (the full pipeline by default).
+  const Report &report();
+
+  /// Executes stages in order up to `config.stopAfter`; stops early when a
+  /// stage reports errors. Returns `success()`.
+  bool run();
+
+  // --- state queries (never trigger computation beyond their stage) ---
+
+  [[nodiscard]] bool parseSucceeded();
+  /// True when every executed stage completed without error diagnostics and
+  /// parsing succeeded.
+  [[nodiscard]] bool success() const;
+  [[nodiscard]] const std::string &fileName() const { return fileName_; }
+  [[nodiscard]] const SourceManager &sourceManager() const {
+    return sourceManager_;
+  }
+  [[nodiscard]] const PipelineConfig &config() const { return config_; }
+  [[nodiscard]] DiagnosticEngine &diagnostics() { return diags_; }
+  [[nodiscard]] const DiagnosticEngine &diagnostics() const { return diags_; }
+
+  /// Keeps the AST alive past the Session (compat shim support).
+  [[nodiscard]] std::shared_ptr<ASTContext> shareAst() const { return ast_; }
+
+  /// How many times a stage actually executed (0 = never, 1 = computed once;
+  /// never higher because artifacts are cached).
+  [[nodiscard]] unsigned stageRuns(Stage stage) const {
+    return runs_[static_cast<unsigned>(stage)];
+  }
+  /// Wall-clock seconds a stage spent computing (0 when it never ran).
+  [[nodiscard]] double stageSeconds(Stage stage) const {
+    return seconds_[static_cast<unsigned>(stage)];
+  }
+  /// Sum over all executed stages: the Table V tool time.
+  [[nodiscard]] double totalSeconds() const;
+
+private:
+  class StageTimer;
+
+  void ensureParse();
+  void ensureCfg();
+  void ensureInterproc();
+  void ensurePlan();
+  void ensureRewrite();
+  void ensureMetrics();
+  void ensureStage(Stage stage);
+
+  [[nodiscard]] bool done(Stage stage) const {
+    return done_[static_cast<unsigned>(stage)];
+  }
+
+  Report buildReport();
+
+  std::string fileName_;
+  PipelineConfig config_;
+  SourceManager sourceManager_;
+  DiagnosticEngine diags_;
+  std::shared_ptr<ASTContext> ast_;
+
+  std::array<bool, kStageCount> done_{};
+  std::array<unsigned, kStageCount> runs_{};
+  std::array<double, kStageCount> seconds_{};
+
+  bool parseOk_ = false;
+  std::vector<std::unique_ptr<AstCfg>> cfgs_;
+  InterproceduralResult interproc_;
+  MappingPlan plan_;
+  std::string rewritten_;
+  ComplexityMetrics metrics_;
+  std::optional<Report> report_;
+  /// Total stage executions when `report_` was built; a later stage run
+  /// invalidates the cached report.
+  unsigned reportStageRuns_ = 0;
+};
+
+} // namespace ompdart

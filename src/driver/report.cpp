@@ -1,0 +1,262 @@
+#include "driver/report.hpp"
+
+namespace ompdart {
+
+const std::vector<Stage> &allStages() {
+  static const std::vector<Stage> stages = {Stage::Parse,   Stage::Cfg,
+                                            Stage::Interproc, Stage::Plan,
+                                            Stage::Rewrite, Stage::Metrics};
+  return stages;
+}
+
+const char *stageName(Stage stage) {
+  switch (stage) {
+  case Stage::Parse:
+    return "parse";
+  case Stage::Cfg:
+    return "cfg";
+  case Stage::Interproc:
+    return "interproc";
+  case Stage::Plan:
+    return "plan";
+  case Stage::Rewrite:
+    return "rewrite";
+  case Stage::Metrics:
+    return "metrics";
+  }
+  return "unknown";
+}
+
+std::optional<Stage> stageFromName(const std::string &name) {
+  for (const Stage stage : allStages())
+    if (name == stageName(stage))
+      return stage;
+  return std::nullopt;
+}
+
+namespace {
+
+std::optional<Severity> severityFromName(const std::string &name) {
+  if (name == "note")
+    return Severity::Note;
+  if (name == "warning")
+    return Severity::Warning;
+  if (name == "error")
+    return Severity::Error;
+  return std::nullopt;
+}
+
+json::Value locationToJson(const SourceLocation &location) {
+  json::Value out = json::Value::object();
+  out.set("offset", static_cast<std::int64_t>(location.offset));
+  out.set("line", location.line);
+  out.set("column", location.column);
+  return out;
+}
+
+SourceLocation locationFromJson(const json::Value &value) {
+  SourceLocation location;
+  location.offset = static_cast<std::size_t>(value.intOr("offset", -1));
+  location.line = static_cast<unsigned>(value.uintOr("line"));
+  location.column = static_cast<unsigned>(value.uintOr("column"));
+  return location;
+}
+
+bool setError(std::string *error, const char *message) {
+  if (error != nullptr && error->empty())
+    *error = message;
+  return false;
+}
+
+} // namespace
+
+json::Value Report::toJson() const {
+  json::Value out = json::Value::object();
+  out.set("file", fileName);
+  out.set("success", success);
+  out.set("stoppedAfter", stoppedAfter);
+
+  json::Value metricsJson = json::Value::object();
+  metricsJson.set("kernels", metrics.kernels);
+  metricsJson.set("offloadedLines", metrics.offloadedLines);
+  metricsJson.set("mappedVariables", metrics.mappedVariables);
+  metricsJson.set("possibleMappings", metrics.possibleMappings);
+  out.set("metrics", std::move(metricsJson));
+
+  json::Value timingsJson = json::Value::array();
+  for (const StageTiming &timing : timings) {
+    json::Value entry = json::Value::object();
+    entry.set("stage", stageName(timing.stage));
+    entry.set("seconds", timing.seconds);
+    entry.set("runs", timing.runs);
+    timingsJson.push(std::move(entry));
+  }
+  out.set("timings", std::move(timingsJson));
+  out.set("totalSeconds", totalSeconds);
+
+  json::Value diagnosticsJson = json::Value::array();
+  for (const Diagnostic &diag : diagnostics) {
+    json::Value entry = json::Value::object();
+    entry.set("severity", severityName(diag.severity));
+    entry.set("location", locationToJson(diag.location));
+    entry.set("message", diag.message);
+    diagnosticsJson.push(std::move(entry));
+  }
+  out.set("diagnostics", std::move(diagnosticsJson));
+
+  json::Value regionsJson = json::Value::array();
+  for (const ReportRegion &region : regions) {
+    json::Value regionJson = json::Value::object();
+    regionJson.set("function", region.function);
+    regionJson.set("beginLine", region.beginLine);
+    regionJson.set("endLine", region.endLine);
+    regionJson.set("appendsToKernel", region.appendsToKernel);
+
+    json::Value mapsJson = json::Value::array();
+    for (const ReportMap &map : region.maps) {
+      json::Value entry = json::Value::object();
+      entry.set("mapType", map.mapType);
+      entry.set("item", map.item);
+      entry.set("approxBytes", map.approxBytes);
+      mapsJson.push(std::move(entry));
+    }
+    regionJson.set("maps", std::move(mapsJson));
+
+    json::Value updatesJson = json::Value::array();
+    for (const ReportUpdate &update : region.updates) {
+      json::Value entry = json::Value::object();
+      entry.set("direction", update.direction);
+      entry.set("item", update.item);
+      entry.set("anchorLine", update.anchorLine);
+      entry.set("placement", update.placement);
+      entry.set("hoisted", update.hoisted);
+      updatesJson.push(std::move(entry));
+    }
+    regionJson.set("updates", std::move(updatesJson));
+
+    json::Value firstprivatesJson = json::Value::array();
+    for (const ReportFirstprivate &fp : region.firstprivates) {
+      json::Value entry = json::Value::object();
+      entry.set("var", fp.var);
+      entry.set("kernelLine", fp.kernelLine);
+      firstprivatesJson.push(std::move(entry));
+    }
+    regionJson.set("firstprivates", std::move(firstprivatesJson));
+
+    regionsJson.push(std::move(regionJson));
+  }
+  out.set("regions", std::move(regionsJson));
+
+  if (!output.empty())
+    out.set("output", output);
+  return out;
+}
+
+std::optional<Report> Report::fromJson(const json::Value &value,
+                                       std::string *error) {
+  if (!value.isObject()) {
+    setError(error, "report document must be a JSON object");
+    return std::nullopt;
+  }
+  Report report;
+  report.fileName = value.stringOr("file");
+  report.success = value.boolOr("success");
+  report.stoppedAfter = value.stringOr("stoppedAfter");
+  report.totalSeconds = value.doubleOr("totalSeconds");
+  report.output = value.stringOr("output");
+
+  if (const json::Value *metricsJson = value.find("metrics")) {
+    report.metrics.kernels =
+        static_cast<unsigned>(metricsJson->uintOr("kernels"));
+    report.metrics.offloadedLines =
+        static_cast<unsigned>(metricsJson->uintOr("offloadedLines"));
+    report.metrics.mappedVariables =
+        static_cast<unsigned>(metricsJson->uintOr("mappedVariables"));
+    report.metrics.possibleMappings = metricsJson->uintOr("possibleMappings");
+  }
+
+  if (const json::Value *timingsJson = value.find("timings")) {
+    for (const json::Value &entry : timingsJson->items()) {
+      const std::optional<Stage> stage =
+          stageFromName(entry.stringOr("stage"));
+      if (!stage) {
+        setError(error, "timing entry names an unknown stage");
+        return std::nullopt;
+      }
+      StageTiming timing;
+      timing.stage = *stage;
+      timing.seconds = entry.doubleOr("seconds");
+      timing.runs = static_cast<unsigned>(entry.uintOr("runs"));
+      report.timings.push_back(timing);
+    }
+  }
+
+  if (const json::Value *diagnosticsJson = value.find("diagnostics")) {
+    for (const json::Value &entry : diagnosticsJson->items()) {
+      const std::optional<Severity> severity =
+          severityFromName(entry.stringOr("severity"));
+      if (!severity) {
+        setError(error, "diagnostic entry names an unknown severity");
+        return std::nullopt;
+      }
+      Diagnostic diag;
+      diag.severity = *severity;
+      if (const json::Value *locationJson = entry.find("location"))
+        diag.location = locationFromJson(*locationJson);
+      diag.message = entry.stringOr("message");
+      report.diagnostics.push_back(std::move(diag));
+    }
+  }
+
+  if (const json::Value *regionsJson = value.find("regions")) {
+    for (const json::Value &regionJson : regionsJson->items()) {
+      ReportRegion region;
+      region.function = regionJson.stringOr("function");
+      region.beginLine = static_cast<unsigned>(regionJson.uintOr("beginLine"));
+      region.endLine = static_cast<unsigned>(regionJson.uintOr("endLine"));
+      region.appendsToKernel = regionJson.boolOr("appendsToKernel");
+      if (const json::Value *mapsJson = regionJson.find("maps")) {
+        for (const json::Value &entry : mapsJson->items()) {
+          ReportMap map;
+          map.mapType = entry.stringOr("mapType");
+          map.item = entry.stringOr("item");
+          map.approxBytes = entry.uintOr("approxBytes");
+          region.maps.push_back(std::move(map));
+        }
+      }
+      if (const json::Value *updatesJson = regionJson.find("updates")) {
+        for (const json::Value &entry : updatesJson->items()) {
+          ReportUpdate update;
+          update.direction = entry.stringOr("direction");
+          update.item = entry.stringOr("item");
+          update.anchorLine =
+              static_cast<unsigned>(entry.uintOr("anchorLine"));
+          update.placement = entry.stringOr("placement");
+          update.hoisted = entry.boolOr("hoisted");
+          region.updates.push_back(std::move(update));
+        }
+      }
+      if (const json::Value *fpJson = regionJson.find("firstprivates")) {
+        for (const json::Value &entry : fpJson->items()) {
+          ReportFirstprivate fp;
+          fp.var = entry.stringOr("var");
+          fp.kernelLine = static_cast<unsigned>(entry.uintOr("kernelLine"));
+          region.firstprivates.push_back(std::move(fp));
+        }
+      }
+      report.regions.push_back(std::move(region));
+    }
+  }
+
+  return report;
+}
+
+bool Report::operator==(const Report &other) const {
+  return fileName == other.fileName && success == other.success &&
+         stoppedAfter == other.stoppedAfter && metrics == other.metrics &&
+         timings == other.timings && totalSeconds == other.totalSeconds &&
+         diagnostics == other.diagnostics && regions == other.regions &&
+         output == other.output;
+}
+
+} // namespace ompdart

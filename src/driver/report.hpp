@@ -1,0 +1,154 @@
+// Structured pipeline report: the self-contained (no AST pointers) summary
+// a Session produces — plan contents, diagnostics with source locations,
+// Table IV complexity metrics, Table V per-stage timings — with JSON
+// round-trip serialization for benchmarks, batch drivers and the CLI's
+// `--emit=json` mode.
+#pragma once
+
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+/// The pipeline stages of paper Fig. 1, in execution order. `Rewrite`
+/// precedes `Metrics` because metrics are measurement-only and the
+/// transformed source is the tool's primary artifact.
+enum class Stage { Parse, Cfg, Interproc, Plan, Rewrite, Metrics };
+
+inline constexpr unsigned kStageCount = 6;
+
+/// All stages in execution order.
+[[nodiscard]] const std::vector<Stage> &allStages();
+
+[[nodiscard]] const char *stageName(Stage stage);
+
+/// Inverse of `stageName`; nullopt for unknown spellings.
+[[nodiscard]] std::optional<Stage> stageFromName(const std::string &name);
+
+/// Benchmark data-mapping complexity metrics (paper Table IV).
+struct ComplexityMetrics {
+  unsigned kernels = 0;
+  unsigned offloadedLines = 0;
+  unsigned mappedVariables = 0;
+  /// Paper's formula: kernels*vars*4 + (lines/2)*vars*3, where `lines`
+  /// counts the lines of functions containing kernels.
+  std::uint64_t possibleMappings = 0;
+
+  [[nodiscard]] bool operator==(const ComplexityMetrics &other) const {
+    return kernels == other.kernels &&
+           offloadedLines == other.offloadedLines &&
+           mappedVariables == other.mappedVariables &&
+           possibleMappings == other.possibleMappings;
+  }
+};
+
+/// Wall-clock seconds and execution count for one stage. `runs` exposes the
+/// Session's lazy caching: a cached artifact access leaves it unchanged.
+struct StageTiming {
+  Stage stage = Stage::Parse;
+  double seconds = 0.0;
+  unsigned runs = 0;
+
+  [[nodiscard]] bool operator==(const StageTiming &other) const {
+    return stage == other.stage && seconds == other.seconds &&
+           runs == other.runs;
+  }
+};
+
+// --- Plain-data mirrors of the MappingPlan (serializable, AST-free) ---
+
+struct ReportMap {
+  std::string mapType; ///< "to" | "from" | "tofrom" | "alloc"
+  std::string item;    ///< variable name or array section spelling
+  std::uint64_t approxBytes = 0;
+
+  [[nodiscard]] bool operator==(const ReportMap &other) const {
+    return mapType == other.mapType && item == other.item &&
+           approxBytes == other.approxBytes;
+  }
+};
+
+struct ReportUpdate {
+  std::string direction; ///< "to" | "from"
+  std::string item;
+  unsigned anchorLine = 0;
+  std::string placement; ///< "before" | "after" | "body-begin" | "body-end"
+  bool hoisted = false;
+
+  [[nodiscard]] bool operator==(const ReportUpdate &other) const {
+    return direction == other.direction && item == other.item &&
+           anchorLine == other.anchorLine && placement == other.placement &&
+           hoisted == other.hoisted;
+  }
+};
+
+struct ReportFirstprivate {
+  std::string var;
+  unsigned kernelLine = 0;
+
+  [[nodiscard]] bool operator==(const ReportFirstprivate &other) const {
+    return var == other.var && kernelLine == other.kernelLine;
+  }
+};
+
+struct ReportRegion {
+  std::string function;
+  unsigned beginLine = 0;
+  unsigned endLine = 0;
+  bool appendsToKernel = false;
+  std::vector<ReportMap> maps;
+  std::vector<ReportUpdate> updates;
+  std::vector<ReportFirstprivate> firstprivates;
+
+  [[nodiscard]] bool operator==(const ReportRegion &other) const {
+    return function == other.function && beginLine == other.beginLine &&
+           endLine == other.endLine &&
+           appendsToKernel == other.appendsToKernel && maps == other.maps &&
+           updates == other.updates && firstprivates == other.firstprivates;
+  }
+};
+
+struct Report {
+  std::string fileName;
+  bool success = false;
+  /// Name of the last stage that executed (e.g. "plan" under
+  /// `--stop-after=plan`; "metrics" for a full run).
+  std::string stoppedAfter;
+  ComplexityMetrics metrics;
+  std::vector<StageTiming> timings; ///< only stages that ran, in order
+  double totalSeconds = 0.0;        ///< Table V tool time (sum of timings)
+  /// In deterministic source-location order (see `diagnosticBefore`).
+  std::vector<Diagnostic> diagnostics;
+  std::vector<ReportRegion> regions;
+  /// Transformed source; empty when the rewrite stage did not run or the
+  /// Session was configured not to embed it.
+  std::string output;
+
+  [[nodiscard]] bool hasErrors() const {
+    for (const Diagnostic &diag : diagnostics)
+      if (diag.severity == Severity::Error)
+        return true;
+    return false;
+  }
+  [[nodiscard]] double secondsFor(Stage stage) const {
+    for (const StageTiming &timing : timings)
+      if (timing.stage == stage)
+        return timing.seconds;
+    return 0.0;
+  }
+
+  [[nodiscard]] json::Value toJson() const;
+  /// Inverse of `toJson`. Returns nullopt (and sets `error`) on documents
+  /// that are not a serialized Report.
+  [[nodiscard]] static std::optional<Report>
+  fromJson(const json::Value &value, std::string *error = nullptr);
+
+  [[nodiscard]] bool operator==(const Report &other) const;
+};
+
+} // namespace ompdart

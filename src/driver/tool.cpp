@@ -1,174 +1,37 @@
 #include "driver/tool.hpp"
 
-#include "cfg/cfg.hpp"
-#include "frontend/parser.hpp"
-#include "rewrite/rewriter.hpp"
-
-#include <chrono>
-#include <memory>
-#include <set>
-
 namespace ompdart {
-
-namespace {
-
-/// Scans for pre-existing data-mapping directives (paper §IV-A: the input
-/// "should not include any instances of target data or target update").
-bool containsDataDirectives(const Stmt *stmt) {
-  if (stmt == nullptr)
-    return false;
-  if (stmt->kind() == StmtKind::OmpDirective) {
-    const auto *directive = static_cast<const OmpDirectiveStmt *>(stmt);
-    switch (directive->directive()) {
-    case OmpDirectiveKind::TargetData:
-    case OmpDirectiveKind::TargetEnterData:
-    case OmpDirectiveKind::TargetExitData:
-    case OmpDirectiveKind::TargetUpdate:
-      return true;
-    default:
-      return containsDataDirectives(directive->associated());
-    }
-  }
-  switch (stmt->kind()) {
-  case StmtKind::Compound:
-    for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
-      if (containsDataDirectives(sub))
-        return true;
-    return false;
-  case StmtKind::If: {
-    const auto *ifStmt = static_cast<const IfStmt *>(stmt);
-    return containsDataDirectives(ifStmt->thenStmt()) ||
-           containsDataDirectives(ifStmt->elseStmt());
-  }
-  case StmtKind::For:
-    return containsDataDirectives(static_cast<const ForStmt *>(stmt)->body());
-  case StmtKind::While:
-    return containsDataDirectives(
-        static_cast<const WhileStmt *>(stmt)->body());
-  case StmtKind::Do:
-    return containsDataDirectives(static_cast<const DoStmt *>(stmt)->body());
-  case StmtKind::Switch:
-    return containsDataDirectives(
-        static_cast<const SwitchStmt *>(stmt)->body());
-  case StmtKind::Case:
-    return containsDataDirectives(static_cast<const CaseStmt *>(stmt)->sub());
-  case StmtKind::Default:
-    return containsDataDirectives(
-        static_cast<const DefaultStmt *>(stmt)->sub());
-  default:
-    return false;
-  }
-}
-
-ComplexityMetrics metricsFor(const TranslationUnit &unit,
-                             const MappingPlan &plan) {
-  ComplexityMetrics metrics;
-  std::set<const VarDecl *> mapped;
-  for (const RegionPlan &region : plan.regions) {
-    for (const MapSpec &spec : region.maps)
-      mapped.insert(spec.var);
-    for (const FirstprivateInsertion &fp : region.firstprivates)
-      mapped.insert(fp.var);
-  }
-  metrics.mappedVariables = static_cast<unsigned>(mapped.size());
-
-  unsigned kernelFunctionLines = 0;
-  auto cfgs = buildAllCfgs(unit);
-  for (const auto &cfg : cfgs) {
-    if (cfg->kernels().empty())
-      continue;
-    metrics.kernels += static_cast<unsigned>(cfg->kernels().size());
-    for (const OmpDirectiveStmt *kernel : cfg->kernels()) {
-      const SourceRange range = kernel->range();
-      if (range.isValid())
-        metrics.offloadedLines +=
-            range.end.line >= range.begin.line
-                ? range.end.line - range.begin.line + 1
-                : 1;
-    }
-    const SourceRange fnRange = cfg->function()->range();
-    if (fnRange.isValid() && fnRange.end.line >= fnRange.begin.line)
-      kernelFunctionLines += fnRange.end.line - fnRange.begin.line + 1;
-  }
-  // Paper Table IV formula.
-  const std::uint64_t vars = metrics.mappedVariables;
-  metrics.possibleMappings =
-      static_cast<std::uint64_t>(metrics.kernels) * vars * 4 +
-      (static_cast<std::uint64_t>(kernelFunctionLines) / 2) * vars * 3;
-  return metrics;
-}
-
-} // namespace
 
 ToolResult OmpDartTool::run(const std::string &fileName,
                             const std::string &source) const {
-  const auto start = std::chrono::steady_clock::now();
+  Session session(fileName, source, options_.pipelineConfig());
   ToolResult result;
-  result.output = source;
-
-  SourceManager sourceManager(fileName, source);
-  result.ast = std::make_shared<ASTContext>();
-  ASTContext &context = *result.ast;
-  DiagnosticEngine diags;
-  const bool parsed = parseSource(sourceManager, context, diags);
-  if (!parsed) {
-    result.diagnostics = diags.diagnostics();
-    return result;
-  }
-
-  if (options_.rejectExistingDataDirectives) {
-    for (const FunctionDecl *fn : context.unit().functions) {
-      if (fn->isDefined() && containsDataDirectives(fn->body())) {
-        diags.error(fn->range().begin,
-                    "input already contains target data/update directives "
-                    "in '" +
-                        fn->name() + "'; OMPDart expects unmapped input");
-      }
-    }
-    if (diags.hasErrors()) {
-      result.diagnostics = diags.diagnostics();
-      return result;
-    }
-  }
-
-  InterproceduralOptions interprocOptions;
-  if (!options_.planner.interprocedural)
-    interprocOptions.maxPasses = 1;
-  const InterproceduralResult interproc =
-      runInterproceduralAnalysis(context.unit(), interprocOptions);
-
-  result.plan = planMappings(context.unit(), interproc, diags,
-                             options_.planner);
-  result.metrics = metricsFor(context.unit(), result.plan);
-  result.diagnostics = diags.diagnostics();
-  if (diags.hasErrors())
-    return result;
-
-  result.output = applyMappingPlan(sourceManager, result.plan);
-  result.success = true;
-  const auto end = std::chrono::steady_clock::now();
-  result.toolSeconds =
-      std::chrono::duration<double>(end - start).count();
+  result.success = session.run();
+  // Metrics were historically populated even when planning reported errors
+  // (they are measurement-only); force the stage the same way.
+  result.metrics = session.metrics();
+  result.output = session.rewrite();
+  result.plan = session.plan();
+  result.ast = session.shareAst();
+  result.diagnostics = session.diagnostics().diagnostics();
+  result.toolSeconds = session.totalSeconds();
   return result;
 }
 
-ToolResult runOmpDart(const std::string &source, ToolOptions options) {
+ToolResult runOmpDart(const std::string &source, ToolOptions options,
+                      const std::string &fileName) {
   OmpDartTool tool(options);
-  return tool.run("input.c", source);
+  return tool.run(fileName, source);
 }
 
 ComplexityMetrics computeComplexity(const std::string &source) {
-  SourceManager sourceManager("input.c", source);
-  ASTContext context;
-  DiagnosticEngine diags;
-  if (!parseSource(sourceManager, context, diags))
-    return {};
-  const InterproceduralResult interproc =
-      runInterproceduralAnalysis(context.unit());
-  DiagnosticEngine planDiags;
-  const MappingPlan plan =
-      planMappings(context.unit(), interproc, planDiags);
-  return metricsFor(context.unit(), plan);
+  PipelineConfig config;
+  // Metrics-only query: tolerate inputs that already contain data
+  // directives (matches the historical behavior, which never ran the
+  // §IV-A input check on this path).
+  config.rejectExistingDataDirectives = false;
+  Session session("<input>", source, config);
+  return session.metrics();
 }
 
 } // namespace ompdart

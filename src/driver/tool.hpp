@@ -1,34 +1,30 @@
-// OMPDart tool façade: the full source-to-source pipeline of Fig. 1 in the
-// paper (Clang-equivalent front end -> AST-CFG -> interprocedural pass ->
-// data-flow analysis -> rewriter), plus the Table IV complexity counters and
-// Table V tool-overhead timing.
+// OMPDart tool façade — now a thin compatibility shim over the staged
+// pipeline API in driver/pipeline.hpp. New code should use `Session`
+// directly (stage artifacts, per-stage timing, structured reports) or
+// `BatchDriver` for many inputs; this header keeps the original one-call
+// interface for existing consumers.
 #pragma once
 
-#include "frontend/ast.hpp"
-#include "mapping/planner.hpp"
-#include "support/diagnostics.hpp"
+#include "driver/pipeline.hpp"
 
-#include <cstdint>
 #include <memory>
 #include <string>
 
 namespace ompdart {
-
-/// Benchmark data-mapping complexity metrics (paper Table IV).
-struct ComplexityMetrics {
-  unsigned kernels = 0;
-  unsigned offloadedLines = 0;
-  unsigned mappedVariables = 0;
-  /// Paper's formula: kernels*vars*4 + (lines/2)*vars*3, where `lines`
-  /// counts the lines of functions containing kernels.
-  std::uint64_t possibleMappings = 0;
-};
 
 struct ToolOptions {
   PlannerOptions planner;
   /// Reject inputs that already contain target data / target update
   /// directives (paper §IV-A: the expected input has none).
   bool rejectExistingDataDirectives = true;
+
+  /// The equivalent staged-pipeline configuration.
+  [[nodiscard]] PipelineConfig pipelineConfig() const {
+    PipelineConfig config;
+    config.planner = planner;
+    config.rejectExistingDataDirectives = rejectExistingDataDirectives;
+    return config;
+  }
 };
 
 struct ToolResult {
@@ -53,7 +49,7 @@ struct ToolResult {
   }
 };
 
-/// Runs OMPDart on one translation unit.
+/// Runs OMPDart on one translation unit (compat shim over `Session`).
 class OmpDartTool {
 public:
   explicit OmpDartTool(ToolOptions options = {}) : options_(options) {}
@@ -65,9 +61,11 @@ private:
   ToolOptions options_;
 };
 
-/// One-call helper.
+/// One-call helper. `fileName` is threaded into diagnostics and reports so
+/// callers that only have a source string still get attributable output.
 [[nodiscard]] ToolResult runOmpDart(const std::string &source,
-                                    ToolOptions options = {});
+                                    ToolOptions options = {},
+                                    const std::string &fileName = "<input>");
 
 /// Computes Table IV metrics for a source (independent of transformation).
 [[nodiscard]] ComplexityMetrics computeComplexity(const std::string &source);

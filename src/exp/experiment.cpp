@@ -1,6 +1,6 @@
 #include "exp/experiment.hpp"
 
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "interp/interp.hpp"
 
 #include <cmath>
@@ -79,18 +79,25 @@ BenchmarkComparison runBenchmark(const suite::BenchmarkDef &def,
   cmp.name = def.name;
   cmp.paper = def.paper;
 
-  // OMPDart variant: run the tool on the unoptimized source.
-  const ToolResult tool = runOmpDart(def.unoptimized);
-  cmp.toolSeconds = tool.toolSeconds;
-  cmp.transformedSource = tool.output;
-  cmp.kernels = tool.metrics.kernels;
-  cmp.offloadedLines = tool.metrics.offloadedLines;
-  cmp.mappedVariables = tool.metrics.mappedVariables;
-  cmp.possibleMappings = tool.metrics.possibleMappings;
+  // OMPDart variant: run the staged pipeline on the unoptimized source.
+  // The transformed text lives in cmp.transformedSource; don't duplicate it
+  // inside the report.
+  PipelineConfig config;
+  config.includeOutputInReport = false;
+  Session session(def.name + ".c", def.unoptimized, config);
+  const bool toolOk = session.run();
+  const ComplexityMetrics &metrics = session.metrics();
+  cmp.toolReport = session.report();
+  cmp.toolSeconds = cmp.toolReport.totalSeconds;
+  cmp.transformedSource = session.rewrite();
+  cmp.kernels = metrics.kernels;
+  cmp.offloadedLines = metrics.offloadedLines;
+  cmp.mappedVariables = metrics.mappedVariables;
+  cmp.possibleMappings = metrics.possibleMappings;
 
   cmp.unoptimized = measureVariant("unoptimized", def.unoptimized, model);
   cmp.ompdart = measureVariant(
-      "ompdart", tool.success ? tool.output : def.unoptimized, model);
+      "ompdart", toolOk ? cmp.transformedSource : def.unoptimized, model);
   cmp.expert = measureVariant("expert", def.expert, model);
 
   cmp.outputsMatch = cmp.unoptimized.ok && cmp.ompdart.ok && cmp.expert.ok &&

@@ -6,6 +6,7 @@
 // derives transfer/runtime comparisons from the ledgers and cost model.
 #pragma once
 
+#include "driver/report.hpp"
 #include "sim/runtime.hpp"
 #include "suite/benchmarks.hpp"
 
@@ -46,6 +47,9 @@ struct BenchmarkComparison {
   bool outputsMatch = false;
   /// Tool execution time on this benchmark (Table V).
   double toolSeconds = 0.0;
+  /// Full pipeline report for the OMPDart variant (per-stage timings,
+  /// diagnostics, plan summary); `toolSeconds` mirrors its total.
+  Report toolReport;
   /// Complexity metrics of this benchmark measured on our re-authoring.
   unsigned kernels = 0;
   unsigned offloadedLines = 0;

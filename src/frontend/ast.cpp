@@ -209,6 +209,18 @@ const char *directiveSpelling(OmpDirectiveKind kind) {
   return "?";
 }
 
+bool varDeclBefore(const VarDecl *a, const VarDecl *b) {
+  if (a == b)
+    return false;
+  if (a == nullptr || b == nullptr)
+    return b != nullptr; // nulls last
+  // SourceLocation::kInvalid is the max offset, so undeclared (synthesized)
+  // variables naturally sort last.
+  if (a->range().begin.offset != b->range().begin.offset)
+    return a->range().begin.offset < b->range().begin.offset;
+  return a->name() < b->name();
+}
+
 const char *mapTypeSpelling(OmpMapType type) {
   switch (type) {
   case OmpMapType::To:

@@ -626,6 +626,12 @@ private:
   SourceRange declStmtRange_;
 };
 
+/// Deterministic variable ordering: by declaration source offset, then
+/// name. Use this wherever a pointer-keyed container's iteration order
+/// would otherwise leak heap layout into tool output (map clause order must
+/// be identical across Sessions, processes and threads).
+[[nodiscard]] bool varDeclBefore(const VarDecl *a, const VarDecl *b);
+
 struct FieldDecl {
   std::string name;
   const Type *type = nullptr;

@@ -96,8 +96,12 @@ MappingPlanner::MappingPlanner(const TranslationUnit &unit,
       mallocExtents_(unit) {}
 
 MappingPlan MappingPlanner::plan() {
+  return plan(buildAllCfgs(unit_));
+}
+
+MappingPlan
+MappingPlanner::plan(const std::vector<std::unique_ptr<AstCfg>> &cfgs) {
   MappingPlan result;
-  auto cfgs = buildAllCfgs(unit_);
   for (const auto &cfg : cfgs) {
     if (cfg->kernels().empty())
       continue;
@@ -246,8 +250,16 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
     walker.visit(fn->body());
   }
 
-  // Region-exit decisions.
-  for (auto &[var, facts] : facts_) {
+  // Region-exit decisions, in declaration order so map clause order is
+  // stable across Sessions (facts_ is pointer-keyed; its iteration order
+  // depends on heap layout).
+  std::vector<VarDecl *> exitVars;
+  exitVars.reserve(facts_.size());
+  for (auto &[var, facts] : facts_)
+    exitVars.push_back(var);
+  std::sort(exitVars.begin(), exitVars.end(), varDeclBefore);
+  for (VarDecl *var : exitVars) {
+    VarFacts &facts = facts_[var];
     if (!facts.referencedInKernel)
       continue;
     const VarState &state = ctx.state[var];
@@ -325,6 +337,9 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
         continue;
       firstprivateVars.push_back(var);
     }
+    // Declaration order, for the same stability reason as the map clauses.
+    std::sort(firstprivateVars.begin(), firstprivateVars.end(),
+              varDeclBefore);
     for (VarDecl *var : firstprivateVars) {
       region.maps.erase(
           std::remove_if(region.maps.begin(), region.maps.end(),
@@ -909,9 +924,10 @@ MappingPlanner::sectionFor(VarDecl *var) const {
 
 MappingPlan planMappings(const TranslationUnit &unit,
                          const InterproceduralResult &interproc,
-                         DiagnosticEngine &diags, PlannerOptions options) {
+                         DiagnosticEngine &diags, PlannerOptions options,
+                         const std::vector<std::unique_ptr<AstCfg>> *cfgs) {
   MappingPlanner planner(unit, interproc, diags, options);
-  return planner.plan();
+  return cfgs != nullptr ? planner.plan(*cfgs) : planner.plan();
 }
 
 } // namespace ompdart

@@ -50,6 +50,11 @@ public:
   /// Plans regions for every defined function that launches kernels.
   [[nodiscard]] MappingPlan plan();
 
+  /// Same, but reuses caller-provided AST-CFGs (the Session's cached `cfg()`
+  /// artifact) instead of rebuilding them.
+  [[nodiscard]] MappingPlan
+  plan(const std::vector<std::unique_ptr<AstCfg>> &cfgs);
+
 private:
   struct VarState {
     bool hostValid = true;
@@ -137,10 +142,12 @@ private:
   std::size_t regionEndOffset_ = 0;
 };
 
-/// Convenience: full pipeline for a parsed unit.
-[[nodiscard]] MappingPlan planMappings(const TranslationUnit &unit,
-                                       const InterproceduralResult &interproc,
-                                       DiagnosticEngine &diags,
-                                       PlannerOptions options = {});
+/// Convenience: full pipeline for a parsed unit. When `cfgs` is non-null the
+/// planner reuses those AST-CFGs instead of rebuilding them.
+[[nodiscard]] MappingPlan
+planMappings(const TranslationUnit &unit,
+             const InterproceduralResult &interproc, DiagnosticEngine &diags,
+             PlannerOptions options = {},
+             const std::vector<std::unique_ptr<AstCfg>> *cfgs = nullptr);
 
 } // namespace ompdart

@@ -1,5 +1,8 @@
 #include "support/diagnostics.hpp"
 
+#include <algorithm>
+#include <ostream>
+
 namespace ompdart {
 
 const char *severityName(Severity severity) {
@@ -26,11 +29,35 @@ std::string Diagnostic::str() const {
   return out;
 }
 
+bool diagnosticBefore(const Diagnostic &a, const Diagnostic &b) {
+  // SourceLocation::kInvalid is the max offset, so invalid locations
+  // naturally sort last.
+  if (a.location.offset != b.location.offset)
+    return a.location.offset < b.location.offset;
+  if (a.severity != b.severity)
+    return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+  return a.message < b.message;
+}
+
+void StreamSink::handle(const Diagnostic &diagnostic) {
+  if (!fileName_.empty())
+    out_ << fileName_ << ":";
+  out_ << diagnostic.str() << "\n";
+}
+
 void DiagnosticEngine::report(Severity severity, SourceLocation loc,
                               std::string message) {
   if (severity == Severity::Error)
     ++errorCount_;
   diagnostics_.push_back(Diagnostic{severity, loc, std::move(message)});
+  if (sink_ != nullptr)
+    sink_->handle(diagnostics_.back());
+}
+
+std::vector<Diagnostic> DiagnosticEngine::sortedDiagnostics() const {
+  std::vector<Diagnostic> sorted = diagnostics_;
+  std::stable_sort(sorted.begin(), sorted.end(), diagnosticBefore);
+  return sorted;
 }
 
 std::string DiagnosticEngine::summary() const {

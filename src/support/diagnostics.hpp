@@ -2,10 +2,18 @@
 // The tool reports analysis obstacles through this channel (e.g. the paper's
 // "declaration must precede the target data region" error) instead of
 // aborting, so callers can decide how to proceed.
+//
+// Emission is pluggable: the engine always collects into a vector (the
+// default sink behavior every API consumer relies on) and additionally
+// forwards each diagnostic to an attached DiagnosticSink — the CLI attaches
+// a stderr pretty-printer, batch drivers attach per-session collectors.
+// `sortedDiagnostics()` gives a deterministic source-location order so
+// concurrent batch runs produce stable output.
 #pragma once
 
 #include "support/source_location.hpp"
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -22,6 +30,48 @@ struct Diagnostic {
 
   /// "12:3: error: ..." rendering used in test expectations and CLI output.
   [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] bool operator==(const Diagnostic &other) const {
+    return severity == other.severity && location == other.location &&
+           message == other.message;
+  }
+};
+
+/// Deterministic order: by source location (invalid locations last), then
+/// severity (errors first), then message text.
+[[nodiscard]] bool diagnosticBefore(const Diagnostic &a, const Diagnostic &b);
+
+/// Receives each diagnostic as it is reported.
+class DiagnosticSink {
+public:
+  virtual ~DiagnosticSink() = default;
+  virtual void handle(const Diagnostic &diagnostic) = 0;
+};
+
+/// Appends into a caller-owned vector (batch drivers aggregating across
+/// sessions).
+class CollectingSink : public DiagnosticSink {
+public:
+  explicit CollectingSink(std::vector<Diagnostic> &out) : out_(out) {}
+  void handle(const Diagnostic &diagnostic) override {
+    out_.push_back(diagnostic);
+  }
+
+private:
+  std::vector<Diagnostic> &out_;
+};
+
+/// Pretty-prints "file:line:col: severity: message" lines to a stream; the
+/// CLI attaches one over stderr.
+class StreamSink : public DiagnosticSink {
+public:
+  explicit StreamSink(std::ostream &out, std::string fileName = "")
+      : out_(out), fileName_(std::move(fileName)) {}
+  void handle(const Diagnostic &diagnostic) override;
+
+private:
+  std::ostream &out_;
+  std::string fileName_;
 };
 
 class DiagnosticEngine {
@@ -38,9 +88,19 @@ public:
     report(Severity::Note, loc, std::move(message));
   }
 
+  /// Attaches an additional (non-owning) sink; diagnostics reported from now
+  /// on are forwarded to it as well as collected. Null detaches.
+  void setSink(DiagnosticSink *sink) { sink_ = sink; }
+  [[nodiscard]] DiagnosticSink *sink() const { return sink_; }
+
+  /// Diagnostics in emission order.
   [[nodiscard]] const std::vector<Diagnostic> &diagnostics() const {
     return diagnostics_;
   }
+  /// Diagnostics in deterministic source-location order (see
+  /// `diagnosticBefore`); the order batch runs and reports use.
+  [[nodiscard]] std::vector<Diagnostic> sortedDiagnostics() const;
+
   [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
   [[nodiscard]] unsigned errorCount() const { return errorCount_; }
 
@@ -52,6 +112,7 @@ public:
 private:
   std::vector<Diagnostic> diagnostics_;
   unsigned errorCount_ = 0;
+  DiagnosticSink *sink_ = nullptr;
 };
 
 } // namespace ompdart

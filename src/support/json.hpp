@@ -1,0 +1,126 @@
+// Minimal JSON value model with a deterministic writer and a strict parser.
+// Objects preserve insertion order so serialized reports are byte-stable
+// across runs (a requirement for batch output and golden tests). Integers
+// are kept distinct from doubles so 64-bit counters (byte totals, Table IV
+// possible-mapping counts) round-trip exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ompdart::json {
+
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() = default;
+  Value(bool value) : kind_(Kind::Bool), bool_(value) {}
+  Value(int value) : kind_(Kind::Int), int_(value) {}
+  Value(unsigned value) : kind_(Kind::Int), int_(value) {}
+  Value(std::int64_t value) : kind_(Kind::Int), int_(value) {}
+  Value(std::uint64_t value)
+      : kind_(Kind::Int), int_(static_cast<std::int64_t>(value)) {}
+  Value(double value) : kind_(Kind::Double), double_(value) {}
+  Value(const char *value) : kind_(Kind::String), string_(value) {}
+  Value(std::string value) : kind_(Kind::String), string_(std::move(value)) {}
+
+  [[nodiscard]] static Value array() {
+    Value value;
+    value.kind_ = Kind::Array;
+    return value;
+  }
+  [[nodiscard]] static Value object() {
+    Value value;
+    value.kind_ = Kind::Object;
+    return value;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+
+  [[nodiscard]] bool asBool(bool fallback = false) const {
+    return kind_ == Kind::Bool ? bool_ : fallback;
+  }
+  [[nodiscard]] std::int64_t asInt(std::int64_t fallback = 0) const {
+    if (kind_ == Kind::Int)
+      return int_;
+    if (kind_ == Kind::Double)
+      return static_cast<std::int64_t>(double_);
+    return fallback;
+  }
+  [[nodiscard]] std::uint64_t asUint(std::uint64_t fallback = 0) const {
+    return kind_ == Kind::Int ? static_cast<std::uint64_t>(int_)
+           : kind_ == Kind::Double ? static_cast<std::uint64_t>(double_)
+                                   : fallback;
+  }
+  [[nodiscard]] double asDouble(double fallback = 0.0) const {
+    if (kind_ == Kind::Double)
+      return double_;
+    if (kind_ == Kind::Int)
+      return static_cast<double>(int_);
+    return fallback;
+  }
+  [[nodiscard]] const std::string &asString() const { return string_; }
+
+  [[nodiscard]] const std::vector<Value> &items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>> &
+  members() const {
+    return members_;
+  }
+
+  /// Appends to an array value (converts a null value to an array).
+  void push(Value value);
+
+  /// Sets/overwrites an object member (converts a null value to an object).
+  void set(const std::string &key, Value value);
+
+  /// Object member lookup; null when absent or not an object.
+  [[nodiscard]] const Value *find(const std::string &key) const;
+
+  /// Member access with fallbacks for report deserialization.
+  [[nodiscard]] std::string stringOr(const std::string &key,
+                                     const std::string &fallback = "") const;
+  [[nodiscard]] std::int64_t intOr(const std::string &key,
+                                   std::int64_t fallback = 0) const;
+  [[nodiscard]] std::uint64_t uintOr(const std::string &key,
+                                     std::uint64_t fallback = 0) const;
+  [[nodiscard]] double doubleOr(const std::string &key,
+                                double fallback = 0.0) const;
+  [[nodiscard]] bool boolOr(const std::string &key,
+                            bool fallback = false) const;
+
+  [[nodiscard]] bool operator==(const Value &other) const;
+  [[nodiscard]] bool operator!=(const Value &other) const {
+    return !(*this == other);
+  }
+
+  /// Serializes with 2-space indentation when `pretty`, compact otherwise.
+  [[nodiscard]] std::string dump(bool pretty = false) const;
+
+  /// Strict parse of a complete JSON document. On failure returns nullopt
+  /// and, when `error` is non-null, a "line:col: message" description.
+  [[nodiscard]] static std::optional<Value> parse(const std::string &text,
+                                                  std::string *error = nullptr);
+
+private:
+  void dumpTo(std::string &out, bool pretty, unsigned depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// JSON string escaping (quotes not included).
+[[nodiscard]] std::string escape(const std::string &text);
+
+} // namespace ompdart::json

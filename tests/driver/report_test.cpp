@@ -1,0 +1,129 @@
+// JSON report round-trip and Stage naming tests.
+#include "driver/pipeline.hpp"
+#include "driver/report.hpp"
+#include "suite/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+const char *const kSaxpySource =
+    R"(void saxpy(double *x, double *y, int n) {
+  double a = 2.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; ++i) {
+      y[i] = a * x[i] + y[i];
+    }
+  }
+}
+)";
+
+TEST(StageTest, NamesRoundTrip) {
+  for (const Stage stage : allStages()) {
+    const std::optional<Stage> parsed = stageFromName(stageName(stage));
+    ASSERT_TRUE(parsed.has_value()) << stageName(stage);
+    EXPECT_EQ(*parsed, stage);
+  }
+  EXPECT_FALSE(stageFromName("nonsense").has_value());
+  EXPECT_FALSE(stageFromName("").has_value());
+}
+
+TEST(ReportTest, JsonRoundTripOnQuickstart) {
+  Session session("saxpy.c", kSaxpySource);
+  ASSERT_TRUE(session.run());
+  const Report &report = session.report();
+
+  const std::string serialized = report.toJson().dump(/*pretty=*/true);
+  std::string parseError;
+  const std::optional<json::Value> parsed =
+      json::Value::parse(serialized, &parseError);
+  ASSERT_TRUE(parsed.has_value()) << parseError;
+
+  std::string reportError;
+  const std::optional<Report> restored =
+      Report::fromJson(*parsed, &reportError);
+  ASSERT_TRUE(restored.has_value()) << reportError;
+  EXPECT_EQ(*restored, report);
+}
+
+TEST(ReportTest, JsonRoundTripOnFailedRun) {
+  Session session("broken.c", "void f( {");
+  session.run();
+  const Report &report = session.report();
+  ASSERT_FALSE(report.success);
+  ASSERT_FALSE(report.diagnostics.empty());
+
+  const std::optional<json::Value> parsed =
+      json::Value::parse(report.toJson().dump());
+  ASSERT_TRUE(parsed.has_value());
+  const std::optional<Report> restored = Report::fromJson(*parsed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, report);
+}
+
+TEST(ReportTest, JsonRoundTripAcrossTheSuite) {
+  // Every suite program's report must survive serialization exactly —
+  // updates, firstprivates, multi-region plans, large byte counts.
+  for (const auto &def : suite::allBenchmarks()) {
+    Session session(def.name + ".c", def.unoptimized);
+    ASSERT_TRUE(session.run()) << def.name;
+    const Report &report = session.report();
+    const std::optional<json::Value> parsed =
+        json::Value::parse(report.toJson().dump(/*pretty=*/true));
+    ASSERT_TRUE(parsed.has_value()) << def.name;
+    const std::optional<Report> restored = Report::fromJson(*parsed);
+    ASSERT_TRUE(restored.has_value()) << def.name;
+    EXPECT_EQ(*restored, report) << def.name;
+  }
+}
+
+TEST(ReportTest, FromJsonRejectsNonReports) {
+  std::string error;
+  EXPECT_FALSE(Report::fromJson(json::Value(3), &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  json::Value badStage = json::Value::object();
+  json::Value timings = json::Value::array();
+  json::Value entry = json::Value::object();
+  entry.set("stage", "warp-drive");
+  timings.push(std::move(entry));
+  badStage.set("timings", std::move(timings));
+  EXPECT_FALSE(Report::fromJson(badStage).has_value());
+}
+
+TEST(ReportTest, DiagnosticsAreSortedBySourceLocation) {
+  // Two errors on different lines: the report must list them in source
+  // order regardless of discovery order.
+  const char *const twoErrors = R"(int main() {
+  int a[4] = {};
+  #pragma omp target data map(tofrom: a)
+  {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 4; ++i) a[i] = i;
+  }
+  #pragma omp target update to(a)
+  return 0;
+}
+)";
+  Session session("two.c", twoErrors);
+  session.run();
+  const Report &report = session.report();
+  for (std::size_t i = 1; i < report.diagnostics.size(); ++i)
+    EXPECT_FALSE(diagnosticBefore(report.diagnostics[i],
+                                  report.diagnostics[i - 1]));
+}
+
+TEST(ReportTest, SecondsForUnknownStageIsZero) {
+  PipelineConfig config;
+  config.stopAfter = Stage::Parse;
+  Session session("s.c", kSaxpySource, config);
+  session.run();
+  const Report &report = session.report();
+  EXPECT_GT(report.secondsFor(Stage::Parse), 0.0);
+  EXPECT_EQ(report.secondsFor(Stage::Rewrite), 0.0);
+}
+
+} // namespace
+} // namespace ompdart

@@ -2,7 +2,7 @@
 // target data reference counting, updates, firstprivate, plus the pipeline
 // property at the heart of the paper's evaluation — OMPDart-transformed
 // programs produce identical output with strictly less data transfer.
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "interp/interp.hpp"
 
 #include <gtest/gtest.h>
@@ -310,9 +310,9 @@ struct VariantComparison {
 VariantComparison compareTransformed(const std::string &source) {
   VariantComparison cmp;
   cmp.unoptimized = runProgram(source);
-  auto tool = runOmpDart(source);
-  EXPECT_TRUE(tool.success) << "tool failed";
-  cmp.transformed = runProgram(tool.output);
+  Session session("variant.c", source);
+  EXPECT_TRUE(session.run()) << "tool failed";
+  cmp.transformed = runProgram(session.rewrite());
   return cmp;
 }
 

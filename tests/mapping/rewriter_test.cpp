@@ -1,8 +1,8 @@
 // End-to-end rewriting tests: source in, transformed source out. These
-// exercise the full pipeline (parse -> analyses -> plan -> rewrite) the way
-// the paper's evaluation does, checking the *text* of the inserted
-// directives.
-#include "driver/tool.hpp"
+// exercise the full staged pipeline (parse -> cfg -> interproc -> plan ->
+// rewrite -> metrics) through the Session API, the way the paper's
+// evaluation does, checking the *text* of the inserted directives.
+#include "driver/pipeline.hpp"
 #include "frontend/parser.hpp"
 #include "rewrite/rewriter.hpp"
 
@@ -10,6 +10,29 @@
 
 namespace ompdart {
 namespace {
+
+/// Plain-data snapshot of one Session run (the test bodies only look at
+/// text and metrics).
+struct PipelineRun {
+  bool success = false;
+  std::string output;
+  ComplexityMetrics metrics;
+  double toolSeconds = 0.0;
+  bool errors = false;
+
+  [[nodiscard]] bool hasErrors() const { return errors; }
+};
+
+PipelineRun runPipeline(const std::string &source) {
+  Session session("test.c", source);
+  PipelineRun run;
+  run.success = session.run();
+  run.output = session.rewrite();
+  run.metrics = session.metrics();
+  run.toolSeconds = session.totalSeconds();
+  run.errors = session.diagnostics().hasErrors();
+  return run;
+}
 
 /// The transformed source must itself be parseable.
 void expectParseable(const std::string &source) {
@@ -48,7 +71,7 @@ TEST(RewriteEndToEnd, ListingOneWrapsLoopInDataRegion) {
   }
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success) << result.output;
   EXPECT_NE(result.output.find("#pragma omp target data"),
             std::string::npos);
@@ -67,7 +90,7 @@ TEST(RewriteEndToEnd, SingleKernelAppendsToPragma) {
   }
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   // No separate data region: the map clause lands on the kernel pragma.
   EXPECT_EQ(result.output.find("#pragma omp target data"),
@@ -91,7 +114,7 @@ TEST(RewriteEndToEnd, UpdateFromInsertedBeforeHostRead) {
   a[0] = sum;
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   const auto updatePos = result.output.find("#pragma omp target update from(");
   ASSERT_NE(updatePos, std::string::npos) << result.output;
@@ -112,7 +135,7 @@ TEST(RewriteEndToEnd, FirstprivateAppendedToKernelPragma) {
   }
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   // factor (and the read-only bound n) become firstprivate on the kernel.
   EXPECT_NE(result.output.find("firstprivate(factor"), std::string::npos)
@@ -136,7 +159,7 @@ TEST(RewriteEndToEnd, ConsolidatesUpdatesAtSamePoint) {
   a[0] = total;
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   // Both arrays update at the same point: a single consolidated directive.
   std::size_t count = 0;
@@ -166,7 +189,7 @@ TEST(RewriteEndToEnd, MapClausesGroupedByType) {
   }
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   EXPECT_NE(result.output.find("map(to: in[0:"), std::string::npos)
       << result.output;
@@ -185,14 +208,14 @@ TEST(RewriteEndToEnd, RejectsInputWithExistingDataDirectives) {
   }
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   EXPECT_FALSE(result.success);
   EXPECT_TRUE(result.hasErrors());
 }
 
 TEST(RewriteEndToEnd, OutputIsStableUnderNoKernels) {
   const std::string source = "int f(int x) { return x + 1; }\n";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.output, source);
 }
@@ -205,7 +228,7 @@ TEST(RewriteEndToEnd, ToolReportsTiming) {
   }
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   EXPECT_GT(result.toolSeconds, 0.0);
   EXPECT_LT(result.toolSeconds, 5.0);
@@ -223,7 +246,7 @@ TEST(RewriteEndToEnd, ComplexityMetricsMatchStructure) {
   }
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.metrics.kernels, 2u);
   EXPECT_GE(result.metrics.mappedVariables, 2u);
@@ -249,7 +272,7 @@ TEST(RewriteEndToEnd, BackpropMotifUpdatePlacement) {
   }
 }
 )";
-  auto result = runOmpDart(source);
+  const PipelineRun result = runPipeline(source);
   ASSERT_TRUE(result.success);
   const auto updatePos =
       result.output.find("#pragma omp target update from(partial_sum");

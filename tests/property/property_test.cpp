@@ -9,7 +9,7 @@
 //   P4  running the tool on its own output is rejected (the §IV-A input
 //       contract), and
 //   P5  the device data environment ends balanced (everything unmapped).
-#include "driver/tool.hpp"
+#include "driver/pipeline.hpp"
 #include "frontend/parser.hpp"
 #include "interp/interp.hpp"
 
@@ -140,43 +140,44 @@ TEST_P(PropertyTest, PipelineInvariants) {
   const auto baseline = interp::runProgram(source);
   ASSERT_TRUE(baseline.ok) << baseline.error;
 
-  const ToolResult tool = runOmpDart(source);
-  ASSERT_TRUE(tool.success) << [&] {
+  Session session("generated.c", source);
+  ASSERT_TRUE(session.run()) << [&] {
     std::string out;
-    for (const auto &diag : tool.diagnostics)
+    for (const auto &diag : session.diagnostics().sortedDiagnostics())
       out += diag.str() + "\n";
     return out;
   }();
+  const std::string &output = session.rewrite();
 
   // P1: the transformed output re-parses.
   {
-    SourceManager sourceManager("out.c", tool.output);
+    SourceManager sourceManager("out.c", output);
     ASTContext context;
     DiagnosticEngine diags;
     EXPECT_TRUE(parseSource(sourceManager, context, diags))
         << diags.summary() << "\n--- transformed ---\n"
-        << tool.output;
+        << output;
   }
 
   // P2: identical observable behaviour.
-  const auto transformed = interp::runProgram(tool.output);
+  const auto transformed = interp::runProgram(output);
   ASSERT_TRUE(transformed.ok)
-      << transformed.error << "\n--- transformed ---\n" << tool.output;
+      << transformed.error << "\n--- transformed ---\n" << output;
   EXPECT_EQ(baseline.output, transformed.output)
       << "--- transformed ---\n"
-      << tool.output;
+      << output;
 
   // P3: never more traffic than the implicit rules.
   EXPECT_LE(transformed.ledger.totalBytes(), baseline.ledger.totalBytes())
       << "--- transformed ---\n"
-      << tool.output;
+      << output;
   EXPECT_LE(transformed.ledger.totalCalls(), baseline.ledger.totalCalls());
 
   // P4: the tool rejects its own output when it inserted data directives.
-  if (tool.output.find("#pragma omp target data") != std::string::npos ||
-      tool.output.find("#pragma omp target update") != std::string::npos) {
-    const ToolResult again = runOmpDart(tool.output);
-    EXPECT_FALSE(again.success);
+  if (output.find("#pragma omp target data") != std::string::npos ||
+      output.find("#pragma omp target update") != std::string::npos) {
+    Session again("generated2.c", output);
+    EXPECT_FALSE(again.run());
   }
 
   // P5: kernel launches unchanged (the tool must not alter computation).
