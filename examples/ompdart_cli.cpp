@@ -1,13 +1,15 @@
 // Command-line front end over the staged pipeline API: read a C file with
 // OpenMP offload kernels, run the pipeline (optionally stopping after a
-// given stage), and emit transformed source, the mapping plan, or the full
-// JSON report.
+// given stage), and emit transformed source, the mapping plan, the
+// serialized Mapping IR, or the full JSON report.
 //
 //   $ ./ompdart_cli input.c                    # transformed source to stdout
 //   $ ./ompdart_cli input.c -o output.c        # ... or to a file
 //   $ ./ompdart_cli input.c --emit=json        # structured report (plan,
 //                                              #  diagnostics, timings)
 //   $ ./ompdart_cli input.c --emit=plan        # human-readable plan summary
+//   $ ./ompdart_cli input.c --emit=ir          # self-contained Mapping IR
+//   $ ./ompdart_cli input.c --cost-model=sim   # cost-driven candidate choice
 //   $ ./ompdart_cli input.c --stop-after=plan --emit=json
 //   $ ./ompdart_cli input.c --dump-ast         # front-end debugging
 //   $ ./ompdart_cli input.c --no-firstprivate --no-hoist
@@ -20,45 +22,64 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
+
+const std::vector<std::string> &emitKinds() {
+  static const std::vector<std::string> kinds = {"source", "plan", "ir",
+                                                 "json"};
+  return kinds;
+}
+
+std::string joined(const std::vector<std::string> &names) {
+  std::string out;
+  for (const std::string &name : names)
+    out += (out.empty() ? "" : " | ") + name;
+  return out;
+}
 
 void usage(const char *argv0) {
   std::printf(
       "usage: %s <input.c> [options]\n"
       "  -o <file>            write output to <file> instead of stdout\n"
-      "  --emit=<kind>        source (default) | plan | json\n"
+      "  --emit=<kind>        %s (default: source)\n"
       "  --stop-after=<stage> parse | cfg | interproc | plan | rewrite |"
       " metrics\n"
+      "  --cost-model=<name>  %s (default: paper-greedy)\n"
       "  --dump-ast           print the AST instead of transforming\n"
       "  --no-firstprivate    disable the firstprivate optimization\n"
       "  --no-hoist           disable Algorithm 1 update hoisting\n"
       "  --per-kernel         do not extend data regions over loops\n"
       "  --no-interproc       disable the interprocedural fixed point\n",
-      argv0);
+      argv0, joined(emitKinds()).c_str(),
+      joined(ompdart::costModelNames()).c_str());
 }
 
 std::string renderPlanSummary(ompdart::Session &session) {
   std::ostringstream out;
   const ompdart::Report &report = session.report();
-  for (const ompdart::ReportRegion &region : report.regions) {
-    out << "function '" << region.function << "' (lines " << region.beginLine
-        << ".." << region.endLine << ", "
+  for (const ompdart::ir::Region &region : report.plan.regions) {
+    out << "function '" << region.function << "' (lines "
+        << region.beginLine() << ".." << region.endLine() << ", "
         << (region.appendsToKernel ? "clauses on kernel pragma"
                                    : "new target data region")
         << ")\n";
-    for (const ompdart::ReportMap &map : region.maps)
-      out << "  map(" << map.mapType << ": " << map.item << ")  ~"
-          << map.approxBytes << " bytes\n";
-    for (const ompdart::ReportUpdate &update : region.updates)
-      out << "  update " << update.direction << "(" << update.item
-          << ") at line " << update.anchorLine << " [" << update.placement
+    for (const ompdart::ir::MapItem &map : region.maps)
+      out << "  map("
+          << ompdart::ir::mapTypeSpellingWithModifiers(map.type,
+                                                       map.modifiers)
+          << ": " << map.item << ")  ~" << map.approxBytes << " bytes\n";
+    for (const ompdart::ir::UpdateItem &update : region.updates)
+      out << "  update " << ompdart::ir::updateDirectionName(update.direction)
+          << "(" << update.item << ") at line " << update.anchor.line << " ["
+          << ompdart::ir::updatePlacementName(update.placement)
           << (update.hoisted ? ", hoisted" : "") << "]\n";
-    for (const ompdart::ReportFirstprivate &fp : region.firstprivates)
+    for (const ompdart::ir::FirstprivateItem &fp : region.firstprivates)
       out << "  firstprivate(" << fp.var << ") on kernel at line "
           << fp.kernelLine << "\n";
   }
-  if (report.regions.empty())
+  if (report.plan.regions.empty())
     out << "no target data regions planned\n";
   return out.str();
 }
@@ -83,8 +104,12 @@ int main(int argc, char **argv) {
       dumpAst = true;
     } else if (arg.rfind("--emit=", 0) == 0) {
       emit = arg.substr(7);
-      if (emit != "source" && emit != "plan" && emit != "json") {
-        std::fprintf(stderr, "unknown emit kind '%s'\n", emit.c_str());
+      bool known = false;
+      for (const std::string &kind : emitKinds())
+        known = known || emit == kind;
+      if (!known) {
+        std::fprintf(stderr, "unknown emit kind '%s' (valid kinds: %s)\n",
+                     emit.c_str(), joined(emitKinds()).c_str());
         return 1;
       }
     } else if (arg.rfind("--stop-after=", 0) == 0) {
@@ -92,6 +117,14 @@ int main(int argc, char **argv) {
       config.stopAfter = ompdart::stageFromName(stage);
       if (!config.stopAfter) {
         std::fprintf(stderr, "unknown stage '%s'\n", stage.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--cost-model=", 0) == 0) {
+      config.costModel = arg.substr(13);
+      if (ompdart::makeCostModel(config.costModel) == nullptr) {
+        std::fprintf(stderr, "unknown cost model '%s' (known models: %s)\n",
+                     config.costModel.c_str(),
+                     joined(ompdart::costModelNames()).c_str());
         return 1;
       }
     } else if (arg == "--no-firstprivate") {
@@ -120,7 +153,7 @@ int main(int argc, char **argv) {
       *config.stopAfter < ompdart::Stage::Rewrite) {
     std::fprintf(stderr,
                  "--emit=source needs the rewrite stage; drop --stop-after "
-                 "or use --emit=plan/json\n");
+                 "or use --emit=plan/ir/json\n");
     return 1;
   }
 
@@ -157,6 +190,8 @@ int main(int argc, char **argv) {
     payload = session.report().toJson().dump(/*pretty=*/true);
   } else if (emit == "plan") {
     payload = renderPlanSummary(session);
+  } else if (emit == "ir") {
+    payload = session.ir().toJson().dump(/*pretty=*/true);
   } else {
     if (!ok)
       return 1;
@@ -170,7 +205,7 @@ int main(int argc, char **argv) {
     out << payload;
     const ompdart::Report &report = session.report();
     std::size_t maps = 0, updates = 0;
-    for (const ompdart::ReportRegion &region : report.regions) {
+    for (const ompdart::ir::Region &region : report.plan.regions) {
       maps += region.maps.size();
       updates += region.updates.size();
     }

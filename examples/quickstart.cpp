@@ -30,20 +30,21 @@ int main() {
   }
 
   std::printf("=== OMPDart output ===\n%s\n", session.rewrite().c_str());
-  std::printf("=== plan summary ===\n");
-  for (const auto &region : session.plan().regions) {
+  std::printf("=== plan summary (Mapping IR) ===\n");
+  for (const auto &region : session.ir().regions) {
     std::printf("function '%s': %zu map item(s), %zu update(s), %zu "
                 "firstprivate(s)\n",
-                region.function->name().c_str(), region.maps.size(),
+                region.function.c_str(), region.maps.size(),
                 region.updates.size(), region.firstprivates.size());
     for (const auto &map : region.maps)
       std::printf("  map(%s: %s)\n",
-                  ompdart::mapTypeSpelling(map.mapType),
-                  map.section.empty() ? map.var->name().c_str()
-                                      : map.section.c_str());
+                  ompdart::ir::mapTypeSpellingWithModifiers(map.type,
+                                                            map.modifiers)
+                      .c_str(),
+                  map.item.c_str());
     for (const auto &fp : region.firstprivates)
-      std::printf("  firstprivate(%s) on a kernel\n",
-                  fp.var->name().c_str());
+      std::printf("  firstprivate(%s) on the kernel at line %u\n",
+                  fp.var.c_str(), fp.kernelLine);
   }
   std::printf("=== per-stage timings ===\n");
   for (const auto &timing : session.report().timings)

@@ -1,7 +1,7 @@
 #include "driver/pipeline.hpp"
 
 #include "frontend/parser.hpp"
-#include "rewrite/rewriter.hpp"
+#include "mapping/backend.hpp"
 
 #include <chrono>
 #include <set>
@@ -56,31 +56,6 @@ bool containsDataDirectives(const Stmt *stmt) {
   default:
     return false;
   }
-}
-
-const char *placementName(UpdatePlacement placement) {
-  switch (placement) {
-  case UpdatePlacement::Before:
-    return "before";
-  case UpdatePlacement::After:
-    return "after";
-  case UpdatePlacement::BodyBegin:
-    return "body-begin";
-  case UpdatePlacement::BodyEnd:
-    return "body-end";
-  }
-  return "unknown";
-}
-
-std::string itemSpelling(const VarDecl *var, const std::string &section) {
-  if (!section.empty())
-    return section;
-  return var != nullptr ? var->name() : std::string();
-}
-
-unsigned lineOf(const Stmt *stmt) {
-  return stmt != nullptr && stmt->range().isValid() ? stmt->range().begin.line
-                                                    : 0;
 }
 
 } // namespace
@@ -163,8 +138,22 @@ void Session::ensurePlan() {
   StageTimer timer(*this, Stage::Plan);
   if (!parseOk_ || diags_.hasErrors())
     return;
-  plan_ = planMappings(ast_->unit(), interproc_, diags_, config_.planner,
-                       &cfgs_);
+  PlannerOptions options = config_.planner;
+  if (options.costModel == nullptr) {
+    costModel_ = makeCostModel(config_.costModel);
+    if (costModel_ == nullptr) {
+      std::string known;
+      for (const std::string &name : costModelNames())
+        known += (known.empty() ? "" : ", ") + name;
+      diags_.error(SourceLocation{},
+                   "unknown cost model '" + config_.costModel +
+                       "' (known models: " + known + ")");
+      return;
+    }
+    options.costModel = costModel_.get();
+  }
+  plan_ = planMappings(ast_->unit(), interproc_, diags_, options, &cfgs_);
+  ir_ = ir::liftPlan(plan_, fileName_);
 }
 
 void Session::ensureRewrite() {
@@ -176,7 +165,18 @@ void Session::ensureRewrite() {
     rewritten_ = sourceManager_.text();
     return;
   }
-  rewritten_ = applyMappingPlan(sourceManager_, plan_);
+  SourceRewriteBackend backend;
+  PlanConsumerInput input;
+  input.ir = &ir_;
+  input.source = &sourceManager_;
+  input.unit = &ast_->unit();
+  if (!backend.consume(input)) {
+    diags_.error(SourceLocation{}, "rewrite backend failed: " +
+                                       backend.error());
+    rewritten_ = sourceManager_.text();
+    return;
+  }
+  rewritten_ = backend.transformedSource();
 }
 
 void Session::ensureMetrics() {
@@ -264,6 +264,11 @@ const MappingPlan &Session::plan() {
   return plan_;
 }
 
+const ir::MappingIr &Session::ir() {
+  ensurePlan();
+  return ir_;
+}
+
 const std::string &Session::rewrite() {
   ensureRewrite();
   return rewritten_;
@@ -320,42 +325,8 @@ Report Session::buildReport() {
   if (done(Stage::Metrics))
     report.metrics = metrics_;
 
-  if (done(Stage::Plan)) {
-    for (const RegionPlan &region : plan_.regions) {
-      ReportRegion out;
-      out.function =
-          region.function != nullptr ? region.function->name() : "";
-      out.beginLine = lineOf(region.startStmt);
-      out.endLine = region.endStmt != nullptr &&
-                            region.endStmt->range().isValid()
-                        ? region.endStmt->range().end.line
-                        : 0;
-      out.appendsToKernel = region.appendsToKernel();
-      for (const MapSpec &map : region.maps) {
-        ReportMap entry;
-        entry.mapType = mapTypeSpelling(map.mapType);
-        entry.item = itemSpelling(map.var, map.section);
-        entry.approxBytes = map.approxBytes;
-        out.maps.push_back(std::move(entry));
-      }
-      for (const UpdateInsertion &update : region.updates) {
-        ReportUpdate entry;
-        entry.direction = updateDirectionName(update.direction);
-        entry.item = itemSpelling(update.var, update.section);
-        entry.anchorLine = lineOf(update.anchor);
-        entry.placement = placementName(update.placement);
-        entry.hoisted = update.hoisted;
-        out.updates.push_back(std::move(entry));
-      }
-      for (const FirstprivateInsertion &fp : region.firstprivates) {
-        ReportFirstprivate entry;
-        entry.var = fp.var != nullptr ? fp.var->name() : "";
-        entry.kernelLine = lineOf(fp.kernel);
-        out.firstprivates.push_back(std::move(entry));
-      }
-      report.regions.push_back(std::move(out));
-    }
-  }
+  if (done(Stage::Plan))
+    report.plan = ir_;
 
   if (done(Stage::Rewrite) && config_.includeOutputInReport)
     report.output = rewritten_;

@@ -23,6 +23,8 @@
 #include "cfg/cfg.hpp"
 #include "driver/report.hpp"
 #include "frontend/ast.hpp"
+#include "mapping/cost.hpp"
+#include "mapping/ir.hpp"
 #include "mapping/plan.hpp"
 #include "mapping/planner.hpp"
 #include "support/diagnostics.hpp"
@@ -39,6 +41,11 @@ namespace ompdart {
 /// Unified configuration for the whole pipeline.
 struct PipelineConfig {
   PlannerOptions planner;
+  /// Cost model scoring the planner's candidate sets ("paper-greedy" |
+  /// "sim"; see costModelNames()). Ignored when `planner.costModel` already
+  /// carries an instance. Unknown names fail the plan stage with a
+  /// diagnostic.
+  std::string costModel = "paper-greedy";
   /// Reject inputs that already contain target data / target update
   /// directives (paper §IV-A: the expected input has none).
   bool rejectExistingDataDirectives = true;
@@ -72,7 +79,12 @@ public:
   const InterproceduralResult &interproc();
   /// The mapping plan (empty when any earlier stage reported errors).
   const MappingPlan &plan();
+  /// The plan as a self-contained Mapping IR (lifted alongside `plan()`;
+  /// same stage). Serializable, AST-free, consumable by any PlanConsumer
+  /// backend.
+  const ir::MappingIr &ir();
   /// Transformed source; the original text when the pipeline failed.
+  /// Produced by the SourceRewriteBackend over `ir()`.
   const std::string &rewrite();
   /// Table IV complexity counters.
   const ComplexityMetrics &metrics();
@@ -144,6 +156,9 @@ private:
   std::vector<std::unique_ptr<AstCfg>> cfgs_;
   InterproceduralResult interproc_;
   MappingPlan plan_;
+  ir::MappingIr ir_;
+  /// Owns the cost model named by `config.costModel` for the plan stage.
+  std::unique_ptr<CostModel> costModel_;
   std::string rewritten_;
   ComplexityMetrics metrics_;
   std::optional<Report> report_;

@@ -104,48 +104,8 @@ json::Value Report::toJson() const {
   }
   out.set("diagnostics", std::move(diagnosticsJson));
 
-  json::Value regionsJson = json::Value::array();
-  for (const ReportRegion &region : regions) {
-    json::Value regionJson = json::Value::object();
-    regionJson.set("function", region.function);
-    regionJson.set("beginLine", region.beginLine);
-    regionJson.set("endLine", region.endLine);
-    regionJson.set("appendsToKernel", region.appendsToKernel);
-
-    json::Value mapsJson = json::Value::array();
-    for (const ReportMap &map : region.maps) {
-      json::Value entry = json::Value::object();
-      entry.set("mapType", map.mapType);
-      entry.set("item", map.item);
-      entry.set("approxBytes", map.approxBytes);
-      mapsJson.push(std::move(entry));
-    }
-    regionJson.set("maps", std::move(mapsJson));
-
-    json::Value updatesJson = json::Value::array();
-    for (const ReportUpdate &update : region.updates) {
-      json::Value entry = json::Value::object();
-      entry.set("direction", update.direction);
-      entry.set("item", update.item);
-      entry.set("anchorLine", update.anchorLine);
-      entry.set("placement", update.placement);
-      entry.set("hoisted", update.hoisted);
-      updatesJson.push(std::move(entry));
-    }
-    regionJson.set("updates", std::move(updatesJson));
-
-    json::Value firstprivatesJson = json::Value::array();
-    for (const ReportFirstprivate &fp : region.firstprivates) {
-      json::Value entry = json::Value::object();
-      entry.set("var", fp.var);
-      entry.set("kernelLine", fp.kernelLine);
-      firstprivatesJson.push(std::move(entry));
-    }
-    regionJson.set("firstprivates", std::move(firstprivatesJson));
-
-    regionsJson.push(std::move(regionJson));
-  }
-  out.set("regions", std::move(regionsJson));
+  // Single plan schema: the embedded Mapping IR serializes itself.
+  out.set("plan", plan.toJson());
 
   if (!output.empty())
     out.set("output", output);
@@ -208,44 +168,12 @@ std::optional<Report> Report::fromJson(const json::Value &value,
     }
   }
 
-  if (const json::Value *regionsJson = value.find("regions")) {
-    for (const json::Value &regionJson : regionsJson->items()) {
-      ReportRegion region;
-      region.function = regionJson.stringOr("function");
-      region.beginLine = static_cast<unsigned>(regionJson.uintOr("beginLine"));
-      region.endLine = static_cast<unsigned>(regionJson.uintOr("endLine"));
-      region.appendsToKernel = regionJson.boolOr("appendsToKernel");
-      if (const json::Value *mapsJson = regionJson.find("maps")) {
-        for (const json::Value &entry : mapsJson->items()) {
-          ReportMap map;
-          map.mapType = entry.stringOr("mapType");
-          map.item = entry.stringOr("item");
-          map.approxBytes = entry.uintOr("approxBytes");
-          region.maps.push_back(std::move(map));
-        }
-      }
-      if (const json::Value *updatesJson = regionJson.find("updates")) {
-        for (const json::Value &entry : updatesJson->items()) {
-          ReportUpdate update;
-          update.direction = entry.stringOr("direction");
-          update.item = entry.stringOr("item");
-          update.anchorLine =
-              static_cast<unsigned>(entry.uintOr("anchorLine"));
-          update.placement = entry.stringOr("placement");
-          update.hoisted = entry.boolOr("hoisted");
-          region.updates.push_back(std::move(update));
-        }
-      }
-      if (const json::Value *fpJson = regionJson.find("firstprivates")) {
-        for (const json::Value &entry : fpJson->items()) {
-          ReportFirstprivate fp;
-          fp.var = entry.stringOr("var");
-          fp.kernelLine = static_cast<unsigned>(entry.uintOr("kernelLine"));
-          region.firstprivates.push_back(std::move(fp));
-        }
-      }
-      report.regions.push_back(std::move(region));
-    }
+  if (const json::Value *planJson = value.find("plan")) {
+    std::optional<ir::MappingIr> plan =
+        ir::MappingIr::fromJson(*planJson, error);
+    if (!plan)
+      return std::nullopt;
+    report.plan = std::move(*plan);
   }
 
   return report;
@@ -255,7 +183,7 @@ bool Report::operator==(const Report &other) const {
   return fileName == other.fileName && success == other.success &&
          stoppedAfter == other.stoppedAfter && metrics == other.metrics &&
          timings == other.timings && totalSeconds == other.totalSeconds &&
-         diagnostics == other.diagnostics && regions == other.regions &&
+         diagnostics == other.diagnostics && plan == other.plan &&
          output == other.output;
 }
 

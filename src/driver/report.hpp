@@ -1,10 +1,16 @@
 // Structured pipeline report: the self-contained (no AST pointers) summary
-// a Session produces — plan contents, diagnostics with source locations,
-// Table IV complexity metrics, Table V per-stage timings — with JSON
-// round-trip serialization for benchmarks, batch drivers and the CLI's
-// `--emit=json` mode.
+// a Session produces — the plan as a Mapping IR, diagnostics with source
+// locations, Table IV complexity metrics, Table V per-stage timings — with
+// JSON round-trip serialization for benchmarks, batch drivers and the
+// CLI's `--emit=json` mode.
+//
+// The plan summary is the Mapping IR itself (mapping/ir.hpp): the report no
+// longer mirrors plan contents in hand-copied structs, so plan JSON has a
+// single schema whether it comes from `--emit=ir`, a serialized IR cache,
+// or a full report.
 #pragma once
 
+#include "mapping/ir.hpp"
 #include "support/diagnostics.hpp"
 #include "support/json.hpp"
 
@@ -60,59 +66,6 @@ struct StageTiming {
   }
 };
 
-// --- Plain-data mirrors of the MappingPlan (serializable, AST-free) ---
-
-struct ReportMap {
-  std::string mapType; ///< "to" | "from" | "tofrom" | "alloc"
-  std::string item;    ///< variable name or array section spelling
-  std::uint64_t approxBytes = 0;
-
-  [[nodiscard]] bool operator==(const ReportMap &other) const {
-    return mapType == other.mapType && item == other.item &&
-           approxBytes == other.approxBytes;
-  }
-};
-
-struct ReportUpdate {
-  std::string direction; ///< "to" | "from"
-  std::string item;
-  unsigned anchorLine = 0;
-  std::string placement; ///< "before" | "after" | "body-begin" | "body-end"
-  bool hoisted = false;
-
-  [[nodiscard]] bool operator==(const ReportUpdate &other) const {
-    return direction == other.direction && item == other.item &&
-           anchorLine == other.anchorLine && placement == other.placement &&
-           hoisted == other.hoisted;
-  }
-};
-
-struct ReportFirstprivate {
-  std::string var;
-  unsigned kernelLine = 0;
-
-  [[nodiscard]] bool operator==(const ReportFirstprivate &other) const {
-    return var == other.var && kernelLine == other.kernelLine;
-  }
-};
-
-struct ReportRegion {
-  std::string function;
-  unsigned beginLine = 0;
-  unsigned endLine = 0;
-  bool appendsToKernel = false;
-  std::vector<ReportMap> maps;
-  std::vector<ReportUpdate> updates;
-  std::vector<ReportFirstprivate> firstprivates;
-
-  [[nodiscard]] bool operator==(const ReportRegion &other) const {
-    return function == other.function && beginLine == other.beginLine &&
-           endLine == other.endLine &&
-           appendsToKernel == other.appendsToKernel && maps == other.maps &&
-           updates == other.updates && firstprivates == other.firstprivates;
-  }
-};
-
 struct Report {
   std::string fileName;
   bool success = false;
@@ -124,7 +77,9 @@ struct Report {
   double totalSeconds = 0.0;        ///< Table V tool time (sum of timings)
   /// In deterministic source-location order (see `diagnosticBefore`).
   std::vector<Diagnostic> diagnostics;
-  std::vector<ReportRegion> regions;
+  /// The mapping plan as a self-contained IR (empty when the plan stage did
+  /// not run).
+  ir::MappingIr plan;
   /// Transformed source; empty when the rewrite stage did not run or the
   /// Session was configured not to embed it.
   std::string output;

@@ -2,6 +2,7 @@
 
 #include "driver/pipeline.hpp"
 #include "interp/interp.hpp"
+#include "mapping/backend.hpp"
 
 #include <cmath>
 #include <cstdio>
@@ -11,12 +12,10 @@ namespace ompdart::exp {
 
 namespace {
 
-VariantResult measureVariant(const std::string &name,
-                             const std::string &source,
-                             const sim::CostModel &model) {
+VariantResult fromRun(const std::string &name, const interp::RunResult &run,
+                      const sim::CostModel &model) {
   VariantResult result;
   result.name = name;
-  const interp::RunResult run = interp::runProgram(source);
   result.ok = run.ok;
   result.error = run.error;
   result.output = run.output;
@@ -28,6 +27,31 @@ VariantResult measureVariant(const std::string &name,
   result.transferSeconds = model.transferSeconds(run.ledger);
   result.totalSeconds = model.totalSeconds(run.ledger);
   return result;
+}
+
+VariantResult measureVariant(const std::string &name,
+                             const std::string &source,
+                             const sim::CostModel &model) {
+  return fromRun(name, interp::runProgram(source), model);
+}
+
+/// The OMPDart variant without the rewrite→reparse round-trip: the
+/// session's Mapping IR is applied to its already-parsed unit as an
+/// execution overlay.
+VariantResult measureViaInterpBackend(Session &session,
+                                      const sim::CostModel &model) {
+  ApplyToInterpBackend backend;
+  PlanConsumerInput input;
+  input.ir = &session.ir();
+  input.source = &session.sourceManager();
+  input.unit = &session.parse().unit();
+  if (!backend.consume(input)) {
+    VariantResult result;
+    result.name = "ompdart";
+    result.error = backend.error();
+    return result;
+  }
+  return fromRun("ompdart", backend.result(), model);
 }
 
 std::string formatRow(const char *label, const VariantResult &variant) {
@@ -73,8 +97,33 @@ double geometricMean(const std::vector<double> &values) {
   return count > 0 ? std::exp(logSum / count) : 0.0;
 }
 
+std::uint64_t predictedTransferBytes(const ir::MappingIr &ir) {
+  std::uint64_t total = 0;
+  for (const ir::Region &region : ir.regions) {
+    for (const ir::MapItem &map : region.maps) {
+      switch (map.type) {
+      case ir::MapType::To:
+      case ir::MapType::From:
+        total += map.approxBytes;
+        break;
+      case ir::MapType::ToFrom:
+        total += 2 * map.approxBytes;
+        break;
+      case ir::MapType::Alloc:
+      case ir::MapType::Release:
+      case ir::MapType::Delete:
+        break; // no movement
+      }
+    }
+    for (const ir::UpdateItem &update : region.updates)
+      total += update.approxBytes;
+  }
+  return total;
+}
+
 BenchmarkComparison runBenchmark(const suite::BenchmarkDef &def,
-                                 const sim::CostModel &model) {
+                                 const sim::CostModel &model,
+                                 const ExperimentOptions &options) {
   BenchmarkComparison cmp;
   cmp.name = def.name;
   cmp.paper = def.paper;
@@ -84,20 +133,25 @@ BenchmarkComparison runBenchmark(const suite::BenchmarkDef &def,
   // inside the report.
   PipelineConfig config;
   config.includeOutputInReport = false;
+  config.costModel = options.costModel;
   Session session(def.name + ".c", def.unoptimized, config);
   const bool toolOk = session.run();
   const ComplexityMetrics &metrics = session.metrics();
   cmp.toolReport = session.report();
   cmp.toolSeconds = cmp.toolReport.totalSeconds;
   cmp.transformedSource = session.rewrite();
+  cmp.predictedPlanBytes = predictedTransferBytes(session.ir());
   cmp.kernels = metrics.kernels;
   cmp.offloadedLines = metrics.offloadedLines;
   cmp.mappedVariables = metrics.mappedVariables;
   cmp.possibleMappings = metrics.possibleMappings;
 
   cmp.unoptimized = measureVariant("unoptimized", def.unoptimized, model);
-  cmp.ompdart = measureVariant(
-      "ompdart", toolOk ? cmp.transformedSource : def.unoptimized, model);
+  if (toolOk && options.useInterpBackend)
+    cmp.ompdart = measureViaInterpBackend(session, model);
+  else
+    cmp.ompdart = measureVariant(
+        "ompdart", toolOk ? cmp.transformedSource : def.unoptimized, model);
   cmp.expert = measureVariant("expert", def.expert, model);
 
   cmp.outputsMatch = cmp.unoptimized.ok && cmp.ompdart.ok && cmp.expert.ok &&
@@ -106,10 +160,12 @@ BenchmarkComparison runBenchmark(const suite::BenchmarkDef &def,
   return cmp;
 }
 
-std::vector<BenchmarkComparison> runAllBenchmarks(const sim::CostModel &model) {
+std::vector<BenchmarkComparison>
+runAllBenchmarks(const sim::CostModel &model,
+                 const ExperimentOptions &options) {
   std::vector<BenchmarkComparison> results;
   for (const suite::BenchmarkDef &def : suite::allBenchmarks())
-    results.push_back(runBenchmark(def, model));
+    results.push_back(runBenchmark(def, model, options));
   return results;
 }
 

@@ -198,9 +198,35 @@ sim::MapKind toSimMapKind(OmpMapType type) {
 
 } // namespace
 
-Interpreter::Interpreter(const TranslationUnit &unit, InterpOptions options)
-    : unit_(unit), options_(options) {
+Interpreter::Interpreter(const TranslationUnit &unit, InterpOptions options,
+                         const PlanOverlay *overlay)
+    : unit_(unit), options_(options),
+      overlay_(overlay != nullptr && !overlay->empty() ? overlay : nullptr) {
   dev_ = std::make_unique<sim::DeviceDataEnvironment>(ledger_);
+  if (overlay_ != nullptr) {
+    for (const PlanOverlay::Region &region : overlay_->regions) {
+      if (region.startStmt != nullptr)
+        overlayRegionStarts_[region.startStmt].push_back(&region);
+      if (region.endStmt != nullptr)
+        overlayRegionEnds_[region.endStmt].push_back(&region);
+    }
+    for (const PlanOverlay::Update &update : overlay_->updates) {
+      switch (update.placement) {
+      case ir::UpdatePlacement::Before:
+        overlayUpdatesBefore_[update.anchor].push_back(&update);
+        break;
+      case ir::UpdatePlacement::After:
+        overlayUpdatesAfter_[update.anchor].push_back(&update);
+        break;
+      case ir::UpdatePlacement::BodyBegin:
+        overlayUpdatesBodyBegin_[update.anchor].push_back(&update);
+        break;
+      case ir::UpdatePlacement::BodyEnd:
+        overlayUpdatesBodyEnd_[update.anchor].push_back(&update);
+        break;
+      }
+    }
+  }
 }
 
 void Interpreter::countOp() {
@@ -428,6 +454,36 @@ Value Interpreter::callFunction(FunctionDecl *fn, std::vector<Value> args) {
 void Interpreter::execStmt(const Stmt *stmt) {
   if (stmt == nullptr)
     return;
+  if (overlay_ == nullptr) {
+    execStmtImpl(stmt);
+    return;
+  }
+  // Overlay hooks fire around the anchor statement exactly where the
+  // rewriter would have inserted text: region entry + before-updates ahead
+  // of it, after-updates + region exit behind it. Control-flow signals
+  // (break/continue/return) thrown by the statement skip the trailing
+  // hooks, just as they would skip inserted directives in rewritten source.
+  // The anchor maps make each hook an O(1) lookup on this hot path.
+  if (auto it = overlayRegionStarts_.find(stmt);
+      it != overlayRegionStarts_.end())
+    for (const PlanOverlay::Region *region : it->second)
+      enterOverlayRegion(*region);
+  if (auto it = overlayUpdatesBefore_.find(stmt);
+      it != overlayUpdatesBefore_.end())
+    for (const PlanOverlay::Update *update : it->second)
+      applyOverlayUpdate(*update);
+  execStmtImpl(stmt);
+  if (auto it = overlayUpdatesAfter_.find(stmt);
+      it != overlayUpdatesAfter_.end())
+    for (const PlanOverlay::Update *update : it->second)
+      applyOverlayUpdate(*update);
+  if (auto it = overlayRegionEnds_.find(stmt);
+      it != overlayRegionEnds_.end())
+    for (const PlanOverlay::Region *region : it->second)
+      exitOverlayRegion(*region);
+}
+
+void Interpreter::execStmtImpl(const Stmt *stmt) {
   switch (stmt->kind()) {
   case StmtKind::Compound:
     execCompound(static_cast<const CompoundStmt *>(stmt));
@@ -452,7 +508,9 @@ void Interpreter::execStmt(const Stmt *stmt) {
     while (forStmt->cond() == nullptr ||
            truthy(evalExpr(forStmt->cond()))) {
       try {
+        overlayLoopBody(stmt, ir::UpdatePlacement::BodyBegin);
         execStmt(forStmt->body());
+        overlayLoopBody(stmt, ir::UpdatePlacement::BodyEnd);
       } catch (BreakSignal &) {
         break;
       } catch (ContinueSignal &) {
@@ -466,7 +524,9 @@ void Interpreter::execStmt(const Stmt *stmt) {
     const auto *whileStmt = static_cast<const WhileStmt *>(stmt);
     while (truthy(evalExpr(whileStmt->cond()))) {
       try {
+        overlayLoopBody(stmt, ir::UpdatePlacement::BodyBegin);
         execStmt(whileStmt->body());
+        overlayLoopBody(stmt, ir::UpdatePlacement::BodyEnd);
       } catch (BreakSignal &) {
         break;
       } catch (ContinueSignal &) {
@@ -478,7 +538,9 @@ void Interpreter::execStmt(const Stmt *stmt) {
     const auto *doStmt = static_cast<const DoStmt *>(stmt);
     do {
       try {
+        overlayLoopBody(stmt, ir::UpdatePlacement::BodyBegin);
         execStmt(doStmt->body());
+        overlayLoopBody(stmt, ir::UpdatePlacement::BodyEnd);
       } catch (BreakSignal &) {
         break;
       } catch (ContinueSignal &) {
@@ -1490,6 +1552,51 @@ void Interpreter::applyMapExit(const MapItem &item) {
   }
 }
 
+void Interpreter::enterOverlayRegion(const PlanOverlay::Region &region) {
+  std::vector<MapItem> items;
+  for (const PlanOverlay::MapEntry &entry : region.maps)
+    items.push_back(mapItemFor(entry.object, toSimMapKind(entry.mapType)));
+  for (const MapItem &item : items)
+    applyMapEnter(item);
+  overlayRegionStack_.emplace_back(&region, std::move(items));
+}
+
+void Interpreter::exitOverlayRegion(const PlanOverlay::Region &region) {
+  for (auto it = overlayRegionStack_.rbegin();
+       it != overlayRegionStack_.rend(); ++it) {
+    if (it->first != &region)
+      continue;
+    // Same items (entry-evaluated extents), reverse order — `target data`
+    // exit semantics.
+    for (auto item = it->second.rbegin(); item != it->second.rend(); ++item)
+      applyMapExit(*item);
+    overlayRegionStack_.erase(std::next(it).base());
+    return;
+  }
+}
+
+void Interpreter::applyOverlayUpdate(const PlanOverlay::Update &update) {
+  MapItem item = mapItemFor(update.object, sim::MapKind::ToFrom);
+  MemoryObject &obj = object(item.objectId);
+  const bool copied =
+      update.toDevice ? dev_->updateTo(item.objectId, item.bytes, item.tag)
+                      : dev_->updateFrom(item.objectId, item.bytes, item.tag);
+  if (copied)
+    copySlice(obj, update.toDevice, item.sliceLo, item.sliceLen);
+}
+
+void Interpreter::overlayLoopBody(const Stmt *loop,
+                                  ir::UpdatePlacement placement) {
+  if (overlay_ == nullptr)
+    return;
+  const auto &byAnchor = placement == ir::UpdatePlacement::BodyBegin
+                             ? overlayUpdatesBodyBegin_
+                             : overlayUpdatesBodyEnd_;
+  if (auto it = byAnchor.find(loop); it != byAnchor.end())
+    for (const PlanOverlay::Update *update : it->second)
+      applyOverlayUpdate(*update);
+}
+
 std::vector<VarDecl *>
 Interpreter::kernelReferencedVars(const OmpDirectiveStmt *directive) {
   RefCollector collector;
@@ -1597,6 +1704,23 @@ void Interpreter::execKernel(const OmpDirectiveStmt *directive) {
     default:
       break;
     }
+  }
+  // Overlay items join the kernel's clause set exactly as the rewriter's
+  // pragma appends would: sole-kernel region maps become explicit map
+  // items, firstprivates join the firstprivate set.
+  if (overlay_ != nullptr) {
+    for (const PlanOverlay::Region &region : overlay_->regions) {
+      if (region.soleKernel != directive)
+        continue;
+      for (const PlanOverlay::MapEntry &entry : region.maps) {
+        explicitItems.push_back(
+            mapItemFor(entry.object, toSimMapKind(entry.mapType)));
+        explicitlyMapped.insert(entry.object.var);
+      }
+    }
+    for (const PlanOverlay::Firstprivate &fp : overlay_->firstprivates)
+      if (fp.kernel == directive && fp.var != nullptr)
+        firstprivateVars.insert(fp.var);
   }
 
   // Implicit data-mapping rules (OpenMP 5.2): unmapped aggregates referenced

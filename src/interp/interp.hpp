@@ -17,6 +17,7 @@
 #pragma once
 
 #include "frontend/ast.hpp"
+#include "mapping/ir.hpp"
 #include "sim/runtime.hpp"
 #include "support/diagnostics.hpp"
 #include "support/source_manager.hpp"
@@ -25,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -70,6 +72,45 @@ struct RunResult {
   sim::TransferLedger ledger;
 };
 
+/// A mapping plan resolved against the executing AST, applied during
+/// execution *without* rewriting the source (the ApplyToInterpBackend
+/// path): region entries/exits fire around the anchor statements, update
+/// directives fire at their placements, and firstprivate items join the
+/// kernel's clause set. Anchors are statements of the interpreted unit;
+/// section expressions are synthesized by the backend (which owns them).
+struct PlanOverlay {
+  struct MapEntry {
+    OmpObject object; ///< var + synthesized array-section expressions
+    OmpMapType mapType = OmpMapType::ToFrom;
+  };
+  struct Region {
+    const Stmt *startStmt = nullptr;
+    const Stmt *endStmt = nullptr;
+    /// Sole-kernel region: the maps behave as explicit clauses of this
+    /// kernel's pragma (startStmt/endStmt stay null), exactly like the
+    /// rewriter's clause-append path.
+    const OmpDirectiveStmt *soleKernel = nullptr;
+    std::vector<MapEntry> maps;
+  };
+  struct Update {
+    const Stmt *anchor = nullptr;
+    bool toDevice = true;
+    ir::UpdatePlacement placement = ir::UpdatePlacement::Before;
+    OmpObject object;
+  };
+  struct Firstprivate {
+    const OmpDirectiveStmt *kernel = nullptr;
+    VarDecl *var = nullptr;
+  };
+  std::vector<Region> regions;
+  std::vector<Update> updates;
+  std::vector<Firstprivate> firstprivates;
+
+  [[nodiscard]] bool empty() const {
+    return regions.empty() && updates.empty() && firstprivates.empty();
+  }
+};
+
 /// Parses and runs a full program (entry point: `main`).
 [[nodiscard]] RunResult runProgram(const std::string &source,
                                    InterpOptions options = {});
@@ -77,7 +118,8 @@ struct RunResult {
 /// Runs an already-parsed unit (the unit must outlive the call).
 class Interpreter {
 public:
-  Interpreter(const TranslationUnit &unit, InterpOptions options = {});
+  Interpreter(const TranslationUnit &unit, InterpOptions options = {},
+              const PlanOverlay *overlay = nullptr);
 
   [[nodiscard]] RunResult run();
 
@@ -99,6 +141,7 @@ private:
 
   // --- execution ---
   void execStmt(const Stmt *stmt);
+  void execStmtImpl(const Stmt *stmt);
   void execCompound(const CompoundStmt *stmt);
   void execDecl(const DeclStmt *stmt);
   void execOmp(const OmpDirectiveStmt *directive);
@@ -140,6 +183,13 @@ private:
   /// Variables referenced inside a kernel (excluding kernel-local decls).
   std::vector<VarDecl *> kernelReferencedVars(const OmpDirectiveStmt *d);
 
+  // --- plan overlay ---
+  void enterOverlayRegion(const PlanOverlay::Region &region);
+  void exitOverlayRegion(const PlanOverlay::Region &region);
+  void applyOverlayUpdate(const PlanOverlay::Update &update);
+  /// BodyBegin/BodyEnd updates anchored at `loop`, fired per iteration.
+  void overlayLoopBody(const Stmt *loop, ir::UpdatePlacement placement);
+
   // --- values ---
   static double asDouble(const Value &value);
   static std::int64_t asInt(const Value &value);
@@ -158,6 +208,25 @@ private:
 
   const TranslationUnit &unit_;
   InterpOptions options_;
+  const PlanOverlay *overlay_ = nullptr;
+  /// Anchor-indexed overlay events, built once in the constructor so the
+  /// per-statement hooks are O(1) lookups on the interpreter's hot path.
+  std::unordered_map<const Stmt *, std::vector<const PlanOverlay::Region *>>
+      overlayRegionStarts_;
+  std::unordered_map<const Stmt *, std::vector<const PlanOverlay::Region *>>
+      overlayRegionEnds_;
+  std::unordered_map<const Stmt *, std::vector<const PlanOverlay::Update *>>
+      overlayUpdatesBefore_;
+  std::unordered_map<const Stmt *, std::vector<const PlanOverlay::Update *>>
+      overlayUpdatesAfter_;
+  std::unordered_map<const Stmt *, std::vector<const PlanOverlay::Update *>>
+      overlayUpdatesBodyBegin_;
+  std::unordered_map<const Stmt *, std::vector<const PlanOverlay::Update *>>
+      overlayUpdatesBodyEnd_;
+  /// Entry-evaluated map items of currently open overlay regions (exit
+  /// re-uses them, mirroring `target data` semantics).
+  std::vector<std::pair<const PlanOverlay::Region *, std::vector<MapItem>>>
+      overlayRegionStack_;
   std::vector<std::unique_ptr<MemoryObject>> objects_;
   std::vector<Frame> frames_;
   Frame globals_;

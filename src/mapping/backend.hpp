@@ -1,0 +1,114 @@
+// Plan-consumer backends: the pluggable emission side of the pipeline.
+//
+// A planned Mapping IR can be materialized in several ways; each way is a
+// `PlanConsumer`:
+//
+//   SourceRewriteBackend — renders the IR as text edits on the original
+//     buffer (the classic §IV-F transformed source). Needs only the IR and
+//     the source text — no AST.
+//   JsonBackend — serializes the IR as the canonical plan JSON (the single
+//     schema shared with Report).
+//   ApplyToInterpBackend — resolves the IR against the already-parsed unit
+//     and executes the program under the simulated runtime with the plan
+//     applied as an execution overlay: no rewrite, no reparse. This is how
+//     the experiment harness measures the OMPDart variant without paying
+//     the rewrite→reparse round-trip.
+//
+// Backends consume the self-contained IR; `PlanConsumerInput` carries the
+// optional extra inputs (source buffer, parsed unit) a given backend needs.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "interp/interp.hpp"
+#include "mapping/ir.hpp"
+#include "support/json.hpp"
+#include "support/source_manager.hpp"
+
+#include <string>
+
+namespace ompdart {
+
+/// Inputs a backend may consume. `ir` is required; `source` and `unit` are
+/// optional extras (a backend fails with a descriptive error when a needed
+/// input is missing).
+struct PlanConsumerInput {
+  const ir::MappingIr *ir = nullptr;
+  const SourceManager *source = nullptr;
+  const TranslationUnit *unit = nullptr;
+};
+
+/// Interface every plan emission backend implements.
+class PlanConsumer {
+public:
+  virtual ~PlanConsumer() = default;
+
+  [[nodiscard]] virtual const char *name() const = 0;
+
+  /// Consumes the plan. Returns false (with `error()` set) when a required
+  /// input is missing or the IR cannot be resolved/applied.
+  virtual bool consume(const PlanConsumerInput &input) = 0;
+
+  [[nodiscard]] const std::string &error() const { return error_; }
+
+protected:
+  bool fail(std::string message) {
+    error_ = std::move(message);
+    return false;
+  }
+
+  std::string error_;
+};
+
+/// Today's rewriter behind the backend interface: IR + original text ->
+/// transformed source.
+class SourceRewriteBackend final : public PlanConsumer {
+public:
+  [[nodiscard]] const char *name() const override { return "source-rewrite"; }
+  bool consume(const PlanConsumerInput &input) override;
+
+  [[nodiscard]] const std::string &transformedSource() const {
+    return transformed_;
+  }
+
+private:
+  std::string transformed_;
+};
+
+/// IR -> canonical plan JSON (the one schema Report embeds too).
+class JsonBackend final : public PlanConsumer {
+public:
+  [[nodiscard]] const char *name() const override { return "json"; }
+  bool consume(const PlanConsumerInput &input) override;
+
+  [[nodiscard]] const json::Value &value() const { return value_; }
+
+private:
+  json::Value value_;
+};
+
+/// IR + parsed unit -> interpreter run with the plan applied as an
+/// execution overlay (no rewrite→reparse round-trip).
+class ApplyToInterpBackend final : public PlanConsumer {
+public:
+  explicit ApplyToInterpBackend(interp::InterpOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] const char *name() const override {
+    return "apply-to-interp";
+  }
+  bool consume(const PlanConsumerInput &input) override;
+
+  [[nodiscard]] const interp::RunResult &result() const { return result_; }
+  [[nodiscard]] const interp::PlanOverlay &overlay() const {
+    return overlay_;
+  }
+
+private:
+  interp::InterpOptions options_;
+  /// Owns the section expressions synthesized while resolving IR extents.
+  ASTContext scratch_;
+  interp::PlanOverlay overlay_;
+  interp::RunResult result_;
+};
+
+} // namespace ompdart

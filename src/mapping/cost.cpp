@@ -1,0 +1,64 @@
+#include "mapping/cost.hpp"
+
+namespace ompdart {
+
+const char *candidateKindName(CandidateKind kind) {
+  switch (kind) {
+  case CandidateKind::MapAtRegion:
+    return "map-at-region";
+  case CandidateKind::UpdateHoisted:
+    return "update-hoisted";
+  case CandidateKind::UpdateAtAccess:
+    return "update-at-access";
+  case CandidateKind::Firstprivate:
+    return "firstprivate";
+  case CandidateKind::RegionOverLoops:
+    return "region-over-loops";
+  case CandidateKind::RegionPerKernel:
+    return "region-per-kernel";
+  }
+  return "unknown";
+}
+
+std::size_t CostModel::choose(const std::vector<Candidate> &set) const {
+  std::size_t best = 0;
+  double bestScore = score(set.front());
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    const double candidateScore = score(set[i]);
+    if (candidateScore < bestScore) {
+      best = i;
+      bestScore = candidateScore;
+    }
+  }
+  return best;
+}
+
+double SimCostModel::score(const Candidate &candidate) const {
+  // firstprivate passes the value with the kernel launch arguments: no
+  // memcpy, only (already-paid) launch overhead.
+  if (candidate.kind == CandidateKind::Firstprivate)
+    return 0.0;
+  const double bytesPerSec = candidate.deviceToHost
+                                 ? rates_.deviceToHostBytesPerSec
+                                 : rates_.hostToDeviceBytesPerSec;
+  const double perOccurrence =
+      static_cast<double>(candidate.transfersPerOccurrence) *
+          rates_.perTransferLatencySec +
+      static_cast<double>(candidate.bytesPerOccurrence) / bytesPerSec;
+  return perOccurrence * static_cast<double>(candidate.occurrences);
+}
+
+std::unique_ptr<CostModel> makeCostModel(const std::string &name) {
+  if (name.empty() || name == "paper-greedy")
+    return std::make_unique<PaperGreedyCostModel>();
+  if (name == "sim")
+    return std::make_unique<SimCostModel>();
+  return nullptr;
+}
+
+const std::vector<std::string> &costModelNames() {
+  static const std::vector<std::string> names = {"paper-greedy", "sim"};
+  return names;
+}
+
+} // namespace ompdart

@@ -1,0 +1,113 @@
+// Candidate generation + pluggable cost models for the mapping planner.
+//
+// The planner no longer hard-codes the paper's greedy rule. At each
+// decision point it enumerates the semantically valid *candidates* for
+// resolving a dependency (map at region entry, hoisted update, update at
+// the access, firstprivate, region extent choices) with estimated traffic
+// features, and a CostModel scores them; the lowest score wins (stable
+// tie-break on enumeration order). Two models ship:
+//
+//   PaperGreedyCostModel — scores by the paper's fixed preference order
+//     (§IV-D/§IV-E), reproducing the original planner byte-for-byte. This
+//     is the default.
+//   SimCostModel — scores by modeled seconds using the simulated runtime's
+//     sim::CostModel rates (bandwidth, per-transfer latency), making plans
+//     genuinely cost-driven and comparable against simulated ledgers.
+//
+// The ablation switches (PlannerOptions) act as candidate *filters*: an
+// ablation removes candidates from the set rather than forking the planner
+// logic, so every ablation is expressible as a cost-model/config variant.
+#pragma once
+
+#include "sim/runtime.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+/// What a candidate would do to resolve one dependency (or shape a region).
+enum class CandidateKind {
+  MapAtRegion,     ///< satisfy via a region-entry/exit map clause
+  UpdateHoisted,   ///< `target update` hoisted out of indexing loops
+  UpdateAtAccess,  ///< `target update` at the innermost access position
+  Firstprivate,    ///< pass a read-only scalar per kernel launch
+  RegionOverLoops, ///< extend the data region over loops enclosing kernels
+  RegionPerKernel, ///< keep the data region at the kernel statements
+};
+
+[[nodiscard]] const char *candidateKindName(CandidateKind kind);
+
+/// One scored alternative. Features are estimates computed by the planner
+/// from static analysis: bytes per transfer occurrence, how often the
+/// transfer executes (loop-trip products; `kUnknownTripCount` per
+/// unanalyzable loop level), and how many memcpy calls each occurrence
+/// issues.
+struct Candidate {
+  CandidateKind kind = CandidateKind::MapAtRegion;
+  /// Bytes moved per occurrence (0 when statically unknown).
+  std::uint64_t bytesPerOccurrence = 0;
+  /// Estimated executions per program run (>= 1).
+  std::uint64_t occurrences = 1;
+  /// Simulated memcpy calls per occurrence (firstprivate: 0).
+  unsigned transfersPerOccurrence = 1;
+  /// Direction of the transfer, for models with asymmetric link rates
+  /// (from-direction updates move device-to-host).
+  bool deviceToHost = false;
+  /// The paper's greedy preference at this decision point (lower wins).
+  int paperRank = 0;
+};
+
+/// Assumed trip count for loops whose bounds defeat static analysis.
+inline constexpr std::uint64_t kUnknownTripCount = 64;
+
+/// Scoring interface. Lower scores win; `choose` breaks ties toward the
+/// earliest candidate, so enumeration order encodes the fallback.
+class CostModel {
+public:
+  virtual ~CostModel() = default;
+  [[nodiscard]] virtual const char *name() const = 0;
+  [[nodiscard]] virtual double score(const Candidate &candidate) const = 0;
+
+  /// Index of the minimum-score candidate (first on ties). The set must be
+  /// non-empty.
+  [[nodiscard]] std::size_t choose(const std::vector<Candidate> &set) const;
+};
+
+/// The paper's fixed greedy rule as a cost function: score == paperRank.
+/// Byte-for-byte identical output to the pre-candidate planner.
+class PaperGreedyCostModel final : public CostModel {
+public:
+  [[nodiscard]] const char *name() const override { return "paper-greedy"; }
+  [[nodiscard]] double score(const Candidate &candidate) const override {
+    return static_cast<double>(candidate.paperRank);
+  }
+};
+
+/// Cost-driven scoring: modeled seconds under the simulated runtime's
+/// transfer rates. Ranks alternatives by estimated wall-clock transfer
+/// time instead of a fixed preference order.
+class SimCostModel final : public CostModel {
+public:
+  explicit SimCostModel(sim::CostModel rates = {}) : rates_(rates) {}
+
+  [[nodiscard]] const char *name() const override { return "sim"; }
+  [[nodiscard]] double score(const Candidate &candidate) const override;
+
+  [[nodiscard]] const sim::CostModel &rates() const { return rates_; }
+
+private:
+  sim::CostModel rates_;
+};
+
+/// Registry: construct a model by name ("paper-greedy" | "sim"); null for
+/// unknown names.
+[[nodiscard]] std::unique_ptr<CostModel>
+makeCostModel(const std::string &name);
+
+/// All registered model names, for CLI help/error messages.
+[[nodiscard]] const std::vector<std::string> &costModelNames();
+
+} // namespace ompdart

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "frontend/ast.hpp"
+#include "mapping/ir.hpp"
 
 #include <cstdint>
 #include <string>
@@ -25,6 +26,9 @@ struct MapSpec {
   /// Item spelling including array section, e.g. "a[0:n]"; plain variable
   /// name when empty.
   std::string section;
+  /// Structured section length (what `section` spells), for consumers that
+  /// need to evaluate the extent rather than re-parse the spelling.
+  ir::Extent extent;
   /// Estimated bytes this mapping moves one way (for reports/ablations).
   std::uint64_t approxBytes = 0;
 };
@@ -47,6 +51,10 @@ struct UpdateInsertion {
   const Stmt *anchor = nullptr;
   UpdatePlacement placement = UpdatePlacement::Before;
   std::string section;
+  /// Structured section length (mirrors the map-clause extent).
+  ir::Extent extent;
+  /// Estimated bytes one execution of this update moves.
+  std::uint64_t approxBytes = 0;
   /// True when the anchor is a loop statement rather than the access stmt.
   bool hoisted = false;
 };

@@ -121,8 +121,36 @@ bool MappingPlanner::chooseRegionExtent(const AstCfg &cfg,
   const OmpDirectiveStmt *firstKernel = kernels.front();
   const OmpDirectiveStmt *lastKernel = kernels.back();
 
+  // Region extent is itself a candidate decision: hoist the region outside
+  // the loops capturing the kernels (one map set per region execution) or
+  // keep it at the kernel statements (maps re-enter on every iteration).
+  // The ablation switch removes the RegionOverLoops candidate.
+  bool extendOverLoops = false;
+  if (options_.extendRegionOverLoops) {
+    std::vector<Candidate> set;
+    Candidate overLoops;
+    overLoops.kind = CandidateKind::RegionOverLoops;
+    overLoops.occurrences = 1;
+    overLoops.transfersPerOccurrence =
+        static_cast<unsigned>(kernels.size());
+    overLoops.paperRank = 0;
+    set.push_back(overLoops);
+    Candidate perKernel;
+    perKernel.kind = CandidateKind::RegionPerKernel;
+    const auto *firstLoops = cfg.enclosingLoops(firstKernel);
+    perKernel.occurrences = tripCountEstimate(
+        firstLoops != nullptr ? *firstLoops
+                              : std::vector<const Stmt *>{});
+    perKernel.transfersPerOccurrence =
+        static_cast<unsigned>(kernels.size());
+    perKernel.paperRank = 1;
+    set.push_back(perKernel);
+    extendOverLoops =
+        set[costModel().choose(set)].kind == CandidateKind::RegionOverLoops;
+  }
+
   auto outermostLoopOf = [&](const OmpDirectiveStmt *kernel) -> const Stmt * {
-    if (!options_.extendRegionOverLoops)
+    if (!extendOverLoops)
       return kernel;
     const auto *loops = cfg.enclosingLoops(kernel);
     if (loops != nullptr && !loops->empty())
@@ -310,9 +338,10 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
 
     MapSpec spec;
     spec.var = var;
-    const auto [section, bytes] = sectionFor(var);
-    spec.section = section;
-    spec.approxBytes = bytes;
+    const SectionInfo section = sectionFor(var);
+    spec.section = section.spelling;
+    spec.extent = section.extent;
+    spec.approxBytes = section.bytes;
     if (facts.needsTo && needsFrom)
       spec.mapType = OmpMapType::ToFrom;
     else if (facts.needsTo)
@@ -334,6 +363,24 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
       if (!facts.referencedInKernel || facts.deviceWrite || !facts.deviceRead)
         continue;
       if (isAggregateLike(var))
+        continue;
+      // Candidates: pass the scalar with each launch (no memcpy) or keep
+      // the region-entry mapping.
+      std::vector<Candidate> set;
+      Candidate firstprivate;
+      firstprivate.kind = CandidateKind::Firstprivate;
+      firstprivate.transfersPerOccurrence = 0;
+      firstprivate.occurrences =
+          std::max<std::uint64_t>(1, cfg_->kernels().size());
+      firstprivate.paperRank = 0;
+      set.push_back(firstprivate);
+      Candidate keepMapped;
+      keepMapped.kind = CandidateKind::MapAtRegion;
+      keepMapped.bytesPerOccurrence = var->type()->sizeInBytes();
+      keepMapped.occurrences = 1;
+      keepMapped.paperRank = 1;
+      set.push_back(keepMapped);
+      if (set[costModel().choose(set)].kind != CandidateKind::Firstprivate)
         continue;
       firstprivateVars.push_back(var);
     }
@@ -543,15 +590,40 @@ void MappingPlanner::handleDeviceRead(const AccessEvent &event,
   if (state.devValid)
     return;
   if (!state.hostWroteSinceEntry) {
-    // The value at region entry is still current: a region-entry map(to:)
-    // satisfies this dependency.
-    facts.needsTo = true;
+    // The value at region entry is still current. Candidates: a region-entry
+    // map(to:) — one transfer for the whole region — or an `update to` at
+    // the consuming kernel, re-copying on every launch.
+    const std::uint64_t bytes = sectionFor(var).bytes;
+    std::vector<Candidate> set;
+    Candidate mapEntry;
+    mapEntry.kind = CandidateKind::MapAtRegion;
+    mapEntry.bytesPerOccurrence = bytes;
+    mapEntry.occurrences = 1;
+    mapEntry.paperRank = 0;
+    set.push_back(mapEntry);
+    Candidate updateAtKernel;
+    updateAtKernel.kind = CandidateKind::UpdateAtAccess;
+    updateAtKernel.bytesPerOccurrence = bytes;
+    updateAtKernel.occurrences = tripCountEstimate(ctx.loops);
+    updateAtKernel.paperRank = 1;
+    set.push_back(updateAtKernel);
+    if (set[costModel().choose(set)].kind == CandidateKind::MapAtRegion) {
+      facts.needsTo = true;
+      state.devValid = true;
+      return;
+    }
+    const Stmt *kernelAnchor =
+        event.kernel != nullptr ? static_cast<const Stmt *>(event.kernel)
+                                : event.stmt;
+    addUpdate(var, UpdateDirection::To, kernelAnchor,
+              UpdatePlacement::Before, false, region);
     state.devValid = true;
     return;
   }
   // Host produced a newer value inside the region: insert `update to` after
   // the producing write, hoisted out of index loops (to-direction variant of
-  // Algorithm 1) but never above the consuming kernel boundary.
+  // Algorithm 1) but never above the consuming kernel boundary. The hoisted
+  // and at-access positions are both valid; the cost model arbitrates.
   const Stmt *anchor =
       state.lastHostWriteStmt != nullptr ? state.lastHostWriteStmt
                                          : event.stmt;
@@ -559,6 +631,26 @@ void MappingPlanner::handleDeviceRead(const AccessEvent &event,
   const Stmt *pos = hoistAfterHostWrite(state, event.kernel, hoisted);
   if (pos == nullptr)
     pos = anchor;
+  if (hoisted) {
+    const std::uint64_t bytes = sectionFor(var).bytes;
+    std::vector<Candidate> set;
+    Candidate hoistedUpdate;
+    hoistedUpdate.kind = CandidateKind::UpdateHoisted;
+    hoistedUpdate.bytesPerOccurrence = bytes;
+    hoistedUpdate.occurrences = 1;
+    hoistedUpdate.paperRank = 0;
+    set.push_back(hoistedUpdate);
+    Candidate atWrite;
+    atWrite.kind = CandidateKind::UpdateAtAccess;
+    atWrite.bytesPerOccurrence = bytes;
+    atWrite.occurrences = tripCountEstimate(loopsBetween(pos, anchor));
+    atWrite.paperRank = 1;
+    set.push_back(atWrite);
+    if (set[costModel().choose(set)].kind == CandidateKind::UpdateAtAccess) {
+      pos = anchor;
+      hoisted = false;
+    }
+  }
   UpdatePlacement placement = UpdatePlacement::After;
   if (pos == anchor && anchor != nullptr &&
       (anchor->kind() == StmtKind::For || anchor->kind() == StmtKind::While ||
@@ -624,6 +716,30 @@ void MappingPlanner::handleHostRead(const AccessEvent &event,
         findUpdateInsertLoc(event.subscript, event.stmt, ctx.loops, locLim);
     hoisted = found != event.stmt;
     pos = found;
+  }
+  if (hoisted) {
+    // Algorithm 1 found a hoist position; the at-access placement stays a
+    // valid (more frequent) alternative for the cost model to weigh.
+    const std::uint64_t bytes = sectionFor(var).bytes;
+    std::vector<Candidate> set;
+    Candidate hoistedUpdate;
+    hoistedUpdate.kind = CandidateKind::UpdateHoisted;
+    hoistedUpdate.bytesPerOccurrence = bytes;
+    hoistedUpdate.occurrences = 1;
+    hoistedUpdate.deviceToHost = true;
+    hoistedUpdate.paperRank = 0;
+    set.push_back(hoistedUpdate);
+    Candidate atAccess;
+    atAccess.kind = CandidateKind::UpdateAtAccess;
+    atAccess.bytesPerOccurrence = bytes;
+    atAccess.occurrences = tripCountEstimate(loopsBetween(pos, event.stmt));
+    atAccess.deviceToHost = true;
+    atAccess.paperRank = 1;
+    set.push_back(atAccess);
+    if (set[costModel().choose(set)].kind == CandidateKind::UpdateAtAccess) {
+      pos = event.stmt;
+      hoisted = false;
+    }
   }
   UpdatePlacement placement = UpdatePlacement::Before;
   const bool anchorIsLoopCond =
@@ -717,7 +833,10 @@ void MappingPlanner::addUpdate(VarDecl *var, UpdateDirection direction,
   update.anchor = anchor;
   update.placement = placement;
   update.hoisted = hoisted;
-  update.section = sectionFor(var).first;
+  const SectionInfo section = sectionFor(var);
+  update.section = section.spelling;
+  update.extent = section.extent;
+  update.approxBytes = section.bytes;
   region.updates.push_back(std::move(update));
 }
 
@@ -840,8 +959,7 @@ ExtentInfo MappingPlanner::callSiteExtent(VarDecl *var) const {
   return extent;
 }
 
-std::pair<std::string, std::uint64_t>
-MappingPlanner::sectionFor(VarDecl *var) const {
+MappingPlanner::SectionInfo MappingPlanner::sectionFor(VarDecl *var) const {
   const ExtentInfo extent = effectiveExtent(var);
   const Type *base = scalarBaseType(var->type());
   const std::uint64_t elemSize = base != nullptr ? base->sizeInBytes() : 1;
@@ -851,11 +969,13 @@ MappingPlanner::sectionFor(VarDecl *var) const {
       diags_.warning(var->range().begin,
                      "cannot determine extent of pointer '" + var->name() +
                          "'; mapping requires a known allocation size");
-      return {var->name() + "[0:0]", 0};
+      return {var->name() + "[0:0]", 0, ir::Extent::constant(0)};
     }
     const std::uint64_t bytes =
         extent.constElems ? *extent.constElems * elemSize : 0;
-    return {var->name() + "[0:" + extent.spelling + "]", bytes};
+    return {var->name() + "[0:" + extent.spelling + "]", bytes,
+            extent.constElems ? ir::Extent::constant(*extent.constElems)
+                              : ir::Extent::symbolic(extent.spelling)};
   }
   if (var->type()->isArray()) {
     // Guo-style unused-segment filtering: when every device access is
@@ -912,14 +1032,50 @@ MappingPlanner::sectionFor(VarDecl *var) const {
     if (allBounded && maxUpper && extent.constElems &&
         *maxUpper < *extent.constElems) {
       return {var->name() + "[0:" + std::to_string(*maxUpper) + "]",
-              *maxUpper * elemSize};
+              *maxUpper * elemSize, ir::Extent::constant(*maxUpper)};
     }
     const std::uint64_t bytes =
         extent.constElems ? *extent.constElems * elemSize : 0;
-    return {var->name(), bytes};
+    return {var->name(), bytes, ir::Extent::whole()};
   }
   // Scalars and records map whole.
-  return {var->name(), var->type()->sizeInBytes()};
+  return {var->name(), var->type()->sizeInBytes(), ir::Extent::whole()};
+}
+
+const CostModel &MappingPlanner::costModel() const {
+  return options_.costModel != nullptr ? *options_.costModel
+                                       : defaultCostModel_;
+}
+
+std::vector<const Stmt *>
+MappingPlanner::loopsBetween(const Stmt *outer, const Stmt *inner) const {
+  std::vector<const Stmt *> result;
+  const auto *loops = cfg_->enclosingLoops(inner);
+  if (loops == nullptr)
+    return result;
+  for (const Stmt *loop : *loops)
+    if (outer == nullptr || loop == outer || contains(outer, loop))
+      result.push_back(loop);
+  return result;
+}
+
+std::uint64_t MappingPlanner::tripCountEstimate(
+    const std::vector<const Stmt *> &loops) const {
+  std::uint64_t product = 1;
+  for (const Stmt *loop : loops) {
+    std::uint64_t trips = kUnknownTripCount;
+    if (const auto *forStmt = dynamic_cast<const ForStmt *>(loop)) {
+      const LoopBounds bounds = analyzeForLoop(forStmt);
+      if (bounds.valid && bounds.upperConst && bounds.lowerConst &&
+          *bounds.upperConst > *bounds.lowerConst)
+        trips = static_cast<std::uint64_t>(*bounds.upperConst -
+                                           *bounds.lowerConst);
+    }
+    product *= std::min<std::uint64_t>(trips, 1u << 20);
+    if (product > (std::uint64_t{1} << 40))
+      return std::uint64_t{1} << 40; // saturate: "executes a lot"
+  }
+  return product;
 }
 
 MappingPlan planMappings(const TranslationUnit &unit,

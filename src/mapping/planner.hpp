@@ -6,10 +6,14 @@
 //   2. validates that mapped variables are declared before the region
 //      (emitting the paper's "move this declaration" error otherwise),
 //   3. runs a forward validity walk over the AST-CFG region tracking which
-//      memory space holds each variable's current value, resolving every
-//      host<->device RAW dependency with the cheapest construct: region
-//      map(to/from/tofrom/alloc), a hoisted `target update` (Algorithm 1),
-//      or `firstprivate` for read-only scalars,
+//      memory space holds each variable's current value. Every host<->device
+//      RAW dependency is resolved by *candidate enumeration*: the planner
+//      lists the valid constructs (region map(to/from/tofrom/alloc), a
+//      hoisted `target update` per Algorithm 1, an update at the access,
+//      `firstprivate` for read-only scalars) with estimated traffic
+//      features, and the configured CostModel picks one. The default
+//      PaperGreedyCostModel reproduces the paper's fixed rule exactly;
+//      SimCostModel makes the choice cost-driven (mapping/cost.hpp).
 //   4. infers array sections from bounds analysis / malloc extents.
 #pragma once
 
@@ -17,6 +21,7 @@
 #include "analysis/interproc.hpp"
 #include "analysis/liveness.hpp"
 #include "cfg/cfg.hpp"
+#include "mapping/cost.hpp"
 #include "mapping/plan.hpp"
 #include "support/diagnostics.hpp"
 
@@ -28,17 +33,22 @@ namespace ompdart {
 
 struct PlannerOptions {
   /// Use firstprivate for read-only scalars (paper §IV-D); disabling this is
-  /// the `firstprivate` ablation.
+  /// the `firstprivate` ablation (removes the Firstprivate candidate).
   bool useFirstprivate = true;
   /// Hoist update directives per Algorithm 1; disabling places updates at
-  /// the innermost access position (the paper's 14x motivating comparison).
+  /// the innermost access position (the paper's 14x motivating comparison;
+  /// removes the UpdateHoisted candidate).
   bool hoistUpdates = true;
   /// Extend the data region outside loops capturing kernels; disabling maps
-  /// per kernel (region == each kernel) for the region-extent ablation.
+  /// per kernel (region == each kernel) for the region-extent ablation
+  /// (removes the RegionOverLoops candidate).
   bool extendRegionOverLoops = true;
   /// Run the interprocedural fixed point; disabling treats every call
   /// pessimistically (interproc ablation).
   bool interprocedural = true;
+  /// Scores enumerated candidates; null uses the built-in
+  /// PaperGreedyCostModel (the paper's behavior, byte-for-byte).
+  const CostModel *costModel = nullptr;
 };
 
 class MappingPlanner {
@@ -100,6 +110,21 @@ private:
   void addUpdate(VarDecl *var, UpdateDirection direction, const Stmt *anchor,
                  UpdatePlacement placement, bool hoisted, RegionPlan &region);
 
+  /// The configured cost model (PaperGreedy fallback when options carry
+  /// none).
+  [[nodiscard]] const CostModel &costModel() const;
+
+  /// Product of the estimated trip counts of `loops` (kUnknownTripCount per
+  /// unanalyzable loop), saturating well below overflow.
+  [[nodiscard]] std::uint64_t
+  tripCountEstimate(const std::vector<const Stmt *> &loops) const;
+
+  /// Loops enclosing `inner` that sit at or inside `outer` — the loop
+  /// levels an update re-executes in when left at the access instead of
+  /// hoisted to `outer`.
+  [[nodiscard]] std::vector<const Stmt *>
+  loopsBetween(const Stmt *outer, const Stmt *inner) const;
+
   /// To-direction Algorithm 1: position after the last host write, hoisted
   /// out of indexing loops but never past `consumerKernel` (null = region
   /// end). Returns null when there is no recorded host write.
@@ -108,9 +133,14 @@ private:
                       const OmpDirectiveStmt *consumerKernel,
                       bool &hoisted) const;
 
-  /// Section spelling + byte estimate for a mapped variable.
-  [[nodiscard]] std::pair<std::string, std::uint64_t>
-  sectionFor(VarDecl *var) const;
+  /// Section spelling, byte estimate and structured extent for a mapped
+  /// variable.
+  struct SectionInfo {
+    std::string spelling;
+    std::uint64_t bytes = 0;
+    ir::Extent extent;
+  };
+  [[nodiscard]] SectionInfo sectionFor(VarDecl *var) const;
 
   /// Declared/malloc extent, falling back to inference from the loop bounds
   /// of device accesses when the allocation size is invisible.
@@ -130,6 +160,7 @@ private:
   const InterproceduralResult &interproc_;
   DiagnosticEngine &diags_;
   PlannerOptions options_;
+  PaperGreedyCostModel defaultCostModel_;
   MallocExtents mallocExtents_;
 
   // Per-function working state.

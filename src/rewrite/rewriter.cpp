@@ -1,5 +1,7 @@
 #include "rewrite/rewriter.hpp"
 
+#include "mapping/plan.hpp"
+
 #include <algorithm>
 #include <map>
 
@@ -32,137 +34,154 @@ std::string SourceRewriter::apply() const {
   return out;
 }
 
-std::size_t PlanRewriter::lineStartFor(std::size_t offset) const {
-  return sourceManager_.lineStartOffset(sourceManager_.lineNumber(offset));
+namespace {
+
+std::size_t lineStartOf(const SourceManager &sourceManager,
+                        std::size_t offset) {
+  return sourceManager.lineStartOffset(sourceManager.lineNumber(offset));
 }
 
-std::size_t PlanRewriter::lineEndFor(std::size_t offset) const {
-  const unsigned line = sourceManager_.lineNumber(offset);
-  std::size_t end = sourceManager_.lineEndOffset(line);
-  if (end < sourceManager_.size())
+std::size_t lineEndOf(const SourceManager &sourceManager,
+                      std::size_t offset) {
+  const unsigned line = sourceManager.lineNumber(offset);
+  std::size_t end = sourceManager.lineEndOffset(line);
+  if (end < sourceManager.size())
     ++end; // past the newline
   return end;
 }
 
-std::string PlanRewriter::mapClausesText(const RegionPlan &region) {
-  // Group map items by map type in a stable to/from/tofrom/alloc order.
-  const OmpMapType order[] = {OmpMapType::To, OmpMapType::From,
-                              OmpMapType::ToFrom, OmpMapType::Alloc};
+} // namespace
+
+std::size_t PlanRewriter::lineStartFor(std::size_t offset) const {
+  return lineStartOf(sourceManager_, offset);
+}
+
+std::size_t PlanRewriter::lineEndFor(std::size_t offset) const {
+  return lineEndOf(sourceManager_, offset);
+}
+
+std::string PlanRewriter::mapClausesText(const ir::Region &region) {
+  // Group map items by map type in a stable to/from/tofrom/alloc order
+  // (unmapping types last); within one type, modifier-free items come
+  // first, then one clause per distinct modifier set in first-seen order.
+  const ir::MapType order[] = {ir::MapType::To,     ir::MapType::From,
+                               ir::MapType::ToFrom, ir::MapType::Alloc,
+                               ir::MapType::Release, ir::MapType::Delete};
   std::string out;
-  for (OmpMapType type : order) {
-    std::string items;
-    for (const MapSpec &spec : region.maps) {
-      if (spec.mapType != type)
+  for (const ir::MapType type : order) {
+    std::vector<std::pair<std::string, std::string>> groups; // spelling, items
+    for (const ir::MapItem &map : region.maps) {
+      if (map.type != type)
         continue;
-      if (!items.empty())
-        items += ", ";
-      items += spec.section.empty() ? spec.var->name() : spec.section;
+      const std::string spelling =
+          ir::mapTypeSpellingWithModifiers(type, map.modifiers);
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&](const auto &group) {
+                               return group.first == spelling;
+                             });
+      if (it == groups.end()) {
+        // Modifier-free group leads so unmodified output keeps the classic
+        // "map(to: ...)" shape in front.
+        if (!map.modifiers.any())
+          it = groups.insert(groups.begin(), {spelling, std::string()});
+        else
+          it = groups.insert(groups.end(), {spelling, std::string()});
+      }
+      if (!it->second.empty())
+        it->second += ", ";
+      it->second += map.item;
     }
-    if (items.empty())
-      continue;
-    out += " map(";
-    out += mapTypeSpelling(type);
-    out += ": ";
-    out += items;
-    out += ")";
+    for (const auto &[spelling, items] : groups) {
+      out += " map(";
+      out += spelling;
+      out += ": ";
+      out += items;
+      out += ")";
+    }
   }
   return out;
 }
 
-void PlanRewriter::rewriteRegion(const RegionPlan &region,
+void PlanRewriter::rewriteRegion(const ir::Region &region,
                                  SourceRewriter &rewriter) {
   const std::string clauses = mapClausesText(region);
   if (clauses.empty())
     return;
-  if (region.appendsToKernel()) {
+  if (region.appendsToKernel) {
     // Single kernel: append clauses to its pragma line.
-    rewriter.insert(region.soleKernel->pragmaRange().end.offset, clauses);
+    rewriter.insert(region.soleKernelPragmaEndOffset, clauses);
     return;
   }
-  const std::size_t startLine =
-      lineStartFor(region.startStmt->range().begin.offset);
+  const std::size_t startLine = lineStartFor(region.start.beginOffset);
   const std::string indent =
-      sourceManager_.indentationAt(region.startStmt->range().begin.offset);
+      sourceManager_.indentationAt(region.start.beginOffset);
   rewriter.insert(startLine, indent + "#pragma omp target data" + clauses +
                                  "\n" + indent + "{\n");
-  const std::size_t endLine = lineEndFor(region.endStmt->range().end.offset > 0
-                                             ? region.endStmt->range().end.offset - 1
-                                             : 0);
+  const std::size_t endLine = lineEndFor(
+      region.end.endOffset > 0 ? region.end.endOffset - 1 : 0);
   rewriter.insert(endLine, indent + "}\n");
 }
 
-void PlanRewriter::emitUpdates(const RegionPlan &region,
+std::size_t updateInsertionOffset(const SourceManager &sourceManager,
+                                  const ir::UpdateItem &update) {
+  const auto lineStartFor = [&](std::size_t offset) {
+    return lineStartOf(sourceManager, offset);
+  };
+  const auto lineEndFor = [&](std::size_t offset) {
+    return lineEndOf(sourceManager, offset);
+  };
+  const ir::StmtAnchor &anchor = update.anchor;
+  switch (update.placement) {
+  case ir::UpdatePlacement::Before:
+    return lineStartFor(anchor.beginOffset);
+  case ir::UpdatePlacement::After:
+    return lineEndFor(anchor.endOffset > 0 ? anchor.endOffset - 1 : 0);
+  case ir::UpdatePlacement::BodyBegin:
+  case ir::UpdatePlacement::BodyEnd: {
+    const std::size_t bodyBegin =
+        anchor.hasBody ? anchor.bodyBeginOffset : anchor.beginOffset;
+    const std::size_t bodyEnd =
+        anchor.hasBody ? anchor.bodyEndOffset : anchor.endOffset;
+    const bool bodyIsCompound = anchor.hasBody && anchor.bodyIsCompound;
+    if (update.placement == ir::UpdatePlacement::BodyBegin) {
+      // Just after the opening brace (or before a braceless body).
+      return bodyIsCompound ? lineEndFor(bodyBegin)
+                            : lineStartFor(bodyBegin);
+    }
+    // Just before the closing brace (or after a braceless body).
+    return bodyIsCompound ? lineStartFor(bodyEnd > 0 ? bodyEnd - 1 : 0)
+                          : lineEndFor(bodyEnd > 0 ? bodyEnd - 1 : 0);
+  }
+  }
+  return lineStartFor(anchor.beginOffset);
+}
+
+void PlanRewriter::emitUpdates(const ir::Region &region,
                                SourceRewriter &rewriter) {
   // Consolidate: one directive per (insertion offset, direction), listing
   // every variable that updates there (paper §IV-F last paragraph).
   struct Point {
     std::size_t offset;
-    UpdateDirection direction;
+    ir::UpdateDirection direction;
     std::string indent;
     std::vector<std::string> items;
-    bool newlineBefore = false; ///< text begins with "\n" (after-statement)
   };
   std::map<std::pair<std::size_t, int>, Point> points;
 
-  for (const UpdateInsertion &update : region.updates) {
-    const Stmt *anchor = update.anchor;
-    std::size_t offset = 0;
-    std::string indent;
-    bool newlineBefore = false;
-    switch (update.placement) {
-    case UpdatePlacement::Before:
-      offset = lineStartFor(anchor->range().begin.offset);
-      indent = sourceManager_.indentationAt(anchor->range().begin.offset);
-      break;
-    case UpdatePlacement::After:
-      offset = lineEndFor(anchor->range().end.offset > 0
-                              ? anchor->range().end.offset - 1
-                              : 0);
-      indent = sourceManager_.indentationAt(anchor->range().begin.offset);
-      break;
-    case UpdatePlacement::BodyBegin:
-    case UpdatePlacement::BodyEnd: {
-      const Stmt *body = nullptr;
-      if (anchor->kind() == StmtKind::For)
-        body = static_cast<const ForStmt *>(anchor)->body();
-      else if (anchor->kind() == StmtKind::While)
-        body = static_cast<const WhileStmt *>(anchor)->body();
-      else if (anchor->kind() == StmtKind::Do)
-        body = static_cast<const DoStmt *>(anchor)->body();
-      if (body == nullptr)
-        body = anchor;
-      indent =
-          sourceManager_.indentationAt(anchor->range().begin.offset) + "  ";
-      if (update.placement == UpdatePlacement::BodyBegin) {
-        // Just after the opening brace (or before a braceless body).
-        if (body->kind() == StmtKind::Compound)
-          offset = lineEndFor(body->range().begin.offset);
-        else
-          offset = lineStartFor(body->range().begin.offset);
-      } else {
-        // Just before the closing brace (or after a braceless body).
-        if (body->kind() == StmtKind::Compound)
-          offset = lineStartFor(body->range().end.offset > 0
-                                    ? body->range().end.offset - 1
-                                    : 0);
-        else
-          offset = lineEndFor(body->range().end.offset > 0
-                                  ? body->range().end.offset - 1
-                                  : 0);
-      }
-      break;
-    }
-    }
+  for (const ir::UpdateItem &update : region.updates) {
+    const ir::StmtAnchor &anchor = update.anchor;
+    const std::size_t offset = updateInsertionOffset(sourceManager_, update);
+    std::string indent = sourceManager_.indentationAt(anchor.beginOffset);
+    if (update.placement == ir::UpdatePlacement::BodyBegin ||
+        update.placement == ir::UpdatePlacement::BodyEnd)
+      indent += "  ";
     auto &point = points[{offset, static_cast<int>(update.direction)}];
     point.offset = offset;
     point.direction = update.direction;
     point.indent = indent;
-    point.newlineBefore = newlineBefore;
-    const std::string item =
-        update.section.empty() ? update.var->name() : update.section;
-    if (std::find(point.items.begin(), point.items.end(), item) ==
+    if (std::find(point.items.begin(), point.items.end(), update.item) ==
         point.items.end())
-      point.items.push_back(item);
+      point.items.push_back(update.item);
   }
 
   for (const auto &[key, point] : points) {
@@ -172,38 +191,37 @@ void PlanRewriter::emitUpdates(const RegionPlan &region,
         items += ", ";
       items += item;
     }
-    std::string text = point.indent + "#pragma omp target update " +
-                       (point.direction == UpdateDirection::To ? "to("
-                                                               : "from(") +
-                       items + ")\n";
+    std::string text =
+        point.indent + "#pragma omp target update " +
+        (point.direction == ir::UpdateDirection::To ? "to(" : "from(") +
+        items + ")\n";
     rewriter.insert(point.offset, std::move(text));
   }
 }
 
-void PlanRewriter::emitFirstprivates(const RegionPlan &region,
+void PlanRewriter::emitFirstprivates(const ir::Region &region,
                                      SourceRewriter &rewriter) {
-  // Consolidate per kernel.
-  std::map<const OmpDirectiveStmt *, std::vector<std::string>> byKernel;
-  for (const FirstprivateInsertion &fp : region.firstprivates) {
-    auto &names = byKernel[fp.kernel];
-    if (std::find(names.begin(), names.end(), fp.var->name()) == names.end())
-      names.push_back(fp.var->name());
+  // Consolidate per kernel (identified by its pragma-end offset).
+  std::map<std::size_t, std::vector<std::string>> byKernel;
+  for (const ir::FirstprivateItem &fp : region.firstprivates) {
+    auto &names = byKernel[fp.kernelPragmaEndOffset];
+    if (std::find(names.begin(), names.end(), fp.var) == names.end())
+      names.push_back(fp.var);
   }
-  for (const auto &[kernel, names] : byKernel) {
+  for (const auto &[offset, names] : byKernel) {
     std::string items;
     for (const std::string &name : names) {
       if (!items.empty())
         items += ", ";
       items += name;
     }
-    rewriter.insert(kernel->pragmaRange().end.offset,
-                    " firstprivate(" + items + ")");
+    rewriter.insert(offset, " firstprivate(" + items + ")");
   }
 }
 
 std::string PlanRewriter::rewrite() {
   SourceRewriter rewriter(sourceManager_);
-  for (const RegionPlan &region : plan_.regions) {
+  for (const ir::Region &region : ir_.regions) {
     rewriteRegion(region, rewriter);
     emitUpdates(region, rewriter);
     emitFirstprivates(region, rewriter);
@@ -211,10 +229,16 @@ std::string PlanRewriter::rewrite() {
   return rewriter.apply();
 }
 
+std::string applyMappingIr(const SourceManager &sourceManager,
+                           const ir::MappingIr &ir) {
+  PlanRewriter rewriter(sourceManager, ir);
+  return rewriter.rewrite();
+}
+
 std::string applyMappingPlan(const SourceManager &sourceManager,
                              const MappingPlan &plan) {
-  PlanRewriter rewriter(sourceManager, plan);
-  return rewriter.rewrite();
+  return applyMappingIr(sourceManager,
+                        ir::liftPlan(plan, sourceManager.fileName()));
 }
 
 } // namespace ompdart

@@ -1,14 +1,20 @@
 // Source rewriter (paper §IV-F).
 //
-// Materializes a MappingPlan as text edits on the original buffer:
+// Materializes a mapping plan as text edits on the original buffer:
 //  - a new `#pragma omp target data map(...)` directive + braces around the
 //    region, or clause appends onto a sole kernel's pragma,
 //  - consolidated `#pragma omp target update to/from(...)` directives at
 //    each insertion point (one directive per point, multiple list items),
 //  - `firstprivate(...)` clauses appended to kernel pragmas.
+//
+// The rewriter consumes the self-contained Mapping IR: every insertion
+// point is a byte offset recorded in the IR, so a serialized plan can be
+// re-applied to the original text without the AST (the IR + the buffer are
+// sufficient). `applyMappingPlan` keeps the AST-level convenience
+// signature by lifting the plan first.
 #pragma once
 
-#include "mapping/plan.hpp"
+#include "mapping/ir.hpp"
 #include "support/source_manager.hpp"
 
 #include <cstddef>
@@ -16,6 +22,8 @@
 #include <vector>
 
 namespace ompdart {
+
+struct MappingPlan;
 
 /// Offset-keyed insert-only text editor. Edits at the same offset apply in
 /// the order they were added.
@@ -43,21 +51,22 @@ private:
   std::vector<Edit> edits_;
 };
 
-/// Renders a MappingPlan into the transformed source text.
+/// Renders a Mapping IR into the transformed source text.
 class PlanRewriter {
 public:
-  PlanRewriter(const SourceManager &sourceManager, const MappingPlan &plan)
-      : sourceManager_(sourceManager), plan_(plan) {}
+  PlanRewriter(const SourceManager &sourceManager, const ir::MappingIr &ir)
+      : sourceManager_(sourceManager), ir_(ir) {}
 
   [[nodiscard]] std::string rewrite();
 
 private:
-  void rewriteRegion(const RegionPlan &region, SourceRewriter &rewriter);
-  void emitUpdates(const RegionPlan &region, SourceRewriter &rewriter);
-  void emitFirstprivates(const RegionPlan &region, SourceRewriter &rewriter);
+  void rewriteRegion(const ir::Region &region, SourceRewriter &rewriter);
+  void emitUpdates(const ir::Region &region, SourceRewriter &rewriter);
+  void emitFirstprivates(const ir::Region &region, SourceRewriter &rewriter);
 
-  /// Builds the map clause list text for a region, grouped by map type.
-  [[nodiscard]] static std::string mapClausesText(const RegionPlan &region);
+  /// Builds the map clause list text for a region, grouped by map type (and
+  /// modifier set) in a stable to/from/tofrom/alloc order.
+  [[nodiscard]] static std::string mapClausesText(const ir::Region &region);
 
   /// Offset of the first character of the line containing `offset`.
   [[nodiscard]] std::size_t lineStartFor(std::size_t offset) const;
@@ -65,10 +74,23 @@ private:
   [[nodiscard]] std::size_t lineEndFor(std::size_t offset) const;
 
   const SourceManager &sourceManager_;
-  const MappingPlan &plan_;
+  const ir::MappingIr &ir_;
 };
 
-/// Convenience: apply `plan` to the source and return the transformed text.
+/// The byte offset where the rewriter inserts one update directive. Also
+/// serves as the consolidation key: updates sharing (offset, direction)
+/// merge into a single directive, which backends mirror when they apply a
+/// plan without rewriting.
+[[nodiscard]] std::size_t
+updateInsertionOffset(const SourceManager &sourceManager,
+                      const ir::UpdateItem &update);
+
+/// Convenience: render `ir` against the original buffer.
+[[nodiscard]] std::string applyMappingIr(const SourceManager &sourceManager,
+                                         const ir::MappingIr &ir);
+
+/// Convenience: apply an AST-level `plan` to the source and return the
+/// transformed text (lifts to IR internally).
 [[nodiscard]] std::string applyMappingPlan(const SourceManager &sourceManager,
                                            const MappingPlan &plan);
 

@@ -44,8 +44,8 @@ TEST(BatchDriverTest, ConcurrentMatchesSequentialOnEightSuitePrograms) {
     // Concurrency must not change any artifact.
     EXPECT_EQ(concurrent.items[i].output, sequential.items[i].output)
         << jobs[i].name;
-    EXPECT_EQ(concurrent.items[i].report.regions,
-              sequential.items[i].report.regions)
+    EXPECT_EQ(concurrent.items[i].report.plan,
+              sequential.items[i].report.plan)
         << jobs[i].name;
     EXPECT_EQ(concurrent.items[i].report.metrics,
               sequential.items[i].report.metrics)
@@ -97,7 +97,7 @@ TEST(BatchDriverTest, StopAfterAppliesToEverySession) {
     EXPECT_TRUE(item.success) << item.name;
     EXPECT_TRUE(item.output.empty()) << item.name;
     EXPECT_EQ(item.report.stoppedAfter, "plan") << item.name;
-    EXPECT_FALSE(item.report.regions.empty()) << item.name;
+    EXPECT_FALSE(item.report.plan.regions.empty()) << item.name;
   }
 }
 

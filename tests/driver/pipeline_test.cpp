@@ -99,8 +99,8 @@ TEST(SessionTest, StopAfterPlanSkipsRewriteAndMetrics) {
   EXPECT_TRUE(report.output.empty());
   EXPECT_EQ(report.timings.size(), 4u);
   // The plan artifact is present in the report even without a rewrite.
-  ASSERT_EQ(report.regions.size(), 1u);
-  EXPECT_EQ(report.regions.front().function, "saxpy");
+  ASSERT_EQ(report.plan.regions.size(), 1u);
+  EXPECT_EQ(report.plan.regions.front().function, "saxpy");
   // report() must not have triggered the skipped stages.
   EXPECT_EQ(session.stageRuns(Stage::Rewrite), 0u);
   EXPECT_EQ(session.stageRuns(Stage::Metrics), 0u);
@@ -148,8 +148,8 @@ TEST(SessionTest, FullRunProducesReportWithAllStages) {
   EXPECT_GT(report.totalSeconds, 0.0);
   EXPECT_EQ(report.metrics.kernels, 1u);
   EXPECT_FALSE(report.output.empty());
-  ASSERT_EQ(report.regions.size(), 1u);
-  const ReportRegion &region = report.regions.front();
+  ASSERT_EQ(report.plan.regions.size(), 1u);
+  const ir::Region &region = report.plan.regions.front();
   EXPECT_EQ(region.maps.size(), 2u);
   EXPECT_EQ(region.firstprivates.size(), 2u);
 }

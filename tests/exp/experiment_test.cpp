@@ -1,0 +1,59 @@
+// Experiment-harness acceptance tests: the ApplyToInterpBackend path (plan
+// overlay, no rewrite→reparse round-trip) must reproduce the classic
+// path's Figures 3-6 inputs — identical ledgers and outputs per variant —
+// across the whole nine-benchmark suite.
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart::exp {
+namespace {
+
+void expectVariantLedgersEqual(const VariantResult &a, const VariantResult &b,
+                               const std::string &name) {
+  EXPECT_EQ(a.ok, b.ok) << name;
+  EXPECT_EQ(a.output, b.output) << name;
+  EXPECT_EQ(a.bytesHtoD, b.bytesHtoD) << name;
+  EXPECT_EQ(a.bytesDtoH, b.bytesDtoH) << name;
+  EXPECT_EQ(a.callsHtoD, b.callsHtoD) << name;
+  EXPECT_EQ(a.callsDtoH, b.callsDtoH) << name;
+  EXPECT_EQ(a.kernelLaunches, b.kernelLaunches) << name;
+  EXPECT_DOUBLE_EQ(a.transferSeconds, b.transferSeconds) << name;
+}
+
+TEST(ExperimentBackendTest, InterpBackendReproducesRewritePathAcrossSuite) {
+  ExperimentOptions overlayPath;
+  overlayPath.useInterpBackend = true;
+  ExperimentOptions rewritePath;
+  rewritePath.useInterpBackend = false;
+
+  const auto viaOverlay = runAllBenchmarks({}, overlayPath);
+  const auto viaRewrite = runAllBenchmarks({}, rewritePath);
+  ASSERT_EQ(viaOverlay.size(), viaRewrite.size());
+
+  for (std::size_t i = 0; i < viaOverlay.size(); ++i) {
+    const BenchmarkComparison &overlay = viaOverlay[i];
+    const BenchmarkComparison &rewrite = viaRewrite[i];
+    expectVariantLedgersEqual(overlay.ompdart, rewrite.ompdart,
+                              overlay.name);
+    EXPECT_TRUE(overlay.outputsMatch) << overlay.name;
+    EXPECT_TRUE(rewrite.outputsMatch) << rewrite.name;
+    // Both paths saw the same plan and the same static cost prediction.
+    EXPECT_EQ(overlay.toolReport.plan, rewrite.toolReport.plan)
+        << overlay.name;
+    EXPECT_GT(overlay.predictedPlanBytes, 0u) << overlay.name;
+    EXPECT_EQ(overlay.predictedPlanBytes,
+              predictedTransferBytes(overlay.toolReport.plan))
+        << overlay.name;
+  }
+
+  // Figures 3, 4 and 6 are pure functions of the ledgers; their rendered
+  // tables must be byte-identical between the two execution paths.
+  EXPECT_EQ(renderFigure3(viaOverlay), renderFigure3(viaRewrite));
+  EXPECT_EQ(renderFigure4(viaOverlay), renderFigure4(viaRewrite));
+  EXPECT_EQ(renderFigure6(viaOverlay), renderFigure6(viaRewrite));
+  EXPECT_EQ(renderTable4(viaOverlay), renderTable4(viaRewrite));
+}
+
+} // namespace
+} // namespace ompdart::exp

@@ -1,0 +1,182 @@
+// PlanConsumer backend tests: required-input validation, JSON/source
+// backends against the Session artifacts, the ApplyToInterpBackend
+// equivalence with the rewrite→reparse path (including a serialized-IR
+// round-trip in the middle), and the cost-model registry/scoring.
+#include "driver/pipeline.hpp"
+#include "interp/interp.hpp"
+#include "mapping/backend.hpp"
+#include "mapping/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+const char *const kProgram = R"(double data[64];
+int stop[1];
+int main() {
+  stop[0] = 0;
+  for (int i = 0; i < 64; ++i) data[i] = i * 0.5;
+  while (stop[0] == 0) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 64; ++i) {
+      data[i] = data[i] + 1.0;
+      if (data[i] > 40.0) stop[0] = 1;
+    }
+  }
+  printf("%.3f\n", data[0]);
+  return 0;
+}
+)";
+
+TEST(PlanConsumerTest, BackendsReportMissingInputs) {
+  SourceRewriteBackend rewrite;
+  EXPECT_FALSE(rewrite.consume(PlanConsumerInput{}));
+  EXPECT_FALSE(rewrite.error().empty());
+
+  ir::MappingIr ir;
+  PlanConsumerInput onlyIr;
+  onlyIr.ir = &ir;
+  SourceRewriteBackend rewriteNoSource;
+  EXPECT_FALSE(rewriteNoSource.consume(onlyIr));
+
+  ApplyToInterpBackend interpBackend;
+  EXPECT_FALSE(interpBackend.consume(onlyIr)); // needs the parsed unit
+  EXPECT_FALSE(interpBackend.error().empty());
+
+  JsonBackend jsonBackend;
+  EXPECT_TRUE(jsonBackend.consume(onlyIr)); // IR alone suffices
+}
+
+TEST(PlanConsumerTest, JsonBackendEmitsTheCanonicalIrSchema) {
+  Session session("prog.c", kProgram);
+  ASSERT_TRUE(session.run());
+  JsonBackend backend;
+  PlanConsumerInput input;
+  input.ir = &session.ir();
+  ASSERT_TRUE(backend.consume(input));
+  // Identical document to the IR's own serialization (single schema).
+  EXPECT_EQ(backend.value().dump(), session.ir().toJson().dump());
+  // ... which is also what the Report embeds under "plan".
+  const json::Value reportJson = session.report().toJson();
+  const json::Value *planJson = reportJson.find("plan");
+  ASSERT_NE(planJson, nullptr);
+  EXPECT_EQ(planJson->dump(), backend.value().dump());
+}
+
+TEST(PlanConsumerTest, SourceRewriteBackendMatchesSessionRewrite) {
+  Session session("prog.c", kProgram);
+  ASSERT_TRUE(session.run());
+  SourceRewriteBackend backend;
+  PlanConsumerInput input;
+  input.ir = &session.ir();
+  input.source = &session.sourceManager();
+  ASSERT_TRUE(backend.consume(input)) << backend.error();
+  EXPECT_EQ(backend.transformedSource(), session.rewrite());
+}
+
+TEST(PlanConsumerTest, ApplyToInterpMatchesRewriteReparsePath) {
+  Session session("prog.c", kProgram);
+  ASSERT_TRUE(session.run());
+
+  // Path A: rewrite, reparse, interpret.
+  const interp::RunResult viaRewrite = interp::runProgram(session.rewrite());
+  ASSERT_TRUE(viaRewrite.ok) << viaRewrite.error;
+
+  // Path B: serialize the IR, restore it, apply to the parsed unit. The
+  // serialization round-trip proves the overlay works from a cached plan.
+  const auto parsed = json::Value::parse(session.ir().toJson().dump());
+  ASSERT_TRUE(parsed.has_value());
+  const auto restored = ir::MappingIr::fromJson(*parsed);
+  ASSERT_TRUE(restored.has_value());
+
+  ApplyToInterpBackend backend;
+  PlanConsumerInput input;
+  input.ir = &*restored;
+  input.source = &session.sourceManager();
+  input.unit = &session.parse().unit();
+  ASSERT_TRUE(backend.consume(input)) << backend.error();
+  const interp::RunResult &viaOverlay = backend.result();
+  ASSERT_TRUE(viaOverlay.ok) << viaOverlay.error;
+
+  EXPECT_EQ(viaOverlay.output, viaRewrite.output);
+  EXPECT_EQ(viaOverlay.ledger.bytes(sim::TransferDir::HtoD),
+            viaRewrite.ledger.bytes(sim::TransferDir::HtoD));
+  EXPECT_EQ(viaOverlay.ledger.bytes(sim::TransferDir::DtoH),
+            viaRewrite.ledger.bytes(sim::TransferDir::DtoH));
+  EXPECT_EQ(viaOverlay.ledger.calls(sim::TransferDir::HtoD),
+            viaRewrite.ledger.calls(sim::TransferDir::HtoD));
+  EXPECT_EQ(viaOverlay.ledger.calls(sim::TransferDir::DtoH),
+            viaRewrite.ledger.calls(sim::TransferDir::DtoH));
+  EXPECT_EQ(viaOverlay.ledger.kernelLaunches(),
+            viaRewrite.ledger.kernelLaunches());
+}
+
+// --- cost models ---
+
+TEST(CostModelTest, RegistryKnowsBothModels) {
+  EXPECT_NE(makeCostModel("paper-greedy"), nullptr);
+  EXPECT_NE(makeCostModel("sim"), nullptr);
+  EXPECT_EQ(makeCostModel("oracle"), nullptr);
+  EXPECT_EQ(costModelNames().size(), 2u);
+}
+
+TEST(CostModelTest, PaperGreedyFollowsPaperRank) {
+  PaperGreedyCostModel model;
+  Candidate expensive;
+  expensive.kind = CandidateKind::MapAtRegion;
+  expensive.bytesPerOccurrence = 1u << 30;
+  expensive.paperRank = 0;
+  Candidate cheap;
+  cheap.kind = CandidateKind::UpdateAtAccess;
+  cheap.bytesPerOccurrence = 1;
+  cheap.paperRank = 1;
+  // The paper's rule ignores byte estimates entirely.
+  EXPECT_EQ(model.choose({expensive, cheap}), 0u);
+}
+
+TEST(CostModelTest, SimModelPrefersFewerTransferSeconds) {
+  SimCostModel model;
+  Candidate once;
+  once.kind = CandidateKind::MapAtRegion;
+  once.bytesPerOccurrence = 1024;
+  once.occurrences = 1;
+  once.paperRank = 1; // rank deliberately contradicts the cost
+  Candidate everyIteration;
+  everyIteration.kind = CandidateKind::UpdateAtAccess;
+  everyIteration.bytesPerOccurrence = 1024;
+  everyIteration.occurrences = 1000;
+  everyIteration.paperRank = 0;
+  EXPECT_EQ(model.choose({everyIteration, once}), 1u);
+  // firstprivate is free under the sim model.
+  Candidate firstprivate;
+  firstprivate.kind = CandidateKind::Firstprivate;
+  firstprivate.transfersPerOccurrence = 0;
+  EXPECT_EQ(model.score(firstprivate), 0.0);
+  EXPECT_GT(model.score(once), 0.0);
+}
+
+TEST(CostModelTest, UnknownModelNameFailsThePlanStageWithDiagnostic) {
+  PipelineConfig config;
+  config.costModel = "oracle";
+  Session session("prog.c", kProgram, config);
+  EXPECT_FALSE(session.run());
+  EXPECT_TRUE(session.diagnostics().hasErrors());
+}
+
+TEST(CostModelTest, SimModelProducesAValidPlanOnTheProgram) {
+  PipelineConfig config;
+  config.costModel = "sim";
+  Session session("prog.c", kProgram, config);
+  ASSERT_TRUE(session.run());
+  // The cost-driven plan must still execute correctly.
+  const interp::RunResult baseline = interp::runProgram(kProgram);
+  const interp::RunResult optimized = interp::runProgram(session.rewrite());
+  ASSERT_TRUE(baseline.ok);
+  ASSERT_TRUE(optimized.ok) << optimized.error;
+  EXPECT_EQ(baseline.output, optimized.output);
+  EXPECT_LE(optimized.ledger.totalBytes(), baseline.ledger.totalBytes());
+}
+
+} // namespace
+} // namespace ompdart

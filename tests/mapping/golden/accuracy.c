@@ -1,0 +1,50 @@
+
+#define SAMPLES 2048
+#define CLASSES 10
+#define BATCHES 24
+
+double scores[SAMPLES * CLASSES];
+int labels[SAMPLES];
+
+void init_data() {
+  srand(42);
+  for (int s = 0; s < SAMPLES; ++s) {
+    labels[s] = rand() % CLASSES;
+    for (int c = 0; c < CLASSES; ++c) {
+      scores[s * CLASSES + c] = (double)(rand() % 1000) * 0.001;
+    }
+    scores[s * CLASSES + labels[s]] += 0.75;
+  }
+}
+
+int main() {
+  init_data();
+  int total_correct = 0;
+  int correct = 0;
+  #pragma omp target data map(to: scores, labels) map(alloc: correct)
+  {
+  for (int b = 0; b < BATCHES; ++b) {
+    correct = 0;
+    #pragma omp target update to(correct)
+    #pragma omp target teams distribute parallel for reduction(+: correct)
+    for (int s = 0; s < SAMPLES; ++s) {
+      int best = 0;
+      double best_score = scores[s * CLASSES];
+      for (int c = 1; c < CLASSES; ++c) {
+        double v = scores[s * CLASSES + c];
+        if (v > best_score) {
+          best_score = v;
+          best = c;
+        }
+      }
+      if (best == labels[s]) {
+        correct += 1;
+      }
+    }
+    #pragma omp target update from(correct)
+    total_correct += correct;
+  }
+  }
+  printf("accuracy=%.4f\n", (double)total_correct / (SAMPLES * BATCHES));
+  return 0;
+}

@@ -1,0 +1,86 @@
+
+#define NX 24
+#define NY 24
+#define STEPS 40
+
+double phi[NX * NY];
+double phinew[NX * NY];
+double temp[NX * NY];
+double tempnew[NX * NY];
+double lap_phi[NX * NY];
+double lap_temp[NX * NY];
+
+void init_fields() {
+  for (int i = 0; i < NX * NY; ++i) {
+    phi[i] = 0.0;
+    temp[i] = -0.5;
+  }
+  int cx = NX / 2;
+  int cy = NY / 2;
+  for (int y = cy - 2; y <= cy + 2; ++y) {
+    for (int x = cx - 2; x <= cx + 2; ++x) {
+      phi[y * NX + x] = 1.0;
+    }
+  }
+}
+
+int main() {
+  init_fields();
+  double dt = 0.002;
+  double kappa = 1.6;
+  double tau = 0.3;
+  #pragma omp target data map(tofrom: phi, temp) map(alloc: phinew, tempnew, lap_phi, lap_temp)
+  {
+  for (int step = 0; step < STEPS; ++step) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < NX * NY; ++i) {
+      int x = i % NX;
+      int y = i / NX;
+      int xm = x == 0 ? x : x - 1;
+      int xp = x == NX - 1 ? x : x + 1;
+      int ym = y == 0 ? y : y - 1;
+      int yp = y == NY - 1 ? y : y + 1;
+      lap_phi[i] = phi[y * NX + xm] + phi[y * NX + xp] +
+                   phi[ym * NX + x] + phi[yp * NX + x] - 4.0 * phi[i];
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < NX * NY; ++i) {
+      int x = i % NX;
+      int y = i / NX;
+      int xm = x == 0 ? x : x - 1;
+      int xp = x == NX - 1 ? x : x + 1;
+      int ym = y == 0 ? y : y - 1;
+      int yp = y == NY - 1 ? y : y + 1;
+      lap_temp[i] = temp[y * NX + xm] + temp[y * NX + xp] +
+                    temp[ym * NX + x] + temp[yp * NX + x] - 4.0 * temp[i];
+    }
+    #pragma omp target teams distribute parallel for firstprivate(dt, kappa, tau)
+    for (int i = 0; i < NX * NY; ++i) {
+      double p = phi[i];
+      double m = 0.5 * temp[i];
+      double drive = p * (1.0 - p) * (p - 0.5 + m);
+      phinew[i] = p + dt / tau * (kappa * lap_phi[i] + drive);
+    }
+    #pragma omp target teams distribute parallel for firstprivate(dt)
+    for (int i = 0; i < NX * NY; ++i) {
+      tempnew[i] = temp[i] + dt * (lap_temp[i] + 2.0 * (phinew[i] - phi[i]));
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < NX * NY; ++i) {
+      phi[i] = phinew[i];
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < NX * NY; ++i) {
+      temp[i] = tempnew[i];
+    }
+  }
+  }
+  double phi_sum = 0.0;
+  double temp_sum = 0.0;
+  for (int i = 0; i < NX * NY; ++i) {
+    phi_sum += phi[i];
+    temp_sum += temp[i];
+  }
+  printf("phi=%.6f temp=%.6f\n", phi_sum, temp_sum);
+  return 0;
+}

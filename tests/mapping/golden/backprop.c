@@ -1,0 +1,80 @@
+
+#define IN 256
+#define HID 16
+#define BLOCKS 8
+#define EPOCHS 6
+
+double input_units[IN];
+double input_weights[IN * HID];
+double hidden_units[HID];
+double hidden_delta[HID];
+double partial_sum[BLOCKS * HID];
+double target_out[HID];
+double momentum_w[IN * HID];
+
+void init_net() {
+  srand(11);
+  for (int i = 0; i < IN; ++i) {
+    input_units[i] = (double)(rand() % 1000) * 0.001;
+  }
+  for (int i = 0; i < IN * HID; ++i) {
+    input_weights[i] = (double)(rand() % 1000) * 0.0002 - 0.1;
+    momentum_w[i] = 0.0;
+  }
+  for (int j = 0; j < HID; ++j) {
+    target_out[j] = (double)((j * 37) % 100) * 0.01;
+  }
+}
+
+int main() {
+  init_net();
+  int chunk = IN / BLOCKS;
+  double eta = 0.3;
+  double momentum = 0.3;
+  #pragma omp target data map(to: input_units, momentum_w) map(tofrom: input_weights) map(alloc: hidden_delta, partial_sum)
+  {
+  for (int epoch = 0; epoch < EPOCHS; ++epoch) {
+    #pragma omp target teams distribute parallel for firstprivate(chunk)
+    for (int t = 0; t < BLOCKS * HID; ++t) {
+      int b = t / HID;
+      int j = t % HID;
+      double sum = 0.0;
+      for (int k = 0; k < chunk; ++k) {
+        int i = b * chunk + k;
+        sum += input_units[i] * input_weights[i * HID + j];
+      }
+      partial_sum[t] = sum;
+    }
+    #pragma omp target update from(partial_sum)
+    for (int j = 1; j <= HID; j++) {
+      double sum = 0.0;
+      for (int k = 0; k < BLOCKS; k++) {
+        sum += partial_sum[k * HID + j - 1];
+      }
+      hidden_units[j - 1] = 1.0 / (1.0 + exp(-sum));
+      hidden_delta[j - 1] =
+          (target_out[j - 1] - hidden_units[j - 1]) * hidden_units[j - 1] *
+          (1.0 - hidden_units[j - 1]);
+    }
+    #pragma omp target update to(hidden_delta)
+    #pragma omp target teams distribute parallel for firstprivate(eta, momentum)
+    for (int t = 0; t < IN * HID; ++t) {
+      int j = t % HID;
+      double grad = eta * hidden_delta[j] * input_units[t / HID] +
+                    momentum * momentum_w[t];
+      input_weights[t] += grad;
+      momentum_w[t] = grad;
+    }
+  }
+  }
+  double wsum = 0.0;
+  for (int i = 0; i < IN * HID; ++i) {
+    wsum += input_weights[i];
+  }
+  double hsum = 0.0;
+  for (int j = 0; j < HID; ++j) {
+    hsum += hidden_units[j];
+  }
+  printf("weights=%.6f hidden=%.6f\n", wsum, hsum);
+  return 0;
+}

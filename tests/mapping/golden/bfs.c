@@ -1,0 +1,74 @@
+
+#define NODES 512
+#define DEGREE 4
+
+int edge_offset[NODES + 1];
+int edge_list[NODES * DEGREE];
+int frontier[NODES];
+int next_frontier[NODES];
+int visited[NODES];
+int cost[NODES];
+int stop_flag[1];
+
+void build_graph() {
+  srand(5);
+  for (int n = 0; n < NODES; ++n) {
+    edge_offset[n] = n * DEGREE;
+    for (int d = 0; d < DEGREE; ++d) {
+      edge_list[n * DEGREE + d] = rand() % NODES;
+    }
+  }
+  edge_offset[NODES] = NODES * DEGREE;
+  for (int n = 0; n < NODES; ++n) {
+    frontier[n] = 0;
+    next_frontier[n] = 0;
+    visited[n] = 0;
+    cost[n] = -1;
+  }
+  frontier[0] = 1;
+  visited[0] = 1;
+  cost[0] = 0;
+}
+
+int main() {
+  build_graph();
+  int level = 0;
+  stop_flag[0] = 0;
+  #pragma omp target data map(to: edge_offset, edge_list, frontier, next_frontier, visited) map(tofrom: cost) map(alloc: stop_flag)
+  {
+  while (stop_flag[0] == 0 && level < NODES) {
+    #pragma omp target teams distribute parallel for firstprivate(level)
+    for (int n = 0; n < NODES; ++n) {
+      if (frontier[n]) {
+        for (int e = edge_offset[n]; e < edge_offset[n + 1]; ++e) {
+          int dst = edge_list[e];
+          if (visited[dst] == 0) {
+            cost[dst] = level + 1;
+            next_frontier[dst] = 1;
+          }
+        }
+      }
+    }
+    stop_flag[0] = 1;
+    #pragma omp target update to(stop_flag)
+    #pragma omp target teams distribute parallel for
+    for (int n = 0; n < NODES; ++n) {
+      frontier[n] = 0;
+      if (next_frontier[n]) {
+        frontier[n] = 1;
+        visited[n] = 1;
+        next_frontier[n] = 0;
+        stop_flag[0] = 0;
+      }
+    }
+    level = level + 1;
+    #pragma omp target update from(stop_flag)
+  }
+  }
+  long checksum = 0;
+  for (int n = 0; n < NODES; ++n) {
+    checksum += cost[n];
+  }
+  printf("levels=%d checksum=%d\n", level, (int)checksum);
+  return 0;
+}

@@ -1,0 +1,73 @@
+
+#define ATOMS 64
+#define GRIDX 16
+#define GRIDY 16
+#define SLABS 12
+
+struct lattice {
+  double spacing;
+  double origin_x;
+  double origin_y;
+  double origin_z;
+};
+
+double atom_x[ATOMS];
+double atom_y[ATOMS];
+double atom_z[ATOMS];
+double atom_q[ATOMS];
+double energygrid[SLABS * GRIDY * GRIDX];
+struct lattice grid;
+
+void init_atoms() {
+  srand(23);
+  grid.spacing = 0.5;
+  grid.origin_x = -4.0;
+  grid.origin_y = -4.0;
+  grid.origin_z = -3.0;
+  for (int a = 0; a < ATOMS; ++a) {
+    atom_x[a] = (double)(rand() % 800) * 0.01 - 4.0;
+    atom_y[a] = (double)(rand() % 800) * 0.01 - 4.0;
+    atom_z[a] = (double)(rand() % 600) * 0.01 - 3.0;
+    atom_q[a] = (double)(rand() % 200) * 0.01 - 1.0;
+  }
+  for (int i = 0; i < SLABS * GRIDY * GRIDX; ++i) {
+    energygrid[i] = 0.0;
+  }
+}
+
+int main() {
+  init_atoms();
+  #pragma omp target data map(to: atom_x, atom_y, atom_z, atom_q, grid) map(tofrom: energygrid)
+  {
+  for (int slab = 0; slab < SLABS; ++slab) {
+    #pragma omp target teams distribute parallel for firstprivate(slab)
+    for (int g = 0; g < GRIDY * GRIDX; ++g) {
+      int gx = g % GRIDX;
+      int gy = g / GRIDX;
+      double px = grid.origin_x + gx * grid.spacing;
+      double py = grid.origin_y + gy * grid.spacing;
+      double pz = grid.origin_z + slab * grid.spacing;
+      double energy = 0.0;
+      for (int a = 0; a < ATOMS; ++a) {
+        double dx = px - atom_x[a];
+        double dy = py - atom_y[a];
+        double dz = pz - atom_z[a];
+        double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+        energy += atom_q[a] / sqrt(r2);
+      }
+      energygrid[slab * GRIDY * GRIDX + g] += energy;
+    }
+    #pragma omp target teams distribute parallel for firstprivate(slab)
+    for (int g = 0; g < GRIDY * GRIDX; ++g) {
+      int idx = slab * GRIDY * GRIDX + g;
+      energygrid[idx] = energygrid[idx] * grid.spacing;
+    }
+  }
+  }
+  double total = 0.0;
+  for (int i = 0; i < SLABS * GRIDY * GRIDX; ++i) {
+    total += energygrid[i];
+  }
+  printf("potential=%.6f\n", total);
+  return 0;
+}

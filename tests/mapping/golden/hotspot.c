@@ -1,0 +1,81 @@
+
+#define ROWS 24
+#define COLS 24
+#define STEPS 15
+
+double temp_a[ROWS * COLS];
+double temp_b[ROWS * COLS];
+double power_map[ROWS * COLS];
+
+void init_grid() {
+  srand(17);
+  for (int i = 0; i < ROWS * COLS; ++i) {
+    temp_a[i] = 323.0 + (double)(rand() % 100) * 0.05;
+    power_map[i] = (double)(rand() % 100) * 0.001;
+    temp_b[i] = 0.0;
+  }
+}
+
+void advance(double *t_src, double *t_dst, double *power, double dt,
+             double cap, double rx, double ry, double rz, double t_amb,
+             int rows, int cols, int npoints, double step_div,
+             double clamp_lo, double clamp_hi) {
+  #pragma omp target teams distribute parallel for map(to: power[0:npoints], t_src[0:576]) map(from: t_dst[0:npoints]) firstprivate(cap, clamp_hi, clamp_lo, cols, dt, npoints, rows, rx, ry, rz, step_div, t_amb)
+  for (int i = 0; i < npoints; ++i) {
+    int r = i / cols;
+    int c = i % cols;
+    int up = r == 0 ? i : i - cols;
+    int down = r == rows - 1 ? i : i + cols;
+    int left = c == 0 ? i : i - 1;
+    int right = c == cols - 1 ? i : i + 1;
+    double delta =
+        dt / cap *
+        (power[i] + (t_src[down] + t_src[up] - 2.0 * t_src[i]) / ry +
+         (t_src[right] + t_src[left] - 2.0 * t_src[i]) / rx +
+         (t_amb - t_src[i]) / rz);
+    double v = t_src[i] + delta * step_div;
+    if (v < clamp_lo) {
+      v = clamp_lo;
+    }
+    if (v > clamp_hi) {
+      v = clamp_hi;
+    }
+    t_dst[i] = v;
+  }
+}
+
+int main() {
+  init_grid();
+  double t_chip = 0.0005;
+  double chip_height = 0.016;
+  double chip_width = 0.016;
+  double t_amb = 80.0;
+  double max_pd = 3000000.0;
+  double precision = 0.001;
+  double spec_heat = 875000.0;
+  double k_si = 100.0;
+  double grid_height = chip_height / ROWS;
+  double grid_width = chip_width / COLS;
+  double cap = spec_heat * t_chip * grid_width * grid_height;
+  double rx = grid_width / (2.0 * k_si * t_chip * grid_height);
+  double ry = grid_height / (2.0 * k_si * t_chip * grid_width);
+  double rz = t_chip / (k_si * grid_height * grid_width);
+  double max_slope = max_pd / (cap * precision);
+  double dt = precision / max_slope;
+  for (int step = 0; step < STEPS; ++step) {
+    advance(temp_a, temp_b, power_map, dt, cap, rx, ry, rz, t_amb, ROWS,
+            COLS, ROWS * COLS, 1.0, 0.0, 1.0e+6);
+    advance(temp_b, temp_a, power_map, dt, cap, rx, ry, rz, t_amb, ROWS,
+            COLS, ROWS * COLS, 1.0, 0.0, 1.0e+6);
+  }
+  double peak = 0.0;
+  double total = 0.0;
+  for (int i = 0; i < ROWS * COLS; ++i) {
+    total += temp_a[i];
+    if (temp_a[i] > peak) {
+      peak = temp_a[i];
+    }
+  }
+  printf("peak=%.6f avg=%.6f\n", peak, total / (ROWS * COLS));
+  return 0;
+}

@@ -1,0 +1,285 @@
+
+#define NELEM 128
+#define STEPS 16
+
+double pos_x[NELEM];
+double vel_x[NELEM];
+double accel_x[NELEM];
+double force_x[NELEM];
+double node_mass[NELEM];
+double elem_volume[NELEM];
+double volume_new[NELEM];
+double volume_dov[NELEM];
+double pressure[NELEM];
+double energy[NELEM];
+double q_visc[NELEM];
+double sound_speed[NELEM];
+double strain[NELEM];
+double grad_x[NELEM];
+double work_arr[NELEM];
+double dt_courant_elem[NELEM];
+double dt_hydro_elem[NELEM];
+double elem_mass[NELEM];
+
+void init_mesh() {
+  srand(3);
+  for (int i = 0; i < NELEM; ++i) {
+    pos_x[i] = (double)i * 0.01;
+    vel_x[i] = 0.0;
+    accel_x[i] = 0.0;
+    force_x[i] = 0.0;
+    node_mass[i] = 1.0 + (double)(rand() % 100) * 0.001;
+    elem_mass[i] = 1.0 + (double)(rand() % 100) * 0.001;
+    elem_volume[i] = 1.0;
+    volume_new[i] = 1.0;
+    volume_dov[i] = 0.0;
+    pressure[i] = 0.0;
+    energy[i] = i == 0 ? 3.948746e+2 : 0.0;
+    q_visc[i] = 0.0;
+    sound_speed[i] = 0.3;
+    strain[i] = 0.0;
+    grad_x[i] = 0.0;
+    work_arr[i] = 0.0;
+    dt_courant_elem[i] = 1.0e+20;
+    dt_hydro_elem[i] = 1.0e+20;
+  }
+}
+
+int main() {
+  init_mesh();
+
+  double dt = 1.0e-3;
+  double sim_time = 0.0;
+  double hgcoef = 3.0;
+  double ss4o3 = 4.0 / 3.0;
+  double qstop = 1.0e+12;
+  double monoq_max_slope = 1.0;
+  double monoq_limiter = 2.0;
+  double qlc_monoq = 0.5;
+  double qqc_monoq = 0.6667;
+  double qqc = 2.0;
+  double qqc2 = 64.0 * qqc * qqc;
+  double eosvmax = 1.9;
+  double eosvmin = 0.1;
+  double pmin = 0.0;
+  double emin = -1.0e+15;
+  double dvovmax = 0.1;
+  double refdens = 1.0;
+  double cfl = 0.5;
+  double u_cut = 1.0e-7;
+  double p_cut = 1.0e-7;
+  double q_cut = 1.0e-7;
+  double e_cut = 1.0e-7;
+  double v_cut = 1.0e-10;
+  double arealg = 1.0e-2;
+  double c1s = 2.0 / 3.0;
+  double pbvc = 1.6667;
+  double ss_floor = 1.111111e-36;
+  double deltatimemultlb = 1.1;
+  double deltatimemultub = 1.2;
+  double dtmax = 1.0e-2;
+  double gamma_a = 0.0625;
+  double gamma_b = -0.0625;
+  double twelfth = 1.0 / 12.0;
+  double qlinear = 0.25;
+  double ptiny = 1.0e-36;
+  double dtcdef = 1.0e+20;
+  double dthdef = 1.0e+20;
+  int cycle = 0;
+  int bc_nodes = 4;
+  double mass_scale = 1.0;
+  double drain = 0.999;
+  double work_scale = 1.0;
+  double bc_value = 0.0;
+  double stress_scale = 1.0;
+  double force_floor = 0.0;
+  double accel_cap = 1.0e+12;
+  double vel_damp = 1.0;
+  double pos_scale = 1.0;
+  double vol_floor = 0.0;
+  double p_scale = 1.0;
+  double q_scale = 1.0;
+  double e_scale = 1.0;
+  double hgq = 0.0;
+
+  #pragma omp target data map(to: node_mass, elem_volume, pressure, q_visc, sound_speed, elem_mass) map(tofrom: pos_x, vel_x, energy) map(alloc: accel_x, force_x, volume_new, volume_dov, strain, grad_x, work_arr, dt_courant_elem, dt_hydro_elem)
+  {
+  for (int step = 0; step < STEPS; ++step) {
+
+    /* --- CalcForceForNodes: kernels 1-4 --- */
+    #pragma omp target teams distribute parallel for firstprivate(cycle, bc_value, force_floor)
+    for (int i = 0; i < NELEM; ++i) {
+      force_x[i] = bc_value * cycle + force_floor;
+    }
+    #pragma omp target teams distribute parallel for firstprivate(mass_scale, stress_scale)
+    for (int i = 0; i < NELEM; ++i) {
+      strain[i] = -(pressure[i] + q_visc[i]) * elem_volume[i] * 0.5 *
+                  mass_scale * stress_scale;
+    }
+    #pragma omp target teams distribute parallel for firstprivate(gamma_a, gamma_b, twelfth)
+    for (int i = 0; i < NELEM; ++i) {
+      int left = i == 0 ? i : i - 1;
+      int right = i == NELEM - 1 ? i : i + 1;
+      grad_x[i] = (strain[right] - strain[left]) * 0.5 +
+                  (gamma_a + gamma_b) * twelfth;
+    }
+    #pragma omp target teams distribute parallel for firstprivate(hgcoef)
+    for (int i = 0; i < NELEM; ++i) {
+      force_x[i] = force_x[i] + strain[i] - hgcoef * grad_x[i];
+    }
+    /* --- CalcAccelerationForNodes: kernel 5 --- */
+    #pragma omp target teams distribute parallel for firstprivate(accel_cap)
+    for (int i = 0; i < NELEM; ++i) {
+      double a = force_x[i] / node_mass[i];
+      if (a > accel_cap) {
+        a = accel_cap;
+      }
+      accel_x[i] = a;
+    }
+    /* --- ApplyAccelerationBoundaryConditions: kernel 6 --- */
+    #pragma omp target teams distribute parallel for firstprivate(bc_nodes, bc_value)
+    for (int i = 0; i < bc_nodes; ++i) {
+      accel_x[i] = bc_value;
+    }
+    /* --- CalcVelocityForNodes: kernel 7 --- */
+    #pragma omp target teams distribute parallel for firstprivate(dt, u_cut, vel_damp)
+    for (int i = 0; i < NELEM; ++i) {
+      double v = (vel_x[i] + accel_x[i] * dt) * vel_damp;
+      if (fabs(v) < u_cut) {
+        v = 0.0;
+      }
+      vel_x[i] = v;
+    }
+    /* --- CalcPositionForNodes: kernel 8 --- */
+    #pragma omp target teams distribute parallel for firstprivate(dt, pos_scale)
+    for (int i = 0; i < NELEM; ++i) {
+      pos_x[i] = pos_x[i] + vel_x[i] * dt * pos_scale;
+    }
+    /* --- CalcLagrangeElements: kernels 9-10 --- */
+    #pragma omp target teams distribute parallel for firstprivate(dt, eosvmax, eosvmin, dvovmax, v_cut, vol_floor)
+    for (int i = 0; i < NELEM; ++i) {
+      int right = i == NELEM - 1 ? i : i + 1;
+      double dv = (vel_x[right] - vel_x[i]) * dt * dvovmax;
+      if (fabs(dv) < v_cut) {
+        dv = 0.0;
+      }
+      volume_new[i] = elem_volume[i] * (1.0 + dv) + vol_floor;
+      if (volume_new[i] < eosvmin) {
+        volume_new[i] = eosvmin;
+      }
+      if (volume_new[i] > eosvmax) {
+        volume_new[i] = eosvmax;
+      }
+      volume_dov[i] = dv / dt;
+    }
+    #pragma omp target teams distribute parallel for firstprivate(ss4o3, work_scale)
+    for (int i = 0; i < NELEM; ++i) {
+      work_arr[i] = volume_dov[i] * strain[i] * ss4o3 * work_scale /
+                    elem_mass[i];
+    }
+    /* --- CalcQForElems: kernel 11 --- */
+    #pragma omp target teams distribute parallel for firstprivate(qstop, monoq_max_slope, monoq_limiter, qlc_monoq, qqc_monoq, q_cut, qlinear, ptiny, q_scale, hgq)
+    for (int i = 0; i < NELEM; ++i) {
+      double dv = volume_dov[i];
+      double limiter = monoq_max_slope < monoq_limiter ? monoq_max_slope
+                                                       : monoq_limiter;
+      if (dv < 0.0) {
+        double dq = (qlc_monoq * sound_speed[i] * fabs(dv) +
+                     qqc_monoq * dv * dv) * limiter * q_scale +
+                    hgq + qlinear * ptiny;
+        q_visc[i] = dq < qstop ? dq : qstop;
+      } else {
+        q_visc[i] = 0.0;
+      }
+      if (q_visc[i] < q_cut * 0.0) {
+        q_visc[i] = 0.0;
+      }
+    }
+    /* --- EvalEOSForElems: kernels 12-13 --- */
+    #pragma omp target teams distribute parallel for firstprivate(dt, emin, e_cut, drain, e_scale)
+    for (int i = 0; i < NELEM; ++i) {
+      double e = (energy[i] * drain + work_arr[i] * dt) * e_scale;
+      if (fabs(e) < e_cut) {
+        e = 0.0;
+      }
+      if (e < emin) {
+        e = emin;
+      }
+      energy[i] = e;
+    }
+    #pragma omp target teams distribute parallel for firstprivate(pmin, refdens, p_cut, c1s, pbvc, ss_floor, p_scale)
+    for (int i = 0; i < NELEM; ++i) {
+      double bvc = c1s * (refdens / volume_new[i]);
+      double p = bvc * energy[i] * p_scale;
+      if (fabs(p) < p_cut) {
+        p = 0.0;
+      }
+      if (p < pmin) {
+        p = pmin;
+      }
+      pressure[i] = p;
+      double ss = (pbvc * energy[i] + bvc * pressure[i]) / refdens;
+      if (ss < ss_floor) {
+        ss = ss_floor;
+      }
+      sound_speed[i] = sqrt(ss);
+    }
+    /* --- CalcTimeConstraintsForElems: kernels 14-15 --- */
+    #pragma omp target teams distribute parallel for firstprivate(qqc2, arealg, dtcdef)
+    for (int i = 0; i < NELEM; ++i) {
+      double dtf = sound_speed[i] * sound_speed[i];
+      if (volume_dov[i] < 0.0) {
+        dtf = dtf + qqc2 * volume_dov[i] * volume_dov[i];
+      }
+      dtf = sqrt(dtf);
+      dtf = arealg / dtf;
+      dt_courant_elem[i] = volume_dov[i] != 0.0 ? dtf : dtcdef;
+    }
+    #pragma omp target teams distribute parallel for firstprivate(dvovmax, dthdef)
+    for (int i = 0; i < NELEM; ++i) {
+      dt_hydro_elem[i] = volume_dov[i] != 0.0
+                             ? dvovmax / (fabs(volume_dov[i]) + 1.0e-20)
+                             : dthdef;
+    }
+
+    double dt_courant = 1.0e+20;
+    double dt_hydro = 1.0e+20;
+    #pragma omp target update from(dt_courant_elem, dt_hydro_elem)
+    for (int i = 0; i < NELEM; ++i) {
+      if (dt_courant_elem[i] < dt_courant) {
+        dt_courant = dt_courant_elem[i];
+      }
+      if (dt_hydro_elem[i] < dt_hydro) {
+        dt_hydro = dt_hydro_elem[i];
+      }
+    }
+    double newdt = dt_courant < dt_hydro ? dt_courant : dt_hydro;
+    newdt = newdt * cfl;
+    if (newdt < dt * deltatimemultlb) {
+      newdt = dt * deltatimemultlb;
+    }
+    if (newdt > dt * deltatimemultub) {
+      newdt = dt * deltatimemultub;
+    }
+    if (newdt > dtmax) {
+      newdt = dtmax;
+    }
+    dt = newdt;
+    sim_time = sim_time + dt;
+    cycle = cycle + 1;
+
+  }
+  }
+
+  double e_sum = 0.0;
+  double v_sum = 0.0;
+  double x_sum = 0.0;
+  for (int i = 0; i < NELEM; ++i) {
+    e_sum += energy[i];
+    v_sum += vel_x[i];
+    x_sum += pos_x[i];
+  }
+  printf("energy=%.6f vel=%.6f pos=%.6f time=%.6f\n", e_sum, v_sum, x_sum,
+         sim_time);
+  return 0;
+}

@@ -1,0 +1,68 @@
+
+#define DIM 48
+#define PENALTY 10
+
+int score[DIM * DIM];
+int reference[DIM * DIM];
+
+int max3(int a, int b, int c) {
+  int m = a;
+  if (b > m) {
+    m = b;
+  }
+  if (c > m) {
+    m = c;
+  }
+  return m;
+}
+
+void init_matrices() {
+  srand(31);
+  for (int i = 0; i < DIM * DIM; ++i) {
+    reference[i] = rand() % 20 - 10;
+    score[i] = 0;
+  }
+  for (int i = 1; i < DIM; ++i) {
+    score[i * DIM] = -i * PENALTY;
+    score[i] = -i * PENALTY;
+  }
+}
+
+int main() {
+  init_matrices();
+  #pragma omp target data map(to: reference) map(tofrom: score)
+  {
+  for (int d = 1; d < DIM; ++d) {
+    #pragma omp target teams distribute parallel for firstprivate(d)
+    for (int k = 1; k <= d; ++k) {
+      int i = k;
+      int j = d - k + 1;
+      if (j >= 1 && j < DIM && i < DIM) {
+        score[i * DIM + j] = max3(
+            score[(i - 1) * DIM + j - 1] + reference[i * DIM + j],
+            score[i * DIM + j - 1] - PENALTY,
+            score[(i - 1) * DIM + j] - PENALTY);
+      }
+    }
+  }
+  for (int d = DIM - 2; d >= 1; --d) {
+    #pragma omp target teams distribute parallel for firstprivate(d)
+    for (int k = 1; k <= d; ++k) {
+      int i = DIM - d + k - 1;
+      int j = 2 * DIM - d - i - 1;
+      if (i >= 1 && i < DIM && j >= 1 && j < DIM) {
+        score[i * DIM + j] = max3(
+            score[(i - 1) * DIM + j - 1] + reference[i * DIM + j],
+            score[i * DIM + j - 1] - PENALTY,
+            score[(i - 1) * DIM + j] - PENALTY);
+      }
+    }
+  }
+  }
+  long checksum = 0;
+  for (int i = 0; i < DIM * DIM; ++i) {
+    checksum += score[i];
+  }
+  printf("alignment=%d checksum=%d\n", score[DIM * DIM - 1], (int)checksum);
+  return 0;
+}

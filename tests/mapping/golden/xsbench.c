@@ -1,0 +1,59 @@
+
+#define NUCLIDES 16
+#define GRIDPOINTS 128
+#define LOOKUPS 1024
+#define BATCHES 8
+
+double energy_grid[NUCLIDES * GRIDPOINTS];
+double xs_total[NUCLIDES * GRIDPOINTS];
+double xs_elastic[NUCLIDES * GRIDPOINTS];
+double xs_absorption[NUCLIDES * GRIDPOINTS];
+double xs_fission[NUCLIDES * GRIDPOINTS];
+double lookup_energy[LOOKUPS];
+int lookup_material[LOOKUPS];
+double results[LOOKUPS];
+
+void init_tables() {
+  srand(97);
+  for (int n = 0; n < NUCLIDES; ++n) {
+    for (int g = 0; g < GRIDPOINTS; ++g) {
+      int idx = n * GRIDPOINTS + g;
+      energy_grid[idx] = (double)g / GRIDPOINTS;
+      xs_total[idx] = (double)(rand() % 1000) * 0.001;
+      xs_elastic[idx] = (double)(rand() % 1000) * 0.0005;
+      xs_absorption[idx] = (double)(rand() % 1000) * 0.0003;
+      xs_fission[idx] = (double)(rand() % 1000) * 0.0002;
+    }
+  }
+  for (int l = 0; l < LOOKUPS; ++l) {
+    lookup_energy[l] = (double)(rand() % 1000) * 0.001;
+    lookup_material[l] = rand() % NUCLIDES;
+  }
+}
+
+int main() {
+  init_tables();
+  double verification = 0.0;
+  #pragma omp target data map(to: energy_grid, xs_total, xs_elastic, xs_absorption, xs_fission, lookup_energy, lookup_material) map(alloc: results)
+  {
+  for (int batch = 0; batch < BATCHES; ++batch) {
+    double batch_scale = 1.0 + batch * 0.125;
+    #pragma omp target teams distribute parallel for firstprivate(batch_scale)
+    for (int l = 0; l < LOOKUPS; ++l) {
+      int mat = lookup_material[l];
+      double e = lookup_energy[l];
+      int g = (int)(e * (GRIDPOINTS - 1));
+      int idx = mat * GRIDPOINTS + g;
+      double macro = xs_total[idx] + xs_elastic[idx] +
+                     xs_absorption[idx] + xs_fission[idx];
+      results[l] = macro * batch_scale + energy_grid[idx];
+    }
+    #pragma omp target update from(results)
+    for (int l = 0; l < LOOKUPS; ++l) {
+      verification += results[l];
+    }
+  }
+  }
+  printf("verification=%.6f\n", verification);
+  return 0;
+}

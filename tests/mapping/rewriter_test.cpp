@@ -254,6 +254,119 @@ TEST(RewriteEndToEnd, ComplexityMetricsMatchStructure) {
   EXPECT_GT(result.metrics.possibleMappings, 0u);
 }
 
+TEST(RewriteEndToEnd, BodyEndGoldenOutputForLoopConditionalRead) {
+  // Paper §IV-F: the host reads a device-written flag in the while
+  // condition and the producing kernel runs inside the same loop, so the
+  // `update from` belongs at the END of the loop body — checked against the
+  // full golden text, brace placement and indentation included.
+  const std::string source = R"(int stop[1];
+double data[64];
+int main() {
+  stop[0] = 0;
+  while (stop[0] == 0) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 64; ++i) {
+      data[i] = data[i] + 1.0;
+      if (data[i] > 8.0) stop[0] = 1;
+    }
+  }
+  printf("%f\n", data[0]);
+  return 0;
+}
+)";
+  const std::string golden = R"(int stop[1];
+double data[64];
+int main() {
+  stop[0] = 0;
+  #pragma omp target data map(to: stop) map(tofrom: data)
+  {
+  while (stop[0] == 0) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 64; ++i) {
+      data[i] = data[i] + 1.0;
+      if (data[i] > 8.0) stop[0] = 1;
+    }
+    #pragma omp target update from(stop)
+  }
+  }
+  printf("%f\n", data[0]);
+  return 0;
+}
+)";
+  const PipelineRun result = runPipeline(source);
+  ASSERT_TRUE(result.success) << result.output;
+  EXPECT_EQ(result.output, golden);
+  expectParseable(result.output);
+}
+
+TEST(RewriteEndToEnd, BodyBeginGoldenOutputForLoopConditionalWrite) {
+  // Paper §IV-F, to-direction: the host writes a scalar inside the while
+  // condition itself; the `update to` that republishes it to the device
+  // belongs at the START of the loop body.
+  const std::string source = R"(double a[8];
+void f(int n) {
+  int t = 0;
+  while ((t = t + 1) < n) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 8; ++i) {
+      a[i] += t;
+    }
+  }
+}
+)";
+  const std::string golden = R"(double a[8];
+void f(int n) {
+  int t = 0;
+  #pragma omp target data map(tofrom: a) map(alloc: t)
+  {
+  while ((t = t + 1) < n) {
+    #pragma omp target update to(t)
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 8; ++i) {
+      a[i] += t;
+    }
+  }
+  }
+}
+)";
+  // Disable firstprivate so the scalar keeps its region mapping + updates
+  // (with firstprivate on, the update-to is correctly dropped instead).
+  PipelineConfig config;
+  config.planner.useFirstprivate = false;
+  Session session("test.c", source, config);
+  ASSERT_TRUE(session.run());
+  EXPECT_EQ(session.rewrite(), golden);
+  expectParseable(session.rewrite());
+}
+
+TEST(RewriteEndToEnd, BodyPlacementsSurviveIrSerialization) {
+  // The §IV-F body placements depend on the anchor's body sub-range, which
+  // the IR must carry: rewrite from a JSON-round-tripped IR and compare.
+  const std::string source = R"(int stop[1];
+double data[64];
+int main() {
+  stop[0] = 0;
+  while (stop[0] == 0) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 64; ++i) {
+      data[i] = data[i] + 1.0;
+      if (data[i] > 8.0) stop[0] = 1;
+    }
+  }
+  printf("%f\n", data[0]);
+  return 0;
+}
+)";
+  Session session("test.c", source);
+  ASSERT_TRUE(session.run());
+  const auto parsed = json::Value::parse(session.ir().toJson().dump());
+  ASSERT_TRUE(parsed.has_value());
+  const auto restored = ir::MappingIr::fromJson(*parsed);
+  ASSERT_TRUE(restored.has_value());
+  SourceManager buffer("test.c", source);
+  EXPECT_EQ(applyMappingIr(buffer, *restored), session.rewrite());
+}
+
 TEST(RewriteEndToEnd, BackpropMotifUpdatePlacement) {
   const std::string source =
       R"(void f(double *partial_sum, double *hidden, int hid, int nb) {
