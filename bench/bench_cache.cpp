@@ -1,0 +1,124 @@
+// Plan-cache throughput: runs the nine-benchmark suite through the batch
+// driver twice against one cache directory — a cold pass that plans and
+// populates, then a warm pass that must re-hydrate every plan — and writes
+// BENCH_cache.json with the cold/warm wall times, the speedup, and the
+// cache counters. Exits non-zero when the warm pass is not 100% hits or the
+// emitted sources differ between passes, so CI can use it as the warm-run
+// equivalence gate.
+#include "driver/batch.hpp"
+#include "suite/benchmarks.hpp"
+#include "support/json.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<ompdart::BatchJob> suiteJobs() {
+  std::vector<ompdart::BatchJob> jobs;
+  for (const auto &def : ompdart::suite::allBenchmarks()) {
+    ompdart::BatchJob job;
+    job.name = def.name;
+    job.fileName = def.name + ".c";
+    job.source = def.unoptimized;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+fs::path freshCacheDir() {
+  std::random_device rd;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("ompdart-bench-cache-" + std::to_string(rd()));
+  fs::remove_all(dir);
+  return dir;
+}
+
+ompdart::json::Value batchJson(const ompdart::BatchResult &result) {
+  return result.stats.toJson();
+}
+
+} // namespace
+
+int main() {
+  using ompdart::BatchDriver;
+  namespace json = ompdart::json;
+
+  const auto jobs = suiteJobs();
+  const fs::path cacheDir = freshCacheDir();
+
+  BatchDriver::Options options;
+  options.config.cacheDir = cacheDir.string();
+  options.config.cacheMode = ompdart::cache::CacheMode::ReadWrite;
+  options.config.includeOutputInReport = false;
+  BatchDriver driver(options);
+
+  const ompdart::BatchResult cold = driver.run(jobs);
+  const ompdart::BatchResult warm = driver.run(jobs);
+
+  bool ok = true;
+  if (cold.stats.succeeded != cold.stats.jobs) {
+    std::fprintf(stderr, "cold pass had failures (%u/%u succeeded)\n",
+                 cold.stats.succeeded, cold.stats.jobs);
+    ok = false;
+  }
+  if (!warm.stats.fullyWarm()) {
+    std::fprintf(stderr, "warm pass not fully cached: %u hits / %u jobs\n",
+                 warm.stats.planCacheHits, warm.stats.jobs);
+    ok = false;
+  }
+  bool outputsByteIdentical = true;
+  for (const auto &coldItem : cold.items) {
+    const ompdart::BatchItem *warmItem = warm.find(coldItem.name);
+    if (warmItem == nullptr || warmItem->output != coldItem.output) {
+      std::fprintf(stderr, "emitted source differs cold vs warm: %s\n",
+                   coldItem.name.c_str());
+      outputsByteIdentical = false;
+      ok = false;
+    }
+  }
+  const unsigned warmPlanRuns =
+      warm.stats.stageRuns[static_cast<unsigned>(ompdart::Stage::Parse)] +
+      warm.stats.stageRuns[static_cast<unsigned>(ompdart::Stage::Cfg)] +
+      warm.stats.stageRuns[static_cast<unsigned>(ompdart::Stage::Interproc)] +
+      warm.stats.stageRuns[static_cast<unsigned>(ompdart::Stage::Plan)];
+  if (warmPlanRuns != 0) {
+    std::fprintf(stderr,
+                 "warm pass executed %u parse/cfg/interproc/plan stages\n",
+                 warmPlanRuns);
+    ok = false;
+  }
+
+  const double speedup = warm.stats.wallSeconds > 0.0
+                             ? cold.stats.wallSeconds / warm.stats.wallSeconds
+                             : 0.0;
+  std::printf("plan cache over the %u-benchmark suite (%s)\n",
+              cold.stats.jobs, cacheDir.string().c_str());
+  std::printf("  cold batch: %8.4f s wall (%u misses, %llu stores)\n",
+              cold.stats.wallSeconds, cold.stats.planCacheMisses,
+              static_cast<unsigned long long>(cold.stats.planCacheStores));
+  std::printf("  warm batch: %8.4f s wall (%u hits, plan-stage runs %u)\n",
+              warm.stats.wallSeconds, warm.stats.planCacheHits, warmPlanRuns);
+  std::printf("  warm speedup: %.2fx\n", speedup);
+
+  json::Value doc = json::Value::object();
+  doc.set("jobs", cold.stats.jobs);
+  doc.set("coldWallSeconds", cold.stats.wallSeconds);
+  doc.set("warmWallSeconds", warm.stats.wallSeconds);
+  doc.set("warmSpeedup", speedup);
+  doc.set("outputsByteIdentical", outputsByteIdentical);
+  doc.set("allGatesPassed", ok);
+  doc.set("cold", batchJson(cold));
+  doc.set("warm", batchJson(warm));
+  std::ofstream out("BENCH_cache.json");
+  out << doc.dump(/*pretty=*/true) << "\n";
+  std::printf("wrote BENCH_cache.json\n");
+
+  std::error_code ec;
+  fs::remove_all(cacheDir, ec);
+  return ok ? 0 : 1;
+}

@@ -51,7 +51,10 @@ void usage(const char *argv0) {
       "  --no-firstprivate    disable the firstprivate optimization\n"
       "  --no-hoist           disable Algorithm 1 update hoisting\n"
       "  --per-kernel         do not extend data regions over loops\n"
-      "  --no-interproc       disable the interprocedural fixed point\n",
+      "  --no-interproc       disable the interprocedural fixed point\n"
+      "  --cache-dir=<dir>    content-addressed plan cache directory\n"
+      "  --cache=<mode>       off | read | read-write (default: read-write\n"
+      "                       once --cache-dir is set)\n",
       argv0, joined(emitKinds()).c_str(),
       joined(ompdart::costModelNames()).c_str());
 }
@@ -95,6 +98,7 @@ int main(int argc, char **argv) {
   std::string outputPath;
   std::string emit = "source";
   bool dumpAst = false;
+  bool cacheModeExplicit = false;
   ompdart::PipelineConfig config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,6 +139,19 @@ int main(int argc, char **argv) {
       config.planner.extendRegionOverLoops = false;
     } else if (arg == "--no-interproc") {
       config.planner.interprocedural = false;
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      config.cacheDir = arg.substr(12);
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      const std::string mode = arg.substr(8);
+      const auto parsed = ompdart::cache::cacheModeFromName(mode);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "unknown cache mode '%s' (off | read | read-write)\n",
+                     mode.c_str());
+        return 1;
+      }
+      config.cacheMode = *parsed;
+      cacheModeExplicit = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -178,12 +195,40 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  // Flag order must not matter: --cache-dir without an explicit --cache
+  // defaults to read-write; an explicit --cache=off wins either way.
+  if (!config.cacheDir.empty() && !cacheModeExplicit)
+    config.cacheMode = ompdart::cache::CacheMode::ReadWrite;
+  if (config.cacheDir.empty() &&
+      config.cacheMode != ompdart::cache::CacheMode::Off) {
+    std::fprintf(stderr, "--cache=%s needs --cache-dir=<dir>\n",
+                 ompdart::cache::cacheModeName(config.cacheMode));
+    return 1;
+  }
+  if (!config.cacheDir.empty() &&
+      config.cacheMode == ompdart::cache::CacheMode::Off)
+    config.cacheDir.clear();
+
   ompdart::Session session(inputPath, source, config);
   // Pretty-print diagnostics to stderr as they are reported.
   ompdart::StreamSink diagnosticPrinter(std::cerr, inputPath);
   session.diagnostics().setSink(&diagnosticPrinter);
 
   const bool ok = session.run();
+
+  switch (session.planCacheStatus()) {
+  case ompdart::Session::PlanCacheStatus::Disabled:
+    break;
+  case ompdart::Session::PlanCacheStatus::Uncacheable:
+    std::fprintf(stderr, "plan cache: uncacheable configuration\n");
+    break;
+  case ompdart::Session::PlanCacheStatus::Miss:
+  case ompdart::Session::PlanCacheStatus::Hit:
+    std::fprintf(stderr, "plan cache: %s (key %s)\n",
+                 session.planFromCache() ? "hit" : "miss",
+                 session.planCacheKey().id().c_str());
+    break;
+  }
 
   std::string payload;
   if (emit == "json") {

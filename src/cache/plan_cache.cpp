@@ -1,0 +1,352 @@
+#include "cache/plan_cache.hpp"
+
+#include "support/hash.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace ompdart::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr unsigned kEntryFormatVersion = 1;
+
+std::optional<std::string> readFile(const fs::path &path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Atomic publish: write next to the target, then rename over it. Readers
+/// either see the old content or the new, never a torn file. The temp name
+/// is unique per process AND per write, so concurrent writers (threads or
+/// CLI processes sharing one cache directory) never interleave into one
+/// temp file.
+bool writeFileAtomic(const fs::path &path, const std::string &content) {
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  static std::atomic<unsigned long long> writeCounter{0};
+  const fs::path temp =
+      path.parent_path() /
+      (path.filename().string() + ".tmp." +
+       std::to_string(static_cast<long long>(::getpid())) + "." +
+       std::to_string(writeCounter.fetch_add(1)));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return false;
+    out << content;
+    // Force the buffered tail out and observe close-time failures (full
+    // disk) BEFORE the rename publishes the file — never replace a good
+    // entry/index with a truncated one.
+    out.flush();
+    out.close();
+    if (out.fail()) {
+      fs::remove(temp, ec);
+      return false;
+    }
+  }
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return false;
+  }
+  return true;
+}
+
+/// Index rows are keyed by everything BUT the source content, so a row
+/// changes exactly when the same file+config+tool combination re-plans
+/// edited content — the stale transition worth invalidating. Config flips
+/// get their own rows and never unlink each other's (still valid) entries.
+std::string indexKeyFor(const CacheKey &key, const std::string &fileName) {
+  return fileName + "\n" + key.configHash + "\n" + key.toolVersion;
+}
+
+} // namespace
+
+const char *cacheModeName(CacheMode mode) {
+  switch (mode) {
+  case CacheMode::Off:
+    return "off";
+  case CacheMode::Read:
+    return "read";
+  case CacheMode::ReadWrite:
+    return "read-write";
+  }
+  return "unknown";
+}
+
+std::optional<CacheMode> cacheModeFromName(const std::string &name) {
+  if (name == "off")
+    return CacheMode::Off;
+  if (name == "read")
+    return CacheMode::Read;
+  if (name == "read-write")
+    return CacheMode::ReadWrite;
+  return std::nullopt;
+}
+
+std::string CacheKey::id() const {
+  // Length-prefix each component so ("ab","c") and ("a","bc") cannot
+  // collide by concatenation.
+  hash::Hasher hasher;
+  hasher.update(static_cast<std::uint64_t>(sourceHash.size()));
+  hasher.update(sourceHash);
+  hasher.update(static_cast<std::uint64_t>(configHash.size()));
+  hasher.update(configHash);
+  hasher.update(static_cast<std::uint64_t>(toolVersion.size()));
+  hasher.update(toolVersion);
+  return hasher.hex();
+}
+
+json::Value CacheEntry::toJson(const CacheKey &key) const {
+  json::Value out = json::Value::object();
+  out.set("formatVersion", kEntryFormatVersion);
+  json::Value keyJson = json::Value::object();
+  keyJson.set("sourceHash", key.sourceHash);
+  keyJson.set("configHash", key.configHash);
+  keyJson.set("toolVersion", key.toolVersion);
+  out.set("key", std::move(keyJson));
+  out.set("file", fileName);
+  out.set("irFingerprint", irFingerprint);
+
+  json::Value metricsJson = json::Value::object();
+  metricsJson.set("kernels", metrics.kernels);
+  metricsJson.set("offloadedLines", metrics.offloadedLines);
+  metricsJson.set("mappedVariables", metrics.mappedVariables);
+  metricsJson.set("possibleMappings", metrics.possibleMappings);
+  out.set("metrics", std::move(metricsJson));
+
+  json::Value diagnosticsJson = json::Value::array();
+  for (const Diagnostic &diag : diagnostics)
+    diagnosticsJson.push(diagnosticToJson(diag));
+  out.set("diagnostics", std::move(diagnosticsJson));
+
+  out.set("ir", ir.toJson());
+  return out;
+}
+
+std::optional<CacheEntry> CacheEntry::fromJson(const json::Value &value,
+                                               const CacheKey &expect,
+                                               std::string *error) {
+  if (!value.isObject()) {
+    json::setFirstError(error, "cache entry must be a JSON object");
+    return std::nullopt;
+  }
+  if (value.uintOr("formatVersion") != kEntryFormatVersion) {
+    json::setFirstError(error, "cache entry has an unsupported format version");
+    return std::nullopt;
+  }
+  const json::Value *keyJson = value.find("key");
+  if (keyJson == nullptr) {
+    json::setFirstError(error, "cache entry is missing its key");
+    return std::nullopt;
+  }
+  CacheKey key;
+  key.sourceHash = keyJson->stringOr("sourceHash");
+  key.configHash = keyJson->stringOr("configHash");
+  key.toolVersion = keyJson->stringOr("toolVersion");
+  if (!(key == expect)) {
+    json::setFirstError(error, "cache entry key does not match the lookup key");
+    return std::nullopt;
+  }
+
+  CacheEntry entry;
+  entry.fileName = value.stringOr("file");
+  entry.irFingerprint = value.stringOr("irFingerprint");
+
+  if (const json::Value *metricsJson = value.find("metrics")) {
+    entry.metrics.kernels =
+        static_cast<unsigned>(metricsJson->uintOr("kernels"));
+    entry.metrics.offloadedLines =
+        static_cast<unsigned>(metricsJson->uintOr("offloadedLines"));
+    entry.metrics.mappedVariables =
+        static_cast<unsigned>(metricsJson->uintOr("mappedVariables"));
+    entry.metrics.possibleMappings = metricsJson->uintOr("possibleMappings");
+  }
+
+  if (const json::Value *diagnosticsJson = value.find("diagnostics")) {
+    for (const json::Value &diagJson : diagnosticsJson->items()) {
+      std::optional<Diagnostic> diag = diagnosticFromJson(diagJson);
+      if (!diag) {
+        json::setFirstError(error, "cache entry holds a malformed diagnostic");
+        return std::nullopt;
+      }
+      entry.diagnostics.push_back(std::move(*diag));
+    }
+  }
+
+  const json::Value *irJson = value.find("ir");
+  if (irJson == nullptr) {
+    json::setFirstError(error, "cache entry is missing the mapping IR");
+    return std::nullopt;
+  }
+  std::optional<ir::MappingIr> mappingIr = ir::MappingIr::fromJson(*irJson,
+                                                                   error);
+  if (!mappingIr)
+    return std::nullopt;
+  entry.ir = std::move(*mappingIr);
+  if (entry.ir.fingerprint() != entry.irFingerprint) {
+    json::setFirstError(error, "cache entry IR fails its integrity fingerprint");
+    return std::nullopt;
+  }
+  return entry;
+}
+
+json::Value CacheStats::toJson() const {
+  json::Value out = json::Value::object();
+  out.set("lookups", lookups);
+  out.set("hits", hits);
+  out.set("misses", misses);
+  out.set("stores", stores);
+  out.set("invalidations", invalidations);
+  return out;
+}
+
+PlanCache::PlanCache(std::string directory, CacheMode mode)
+    : directory_(std::move(directory)), mode_(mode) {}
+
+std::string PlanCache::entryPathFor(const CacheKey &key) const {
+  return (fs::path(directory_) / "plans" / (key.id() + ".json")).string();
+}
+
+void PlanCache::loadIndexLocked() {
+  if (indexLoaded_)
+    return;
+  indexLoaded_ = true;
+  const auto text = readFile(fs::path(directory_) / "index.json");
+  if (!text)
+    return;
+  const auto doc = json::Value::parse(*text);
+  if (!doc || !doc->isObject())
+    return;
+  for (const auto &[file, id] : doc->members())
+    if (id.kind() == json::Value::Kind::String)
+      index_[file] = id.asString();
+}
+
+void PlanCache::mergeDiskIndexLocked() {
+  // Another process sharing this directory may have stored or updated rows
+  // since our load. Rows this process touched (ownedRows_) keep our value
+  // — including deliberate erasures, which must not resurrect — and every
+  // other row adopts the disk state, so concurrent processes never clobber
+  // each other's updates.
+  const auto text = readFile(fs::path(directory_) / "index.json");
+  if (!text)
+    return;
+  const auto doc = json::Value::parse(*text);
+  if (!doc || !doc->isObject())
+    return;
+  for (const auto &[rowKey, id] : doc->members())
+    if (id.kind() == json::Value::Kind::String &&
+        ownedRows_.count(rowKey) == 0)
+      index_[rowKey] = id.asString();
+}
+
+void PlanCache::saveIndexLocked() {
+  mergeDiskIndexLocked();
+  json::Value doc = json::Value::object();
+  for (const auto &[rowKey, id] : index_)
+    doc.set(rowKey, id);
+  if (writeFileAtomic(fs::path(directory_) / "index.json", doc.dump(true)))
+    indexDirty_ = false;
+}
+
+void PlanCache::flushIndex() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (indexDirty_)
+    saveIndexLocked();
+}
+
+PlanCache::~PlanCache() { flushIndex(); }
+
+std::optional<CacheEntry> PlanCache::lookup(const CacheKey &key,
+                                            const std::string &fileName) {
+  if (!enabled())
+    return std::nullopt;
+  const std::string id = key.id();
+
+  // File read, JSON parse, IR deserialization and fingerprint verification
+  // touch no shared state — keep them outside the mutex so a warm batch's
+  // lookups run concurrently instead of serializing on the lock.
+  std::optional<CacheEntry> entry;
+  if (const auto text = readFile(entryPathFor(key))) {
+    if (const auto doc = json::Value::parse(*text))
+      entry = CacheEntry::fromJson(*doc, key);
+  }
+
+  const std::string row = indexKeyFor(key, fileName);
+  std::lock_guard<std::mutex> lock(mutex_);
+  loadIndexLocked();
+  ++stats_.lookups;
+  if (entry) {
+    ++stats_.hits;
+    // Register this file+config against the entry it resolves to
+    // (identical sources share one content-addressed entry), so every
+    // combination currently served by an entry is visible in the index.
+    if (writable()) {
+      auto indexIt = index_.find(row);
+      if (indexIt == index_.end() || indexIt->second != id) {
+        index_[row] = id;
+        ownedRows_.insert(row);
+        indexDirty_ = true;
+      }
+    }
+    return entry;
+  }
+
+  ++stats_.misses;
+  // Stale detection: the index knows a different entry for this
+  // file+config+tool row, so the file's content changed since the store.
+  // Count the transition once and (read-write) drop the row — the re-plan
+  // that follows this miss will store and re-index. The superseded entry
+  // FILE stays on disk: content-addressed entries are immutable-valid, so
+  // flipping the file back to earlier content (branch switches, A-B edits)
+  // re-hits it, and identical-content twins or other configs sharing the
+  // entry are never robbed of it.
+  auto indexIt = index_.find(row);
+  if (indexIt != index_.end() && indexIt->second != id) {
+    if (countedStale_.insert({row, indexIt->second}).second)
+      ++stats_.invalidations;
+    if (writable()) {
+      index_.erase(indexIt);
+      ownedRows_.insert(row);
+      indexDirty_ = true;
+    }
+  }
+  return std::nullopt;
+}
+
+void PlanCache::store(const CacheKey &key, const CacheEntry &entry) {
+  if (!writable())
+    return;
+  // The entry write touches no shared state (the path is content-addressed
+  // and the rename atomic) — only stats and the index need the lock.
+  if (!writeFileAtomic(entryPathFor(key), entry.toJson(key).dump(true)))
+    return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  loadIndexLocked();
+  ++stats_.stores;
+  if (!entry.fileName.empty()) {
+    const std::string row = indexKeyFor(key, entry.fileName);
+    index_[row] = key.id();
+    ownedRows_.insert(row);
+    indexDirty_ = true;
+  }
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+} // namespace ompdart::cache

@@ -1,0 +1,176 @@
+// Content-addressed plan cache: the persistence layer that lets the tool
+// behave like a service under repeated traffic instead of a one-shot
+// compiler pass.
+//
+// A cache key fingerprints everything that determines planning output:
+//   - the source buffer's content hash (not its path or mtime),
+//   - the planning-relevant PipelineConfig fingerprint (ablation switches,
+//     cost model, interprocedural pass cap — see planFingerprint()),
+//   - the tool version (kToolVersion).
+// An entry stores the serialized Mapping IR plus everything the plan stage
+// produced besides it: complexity metrics and the diagnostics present at
+// the end of planning. A Session that hits re-hydrates the IR straight into
+// the emission backends and skips parse->cfg->interproc->plan entirely; a
+// miss plans normally and (in read-write mode) stores the result.
+//
+// On-disk layout under the cache directory:
+//   plans/<key-id>.json   one entry per content address
+//   index.json            (fileName, configHash, toolVersion) row -> latest
+//                         key id, for stale detection
+// Because entries are content-addressed, editing a source never corrupts a
+// cache: the edit changes the key, the lookup misses, and the superseded
+// entry for that file+config row is counted as an invalidation (the row is
+// dropped in read-write mode; the entry file itself stays — entries are
+// immutable-valid, so flipping content back re-hits it, and twins/other
+// configs sharing the entry keep it). Config flips get their own rows, so
+// A-B config traffic over one file keeps both entries warm. Writes go
+// through a uniquely-named temp-file rename, so concurrent sessions — and
+// separate CLI processes — sharing one cache never observe torn entries,
+// and the index merges other processes' rows on save instead of clobbering
+// them.
+#pragma once
+
+#include "driver/report.hpp"
+#include "mapping/ir.hpp"
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ompdart::cache {
+
+/// Cache behavior: Off (never touch disk), Read (consume entries, never
+/// write), ReadWrite (consume and populate).
+enum class CacheMode { Off, Read, ReadWrite };
+
+[[nodiscard]] const char *cacheModeName(CacheMode mode);
+/// "off" | "read" | "read-write"; nullopt otherwise.
+[[nodiscard]] std::optional<CacheMode>
+cacheModeFromName(const std::string &name);
+
+/// Everything that determines planning output, fingerprinted.
+struct CacheKey {
+  std::string sourceHash;  ///< content hash of the input buffer
+  std::string configHash;  ///< planning-relevant config fingerprint
+  std::string toolVersion; ///< kToolVersion of the producing binary
+
+  /// The content address: a stable hash over all three components.
+  [[nodiscard]] std::string id() const;
+
+  [[nodiscard]] bool operator==(const CacheKey &other) const {
+    return sourceHash == other.sourceHash &&
+           configHash == other.configHash &&
+           toolVersion == other.toolVersion;
+  }
+};
+
+/// One cached plan-stage result.
+struct CacheEntry {
+  std::string fileName; ///< diagnostics file name of the producing session
+  ir::MappingIr ir;
+  ComplexityMetrics metrics;
+  /// All diagnostics present at the end of the plan stage (parse through
+  /// plan), replayed on a hit so warm reports match cold ones. Entries with
+  /// errors are never stored.
+  std::vector<Diagnostic> diagnostics;
+  /// Integrity check: ir.fingerprint() at store time; lookups recompute and
+  /// reject mismatches (truncated or hand-edited entry files).
+  std::string irFingerprint;
+
+  [[nodiscard]] json::Value toJson(const CacheKey &key) const;
+  /// Validates the document shape, that its key matches `expect`, and that
+  /// the embedded IR re-hashes to `irFingerprint`.
+  [[nodiscard]] static std::optional<CacheEntry>
+  fromJson(const json::Value &value, const CacheKey &expect,
+           std::string *error = nullptr);
+};
+
+/// Monotonic counters; `invalidations` counts lookups that found a
+/// superseded entry for the same file (source/config/tool changed).
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t invalidations = 0;
+
+  [[nodiscard]] json::Value toJson() const;
+};
+
+/// Thread-safe on-disk store. One instance may be shared across concurrent
+/// Sessions (the BatchDriver does); all state is guarded by one mutex and
+/// entry writes are atomic renames.
+class PlanCache {
+public:
+  PlanCache(std::string directory, CacheMode mode);
+  /// Flushes the index (see flushIndex) before destruction.
+  ~PlanCache();
+
+  [[nodiscard]] bool enabled() const {
+    return mode_ != CacheMode::Off && !directory_.empty();
+  }
+  [[nodiscard]] bool writable() const {
+    return mode_ == CacheMode::ReadWrite && !directory_.empty();
+  }
+  [[nodiscard]] CacheMode mode() const { return mode_; }
+  [[nodiscard]] const std::string &directory() const { return directory_; }
+
+  /// Content-addressed lookup. `fileName` is only used for stale-entry
+  /// detection: a miss whose file+config index row points at a superseded
+  /// entry counts as an invalidation (and drops the stale row in
+  /// read-write mode; the entry file itself is kept).
+  [[nodiscard]] std::optional<CacheEntry>
+  lookup(const CacheKey &key, const std::string &fileName);
+
+  /// Persists an entry (no-op unless writable) and points the file index at
+  /// it.
+  void store(const CacheKey &key, const CacheEntry &entry);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Persists pending index-row changes (entry files are always written
+  /// immediately; the index is write-behind so a batch does not rewrite it
+  /// once per job). Called by the destructor; safe to call any time.
+  void flushIndex();
+
+  /// `<directory>/plans/<key-id>.json`.
+  [[nodiscard]] std::string entryPathFor(const CacheKey &key) const;
+
+private:
+  void loadIndexLocked();
+  /// Merges rows other processes wrote since our load — any row this
+  /// process did not touch itself adopts the disk value (including
+  /// updates to rows we merely read) — then persists. Keeps concurrent
+  /// CLI processes sharing one cache directory from clobbering each
+  /// other's rows.
+  void saveIndexLocked();
+  void mergeDiskIndexLocked();
+
+  std::string directory_;
+  CacheMode mode_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+  /// (fileName, configHash, toolVersion) row -> entry id of the latest
+  /// store for that combination.
+  std::map<std::string, std::string> index_;
+  bool indexLoaded_ = false;
+  /// Rows this process changed (stored, re-registered, or erased): the
+  /// disk merge must not overwrite these with other processes' values,
+  /// while every untouched row adopts the disk state.
+  std::set<std::string> ownedRows_;
+  /// Unflushed index changes pending (write-behind).
+  bool indexDirty_ = false;
+  /// (row, stale id) pairs already counted as invalidations, so a
+  /// read-only cache (which cannot erase the stale row) reports one
+  /// invalidation per transition instead of one per lookup.
+  std::set<std::pair<std::string, std::string>> countedStale_;
+};
+
+} // namespace ompdart::cache

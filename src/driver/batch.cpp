@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 namespace ompdart {
@@ -19,10 +20,38 @@ json::Value BatchStats::toJson() const {
   for (const Stage stage : allStages())
     stages.set(stageName(stage), stageSeconds[static_cast<unsigned>(stage)]);
   out.set("stageSeconds", std::move(stages));
+  json::Value runs = json::Value::object();
+  for (const Stage stage : allStages())
+    runs.set(stageName(stage), stageRuns[static_cast<unsigned>(stage)]);
+  out.set("stageRuns", std::move(runs));
+  json::Value cacheJson = json::Value::object();
+  cacheJson.set("hits", planCacheHits);
+  cacheJson.set("misses", planCacheMisses);
+  cacheJson.set("stores", planCacheStores);
+  cacheJson.set("invalidations", planCacheInvalidations);
+  out.set("planCache", std::move(cacheJson));
   return out;
 }
 
 BatchResult BatchDriver::run(const std::vector<BatchJob> &jobs) const {
+  // One shared cache instance for the whole batch (and its warm-up passes):
+  // concurrent sessions then serialize on its mutex for lookups/stores, and
+  // hit/store counters aggregate in one place.
+  std::unique_ptr<cache::PlanCache> ownedCache;
+  cache::PlanCache *sharedCache = options_.config.planCache;
+  if (sharedCache == nullptr && !options_.config.cacheDir.empty() &&
+      options_.config.cacheMode != cache::CacheMode::Off) {
+    ownedCache = std::make_unique<cache::PlanCache>(
+        options_.config.cacheDir, options_.config.cacheMode);
+    sharedCache = ownedCache.get();
+  }
+  for (unsigned pass = 0; pass < options_.warmupPasses; ++pass)
+    (void)runOnce(jobs, sharedCache);
+  return runOnce(jobs, sharedCache);
+}
+
+BatchResult BatchDriver::runOnce(const std::vector<BatchJob> &jobs,
+                                 cache::PlanCache *sharedCache) const {
   BatchResult result;
   result.items.resize(jobs.size());
   result.stats.jobs = static_cast<unsigned>(jobs.size());
@@ -38,6 +67,8 @@ BatchResult BatchDriver::run(const std::vector<BatchJob> &jobs) const {
     threadCount = static_cast<unsigned>(jobs.size());
   result.stats.threads = threadCount;
 
+  const cache::CacheStats cacheBefore =
+      sharedCache != nullptr ? sharedCache->stats() : cache::CacheStats{};
   const auto wallStart = std::chrono::steady_clock::now();
   std::atomic<std::size_t> cursor{0};
 
@@ -47,12 +78,15 @@ BatchResult BatchDriver::run(const std::vector<BatchJob> &jobs) const {
       if (index >= jobs.size())
         return;
       const BatchJob &job = jobs[index];
+      PipelineConfig config = options_.config;
+      config.planCache = sharedCache;
       Session session(job.fileName.empty() ? job.name : job.fileName,
-                      job.source, options_.config);
+                      job.source, config);
       BatchItem &item = result.items[index];
       item.name = job.name;
       item.success = session.run();
       item.report = session.report();
+      item.cacheStatus = session.planCacheStatus();
       // Respect stopAfter: only read the transformed source when the
       // rewrite stage actually ran.
       if (session.stageRuns(Stage::Rewrite) > 0)
@@ -80,9 +114,22 @@ BatchResult BatchDriver::run(const std::vector<BatchJob> &jobs) const {
     else
       ++result.stats.failed;
     result.stats.cpuSeconds += item.report.totalSeconds;
-    for (const StageTiming &timing : item.report.timings)
+    for (const StageTiming &timing : item.report.timings) {
       result.stats.stageSeconds[static_cast<unsigned>(timing.stage)] +=
           timing.seconds;
+      result.stats.stageRuns[static_cast<unsigned>(timing.stage)] +=
+          timing.runs;
+    }
+    if (item.cacheStatus == Session::PlanCacheStatus::Hit)
+      ++result.stats.planCacheHits;
+    else if (item.cacheStatus == Session::PlanCacheStatus::Miss)
+      ++result.stats.planCacheMisses;
+  }
+  if (sharedCache != nullptr) {
+    const cache::CacheStats cacheAfter = sharedCache->stats();
+    result.stats.planCacheStores = cacheAfter.stores - cacheBefore.stores;
+    result.stats.planCacheInvalidations =
+        cacheAfter.invalidations - cacheBefore.invalidations;
   }
   return result;
 }

@@ -7,6 +7,7 @@
 // scheduling.
 #pragma once
 
+#include "cache/plan_cache.hpp"
 #include "driver/pipeline.hpp"
 #include "driver/report.hpp"
 #include "support/json.hpp"
@@ -31,6 +32,12 @@ struct BatchItem {
   Report report;
   /// Transformed source (empty when the rewrite stage was stopped before).
   std::string output;
+  /// Plan-cache probe outcome for this job's session.
+  Session::PlanCacheStatus cacheStatus = Session::PlanCacheStatus::Disabled;
+
+  [[nodiscard]] bool planCacheHit() const {
+    return cacheStatus == Session::PlanCacheStatus::Hit;
+  }
 };
 
 /// Aggregate statistics over one batch run.
@@ -45,10 +52,24 @@ struct BatchStats {
   double cpuSeconds = 0.0;
   /// Per-stage seconds summed across all sessions, indexed by Stage.
   std::array<double, kStageCount> stageSeconds{};
+  /// Per-stage execution counts summed across all sessions. On a fully warm
+  /// cache run the parse/cfg/interproc/plan counters are zero — the
+  /// observable proof those stages were skipped.
+  std::array<unsigned, kStageCount> stageRuns{};
+  /// Plan-cache outcomes across the batch (jobs with a cache configured).
+  unsigned planCacheHits = 0;
+  unsigned planCacheMisses = 0;
+  /// Cache-side deltas for this run (shared-instance counters).
+  std::uint64_t planCacheStores = 0;
+  std::uint64_t planCacheInvalidations = 0;
 
   /// Parallel efficiency proxy: sequential-cost / wall-time.
   [[nodiscard]] double speedup() const {
     return wallSeconds > 0.0 ? cpuSeconds / wallSeconds : 0.0;
+  }
+  /// True when every job's plan came from the cache.
+  [[nodiscard]] bool fullyWarm() const {
+    return jobs > 0 && planCacheHits == jobs;
   }
   [[nodiscard]] json::Value toJson() const;
 };
@@ -70,8 +91,15 @@ public:
   struct Options {
     /// Worker threads; 0 = min(hardware_concurrency, job count).
     unsigned threads = 0;
-    /// Pipeline configuration applied to every session.
+    /// Pipeline configuration applied to every session. When it names a
+    /// cache (cacheDir + cacheMode, or an explicit planCache), the driver
+    /// shares ONE PlanCache instance across all sessions so lookups,
+    /// stores and stats aggregate coherently under concurrency.
     PipelineConfig config;
+    /// Warm-run mode: execute the whole batch this many extra times first
+    /// (results discarded) so the measured run hits a populated cache.
+    /// Requires a writable cache to have any effect.
+    unsigned warmupPasses = 0;
   };
 
   BatchDriver() = default;
@@ -81,6 +109,9 @@ public:
   [[nodiscard]] BatchResult run(const std::vector<BatchJob> &jobs) const;
 
 private:
+  [[nodiscard]] BatchResult runOnce(const std::vector<BatchJob> &jobs,
+                                    cache::PlanCache *sharedCache) const;
+
   Options options_;
 };
 

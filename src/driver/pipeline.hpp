@@ -20,6 +20,7 @@
 #pragma once
 
 #include "analysis/interproc.hpp"
+#include "cache/plan_cache.hpp"
 #include "cfg/cfg.hpp"
 #include "driver/report.hpp"
 #include "frontend/ast.hpp"
@@ -57,11 +58,36 @@ struct PipelineConfig {
   std::optional<Stage> stopAfter;
   /// Embed the transformed source in `report().output` (and its JSON).
   bool includeOutputInReport = true;
+  /// Plan-cache directory; with a non-Off mode the Session consults a
+  /// content-addressed cache before planning and skips
+  /// parse->cfg->interproc->plan entirely on a hit.
+  std::string cacheDir;
+  cache::CacheMode cacheMode = cache::CacheMode::Off;
+  /// Shared cache instance (wins over cacheDir/cacheMode when set; the
+  /// BatchDriver shares one across its sessions so stats aggregate).
+  /// Non-owning; must outlive the Session.
+  cache::PlanCache *planCache = nullptr;
 };
+
+/// Fingerprint of every PipelineConfig field that can change planning
+/// output (ablation switches, cost model, interprocedural pass cap, input
+/// validation). Cache keys embed this, so flipping any such switch is an
+/// automatic cache invalidation; presentation-only fields (stopAfter,
+/// includeOutputInReport, cache wiring) are excluded.
+[[nodiscard]] std::string planFingerprint(const PipelineConfig &config);
 
 /// One translation unit moving through the staged pipeline.
 class Session {
 public:
+  /// Outcome of the plan-cache probe for this Session.
+  enum class PlanCacheStatus {
+    Disabled,    ///< no cache configured (or the probe has not run)
+    Uncacheable, ///< cache configured, but this config cannot be keyed
+                 ///< (injected cost-model instance)
+    Miss,        ///< probed, planned fresh
+    Hit,         ///< probed, plan re-hydrated from the cache
+  };
+
   Session(std::string fileName, std::string source,
           PipelineConfig config = {});
 
@@ -77,7 +103,9 @@ public:
   const std::vector<std::unique_ptr<AstCfg>> &cfg();
   /// Interprocedural side-effect summaries.
   const InterproceduralResult &interproc();
-  /// The mapping plan (empty when any earlier stage reported errors).
+  /// The AST-level mapping plan (empty when any earlier stage reported
+  /// errors — and after a plan-cache hit, which re-hydrates only the
+  /// AST-free IR; check `planFromCache()` and consume `ir()` instead).
   const MappingPlan &plan();
   /// The plan as a self-contained Mapping IR (lifted alongside `plan()`;
   /// same stage). Serializable, AST-free, consumable by any PlanConsumer
@@ -113,6 +141,20 @@ public:
   /// Keeps the AST alive past the Session (compat shim support).
   [[nodiscard]] std::shared_ptr<ASTContext> shareAst() const { return ast_; }
 
+  /// Plan-cache probe outcome (Disabled until `run()`/`plan()` executes
+  /// with a cache configured).
+  [[nodiscard]] PlanCacheStatus planCacheStatus() const {
+    return cacheStatus_;
+  }
+  /// The content-addressed key this Session used (empty hashes until the
+  /// probe ran).
+  [[nodiscard]] const cache::CacheKey &planCacheKey() const {
+    return cacheKey_;
+  }
+  /// True when the plan artifact was re-hydrated from the cache (the
+  /// parse/cfg/interproc/plan stages were skipped).
+  [[nodiscard]] bool planFromCache() const { return planFromCache_; }
+
   /// How many times a stage actually executed (0 = never, 1 = computed once;
   /// never higher because artifacts are cached).
   [[nodiscard]] unsigned stageRuns(Stage stage) const {
@@ -140,6 +182,26 @@ private:
     return done_[static_cast<unsigned>(stage)];
   }
 
+  /// The plan artifact exists and no stage reported errors (fresh parse or
+  /// cache re-hydration); gates the downstream stages.
+  [[nodiscard]] bool planUsable() const {
+    return (parseOk_ || planFromCache_) && !diags_.hasErrors();
+  }
+
+  /// The cache this Session consults: the shared instance from the config,
+  /// else one lazily owned over `config.cacheDir`.
+  [[nodiscard]] cache::PlanCache *activeCache();
+
+  /// Computes the cache key and attempts re-hydration (once). On a hit the
+  /// plan stage is marked done without running and true is returned.
+  bool probePlanCache();
+
+  /// Persists the freshly planned IR (+ metrics + diagnostics) when the
+  /// active cache is writable and planning succeeded.
+  void storePlanCacheEntry();
+
+  [[nodiscard]] ComplexityMetrics computeMetrics() const;
+
   Report buildReport();
 
   std::string fileName_;
@@ -165,6 +227,17 @@ private:
   /// Total stage executions when `report_` was built; a later stage run
   /// invalidates the cached report.
   unsigned reportStageRuns_ = 0;
+
+  // --- plan cache state ---
+  std::unique_ptr<cache::PlanCache> ownedCache_;
+  cache::CacheKey cacheKey_;
+  PlanCacheStatus cacheStatus_ = PlanCacheStatus::Disabled;
+  bool cacheProbed_ = false;
+  bool planFromCache_ = false;
+  /// Metrics re-hydrated from a cache hit, or precomputed at plan time on
+  /// a fresh plan (served by the metrics stage either way).
+  ComplexityMetrics cachedMetrics_;
+  bool metricsPrecomputed_ = false;
 };
 
 } // namespace ompdart

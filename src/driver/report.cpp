@@ -34,42 +34,6 @@ std::optional<Stage> stageFromName(const std::string &name) {
   return std::nullopt;
 }
 
-namespace {
-
-std::optional<Severity> severityFromName(const std::string &name) {
-  if (name == "note")
-    return Severity::Note;
-  if (name == "warning")
-    return Severity::Warning;
-  if (name == "error")
-    return Severity::Error;
-  return std::nullopt;
-}
-
-json::Value locationToJson(const SourceLocation &location) {
-  json::Value out = json::Value::object();
-  out.set("offset", static_cast<std::int64_t>(location.offset));
-  out.set("line", location.line);
-  out.set("column", location.column);
-  return out;
-}
-
-SourceLocation locationFromJson(const json::Value &value) {
-  SourceLocation location;
-  location.offset = static_cast<std::size_t>(value.intOr("offset", -1));
-  location.line = static_cast<unsigned>(value.uintOr("line"));
-  location.column = static_cast<unsigned>(value.uintOr("column"));
-  return location;
-}
-
-bool setError(std::string *error, const char *message) {
-  if (error != nullptr && error->empty())
-    *error = message;
-  return false;
-}
-
-} // namespace
-
 json::Value Report::toJson() const {
   json::Value out = json::Value::object();
   out.set("file", fileName);
@@ -95,13 +59,8 @@ json::Value Report::toJson() const {
   out.set("totalSeconds", totalSeconds);
 
   json::Value diagnosticsJson = json::Value::array();
-  for (const Diagnostic &diag : diagnostics) {
-    json::Value entry = json::Value::object();
-    entry.set("severity", severityName(diag.severity));
-    entry.set("location", locationToJson(diag.location));
-    entry.set("message", diag.message);
-    diagnosticsJson.push(std::move(entry));
-  }
+  for (const Diagnostic &diag : diagnostics)
+    diagnosticsJson.push(diagnosticToJson(diag));
   out.set("diagnostics", std::move(diagnosticsJson));
 
   // Single plan schema: the embedded Mapping IR serializes itself.
@@ -115,7 +74,7 @@ json::Value Report::toJson() const {
 std::optional<Report> Report::fromJson(const json::Value &value,
                                        std::string *error) {
   if (!value.isObject()) {
-    setError(error, "report document must be a JSON object");
+    json::setFirstError(error, "report document must be a JSON object");
     return std::nullopt;
   }
   Report report;
@@ -140,7 +99,7 @@ std::optional<Report> Report::fromJson(const json::Value &value,
       const std::optional<Stage> stage =
           stageFromName(entry.stringOr("stage"));
       if (!stage) {
-        setError(error, "timing entry names an unknown stage");
+        json::setFirstError(error, "timing entry names an unknown stage");
         return std::nullopt;
       }
       StageTiming timing;
@@ -153,18 +112,12 @@ std::optional<Report> Report::fromJson(const json::Value &value,
 
   if (const json::Value *diagnosticsJson = value.find("diagnostics")) {
     for (const json::Value &entry : diagnosticsJson->items()) {
-      const std::optional<Severity> severity =
-          severityFromName(entry.stringOr("severity"));
-      if (!severity) {
-        setError(error, "diagnostic entry names an unknown severity");
+      std::optional<Diagnostic> diag = diagnosticFromJson(entry);
+      if (!diag) {
+        json::setFirstError(error, "diagnostic entry names an unknown severity");
         return std::nullopt;
       }
-      Diagnostic diag;
-      diag.severity = *severity;
-      if (const json::Value *locationJson = entry.find("location"))
-        diag.location = locationFromJson(*locationJson);
-      diag.message = entry.stringOr("message");
-      report.diagnostics.push_back(std::move(diag));
+      report.diagnostics.push_back(std::move(*diag));
     }
   }
 

@@ -4,6 +4,7 @@
 #include "interp/interp.hpp"
 #include "mapping/backend.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -98,16 +99,22 @@ double geometricMean(const std::vector<double> &values) {
 }
 
 std::uint64_t predictedTransferBytes(const ir::MappingIr &ir) {
+  // Present-table accounting (OpenMP 5.2 reference counts): every region
+  // entry is a fresh 0->1 transition (HtoD for to/tofrom) and every exit a
+  // 1->0 transition (DtoH for from/tofrom), so map traffic multiplies by
+  // the region's provable entry count; updates copy unconditionally each
+  // time their insertion point executes.
   std::uint64_t total = 0;
   for (const ir::Region &region : ir.regions) {
+    std::uint64_t perEntry = 0;
     for (const ir::MapItem &map : region.maps) {
       switch (map.type) {
       case ir::MapType::To:
       case ir::MapType::From:
-        total += map.approxBytes;
+        perEntry += map.approxBytes;
         break;
       case ir::MapType::ToFrom:
-        total += 2 * map.approxBytes;
+        perEntry += 2 * map.approxBytes; // both the HtoD and DtoH legs
         break;
       case ir::MapType::Alloc:
       case ir::MapType::Release:
@@ -115,8 +122,10 @@ std::uint64_t predictedTransferBytes(const ir::MappingIr &ir) {
         break; // no movement
       }
     }
+    total += perEntry * std::max<std::uint64_t>(1, region.entryCount);
     for (const ir::UpdateItem &update : region.updates)
-      total += update.approxBytes;
+      total +=
+          update.approxBytes * std::max<std::uint64_t>(1, update.executions);
   }
   return total;
 }

@@ -270,6 +270,22 @@ int Interpreter::createObject(std::string name, const Type *elemType,
   if (obj->elemBytes == 0)
     obj->elemBytes = 1;
   obj->byteSize = slots * obj->elemBytes;
+  if (elemType != nullptr && elemType->kind() == TypeKind::Record &&
+      slots > 1) {
+    // Record objects store one slot per field, so sizing each slot at the
+    // whole record would overcount mapped bytes fields-times. Charge the
+    // true aggregate size (records per object x record size). The derived
+    // per-slot width is exact only for uniform field sizes — the one-slot-
+    // per-field value model has no per-slot widths to begin with — so
+    // mixed-width records keep a truncated approximation in elemBytes
+    // while byteSize (what map/update transfers ledger) stays exact.
+    const auto *record = static_cast<const RecordType *>(elemType);
+    const std::size_t fields = record->decl()->fields().size();
+    if (fields > 0 && slots % fields == 0) {
+      obj->byteSize = (slots / fields) * elemType->sizeInBytes();
+      obj->elemBytes = std::max<std::uint64_t>(1, obj->byteSize / slots);
+    }
+  }
   obj->host.assign(slots, Value{std::int64_t{0}});
   const int id = obj->id;
   objects_.push_back(std::move(obj));

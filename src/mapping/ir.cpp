@@ -1,6 +1,7 @@
 #include "mapping/ir.hpp"
 
 #include "mapping/plan.hpp"
+#include "support/hash.hpp"
 
 #include <algorithm>
 #include <map>
@@ -184,12 +185,6 @@ updatePlacementFromName(const std::string &name) {
 
 namespace {
 
-bool setError(std::string *error, const char *message) {
-  if (error != nullptr && error->empty())
-    *error = message;
-  return false;
-}
-
 const char *extentKindName(Extent::Kind kind) {
   switch (kind) {
   case Extent::Kind::Whole:
@@ -227,7 +222,7 @@ bool extentFromJson(const json::Value &value, Extent &extent,
   const std::optional<Extent::Kind> kind =
       extentKindFromName(value.stringOr("kind", "whole"));
   if (!kind)
-    return setError(error, "extent names an unknown kind");
+    return json::setFirstError(error, "extent names an unknown kind");
   extent.kind = *kind;
   extent.constElems = value.uintOr("elems");
   extent.expr = value.stringOr("expr");
@@ -289,7 +284,7 @@ bool modifiersFromJson(const json::Value &value, MapModifiers &modifiers,
     else if (name == "present")
       modifiers.present = true;
     else
-      return setError(error, "map item names an unknown modifier");
+      return json::setFirstError(error, "map item names an unknown modifier");
   }
   return true;
 }
@@ -326,6 +321,7 @@ json::Value MappingIr::toJson() const {
       regionJson.set("soleKernelPragmaEndOffset",
                      static_cast<std::uint64_t>(
                          region.soleKernelPragmaEndOffset));
+    regionJson.set("entryCount", region.entryCount);
 
     json::Value mapsJson = json::Value::array();
     for (const MapItem &map : region.maps) {
@@ -351,6 +347,7 @@ json::Value MappingIr::toJson() const {
       entry.set("item", update.item);
       entry.set("extent", extentToJson(update.extent));
       entry.set("approxBytes", update.approxBytes);
+      entry.set("executions", update.executions);
       entry.set("anchor", anchorToJson(update.anchor));
       updatesJson.push(std::move(entry));
     }
@@ -377,7 +374,7 @@ json::Value MappingIr::toJson() const {
 std::optional<MappingIr> MappingIr::fromJson(const json::Value &value,
                                              std::string *error) {
   if (!value.isObject()) {
-    setError(error, "mapping IR document must be a JSON object");
+    json::setFirstError(error, "mapping IR document must be a JSON object");
     return std::nullopt;
   }
   MappingIr out;
@@ -408,6 +405,7 @@ std::optional<MappingIr> MappingIr::fromJson(const json::Value &value,
       region.appendsToKernel = regionJson.boolOr("appendsToKernel");
       region.soleKernelPragmaEndOffset = static_cast<std::size_t>(
           regionJson.uintOr("soleKernelPragmaEndOffset"));
+      region.entryCount = regionJson.uintOr("entryCount", 1);
 
       if (const json::Value *mapsJson = regionJson.find("maps")) {
         for (const json::Value &entry : mapsJson->items()) {
@@ -417,7 +415,7 @@ std::optional<MappingIr> MappingIr::fromJson(const json::Value &value,
           const std::optional<MapType> type =
               mapTypeFromName(entry.stringOr("type"));
           if (!type) {
-            setError(error, "map item names an unknown map type");
+            json::setFirstError(error, "map item names an unknown map type");
             return std::nullopt;
           }
           map.type = *type;
@@ -443,14 +441,14 @@ std::optional<MappingIr> MappingIr::fromJson(const json::Value &value,
           const std::optional<UpdateDirection> direction =
               updateDirectionFromName(entry.stringOr("direction"));
           if (!direction) {
-            setError(error, "update item names an unknown direction");
+            json::setFirstError(error, "update item names an unknown direction");
             return std::nullopt;
           }
           update.direction = *direction;
           const std::optional<UpdatePlacement> placement =
               updatePlacementFromName(entry.stringOr("placement"));
           if (!placement) {
-            setError(error, "update item names an unknown placement");
+            json::setFirstError(error, "update item names an unknown placement");
             return std::nullopt;
           }
           update.placement = *placement;
@@ -461,6 +459,7 @@ std::optional<MappingIr> MappingIr::fromJson(const json::Value &value,
               return std::nullopt;
           }
           update.approxBytes = entry.uintOr("approxBytes");
+          update.executions = entry.uintOr("executions", 1);
           if (const json::Value *anchor = entry.find("anchor"))
             update.anchor = anchorFromJson(*anchor);
           region.updates.push_back(std::move(update));
@@ -484,6 +483,12 @@ std::optional<MappingIr> MappingIr::fromJson(const json::Value &value,
     }
   }
   return out;
+}
+
+std::string MappingIr::fingerprint() const {
+  // The JSON writer preserves member insertion order and toJson always
+  // emits in one order, so the compact dump is a canonical serialization.
+  return hash::fingerprint(toJson().dump(/*pretty=*/false));
 }
 
 // ---------------------------------------------------------------------------
@@ -616,6 +621,7 @@ MappingIr liftPlan(const MappingPlan &plan, const std::string &fileName) {
     if (region.soleKernel != nullptr)
       out.soleKernelPragmaEndOffset =
           region.soleKernel->pragmaRange().end.offset;
+    out.entryCount = region.entryCount;
 
     for (const MapSpec &spec : region.maps) {
       MapItem item;
@@ -636,6 +642,7 @@ MappingIr liftPlan(const MappingPlan &plan, const std::string &fileName) {
       item.item = itemSpelling(update.var, update.section);
       item.extent = update.extent;
       item.approxBytes = update.approxBytes;
+      item.executions = update.executions;
       item.anchor = anchorFor(update.anchor);
       out.updates.push_back(std::move(item));
     }

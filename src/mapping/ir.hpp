@@ -194,13 +194,18 @@ struct UpdateItem {
   Extent extent;
   /// Estimated bytes one execution of this update moves.
   std::uint64_t approxBytes = 0;
+  /// Statically provable executions per program run (region entries times
+  /// the constant trip counts of region loops enclosing the insertion
+  /// point; unknown-bound loops count once).
+  std::uint64_t executions = 1;
   StmtAnchor anchor;
 
   [[nodiscard]] bool operator==(const UpdateItem &other) const {
     return symbol == other.symbol && direction == other.direction &&
            placement == other.placement && hoisted == other.hoisted &&
            item == other.item && extent == other.extent &&
-           approxBytes == other.approxBytes && anchor == other.anchor;
+           approxBytes == other.approxBytes &&
+           executions == other.executions && anchor == other.anchor;
   }
 };
 
@@ -227,6 +232,10 @@ struct Region {
   /// pragma (at this offset) instead of creating a new data directive.
   bool appendsToKernel = false;
   std::size_t soleKernelPragmaEndOffset = 0;
+  /// Statically provable region entries per program run (function call
+  /// count times constant trips of loops enclosing the region start). Each
+  /// entry/exit pays the present-table 0->1/1->0 transition copies.
+  std::uint64_t entryCount = 1;
   std::vector<MapItem> maps;
   std::vector<UpdateItem> updates;
   std::vector<FirstprivateItem> firstprivates;
@@ -238,8 +247,8 @@ struct Region {
     return function == other.function && start == other.start &&
            end == other.end && appendsToKernel == other.appendsToKernel &&
            soleKernelPragmaEndOffset == other.soleKernelPragmaEndOffset &&
-           maps == other.maps && updates == other.updates &&
-           firstprivates == other.firstprivates;
+           entryCount == other.entryCount && maps == other.maps &&
+           updates == other.updates && firstprivates == other.firstprivates;
   }
 };
 
@@ -283,6 +292,11 @@ struct MappingIr {
   /// that are not a serialized MappingIr.
   [[nodiscard]] static std::optional<MappingIr>
   fromJson(const json::Value &value, std::string *error = nullptr);
+
+  /// Stable 32-hex-char content fingerprint over the canonical (compact
+  /// JSON) serialization: equal IRs hash equal across processes, so cache
+  /// integrity checks and plan diffing can compare plans by fingerprint.
+  [[nodiscard]] std::string fingerprint() const;
 
   [[nodiscard]] bool operator==(const MappingIr &other) const {
     return file == other.file && symbols == other.symbols &&

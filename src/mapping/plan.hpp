@@ -55,6 +55,11 @@ struct UpdateInsertion {
   ir::Extent extent;
   /// Estimated bytes one execution of this update moves.
   std::uint64_t approxBytes = 0;
+  /// Statically provable executions per program run: region entries times
+  /// the constant trip counts of region loops enclosing the directive's
+  /// insertion point (loops with unknown bounds count once, so this is the
+  /// provable floor the transfer predictor charges).
+  std::uint64_t executions = 1;
   /// True when the anchor is a loop statement rather than the access stmt.
   bool hoisted = false;
 };
@@ -80,6 +85,12 @@ struct RegionPlan {
   /// When the region is exactly one kernel, clauses are appended to its
   /// pragma instead of creating a new target data directive.
   const OmpDirectiveStmt *soleKernel = nullptr;
+  /// Statically provable region entries per program run: how often the
+  /// enclosing function executes (interprocedural call-count estimate)
+  /// times the constant trips of loops enclosing the region start. Each
+  /// entry/exit pays the present-table 0->1/1->0 transition copies, so the
+  /// transfer predictor multiplies map traffic by this.
+  std::uint64_t entryCount = 1;
 
   [[nodiscard]] bool appendsToKernel() const { return soleKernel != nullptr; }
 };

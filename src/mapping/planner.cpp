@@ -4,13 +4,16 @@
 #include "frontend/const_fold.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 
 namespace ompdart {
 
 namespace {
 
-/// Builds child-statement -> parent-statement links for a function body.
+/// Builds child-statement -> parent-statement links for a function body
+/// (consumed into MappingPlanner::stmtParents_, which serves all ancestor
+/// queries).
 class ParentMap {
 public:
   explicit ParentMap(const FunctionDecl *fn) {
@@ -18,19 +21,9 @@ public:
       visit(fn->body(), nullptr);
   }
 
-  [[nodiscard]] const Stmt *parentOf(const Stmt *stmt) const {
-    auto it = parents_.find(stmt);
-    return it != parents_.end() ? it->second : nullptr;
-  }
-
-  /// Chain from the outermost statement down to `stmt` (inclusive).
-  [[nodiscard]] std::vector<const Stmt *> chainOf(const Stmt *stmt) const {
-    std::vector<const Stmt *> chain;
-    for (const Stmt *cursor = stmt; cursor != nullptr;
-         cursor = parentOf(cursor))
-      chain.push_back(cursor);
-    std::reverse(chain.begin(), chain.end());
-    return chain;
+  /// Surrenders the child->parent map (the ParentMap is spent afterwards).
+  [[nodiscard]] std::unordered_map<const Stmt *, const Stmt *> takeLinks() {
+    return std::move(parents_);
   }
 
 private:
@@ -102,12 +95,166 @@ MappingPlan MappingPlanner::plan() {
 MappingPlan
 MappingPlanner::plan(const std::vector<std::unique_ptr<AstCfg>> &cfgs) {
   MappingPlan result;
+  estimateFunctionExecutions(cfgs);
   for (const auto &cfg : cfgs) {
     if (cfg->kernels().empty())
       continue;
     planFunction(cfg->function(), *cfg, result);
   }
   return result;
+}
+
+namespace {
+
+bool isLoopStmt(const Stmt *stmt) {
+  return stmt != nullptr &&
+         (stmt->kind() == StmtKind::For || stmt->kind() == StmtKind::While ||
+          stmt->kind() == StmtKind::Do);
+}
+
+bool isConditionalStmt(const Stmt *stmt) {
+  return stmt != nullptr && (stmt->kind() == StmtKind::If ||
+                             stmt->kind() == StmtKind::Switch);
+}
+
+/// Saturating multiply for execution-count estimates.
+std::uint64_t saturatingMul(std::uint64_t a, std::uint64_t b) {
+  constexpr std::uint64_t kCap = std::uint64_t{1} << 40;
+  if (a == 0 || b == 0)
+    return 0;
+  if (a > kCap / b)
+    return kCap;
+  return a * b;
+}
+
+/// Constant trips of one loop; 1 (the provable floor per execution of the
+/// surrounding context) when the bounds defeat analysis.
+std::uint64_t loopTripsOrOne(const Stmt *loop) {
+  if (const auto *forStmt = dynamic_cast<const ForStmt *>(loop)) {
+    const LoopBounds bounds = analyzeForLoop(forStmt);
+    if (bounds.valid && bounds.upperConst && bounds.lowerConst &&
+        *bounds.upperConst > *bounds.lowerConst)
+      return static_cast<std::uint64_t>(*bounds.upperConst -
+                                        *bounds.lowerConst);
+  }
+  return 1;
+}
+
+/// Provable per-function-execution multiplier for a statement: the product
+/// of constant trips of unguarded loop ancestors. Any conditional ancestor
+/// (if/switch) makes repetition unprovable — the statement may run zero
+/// times per iteration — so the walk reports guarded and the caller
+/// charges the floor of one instead.
+struct ProvableMultiplier {
+  std::uint64_t trips = 1;
+  bool guarded = false;
+};
+ProvableMultiplier provableMultiplierOf(
+    const std::unordered_map<const Stmt *, const Stmt *> &parents,
+    const Stmt *site, std::size_t minBeginOffset = 0) {
+  ProvableMultiplier result;
+  auto parentOf = [&](const Stmt *stmt) -> const Stmt * {
+    auto it = parents.find(stmt);
+    return it != parents.end() ? it->second : nullptr;
+  };
+  for (const Stmt *cursor = parentOf(site); cursor != nullptr;
+       cursor = parentOf(cursor)) {
+    if (cursor->range().begin.offset < minBeginOffset)
+      break;
+    if (isConditionalStmt(cursor)) {
+      result.guarded = true;
+      return result;
+    }
+    if (isLoopStmt(cursor))
+      result.trips = saturatingMul(result.trips, loopTripsOrOne(cursor));
+  }
+  return result;
+}
+
+} // namespace
+
+void MappingPlanner::estimateFunctionExecutions(
+    const std::vector<std::unique_ptr<AstCfg>> &cfgs) {
+  (void)cfgs; // ancestor chains come from per-function ParentMaps
+  fnExecutions_.clear();
+
+  // Caller edges per callee, weighted by the provable trips of the
+  // unguarded loops enclosing each host call site. A call behind an
+  // if/switch may execute zero times per caller run, so guarded edges
+  // contribute the floor of one call total.
+  struct CallerEdge {
+    const FunctionDecl *caller = nullptr;
+    std::uint64_t trips = 1;
+    bool guarded = false;
+  };
+  std::map<const FunctionDecl *, std::vector<CallerEdge>> callersOf;
+  std::set<const FunctionDecl *> called;
+  for (const FunctionDecl *caller : unit_.functions) {
+    const FunctionAccessInfo *info = interproc_.accessesFor(caller);
+    if (info == nullptr)
+      continue;
+    std::unordered_map<const Stmt *, const Stmt *> callerParents;
+    {
+      ParentMap parents(caller);
+      callerParents = parents.takeLinks();
+    }
+    for (const CallSite &site : info->callSites) {
+      const FunctionDecl *callee = site.call->callee();
+      if (callee == nullptr)
+        continue;
+      called.insert(callee);
+      if (site.onDevice)
+        continue;
+      CallerEdge edge;
+      edge.caller = caller;
+      const ProvableMultiplier multiplier =
+          provableMultiplierOf(callerParents, site.stmt);
+      edge.trips = multiplier.trips;
+      edge.guarded = multiplier.guarded;
+      callersOf[callee].push_back(edge);
+    }
+  }
+
+  // Seed: functions no analyzed call site targets are program entries
+  // (main, or callers outside the translation unit) and execute once.
+  auto seedOf = [&](const FunctionDecl *fn) -> std::uint64_t {
+    return (called.count(fn) == 0 || fn->name() == "main") ? 1 : 0;
+  };
+
+  // exec(F) = seed(F) + sum over callers of exec(caller) * trips, evaluated
+  // by memoized DFS. Recursive back-edges contribute 0: the extra
+  // executions a cycle implies are not statically provable, and this
+  // estimate is a provable floor — so a self-recursive f called from a
+  // 10-trip loop floors at 10, never an arbitrary fixed-point-cap value.
+  enum class State { White, Gray, Done };
+  std::map<const FunctionDecl *, State> state;
+  std::function<std::uint64_t(const FunctionDecl *)> eval =
+      [&](const FunctionDecl *fn) -> std::uint64_t {
+    auto stateIt = state.find(fn);
+    if (stateIt != state.end()) {
+      if (stateIt->second == State::Gray)
+        return 0; // back-edge of a cycle: unprovable, charge nothing
+      if (stateIt->second == State::Done)
+        return fnExecutions_[fn];
+    }
+    state[fn] = State::Gray;
+    std::uint64_t total = seedOf(fn);
+    auto callersIt = callersOf.find(fn);
+    if (callersIt != callersOf.end()) {
+      for (const CallerEdge &edge : callersIt->second) {
+        const std::uint64_t contribution =
+            edge.guarded ? (eval(edge.caller) > 0 ? 1 : 0)
+                         : saturatingMul(eval(edge.caller), edge.trips);
+        total = std::min<std::uint64_t>(total + contribution,
+                                        std::uint64_t{1} << 40);
+      }
+    }
+    state[fn] = State::Done;
+    fnExecutions_[fn] = total;
+    return total;
+  };
+  for (const FunctionDecl *fn : unit_.functions)
+    eval(fn);
 }
 
 bool MappingPlanner::contains(const Stmt *outer, const Stmt *inner) {
@@ -162,10 +309,10 @@ bool MappingPlanner::chooseRegionExtent(const AstCfg &cfg,
   const Stmt *endAnchor = outermostLoopOf(lastKernel);
 
   // Lift anchors to children of their lowest common compound so the region
-  // is a well-formed statement sequence.
-  ParentMap parents(cfg.function());
-  const auto startChain = parents.chainOf(startAnchor);
-  const auto endChain = parents.chainOf(endAnchor);
+  // is a well-formed statement sequence (parent links were collected by
+  // planFunction before this ran).
+  const auto startChain = parentChainOf(startAnchor);
+  const auto endChain = parentChainOf(endAnchor);
   std::size_t common = 0;
   while (common < startChain.size() && common < endChain.size() &&
          startChain[common] == endChain[common])
@@ -175,7 +322,7 @@ bool MappingPlanner::chooseRegionExtent(const AstCfg &cfg,
   const Stmt *lca = startChain[common - 1];
   // Walk up until the common ancestor is a compound statement.
   while (lca != nullptr && lca->kind() != StmtKind::Compound)
-    lca = parents.parentOf(lca);
+    lca = stmtParent(lca);
   if (lca == nullptr)
     return false;
   auto childWithin = [&](const std::vector<const Stmt *> &chain)
@@ -208,12 +355,40 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
   updateKeys_.clear();
   liveness_ = std::make_unique<LivenessAnalysis>(cfg, *accesses_);
 
+  // Child->parent links for this function: region-extent selection walks
+  // ancestor chains, and update-execution estimates walk the loop chain
+  // above arbitrary anchors (including loops the CFG loop stacks do not
+  // key).
+  {
+    ParentMap parents(fn);
+    stmtParents_ = parents.takeLinks();
+  }
+
   RegionPlan region;
   region.function = fn;
   if (!chooseRegionExtent(cfg, region))
     return;
   regionBeginOffset_ = region.startStmt->range().begin.offset;
   regionEndOffset_ = region.endStmt->range().end.offset;
+
+  // Provable region entries: every entry/exit replays the present-table
+  // 0->1/1->0 transition copies, so the function's interprocedural call
+  // count (hotspot: advance() runs once per time step and buffer swap)
+  // multiplies all map traffic. Loops around the region start inside this
+  // function (per-kernel regions) multiply on top.
+  {
+    auto it = fnExecutions_.find(fn);
+    const std::uint64_t fnExec =
+        it != fnExecutions_.end() ? std::max<std::uint64_t>(1, it->second)
+                                  : 1;
+    const ProvableMultiplier start =
+        provableMultiplierOf(stmtParents_, region.startStmt);
+    // A region start behind an if/switch may never execute: floor of one.
+    const std::uint64_t entries =
+        start.guarded ? 1 : saturatingMul(fnExec, start.trips);
+    region.entryCount = entries;
+    regionEntryCount_ = entries;
+  }
 
   // Validity walk over the region children of the enclosing compound.
   WalkContext ctx;
@@ -370,14 +545,15 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
       Candidate firstprivate;
       firstprivate.kind = CandidateKind::Firstprivate;
       firstprivate.transfersPerOccurrence = 0;
-      firstprivate.occurrences =
-          std::max<std::uint64_t>(1, cfg_->kernels().size());
+      firstprivate.occurrences = saturatingMul(
+          regionEntryCount_,
+          std::max<std::uint64_t>(1, cfg_->kernels().size()));
       firstprivate.paperRank = 0;
       set.push_back(firstprivate);
       Candidate keepMapped;
       keepMapped.kind = CandidateKind::MapAtRegion;
       keepMapped.bytesPerOccurrence = var->type()->sizeInBytes();
-      keepMapped.occurrences = 1;
+      keepMapped.occurrences = regionEntryCount_;
       keepMapped.paperRank = 1;
       set.push_back(keepMapped);
       if (set[costModel().choose(set)].kind != CandidateKind::Firstprivate)
@@ -593,18 +769,22 @@ void MappingPlanner::handleDeviceRead(const AccessEvent &event,
     // The value at region entry is still current. Candidates: a region-entry
     // map(to:) — one transfer for the whole region — or an `update to` at
     // the consuming kernel, re-copying on every launch.
+    // Occurrence features carry the region's provable entry count: a map
+    // re-pays its present-table transition copies every entry (kernel-entry
+    // multiplicity), an update additionally re-executes per loop trip.
     const std::uint64_t bytes = sectionFor(var).bytes;
     std::vector<Candidate> set;
     Candidate mapEntry;
     mapEntry.kind = CandidateKind::MapAtRegion;
     mapEntry.bytesPerOccurrence = bytes;
-    mapEntry.occurrences = 1;
+    mapEntry.occurrences = regionEntryCount_;
     mapEntry.paperRank = 0;
     set.push_back(mapEntry);
     Candidate updateAtKernel;
     updateAtKernel.kind = CandidateKind::UpdateAtAccess;
     updateAtKernel.bytesPerOccurrence = bytes;
-    updateAtKernel.occurrences = tripCountEstimate(ctx.loops);
+    updateAtKernel.occurrences =
+        saturatingMul(regionEntryCount_, tripCountEstimate(ctx.loops));
     updateAtKernel.paperRank = 1;
     set.push_back(updateAtKernel);
     if (set[costModel().choose(set)].kind == CandidateKind::MapAtRegion) {
@@ -837,6 +1017,7 @@ void MappingPlanner::addUpdate(VarDecl *var, UpdateDirection direction,
   update.section = section.spelling;
   update.extent = section.extent;
   update.approxBytes = section.bytes;
+  update.executions = updateExecutionsAt(anchor, placement);
   region.updates.push_back(std::move(update));
 }
 
@@ -971,8 +1152,16 @@ MappingPlanner::SectionInfo MappingPlanner::sectionFor(VarDecl *var) const {
                          "'; mapping requires a known allocation size");
       return {var->name() + "[0:0]", 0, ir::Extent::constant(0)};
     }
-    const std::uint64_t bytes =
+    std::uint64_t bytes =
         extent.constElems ? *extent.constElems * elemSize : 0;
+    if (!extent.constElems) {
+      // Symbolic extents (e.g. "npoints") keep their source spelling in the
+      // emitted clause, but the transfer predictor still needs bytes: fold
+      // the extent expression, substituting the constant every call site
+      // agrees on when it names a parameter.
+      if (const auto elems = symbolicExtentElems(extent))
+        bytes = *elems * elemSize;
+    }
     return {var->name() + "[0:" + extent.spelling + "]", bytes,
             extent.constElems ? ir::Extent::constant(*extent.constElems)
                               : ir::Extent::symbolic(extent.spelling)};
@@ -1042,6 +1231,71 @@ MappingPlanner::SectionInfo MappingPlanner::sectionFor(VarDecl *var) const {
   return {var->name(), var->type()->sizeInBytes(), ir::Extent::whole()};
 }
 
+std::optional<std::uint64_t>
+MappingPlanner::symbolicExtentElems(const ExtentInfo &extent) const {
+  if (extent.expr == nullptr)
+    return std::nullopt;
+  if (const auto folded = foldIntegerConstant(extent.expr);
+      folded && *folded >= 0)
+    return static_cast<std::uint64_t>(*folded);
+  const VarDecl *lengthVar =
+      referencedVar(ignoreParensAndCasts(extent.expr));
+  if (lengthVar == nullptr || !lengthVar->isParam())
+    return std::nullopt;
+  if (const auto value = paramConstAcrossCallSites(lengthVar);
+      value && *value >= 0)
+    return static_cast<std::uint64_t>(*value);
+  return std::nullopt;
+}
+
+std::optional<std::int64_t>
+MappingPlanner::paramConstAcrossCallSites(const VarDecl *param) const {
+  const FunctionDecl *owner = nullptr;
+  int paramIndex = -1;
+  for (const FunctionDecl *fn : unit_.functions) {
+    for (std::size_t i = 0; i < fn->params().size(); ++i) {
+      if (fn->params()[i] == param) {
+        owner = fn;
+        paramIndex = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  if (owner == nullptr || paramIndex < 0)
+    return std::nullopt;
+  // The call-site constant only describes the parameter's entry value; if
+  // the function ever reassigns it, the clause will evaluate the new value
+  // at runtime — stay conservative.
+  if (const FunctionAccessInfo *ownerInfo = interproc_.accessesFor(owner)) {
+    for (const AccessEvent &event : ownerInfo->events) {
+      if (event.var != param)
+        continue;
+      if (event.kind == AccessKind::Write ||
+          event.kind == AccessKind::Unknown)
+        return std::nullopt;
+    }
+  }
+  std::optional<std::int64_t> value;
+  for (const FunctionDecl *caller : unit_.functions) {
+    const FunctionAccessInfo *info = interproc_.accessesFor(caller);
+    if (info == nullptr)
+      continue;
+    for (const CallSite &site : info->callSites) {
+      if (site.call->callee() != owner ||
+          static_cast<std::size_t>(paramIndex) >= site.call->args().size())
+        continue;
+      const auto folded = foldIntegerConstant(
+          site.call->args()[static_cast<std::size_t>(paramIndex)]);
+      if (!folded)
+        return std::nullopt; // non-constant argument: give up
+      if (value && *value != *folded)
+        return std::nullopt; // call sites disagree: stay conservative
+      value = *folded;
+    }
+  }
+  return value;
+}
+
 const CostModel &MappingPlanner::costModel() const {
   return options_.costModel != nullptr ? *options_.costModel
                                        : defaultCostModel_;
@@ -1076,6 +1330,43 @@ std::uint64_t MappingPlanner::tripCountEstimate(
       return std::uint64_t{1} << 40; // saturate: "executes a lot"
   }
   return product;
+}
+
+const Stmt *MappingPlanner::stmtParent(const Stmt *stmt) const {
+  auto it = stmtParents_.find(stmt);
+  return it != stmtParents_.end() ? it->second : nullptr;
+}
+
+std::vector<const Stmt *>
+MappingPlanner::parentChainOf(const Stmt *stmt) const {
+  std::vector<const Stmt *> chain;
+  for (const Stmt *cursor = stmt; cursor != nullptr;
+       cursor = stmtParent(cursor))
+    chain.push_back(cursor);
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::uint64_t
+MappingPlanner::updateExecutionsAt(const Stmt *anchor,
+                                   UpdatePlacement placement) const {
+  // Provable trips of unguarded region loops enclosing the insertion
+  // point; loops outside the region (and callers) are already folded into
+  // the region entry count. `stmtParents_` covers arbitrary anchors,
+  // including loop statements Algorithm 1 hoisted to, which the CFG loop
+  // stacks do not key. Any if/switch ancestor means the update may never
+  // execute: charge the floor of one.
+  const ProvableMultiplier multiplier =
+      provableMultiplierOf(stmtParents_, anchor, regionBeginOffset_);
+  if (multiplier.guarded)
+    return 1;
+  std::uint64_t product = multiplier.trips;
+  // Body placements execute inside the anchor loop itself.
+  if ((placement == UpdatePlacement::BodyBegin ||
+       placement == UpdatePlacement::BodyEnd) &&
+      isLoopStmt(anchor))
+    product = saturatingMul(product, loopTripsOrOne(anchor));
+  return saturatingMul(regionEntryCount_, product);
 }
 
 MappingPlan planMappings(const TranslationUnit &unit,

@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 
 namespace ompdart {
 
@@ -114,10 +115,33 @@ private:
   /// none).
   [[nodiscard]] const CostModel &costModel() const;
 
-  /// Product of the estimated trip counts of `loops` (kUnknownTripCount per
-  /// unanalyzable loop), saturating well below overflow.
+  /// Product of the estimated trip counts of `loops` (kUnknownTripCount
+  /// per unanalyzable loop), saturating well below overflow. Feeds
+  /// candidate *scoring* (assume repetition is expensive); the transfer
+  /// predictor's provable execution counts come from the guarded-aware
+  /// ancestor walks instead (updateExecutionsAt, entry counts).
   [[nodiscard]] std::uint64_t
   tripCountEstimate(const std::vector<const Stmt *> &loops) const;
+
+  /// Interprocedural execution-count estimate per function: entry functions
+  /// execute once; a callee executes caller-executions times the constant
+  /// trips of loops enclosing each call site (paper-faithful present-table
+  /// accounting needs this: every extra region entry pays the 0->1/1->0
+  /// transition copies again).
+  void
+  estimateFunctionExecutions(const std::vector<std::unique_ptr<AstCfg>> &cfgs);
+
+  /// Statically provable executions of an update inserted at `anchor` with
+  /// `placement`: region entries times the constant trips of region loops
+  /// enclosing the insertion point.
+  [[nodiscard]] std::uint64_t
+  updateExecutionsAt(const Stmt *anchor, UpdatePlacement placement) const;
+
+  /// Parent statement per `stmtParents_` (null at the function body root).
+  [[nodiscard]] const Stmt *stmtParent(const Stmt *stmt) const;
+  /// Chain from the outermost statement down to `stmt` (inclusive).
+  [[nodiscard]] std::vector<const Stmt *>
+  parentChainOf(const Stmt *stmt) const;
 
   /// Loops enclosing `inner` that sit at or inside `outer` — the loop
   /// levels an update re-executes in when left at the access instead of
@@ -156,12 +180,26 @@ private:
   /// Whether a loop statement (by source range) contains another statement.
   [[nodiscard]] static bool contains(const Stmt *outer, const Stmt *inner);
 
+  /// Constant value of a symbolic pointer extent, resolved by folding the
+  /// extent expression, or — when it names a parameter — by folding the
+  /// agreeing argument at every call site.
+  [[nodiscard]] std::optional<std::uint64_t>
+  symbolicExtentElems(const ExtentInfo &extent) const;
+
+  /// Constant value a parameter holds across all call sites (nullopt when
+  /// any call passes a non-constant or the sites disagree).
+  [[nodiscard]] std::optional<std::int64_t>
+  paramConstAcrossCallSites(const VarDecl *param) const;
+
   const TranslationUnit &unit_;
   const InterproceduralResult &interproc_;
   DiagnosticEngine &diags_;
   PlannerOptions options_;
   PaperGreedyCostModel defaultCostModel_;
   MallocExtents mallocExtents_;
+
+  /// Interprocedural execution-count estimates (estimateFunctionExecutions).
+  std::map<const FunctionDecl *, std::uint64_t> fnExecutions_;
 
   // Per-function working state.
   const FunctionAccessInfo *accesses_ = nullptr;
@@ -171,6 +209,11 @@ private:
   std::set<std::tuple<VarDecl *, UpdateDirection, const Stmt *>> updateKeys_;
   std::size_t regionBeginOffset_ = 0;
   std::size_t regionEndOffset_ = 0;
+  /// Provable entries of the current region (planFunction).
+  std::uint64_t regionEntryCount_ = 1;
+  /// Child -> parent statement links of the current function, for walking
+  /// the loop chain above an arbitrary update anchor.
+  std::unordered_map<const Stmt *, const Stmt *> stmtParents_;
 };
 
 /// Convenience: full pipeline for a parsed unit. When `cfgs` is non-null the

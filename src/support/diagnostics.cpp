@@ -17,6 +17,45 @@ const char *severityName(Severity severity) {
   return "unknown";
 }
 
+std::optional<Severity> severityFromName(const std::string &name) {
+  if (name == "note")
+    return Severity::Note;
+  if (name == "warning")
+    return Severity::Warning;
+  if (name == "error")
+    return Severity::Error;
+  return std::nullopt;
+}
+
+json::Value diagnosticToJson(const Diagnostic &diagnostic) {
+  json::Value out = json::Value::object();
+  out.set("severity", severityName(diagnostic.severity));
+  json::Value location = json::Value::object();
+  location.set("offset", static_cast<std::int64_t>(diagnostic.location.offset));
+  location.set("line", diagnostic.location.line);
+  location.set("column", diagnostic.location.column);
+  out.set("location", std::move(location));
+  out.set("message", diagnostic.message);
+  return out;
+}
+
+std::optional<Diagnostic> diagnosticFromJson(const json::Value &value) {
+  const std::optional<Severity> severity =
+      severityFromName(value.stringOr("severity"));
+  if (!severity)
+    return std::nullopt;
+  Diagnostic diag;
+  diag.severity = *severity;
+  if (const json::Value *location = value.find("location")) {
+    diag.location.offset =
+        static_cast<std::size_t>(location->intOr("offset", -1));
+    diag.location.line = static_cast<unsigned>(location->uintOr("line"));
+    diag.location.column = static_cast<unsigned>(location->uintOr("column"));
+  }
+  diag.message = value.stringOr("message");
+  return diag;
+}
+
 std::string Diagnostic::str() const {
   std::string out;
   if (location.isValid()) {

@@ -11,9 +11,11 @@
 // concurrent batch runs produce stable output.
 #pragma once
 
+#include "support/json.hpp"
 #include "support/source_location.hpp"
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,10 @@ namespace ompdart {
 enum class Severity { Note, Warning, Error };
 
 [[nodiscard]] const char *severityName(Severity severity);
+
+/// Inverse of `severityName`; nullopt for unknown spellings.
+[[nodiscard]] std::optional<Severity>
+severityFromName(const std::string &name);
 
 struct Diagnostic {
   Severity severity = Severity::Error;
@@ -40,6 +46,12 @@ struct Diagnostic {
 /// Deterministic order: by source location (invalid locations last), then
 /// severity (errors first), then message text.
 [[nodiscard]] bool diagnosticBefore(const Diagnostic &a, const Diagnostic &b);
+
+/// JSON round trip shared by reports and the plan cache (one diagnostic
+/// schema everywhere).
+[[nodiscard]] json::Value diagnosticToJson(const Diagnostic &diagnostic);
+[[nodiscard]] std::optional<Diagnostic>
+diagnosticFromJson(const json::Value &value);
 
 /// Receives each diagnostic as it is reported.
 class DiagnosticSink {

@@ -1,0 +1,39 @@
+#include "support/hash.hpp"
+
+namespace ompdart::hash {
+
+Hasher &Hasher::update(const void *data, std::size_t size) {
+  const auto *bytes = static_cast<const unsigned char *>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    lo_ = (lo_ ^ bytes[i]) * kPrime;
+    hi_ = (hi_ ^ bytes[i]) * kPrime;
+    // Cross-feed the lanes so they do not stay a fixed XOR apart.
+    hi_ ^= lo_ >> 32;
+  }
+  return *this;
+}
+
+Hasher &Hasher::update(std::uint64_t value) {
+  unsigned char bytes[8];
+  for (unsigned i = 0; i < 8; ++i)
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+  return update(bytes, sizeof bytes);
+}
+
+std::string Hasher::hex() const {
+  static const char *const digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (unsigned i = 0; i < 16; ++i)
+    out[i] = digits[(hi_ >> (60 - 4 * i)) & 0xf];
+  for (unsigned i = 0; i < 16; ++i)
+    out[16 + i] = digits[(lo_ >> (60 - 4 * i)) & 0xf];
+  return out;
+}
+
+std::string fingerprint(const std::string &text) {
+  Hasher hasher;
+  hasher.update(text);
+  return hasher.hex();
+}
+
+} // namespace ompdart::hash

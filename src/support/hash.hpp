@@ -1,0 +1,52 @@
+// Stable content hashing for cache keys and fingerprints.
+//
+// The plan cache addresses entries by content (source text, configuration
+// fingerprint, tool version), so the hash must be deterministic across
+// processes, platforms and library versions — std::hash guarantees none of
+// that. This is a 128-bit FNV-1a variant (two independent 64-bit lanes with
+// distinct offset bases) rendered as 32 lowercase hex characters: cheap,
+// dependency-free, and collision-resistant enough for a content-addressed
+// store whose worst case is a stale plan that fails validation downstream.
+// NOT cryptographic — do not use where an adversary controls the input and
+// a collision has security consequences.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ompdart::hash {
+
+/// Incremental 128-bit stable hasher (two FNV-1a lanes).
+class Hasher {
+public:
+  Hasher() = default;
+
+  Hasher &update(const void *data, std::size_t size);
+  Hasher &update(const std::string &text) {
+    return update(text.data(), text.size());
+  }
+  /// Hashes the value's little-endian byte representation.
+  Hasher &update(std::uint64_t value);
+
+  /// 32 lowercase hex characters; does not reset the hasher state.
+  [[nodiscard]] std::string hex() const;
+
+  [[nodiscard]] std::uint64_t low() const { return lo_; }
+  [[nodiscard]] std::uint64_t high() const { return hi_; }
+
+private:
+  // FNV-1a 64-bit offset basis / prime; the second lane perturbs the basis
+  // so the lanes decorrelate.
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  static constexpr std::uint64_t kLaneSplit = 0x9e3779b97f4a7c15ull;
+
+  std::uint64_t lo_ = kOffset;
+  std::uint64_t hi_ = kOffset ^ kLaneSplit;
+};
+
+/// One-shot convenience: 32-hex-char stable fingerprint of a string.
+[[nodiscard]] std::string fingerprint(const std::string &text);
+
+} // namespace ompdart::hash

@@ -123,4 +123,13 @@ private:
 /// JSON string escaping (quotes not included).
 [[nodiscard]] std::string escape(const std::string &text);
 
+/// Deserializer convenience: records `message` into `*error` when non-null
+/// and still empty (first error wins), and returns false so parsers can
+/// `return setFirstError(error, "...")`.
+inline bool setFirstError(std::string *error, const char *message) {
+  if (error != nullptr && error->empty())
+    *error = message;
+  return false;
+}
+
 } // namespace ompdart::json

@@ -1,0 +1,442 @@
+// Plan-cache tests: content-addressed key stability, config-fingerprint
+// sensitivity, stale-entry invalidation on source edits, warm-run
+// equivalence (a cache hit must reproduce the cold run's artifacts without
+// executing parse/cfg/interproc/plan), and batch-driver aggregation.
+#include "cache/plan_cache.hpp"
+#include "driver/batch.hpp"
+#include "driver/pipeline.hpp"
+#include "suite/benchmarks.hpp"
+#include "support/hash.hpp"
+#include "support/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ompdart {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char *const kKernelSource = R"(
+#define N 64
+double a[N];
+double b[N];
+int main() {
+  for (int i = 0; i < N; ++i) {
+    a[i] = i;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; ++i) {
+    b[i] = a[i] * 2.0;
+  }
+  printf("%f\n", b[1]);
+  return 0;
+}
+)";
+
+const char *const kEditedSource = R"(
+#define N 64
+double a[N];
+double b[N];
+int main() {
+  for (int i = 0; i < N; ++i) {
+    a[i] = i + 1;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; ++i) {
+    b[i] = a[i] * 2.0;
+  }
+  printf("%f\n", b[1]);
+  return 0;
+}
+)";
+
+/// RAII temp cache directory.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string &tag) {
+    path = fs::temp_directory_path() /
+           ("ompdart-test-" + tag + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+PipelineConfig cachedConfig(const std::string &dir,
+                            cache::CacheMode mode = cache::CacheMode::ReadWrite) {
+  PipelineConfig config;
+  config.cacheDir = dir;
+  config.cacheMode = mode;
+  return config;
+}
+
+TEST(StableHashTest, FingerprintIsStableAndInputSensitive) {
+  // Pinned value: the hash participates in on-disk cache keys, so an
+  // accidental algorithm change must fail loudly here.
+  EXPECT_EQ(hash::fingerprint(""), "55c5e55dfb685f30cbf29ce484222325");
+  EXPECT_EQ(hash::fingerprint("abc"), "12eea96b77d145f0e71fa2190541574b");
+  EXPECT_EQ(hash::fingerprint("abc"), hash::fingerprint("abc"));
+  EXPECT_NE(hash::fingerprint("abc"), hash::fingerprint("abd"));
+  EXPECT_NE(hash::fingerprint("abc"), hash::fingerprint("ab"));
+  hash::Hasher incremental;
+  incremental.update(std::string("ab")).update(std::string("c"));
+  EXPECT_EQ(incremental.hex(), hash::fingerprint("abc"));
+}
+
+TEST(CacheKeyTest, IdIsStableAcrossInstancesAndComponentSensitive) {
+  cache::CacheKey key;
+  key.sourceHash = hash::fingerprint(kKernelSource);
+  key.configHash = planFingerprint(PipelineConfig{});
+  key.toolVersion = kToolVersion;
+
+  cache::CacheKey same = key;
+  EXPECT_EQ(key.id(), same.id());
+
+  cache::CacheKey editedSource = key;
+  editedSource.sourceHash = hash::fingerprint(kEditedSource);
+  EXPECT_NE(key.id(), editedSource.id());
+
+  cache::CacheKey newerTool = key;
+  newerTool.toolVersion = "99.0.0";
+  EXPECT_NE(key.id(), newerTool.id());
+
+  // Length-prefixing: shuffling bytes across component boundaries must not
+  // collide.
+  cache::CacheKey shifted;
+  shifted.sourceHash = key.sourceHash + "a";
+  shifted.configHash = key.configHash.substr(1);
+  shifted.toolVersion = key.toolVersion;
+  EXPECT_NE(key.id(), shifted.id());
+}
+
+TEST(ConfigFingerprintTest, SensitiveToEveryPlanningSwitch) {
+  const PipelineConfig base;
+  const std::string baseFp = planFingerprint(base);
+  EXPECT_EQ(baseFp, planFingerprint(PipelineConfig{}));
+
+  PipelineConfig flip = base;
+  flip.planner.useFirstprivate = false;
+  EXPECT_NE(baseFp, planFingerprint(flip));
+
+  flip = base;
+  flip.planner.hoistUpdates = false;
+  EXPECT_NE(baseFp, planFingerprint(flip));
+
+  flip = base;
+  flip.planner.extendRegionOverLoops = false;
+  EXPECT_NE(baseFp, planFingerprint(flip));
+
+  flip = base;
+  flip.planner.interprocedural = false;
+  EXPECT_NE(baseFp, planFingerprint(flip));
+
+  flip = base;
+  flip.costModel = "sim";
+  EXPECT_NE(baseFp, planFingerprint(flip));
+
+  flip = base;
+  flip.interprocMaxPasses = 3;
+  EXPECT_NE(baseFp, planFingerprint(flip));
+
+  // Presentation-only settings do not invalidate cached plans.
+  flip = base;
+  flip.includeOutputInReport = false;
+  flip.stopAfter = Stage::Plan;
+  flip.cacheDir = "/somewhere/else";
+  flip.cacheMode = cache::CacheMode::Read;
+  EXPECT_EQ(baseFp, planFingerprint(flip));
+}
+
+TEST(PlanCacheTest, WarmRunSkipsPlanStagesAndReproducesArtifacts) {
+  TempDir dir("warm");
+
+  Session cold("prog.c", kKernelSource, cachedConfig(dir.str()));
+  ASSERT_TRUE(cold.run());
+  EXPECT_EQ(cold.planCacheStatus(), Session::PlanCacheStatus::Miss);
+  EXPECT_FALSE(cold.planFromCache());
+  EXPECT_EQ(cold.stageRuns(Stage::Parse), 1u);
+  EXPECT_EQ(cold.stageRuns(Stage::Plan), 1u);
+
+  Session warm("prog.c", kKernelSource, cachedConfig(dir.str()));
+  ASSERT_TRUE(warm.run());
+  EXPECT_EQ(warm.planCacheStatus(), Session::PlanCacheStatus::Hit);
+  EXPECT_TRUE(warm.planFromCache());
+  // The hit skips the front half of the pipeline entirely.
+  EXPECT_EQ(warm.stageRuns(Stage::Parse), 0u);
+  EXPECT_EQ(warm.stageRuns(Stage::Cfg), 0u);
+  EXPECT_EQ(warm.stageRuns(Stage::Interproc), 0u);
+  EXPECT_EQ(warm.stageRuns(Stage::Plan), 0u);
+  EXPECT_EQ(warm.stageRuns(Stage::Rewrite), 1u);
+
+  // Same key, same artifacts: IR, rewrite, metrics, diagnostics.
+  EXPECT_EQ(warm.planCacheKey().id(), cold.planCacheKey().id());
+  EXPECT_EQ(warm.ir(), cold.ir());
+  EXPECT_EQ(warm.rewrite(), cold.rewrite());
+  EXPECT_EQ(warm.metrics(), cold.metrics());
+  EXPECT_EQ(warm.report().diagnostics, cold.report().diagnostics);
+  EXPECT_EQ(warm.report().plan, cold.report().plan);
+}
+
+TEST(PlanCacheTest, ReadModeNeverPopulates) {
+  TempDir dir("readonly");
+  Session session("prog.c", kKernelSource,
+                  cachedConfig(dir.str(), cache::CacheMode::Read));
+  ASSERT_TRUE(session.run());
+  EXPECT_EQ(session.planCacheStatus(), Session::PlanCacheStatus::Miss);
+  EXPECT_FALSE(fs::exists(dir.path / "plans"));
+
+  Session again("prog.c", kKernelSource,
+                cachedConfig(dir.str(), cache::CacheMode::Read));
+  ASSERT_TRUE(again.run());
+  EXPECT_EQ(again.planCacheStatus(), Session::PlanCacheStatus::Miss);
+}
+
+TEST(PlanCacheTest, SourceEditInvalidatesAndReplansFreshly) {
+  TempDir dir("stale");
+  cache::PlanCache shared(dir.str(), cache::CacheMode::ReadWrite);
+
+  PipelineConfig config;
+  config.planCache = &shared;
+  Session original("prog.c", kKernelSource, config);
+  ASSERT_TRUE(original.run());
+  const std::string originalEntry =
+      shared.entryPathFor(original.planCacheKey());
+  EXPECT_TRUE(fs::exists(originalEntry));
+
+  // Editing the source changes the content address: the lookup misses,
+  // the file's index row is invalidated, and the fresh plan is stored
+  // under the new key. The superseded entry FILE stays — entries are
+  // immutable-valid and may be re-hit by a flip back.
+  Session edited("prog.c", kEditedSource, config);
+  ASSERT_TRUE(edited.run());
+  EXPECT_EQ(edited.planCacheStatus(), Session::PlanCacheStatus::Miss);
+  EXPECT_NE(edited.planCacheKey().id(), original.planCacheKey().id());
+
+  const cache::CacheStats stats = shared.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.stores, 2u);
+  EXPECT_TRUE(fs::exists(originalEntry));
+  EXPECT_TRUE(fs::exists(shared.entryPathFor(edited.planCacheKey())));
+
+  // The edited program replays warm afterwards.
+  Session warm("prog.c", kEditedSource, config);
+  ASSERT_TRUE(warm.run());
+  EXPECT_EQ(warm.planCacheStatus(), Session::PlanCacheStatus::Hit);
+  EXPECT_EQ(warm.rewrite(), edited.rewrite());
+
+  // Reverting the edit (branch switch, undo) re-hits the original entry.
+  Session reverted("prog.c", kKernelSource, config);
+  ASSERT_TRUE(reverted.run());
+  EXPECT_EQ(reverted.planCacheStatus(), Session::PlanCacheStatus::Hit);
+  EXPECT_EQ(reverted.rewrite(), original.rewrite());
+}
+
+TEST(PlanCacheTest, EditingOneFileKeepsIdenticalTwinCached) {
+  // Identical sources share one content-addressed entry. Invalidating one
+  // file's stale index row must not unlink the entry out from under the
+  // twin whose key is still valid.
+  TempDir dir("twin");
+  cache::PlanCache shared(dir.str(), cache::CacheMode::ReadWrite);
+  PipelineConfig config;
+  config.planCache = &shared;
+
+  Session a("a.c", kKernelSource, config);
+  ASSERT_TRUE(a.run());
+  Session b("b.c", kKernelSource, config);
+  ASSERT_TRUE(b.run());
+  EXPECT_EQ(b.planCacheStatus(), Session::PlanCacheStatus::Hit);
+
+  Session aEdited("a.c", kEditedSource, config);
+  ASSERT_TRUE(aEdited.run());
+  EXPECT_EQ(aEdited.planCacheStatus(), Session::PlanCacheStatus::Miss);
+  EXPECT_EQ(shared.stats().invalidations, 1u);
+
+  // b.c's entry survived a.c's invalidation.
+  Session bWarm("b.c", kKernelSource, config);
+  ASSERT_TRUE(bWarm.run());
+  EXPECT_EQ(bWarm.planCacheStatus(), Session::PlanCacheStatus::Hit);
+}
+
+TEST(PlanCacheTest, InjectedCostModelInstanceIsNeverCached) {
+  // An injected CostModel instance is only identifiable by name, so the
+  // Session must refuse to cache rather than risk replaying a plan from a
+  // differently-behaving model with the same name.
+  TempDir dir("injected");
+  SimCostModel model;
+  PipelineConfig config = cachedConfig(dir.str());
+  config.planner.costModel = &model;
+
+  Session first("prog.c", kKernelSource, config);
+  ASSERT_TRUE(first.run());
+  EXPECT_EQ(first.planCacheStatus(), Session::PlanCacheStatus::Uncacheable);
+  EXPECT_FALSE(fs::exists(dir.path / "plans"));
+
+  Session second("prog.c", kKernelSource, config);
+  ASSERT_TRUE(second.run());
+  EXPECT_EQ(second.planCacheStatus(), Session::PlanCacheStatus::Uncacheable);
+}
+
+TEST(PlanCacheTest, ConfigFlipMissesWithoutCrossContamination) {
+  TempDir dir("config");
+  Session defaultRun("prog.c", kKernelSource, cachedConfig(dir.str()));
+  ASSERT_TRUE(defaultRun.run());
+
+  PipelineConfig ablated = cachedConfig(dir.str());
+  ablated.planner.useFirstprivate = false;
+  Session ablatedRun("prog.c", kKernelSource, ablated);
+  ASSERT_TRUE(ablatedRun.run());
+  EXPECT_EQ(ablatedRun.planCacheStatus(), Session::PlanCacheStatus::Miss);
+  EXPECT_NE(ablatedRun.planCacheKey().id(), defaultRun.planCacheKey().id());
+}
+
+TEST(PlanCacheTest, AlternatingConfigsKeepBothEntriesWarm) {
+  // A config flip is not a source edit: each config gets its own index
+  // row, so A-B config traffic over one file must warm both ways instead
+  // of invalidating the other config's (still valid) entry.
+  TempDir dir("alternate");
+  PipelineConfig ablated = cachedConfig(dir.str());
+  ablated.planner.hoistUpdates = false;
+
+  Session coldDefault("prog.c", kKernelSource, cachedConfig(dir.str()));
+  ASSERT_TRUE(coldDefault.run());
+  Session coldAblated("prog.c", kKernelSource, ablated);
+  ASSERT_TRUE(coldAblated.run());
+
+  Session warmDefault("prog.c", kKernelSource, cachedConfig(dir.str()));
+  ASSERT_TRUE(warmDefault.run());
+  EXPECT_EQ(warmDefault.planCacheStatus(), Session::PlanCacheStatus::Hit);
+  Session warmAblated("prog.c", kKernelSource, ablated);
+  ASSERT_TRUE(warmAblated.run());
+  EXPECT_EQ(warmAblated.planCacheStatus(), Session::PlanCacheStatus::Hit);
+
+  cache::PlanCache probe(dir.str(), cache::CacheMode::Read);
+  EXPECT_EQ(probe.stats().invalidations, 0u);
+}
+
+TEST(PlanCacheTest, WarmStopAfterPlanReportMatchesColdStoppedAfter) {
+  // buildReport derives stoppedAfter from executed stages; a hydrated plan
+  // never executes, but the stage was reached — warm reports must agree
+  // with cold ones.
+  TempDir dir("stopafter");
+  PipelineConfig config = cachedConfig(dir.str());
+  config.stopAfter = Stage::Plan;
+
+  Session cold("prog.c", kKernelSource, config);
+  ASSERT_TRUE(cold.run());
+  EXPECT_EQ(cold.report().stoppedAfter, "plan");
+
+  Session warm("prog.c", kKernelSource, config);
+  ASSERT_TRUE(warm.run());
+  EXPECT_EQ(warm.planCacheStatus(), Session::PlanCacheStatus::Hit);
+  EXPECT_EQ(warm.report().stoppedAfter, "plan");
+  EXPECT_EQ(warm.report().plan, cold.report().plan);
+}
+
+TEST(PlanCacheTest, CorruptedEntryIsRejectedNotReplayed) {
+  TempDir dir("corrupt");
+  Session cold("prog.c", kKernelSource, cachedConfig(dir.str()));
+  ASSERT_TRUE(cold.run());
+  cache::PlanCache probe(dir.str(), cache::CacheMode::ReadWrite);
+  const std::string path = probe.entryPathFor(cold.planCacheKey());
+  ASSERT_TRUE(fs::exists(path));
+  // Tamper with the stored IR: the integrity fingerprint must reject it.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const auto pos = text.find("\"regions\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "\"regionsX\"");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  Session warm("prog.c", kKernelSource, cachedConfig(dir.str()));
+  ASSERT_TRUE(warm.run());
+  EXPECT_EQ(warm.planCacheStatus(), Session::PlanCacheStatus::Miss);
+  EXPECT_EQ(warm.rewrite(), cold.rewrite()); // replanned fresh, same output
+}
+
+TEST(PlanCacheTest, EntryJsonRoundTripsThroughDisk) {
+  TempDir dir("roundtrip");
+  Session cold("prog.c", kKernelSource, cachedConfig(dir.str()));
+  ASSERT_TRUE(cold.run());
+
+  cache::PlanCache reader(dir.str(), cache::CacheMode::Read);
+  auto entry = reader.lookup(cold.planCacheKey(), "prog.c");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->ir, cold.ir());
+  EXPECT_EQ(entry->metrics, cold.metrics());
+  EXPECT_EQ(entry->irFingerprint, cold.ir().fingerprint());
+  EXPECT_EQ(entry->fileName, "prog.c");
+}
+
+TEST(BatchCacheTest, SecondBatchIsFullyWarmWithIdenticalOutputs) {
+  TempDir dir("batch");
+  std::vector<BatchJob> jobs;
+  for (const auto &def : suite::allBenchmarks())
+    jobs.push_back({def.name, def.name + ".c", def.unoptimized});
+
+  BatchDriver::Options options;
+  options.config.cacheDir = dir.str();
+  options.config.cacheMode = cache::CacheMode::ReadWrite;
+  BatchDriver driver(options);
+
+  const BatchResult cold = driver.run(jobs);
+  EXPECT_EQ(cold.stats.succeeded, cold.stats.jobs);
+  EXPECT_EQ(cold.stats.planCacheMisses, cold.stats.jobs);
+  EXPECT_EQ(cold.stats.planCacheStores, cold.stats.jobs);
+  EXPECT_FALSE(cold.stats.fullyWarm());
+
+  const BatchResult warm = driver.run(jobs);
+  EXPECT_EQ(warm.stats.succeeded, warm.stats.jobs);
+  EXPECT_EQ(warm.stats.planCacheHits, warm.stats.jobs);
+  EXPECT_TRUE(warm.stats.fullyWarm());
+  // The warm pass must not execute any pre-rewrite stage.
+  for (const Stage stage :
+       {Stage::Parse, Stage::Cfg, Stage::Interproc, Stage::Plan})
+    EXPECT_EQ(warm.stats.stageRuns[static_cast<unsigned>(stage)], 0u)
+        << stageName(stage);
+
+  ASSERT_EQ(warm.items.size(), cold.items.size());
+  for (std::size_t i = 0; i < cold.items.size(); ++i) {
+    EXPECT_TRUE(warm.items[i].planCacheHit()) << cold.items[i].name;
+    EXPECT_EQ(warm.items[i].output, cold.items[i].output)
+        << cold.items[i].name;
+    EXPECT_EQ(warm.items[i].report.plan, cold.items[i].report.plan)
+        << cold.items[i].name;
+    EXPECT_EQ(warm.items[i].report.metrics, cold.items[i].report.metrics)
+        << cold.items[i].name;
+    EXPECT_EQ(warm.items[i].report.diagnostics,
+              cold.items[i].report.diagnostics)
+        << cold.items[i].name;
+  }
+}
+
+TEST(BatchCacheTest, WarmupPassesPrepopulateTheMeasuredRun) {
+  TempDir dir("warmup");
+  std::vector<BatchJob> jobs;
+  for (const auto &def : suite::allBenchmarks())
+    jobs.push_back({def.name, def.name + ".c", def.unoptimized});
+
+  BatchDriver::Options options;
+  options.config.cacheDir = dir.str();
+  options.config.cacheMode = cache::CacheMode::ReadWrite;
+  options.warmupPasses = 1;
+  const BatchResult measured = BatchDriver(options).run(jobs);
+  EXPECT_TRUE(measured.stats.fullyWarm());
+}
+
+} // namespace
+} // namespace ompdart

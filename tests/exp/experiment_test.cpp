@@ -55,5 +55,46 @@ TEST(ExperimentBackendTest, InterpBackendReproducesRewritePathAcrossSuite) {
   EXPECT_EQ(renderTable4(viaOverlay), renderTable4(viaRewrite));
 }
 
+// The paper's central claim is that *static* analysis can predict (and so
+// minimize) runtime transfers. This reconciliation pins the cost layer to
+// the reference-count simulator across the whole suite: the statically
+// predicted plan bytes must match the bytes the simulated runtime actually
+// moved to within 2% — present-table re-entry transitions, per-kernel map
+// multiplicities, both tofrom legs and update loop executions included.
+// (The only tolerated residual is dynamically bounded control flow, e.g.
+// bfs's frontier loop, whose trip count no static analysis can prove.)
+TEST(PredictedVsSimulatedTest, SuiteWideByteRatioWithinTwoPercent) {
+  const auto results = runAllBenchmarks();
+  ASSERT_EQ(results.size(), 9u);
+  for (const BenchmarkComparison &cmp : results) {
+    ASSERT_TRUE(cmp.ompdart.ok) << cmp.name;
+    ASSERT_GT(cmp.predictedPlanBytes, 0u) << cmp.name;
+    const double ratio =
+        static_cast<double>(cmp.ompdart.totalBytes()) /
+        static_cast<double>(cmp.predictedPlanBytes);
+    EXPECT_GE(ratio, 0.98) << cmp.name << ": predicted "
+                           << cmp.predictedPlanBytes << " vs simulated "
+                           << cmp.ompdart.totalBytes();
+    EXPECT_LE(ratio, 1.02) << cmp.name << ": predicted "
+                           << cmp.predictedPlanBytes << " vs simulated "
+                           << cmp.ompdart.totalBytes();
+  }
+}
+
+// The four divergences this reconciliation fixed must stay exact: hotspot
+// (90.0x: symbolic pointer extents resolved through call-site constants
+// plus 30 region re-entries), lulesh (3.14x) and xsbench (1.56x) and
+// backprop (1.057x: update directives inside constant-trip loops charged
+// per execution).
+TEST(PredictedVsSimulatedTest, FormerDivergencesPredictExactly) {
+  for (const auto &def : suite::allBenchmarks()) {
+    if (def.name != "hotspot" && def.name != "lulesh" &&
+        def.name != "xsbench" && def.name != "backprop")
+      continue;
+    const BenchmarkComparison cmp = runBenchmark(def);
+    EXPECT_EQ(cmp.predictedPlanBytes, cmp.ompdart.totalBytes()) << def.name;
+  }
+}
+
 } // namespace
 } // namespace ompdart::exp

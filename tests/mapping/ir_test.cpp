@@ -134,6 +134,7 @@ ir::MappingIr handcraftedIr() {
   region.start.line = 4;
   region.start.endLine = 10;
   region.end = region.start;
+  region.entryCount = 30;
 
   ir::MapItem map;
   map.symbol = 0;
@@ -153,6 +154,7 @@ ir::MappingIr handcraftedIr() {
   update.item = "a[0:n]";
   update.extent = ir::Extent::constant(100);
   update.approxBytes = 800;
+  update.executions = 16;
   update.anchor.beginOffset = 60;
   update.anchor.endOffset = 180;
   update.anchor.line = 5;
@@ -184,6 +186,20 @@ TEST(IrJsonTest, HandcraftedRoundTripIsExact) {
   const auto restored = ir::MappingIr::fromJson(*parsed, &irError);
   ASSERT_TRUE(restored.has_value()) << irError;
   EXPECT_EQ(*restored, original);
+}
+
+TEST(IrJsonTest, FingerprintTracksContent) {
+  const ir::MappingIr original = handcraftedIr();
+  ir::MappingIr copy = handcraftedIr();
+  EXPECT_EQ(original.fingerprint(), copy.fingerprint());
+  EXPECT_EQ(original.fingerprint().size(), 32u);
+
+  copy.regions.front().entryCount += 1;
+  EXPECT_NE(original.fingerprint(), copy.fingerprint());
+
+  ir::MappingIr viaJson =
+      *ir::MappingIr::fromJson(original.toJson());
+  EXPECT_EQ(viaJson.fingerprint(), original.fingerprint());
 }
 
 TEST(IrJsonTest, RejectsUnknownEnumSpellings) {
@@ -239,6 +255,7 @@ TEST(IrJsonTest, PropertyRandomIrsRoundTrip) {
       if (region.appendsToKernel)
         region.soleKernelPragmaEndOffset =
             static_cast<std::size_t>(pick(0, 9000));
+      region.entryCount = static_cast<std::uint64_t>(pick(1, 1000));
       const int mapCount = pick(0, 4);
       for (int m = 0; m < mapCount; ++m) {
         ir::MapItem map;
@@ -276,6 +293,7 @@ TEST(IrJsonTest, PropertyRandomIrsRoundTrip) {
         update.hoisted = pick(0, 1) == 1;
         update.item = "v" + std::to_string(update.symbol);
         update.approxBytes = static_cast<std::uint64_t>(pick(0, 100000));
+        update.executions = static_cast<std::uint64_t>(pick(1, 100000));
         update.anchor.beginOffset = static_cast<std::size_t>(pick(0, 9000));
         update.anchor.endOffset =
             update.anchor.beginOffset + static_cast<std::size_t>(pick(1, 300));
