@@ -1,0 +1,168 @@
+// Whole-program project fidelity gate: runs the multi-TU xsbench split
+// through the ProjectSession and checks that cross-TU pessimism actually
+// disappears. Writes BENCH_project.json and exits non-zero unless:
+//   - every TU pipeline succeeds and the combined planned program produces
+//     the same output as the combined unoptimized program,
+//   - every bodiless callee *defined elsewhere in the project* analyzed
+//     with an imported summary (isExternal pessimism count == 0),
+//   - the statically predicted transfer bytes reconcile with the simulated
+//     runtime's ledger within the suite-wide [0.98, 1.02] gate,
+//   - the no-imports (pessimistic, per-TU) baseline moves strictly more
+//     bytes than the project plan — the inflation whole-program analysis
+//     removes.
+#include "driver/project.hpp"
+#include "exp/experiment.hpp"
+#include "interp/interp.hpp"
+#include "suite/benchmarks.hpp"
+#include "support/json.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace {
+
+std::uint64_t ledgerBytes(const ompdart::interp::RunResult &run) {
+  return run.ledger.bytes(ompdart::sim::TransferDir::HtoD) +
+         run.ledger.bytes(ompdart::sim::TransferDir::DtoH);
+}
+
+} // namespace
+
+int main() {
+  using namespace ompdart;
+
+  const suite::ProjectBenchmarkDef &def = suite::xsbenchProject();
+  ProjectManifest manifest;
+  manifest.name = def.name;
+  for (const auto &tu : def.tus)
+    manifest.tus.push_back({tu.name, tu.name, tu.source});
+
+  PipelineConfig config;
+  config.includeOutputInReport = false;
+  ProjectSession project(manifest, config);
+  bool ok = project.run();
+  if (!ok)
+    std::fprintf(stderr, "project pipeline failed\n");
+
+  // Gate: zero isExternal pessimism for in-project callees.
+  unsigned pessimisticCallees = 0;
+  unsigned importedCallees = 0;
+  for (const auto &tu : def.tus) {
+    Session *session = project.sessionFor(tu.name);
+    if (session == nullptr)
+      continue;
+    for (const auto &[fn, summary] : session->interproc().summaries) {
+      if (fn->isDefined())
+        continue;
+      auto definedIt = project.link().definedIn.find(fn->name());
+      if (definedIt == project.link().definedIn.end() ||
+          definedIt->second == tu.name)
+        continue; // genuinely external (or local) — pessimism is correct
+      if (summary.imported && !summary.isExternal)
+        ++importedCallees;
+      else
+        ++pessimisticCallees;
+    }
+  }
+  if (pessimisticCallees != 0) {
+    std::fprintf(stderr, "%u in-project callees analyzed pessimistically\n",
+                 pessimisticCallees);
+    ok = false;
+  }
+
+  // Predicted (sum of per-TU static predictions) vs simulated (interpreted
+  // combined planned program).
+  std::uint64_t predicted = 0;
+  std::string plannedCombined;
+  for (const auto &tu : def.tus) {
+    Session *session = project.sessionFor(tu.name);
+    if (session == nullptr)
+      continue;
+    predicted += exp::predictedTransferBytes(session->ir());
+    plannedCombined += session->rewrite();
+  }
+  const interp::RunResult plannedRun = interp::runProgram(plannedCombined);
+  const interp::RunResult unoptRun = interp::runProgram(def.combined());
+  const std::uint64_t simulated = ledgerBytes(plannedRun);
+  const double ratio = predicted > 0
+                           ? static_cast<double>(simulated) /
+                                 static_cast<double>(predicted)
+                           : 0.0;
+  if (!plannedRun.ok || !unoptRun.ok ||
+      plannedRun.output != unoptRun.output) {
+    std::fprintf(stderr, "combined program outputs diverge\n");
+    ok = false;
+  }
+  if (ratio < 0.98 || ratio > 1.02) {
+    std::fprintf(stderr,
+                 "predicted-vs-simulated ratio %.4f outside [0.98, 1.02] "
+                 "(predicted %llu, simulated %llu)\n",
+                 ratio, static_cast<unsigned long long>(predicted),
+                 static_cast<unsigned long long>(simulated));
+    ok = false;
+  }
+
+  // Pessimism baseline: per-TU planning without imports. The worst-case
+  // summaries for cross-TU callees must cost strictly more transfers.
+  std::string pessimisticCombined;
+  for (const auto &tu : def.tus) {
+    Session solo(tu.name, tu.source, config);
+    solo.run();
+    pessimisticCombined += solo.rewrite();
+  }
+  const interp::RunResult pessimisticRun =
+      interp::runProgram(pessimisticCombined);
+  const std::uint64_t pessimisticBytes = ledgerBytes(pessimisticRun);
+  if (!(pessimisticBytes > simulated)) {
+    std::fprintf(stderr,
+                 "pessimistic baseline (%llu bytes) does not exceed the "
+                 "project plan (%llu bytes): the benchmark no longer "
+                 "demonstrates the pessimism gap\n",
+                 static_cast<unsigned long long>(pessimisticBytes),
+                 static_cast<unsigned long long>(simulated));
+    ok = false;
+  }
+
+  std::printf("project %s: %zu TUs, schedule:", def.name.c_str(),
+              def.tus.size());
+  for (const auto &name : project.scheduleOrder())
+    std::printf(" %s", name.c_str());
+  std::printf("\n");
+  std::printf("  imported callees: %u (pessimistic: %u)\n", importedCallees,
+              pessimisticCallees);
+  std::printf("  predicted %llu B, simulated %llu B, ratio %.4f\n",
+              static_cast<unsigned long long>(predicted),
+              static_cast<unsigned long long>(simulated), ratio);
+  std::printf("  pessimistic per-TU baseline: %llu B (%.2fx inflation)\n",
+              static_cast<unsigned long long>(pessimisticBytes),
+              simulated > 0 ? static_cast<double>(pessimisticBytes) /
+                                  static_cast<double>(simulated)
+                            : 0.0);
+
+  json::Value doc = json::Value::object();
+  doc.set("project", def.name);
+  doc.set("tus", static_cast<std::uint64_t>(def.tus.size()));
+  json::Value scheduleJson = json::Value::array();
+  for (const auto &name : project.scheduleOrder())
+    scheduleJson.push(name);
+  doc.set("schedule", std::move(scheduleJson));
+  doc.set("importedCallees", importedCallees);
+  doc.set("pessimisticCallees", pessimisticCallees);
+  doc.set("predictedBytes", predicted);
+  doc.set("simulatedBytes", simulated);
+  doc.set("predictedVsSimulatedRatio", ratio);
+  doc.set("pessimisticBaselineBytes", pessimisticBytes);
+  doc.set("pessimismInflation",
+          simulated > 0 ? static_cast<double>(pessimisticBytes) /
+                              static_cast<double>(simulated)
+                        : 0.0);
+  doc.set("outputsMatch",
+          plannedRun.ok && unoptRun.ok &&
+              plannedRun.output == unoptRun.output);
+  doc.set("allGatesPassed", ok);
+  doc.set("report", project.reportJson());
+  std::ofstream out("BENCH_project.json");
+  out << doc.dump(/*pretty=*/true) << "\n";
+  std::printf("wrote BENCH_project.json\n");
+  return ok ? 0 : 1;
+}

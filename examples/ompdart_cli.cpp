@@ -14,12 +14,15 @@
 //   $ ./ompdart_cli input.c --dump-ast         # front-end debugging
 //   $ ./ompdart_cli input.c --no-firstprivate --no-hoist
 #include "driver/pipeline.hpp"
+#include "driver/project.hpp"
 #include "frontend/ast_printer.hpp"
 #include "frontend/parser.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,6 +45,10 @@ std::string joined(const std::vector<std::string> &names) {
 void usage(const char *argv0) {
   std::printf(
       "usage: %s <input.c> [options]\n"
+      "       %s --project=<manifest.json> [options]\n"
+      "  --project=<file>     whole-program mode: analyze every TU listed\n"
+      "                       in the manifest ({\"tus\": [\"a.c\", ...]})\n"
+      "                       as one program; -o names an output DIRECTORY\n"
       "  -o <file>            write output to <file> instead of stdout\n"
       "  --emit=<kind>        %s (default: source)\n"
       "  --stop-after=<stage> parse | cfg | interproc | plan | rewrite |"
@@ -55,13 +62,12 @@ void usage(const char *argv0) {
       "  --cache-dir=<dir>    content-addressed plan cache directory\n"
       "  --cache=<mode>       off | read | read-write (default: read-write\n"
       "                       once --cache-dir is set)\n",
-      argv0, joined(emitKinds()).c_str(),
+      argv0, argv0, joined(emitKinds()).c_str(),
       joined(ompdart::costModelNames()).c_str());
 }
 
-std::string renderPlanSummary(ompdart::Session &session) {
+std::string renderPlanSummaryFor(const ompdart::Report &report) {
   std::ostringstream out;
-  const ompdart::Report &report = session.report();
   for (const ompdart::ir::Region &region : report.plan.regions) {
     out << "function '" << region.function << "' (lines "
         << region.beginLine() << ".." << region.endLine() << ", "
@@ -87,6 +93,103 @@ std::string renderPlanSummary(ompdart::Session &session) {
   return out.str();
 }
 
+/// Whole-program mode: run the manifest's TUs as one ProjectSession and
+/// emit per-TU sources (into the -o directory or stdout with separators),
+/// the aggregate JSON report, or per-TU plan/IR sections.
+int runProjectMode(const std::string &manifestPath,
+                   const std::string &outputPath, const std::string &emit,
+                   ompdart::PipelineConfig config) {
+  namespace fs = std::filesystem;
+  std::string error;
+  auto manifest = ompdart::ProjectManifest::fromJsonFile(manifestPath,
+                                                         &error);
+  if (!manifest) {
+    std::fprintf(stderr, "cannot load project '%s': %s\n",
+                 manifestPath.c_str(), error.c_str());
+    return 1;
+  }
+  ompdart::ProjectSession project(std::move(*manifest), std::move(config));
+  const bool ok = project.run();
+
+  for (const ompdart::Diagnostic &diag : project.linkDiagnostics())
+    std::fprintf(stderr, "link: %s: %s\n",
+                 ompdart::severityName(diag.severity),
+                 diag.message.c_str());
+  for (const ompdart::ProjectItem &item : project.items())
+    for (const ompdart::Diagnostic &diag : item.report.diagnostics)
+      std::fprintf(stderr, "%s:%s\n", item.name.c_str(),
+                   diag.str().c_str());
+
+  if (emit == "json") {
+    // The aggregate report is one document: here -o names a file, unlike
+    // the per-TU emissions below where it names a directory.
+    const std::string payload =
+        project.reportJson().dump(/*pretty=*/true);
+    if (outputPath.empty()) {
+      std::printf("%s", payload.c_str());
+    } else {
+      std::ofstream out(outputPath);
+      out << payload;
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     outputPath.c_str());
+        return 1;
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  bool writeFailed = false;
+  std::set<std::string> usedNames;
+  for (const ompdart::ProjectItem &item : project.items()) {
+    std::string payload;
+    if (emit == "plan") {
+      payload = renderPlanSummaryFor(item.report);
+    } else if (emit == "ir") {
+      payload = item.report.plan.toJson().dump(/*pretty=*/true);
+    } else {
+      payload = item.output;
+    }
+    if (outputPath.empty()) {
+      std::printf("// ===== %s =====\n%s", item.name.c_str(),
+                  payload.c_str());
+      if (!payload.empty() && payload.back() != '\n')
+        std::printf("\n");
+    } else {
+      std::error_code ec;
+      fs::create_directories(outputPath, ec);
+      // Flatten the TU name into one path component so same-basename TUs
+      // from different directories land in distinct files; flattening is
+      // not injective ("a/b.c" vs "a_b.c"), so residual collisions get a
+      // numeric suffix instead of silently overwriting.
+      std::string flat = item.name;
+      for (char &c : flat)
+        if (c == '/' || c == '\\')
+          c = '_';
+      std::string unique = flat;
+      for (unsigned n = 2; !usedNames.insert(unique).second; ++n)
+        unique = flat + "." + std::to_string(n);
+      const fs::path target = fs::path(outputPath) / unique;
+      std::ofstream out(target);
+      out << payload;
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     target.string().c_str());
+        writeFailed = true;
+      } else {
+        std::fprintf(stderr, "wrote %s\n", target.string().c_str());
+      }
+    }
+  }
+  return (ok && !writeFailed) ? 0 : 1;
+}
+
+std::string renderPlanSummary(ompdart::Session &session) {
+  return renderPlanSummaryFor(session.report());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -96,6 +199,7 @@ int main(int argc, char **argv) {
   }
   std::string inputPath;
   std::string outputPath;
+  std::string projectPath;
   std::string emit = "source";
   bool dumpAst = false;
   bool cacheModeExplicit = false;
@@ -104,6 +208,10 @@ int main(int argc, char **argv) {
     const std::string arg = argv[i];
     if (arg == "-o" && i + 1 < argc) {
       outputPath = argv[++i];
+    } else if (arg.rfind("--project=", 0) == 0) {
+      projectPath = arg.substr(10);
+    } else if (arg == "--project" && i + 1 < argc) {
+      projectPath = argv[++i];
     } else if (arg == "--dump-ast") {
       dumpAst = true;
     } else if (arg.rfind("--emit=", 0) == 0) {
@@ -162,8 +270,18 @@ int main(int argc, char **argv) {
       return 1;
     }
   }
-  if (inputPath.empty()) {
+  if (inputPath.empty() && projectPath.empty()) {
     usage(argv[0]);
+    return 1;
+  }
+  if (!projectPath.empty() && !inputPath.empty()) {
+    std::fprintf(stderr,
+                 "--project and a positional input are mutually exclusive\n");
+    return 1;
+  }
+  if (!projectPath.empty() && dumpAst) {
+    std::fprintf(stderr,
+                 "--dump-ast is a single-file flag; run it per TU\n");
     return 1;
   }
   if (emit == "source" && config.stopAfter &&
@@ -174,14 +292,17 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::ifstream in(inputPath);
-  if (!in) {
-    std::fprintf(stderr, "cannot open '%s'\n", inputPath.c_str());
-    return 1;
+  std::string source;
+  if (projectPath.empty()) {
+    std::ifstream in(inputPath);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", inputPath.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string source = buffer.str();
 
   if (dumpAst) {
     ompdart::SourceManager sourceManager(inputPath, source);
@@ -208,6 +329,9 @@ int main(int argc, char **argv) {
   if (!config.cacheDir.empty() &&
       config.cacheMode == ompdart::cache::CacheMode::Off)
     config.cacheDir.clear();
+
+  if (!projectPath.empty())
+    return runProjectMode(projectPath, outputPath, emit, std::move(config));
 
   ompdart::Session session(inputPath, source, config);
   // Pretty-print diagnostics to stderr as they are reported.

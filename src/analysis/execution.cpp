@@ -1,0 +1,152 @@
+#include "analysis/execution.hpp"
+
+#include "analysis/bounds.hpp"
+
+#include <functional>
+
+namespace ompdart {
+
+ParentMap::ParentMap(const FunctionDecl *fn) {
+  if (fn->body() != nullptr)
+    visit(fn->body(), nullptr);
+}
+
+std::unordered_map<const Stmt *, const Stmt *> ParentMap::takeLinks() {
+  return std::move(parents_);
+}
+
+void ParentMap::visit(const Stmt *stmt, const Stmt *parent) {
+  if (stmt == nullptr)
+    return;
+  parents_[stmt] = parent;
+  switch (stmt->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
+      visit(sub, stmt);
+    return;
+  case StmtKind::If: {
+    const auto *ifStmt = static_cast<const IfStmt *>(stmt);
+    visit(ifStmt->thenStmt(), stmt);
+    visit(ifStmt->elseStmt(), stmt);
+    return;
+  }
+  case StmtKind::For: {
+    const auto *forStmt = static_cast<const ForStmt *>(stmt);
+    visit(forStmt->init(), stmt);
+    visit(forStmt->body(), stmt);
+    return;
+  }
+  case StmtKind::While:
+    visit(static_cast<const WhileStmt *>(stmt)->body(), stmt);
+    return;
+  case StmtKind::Do:
+    visit(static_cast<const DoStmt *>(stmt)->body(), stmt);
+    return;
+  case StmtKind::Switch:
+    visit(static_cast<const SwitchStmt *>(stmt)->body(), stmt);
+    return;
+  case StmtKind::Case:
+    visit(static_cast<const CaseStmt *>(stmt)->sub(), stmt);
+    return;
+  case StmtKind::Default:
+    visit(static_cast<const DefaultStmt *>(stmt)->sub(), stmt);
+    return;
+  case StmtKind::OmpDirective:
+    visit(static_cast<const OmpDirectiveStmt *>(stmt)->associated(), stmt);
+    return;
+  default:
+    return;
+  }
+}
+
+bool isLoopStmt(const Stmt *stmt) {
+  return stmt != nullptr &&
+         (stmt->kind() == StmtKind::For || stmt->kind() == StmtKind::While ||
+          stmt->kind() == StmtKind::Do);
+}
+
+bool isConditionalStmt(const Stmt *stmt) {
+  return stmt != nullptr && (stmt->kind() == StmtKind::If ||
+                             stmt->kind() == StmtKind::Switch);
+}
+
+std::uint64_t saturatingMul(std::uint64_t a, std::uint64_t b) {
+  constexpr std::uint64_t kCap = std::uint64_t{1} << 40;
+  if (a == 0 || b == 0)
+    return 0;
+  if (a > kCap / b)
+    return kCap;
+  return a * b;
+}
+
+std::uint64_t loopTripsOrOne(const Stmt *loop) {
+  if (const auto *forStmt = dynamic_cast<const ForStmt *>(loop)) {
+    const LoopBounds bounds = analyzeForLoop(forStmt);
+    if (bounds.valid && bounds.upperConst && bounds.lowerConst &&
+        *bounds.upperConst > *bounds.lowerConst)
+      return static_cast<std::uint64_t>(*bounds.upperConst -
+                                        *bounds.lowerConst);
+  }
+  return 1;
+}
+
+ProvableMultiplier provableMultiplierOf(
+    const std::unordered_map<const Stmt *, const Stmt *> &parents,
+    const Stmt *site, std::size_t minBeginOffset) {
+  ProvableMultiplier result;
+  auto parentOf = [&](const Stmt *stmt) -> const Stmt * {
+    auto it = parents.find(stmt);
+    return it != parents.end() ? it->second : nullptr;
+  };
+  for (const Stmt *cursor = parentOf(site); cursor != nullptr;
+       cursor = parentOf(cursor)) {
+    if (cursor->range().begin.offset < minBeginOffset)
+      break;
+    if (isConditionalStmt(cursor)) {
+      result.guarded = true;
+      return result;
+    }
+    if (isLoopStmt(cursor))
+      result.trips = saturatingMul(result.trips, loopTripsOrOne(cursor));
+  }
+  return result;
+}
+
+std::map<std::string, std::uint64_t>
+estimateExecutions(const WeightedCallGraph &graph) {
+  std::map<std::string, std::uint64_t> executions;
+  auto seedOf = [&](const std::string &fn) -> std::uint64_t {
+    return (graph.called.count(fn) == 0 || fn == "main") ? 1 : 0;
+  };
+  enum class State { Gray, Done };
+  std::map<std::string, State> state;
+  std::function<std::uint64_t(const std::string &)> eval =
+      [&](const std::string &fn) -> std::uint64_t {
+    auto stateIt = state.find(fn);
+    if (stateIt != state.end()) {
+      if (stateIt->second == State::Gray)
+        return 0; // back-edge of a cycle: unprovable, charge nothing
+      return executions[fn];
+    }
+    state[fn] = State::Gray;
+    std::uint64_t total = seedOf(fn);
+    auto callersIt = graph.callersOf.find(fn);
+    if (callersIt != graph.callersOf.end()) {
+      for (const WeightedCallGraph::Edge &edge : callersIt->second) {
+        const std::uint64_t contribution =
+            edge.guarded ? (eval(edge.caller) > 0 ? 1 : 0)
+                         : saturatingMul(eval(edge.caller), edge.trips);
+        total = std::min<std::uint64_t>(total + contribution,
+                                        std::uint64_t{1} << 40);
+      }
+    }
+    state[fn] = State::Done;
+    executions[fn] = total;
+    return total;
+  };
+  for (const std::string &fn : graph.functions)
+    eval(fn);
+  return executions;
+}
+
+} // namespace ompdart

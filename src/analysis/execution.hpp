@@ -1,0 +1,119 @@
+// Shared execution-count machinery (paper §IV-C / PR 3 estimator).
+//
+// Provable execution estimates appear in three places that must agree
+// exactly: the planner's region entry counts and update executions, the
+// per-TU call-graph seeding, and the Project layer's whole-program link
+// (which runs the same estimator over serialized summaries instead of
+// ASTs). This header is the single implementation all of them use:
+//
+//   ParentMap              child->parent statement links for one function
+//   provableMultiplierOf   product of constant trips of unguarded loop
+//                          ancestors (guarded = any if/switch ancestor)
+//   WeightedCallGraph      name-keyed call graph with per-edge provable
+//                          trip weights, AST-free (buildable from either a
+//                          parsed unit or serialized module summaries)
+//   estimateExecutions     exec(F) = seed(F) + sum(exec(caller) * trips)
+//                          via memoized DFS; cycles contribute the floor
+// All counts saturate at 2^40 ("executes a lot").
+#pragma once
+
+#include "frontend/ast.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ompdart {
+
+/// Builds child-statement -> parent-statement links for a function body.
+class ParentMap {
+public:
+  explicit ParentMap(const FunctionDecl *fn);
+
+  /// Surrenders the child->parent map (the ParentMap is spent afterwards).
+  [[nodiscard]] std::unordered_map<const Stmt *, const Stmt *> takeLinks();
+
+private:
+  void visit(const Stmt *stmt, const Stmt *parent);
+
+  std::unordered_map<const Stmt *, const Stmt *> parents_;
+};
+
+[[nodiscard]] bool isLoopStmt(const Stmt *stmt);
+[[nodiscard]] bool isConditionalStmt(const Stmt *stmt);
+
+/// Saturating multiply for execution-count estimates (cap 2^40).
+[[nodiscard]] std::uint64_t saturatingMul(std::uint64_t a, std::uint64_t b);
+
+/// Constant trips of one loop; 1 (the provable floor per execution of the
+/// surrounding context) when the bounds defeat analysis.
+[[nodiscard]] std::uint64_t loopTripsOrOne(const Stmt *loop);
+
+/// Provable per-function-execution multiplier for a statement: the product
+/// of constant trips of unguarded loop ancestors. Any conditional ancestor
+/// (if/switch) makes repetition unprovable — the statement may run zero
+/// times per iteration — so the walk reports guarded and the caller
+/// charges the floor of one instead.
+struct ProvableMultiplier {
+  std::uint64_t trips = 1;
+  bool guarded = false;
+};
+[[nodiscard]] ProvableMultiplier provableMultiplierOf(
+    const std::unordered_map<const Stmt *, const Stmt *> &parents,
+    const Stmt *site, std::size_t minBeginOffset = 0);
+
+/// Name-keyed, AST-free call graph with provable edge weights. Built from a
+/// translation unit's call sites (planner) or from serialized module
+/// summaries (Project link); both feed the same estimator so per-TU and
+/// whole-program execution counts cannot diverge.
+struct WeightedCallGraph {
+  struct Edge {
+    std::string caller;
+    std::uint64_t trips = 1;
+    bool guarded = false;
+  };
+  /// Host-side caller edges per callee name.
+  std::map<std::string, std::vector<Edge>> callersOf;
+  /// Every callee any analyzed call site targets (host or device): such
+  /// functions are not program entries.
+  std::set<std::string> called;
+  /// All function names to produce estimates for, in insertion order.
+  /// Order matters: it decides where the memoized DFS cuts call-graph
+  /// cycles, so it must stay the declaration order the planner always
+  /// used (the link inserts in manifest × declaration order, which
+  /// degenerates to the same thing for one TU).
+  std::vector<std::string> functions;
+
+  void addFunction(const std::string &name) {
+    if (known_.insert(name).second)
+      functions.push_back(name);
+  }
+  void addCall(const std::string &caller, const std::string &callee,
+               std::uint64_t trips, bool guarded, bool onDevice) {
+    called.insert(callee);
+    addFunction(callee);
+    if (onDevice)
+      return;
+    Edge edge;
+    edge.caller = caller;
+    edge.trips = trips;
+    edge.guarded = guarded;
+    callersOf[callee].push_back(edge);
+  }
+
+private:
+  std::set<std::string> known_;
+};
+
+/// exec(F) = seed(F) + sum over callers of exec(caller) * trips, where
+/// functions no call site targets (and `main`) seed at one. Evaluated by
+/// memoized DFS; recursive back-edges contribute 0 (the extra executions a
+/// cycle implies are not statically provable — this estimate is a provable
+/// floor). Guarded edges contribute the floor of one call total.
+[[nodiscard]] std::map<std::string, std::uint64_t>
+estimateExecutions(const WeightedCallGraph &graph);
+
+} // namespace ompdart

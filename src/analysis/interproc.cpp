@@ -4,11 +4,6 @@
 
 namespace ompdart {
 
-namespace {
-
-/// Resolves which caller variable a call argument exposes to the callee
-/// (pointer passing, array decay, &scalar). Returns null when the argument
-/// does not name a trackable object.
 VarDecl *argumentObject(const Expr *arg) {
   const Expr *stripped = ignoreParensAndCasts(arg);
   if (stripped == nullptr)
@@ -43,6 +38,8 @@ VarDecl *argumentObject(const Expr *arg) {
   return nullptr;
 }
 
+namespace {
+
 /// Index of `var` in the function's parameter list, or -1.
 int paramIndex(const FunctionDecl *fn, const VarDecl *var) {
   for (std::size_t i = 0; i < fn->params().size(); ++i)
@@ -70,9 +67,129 @@ ObjectEffect effectFromEvent(const AccessEvent &event) {
   return effect;
 }
 
-/// Pessimistic summary for a function whose body is not visible. `const T*`
-/// parameters are read-only; all other pointer parameters may be read and
-/// written on the host (the paper's rule for cross-TU functions).
+} // namespace
+
+json::Value ObjectEffect::toJson() const {
+  json::Value doc = json::Value::object();
+  doc.set("readHost", readHost);
+  doc.set("writeHost", writeHost);
+  doc.set("readDevice", readDevice);
+  doc.set("writeDevice", writeDevice);
+  doc.set("unknown", unknown);
+  return doc;
+}
+
+ObjectEffect ObjectEffect::fromJson(const json::Value &value) {
+  ObjectEffect effect;
+  effect.readHost = value.boolOr("readHost");
+  effect.writeHost = value.boolOr("writeHost");
+  effect.readDevice = value.boolOr("readDevice");
+  effect.writeDevice = value.boolOr("writeDevice");
+  effect.unknown = value.boolOr("unknown");
+  return effect;
+}
+
+std::string functionSignature(const FunctionDecl *fn) {
+  std::string signature =
+      fn->returnType() != nullptr ? fn->returnType()->spelling() : "int";
+  signature += "(";
+  for (std::size_t i = 0; i < fn->params().size(); ++i) {
+    if (i > 0)
+      signature += ", ";
+    const VarDecl *param = fn->params()[i];
+    signature += param->type() != nullptr ? param->type()->spelling() : "int";
+  }
+  signature += ")";
+  return signature;
+}
+
+json::Value PortableSummary::toJson() const {
+  json::Value doc = json::Value::object();
+  doc.set("function", function);
+  doc.set("signature", signature);
+  doc.set("defined", defined);
+  doc.set("launchesKernels", launchesKernels);
+  json::Value paramsJson = json::Value::array();
+  for (const ObjectEffect &effect : params)
+    paramsJson.push(effect.toJson());
+  doc.set("params", std::move(paramsJson));
+  json::Value globalsJson = json::Value::object();
+  for (const auto &[name, effect] : globals)
+    globalsJson.set(name, effect.toJson());
+  doc.set("globals", std::move(globalsJson));
+  return doc;
+}
+
+std::optional<PortableSummary>
+PortableSummary::fromJson(const json::Value &value, std::string *error) {
+  if (!value.isObject()) {
+    json::setFirstError(error, "portable summary is not an object");
+    return std::nullopt;
+  }
+  PortableSummary summary;
+  summary.function = value.stringOr("function");
+  if (summary.function.empty()) {
+    json::setFirstError(error, "portable summary has no function name");
+    return std::nullopt;
+  }
+  summary.signature = value.stringOr("signature");
+  summary.defined = value.boolOr("defined");
+  summary.launchesKernels = value.boolOr("launchesKernels");
+  if (const json::Value *paramsJson = value.find("params"))
+    for (const json::Value &item : paramsJson->items())
+      summary.params.push_back(ObjectEffect::fromJson(item));
+  if (const json::Value *globalsJson = value.find("globals"))
+    for (const auto &[name, effectJson] : globalsJson->members())
+      summary.globals[name] = ObjectEffect::fromJson(effectJson);
+  return summary;
+}
+
+PortableSummary portableSummaryOf(const FunctionSummary &summary) {
+  PortableSummary portable;
+  if (summary.function != nullptr) {
+    portable.function = summary.function->name();
+    portable.signature = functionSignature(summary.function);
+    portable.defined = summary.function->isDefined();
+  }
+  portable.launchesKernels = summary.launchesKernels;
+  portable.params = summary.params;
+  // `static` globals have internal linkage: no other TU can name them, so
+  // exporting their effects could only mis-bind onto an unrelated
+  // same-named global elsewhere.
+  for (const auto &[global, effect] : summary.globals)
+    if (global != nullptr && !global->isStatic())
+      portable.globals[global->name()].mergeFrom(effect);
+  return portable;
+}
+
+FunctionSummary bindImportedSummary(const PortableSummary &portable,
+                                    const FunctionDecl *fn,
+                                    const TranslationUnit &unit) {
+  FunctionSummary summary;
+  summary.function = fn;
+  summary.imported = true;
+  summary.launchesKernels = portable.launchesKernels;
+  summary.params.resize(fn->params().size());
+  for (std::size_t i = 0;
+       i < portable.params.size() && i < summary.params.size(); ++i)
+    summary.params[i] = portable.params[i];
+  for (const auto &[name, effect] : portable.globals) {
+    for (VarDecl *global : unit.globals) {
+      // A local `static` global is a different object than the externally
+      // visible one the summary refers to — never bind onto it.
+      if (global->isStatic())
+        continue;
+      if (global->name() == name) {
+        summary.globals[global].mergeFrom(effect);
+        break;
+      }
+    }
+    // Globals this unit never declares are dropped: the unit cannot
+    // reference them, so they cannot affect its mapping decisions.
+  }
+  return summary;
+}
+
 FunctionSummary externalSummary(const FunctionDecl *fn) {
   FunctionSummary summary;
   summary.function = fn;
@@ -93,60 +210,80 @@ FunctionSummary externalSummary(const FunctionDecl *fn) {
   return summary;
 }
 
-} // namespace
+FunctionSummary directFunctionSummary(const FunctionDecl *fn,
+                                      const FunctionAccessInfo &info) {
+  FunctionSummary summary;
+  summary.function = fn;
+  summary.params.resize(fn->params().size());
+  for (const AccessEvent &event : info.events) {
+    if (event.var == nullptr)
+      continue;
+    if (event.onDevice)
+      summary.launchesKernels = true;
+    if (event.var->isGlobal()) {
+      summary.globals[event.var].mergeFrom(effectFromEvent(event));
+      continue;
+    }
+    const int index = paramIndex(fn, event.var);
+    if (index < 0)
+      continue;
+    // Only pointee accesses of pointer parameters are externally visible;
+    // by-value parameters (scalars, structs) are local copies.
+    if (event.var->type()->isPointer() && event.pointeeAccess)
+      summary.params[static_cast<std::size_t>(index)].mergeFrom(
+          effectFromEvent(event));
+  }
+  return summary;
+}
 
-InterproceduralResult
-runInterproceduralAnalysis(const TranslationUnit &unit,
-                           InterproceduralOptions options) {
-  InterproceduralResult result;
+std::unordered_map<const FunctionDecl *, FunctionSummary>
+computeFunctionSummaries(
+    const TranslationUnit &unit,
+    const std::unordered_map<const FunctionDecl *, FunctionAccessInfo>
+        &baseAccesses,
+    InterproceduralOptions options, unsigned *passesOut) {
+  std::unordered_map<const FunctionDecl *, FunctionSummary> summaries;
 
-  // Base access collection (intra-procedural only).
-  std::unordered_map<const FunctionDecl *, FunctionAccessInfo> baseAccesses;
+  // Base: defined functions start empty (the fixed point fills them);
+  // bodiless functions take their imported cross-TU summary when one is
+  // available, the pessimistic external rule otherwise.
   for (const FunctionDecl *fn : unit.functions) {
-    if (fn->isDefined())
-      baseAccesses[fn] = collectAccesses(fn);
-    result.summaries[fn] =
-        fn->isDefined() ? FunctionSummary{} : externalSummary(fn);
-    result.summaries[fn].function = fn;
+    if (fn->isDefined()) {
+      summaries[fn] = FunctionSummary{};
+    } else {
+      const PortableSummary *imported = nullptr;
+      if (options.importedSummaries != nullptr) {
+        auto it = options.importedSummaries->find(fn->name());
+        if (it != options.importedSummaries->end())
+          imported = &it->second;
+      }
+      summaries[fn] = imported != nullptr
+                          ? bindImportedSummary(*imported, fn, unit)
+                          : externalSummary(fn);
+    }
+    summaries[fn].function = fn;
   }
 
   // Fixed point: recompute each defined function's summary from its events
   // plus current callee summaries until nothing changes.
+  unsigned passes = 0;
   for (unsigned pass = 0; pass < options.maxPasses; ++pass) {
-    ++result.passes;
+    ++passes;
     bool changed = false;
     for (const FunctionDecl *fn : unit.functions) {
       if (!fn->isDefined())
         continue;
-      const FunctionAccessInfo &info = baseAccesses[fn];
-      FunctionSummary summary;
-      summary.function = fn;
-      summary.params.resize(fn->params().size());
-
-      for (const AccessEvent &event : info.events) {
-        if (event.var == nullptr)
-          continue;
-        if (event.onDevice)
-          summary.launchesKernels = true;
-        if (event.var->isGlobal()) {
-          summary.globals[event.var].mergeFrom(effectFromEvent(event));
-          continue;
-        }
-        const int index = paramIndex(fn, event.var);
-        if (index < 0)
-          continue;
-        // Only pointee accesses of pointer parameters are externally
-        // visible; by-value parameters (scalars, structs) are local copies.
-        if (event.var->type()->isPointer() && event.pointeeAccess)
-          summary.params[static_cast<std::size_t>(index)].mergeFrom(
-              effectFromEvent(event));
-      }
+      auto baseIt = baseAccesses.find(fn);
+      if (baseIt == baseAccesses.end())
+        continue;
+      const FunctionAccessInfo &info = baseIt->second;
+      FunctionSummary summary = directFunctionSummary(fn, info);
 
       for (const CallSite &site : info.callSites) {
         const FunctionDecl *callee = site.call->callee();
         if (callee == nullptr)
           continue;
-        const FunctionSummary &calleeSummary = result.summaries[callee];
+        const FunctionSummary &calleeSummary = summaries[callee];
         summary.launchesKernels |= calleeSummary.launchesKernels;
         // Map callee parameter effects onto caller objects.
         const auto &args = site.call->args();
@@ -172,24 +309,39 @@ runInterproceduralAnalysis(const TranslationUnit &unit,
           summary.globals[global].mergeFrom(effect);
       }
 
-      if (!(result.summaries[fn] == summary)) {
-        result.summaries[fn] = std::move(summary);
+      if (!(summaries[fn] == summary)) {
+        // Preserve the base flags (the fixed point only recomputes effects).
+        summary.isExternal = summaries[fn].isExternal;
+        summary.imported = summaries[fn].imported;
+        summaries[fn] = std::move(summary);
         changed = true;
       }
     }
     if (!changed)
       break;
   }
+  if (passesOut != nullptr)
+    *passesOut = passes;
+  return summaries;
+}
 
-  // Augmentation: synthesize call-site events so the data-flow walk sees
-  // callee side effects inline.
-  for (auto &[fn, info] : baseAccesses) {
+std::unordered_map<const FunctionDecl *, FunctionAccessInfo>
+augmentCallSiteAccesses(
+    const std::unordered_map<const FunctionDecl *, FunctionAccessInfo>
+        &baseAccesses,
+    const std::unordered_map<const FunctionDecl *, FunctionSummary>
+        &summaries) {
+  std::unordered_map<const FunctionDecl *, FunctionAccessInfo> accesses;
+  for (const auto &[fn, info] : baseAccesses) {
     FunctionAccessInfo augmented = info;
     for (const CallSite &site : info.callSites) {
       const FunctionDecl *callee = site.call->callee();
       if (callee == nullptr)
         continue;
-      const FunctionSummary &calleeSummary = result.summaries[callee];
+      auto summaryIt = summaries.find(callee);
+      if (summaryIt == summaries.end())
+        continue;
+      const FunctionSummary &calleeSummary = summaryIt->second;
 
       auto synthesize = [&](VarDecl *object, const ObjectEffect &effect) {
         if (object == nullptr || !effect.any())
@@ -234,8 +386,25 @@ runInterproceduralAnalysis(const TranslationUnit &unit,
       for (VarDecl *global : globals)
         synthesize(global, calleeSummary.globals.at(global));
     }
-    result.accesses[fn] = std::move(augmented);
+    accesses[fn] = std::move(augmented);
   }
+  return accesses;
+}
+
+InterproceduralResult
+runInterproceduralAnalysis(const TranslationUnit &unit,
+                           InterproceduralOptions options) {
+  InterproceduralResult result;
+
+  // Base access collection (intra-procedural only).
+  std::unordered_map<const FunctionDecl *, FunctionAccessInfo> baseAccesses;
+  for (const FunctionDecl *fn : unit.functions)
+    if (fn->isDefined())
+      baseAccesses[fn] = collectAccesses(fn);
+
+  result.summaries =
+      computeFunctionSummaries(unit, baseAccesses, options, &result.passes);
+  result.accesses = augmentCallSiteAccesses(baseAccesses, result.summaries);
   return result;
 }
 

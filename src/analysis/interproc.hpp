@@ -5,15 +5,25 @@
 // space (host vs device). Summaries are computed to a fixed point over the
 // call graph, bounded by the maximum call depth, and call sites in each
 // function's access stream are then *augmented* with synthesized events so
-// the data-flow analysis sees callee effects inline ("maximally pessimistic"
-// for functions without visible bodies; `const T *` parameters are assumed
-// read-only, matching the paper's conservative rules).
+// the data-flow analysis sees callee effects inline.
+//
+// The two phases are exposed separately (computeFunctionSummaries /
+// augmentCallSiteAccesses) so the Project layer can run the fixed point
+// over whole-program facts: a bodiless callee whose closed summary was
+// *imported* from another translation unit (PortableSummary, the
+// JSON-round-trippable artifact form) is analyzed with that summary instead
+// of the "maximally pessimistic" external rule; only genuinely external
+// functions (no body anywhere in the project, `const T *` parameters
+// assumed read-only) keep the paper's conservative treatment.
 #pragma once
 
 #include "analysis/access.hpp"
 #include "frontend/ast.hpp"
+#include "support/json.hpp"
 
 #include <map>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +53,9 @@ struct ObjectEffect {
            readDevice == other.readDevice &&
            writeDevice == other.writeDevice && unknown == other.unknown;
   }
+
+  [[nodiscard]] json::Value toJson() const;
+  [[nodiscard]] static ObjectEffect fromJson(const json::Value &value);
 };
 
 /// Side-effect summary for one function.
@@ -56,12 +69,71 @@ struct FunctionSummary {
   bool launchesKernels = false;
   /// External function without a body: callers must assume the worst.
   bool isExternal = false;
+  /// Bodiless here, but its closed summary was imported from another
+  /// translation unit of the same project — no pessimism applied.
+  bool imported = false;
 
   [[nodiscard]] bool operator==(const FunctionSummary &other) const {
     return params == other.params && globals == other.globals &&
            launchesKernels == other.launchesKernels;
   }
 };
+
+/// AST-free, JSON-round-trippable form of a FunctionSummary: effects are
+/// keyed by parameter index and global *name* instead of decl pointers.
+/// This is the artifact the Project layer serializes, caches and imports
+/// across translation units.
+struct PortableSummary {
+  std::string function;
+  /// `functionSignature()` of the summarized declaration; importers refuse
+  /// summaries whose signature does not match their local prototype.
+  std::string signature;
+  bool defined = false;
+  bool launchesKernels = false;
+  std::vector<ObjectEffect> params;
+  std::map<std::string, ObjectEffect> globals;
+
+  [[nodiscard]] bool operator==(const PortableSummary &other) const {
+    return function == other.function && signature == other.signature &&
+           defined == other.defined &&
+           launchesKernels == other.launchesKernels &&
+           params == other.params && globals == other.globals;
+  }
+
+  [[nodiscard]] json::Value toJson() const;
+  [[nodiscard]] static std::optional<PortableSummary>
+  fromJson(const json::Value &value, std::string *error = nullptr);
+};
+
+/// "ret(param, param, ...)" type spelling used for cross-TU linkage checks.
+[[nodiscard]] std::string functionSignature(const FunctionDecl *fn);
+
+/// Resolves which caller variable a call argument exposes to the callee
+/// (pointer passing, array decay, &scalar). Returns null when the argument
+/// does not name a trackable object.
+[[nodiscard]] VarDecl *argumentObject(const Expr *arg);
+
+/// Converts a decl-bound summary into its portable form.
+[[nodiscard]] PortableSummary portableSummaryOf(const FunctionSummary &summary);
+
+/// Binds a portable summary to a local (bodiless) declaration: parameter
+/// effects attach by index, global effects by name against the unit's
+/// globals (effects on globals this unit never declares are dropped — the
+/// unit cannot reference them, so they cannot affect its mapping).
+[[nodiscard]] FunctionSummary
+bindImportedSummary(const PortableSummary &portable, const FunctionDecl *fn,
+                    const TranslationUnit &unit);
+
+/// Intra-procedural (direct) summary of one defined function: effects from
+/// its own access events only, no call propagation. The fixed point and the
+/// Project layer's module extraction both start from this.
+[[nodiscard]] FunctionSummary
+directFunctionSummary(const FunctionDecl *fn, const FunctionAccessInfo &info);
+
+/// Pessimistic summary for a function whose body is not visible anywhere:
+/// `const T *` parameters are read-only; all other pointer parameters may
+/// be read and written on the host (the paper's cross-TU rule).
+[[nodiscard]] FunctionSummary externalSummary(const FunctionDecl *fn);
 
 /// Result of the interprocedural pass over a translation unit.
 struct InterproceduralResult {
@@ -88,10 +160,33 @@ struct InterproceduralOptions {
   /// Cap on fixed-point passes (the paper: "can be repeated several times up
   /// to the maximum call depth ... stopped early if no updates are made").
   unsigned maxPasses = 16;
+  /// Closed cross-TU summaries for bodiless callees, keyed by function
+  /// name (already signature-checked by the Project link). Null preserves
+  /// the classic single-TU pessimistic behavior. Non-owning.
+  const std::map<std::string, PortableSummary> *importedSummaries = nullptr;
 };
 
-/// Runs access collection plus the interprocedural fixed point for every
-/// defined function in the unit.
+/// Phase 1 (§IV-C fixed point): per-function summaries from the base access
+/// streams plus current callee summaries. `passesOut` (optional) receives
+/// the number of passes performed.
+[[nodiscard]] std::unordered_map<const FunctionDecl *, FunctionSummary>
+computeFunctionSummaries(
+    const TranslationUnit &unit,
+    const std::unordered_map<const FunctionDecl *, FunctionAccessInfo>
+        &baseAccesses,
+    InterproceduralOptions options = {}, unsigned *passesOut = nullptr);
+
+/// Phase 2: synthesizes call-site events so the data-flow walk sees callee
+/// side effects inline.
+[[nodiscard]] std::unordered_map<const FunctionDecl *, FunctionAccessInfo>
+augmentCallSiteAccesses(
+    const std::unordered_map<const FunctionDecl *, FunctionAccessInfo>
+        &baseAccesses,
+    const std::unordered_map<const FunctionDecl *, FunctionSummary>
+        &summaries);
+
+/// Runs access collection plus both phases for every defined function in
+/// the unit.
 [[nodiscard]] InterproceduralResult
 runInterproceduralAnalysis(const TranslationUnit &unit,
                            InterproceduralOptions options = {});

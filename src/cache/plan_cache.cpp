@@ -105,6 +105,8 @@ std::string CacheKey::id() const {
   hasher.update(configHash);
   hasher.update(static_cast<std::uint64_t>(toolVersion.size()));
   hasher.update(toolVersion);
+  hasher.update(static_cast<std::uint64_t>(importsHash.size()));
+  hasher.update(importsHash);
   return hasher.hex();
 }
 
@@ -115,6 +117,7 @@ json::Value CacheEntry::toJson(const CacheKey &key) const {
   keyJson.set("sourceHash", key.sourceHash);
   keyJson.set("configHash", key.configHash);
   keyJson.set("toolVersion", key.toolVersion);
+  keyJson.set("importsHash", key.importsHash);
   out.set("key", std::move(keyJson));
   out.set("file", fileName);
   out.set("irFingerprint", irFingerprint);
@@ -155,6 +158,7 @@ std::optional<CacheEntry> CacheEntry::fromJson(const json::Value &value,
   key.sourceHash = keyJson->stringOr("sourceHash");
   key.configHash = keyJson->stringOr("configHash");
   key.toolVersion = keyJson->stringOr("toolVersion");
+  key.importsHash = keyJson->stringOr("importsHash");
   if (!(key == expect)) {
     json::setFirstError(error, "cache entry key does not match the lookup key");
     return std::nullopt;
@@ -209,6 +213,10 @@ json::Value CacheStats::toJson() const {
   out.set("misses", misses);
   out.set("stores", stores);
   out.set("invalidations", invalidations);
+  out.set("summaryLookups", summaryLookups);
+  out.set("summaryHits", summaryHits);
+  out.set("summaryMisses", summaryMisses);
+  out.set("summaryStores", summaryStores);
   return out;
 }
 
@@ -342,6 +350,57 @@ void PlanCache::store(const CacheKey &key, const CacheEntry &entry) {
     ownedRows_.insert(row);
     indexDirty_ = true;
   }
+}
+
+std::string PlanCache::summaryPathFor(const CacheKey &key) const {
+  return (fs::path(directory_) / "summaries" / (key.id() + ".json")).string();
+}
+
+std::optional<json::Value> PlanCache::lookupSummary(const CacheKey &key) {
+  if (!enabled())
+    return std::nullopt;
+  // Like plan lookups, the file read and parse stay outside the mutex.
+  std::optional<json::Value> payload;
+  if (const auto text = readFile(summaryPathFor(key))) {
+    if (auto doc = json::Value::parse(*text); doc && doc->isObject()) {
+      const json::Value *keyJson = doc->find("key");
+      CacheKey stored;
+      if (keyJson != nullptr) {
+        stored.sourceHash = keyJson->stringOr("sourceHash");
+        stored.configHash = keyJson->stringOr("configHash");
+        stored.toolVersion = keyJson->stringOr("toolVersion");
+        stored.importsHash = keyJson->stringOr("importsHash");
+      }
+      if (stored == key) {
+        if (const json::Value *payloadJson = doc->find("summary"))
+          payload = *payloadJson;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.summaryLookups;
+  if (payload)
+    ++stats_.summaryHits;
+  else
+    ++stats_.summaryMisses;
+  return payload;
+}
+
+void PlanCache::storeSummary(const CacheKey &key, const json::Value &payload) {
+  if (!writable())
+    return;
+  json::Value doc = json::Value::object();
+  json::Value keyJson = json::Value::object();
+  keyJson.set("sourceHash", key.sourceHash);
+  keyJson.set("configHash", key.configHash);
+  keyJson.set("toolVersion", key.toolVersion);
+  keyJson.set("importsHash", key.importsHash);
+  doc.set("key", std::move(keyJson));
+  doc.set("summary", payload);
+  if (!writeFileAtomic(summaryPathFor(key), doc.dump(true)))
+    return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.summaryStores;
 }
 
 CacheStats PlanCache::stats() const {

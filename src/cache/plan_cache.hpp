@@ -60,14 +60,19 @@ struct CacheKey {
   std::string sourceHash;  ///< content hash of the input buffer
   std::string configHash;  ///< planning-relevant config fingerprint
   std::string toolVersion; ///< kToolVersion of the producing binary
+  /// Fingerprint of the cross-TU imports a Project run injected (empty for
+  /// single-TU runs): editing one file re-plans only the TUs whose imported
+  /// summaries or call facts actually changed.
+  std::string importsHash;
 
-  /// The content address: a stable hash over all three components.
+  /// The content address: a stable hash over all components.
   [[nodiscard]] std::string id() const;
 
   [[nodiscard]] bool operator==(const CacheKey &other) const {
     return sourceHash == other.sourceHash &&
            configHash == other.configHash &&
-           toolVersion == other.toolVersion;
+           toolVersion == other.toolVersion &&
+           importsHash == other.importsHash;
   }
 };
 
@@ -93,13 +98,19 @@ struct CacheEntry {
 };
 
 /// Monotonic counters; `invalidations` counts lookups that found a
-/// superseded entry for the same file (source/config/tool changed).
+/// superseded entry for the same file (source/config/tool changed). The
+/// `summary*` counters track the Project layer's per-TU module-summary
+/// entries, which live beside the plans in the same cache directory.
 struct CacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t invalidations = 0;
+  std::uint64_t summaryLookups = 0;
+  std::uint64_t summaryHits = 0;
+  std::uint64_t summaryMisses = 0;
+  std::uint64_t summaryStores = 0;
 
   [[nodiscard]] json::Value toJson() const;
 };
@@ -132,6 +143,19 @@ public:
   /// Persists an entry (no-op unless writable) and points the file index at
   /// it.
   void store(const CacheKey &key, const CacheEntry &entry);
+
+  /// Content-addressed lookup of a per-TU module-summary document
+  /// (`summaries/<key-id>.json`). The payload is an opaque JSON value the
+  /// Project layer owns; a stored document whose embedded key mismatches
+  /// the lookup is rejected like a corrupted plan entry.
+  [[nodiscard]] std::optional<json::Value>
+  lookupSummary(const CacheKey &key);
+
+  /// Persists a module-summary document (no-op unless writable).
+  void storeSummary(const CacheKey &key, const json::Value &payload);
+
+  /// `<directory>/summaries/<key-id>.json`.
+  [[nodiscard]] std::string summaryPathFor(const CacheKey &key) const;
 
   [[nodiscard]] CacheStats stats() const;
 

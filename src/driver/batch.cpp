@@ -1,5 +1,7 @@
 #include "driver/batch.hpp"
 
+#include "driver/project.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -48,6 +50,96 @@ BatchResult BatchDriver::run(const std::vector<BatchJob> &jobs) const {
   for (unsigned pass = 0; pass < options_.warmupPasses; ++pass)
     (void)runOnce(jobs, sharedCache);
   return runOnce(jobs, sharedCache);
+}
+
+BatchResult BatchDriver::runProject(const std::vector<BatchJob> &jobs) const {
+  BatchResult result;
+  result.stats.jobs = static_cast<unsigned>(jobs.size());
+  if (jobs.empty())
+    return result;
+
+  ProjectManifest manifest;
+  manifest.name = "batch-project";
+  for (const BatchJob &job : jobs) {
+    ProjectTu tu;
+    tu.name = job.name;
+    tu.fileName = job.fileName.empty() ? job.name : job.fileName;
+    tu.source = job.source;
+    manifest.tus.push_back(std::move(tu));
+  }
+
+  unsigned threadCount = options_.threads;
+  if (threadCount == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    threadCount = hardware > 0 ? hardware : 2;
+  }
+  if (threadCount > jobs.size())
+    threadCount = static_cast<unsigned>(jobs.size());
+  result.stats.threads = threadCount;
+
+  // One shared cache instance for the project and its warm-up passes, as
+  // in the independent-job path, so hit/store counters aggregate.
+  std::unique_ptr<cache::PlanCache> ownedCache;
+  PipelineConfig config = options_.config;
+  if (config.planCache == nullptr && !config.cacheDir.empty() &&
+      config.cacheMode != cache::CacheMode::Off) {
+    ownedCache = std::make_unique<cache::PlanCache>(config.cacheDir,
+                                                    config.cacheMode);
+    config.planCache = ownedCache.get();
+  }
+  ProjectSession::Options projectOptions;
+  projectOptions.threads = threadCount;
+  ProjectSession project(std::move(manifest), config, projectOptions);
+
+  // Warm-up passes populate the cache but stay outside the measured wall
+  // time and counter deltas, matching the independent-job path.
+  for (unsigned pass = 0; pass < options_.warmupPasses; ++pass) {
+    ProjectSession warmup(project.manifest(), config, projectOptions);
+    (void)warmup.run();
+  }
+  const cache::CacheStats cacheBefore = config.planCache != nullptr
+                                            ? config.planCache->stats()
+                                            : cache::CacheStats{};
+  const auto wallStart = std::chrono::steady_clock::now();
+  (void)project.run();
+  const auto wallEnd = std::chrono::steady_clock::now();
+  result.stats.wallSeconds =
+      std::chrono::duration<double>(wallEnd - wallStart).count();
+  if (config.planCache != nullptr) {
+    const cache::CacheStats cacheAfter = config.planCache->stats();
+    result.stats.planCacheStores = cacheAfter.stores - cacheBefore.stores;
+    result.stats.planCacheInvalidations =
+        cacheAfter.invalidations - cacheBefore.invalidations;
+  }
+
+  result.projectSchedule = project.scheduleOrder();
+  for (const ProjectItem &projectItem : project.items()) {
+    BatchItem item;
+    item.name = projectItem.name;
+    item.success = projectItem.success;
+    item.report = projectItem.report;
+    item.output = projectItem.output;
+    item.cacheStatus = projectItem.cacheStatus;
+    result.items.push_back(std::move(item));
+  }
+  for (const BatchItem &item : result.items) {
+    if (item.success)
+      ++result.stats.succeeded;
+    else
+      ++result.stats.failed;
+    result.stats.cpuSeconds += item.report.totalSeconds;
+    for (const StageTiming &timing : item.report.timings) {
+      result.stats.stageSeconds[static_cast<unsigned>(timing.stage)] +=
+          timing.seconds;
+      result.stats.stageRuns[static_cast<unsigned>(timing.stage)] +=
+          timing.runs;
+    }
+    if (item.cacheStatus == Session::PlanCacheStatus::Hit)
+      ++result.stats.planCacheHits;
+    else if (item.cacheStatus == Session::PlanCacheStatus::Miss)
+      ++result.stats.planCacheMisses;
+  }
+  return result;
 }
 
 BatchResult BatchDriver::runOnce(const std::vector<BatchJob> &jobs,

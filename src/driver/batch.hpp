@@ -77,6 +77,9 @@ struct BatchStats {
 struct BatchResult {
   std::vector<BatchItem> items;
   BatchStats stats;
+  /// Project mode only: TU names in the (reverse topological) order the
+  /// driver scheduled them; empty for independent-job batches.
+  std::vector<std::string> projectSchedule;
 
   [[nodiscard]] const BatchItem *find(const std::string &name) const {
     for (const BatchItem &item : items)
@@ -107,6 +110,15 @@ public:
 
   /// Runs every job through its own Session, in parallel.
   [[nodiscard]] BatchResult run(const std::vector<BatchJob> &jobs) const;
+
+  /// Project mode: treats the jobs as the translation units of ONE program
+  /// and drives them through a ProjectSession — whole-program summary link
+  /// first, then per-TU pipelines with cross-TU imports, scheduled in
+  /// reverse topological call-graph order over the worker pool. Results
+  /// come back in input order; `projectSchedule` records the order TUs
+  /// actually planned in.
+  [[nodiscard]] BatchResult
+  runProject(const std::vector<BatchJob> &jobs) const;
 
 private:
   [[nodiscard]] BatchResult runOnce(const std::vector<BatchJob> &jobs,

@@ -177,6 +177,8 @@ void Session::ensureInterproc() {
   InterproceduralOptions options;
   options.maxPasses =
       config_.planner.interprocedural ? config_.interprocMaxPasses : 1;
+  if (config_.imports != nullptr)
+    options.importedSummaries = &config_.imports->externals;
   interproc_ = runInterproceduralAnalysis(ast_->unit(), options);
 }
 
@@ -212,9 +214,21 @@ bool Session::probePlanCache() {
                 "PipelineConfig::costModel to enable caching");
     return false;
   }
+  // Imports injected at the planner level bypass the config fingerprint;
+  // only PipelineConfig::imports (hashed into the key) caches safely.
+  if (config_.planner.imports != nullptr) {
+    cacheStatus_ = PlanCacheStatus::Uncacheable;
+    diags_.note(SourceLocation{},
+                "plan cache skipped: planner-level imports cannot be "
+                "fingerprinted; inject them via PipelineConfig::imports "
+                "to enable caching");
+    return false;
+  }
   cacheKey_.sourceHash = hash::fingerprint(sourceManager_.text());
   cacheKey_.configHash = planFingerprint(config_);
   cacheKey_.toolVersion = kToolVersion;
+  cacheKey_.importsHash =
+      config_.imports != nullptr ? config_.imports->fingerprint() : "";
   std::optional<cache::CacheEntry> entry =
       cache->lookup(cacheKey_, fileName_);
   if (!entry) {
@@ -275,6 +289,8 @@ void Session::ensurePlan() {
     if (!parseOk_ || diags_.hasErrors())
       return;
     PlannerOptions options = config_.planner;
+    if (config_.imports != nullptr)
+      options.imports = config_.imports;
     if (options.costModel == nullptr) {
       costModel_ = makeCostModel(config_.costModel);
       if (costModel_ == nullptr) {
@@ -509,6 +525,43 @@ Report Session::buildReport() {
 
   if (done(Stage::Rewrite) && config_.includeOutputInReport)
     report.output = rewritten_;
+
+  // Plan-cache observability (absent when no cache was configured): the
+  // probe outcome plus the active cache's counters, so `--emit=json` makes
+  // warm runs visible without a separate benchmark run.
+  cache::PlanCache *cache = activeCache();
+  if (cache != nullptr || cacheStatus_ != PlanCacheStatus::Disabled) {
+    PlanCacheReport cacheReport;
+    switch (cacheStatus_) {
+    case PlanCacheStatus::Disabled:
+      cacheReport.status = "disabled";
+      break;
+    case PlanCacheStatus::Uncacheable:
+      cacheReport.status = "uncacheable";
+      break;
+    case PlanCacheStatus::Miss:
+      cacheReport.status = "miss";
+      break;
+    case PlanCacheStatus::Hit:
+      cacheReport.status = "hit";
+      break;
+    }
+    if (!cacheKey_.sourceHash.empty())
+      cacheReport.keyId = cacheKey_.id();
+    if (cache != nullptr) {
+      const cache::CacheStats stats = cache->stats();
+      cacheReport.lookups = stats.lookups;
+      cacheReport.hits = stats.hits;
+      cacheReport.misses = stats.misses;
+      cacheReport.stores = stats.stores;
+      cacheReport.invalidations = stats.invalidations;
+      cacheReport.summaryLookups = stats.summaryLookups;
+      cacheReport.summaryHits = stats.summaryHits;
+      cacheReport.summaryMisses = stats.summaryMisses;
+      cacheReport.summaryStores = stats.summaryStores;
+    }
+    report.planCache = std::move(cacheReport);
+  }
   return report;
 }
 

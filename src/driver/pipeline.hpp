@@ -20,6 +20,7 @@
 #pragma once
 
 #include "analysis/interproc.hpp"
+#include "analysis/summary.hpp"
 #include "cache/plan_cache.hpp"
 #include "cfg/cfg.hpp"
 #include "driver/report.hpp"
@@ -67,6 +68,13 @@ struct PipelineConfig {
   /// BatchDriver shares one across its sessions so stats aggregate).
   /// Non-owning; must outlive the Session.
   cache::PlanCache *planCache = nullptr;
+  /// Cross-TU facts injected by the Project layer: closed summaries for
+  /// bodiless callees (consumed by the interproc stage), whole-program
+  /// execution counts and external call-site facts (consumed by the
+  /// planner). Null for single-TU runs. The imports fingerprint joins the
+  /// plan-cache key, so a TU's cached plan is invalidated exactly when its
+  /// imports change. Non-owning; must outlive the Session.
+  const summary::TuImports *imports = nullptr;
 };
 
 /// Fingerprint of every PipelineConfig field that can change planning

@@ -68,6 +68,22 @@ json::Value Report::toJson() const {
 
   if (!output.empty())
     out.set("output", output);
+
+  if (planCache) {
+    json::Value cacheJson = json::Value::object();
+    cacheJson.set("status", planCache->status);
+    cacheJson.set("keyId", planCache->keyId);
+    cacheJson.set("lookups", planCache->lookups);
+    cacheJson.set("hits", planCache->hits);
+    cacheJson.set("misses", planCache->misses);
+    cacheJson.set("stores", planCache->stores);
+    cacheJson.set("invalidations", planCache->invalidations);
+    cacheJson.set("summaryLookups", planCache->summaryLookups);
+    cacheJson.set("summaryHits", planCache->summaryHits);
+    cacheJson.set("summaryMisses", planCache->summaryMisses);
+    cacheJson.set("summaryStores", planCache->summaryStores);
+    out.set("planCache", std::move(cacheJson));
+  }
   return out;
 }
 
@@ -129,6 +145,22 @@ std::optional<Report> Report::fromJson(const json::Value &value,
     report.plan = std::move(*plan);
   }
 
+  if (const json::Value *cacheJson = value.find("planCache")) {
+    PlanCacheReport cache;
+    cache.status = cacheJson->stringOr("status");
+    cache.keyId = cacheJson->stringOr("keyId");
+    cache.lookups = cacheJson->uintOr("lookups");
+    cache.hits = cacheJson->uintOr("hits");
+    cache.misses = cacheJson->uintOr("misses");
+    cache.stores = cacheJson->uintOr("stores");
+    cache.invalidations = cacheJson->uintOr("invalidations");
+    cache.summaryLookups = cacheJson->uintOr("summaryLookups");
+    cache.summaryHits = cacheJson->uintOr("summaryHits");
+    cache.summaryMisses = cacheJson->uintOr("summaryMisses");
+    cache.summaryStores = cacheJson->uintOr("summaryStores");
+    report.planCache = std::move(cache);
+  }
+
   return report;
 }
 
@@ -137,7 +169,7 @@ bool Report::operator==(const Report &other) const {
          stoppedAfter == other.stoppedAfter && metrics == other.metrics &&
          timings == other.timings && totalSeconds == other.totalSeconds &&
          diagnostics == other.diagnostics && plan == other.plan &&
-         output == other.output;
+         output == other.output && planCache == other.planCache;
 }
 
 } // namespace ompdart

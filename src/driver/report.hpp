@@ -66,6 +66,36 @@ struct StageTiming {
   }
 };
 
+/// Plan-cache observability embedded in a report: the session's probe
+/// outcome plus the active cache's counters, so `--emit=json` makes warm
+/// runs observable without a separate benchmark run. Counters come from the
+/// (possibly shared) cache instance, so in batch mode they aggregate across
+/// the batch up to the moment the report was built.
+struct PlanCacheReport {
+  std::string status; ///< "disabled" | "uncacheable" | "miss" | "hit"
+  std::string keyId;  ///< content address used by the probe ("" until keyed)
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t summaryLookups = 0;
+  std::uint64_t summaryHits = 0;
+  std::uint64_t summaryMisses = 0;
+  std::uint64_t summaryStores = 0;
+
+  [[nodiscard]] bool operator==(const PlanCacheReport &other) const {
+    return status == other.status && keyId == other.keyId &&
+           lookups == other.lookups && hits == other.hits &&
+           misses == other.misses && stores == other.stores &&
+           invalidations == other.invalidations &&
+           summaryLookups == other.summaryLookups &&
+           summaryHits == other.summaryHits &&
+           summaryMisses == other.summaryMisses &&
+           summaryStores == other.summaryStores;
+  }
+};
+
 struct Report {
   std::string fileName;
   bool success = false;
@@ -83,6 +113,9 @@ struct Report {
   /// Transformed source; empty when the rewrite stage did not run or the
   /// Session was configured not to embed it.
   std::string output;
+  /// Plan-cache probe outcome + counters; absent when no cache was
+  /// configured for the producing session.
+  std::optional<PlanCacheReport> planCache;
 
   [[nodiscard]] bool hasErrors() const {
     for (const Diagnostic &diag : diagnostics)

@@ -601,16 +601,23 @@ public:
   [[nodiscard]] bool isParam() const { return isParam_; }
   [[nodiscard]] bool isConst() const { return isConst_; }
   [[nodiscard]] bool isStatic() const { return isStatic_; }
+  /// Declared `extern`: a reference to a definition in another translation
+  /// unit (no storage here). The Project layer links such globals by name.
+  [[nodiscard]] bool isExtern() const { return isExtern_; }
   [[nodiscard]] SourceRange range() const { return range_; }
   /// Range of the whole declaration statement; used for the paper's
   /// "declaration must precede the target data region" check.
   [[nodiscard]] SourceRange declStmtRange() const { return declStmtRange_; }
 
   void setInit(Expr *init) { init_ = init; }
+  /// Linkage unification: a definition following an `extern` declaration
+  /// may carry more type information (e.g. the array extent).
+  void setType(const Type *type) { type_ = type; }
   void setGlobal(bool value) { isGlobal_ = value; }
   void setParam(bool value) { isParam_ = value; }
   void setConst(bool value) { isConst_ = value; }
   void setStatic(bool value) { isStatic_ = value; }
+  void setExtern(bool value) { isExtern_ = value; }
   void setRange(SourceRange range) { range_ = range; }
   void setDeclStmtRange(SourceRange range) { declStmtRange_ = range; }
 
@@ -622,6 +629,7 @@ private:
   bool isParam_ = false;
   bool isConst_ = false;
   bool isStatic_ = false;
+  bool isExtern_ = false;
   SourceRange range_;
   SourceRange declStmtRange_;
 };
@@ -679,9 +687,13 @@ public:
   }
   [[nodiscard]] CompoundStmt *body() const { return body_; }
   [[nodiscard]] bool isDefined() const { return body_ != nullptr; }
+  /// Declared `static`: internal linkage — invisible to other TUs, so the
+  /// Project link must not unify it with same-named functions elsewhere.
+  [[nodiscard]] bool isStatic() const { return isStatic_; }
   [[nodiscard]] SourceRange range() const { return range_; }
 
   void setBody(CompoundStmt *body) { body_ = body; }
+  void setStatic(bool value) { isStatic_ = value; }
   void setRange(SourceRange range) { range_ = range; }
   /// Rebinds parameters when a definition follows a prototype, so analyses
   /// see the VarDecls the body actually references.
@@ -692,6 +704,7 @@ private:
   const Type *returnType_;
   std::vector<VarDecl *> params_;
   CompoundStmt *body_ = nullptr;
+  bool isStatic_ = false;
   SourceRange range_;
 };
 

@@ -511,14 +511,61 @@ void Parser::parseFunctionOrGlobal(const DeclSpec &spec) {
       return;
     }
 
-    // Global variable.
+    // Global variable. Redeclarations of one name unify onto a single
+    // VarDecl (C linkage): an `extern` redeclaration after the definition
+    // — or a definition after an `extern` declaration, as concatenated
+    // multi-TU programs produce — must bind every reference to the same
+    // object, not shadow it.
     const Type *varType = parseArrayDimensions(declType);
-    VarDecl *var = context_.createVar(name, varType);
-    var->setGlobal(true);
-    var->setConst(spec.isConst && !varType->isPointer());
-    var->setStatic(spec.isStatic);
-    var->setRange(rangeFrom(declBeginToken));
+    VarDecl *existing = nullptr;
+    for (VarDecl *global : context_.unit().globals) {
+      if (global->name() == name) {
+        existing = global;
+        break;
+      }
+    }
+    // `static` globals have internal linkage: in a concatenated multi-TU
+    // program two same-named statics are distinct objects, so they never
+    // unify (the later declaration shadows, as before).
+    if (existing != nullptr && (existing->isStatic() || spec.isStatic))
+      existing = nullptr;
+    VarDecl *var = existing;
+    if (var == nullptr) {
+      var = context_.createVar(name, varType);
+      var->setGlobal(true);
+      var->setConst(spec.isConst && !varType->isPointer());
+      var->setStatic(spec.isStatic);
+      var->setExtern(spec.isExtern);
+      var->setRange(rangeFrom(declBeginToken));
+    } else {
+      if (existing->isExtern() && !spec.isExtern) {
+        // Definition after an extern declaration: the object gains
+        // storage and the definition's type wins — unless adopting it
+        // would lose an extent the declaration carried (`extern double
+        // a[64];` then tentative `double a[];`).
+        existing->setExtern(false);
+        const auto *oldArray =
+            dynamic_cast<const ArrayType *>(existing->type());
+        const auto *newArray = dynamic_cast<const ArrayType *>(varType);
+        const bool losesExtent = oldArray != nullptr &&
+                                 newArray != nullptr &&
+                                 oldArray->extent() && !newArray->extent();
+        if (!losesExtent)
+          existing->setType(varType);
+      } else {
+        // Any redeclaration may complete an array type (`extern double
+        // a[];` then `extern double a[64];`): adopt the sized form so the
+        // extent is never lost to declaration order.
+        const auto *oldArray =
+            dynamic_cast<const ArrayType *>(existing->type());
+        const auto *newArray = dynamic_cast<const ArrayType *>(varType);
+        if (oldArray != nullptr && newArray != nullptr &&
+            !oldArray->extent() && newArray->extent())
+          existing->setType(varType);
+      }
+    }
     if (accept(TokenKind::Equal)) {
+      Expr *init = nullptr;
       if (check(TokenKind::LBrace)) {
         std::vector<Expr *> inits;
         consume();
@@ -528,15 +575,21 @@ void Parser::parseFunctionOrGlobal(const DeclSpec &spec) {
           } while (accept(TokenKind::Comma));
         }
         expect(TokenKind::RBrace, "to close initializer list");
-        var->setInit(context_.createExpr<InitListExpr>(std::move(inits),
-                                                       varType));
+        init = context_.createExpr<InitListExpr>(std::move(inits), varType);
       } else {
-        var->setInit(parseAssignment());
+        init = parseAssignment();
       }
+      if (existing != nullptr && existing->init() != nullptr)
+        diags_.warning(locAt(declBeginToken),
+                       "redefinition of global '" + name + "'");
+      else
+        var->setInit(init);
     }
     declare(var);
-    context_.unit().globals.push_back(var);
-    var->setDeclStmtRange(rangeFrom(declBeginToken));
+    if (existing == nullptr) {
+      context_.unit().globals.push_back(var);
+      var->setDeclStmtRange(rangeFrom(declBeginToken));
+    }
     if (accept(TokenKind::Comma))
       continue;
     expect(TokenKind::Semi, "after global variable declaration");
@@ -548,7 +601,6 @@ FunctionDecl *Parser::parseFunctionRest(const DeclSpec &spec,
                                         const std::string &name,
                                         const Type *declType,
                                         std::size_t beginOffset) {
-  (void)spec;
   expect(TokenKind::LParen, "after function name");
   pushScope();
   std::vector<VarDecl *> params;
@@ -592,6 +644,8 @@ FunctionDecl *Parser::parseFunctionRest(const DeclSpec &spec,
     fn = context_.createFunction(name, declType, params);
     context_.unit().functions.push_back(fn);
   }
+  if (spec.isStatic)
+    fn->setStatic(true);
 
   if (check(TokenKind::LBrace)) {
     if (fn->body() != nullptr)

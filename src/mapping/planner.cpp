@@ -1,5 +1,6 @@
 #include "mapping/planner.hpp"
 
+#include "analysis/execution.hpp"
 #include "frontend/ast_printer.hpp"
 #include "frontend/const_fold.hpp"
 
@@ -10,69 +11,6 @@
 namespace ompdart {
 
 namespace {
-
-/// Builds child-statement -> parent-statement links for a function body
-/// (consumed into MappingPlanner::stmtParents_, which serves all ancestor
-/// queries).
-class ParentMap {
-public:
-  explicit ParentMap(const FunctionDecl *fn) {
-    if (fn->body() != nullptr)
-      visit(fn->body(), nullptr);
-  }
-
-  /// Surrenders the child->parent map (the ParentMap is spent afterwards).
-  [[nodiscard]] std::unordered_map<const Stmt *, const Stmt *> takeLinks() {
-    return std::move(parents_);
-  }
-
-private:
-  void visit(const Stmt *stmt, const Stmt *parent) {
-    if (stmt == nullptr)
-      return;
-    parents_[stmt] = parent;
-    switch (stmt->kind()) {
-    case StmtKind::Compound:
-      for (const Stmt *sub : static_cast<const CompoundStmt *>(stmt)->body())
-        visit(sub, stmt);
-      return;
-    case StmtKind::If: {
-      const auto *ifStmt = static_cast<const IfStmt *>(stmt);
-      visit(ifStmt->thenStmt(), stmt);
-      visit(ifStmt->elseStmt(), stmt);
-      return;
-    }
-    case StmtKind::For: {
-      const auto *forStmt = static_cast<const ForStmt *>(stmt);
-      visit(forStmt->init(), stmt);
-      visit(forStmt->body(), stmt);
-      return;
-    }
-    case StmtKind::While:
-      visit(static_cast<const WhileStmt *>(stmt)->body(), stmt);
-      return;
-    case StmtKind::Do:
-      visit(static_cast<const DoStmt *>(stmt)->body(), stmt);
-      return;
-    case StmtKind::Switch:
-      visit(static_cast<const SwitchStmt *>(stmt)->body(), stmt);
-      return;
-    case StmtKind::Case:
-      visit(static_cast<const CaseStmt *>(stmt)->sub(), stmt);
-      return;
-    case StmtKind::Default:
-      visit(static_cast<const DefaultStmt *>(stmt)->sub(), stmt);
-      return;
-    case StmtKind::OmpDirective:
-      visit(static_cast<const OmpDirectiveStmt *>(stmt)->associated(), stmt);
-      return;
-    default:
-      return;
-    }
-  }
-
-  std::unordered_map<const Stmt *, const Stmt *> parents_;
-};
 
 bool statesEqual(const std::map<VarDecl *, bool> &a,
                  const std::map<VarDecl *, bool> &b) {
@@ -104,91 +42,29 @@ MappingPlanner::plan(const std::vector<std::unique_ptr<AstCfg>> &cfgs) {
   return result;
 }
 
-namespace {
-
-bool isLoopStmt(const Stmt *stmt) {
-  return stmt != nullptr &&
-         (stmt->kind() == StmtKind::For || stmt->kind() == StmtKind::While ||
-          stmt->kind() == StmtKind::Do);
-}
-
-bool isConditionalStmt(const Stmt *stmt) {
-  return stmt != nullptr && (stmt->kind() == StmtKind::If ||
-                             stmt->kind() == StmtKind::Switch);
-}
-
-/// Saturating multiply for execution-count estimates.
-std::uint64_t saturatingMul(std::uint64_t a, std::uint64_t b) {
-  constexpr std::uint64_t kCap = std::uint64_t{1} << 40;
-  if (a == 0 || b == 0)
-    return 0;
-  if (a > kCap / b)
-    return kCap;
-  return a * b;
-}
-
-/// Constant trips of one loop; 1 (the provable floor per execution of the
-/// surrounding context) when the bounds defeat analysis.
-std::uint64_t loopTripsOrOne(const Stmt *loop) {
-  if (const auto *forStmt = dynamic_cast<const ForStmt *>(loop)) {
-    const LoopBounds bounds = analyzeForLoop(forStmt);
-    if (bounds.valid && bounds.upperConst && bounds.lowerConst &&
-        *bounds.upperConst > *bounds.lowerConst)
-      return static_cast<std::uint64_t>(*bounds.upperConst -
-                                        *bounds.lowerConst);
-  }
-  return 1;
-}
-
-/// Provable per-function-execution multiplier for a statement: the product
-/// of constant trips of unguarded loop ancestors. Any conditional ancestor
-/// (if/switch) makes repetition unprovable — the statement may run zero
-/// times per iteration — so the walk reports guarded and the caller
-/// charges the floor of one instead.
-struct ProvableMultiplier {
-  std::uint64_t trips = 1;
-  bool guarded = false;
-};
-ProvableMultiplier provableMultiplierOf(
-    const std::unordered_map<const Stmt *, const Stmt *> &parents,
-    const Stmt *site, std::size_t minBeginOffset = 0) {
-  ProvableMultiplier result;
-  auto parentOf = [&](const Stmt *stmt) -> const Stmt * {
-    auto it = parents.find(stmt);
-    return it != parents.end() ? it->second : nullptr;
-  };
-  for (const Stmt *cursor = parentOf(site); cursor != nullptr;
-       cursor = parentOf(cursor)) {
-    if (cursor->range().begin.offset < minBeginOffset)
-      break;
-    if (isConditionalStmt(cursor)) {
-      result.guarded = true;
-      return result;
-    }
-    if (isLoopStmt(cursor))
-      result.trips = saturatingMul(result.trips, loopTripsOrOne(cursor));
-  }
-  return result;
-}
-
-} // namespace
-
 void MappingPlanner::estimateFunctionExecutions(
     const std::vector<std::unique_ptr<AstCfg>> &cfgs) {
   (void)cfgs; // ancestor chains come from per-function ParentMaps
   fnExecutions_.clear();
 
-  // Caller edges per callee, weighted by the provable trips of the
-  // unguarded loops enclosing each host call site. A call behind an
-  // if/switch may execute zero times per caller run, so guarded edges
-  // contribute the floor of one call total.
-  struct CallerEdge {
-    const FunctionDecl *caller = nullptr;
-    std::uint64_t trips = 1;
-    bool guarded = false;
-  };
-  std::map<const FunctionDecl *, std::vector<CallerEdge>> callersOf;
-  std::set<const FunctionDecl *> called;
+  // Project mode: the link already ran the same estimator over the
+  // whole-program call graph — cross-TU call sites included — so the
+  // per-TU graph below would only rediscover a subset of its edges.
+  if (options_.imports != nullptr && !options_.imports->executions.empty()) {
+    for (const FunctionDecl *fn : unit_.functions) {
+      auto it = options_.imports->executions.find(fn->name());
+      fnExecutions_[fn] =
+          it != options_.imports->executions.end() ? it->second : 1;
+    }
+    return;
+  }
+
+  // Single-TU mode: caller edges weighted by the provable trips of the
+  // unguarded loops enclosing each host call site, fed to the shared
+  // estimator (analysis/execution) the Project link also uses.
+  WeightedCallGraph graph;
+  for (const FunctionDecl *fn : unit_.functions)
+    graph.addFunction(fn->name());
   for (const FunctionDecl *caller : unit_.functions) {
     const FunctionAccessInfo *info = interproc_.accessesFor(caller);
     if (info == nullptr)
@@ -202,59 +78,18 @@ void MappingPlanner::estimateFunctionExecutions(
       const FunctionDecl *callee = site.call->callee();
       if (callee == nullptr)
         continue;
-      called.insert(callee);
-      if (site.onDevice)
-        continue;
-      CallerEdge edge;
-      edge.caller = caller;
       const ProvableMultiplier multiplier =
           provableMultiplierOf(callerParents, site.stmt);
-      edge.trips = multiplier.trips;
-      edge.guarded = multiplier.guarded;
-      callersOf[callee].push_back(edge);
+      graph.addCall(caller->name(), callee->name(), multiplier.trips,
+                    multiplier.guarded, site.onDevice);
     }
   }
-
-  // Seed: functions no analyzed call site targets are program entries
-  // (main, or callers outside the translation unit) and execute once.
-  auto seedOf = [&](const FunctionDecl *fn) -> std::uint64_t {
-    return (called.count(fn) == 0 || fn->name() == "main") ? 1 : 0;
-  };
-
-  // exec(F) = seed(F) + sum over callers of exec(caller) * trips, evaluated
-  // by memoized DFS. Recursive back-edges contribute 0: the extra
-  // executions a cycle implies are not statically provable, and this
-  // estimate is a provable floor — so a self-recursive f called from a
-  // 10-trip loop floors at 10, never an arbitrary fixed-point-cap value.
-  enum class State { White, Gray, Done };
-  std::map<const FunctionDecl *, State> state;
-  std::function<std::uint64_t(const FunctionDecl *)> eval =
-      [&](const FunctionDecl *fn) -> std::uint64_t {
-    auto stateIt = state.find(fn);
-    if (stateIt != state.end()) {
-      if (stateIt->second == State::Gray)
-        return 0; // back-edge of a cycle: unprovable, charge nothing
-      if (stateIt->second == State::Done)
-        return fnExecutions_[fn];
-    }
-    state[fn] = State::Gray;
-    std::uint64_t total = seedOf(fn);
-    auto callersIt = callersOf.find(fn);
-    if (callersIt != callersOf.end()) {
-      for (const CallerEdge &edge : callersIt->second) {
-        const std::uint64_t contribution =
-            edge.guarded ? (eval(edge.caller) > 0 ? 1 : 0)
-                         : saturatingMul(eval(edge.caller), edge.trips);
-        total = std::min<std::uint64_t>(total + contribution,
-                                        std::uint64_t{1} << 40);
-      }
-    }
-    state[fn] = State::Done;
-    fnExecutions_[fn] = total;
-    return total;
-  };
-  for (const FunctionDecl *fn : unit_.functions)
-    eval(fn);
+  const std::map<std::string, std::uint64_t> executions =
+      estimateExecutions(graph);
+  for (const FunctionDecl *fn : unit_.functions) {
+    auto it = executions.find(fn->name());
+    fnExecutions_[fn] = it != executions.end() ? it->second : 0;
+  }
 }
 
 bool MappingPlanner::contains(const Stmt *outer, const Stmt *inner) {
@@ -1092,26 +927,44 @@ ExtentInfo MappingPlanner::effectiveExtent(VarDecl *var) const {
   return callSiteExtent(var);
 }
 
+std::pair<const FunctionDecl *, int>
+MappingPlanner::paramOwner(const VarDecl *param) const {
+  for (const FunctionDecl *fn : unit_.functions)
+    for (std::size_t i = 0; i < fn->params().size(); ++i)
+      if (fn->params()[i] == param)
+        return {fn, static_cast<int>(i)};
+  return {nullptr, -1};
+}
+
+void MappingPlanner::reportCallSiteDisagreement(
+    const VarDecl *param, const FunctionDecl *owner, const std::string &what,
+    const std::vector<std::string> &sites) const {
+  if (!disagreementDiagnosed_.emplace(param, what).second)
+    return;
+  std::string where;
+  for (const std::string &site : sites)
+    where += (where.empty() ? "" : ", ") + site;
+  diags_.warning(param->range().begin,
+                 "call sites disagree on the " + what + " of parameter '" +
+                     param->name() + "' of '" + owner->name() + "': " +
+                     where + "; taking the conservative path");
+}
+
 ExtentInfo MappingPlanner::callSiteExtent(VarDecl *var) const {
   // Interprocedural extent propagation: a pointer parameter whose accesses
   // defeat loop-bound inference (e.g. neighbor stencils `a[i - cols]`) can
-  // still get its extent from the arguments at every call site, provided
-  // they agree.
-  ExtentInfo extent;
-  const FunctionDecl *owner = nullptr;
-  int paramIndex = -1;
-  for (const FunctionDecl *fn : unit_.functions) {
-    for (std::size_t i = 0; i < fn->params().size(); ++i) {
-      if (fn->params()[i] == var) {
-        owner = fn;
-        paramIndex = static_cast<int>(i);
-        break;
-      }
-    }
-  }
+  // still get its extent from the arguments at every call site — local
+  // ones plus records the Project link imported from other TUs — provided
+  // they agree. Disagreement is diagnosed (naming the call sites) and
+  // stays conservative.
+  const auto [owner, paramIndex] = paramOwner(var);
   if (owner == nullptr || paramIndex < 0)
-    return extent;
-  bool first = true;
+    return ExtentInfo{};
+  struct SiteExtent {
+    ExtentInfo info;
+    std::string where;
+  };
+  std::vector<SiteExtent> sites;
   for (const FunctionDecl *caller : unit_.functions) {
     const FunctionAccessInfo *info = interproc_.accessesFor(caller);
     if (info == nullptr)
@@ -1128,16 +981,44 @@ ExtentInfo MappingPlanner::callSiteExtent(VarDecl *var) const {
       const ExtentInfo argExtent = dataExtent(argVar, mallocExtents_);
       if (!argExtent.known())
         return ExtentInfo{};
-      if (first) {
-        extent = argExtent;
-        first = false;
-      } else if (extent.spelling != argExtent.spelling ||
-                 extent.constElems != argExtent.constElems) {
-        return ExtentInfo{}; // call sites disagree: stay conservative
+      std::string where = "'" + argExtent.spelling + "'";
+      if (site.stmt != nullptr)
+        where += " at line " + std::to_string(site.stmt->range().begin.line);
+      sites.push_back(SiteExtent{argExtent, std::move(where)});
+    }
+  }
+  if (options_.imports != nullptr) {
+    auto factsIt = options_.imports->paramFacts.find(owner->name());
+    if (factsIt != options_.imports->paramFacts.end() &&
+        static_cast<std::size_t>(paramIndex) < factsIt->second.size()) {
+      for (const summary::ParamCallFact &fact :
+           factsIt->second[static_cast<std::size_t>(paramIndex)]) {
+        if (!fact.tracked || !fact.extentKnown)
+          return ExtentInfo{}; // untrackable external argument: give up
+        ExtentInfo imported;
+        imported.constElems = fact.extentConstElems;
+        imported.spelling = fact.extentSpelling;
+        sites.push_back(SiteExtent{
+            imported, "'" + imported.spelling + "' at " + fact.callerFile +
+                          ":" + std::to_string(fact.line)});
       }
     }
   }
-  return extent;
+  if (sites.empty())
+    return ExtentInfo{};
+  for (std::size_t i = 1; i < sites.size(); ++i) {
+    if (sites[i].info.spelling != sites.front().info.spelling ||
+        sites[i].info.constElems != sites.front().info.constElems) {
+      std::vector<std::string> descriptions;
+      for (const SiteExtent &site : sites)
+        descriptions.push_back(site.where);
+      reportCallSiteDisagreement(var, owner, "extent", descriptions);
+      return ExtentInfo{};
+    }
+  }
+  // Local sites come first, so a symbolic extent keeps its foldable AST
+  // expression whenever one exists.
+  return sites.front().info;
 }
 
 MappingPlanner::SectionInfo MappingPlanner::sectionFor(VarDecl *var) const {
@@ -1250,17 +1131,7 @@ MappingPlanner::symbolicExtentElems(const ExtentInfo &extent) const {
 
 std::optional<std::int64_t>
 MappingPlanner::paramConstAcrossCallSites(const VarDecl *param) const {
-  const FunctionDecl *owner = nullptr;
-  int paramIndex = -1;
-  for (const FunctionDecl *fn : unit_.functions) {
-    for (std::size_t i = 0; i < fn->params().size(); ++i) {
-      if (fn->params()[i] == param) {
-        owner = fn;
-        paramIndex = static_cast<int>(i);
-        break;
-      }
-    }
-  }
+  const auto [owner, paramIndex] = paramOwner(param);
   if (owner == nullptr || paramIndex < 0)
     return std::nullopt;
   // The call-site constant only describes the parameter's entry value; if
@@ -1275,7 +1146,11 @@ MappingPlanner::paramConstAcrossCallSites(const VarDecl *param) const {
         return std::nullopt;
     }
   }
-  std::optional<std::int64_t> value;
+  struct SiteValue {
+    std::int64_t value = 0;
+    std::string where;
+  };
+  std::vector<SiteValue> sites;
   for (const FunctionDecl *caller : unit_.functions) {
     const FunctionAccessInfo *info = interproc_.accessesFor(caller);
     if (info == nullptr)
@@ -1288,12 +1163,41 @@ MappingPlanner::paramConstAcrossCallSites(const VarDecl *param) const {
           site.call->args()[static_cast<std::size_t>(paramIndex)]);
       if (!folded)
         return std::nullopt; // non-constant argument: give up
-      if (value && *value != *folded)
-        return std::nullopt; // call sites disagree: stay conservative
-      value = *folded;
+      std::string where = std::to_string(*folded);
+      if (site.stmt != nullptr)
+        where += " at line " + std::to_string(site.stmt->range().begin.line);
+      sites.push_back(SiteValue{*folded, std::move(where)});
     }
   }
-  return value;
+  // Cross-TU records the Project link imported for this parameter.
+  if (options_.imports != nullptr) {
+    auto factsIt = options_.imports->paramFacts.find(owner->name());
+    if (factsIt != options_.imports->paramFacts.end() &&
+        static_cast<std::size_t>(paramIndex) < factsIt->second.size()) {
+      for (const summary::ParamCallFact &fact :
+           factsIt->second[static_cast<std::size_t>(paramIndex)]) {
+        if (!fact.constValue)
+          return std::nullopt; // non-constant external argument: give up
+        sites.push_back(SiteValue{
+            *fact.constValue, std::to_string(*fact.constValue) + " at " +
+                                  fact.callerFile + ":" +
+                                  std::to_string(fact.line)});
+      }
+    }
+  }
+  if (sites.empty())
+    return std::nullopt;
+  for (std::size_t i = 1; i < sites.size(); ++i) {
+    if (sites[i].value != sites.front().value) {
+      std::vector<std::string> descriptions;
+      for (const SiteValue &site : sites)
+        descriptions.push_back(site.where);
+      reportCallSiteDisagreement(param, owner, "constant value",
+                                 descriptions);
+      return std::nullopt; // call sites disagree: stay conservative
+    }
+  }
+  return sites.front().value;
 }
 
 const CostModel &MappingPlanner::costModel() const {

@@ -20,6 +20,7 @@
 #include "analysis/bounds.hpp"
 #include "analysis/interproc.hpp"
 #include "analysis/liveness.hpp"
+#include "analysis/summary.hpp"
 #include "cfg/cfg.hpp"
 #include "mapping/cost.hpp"
 #include "mapping/plan.hpp"
@@ -50,6 +51,11 @@ struct PlannerOptions {
   /// Scores enumerated candidates; null uses the built-in
   /// PaperGreedyCostModel (the paper's behavior, byte-for-byte).
   const CostModel *costModel = nullptr;
+  /// Cross-TU facts from the Project link (whole-program execution counts,
+  /// external call-site constants/extents). Null for single-TU runs — the
+  /// planner then derives everything from the unit's own call sites.
+  /// Non-owning; must outlive the planner.
+  const summary::TuImports *imports = nullptr;
 };
 
 class MappingPlanner {
@@ -186,10 +192,22 @@ private:
   [[nodiscard]] std::optional<std::uint64_t>
   symbolicExtentElems(const ExtentInfo &extent) const;
 
-  /// Constant value a parameter holds across all call sites (nullopt when
-  /// any call passes a non-constant or the sites disagree).
+  /// Constant value a parameter holds across all call sites — local ones
+  /// plus imported cross-TU records (nullopt when any call passes a
+  /// non-constant or the sites disagree; disagreement additionally emits a
+  /// diagnostic naming the call sites).
   [[nodiscard]] std::optional<std::int64_t>
   paramConstAcrossCallSites(const VarDecl *param) const;
+
+  /// The function owning `param` and its index, or {nullptr, -1}.
+  [[nodiscard]] std::pair<const FunctionDecl *, int>
+  paramOwner(const VarDecl *param) const;
+
+  /// Emits the call-site disagreement diagnostic once per parameter.
+  void reportCallSiteDisagreement(const VarDecl *param,
+                                  const FunctionDecl *owner,
+                                  const std::string &what,
+                                  const std::vector<std::string> &sites) const;
 
   const TranslationUnit &unit_;
   const InterproceduralResult &interproc_;
@@ -214,6 +232,10 @@ private:
   /// Child -> parent statement links of the current function, for walking
   /// the loop chain above an arbitrary update anchor.
   std::unordered_map<const Stmt *, const Stmt *> stmtParents_;
+  /// Parameters whose call-site disagreement was already diagnosed (the
+  /// extent queries run once per mapped variable reference; the diagnostic
+  /// must not repeat).
+  mutable std::set<std::pair<const VarDecl *, std::string>> disagreementDiagnosed_;
 };
 
 /// Convenience: full pipeline for a parsed unit. When `cfgs` is non-null the

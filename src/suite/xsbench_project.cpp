@@ -1,0 +1,145 @@
+// xsbench split across three translation units — the Project layer's
+// multi-file fidelity benchmark. The structure stresses both cross-TU
+// directions the whole-program analysis must get right:
+//
+//   - caller -> callee facts: `run_batches` (kernel TU) is called once
+//     from `main` (main TU), and `accumulate_stats` (support TU) is called
+//     from inside the kernel TU's 8-trip batch loop, so execution counts
+//     must cross TU boundaries for the transfer predictor to reconcile;
+//   - callee -> caller summaries: `accumulate_stats` takes a *non-const*
+//     `double *` yet only reads it. Single-TU analysis must assume the
+//     worst (unknown host write => a re-`update to` of results every batch
+//     iteration); the imported summary proves the parameter read-only and
+//     the pessimistic transfers disappear.
+//
+// Concatenating the TUs in link order (main, support, kernel) forms one
+// valid single-TU program: definitions precede the `extern` declarations
+// the parser unifies by name, and prototypes precede calls.
+#include "suite/benchmarks.hpp"
+
+namespace ompdart::suite {
+
+namespace {
+
+const char *const kMainTu = R"(
+#define NUCLIDES 16
+#define GRIDPOINTS 128
+#define LOOKUPS 1024
+
+double energy_grid[NUCLIDES * GRIDPOINTS];
+double xs_total[NUCLIDES * GRIDPOINTS];
+double xs_elastic[NUCLIDES * GRIDPOINTS];
+double xs_absorption[NUCLIDES * GRIDPOINTS];
+double xs_fission[NUCLIDES * GRIDPOINTS];
+double lookup_energy[LOOKUPS];
+int lookup_material[LOOKUPS];
+double results[LOOKUPS];
+double checksum;
+
+void init_tables();
+void run_batches();
+
+int main() {
+  init_tables();
+  run_batches();
+  printf("checksum=%.6f\n", checksum);
+  return 0;
+}
+)";
+
+const char *const kSupportTu = R"(
+#define NUCLIDES 16
+#define GRIDPOINTS 128
+#define LOOKUPS 1024
+
+extern double energy_grid[NUCLIDES * GRIDPOINTS];
+extern double xs_total[NUCLIDES * GRIDPOINTS];
+extern double xs_elastic[NUCLIDES * GRIDPOINTS];
+extern double xs_absorption[NUCLIDES * GRIDPOINTS];
+extern double xs_fission[NUCLIDES * GRIDPOINTS];
+extern double lookup_energy[LOOKUPS];
+extern int lookup_material[LOOKUPS];
+extern double checksum;
+
+void init_tables() {
+  srand(97);
+  for (int n = 0; n < NUCLIDES; ++n) {
+    for (int g = 0; g < GRIDPOINTS; ++g) {
+      int idx = n * GRIDPOINTS + g;
+      energy_grid[idx] = (double)g / GRIDPOINTS;
+      xs_total[idx] = (double)(rand() % 1000) * 0.001;
+      xs_elastic[idx] = (double)(rand() % 1000) * 0.0005;
+      xs_absorption[idx] = (double)(rand() % 1000) * 0.0003;
+      xs_fission[idx] = (double)(rand() % 1000) * 0.0002;
+    }
+  }
+  for (int l = 0; l < LOOKUPS; ++l) {
+    lookup_energy[l] = (double)(rand() % 1000) * 0.001;
+    lookup_material[l] = rand() % NUCLIDES;
+  }
+}
+
+void accumulate_stats(double *res, int n) {
+  for (int l = 0; l < n; ++l) {
+    checksum += res[l];
+  }
+}
+)";
+
+const char *const kKernelTu = R"(
+#define NUCLIDES 16
+#define GRIDPOINTS 128
+#define LOOKUPS 1024
+#define BATCHES 8
+
+extern double energy_grid[NUCLIDES * GRIDPOINTS];
+extern double xs_total[NUCLIDES * GRIDPOINTS];
+extern double xs_elastic[NUCLIDES * GRIDPOINTS];
+extern double xs_absorption[NUCLIDES * GRIDPOINTS];
+extern double xs_fission[NUCLIDES * GRIDPOINTS];
+extern double lookup_energy[LOOKUPS];
+extern int lookup_material[LOOKUPS];
+extern double results[LOOKUPS];
+
+void accumulate_stats(double *res, int n);
+
+void run_batches() {
+  for (int batch = 0; batch < BATCHES; ++batch) {
+    double batch_scale = 1.0 + batch * 0.125;
+    #pragma omp target teams distribute parallel for
+    for (int l = 0; l < LOOKUPS; ++l) {
+      int mat = lookup_material[l];
+      double e = lookup_energy[l];
+      int g = (int)(e * (GRIDPOINTS - 1));
+      int idx = mat * GRIDPOINTS + g;
+      double macro = xs_total[idx] + xs_elastic[idx] +
+                     xs_absorption[idx] + xs_fission[idx];
+      results[l] = results[l] * 0.5 + macro * batch_scale + energy_grid[idx];
+    }
+    accumulate_stats(results, LOOKUPS);
+  }
+}
+)";
+
+} // namespace
+
+std::string ProjectBenchmarkDef::combined() const {
+  std::string out;
+  for (const Tu &tu : tus)
+    out += tu.source;
+  return out;
+}
+
+const ProjectBenchmarkDef &xsbenchProject() {
+  static const ProjectBenchmarkDef def = [] {
+    ProjectBenchmarkDef project;
+    project.name = "xsbench-project";
+    project.tus.push_back({"xsbench_main.c", kMainTu});
+    project.tus.push_back({"xsbench_support.c", kSupportTu});
+    project.tus.push_back({"xsbench_kernel.c", kKernelTu});
+    return project;
+  }();
+  return def;
+}
+
+} // namespace ompdart::suite

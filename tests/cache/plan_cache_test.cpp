@@ -115,6 +115,93 @@ TEST(CacheKeyTest, IdIsStableAcrossInstancesAndComponentSensitive) {
   shifted.configHash = key.configHash.substr(1);
   shifted.toolVersion = key.toolVersion;
   EXPECT_NE(key.id(), shifted.id());
+
+  // Cross-TU imports join the address: a TU whose imported summaries or
+  // call facts changed must miss its old entry (and only then).
+  cache::CacheKey withImports = key;
+  withImports.importsHash = hash::fingerprint("imports-v1");
+  EXPECT_NE(key.id(), withImports.id());
+  cache::CacheKey otherImports = key;
+  otherImports.importsHash = hash::fingerprint("imports-v2");
+  EXPECT_NE(withImports.id(), otherImports.id());
+}
+
+TEST(CacheKeyTest, ImportsChangeMissesAndInvalidatesLikeAnEdit) {
+  // Same source + config under two different import fingerprints: distinct
+  // entries; flipping imports back re-hits the first entry (entries are
+  // immutable-valid, like content flip-backs).
+  TempDir dir("imports-key");
+  summary::TuImports imports;
+  imports.executions["main"] = 1;
+  summary::TuImports otherImports;
+  otherImports.executions["main"] = 7;
+
+  PipelineConfig config = cachedConfig(dir.str());
+  config.imports = &imports;
+  {
+    Session cold("kernel.c", kKernelSource, config);
+    cold.run();
+    EXPECT_EQ(cold.planCacheStatus(), Session::PlanCacheStatus::Miss);
+  }
+  {
+    Session warm("kernel.c", kKernelSource, config);
+    warm.run();
+    EXPECT_EQ(warm.planCacheStatus(), Session::PlanCacheStatus::Hit);
+  }
+  PipelineConfig changed = cachedConfig(dir.str());
+  changed.imports = &otherImports;
+  {
+    Session miss("kernel.c", kKernelSource, changed);
+    miss.run();
+    EXPECT_EQ(miss.planCacheStatus(), Session::PlanCacheStatus::Miss);
+  }
+  {
+    Session back("kernel.c", kKernelSource, config);
+    back.run();
+    EXPECT_EQ(back.planCacheStatus(), Session::PlanCacheStatus::Hit);
+  }
+}
+
+TEST(PlanCacheReportTest, EmitJsonSurfacesCacheCounters) {
+  // The report embeds the probe outcome and the cache's counters, so a
+  // `--emit=json` run observes warm behavior without bench_cache.
+  TempDir dir("report-stats");
+  {
+    Session cold("kernel.c", kKernelSource, cachedConfig(dir.str()));
+    cold.run();
+    const Report &report = cold.report();
+    ASSERT_TRUE(report.planCache.has_value());
+    EXPECT_EQ(report.planCache->status, "miss");
+    EXPECT_EQ(report.planCache->keyId, cold.planCacheKey().id());
+    EXPECT_EQ(report.planCache->misses, 1u);
+    EXPECT_EQ(report.planCache->stores, 1u);
+    const json::Value doc = report.toJson();
+    const json::Value *cacheJson = doc.find("planCache");
+    ASSERT_NE(cacheJson, nullptr);
+    EXPECT_EQ(cacheJson->stringOr("status"), "miss");
+    EXPECT_EQ(cacheJson->uintOr("stores"), 1u);
+  }
+  {
+    Session warm("kernel.c", kKernelSource, cachedConfig(dir.str()));
+    warm.run();
+    const Report &report = warm.report();
+    ASSERT_TRUE(report.planCache.has_value());
+    EXPECT_EQ(report.planCache->status, "hit");
+    EXPECT_EQ(report.planCache->hits, 1u);
+    // Round trip preserves the cache section.
+    std::string error;
+    const auto round = Report::fromJson(report.toJson(), &error);
+    ASSERT_TRUE(round.has_value()) << error;
+    ASSERT_TRUE(round->planCache.has_value());
+    EXPECT_EQ(*round->planCache, *report.planCache);
+  }
+  // No cache configured: the section is absent.
+  {
+    Session plain("kernel.c", kKernelSource, PipelineConfig{});
+    plain.run();
+    EXPECT_FALSE(plain.report().planCache.has_value());
+    EXPECT_EQ(plain.report().toJson().find("planCache"), nullptr);
+  }
 }
 
 TEST(ConfigFingerprintTest, SensitiveToEveryPlanningSwitch) {

@@ -30,6 +30,49 @@ TEST(ParserTest, GlobalArrayWithMacroExtent) {
   EXPECT_EQ(array->extent().value_or(0), 64u);
 }
 
+TEST(ParserTest, ExternGlobalUnifiesOntoOneDecl) {
+  // Concatenated multi-TU programs redeclare globals: an extern
+  // redeclaration after the definition (and vice versa) must bind to one
+  // object, and the definition's type wins (it may carry the extent).
+  auto parsed = parse(R"(
+extern double grid[];
+double grid[64];
+extern double grid[64];
+double reader() { return grid[1]; }
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+  ASSERT_EQ(parsed.unit().globals.size(), 1u);
+  const VarDecl *grid = parsed.unit().globals[0];
+  EXPECT_FALSE(grid->isExtern());
+  const auto *array = dynamic_cast<const ArrayType *>(grid->type());
+  ASSERT_NE(array, nullptr);
+  EXPECT_EQ(array->extent().value_or(0), 64u);
+}
+
+TEST(ParserTest, LaterExternDeclarationCompletesArrayType) {
+  // A richer redeclaration must not lose its extent to declaration order.
+  auto parsed = parse(R"(
+extern double a[];
+extern double a[64];
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+  ASSERT_EQ(parsed.unit().globals.size(), 1u);
+  const auto *array =
+      dynamic_cast<const ArrayType *>(parsed.unit().globals[0]->type());
+  ASSERT_NE(array, nullptr);
+  EXPECT_EQ(array->extent().value_or(0), 64u);
+}
+
+TEST(ParserTest, StaticGlobalsDoNotUnify) {
+  // Internal linkage: same-named statics are distinct objects.
+  auto parsed = parse(R"(
+static double tmp[8];
+static double tmp[16];
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+  ASSERT_EQ(parsed.unit().globals.size(), 2u);
+}
+
 TEST(ParserTest, MultiDimensionalArray) {
   auto parsed = parse("double grid[4][8];");
   ASSERT_TRUE(parsed.ok);

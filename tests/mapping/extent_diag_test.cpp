@@ -1,0 +1,139 @@
+// Symbolic pointer-extent resolution diagnostics: when the call sites a
+// parameter's constant or extent is resolved through *disagree*, the
+// planner must say so — naming the sites — instead of silently taking the
+// conservative path. (Agreement keeps resolving exactly as before; the
+// suite benchmarks pin that.)
+#include "mapping/planner.hpp"
+
+#include "driver/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+std::vector<Diagnostic> planDiagnostics(const std::string &source) {
+  Session session("diag.c", source);
+  session.run();
+  return session.report().diagnostics;
+}
+
+bool hasDisagreementWarning(const std::vector<Diagnostic> &diagnostics,
+                            const std::string &param,
+                            const std::string &fn) {
+  for (const Diagnostic &diag : diagnostics) {
+    if (diag.severity != Severity::Warning)
+      continue;
+    if (diag.message.find("call sites disagree") == std::string::npos)
+      continue;
+    if (diag.message.find("'" + param + "'") != std::string::npos &&
+        diag.message.find("'" + fn + "'") != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+TEST(ExtentDiagnosticTest, ConstantDisagreementNamesBothCallSites) {
+  // `stage` maps src through the symbolic extent `n`; the two call sites
+  // pass 128 and 256, so the byte prediction cannot resolve.
+  const auto diagnostics = planDiagnostics(R"(
+double a[128];
+double b[256];
+void stage(double *src, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    src[i] = src[i] * 2.0;
+  }
+}
+int main() {
+  stage(a, 128);
+  stage(b, 256);
+  return 0;
+}
+)");
+  ASSERT_TRUE(hasDisagreementWarning(diagnostics, "n", "stage"))
+      << "expected a disagreement warning; got:\n"
+      << [&] {
+           std::string all;
+           for (const auto &diag : diagnostics)
+             all += diag.str() + "\n";
+           return all;
+         }();
+  // The diagnostic names both sites (values and lines).
+  std::string message;
+  for (const Diagnostic &diag : diagnostics)
+    if (diag.message.find("call sites disagree") != std::string::npos)
+      message = diag.message;
+  EXPECT_NE(message.find("128 at line 11"), std::string::npos) << message;
+  EXPECT_NE(message.find("256 at line 12"), std::string::npos) << message;
+}
+
+TEST(ExtentDiagnosticTest, ExtentDisagreementNamesBothCallSites) {
+  // `blur` defeats loop-bound inference (stencil subscript), so the extent
+  // comes from call-site arguments — which disagree (64 vs 32 elements).
+  const auto diagnostics = planDiagnostics(R"(
+double img1[64];
+double img2[32];
+void blur(double *img, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 1; i < n; ++i) {
+    img[i - 1] = img[i - 1] + 1.0;
+  }
+}
+int main() {
+  blur(img1, 63);
+  blur(img2, 31);
+  return 0;
+}
+)");
+  EXPECT_TRUE(hasDisagreementWarning(diagnostics, "img", "blur"))
+      << "expected an extent disagreement warning";
+}
+
+TEST(ExtentDiagnosticTest, AgreeingCallSitesStaySilent) {
+  const auto diagnostics = planDiagnostics(R"(
+double a[128];
+double b[128];
+void stage(double *src, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    src[i] = src[i] * 2.0;
+  }
+}
+int main() {
+  stage(a, 128);
+  stage(b, 128);
+  return 0;
+}
+)");
+  for (const Diagnostic &diag : diagnostics)
+    EXPECT_EQ(diag.message.find("call sites disagree"), std::string::npos)
+        << diag.str();
+}
+
+TEST(ExtentDiagnosticTest, DisagreementIsDiagnosedOnce) {
+  const auto diagnostics = planDiagnostics(R"(
+double a[128];
+double b[256];
+void stage(double *src, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    src[i] = src[i] * 2.0;
+  }
+}
+int main() {
+  stage(a, 128);
+  stage(b, 256);
+  return 0;
+}
+)");
+  unsigned count = 0;
+  for (const Diagnostic &diag : diagnostics)
+    if (diag.message.find("call sites disagree") != std::string::npos &&
+        diag.message.find("'n'") != std::string::npos)
+      ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+} // namespace
+} // namespace ompdart

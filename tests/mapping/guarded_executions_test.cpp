@@ -1,0 +1,154 @@
+// Floor-of-one pinning for provable execution estimates on *guarded*
+// nesting (paper-faithful present-table accounting, PR 3): a region start
+// or update insertion point sitting under an if/switch may execute zero
+// times per enclosing iteration, so the estimator must charge the floor of
+// one instead of multiplying the loop trips above the guard. Before this
+// suite the behavior was only pinned indirectly through whole-suite
+// predicted-vs-simulated ratios.
+#include "driver/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompdart {
+namespace {
+
+const ir::MappingIr &planIr(Session &session) {
+  session.run();
+  return session.ir();
+}
+
+TEST(GuardedExecutionsTest, RegionEntryUnderIfFloorsAtOne) {
+  // The kernel-bearing loop nest sits behind `if (flag)`: the 10-trip time
+  // loop is not provable for the region entry count.
+  Session session("guarded_region.c", R"(
+double field[256];
+int flag;
+int main() {
+  if (flag) {
+    for (int t = 0; t < 10; ++t) {
+      #pragma omp target teams distribute parallel for
+      for (int i = 0; i < 256; ++i) {
+        field[i] = field[i] + i;
+      }
+    }
+  }
+  printf("%f\n", field[0]);
+  return 0;
+}
+)");
+  const ir::MappingIr &ir = planIr(session);
+  ASSERT_EQ(ir.regions.size(), 1u);
+  EXPECT_EQ(ir.regions[0].entryCount, 1u);
+}
+
+TEST(GuardedExecutionsTest, UnguardedRegionEntryMultipliesForContrast) {
+  // Same nest without the guard: per-kernel regions are hoisted over the
+  // loop, so entries stay 1 — but with region-over-loops disabled, the
+  // region re-enters per provable trip. This is the contrast case proving
+  // the guard (not some other conservatism) produced the floor above.
+  PipelineConfig config;
+  config.planner.extendRegionOverLoops = false;
+  Session session("unguarded_region.c", R"(
+double field[256];
+int main() {
+  for (int t = 0; t < 10; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 256; ++i) {
+      field[i] = field[i] + i;
+    }
+  }
+  printf("%f\n", field[0]);
+  return 0;
+}
+)",
+                  config);
+  const ir::MappingIr &ir = planIr(session);
+  ASSERT_EQ(ir.regions.size(), 1u);
+  EXPECT_EQ(ir.regions[0].entryCount, 10u);
+
+  PipelineConfig guardedConfig;
+  guardedConfig.planner.extendRegionOverLoops = false;
+  Session guarded("guarded_per_kernel.c", R"(
+double field[256];
+int flag;
+int main() {
+  if (flag) {
+    for (int t = 0; t < 10; ++t) {
+      #pragma omp target teams distribute parallel for
+      for (int i = 0; i < 256; ++i) {
+        field[i] = field[i] + i;
+      }
+    }
+  }
+  printf("%f\n", field[0]);
+  return 0;
+}
+)",
+                  guardedConfig);
+  const ir::MappingIr &guardedIr = planIr(guarded);
+  ASSERT_EQ(guardedIr.regions.size(), 1u);
+  EXPECT_EQ(guardedIr.regions[0].entryCount, 1u);
+}
+
+TEST(GuardedExecutionsTest, UpdateUnderGuardedNestedLoopFloorsAtOne) {
+  // The host read of `field` sits under `if (t % 2)` inside the 10-trip
+  // region loop: the update-from it forces may execute zero times per
+  // trip, so executions must floor at one — not multiply to 10.
+  Session session("guarded_update.c", R"(
+double field[256];
+double probe[16];
+int main() {
+  for (int t = 0; t < 10; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 256; ++i) {
+      field[i] = field[i] + i;
+    }
+    if (t % 2) {
+      probe[0] = field[0];
+    }
+  }
+  printf("%f %f\n", field[0], probe[0]);
+  return 0;
+}
+)");
+  const ir::MappingIr &ir = planIr(session);
+  ASSERT_EQ(ir.regions.size(), 1u);
+  const ir::UpdateItem *fromUpdate = nullptr;
+  for (const ir::UpdateItem &update : ir.regions[0].updates)
+    if (update.direction == ir::UpdateDirection::From &&
+        update.item.rfind("field", 0) == 0)
+      fromUpdate = &update;
+  ASSERT_NE(fromUpdate, nullptr);
+  EXPECT_EQ(fromUpdate->executions, 1u);
+}
+
+TEST(GuardedExecutionsTest, UnguardedUpdateMultipliesByProvableTrips) {
+  // Contrast: the same read unguarded multiplies by the loop's 10 trips.
+  Session session("unguarded_update.c", R"(
+double field[256];
+double probe[16];
+int main() {
+  for (int t = 0; t < 10; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 256; ++i) {
+      field[i] = field[i] + i;
+    }
+    probe[0] = field[0];
+  }
+  printf("%f %f\n", field[0], probe[0]);
+  return 0;
+}
+)");
+  const ir::MappingIr &ir = planIr(session);
+  ASSERT_EQ(ir.regions.size(), 1u);
+  const ir::UpdateItem *fromUpdate = nullptr;
+  for (const ir::UpdateItem &update : ir.regions[0].updates)
+    if (update.direction == ir::UpdateDirection::From &&
+        update.item.rfind("field", 0) == 0)
+      fromUpdate = &update;
+  ASSERT_NE(fromUpdate, nullptr);
+  EXPECT_EQ(fromUpdate->executions, 10u);
+}
+
+} // namespace
+} // namespace ompdart
