@@ -1,0 +1,174 @@
+// Fuzz gate: the generator-driven scenario engine at CI scale. Runs 500
+// seeded programs through the differential plan-correctness oracle over the
+// batch worker pool and writes BENCH_fuzz.json. Exits non-zero unless:
+//   1. every program that ran inside the time box passes all three oracle
+//      invariants (output equality, transfer bound, predicted==simulated
+//      for byte-predictable plans) — and at least 500 actually ran,
+//   2. the same seed range regenerates the corpus byte-for-byte (and a
+//      warm second oracle pass over the shared plan cache is 100% hits),
+//   3. the statement-deletion shrinker reduces an injected failure to at
+//      most 25% of the original statement count.
+#include "driver/batch.hpp"
+#include "gen/generator.hpp"
+#include "gen/shrink.hpp"
+#include "interp/interp.hpp"
+#include "support/json.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr unsigned kPrograms = 500;
+constexpr std::uint64_t kBaseSeed = 1;
+// CI time box: generous for the gate's scale (the run takes seconds), but
+// a hard stop if something degenerates.
+constexpr double kTimeBoxSeconds = 600.0;
+
+fs::path freshCacheDir() {
+  std::random_device rd;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("ompdart-bench-fuzz-" + std::to_string(rd()));
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Any shrunken failing programs land here for CI artifact upload.
+void dumpFailures(const ompdart::FuzzResult &result) {
+  if (result.failures.empty())
+    return;
+  fs::create_directories("fuzz-artifacts");
+  for (const ompdart::FuzzFailure &failure : result.failures) {
+    std::ofstream out(fs::path("fuzz-artifacts") / (failure.name + ".c"));
+    out << "// seed " << failure.seed << "\n// " << failure.divergence
+        << "\n"
+        << (failure.shrunken.empty() ? failure.source : failure.shrunken);
+    std::fprintf(stderr, "wrote fuzz-artifacts/%s.c\n",
+                 failure.name.c_str());
+  }
+}
+
+} // namespace
+
+int main() {
+  using ompdart::BatchDriver;
+  namespace json = ompdart::json;
+  bool ok = true;
+
+  const fs::path cacheDir = freshCacheDir();
+  BatchDriver::Options options;
+  options.config.cacheDir = cacheDir.string();
+  options.config.cacheMode = ompdart::cache::CacheMode::ReadWrite;
+  BatchDriver driver(options);
+
+  BatchDriver::FuzzOptions fuzz;
+  fuzz.baseSeed = kBaseSeed;
+  fuzz.count = kPrograms;
+  fuzz.shrinkFailures = true;
+  fuzz.checkRewrite = true; // the rewrite leg caught braceless-body bugs
+  fuzz.timeBoxSeconds = kTimeBoxSeconds;
+
+  // Gate 1: the cold oracle pass.
+  const ompdart::FuzzResult cold = driver.runFuzz(fuzz);
+  if (cold.stats.ran < kPrograms) {
+    std::fprintf(stderr, "time box cut the run: %u/%u programs ran\n",
+                 cold.stats.ran, kPrograms);
+    ok = false;
+  }
+  if (cold.stats.failed != 0) {
+    std::fprintf(stderr, "%u programs failed the oracle\n",
+                 cold.stats.failed);
+    for (const ompdart::FuzzFailure &failure : cold.failures)
+      std::fprintf(stderr, "  %s (seed %llu): %s\n", failure.name.c_str(),
+                   static_cast<unsigned long long>(failure.seed),
+                   failure.divergence.substr(0, 200).c_str());
+    dumpFailures(cold);
+    ok = false;
+  }
+
+  // Gate 2a: byte-for-byte corpus reproducibility.
+  const auto corpusA = ompdart::gen::generateCorpus(kBaseSeed, kPrograms);
+  const auto corpusB = ompdart::gen::generateCorpus(kBaseSeed, kPrograms);
+  bool reproducible = corpusA.size() == corpusB.size();
+  for (std::size_t i = 0; reproducible && i < corpusA.size(); ++i)
+    reproducible = corpusA[i].combined() == corpusB[i].combined() &&
+                   corpusA[i].provableTrips == corpusB[i].provableTrips;
+  if (!reproducible) {
+    std::fprintf(stderr, "same seed range produced different corpora\n");
+    ok = false;
+  }
+
+  // Gate 2b: a second pass over the same cache re-hydrates every plan.
+  const ompdart::FuzzResult warm = driver.runFuzz(fuzz);
+  if (warm.stats.planCacheHits != warm.stats.ran || warm.stats.ran == 0) {
+    std::fprintf(stderr, "warm fuzz pass not fully cached: %u hits / %u\n",
+                 warm.stats.planCacheHits, warm.stats.ran);
+    ok = false;
+  }
+  if (warm.stats.failed != cold.stats.failed ||
+      warm.stats.planBytes != cold.stats.planBytes) {
+    std::fprintf(stderr, "warm pass verdicts differ from cold pass\n");
+    ok = false;
+  }
+
+  // Gate 3: the shrinker reduces an injected failure to <= 25% of the
+  // original statement count. The injected bug is a marker statement deep
+  // inside a generated program; the predicate is "still runs and still
+  // prints the marker", the standard delta-debugging stand-in for a
+  // divergence only one statement causes.
+  ompdart::gen::GeneratedProgram victim =
+      ompdart::gen::generateProgram(kBaseSeed + 3);
+  std::string bugged = victim.combined();
+  const std::string tailMarker = "  return 0;\n}";
+  const auto insertAt = bugged.rfind(tailMarker);
+  double shrinkRatio = 1.0;
+  unsigned shrinkFrom = 0;
+  unsigned shrinkTo = 0;
+  if (insertAt == std::string::npos) {
+    std::fprintf(stderr, "cannot inject failure into generated program\n");
+    ok = false;
+  } else {
+    bugged.insert(insertAt, "  printf(\"FUZZBUG\\n\");\n");
+    const auto shrunk = ompdart::gen::shrinkProgram(
+        bugged, [](const std::string &candidate) {
+          const auto run = ompdart::interp::runProgram(candidate);
+          return run.ok && run.output.find("FUZZBUG") != std::string::npos;
+        });
+    shrinkRatio = shrunk.ratio();
+    shrinkFrom = shrunk.originalStatements;
+    shrinkTo = shrunk.finalStatements;
+    if (shrunk.finalStatements * 4 > shrunk.originalStatements) {
+      std::fprintf(stderr,
+                   "shrinker left %u of %u statements (> 25%%)\n",
+                   shrunk.finalStatements, shrunk.originalStatements);
+      ok = false;
+    }
+  }
+
+  json::Value out = json::Value::object();
+  out.set("programs", kPrograms);
+  out.set("baseSeed", kBaseSeed);
+  out.set("cold", cold.stats.toJson());
+  out.set("warm", warm.stats.toJson());
+  out.set("corpusReproducible", reproducible);
+  json::Value shrinkJson = json::Value::object();
+  shrinkJson.set("originalStatements", shrinkFrom);
+  shrinkJson.set("finalStatements", shrinkTo);
+  shrinkJson.set("ratio", shrinkRatio);
+  out.set("shrink", std::move(shrinkJson));
+  out.set("gate", ok ? "pass" : "fail");
+  {
+    std::ofstream file("BENCH_fuzz.json");
+    file << out.dump(/*pretty=*/true) << "\n";
+  }
+  std::printf("%s\n", out.dump(/*pretty=*/true).c_str());
+
+  std::error_code ec;
+  fs::remove_all(cacheDir, ec);
+  return ok ? 0 : 1;
+}

@@ -13,12 +13,15 @@
 //   $ ./ompdart_cli input.c --stop-after=plan --emit=json
 //   $ ./ompdart_cli input.c --dump-ast         # front-end debugging
 //   $ ./ompdart_cli input.c --no-firstprivate --no-hoist
+#include "driver/batch.hpp"
 #include "driver/pipeline.hpp"
 #include "driver/project.hpp"
 #include "frontend/ast_printer.hpp"
 #include "frontend/parser.hpp"
+#include "support/hash.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -61,7 +64,14 @@ void usage(const char *argv0) {
       "  --no-interproc       disable the interprocedural fixed point\n"
       "  --cache-dir=<dir>    content-addressed plan cache directory\n"
       "  --cache=<mode>       off | read | read-write (default: read-write\n"
-      "                       once --cache-dir is set)\n",
+      "                       once --cache-dir is set)\n"
+      "  --fuzz=<N>           generate N seeded programs and run the\n"
+      "                       differential plan-correctness oracle on each\n"
+      "                       (-o names a DIRECTORY: corpus + manifest.json;\n"
+      "                       --emit=json prints the full fuzz report)\n"
+      "  --gen-seed=<K>       first seed of the fuzz corpus (default: 1)\n"
+      "  --shrink             minimize failing programs to statement-minimal\n"
+      "                       repros (written as <name>.shrunk.c under -o)\n",
       argv0, argv0, joined(emitKinds()).c_str(),
       joined(ompdart::costModelNames()).c_str());
 }
@@ -190,6 +200,138 @@ std::string renderPlanSummary(ompdart::Session &session) {
   return renderPlanSummaryFor(session.report());
 }
 
+/// Fuzz mode: generate the seeded corpus, run the differential oracle on
+/// every program, print one deterministic line per program (or the JSON
+/// report), and optionally write the corpus + manifest into the -o
+/// directory. Exit 0 iff every program passed all oracle invariants.
+int runFuzzMode(unsigned count, std::uint64_t baseSeed, bool shrink,
+                const std::string &outputPath, const std::string &emit,
+                const ompdart::PipelineConfig &config) {
+  namespace fs = std::filesystem;
+  using ompdart::BatchDriver;
+  namespace json = ompdart::json;
+
+  BatchDriver::Options options;
+  options.config = config;
+  options.config.stopAfter.reset();
+  BatchDriver driver(options);
+
+  BatchDriver::FuzzOptions fuzz;
+  fuzz.baseSeed = baseSeed;
+  fuzz.count = count;
+  fuzz.shrinkFailures = shrink;
+  const ompdart::FuzzResult result = driver.runFuzz(fuzz);
+
+  if (!outputPath.empty()) {
+    // Regenerate for emission: runFuzz owns no corpus copy, and generation
+    // is deterministic by contract.
+    const auto corpus = ompdart::gen::generateCorpus(baseSeed, count);
+    std::error_code ec;
+    fs::create_directories(outputPath, ec);
+    json::Value manifest = json::Value::object();
+    manifest.set("baseSeed", baseSeed);
+    manifest.set("count", count);
+    json::Value programs = json::Value::array();
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const auto &program = corpus[i];
+      json::Value entry = json::Value::object();
+      entry.set("name", program.name);
+      entry.set("seed", program.seed);
+      entry.set("provableTrips", program.provableTrips);
+      entry.set("multiTu", program.multiTu());
+      entry.set("sourceHash", ompdart::hash::fingerprint(program.combined()));
+      entry.set("irFingerprint", result.items[i].verdict.irFingerprint);
+      entry.set("ok", result.items[i].passed());
+      json::Value files = json::Value::array();
+      for (const auto &tu : program.tus) {
+        std::ofstream out(fs::path(outputPath) / tu.name);
+        out << tu.source;
+        out.flush();
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", tu.name.c_str());
+          return 1;
+        }
+        files.push(tu.name);
+      }
+      entry.set("files", std::move(files));
+      programs.push(std::move(entry));
+    }
+    manifest.set("programs", std::move(programs));
+    std::ofstream out(fs::path(outputPath) / "manifest.json");
+    out << manifest.dump(/*pretty=*/true);
+    for (const ompdart::FuzzFailure &failure : result.failures) {
+      if (failure.shrunken.empty())
+        continue;
+      std::ofstream repro(fs::path(outputPath) /
+                          (failure.name + ".shrunk.c"));
+      repro << failure.shrunken;
+    }
+  }
+
+  if (emit == "json") {
+    json::Value report = json::Value::object();
+    report.set("stats", result.stats.toJson());
+    json::Value items = json::Value::array();
+    for (const ompdart::FuzzItem &item : result.items) {
+      json::Value entry = json::Value::object();
+      entry.set("name", item.name);
+      entry.set("seed", item.seed);
+      entry.set("ran", item.ran);
+      entry.set("provableTrips", item.provableTrips);
+      entry.set("multiTu", item.multiTu);
+      entry.set("verdict", item.verdict.toJson());
+      items.push(std::move(entry));
+    }
+    report.set("items", std::move(items));
+    json::Value failures = json::Value::array();
+    for (const ompdart::FuzzFailure &failure : result.failures) {
+      json::Value entry = json::Value::object();
+      entry.set("name", failure.name);
+      entry.set("seed", failure.seed);
+      entry.set("divergence", failure.divergence);
+      entry.set("originalStatements", failure.originalStatements);
+      entry.set("shrunkenStatements", failure.shrunkenStatements);
+      failures.push(std::move(entry));
+    }
+    report.set("failures", std::move(failures));
+    std::printf("%s\n", report.dump(/*pretty=*/true).c_str());
+  } else {
+    for (const ompdart::FuzzItem &item : result.items) {
+      if (!item.ran) {
+        std::printf("%s seed=%llu SKIP (time box)\n", item.name.c_str(),
+                    static_cast<unsigned long long>(item.seed));
+        continue;
+      }
+      std::printf("%s seed=%llu %s provable=%d multi-tu=%d baseline=%llu "
+                  "plan=%llu predicted=%llu ir=%s\n",
+                  item.name.c_str(),
+                  static_cast<unsigned long long>(item.seed),
+                  item.verdict.ok ? "PASS" : "FAIL", item.provableTrips,
+                  item.multiTu,
+                  static_cast<unsigned long long>(
+                      item.verdict.baselineBytes),
+                  static_cast<unsigned long long>(item.verdict.planBytes),
+                  static_cast<unsigned long long>(
+                      item.verdict.predictedBytes),
+                  item.verdict.irFingerprint.c_str());
+    }
+    for (const ompdart::FuzzFailure &failure : result.failures) {
+      std::printf("--- %s ---\n%s\n", failure.name.c_str(),
+                  failure.divergence.c_str());
+      if (!failure.shrunken.empty())
+        std::printf("shrunken repro (%u -> %u statements):\n%s\n",
+                    failure.originalStatements, failure.shrunkenStatements,
+                    failure.shrunken.c_str());
+    }
+    std::printf("fuzz: %u/%u passed (%u failed, %u skipped), %u provable, "
+                "%u multi-TU\n",
+                result.stats.passed, result.stats.programs,
+                result.stats.failed, result.stats.skippedByTimeBox,
+                result.stats.provable, result.stats.multiTu);
+  }
+  return result.allPassed() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -203,7 +345,24 @@ int main(int argc, char **argv) {
   std::string emit = "source";
   bool dumpAst = false;
   bool cacheModeExplicit = false;
+  unsigned fuzzCount = 0;
+  bool fuzzMode = false;
+  std::uint64_t genSeed = 1;
+  bool genSeedExplicit = false;
+  bool shrink = false;
   ompdart::PipelineConfig config;
+  auto parseUnsigned = [](const std::string &text,
+                          std::uint64_t &value) -> bool {
+    if (text.empty())
+      return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+      return false;
+    value = parsed;
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-o" && i + 1 < argc) {
@@ -260,6 +419,26 @@ int main(int argc, char **argv) {
       }
       config.cacheMode = *parsed;
       cacheModeExplicit = true;
+    } else if (arg.rfind("--fuzz=", 0) == 0) {
+      std::uint64_t parsed = 0;
+      if (!parseUnsigned(arg.substr(7), parsed) || parsed == 0 ||
+          parsed > 1'000'000) {
+        std::fprintf(stderr,
+                     "--fuzz needs a positive program count, got '%s'\n",
+                     arg.substr(7).c_str());
+        return 1;
+      }
+      fuzzCount = static_cast<unsigned>(parsed);
+      fuzzMode = true;
+    } else if (arg.rfind("--gen-seed=", 0) == 0) {
+      if (!parseUnsigned(arg.substr(11), genSeed)) {
+        std::fprintf(stderr, "--gen-seed needs an unsigned seed, got '%s'\n",
+                     arg.substr(11).c_str());
+        return 1;
+      }
+      genSeedExplicit = true;
+    } else if (arg == "--shrink") {
+      shrink = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -270,7 +449,22 @@ int main(int argc, char **argv) {
       return 1;
     }
   }
-  if (inputPath.empty() && projectPath.empty()) {
+  if (!fuzzMode && (genSeedExplicit || shrink)) {
+    std::fprintf(stderr, "%s requires --fuzz=<N>\n",
+                 genSeedExplicit ? "--gen-seed" : "--shrink");
+    return 1;
+  }
+  if (fuzzMode && (!inputPath.empty() || !projectPath.empty())) {
+    std::fprintf(stderr,
+                 "--fuzz generates its own inputs; drop the positional "
+                 "file / --project\n");
+    return 1;
+  }
+  if (fuzzMode && emit != "source" && emit != "json") {
+    std::fprintf(stderr, "--fuzz supports --emit=json only\n");
+    return 1;
+  }
+  if (inputPath.empty() && projectPath.empty() && !fuzzMode) {
     usage(argv[0]);
     return 1;
   }
@@ -293,7 +487,7 @@ int main(int argc, char **argv) {
   }
 
   std::string source;
-  if (projectPath.empty()) {
+  if (projectPath.empty() && !fuzzMode) {
     std::ifstream in(inputPath);
     if (!in) {
       std::fprintf(stderr, "cannot open '%s'\n", inputPath.c_str());
@@ -330,6 +524,8 @@ int main(int argc, char **argv) {
       config.cacheMode == ompdart::cache::CacheMode::Off)
     config.cacheDir.clear();
 
+  if (fuzzMode)
+    return runFuzzMode(fuzzCount, genSeed, shrink, outputPath, emit, config);
   if (!projectPath.empty())
     return runProjectMode(projectPath, outputPath, emit, std::move(config));
 

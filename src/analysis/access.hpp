@@ -34,6 +34,11 @@ struct AccessEvent {
   const ArraySubscriptExpr *subscript = nullptr;
   /// True when this event was synthesized from a callee's side effects.
   bool fromCall = false;
+  /// Call-synthesized writes only: the callee provably overwrites the
+  /// whole argument object (full `[0, bound)` sweep whose bound argument
+  /// equals the array's extent at this call site), so the planner may
+  /// treat the call as a kill without a device->host sync first.
+  bool provenFullCoverage = false;
   /// True when the access touches the variable's *data* (array element,
   /// dereferenced pointee, struct contents) rather than merely its value
   /// (e.g. reading a pointer to pass it along). Mapping decisions for
@@ -44,8 +49,15 @@ struct AccessEvent {
   bool conditional = false;
 
   /// Whether this event represents an access to mapped data for `var`.
+  /// Pointer AND array variables referenced without a subscript or
+  /// explicit pointee access only expose their address (arrays decay when
+  /// passed to callees; the callee's data effects are synthesized by the
+  /// interprocedural pass) — treating such an argument as a host data read
+  /// made the planner emit a dead device->host sync before every
+  /// array-passing helper call.
   [[nodiscard]] bool isDataAccess() const {
-    return pointeeAccess || var == nullptr || !var->type()->isPointer();
+    return pointeeAccess || var == nullptr ||
+           (!var->type()->isPointer() && !var->type()->isArray());
   }
 };
 

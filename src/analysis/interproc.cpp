@@ -1,5 +1,9 @@
 #include "analysis/interproc.hpp"
 
+#include "analysis/bounds.hpp"
+#include "analysis/execution.hpp"
+#include "frontend/const_fold.hpp"
+
 #include <algorithm>
 
 namespace ompdart {
@@ -76,6 +80,9 @@ json::Value ObjectEffect::toJson() const {
   doc.set("readDevice", readDevice);
   doc.set("writeDevice", writeDevice);
   doc.set("unknown", unknown);
+  if (fullWriteBoundParam >= 0)
+    doc.set("fullWriteBoundParam",
+            static_cast<std::uint64_t>(fullWriteBoundParam));
   return doc;
 }
 
@@ -86,6 +93,9 @@ ObjectEffect ObjectEffect::fromJson(const json::Value &value) {
   effect.readDevice = value.boolOr("readDevice");
   effect.writeDevice = value.boolOr("writeDevice");
   effect.unknown = value.boolOr("unknown");
+  if (value.find("fullWriteBoundParam") != nullptr)
+    effect.fullWriteBoundParam =
+        static_cast<int>(value.uintOr("fullWriteBoundParam"));
   return effect;
 }
 
@@ -210,11 +220,52 @@ FunctionSummary externalSummary(const FunctionDecl *fn) {
   return summary;
 }
 
+/// The callee parameter whose value bounds a provable full host sweep
+/// `param[0 .. bound)` performed by `event`, or -1. The ancestor chain
+/// supplies the enclosing loops (hand-rolled; the summary layer has no
+/// CFG at this point).
+int fullSweepBoundParam(const FunctionDecl *fn, const AccessEvent &event,
+                        const std::unordered_map<const Stmt *, const Stmt *>
+                            &parents) {
+  if (event.kind != AccessKind::Write || event.conditional ||
+      event.onDevice || event.subscript == nullptr || event.stmt == nullptr)
+    return -1;
+  const Expr *index = ignoreParensAndCasts(event.subscript->index());
+  VarDecl *indexVar = referencedVar(index);
+  if (indexVar == nullptr)
+    return -1;
+  const Expr *base = ignoreParensAndCasts(event.subscript->base());
+  if (base == nullptr || base->kind() == ExprKind::ArraySubscript)
+    return -1; // multi-dimensional: be conservative
+  for (const Stmt *cursor = event.stmt; cursor != nullptr;) {
+    auto it = parents.find(cursor);
+    cursor = it != parents.end() ? it->second : nullptr;
+    const auto *forStmt = dynamic_cast<const ForStmt *>(cursor);
+    if (forStmt == nullptr)
+      continue;
+    const LoopBounds bounds = analyzeForLoop(forStmt);
+    if (!bounds.valid || bounds.inductionVar != indexVar)
+      continue;
+    if (bounds.step != 1 || !bounds.lowerConst || *bounds.lowerConst != 0 ||
+        bounds.upperInclusiveAdjusted || bounds.upperExpr == nullptr)
+      return -1;
+    VarDecl *boundVar =
+        referencedVar(ignoreParensAndCasts(bounds.upperExpr));
+    return boundVar != nullptr ? paramIndex(fn, boundVar) : -1;
+  }
+  return -1;
+}
+
 FunctionSummary directFunctionSummary(const FunctionDecl *fn,
                                       const FunctionAccessInfo &info) {
   FunctionSummary summary;
   summary.function = fn;
   summary.params.resize(fn->params().size());
+  std::unordered_map<const Stmt *, const Stmt *> parents;
+  {
+    ParentMap parentMap(fn);
+    parents = parentMap.takeLinks();
+  }
   for (const AccessEvent &event : info.events) {
     if (event.var == nullptr)
       continue;
@@ -229,9 +280,12 @@ FunctionSummary directFunctionSummary(const FunctionDecl *fn,
       continue;
     // Only pointee accesses of pointer parameters are externally visible;
     // by-value parameters (scalars, structs) are local copies.
-    if (event.var->type()->isPointer() && event.pointeeAccess)
-      summary.params[static_cast<std::size_t>(index)].mergeFrom(
-          effectFromEvent(event));
+    if (event.var->type()->isPointer() && event.pointeeAccess) {
+      ObjectEffect effect = effectFromEvent(event);
+      if (effect.writeHost && !effect.unknown)
+        effect.fullWriteBoundParam = fullSweepBoundParam(fn, event, parents);
+      summary.params[static_cast<std::size_t>(index)].mergeFrom(effect);
+    }
   }
   return summary;
 }
@@ -289,9 +343,23 @@ computeFunctionSummaries(
         const auto &args = site.call->args();
         for (std::size_t i = 0;
              i < calleeSummary.params.size() && i < args.size(); ++i) {
-          const ObjectEffect &effect = calleeSummary.params[i];
+          ObjectEffect effect = calleeSummary.params[i];
           if (!effect.any())
             continue;
+          // The coverage bound indexes the CALLEE's parameters; it does
+          // not survive re-attribution to this function's objects unless
+          // the bound argument is itself one of this function's params
+          // passed straight through.
+          if (effect.fullWriteBoundParam >= 0) {
+            const std::size_t bound =
+                static_cast<std::size_t>(effect.fullWriteBoundParam);
+            VarDecl *boundVar =
+                bound < args.size()
+                    ? referencedVar(ignoreParensAndCasts(args[bound]))
+                    : nullptr;
+            effect.fullWriteBoundParam =
+                boundVar != nullptr ? paramIndex(fn, boundVar) : -1;
+          }
           VarDecl *object = argumentObject(args[i]);
           if (object == nullptr)
             continue;
@@ -343,7 +411,8 @@ augmentCallSiteAccesses(
         continue;
       const FunctionSummary &calleeSummary = summaryIt->second;
 
-      auto synthesize = [&](VarDecl *object, const ObjectEffect &effect) {
+      auto synthesize = [&](VarDecl *object, const ObjectEffect &effect,
+                            bool fullCoverage) {
         if (object == nullptr || !effect.any())
           return;
         auto add = [&](AccessKind kind, bool onDevice) {
@@ -355,6 +424,8 @@ augmentCallSiteAccesses(
           event.stmt = site.stmt;
           event.fromCall = true;
           event.pointeeAccess = true;
+          event.provenFullCoverage =
+              fullCoverage && kind == AccessKind::Write && !event.onDevice;
           augmented.events.push_back(event);
           augmented.byStmt[site.stmt].push_back(event);
         };
@@ -372,10 +443,39 @@ augmentCallSiteAccesses(
           add(AccessKind::Write, true);
       };
 
+      // The callee's full-sweep bound proves a kill at this site when the
+      // bound argument's constant equals the (directly passed) array's
+      // whole extent.
+      auto provesFullCoverage = [&](const ObjectEffect &effect,
+                                    const Expr *objectArg) {
+        if (effect.fullWriteBoundParam < 0)
+          return false;
+        const auto &callArgs = site.call->args();
+        const std::size_t bound =
+            static_cast<std::size_t>(effect.fullWriteBoundParam);
+        if (bound >= callArgs.size())
+          return false;
+        const std::optional<std::int64_t> count =
+            foldIntegerConstant(callArgs[bound]);
+        if (!count || *count <= 0)
+          return false;
+        // The object must be passed from element 0 (a bare array/pointer
+        // name, not `a + k` or `&a[k]`).
+        VarDecl *direct = referencedVar(ignoreParensAndCasts(objectArg));
+        if (direct == nullptr || !direct->type()->isArray())
+          return false;
+        const auto *arrayType =
+            static_cast<const ArrayType *>(direct->type());
+        return arrayType->extent() &&
+               *arrayType->extent() ==
+                   static_cast<std::uint64_t>(*count);
+      };
+
       const auto &args = site.call->args();
       for (std::size_t i = 0;
            i < calleeSummary.params.size() && i < args.size(); ++i)
-        synthesize(argumentObject(args[i]), calleeSummary.params[i]);
+        synthesize(argumentObject(args[i]), calleeSummary.params[i],
+                   provesFullCoverage(calleeSummary.params[i], args[i]));
       // Declaration order: the synthesized event order feeds the planner's
       // validity walk, so it must not depend on pointer ordering.
       std::vector<VarDecl *> globals;
@@ -384,7 +484,8 @@ augmentCallSiteAccesses(
         globals.push_back(global);
       std::sort(globals.begin(), globals.end(), varDeclBefore);
       for (VarDecl *global : globals)
-        synthesize(global, calleeSummary.globals.at(global));
+        synthesize(global, calleeSummary.globals.at(global),
+                   /*fullCoverage=*/false);
     }
     accesses[fn] = std::move(augmented);
   }

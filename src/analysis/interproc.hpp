@@ -37,8 +37,21 @@ struct ObjectEffect {
   bool writeDevice = false;
   /// Set when the effect is not statically known (external function).
   bool unknown = false;
+  /// For a host write of a pointer parameter: the callee's parameter index
+  /// whose value bounds a provable full sweep `param[0 .. bound)` (-1 when
+  /// coverage is unprovable). Call-site augmentation compares the bound
+  /// argument against the passed array's extent: equal means the callee
+  /// fully overwrites the object, so the caller's planner may treat the
+  /// call as a kill instead of paying a device->host sync first.
+  int fullWriteBoundParam = -1;
 
   void mergeFrom(const ObjectEffect &other) {
+    // Two distinct host-write sources make per-sweep coverage ambiguous.
+    if (other.writeHost)
+      fullWriteBoundParam =
+          writeHost && fullWriteBoundParam != other.fullWriteBoundParam
+              ? -1
+              : other.fullWriteBoundParam;
     readHost |= other.readHost;
     writeHost |= other.writeHost;
     readDevice |= other.readDevice;
@@ -51,7 +64,8 @@ struct ObjectEffect {
   [[nodiscard]] bool operator==(const ObjectEffect &other) const {
     return readHost == other.readHost && writeHost == other.writeHost &&
            readDevice == other.readDevice &&
-           writeDevice == other.writeDevice && unknown == other.unknown;
+           writeDevice == other.writeDevice && unknown == other.unknown &&
+           fullWriteBoundParam == other.fullWriteBoundParam;
   }
 
   [[nodiscard]] json::Value toJson() const;

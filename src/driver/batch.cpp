@@ -1,6 +1,8 @@
 #include "driver/batch.hpp"
 
 #include "driver/project.hpp"
+#include "gen/shrink.hpp"
+#include "interp/interp.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -33,6 +35,166 @@ json::Value BatchStats::toJson() const {
   cacheJson.set("invalidations", planCacheInvalidations);
   out.set("planCache", std::move(cacheJson));
   return out;
+}
+
+json::Value FuzzStats::toJson() const {
+  json::Value out = json::Value::object();
+  out.set("programs", programs);
+  out.set("ran", ran);
+  out.set("passed", passed);
+  out.set("failed", failed);
+  out.set("skippedByTimeBox", skippedByTimeBox);
+  out.set("provable", provable);
+  out.set("multiTu", multiTu);
+  out.set("threads", threads);
+  out.set("wallSeconds", wallSeconds);
+  out.set("baselineBytes", baselineBytes);
+  out.set("planBytes", planBytes);
+  json::Value cacheJson = json::Value::object();
+  cacheJson.set("hits", planCacheHits);
+  cacheJson.set("misses", planCacheMisses);
+  out.set("planCache", std::move(cacheJson));
+  return out;
+}
+
+FuzzResult BatchDriver::runFuzz(const FuzzOptions &fuzz) const {
+  FuzzResult result;
+  result.stats.programs = fuzz.count;
+  if (fuzz.count == 0)
+    return result;
+
+  // Generation is cheap and deterministic; do it up front so the corpus is
+  // fixed before any scheduling nondeterminism can matter.
+  const std::vector<gen::GeneratedProgram> corpus =
+      gen::generateCorpus(fuzz.baseSeed, fuzz.count, fuzz.gen);
+
+  // One shared cache across the oracle sessions, exactly like run().
+  std::unique_ptr<cache::PlanCache> ownedCache;
+  cache::PlanCache *sharedCache = options_.config.planCache;
+  if (sharedCache == nullptr && !options_.config.cacheDir.empty() &&
+      options_.config.cacheMode != cache::CacheMode::Off) {
+    ownedCache = std::make_unique<cache::PlanCache>(
+        options_.config.cacheDir, options_.config.cacheMode);
+    sharedCache = ownedCache.get();
+  }
+
+  unsigned threadCount = options_.threads;
+  if (threadCount == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    threadCount = hardware > 0 ? hardware : 2;
+  }
+  if (threadCount > fuzz.count)
+    threadCount = fuzz.count;
+  result.stats.threads = threadCount;
+
+  result.items.resize(corpus.size());
+  const auto wallStart = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> cursor{0};
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t index = cursor.fetch_add(1);
+      if (index >= corpus.size())
+        return;
+      const gen::GeneratedProgram &program = corpus[index];
+      FuzzItem &item = result.items[index];
+      item.name = program.name;
+      item.seed = program.seed;
+      item.provableTrips = program.provableTrips;
+      item.multiTu = program.multiTu();
+      if (fuzz.timeBoxSeconds > 0.0) {
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   wallStart)
+                                   .count();
+        if (elapsed >= fuzz.timeBoxSeconds)
+          continue; // time box expired: leave ran == false
+      }
+      verify::OracleOptions oracleOptions;
+      oracleOptions.pipeline = options_.config;
+      oracleOptions.pipeline.planCache = sharedCache;
+      oracleOptions.interp = fuzz.interp;
+      oracleOptions.checkPredicted = fuzz.checkPredicted;
+      oracleOptions.checkRewrite = fuzz.checkRewrite;
+      item.verdict = verify::runOracle(program, oracleOptions);
+      item.ran = true;
+    }
+  };
+
+  if (threadCount == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(threadCount);
+    for (unsigned i = 0; i < threadCount; ++i)
+      threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+      thread.join();
+  }
+
+  // Failure collection (and shrinking) runs sequentially in seed order so
+  // the report is deterministic regardless of worker scheduling.
+  for (std::size_t index = 0; index < corpus.size(); ++index) {
+    const gen::GeneratedProgram &program = corpus[index];
+    const FuzzItem &item = result.items[index];
+    if (!item.ran) {
+      ++result.stats.skippedByTimeBox;
+      continue;
+    }
+    ++result.stats.ran;
+    if (item.provableTrips)
+      ++result.stats.provable;
+    if (item.multiTu)
+      ++result.stats.multiTu;
+    result.stats.baselineBytes += item.verdict.baselineBytes;
+    result.stats.planBytes += item.verdict.planBytes;
+    if (item.verdict.cacheStatus == Session::PlanCacheStatus::Hit)
+      ++result.stats.planCacheHits;
+    else if (item.verdict.cacheStatus == Session::PlanCacheStatus::Miss)
+      ++result.stats.planCacheMisses;
+    if (item.verdict.ok) {
+      ++result.stats.passed;
+      continue;
+    }
+    ++result.stats.failed;
+
+    FuzzFailure failure;
+    failure.name = program.name;
+    failure.seed = program.seed;
+    failure.divergence = item.verdict.divergence();
+    failure.source = program.combined();
+    if (fuzz.shrinkFailures) {
+      verify::OracleOptions oracleOptions;
+      oracleOptions.pipeline = options_.config;
+      oracleOptions.pipeline.planCache = nullptr; // candidates churn
+      oracleOptions.interp = fuzz.interp;
+      oracleOptions.checkPredicted = fuzz.checkPredicted;
+      oracleOptions.checkRewrite = fuzz.checkRewrite;
+      const bool provable = program.provableTrips;
+      const gen::ShrinkResult shrunk = gen::shrinkProgram(
+          failure.source,
+          [&](const std::string &candidate) {
+            const verify::OracleVerdict verdict = verify::runOracle(
+                "shrink.c", candidate, provable, oracleOptions);
+            return verdict.pipelineOk && !verdict.ok;
+          });
+      // A pipeline-dead failure never satisfies the predicate (it demands
+      // a *runnable* divergence), so shrinkProgram returns the input
+      // unchanged — report that honestly as "not shrunken" instead of
+      // passing the full program off as a minimized repro.
+      if (shrunk.reduced())
+        failure.shrunken = shrunk.source;
+      failure.originalStatements = shrunk.originalStatements;
+      failure.shrunkenStatements = shrunk.finalStatements;
+    }
+    result.failures.push_back(std::move(failure));
+  }
+
+  result.stats.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wallStart)
+          .count();
+  return result;
 }
 
 BatchResult BatchDriver::run(const std::vector<BatchJob> &jobs) const {

@@ -10,9 +10,12 @@
 #include "cache/plan_cache.hpp"
 #include "driver/pipeline.hpp"
 #include "driver/report.hpp"
+#include "gen/generator.hpp"
 #include "support/json.hpp"
+#include "verify/oracle.hpp"
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -89,6 +92,59 @@ struct BatchResult {
   }
 };
 
+/// One fuzzed program's outcome (input order = seed order).
+struct FuzzItem {
+  std::string name;
+  std::uint64_t seed = 0;
+  /// False when the time box expired before this program ran.
+  bool ran = false;
+  bool provableTrips = false;
+  bool multiTu = false;
+  verify::OracleVerdict verdict;
+
+  [[nodiscard]] bool passed() const { return ran && verdict.ok; }
+};
+
+/// A failing program, with its shrunken repro when shrinking was on.
+struct FuzzFailure {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::string divergence;
+  std::string source; ///< combined program text
+  std::string shrunken;
+  unsigned originalStatements = 0;
+  unsigned shrunkenStatements = 0;
+};
+
+struct FuzzStats {
+  unsigned programs = 0;
+  unsigned ran = 0;
+  unsigned passed = 0;
+  unsigned failed = 0;
+  unsigned skippedByTimeBox = 0;
+  unsigned provable = 0; ///< programs where invariant (3) applied
+  unsigned multiTu = 0;
+  unsigned threads = 0;
+  double wallSeconds = 0.0;
+  /// Ledger sums over every program that ran (baseline vs planned run).
+  std::uint64_t baselineBytes = 0;
+  std::uint64_t planBytes = 0;
+  unsigned planCacheHits = 0;
+  unsigned planCacheMisses = 0;
+
+  [[nodiscard]] json::Value toJson() const;
+};
+
+struct FuzzResult {
+  std::vector<FuzzItem> items;
+  std::vector<FuzzFailure> failures;
+  FuzzStats stats;
+
+  [[nodiscard]] bool allPassed() const {
+    return stats.ran > 0 && stats.failed == 0;
+  }
+};
+
 class BatchDriver {
 public:
   struct Options {
@@ -108,8 +164,37 @@ public:
   BatchDriver() = default;
   explicit BatchDriver(Options options) : options_(std::move(options)) {}
 
+  /// Fuzz-mode knobs (BatchDriver::runFuzz).
+  struct FuzzOptions {
+    std::uint64_t baseSeed = 1;
+    unsigned count = 100;
+    gen::GenOptions gen;
+    /// Interpreter limits + predicted-bytes switch for the oracle. The
+    /// oracle's pipeline config comes from Options::config (cost model,
+    /// shared plan cache).
+    interp::InterpOptions interp;
+    bool checkPredicted = true;
+    /// Also verify the SourceRewriteBackend's transformed text against the
+    /// baseline (oracle rewrite leg); pays a second parse + run per
+    /// program.
+    bool checkRewrite = false;
+    /// Minimize failing programs with the statement-deletion shrinker.
+    bool shrinkFailures = false;
+    /// Stop starting new programs once this much wall time elapsed
+    /// (0 = unbounded). Already-started programs finish; the rest are
+    /// reported as skipped.
+    double timeBoxSeconds = 0.0;
+  };
+
   /// Runs every job through its own Session, in parallel.
   [[nodiscard]] BatchResult run(const std::vector<BatchJob> &jobs) const;
+
+  /// Fuzz mode: generates `count` seeded programs, runs the differential
+  /// oracle on each over the worker pool (sessions share the driver's plan
+  /// cache exactly like `run`), and optionally shrinks failures to minimal
+  /// repros. Deterministic: the same options produce the same corpus and
+  /// the same verdicts.
+  [[nodiscard]] FuzzResult runFuzz(const FuzzOptions &fuzz) const;
 
   /// Project mode: treats the jobs as the translation units of ONE program
   /// and drives them through a ProjectSession — whole-program summary link

@@ -106,23 +106,27 @@ std::uint64_t predictedTransferBytes(const ir::MappingIr &ir) {
   // time their insertion point executes.
   std::uint64_t total = 0;
   for (const ir::Region &region : ir.regions) {
-    std::uint64_t perEntry = 0;
     for (const ir::MapItem &map : region.maps) {
+      // Per item: transition copies are paid only on COLD entries (the
+      // planner's warm-callee accounting zeroes or lowers coldEntries for
+      // entries arriving inside an enclosing caller region that already
+      // maps the object; fully warm items also carry `present`).
+      std::uint64_t perEntry = 0;
       switch (map.type) {
       case ir::MapType::To:
       case ir::MapType::From:
-        perEntry += map.approxBytes;
+        perEntry = map.approxBytes;
         break;
       case ir::MapType::ToFrom:
-        perEntry += 2 * map.approxBytes; // both the HtoD and DtoH legs
+        perEntry = 2 * map.approxBytes; // both the HtoD and DtoH legs
         break;
       case ir::MapType::Alloc:
       case ir::MapType::Release:
       case ir::MapType::Delete:
         break; // no movement
       }
+      total += perEntry * map.coldEntries;
     }
-    total += perEntry * std::max<std::uint64_t>(1, region.entryCount);
     for (const ir::UpdateItem &update : region.updates)
       total +=
           update.approxBytes * std::max<std::uint64_t>(1, update.executions);

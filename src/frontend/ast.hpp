@@ -369,9 +369,20 @@ struct OmpObject {
   SourceRange range;
 };
 
+/// Map-type modifiers on a map clause (OpenMP 5.2). Execution under the
+/// simulated runtime needs no special handling: `present` data is already
+/// reference-counted (no copy on re-map), and the planner never emits
+/// `always`/`close`; they are recorded for fidelity.
+struct OmpMapModifiers {
+  bool always = false;
+  bool present = false;
+  bool close = false;
+};
+
 struct OmpClause {
   OmpClauseKind kind = OmpClauseKind::Map;
   OmpMapType mapType = OmpMapType::ToFrom;
+  OmpMapModifiers modifiers;
   std::vector<OmpObject> objects;
   Expr *value = nullptr;        ///< num_teams(...), collapse(...), etc.
   std::string reductionOp;      ///< "+", "max", ... for reduction clauses.

@@ -1087,6 +1087,23 @@ bool Parser::parseOmpClauses(std::vector<OmpClause> &clauses,
       clause.kind = OmpClauseKind::Map;
       expect(TokenKind::LParen, "after map");
       clause.mapType = OmpMapType::ToFrom;
+      // Optional map-type modifiers: `always`, `present`, `close`, each
+      // followed by a comma, preceding the map type (OpenMP 5.2
+      // map([map-type-modifier[,]]... map-type: list); the planner's
+      // warm-callee pass emits `present`).
+      while (check(TokenKind::Identifier) &&
+             peekAhead().kind == TokenKind::Comma &&
+             (current().text == "always" || current().text == "present" ||
+              current().text == "close")) {
+        const std::string modifier = consume().text;
+        consume(); // ','
+        if (modifier == "always")
+          clause.modifiers.always = true;
+        else if (modifier == "present")
+          clause.modifiers.present = true;
+        else
+          clause.modifiers.close = true;
+      }
       // Optional map-type prefix `to:`, `from:`, `tofrom:`, `alloc:`...
       if (check(TokenKind::Identifier) &&
           peekAhead().kind == TokenKind::Colon) {

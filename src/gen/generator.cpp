@@ -1,0 +1,555 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ompdart::gen {
+
+namespace {
+
+struct ArrayInfo {
+  std::string name;
+  int extent = 0;
+  bool isInt = false;
+  bool unused = false; ///< init + tail only; never touched by segments
+};
+
+/// Everything one seed decides up front: enabled features, array shapes,
+/// wrapper kind and the segment sequence. Emission is a pure function of
+/// this plan, which keeps the TU split and the combined program in sync.
+struct ProgramPlan {
+  std::vector<ArrayInfo> arrays;
+  bool useStruct = false;
+  bool useFlag = false;      ///< global int flag[1] guarding a kernel
+  bool useDevHelper = false; ///< mixv() called from kernel bodies
+  bool useStage = false;     ///< kernel behind pointer params
+  bool useHostSum = false;
+  bool useHostFill = false;
+  bool multiTu = false;
+  enum class Wrapper { None, For, While } wrapper = Wrapper::None;
+  int wrapperTrips = 1;
+  struct Segment {
+    int kind = 0;
+    int dst = 0;     ///< array index
+    int src = 0;     ///< array index
+    int src2 = -1;   ///< optional second read array
+    int acc = 0;     ///< reduction accumulator index
+    int variant = 0; ///< kernel-body shape selector
+    int c = 1;       ///< small literal constant
+    /// Host write covers only the first half of the array (exercises the
+    /// planner's kill-vs-sync coverage proof).
+    bool partial = false;
+  };
+  std::vector<Segment> segments;
+};
+
+enum SegmentKind {
+  kKernelMap = 0,    ///< dst[i] = f(src[i], scale, ...)
+  kKernelAccum,      ///< dst[i] += src[i] * c (read-write)
+  kKernelInt,        ///< int-array kernel
+  kKernelReduction,  ///< reduction(+: accK) into a host-read scalar
+  kHostRead,         ///< checksum += arr[i] on the host
+  kHostWrite,        ///< arr[i] = ... on the host
+  kScalarBump,       ///< scale = scale + eps
+  kStructWrite,      ///< cfg.scale = cfg.scale + eps
+  kStageCall,        ///< stage(arrA, arrB, n, scale)
+  kHostFillCall,     ///< host_fill(arr, n, c)
+  kHostSumCall,      ///< checksum += host_sum(arr, n)
+  kGuardedKernel,    ///< if (flag[0] == 0) { kernel }  (unprovable)
+  kSegmentKinds,
+};
+
+/// Picks a usable (non-`unused`) array index with the requested intness.
+int pickArray(SplitMix64 &rng, const ProgramPlan &plan, bool wantInt) {
+  std::vector<int> candidates;
+  for (std::size_t i = 0; i < plan.arrays.size(); ++i)
+    if (plan.arrays[i].isInt == wantInt && !plan.arrays[i].unused)
+      candidates.push_back(static_cast<int>(i));
+  if (candidates.empty())
+    return 0;
+  return candidates[static_cast<std::size_t>(
+      rng.pick(0, static_cast<int>(candidates.size()) - 1))];
+}
+
+ProgramPlan makePlan(SplitMix64 &rng, const GenOptions &options) {
+  ProgramPlan plan;
+
+  const int arrayCount = rng.pick(static_cast<int>(options.minArrays),
+                                  static_cast<int>(options.maxArrays));
+  static const int kExtents[] = {12, 16, 20, 24, 32, 40, 48};
+  for (int a = 0; a < arrayCount; ++a) {
+    ArrayInfo array;
+    array.extent = kExtents[rng.pick(0, 6)];
+    // The first two arrays stay double so kernels, reductions and pointer
+    // helpers always have typed operands available.
+    array.isInt = options.allowIntArrays && a >= 2 && rng.chance(40);
+    array.name = (array.isInt ? "iarr" : "arr") + std::to_string(a);
+    plan.arrays.push_back(array);
+  }
+  // Occasionally one extra array that no segment touches: the planner must
+  // leave it unmapped.
+  if (rng.chance(25)) {
+    ArrayInfo array;
+    array.extent = kExtents[rng.pick(0, 6)];
+    array.name = "cold" + std::to_string(plan.arrays.size());
+    array.unused = true;
+    plan.arrays.push_back(array);
+  }
+
+  plan.multiTu = options.allowMultiTu && rng.chance(25);
+  // A struct definition cannot repeat across concatenated TUs, so the
+  // multi-TU shape forgoes the struct motif.
+  plan.useStruct = options.allowStructs && !plan.multiTu && rng.chance(50);
+  plan.useDevHelper = rng.chance(40);
+  plan.useStage = options.allowPointerHelpers && rng.chance(45);
+  plan.useHostSum = options.allowPointerHelpers && rng.chance(35);
+  plan.useHostFill = options.allowPointerHelpers && rng.chance(30);
+
+  const bool dynamicAllowed = options.allowDynamicTrips;
+  const int wrapperRoll = rng.pick(0, 99);
+  if (wrapperRoll < 40)
+    plan.wrapper = ProgramPlan::Wrapper::None;
+  else if (wrapperRoll < 75 || !dynamicAllowed)
+    plan.wrapper = ProgramPlan::Wrapper::For;
+  else
+    plan.wrapper = ProgramPlan::Wrapper::While;
+  plan.wrapperTrips = rng.pick(2, 4);
+
+  const bool guardAllowed = dynamicAllowed && rng.chance(20);
+  plan.useFlag = guardAllowed;
+
+  const int segmentCount = rng.pick(static_cast<int>(options.minSegments),
+                                    static_cast<int>(options.maxSegments));
+  bool sawKernel = false;
+  for (int s = 0; s < segmentCount; ++s) {
+    ProgramPlan::Segment seg;
+    // Weighted kind choice over the enabled grammar.
+    std::vector<int> kinds = {kKernelMap, kKernelMap, kKernelAccum,
+                              kKernelReduction, kHostRead, kHostWrite,
+                              kScalarBump};
+    if (options.allowIntArrays)
+      kinds.push_back(kKernelInt);
+    if (plan.useStruct)
+      kinds.push_back(kStructWrite);
+    if (plan.useStage)
+      kinds.push_back(kStageCall);
+    if (plan.useHostFill)
+      kinds.push_back(kHostFillCall);
+    if (plan.useHostSum)
+      kinds.push_back(kHostSumCall);
+    if (plan.useFlag)
+      kinds.push_back(kGuardedKernel);
+    seg.kind = kinds[static_cast<std::size_t>(
+        rng.pick(0, static_cast<int>(kinds.size()) - 1))];
+
+    bool hasIntArray = false;
+    for (const ArrayInfo &array : plan.arrays)
+      hasIntArray = hasIntArray || (array.isInt && !array.unused);
+    if (seg.kind == kKernelInt && !hasIntArray)
+      seg.kind = kKernelMap; // no int arrays materialized for this seed
+    seg.dst = pickArray(rng, plan, seg.kind == kKernelInt);
+    seg.src = pickArray(rng, plan, seg.kind == kKernelInt);
+    if (rng.chance(30))
+      seg.src2 = pickArray(rng, plan, false);
+    seg.acc = s % 3;
+    seg.variant = rng.pick(0, 3);
+    seg.c = rng.pick(1, 9);
+    // Partial host overwrites force the planner to prove (or refuse) the
+    // kill. Kept out of wrapper loops: repeated partial-write/kernel
+    // ping-pong makes the paper's always-extend-region strategy pay more
+    // syncs than the implicit baseline — a known model limitation, not a
+    // plan-safety bug.
+    seg.partial = seg.kind == kHostWrite &&
+                  plan.wrapper == ProgramPlan::Wrapper::None &&
+                  rng.chance(35);
+    if (seg.kind <= kKernelReduction || seg.kind == kStageCall ||
+        seg.kind == kGuardedKernel)
+      sawKernel = true;
+    plan.segments.push_back(seg);
+  }
+  if (!sawKernel) {
+    // Every program offloads at least once.
+    ProgramPlan::Segment seg;
+    seg.kind = kKernelMap;
+    seg.dst = pickArray(rng, plan, false);
+    seg.src = pickArray(rng, plan, false);
+    seg.c = rng.pick(1, 9);
+    plan.segments.insert(plan.segments.begin(), seg);
+  }
+  // The guard array only matters if a guarded kernel was actually drawn.
+  bool guardDrawn = false;
+  for (const ProgramPlan::Segment &seg : plan.segments)
+    guardDrawn = guardDrawn || seg.kind == kGuardedKernel;
+  plan.useFlag = guardDrawn;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+std::string literal(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4f", value);
+  return buffer;
+}
+
+int kernelTrip(const ProgramPlan &plan, const ProgramPlan::Segment &seg) {
+  int trip = std::min(plan.arrays[static_cast<std::size_t>(seg.dst)].extent,
+                      plan.arrays[static_cast<std::size_t>(seg.src)].extent);
+  if (seg.src2 >= 0)
+    trip = std::min(trip,
+                    plan.arrays[static_cast<std::size_t>(seg.src2)].extent);
+  return trip;
+}
+
+void emitKernelBody(std::ostringstream &out, const std::string &indent,
+                    const ProgramPlan &plan, const ProgramPlan::Segment &seg) {
+  const ArrayInfo &dst = plan.arrays[static_cast<std::size_t>(seg.dst)];
+  const ArrayInfo &src = plan.arrays[static_cast<std::size_t>(seg.src)];
+  const int trip = kernelTrip(plan, seg);
+  out << indent << "#pragma omp target teams distribute parallel for\n";
+  out << indent << "for (int i = 0; i < " << trip << "; ++i) {\n";
+  const std::string in2 = indent + "  ";
+  const std::string srcRef = src.name + "[i]";
+  const std::string dstRef = dst.name + "[i]";
+  std::string extra;
+  if (seg.src2 >= 0)
+    extra = " + " + plan.arrays[static_cast<std::size_t>(seg.src2)].name +
+            "[i] * 0.25";
+  switch (seg.variant) {
+  case 0:
+    out << in2 << dstRef << " = " << srcRef << " * scale + "
+        << literal(seg.c * 0.5) << extra << ";\n";
+    break;
+  case 1:
+    if (plan.useStruct)
+      out << in2 << dstRef << " = " << srcRef << " * cfg.scale + cfg.bias"
+          << extra << ";\n";
+    else
+      out << in2 << dstRef << " = " << srcRef << " + "
+          << literal(seg.c * 0.25) << extra << ";\n";
+    break;
+  case 2:
+    // Data-parallel branch: divergent writes, still deterministic.
+    out << in2 << "if (" << srcRef << " > " << literal(seg.c * 0.1)
+        << ") {\n";
+    out << in2 << "  " << dstRef << " = " << srcRef << " - "
+        << literal(seg.c * 0.125) << ";\n";
+    out << in2 << "} else {\n";
+    out << in2 << "  " << dstRef << " = " << srcRef << " * scale" << extra
+        << ";\n";
+    out << in2 << "}\n";
+    break;
+  default:
+    if (plan.useDevHelper)
+      out << in2 << dstRef << " = mixv(" << srcRef << ", scale)" << extra
+          << ";\n";
+    else
+      out << in2 << dstRef << " = " << srcRef << " * "
+          << literal(1.0 + seg.c * 0.0625) << extra << ";\n";
+    break;
+  }
+  out << indent << "}\n";
+}
+
+void emitSegment(std::ostringstream &out, const std::string &indent,
+                 const ProgramPlan &plan, const ProgramPlan::Segment &seg) {
+  const ArrayInfo &dst = plan.arrays[static_cast<std::size_t>(seg.dst)];
+  const ArrayInfo &src = plan.arrays[static_cast<std::size_t>(seg.src)];
+  switch (seg.kind) {
+  case kKernelMap:
+    emitKernelBody(out, indent, plan, seg);
+    break;
+  case kKernelAccum: {
+    const int trip = kernelTrip(plan, seg);
+    out << indent << "#pragma omp target teams distribute parallel for\n";
+    out << indent << "for (int i = 0; i < " << trip << "; ++i) {\n";
+    out << indent << "  " << dst.name << "[i] += " << src.name << "[i] * "
+        << literal(seg.c * 0.0625) << ";\n";
+    out << indent << "}\n";
+    break;
+  }
+  case kKernelInt: {
+    const int trip = kernelTrip(plan, seg);
+    out << indent << "#pragma omp target teams distribute parallel for\n";
+    out << indent << "for (int i = 0; i < " << trip << "; ++i) {\n";
+    if (seg.variant % 2 == 0)
+      out << indent << "  " << dst.name << "[i] = " << dst.name << "[i] + "
+          << seg.c << ";\n";
+    else
+      out << indent << "  " << dst.name << "[i] = " << src.name << "[i] * "
+          << (1 + seg.c % 3) << " + i % 5;\n";
+    out << indent << "}\n";
+    break;
+  }
+  case kKernelReduction: {
+    const std::string acc = "acc" + std::to_string(seg.acc);
+    out << indent << acc << " = 0.0;\n";
+    out << indent
+        << "#pragma omp target teams distribute parallel for reduction(+: "
+        << acc << ")\n";
+    out << indent << "for (int i = 0; i < " << src.extent << "; ++i) {\n";
+    out << indent << "  " << acc << " += " << src.name << "[i] * "
+        << literal(seg.c * 0.03125) << ";\n";
+    out << indent << "}\n";
+    out << indent << "checksum += " << acc << ";\n";
+    break;
+  }
+  case kHostRead:
+    out << indent << "for (int i = 0; i < " << src.extent << "; ++i) {\n";
+    out << indent << "  checksum += " << src.name << "[i];\n";
+    out << indent << "}\n";
+    break;
+  case kHostWrite: {
+    const int span = seg.partial ? dst.extent / 2 : dst.extent;
+    out << indent << "for (int i = 0; i < " << span << "; ++i) {\n";
+    if (dst.isInt)
+      out << indent << "  " << dst.name << "[i] = i % 7 + " << seg.c
+          << ";\n";
+    else
+      out << indent << "  " << dst.name << "[i] = i * 0.25 + "
+          << literal(seg.c * 0.5) << ";\n";
+    out << indent << "}\n";
+    break;
+  }
+  case kScalarBump:
+    out << indent << "scale = scale + " << literal(seg.c * 0.015625)
+        << ";\n";
+    break;
+  case kStructWrite:
+    out << indent << "cfg."
+        << (seg.variant % 2 == 0 ? "scale" : "bias") << " = cfg."
+        << (seg.variant % 2 == 0 ? "scale" : "bias") << " + "
+        << literal(seg.c * 0.0625) << ";\n";
+    break;
+  case kStageCall: {
+    // stage() expects double arrays; re-aim int picks at double arrays
+    // deterministically (first double array is always arr0).
+    const ArrayInfo &a = src.isInt ? plan.arrays[0] : src;
+    const ArrayInfo &b = dst.isInt ? plan.arrays[1] : dst;
+    const int trip = std::min(a.extent, b.extent);
+    out << indent << "stage(" << a.name << ", " << b.name << ", " << trip
+        << ", scale);\n";
+    break;
+  }
+  case kHostFillCall: {
+    const ArrayInfo &a = dst.isInt ? plan.arrays[0] : dst;
+    out << indent << "host_fill(" << a.name << ", " << a.extent << ", "
+        << literal(seg.c * 0.375) << ");\n";
+    break;
+  }
+  case kHostSumCall: {
+    const ArrayInfo &a = src.isInt ? plan.arrays[1] : src;
+    out << indent << "checksum += host_sum(" << a.name << ", " << a.extent
+        << ");\n";
+    break;
+  }
+  case kGuardedKernel: {
+    out << indent << "if (flag[0] == 0) {\n";
+    ProgramPlan::Segment inner = seg;
+    inner.kind = kKernelMap;
+    if (plan.arrays[static_cast<std::size_t>(inner.dst)].isInt)
+      inner.dst = 0;
+    if (plan.arrays[static_cast<std::size_t>(inner.src)].isInt)
+      inner.src = 1;
+    emitKernelBody(out, indent + "  ", plan, inner);
+    out << indent << "}\n";
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+void emitGlobals(std::ostringstream &out, const ProgramPlan &plan,
+                 bool asExtern) {
+  const char *prefix = asExtern ? "extern " : "";
+  if (plan.useStruct && !asExtern)
+    out << "struct cfg_t {\n  double scale;\n  double bias;\n};\n\n";
+  for (const ArrayInfo &array : plan.arrays)
+    out << prefix << (array.isInt ? "int " : "double ") << array.name << "["
+        << array.extent << "];\n";
+  if (plan.useStruct)
+    out << prefix << "struct cfg_t cfg;\n";
+  if (plan.useFlag)
+    out << prefix << "int flag[1];\n";
+  out << "\n";
+}
+
+void emitHelperDefs(std::ostringstream &out, const ProgramPlan &plan,
+                    std::uint64_t seed) {
+  if (plan.useDevHelper) {
+    out << "double mixv(double a, double b) {\n";
+    out << "  if (a > b) {\n    return a - b;\n  }\n";
+    out << "  return a + b * 0.5;\n}\n\n";
+  }
+  if (plan.useHostSum) {
+    out << "double host_sum(double *a, int n) {\n";
+    out << "  double s = 0.0;\n";
+    out << "  for (int i = 0; i < n; ++i) {\n    s = s + a[i];\n  }\n";
+    out << "  return s;\n}\n\n";
+  }
+  if (plan.useHostFill) {
+    out << "void host_fill(double *a, int n, double v) {\n";
+    out << "  for (int i = 0; i < n; ++i) {\n";
+    out << "    a[i] = v + i * 0.5;\n  }\n}\n\n";
+  }
+  if (plan.useStage) {
+    out << "void stage(double *src, double *dst, int n, double w) {\n";
+    out << "  #pragma omp target teams distribute parallel for\n";
+    out << "  for (int i = 0; i < n; ++i) {\n";
+    out << "    dst[i] = src[i] * w + 0.75;\n  }\n}\n\n";
+  }
+  out << "void init_data() {\n";
+  out << "  srand(" << (1000 + seed % 9000) << ");\n";
+  for (const ArrayInfo &array : plan.arrays) {
+    out << "  for (int i = 0; i < " << array.extent << "; ++i) {\n";
+    if (array.isInt)
+      out << "    " << array.name << "[i] = rand() % 50;\n";
+    else
+      out << "    " << array.name
+          << "[i] = (double)(rand() % 100) * 0.01 + 0.5;\n";
+    out << "  }\n";
+  }
+  if (plan.useStruct)
+    out << "  cfg.scale = 1.25;\n  cfg.bias = 0.5;\n";
+  if (plan.useFlag)
+    out << "  flag[0] = 0;\n";
+  out << "}\n\n";
+}
+
+void emitHelperProtos(std::ostringstream &out, const ProgramPlan &plan) {
+  if (plan.useDevHelper)
+    out << "double mixv(double a, double b);\n";
+  if (plan.useHostSum)
+    out << "double host_sum(double *a, int n);\n";
+  if (plan.useHostFill)
+    out << "void host_fill(double *a, int n, double v);\n";
+  if (plan.useStage)
+    out << "void stage(double *src, double *dst, int n, double w);\n";
+  out << "void init_data();\n\n";
+}
+
+void emitMain(std::ostringstream &out, const ProgramPlan &plan) {
+  out << "int main() {\n";
+  out << "  init_data();\n";
+  out << "  double checksum = 0.0;\n";
+  out << "  double scale = 1.5;\n";
+  out << "  double acc0 = 0.0;\n  double acc1 = 0.0;\n"
+         "  double acc2 = 0.0;\n";
+  out << "  double tail = 0.0;\n";
+  std::string indent = "  ";
+  if (plan.wrapper == ProgramPlan::Wrapper::While)
+    out << "  int iter = 0;\n";
+  if (plan.wrapper == ProgramPlan::Wrapper::For) {
+    out << "  for (int t = 0; t < " << plan.wrapperTrips << "; ++t) {\n";
+    indent = "    ";
+  } else if (plan.wrapper == ProgramPlan::Wrapper::While) {
+    out << "  while (iter < " << plan.wrapperTrips << ") {\n";
+    indent = "    ";
+  }
+  for (const ProgramPlan::Segment &seg : plan.segments)
+    emitSegment(out, indent, plan, seg);
+  if (plan.wrapper == ProgramPlan::Wrapper::While)
+    out << indent << "iter = iter + 1;\n";
+  if (plan.wrapper != ProgramPlan::Wrapper::None)
+    out << "  }\n";
+
+  // Tail: make the final state of every mapped object observable, one
+  // printf per array plus the scalars, so a single wrong element cannot
+  // hide behind a compensating aggregate.
+  out << "  checksum += acc0 + acc1 + acc2;\n";
+  for (const ArrayInfo &array : plan.arrays) {
+    out << "  tail = 0.0;\n";
+    out << "  for (int i = 0; i < " << array.extent << "; ++i) {\n";
+    out << "    tail += " << array.name << "[i];\n  }\n";
+    out << "  printf(\"" << array.name << "=%.6f\\n\", tail);\n";
+  }
+  if (plan.useStruct)
+    out << "  printf(\"cfg=%.6f %.6f\\n\", cfg.scale, cfg.bias);\n";
+  out << "  printf(\"scale=%.6f checksum=%.6f\\n\", scale, checksum);\n";
+  out << "  return 0;\n}\n";
+}
+
+} // namespace
+
+std::string GeneratedProgram::combined() const {
+  std::string out;
+  for (const GeneratedTu &tu : tus)
+    out += tu.source;
+  return out;
+}
+
+GeneratedProgram generateProgram(std::uint64_t seed,
+                                 const GenOptions &options) {
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ull + 0x243f6a8885a308d3ull);
+  const ProgramPlan plan = makePlan(rng, options);
+
+  GeneratedProgram program;
+  program.seed = seed;
+  char nameBuffer[32];
+  std::snprintf(nameBuffer, sizeof nameBuffer, "gen-%06llu",
+                static_cast<unsigned long long>(seed));
+  program.name = nameBuffer;
+
+  program.provableTrips = plan.wrapper != ProgramPlan::Wrapper::While;
+  for (const ProgramPlan::Segment &seg : plan.segments) {
+    if (seg.kind == kGuardedKernel)
+      program.provableTrips = false;
+    if (seg.kind <= kKernelReduction || seg.kind == kStageCall ||
+        seg.kind == kGuardedKernel)
+      ++program.stats.kernels;
+    else if (seg.kind == kHostRead || seg.kind == kHostWrite ||
+             seg.kind == kScalarBump || seg.kind == kHostFillCall ||
+             seg.kind == kHostSumCall || seg.kind == kStructWrite)
+      ++program.stats.hostSegments;
+    program.stats.usesReduction =
+        program.stats.usesReduction || seg.kind == kKernelReduction;
+    program.stats.guardedKernel =
+        program.stats.guardedKernel || seg.kind == kGuardedKernel;
+  }
+  program.stats.arrays = static_cast<unsigned>(plan.arrays.size());
+  program.stats.usesStruct = plan.useStruct;
+  program.stats.usesPointerHelper =
+      plan.useStage || plan.useHostSum || plan.useHostFill;
+  program.stats.dynamicLoop = plan.wrapper == ProgramPlan::Wrapper::While;
+  for (const ArrayInfo &array : plan.arrays)
+    program.stats.usesIntArrays = program.stats.usesIntArrays || array.isInt;
+
+  if (plan.multiTu) {
+    // main TU: globals + prototypes + main. helpers TU: extern globals +
+    // helper definitions. Concatenation in this order is one valid TU (the
+    // parser unifies extern/defining globals and prototype/definition
+    // functions).
+    std::ostringstream mainTu;
+    emitGlobals(mainTu, plan, /*asExtern=*/false);
+    emitHelperProtos(mainTu, plan);
+    emitMain(mainTu, plan);
+    std::ostringstream helperTu;
+    emitGlobals(helperTu, plan, /*asExtern=*/true);
+    emitHelperDefs(helperTu, plan, seed);
+    program.tus.push_back({program.name + "-main.c", mainTu.str()});
+    program.tus.push_back({program.name + "-helpers.c", helperTu.str()});
+  } else {
+    std::ostringstream tu;
+    emitGlobals(tu, plan, /*asExtern=*/false);
+    emitHelperDefs(tu, plan, seed);
+    emitMain(tu, plan);
+    program.tus.push_back({program.name + ".c", tu.str()});
+  }
+  return program;
+}
+
+std::vector<GeneratedProgram> generateCorpus(std::uint64_t baseSeed,
+                                             unsigned count,
+                                             const GenOptions &options) {
+  std::vector<GeneratedProgram> corpus;
+  corpus.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    corpus.push_back(generateProgram(baseSeed + i, options));
+  return corpus;
+}
+
+} // namespace ompdart::gen

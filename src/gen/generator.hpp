@@ -1,0 +1,129 @@
+// Seeded, deterministic random-program generator for the differential
+// plan-correctness oracle (src/verify/).
+//
+// Every program is well-formed C in the tool's input subset and executes
+// deterministically under the interpreter (interp's rand() is a fixed-seed
+// PRNG), so a seed fully determines the program text AND its observable
+// behaviour. The grammar spans the scenario space the paper's §V evaluation
+// samples by hand:
+//   - global scalars, arrays (double/int) and a config struct read by
+//     kernels and mutated by host code,
+//   - offload kernels with read, write and read-write access mixes,
+//     data-parallel branches, device-callable helper functions and
+//     reduction-into-scalar patterns,
+//   - host interleavings (read loops, write loops, scalar bumps) that force
+//     update-from / update-to / firstprivate decisions,
+//   - cross-function kernels behind pointer parameters with call-site
+//     constant extents (the hotspot `advance()` motif),
+//   - provable constant-trip outer loops, data-dependent guards and
+//     dynamic-trip while loops (which flip `provableTrips` off, exactly the
+//     programs the predicted==simulated oracle invariant must skip),
+//   - optional multi-TU splits (helpers moved behind extern globals and
+//     prototypes, the Project-layer motif) whose concatenation in link
+//     order is one valid single-TU program.
+//
+// The PRNG is an own splitmix64: std::uniform_int_distribution is not
+// pinned across standard libraries, and the golden corpus (tests/gen/)
+// asserts byte-identical regeneration across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompdart::gen {
+
+/// Generator knobs. Defaults produce the mix the fuzz gate and the golden
+/// corpus use; narrowing them (e.g. `allowDynamicTrips = false`) restricts
+/// the grammar for targeted campaigns.
+struct GenOptions {
+  unsigned minArrays = 2;
+  unsigned maxArrays = 4;
+  unsigned minSegments = 3;
+  unsigned maxSegments = 8;
+  /// Emit int arrays as well as double arrays.
+  bool allowIntArrays = true;
+  /// Emit the global config struct + kernels reading its fields.
+  bool allowStructs = true;
+  /// Emit cross-function kernels behind pointer parameters.
+  bool allowPointerHelpers = true;
+  /// Emit dynamic-trip while loops and data-dependent guards (programs
+  /// using them report `provableTrips == false`).
+  bool allowDynamicTrips = true;
+  /// Emit two-TU splits (helpers in a second TU behind extern globals).
+  bool allowMultiTu = true;
+};
+
+/// Shape counters recorded per program (manifest metadata + fuzz stats).
+struct ProgramStats {
+  unsigned arrays = 0;
+  unsigned kernels = 0;      ///< kernel segments incl. in-helper kernels
+  unsigned hostSegments = 0; ///< host read/write/bump segments
+  bool usesStruct = false;
+  bool usesIntArrays = false;
+  bool usesPointerHelper = false;
+  bool usesReduction = false;
+  bool dynamicLoop = false;   ///< while-loop wrapper present
+  bool guardedKernel = false; ///< data-dependent guard present
+};
+
+struct GeneratedTu {
+  std::string name; ///< e.g. "gen-000007-main.c"
+  std::string source;
+};
+
+/// One generated program. `tus` is in link order: concatenating the
+/// sources yields a single valid translation unit (the parser unifies the
+/// extern/defining global declarations), which is what the oracle executes.
+struct GeneratedProgram {
+  std::uint64_t seed = 0;
+  std::string name; ///< "gen-<seed, zero-padded>"
+  std::vector<GeneratedTu> tus;
+  /// Every loop trip and kernel execution count in this program is
+  /// statically provable: the oracle's predicted==simulated invariant
+  /// applies. Dynamic-trip loops and data-dependent guards clear this.
+  bool provableTrips = true;
+  ProgramStats stats;
+
+  [[nodiscard]] bool multiTu() const { return tus.size() > 1; }
+  /// The TU sources concatenated in link order (one runnable program).
+  [[nodiscard]] std::string combined() const;
+};
+
+/// Generates the program for one seed. Deterministic: equal (seed, options)
+/// always produce byte-identical output.
+[[nodiscard]] GeneratedProgram generateProgram(std::uint64_t seed,
+                                               const GenOptions &options = {});
+
+/// Generates `count` programs for seeds baseSeed, baseSeed+1, ...
+[[nodiscard]] std::vector<GeneratedProgram>
+generateCorpus(std::uint64_t baseSeed, unsigned count,
+               const GenOptions &options = {});
+
+/// splitmix64 — the pinned PRNG behind the generator (exposed so tests can
+/// assert the stream itself never drifts).
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform-enough pick in [lo, hi] (inclusive); lo when the range is
+  /// degenerate.
+  int pick(int lo, int hi) {
+    if (hi <= lo)
+      return lo;
+    return lo + static_cast<int>(next() % static_cast<std::uint64_t>(
+                                              hi - lo + 1));
+  }
+  bool chance(int percent) { return pick(1, 100) <= percent; }
+
+private:
+  std::uint64_t state_;
+};
+
+} // namespace ompdart::gen

@@ -1,0 +1,65 @@
+// Greedy statement-deletion shrinker for oracle failures.
+//
+// Given a failing program and a predicate ("this source still reproduces
+// the failure"), the shrinker repeatedly deletes the largest statement
+// whose removal keeps the predicate true, until no single deletion
+// survives. Deletion is textual: the statement's source range is blanked
+// (newlines preserved, a lone `;` left behind so the surrounding syntax
+// stays a statement) and the candidate re-parsed through the predicate —
+// removals that break the program are simply rejected, so the shrinker
+// needs no semantic knowledge beyond the parser's statement ranges. Whole
+// non-main function definitions are candidates too, which is how dead
+// helpers disappear once their last call site is deleted.
+//
+// The result is the classic delta-debugging-lite minimal repro: every
+// remaining statement is load-bearing for the failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ompdart::gen {
+
+struct ShrinkOptions {
+  /// Abort guard: maximum predicate evaluations.
+  unsigned maxAttempts = 6000;
+  /// Maximum accepted deletions (each one re-parses the program).
+  unsigned maxDeletions = 2000;
+};
+
+struct ShrinkResult {
+  std::string source; ///< the minimized program
+  unsigned originalStatements = 0;
+  unsigned finalStatements = 0;
+  unsigned attempts = 0;  ///< predicate evaluations
+  unsigned deletions = 0; ///< accepted removals
+  [[nodiscard]] bool reduced() const {
+    return finalStatements < originalStatements;
+  }
+  /// final/original statement ratio (1.0 when nothing shrank).
+  [[nodiscard]] double ratio() const {
+    return originalStatements > 0
+               ? static_cast<double>(finalStatements) /
+                     static_cast<double>(originalStatements)
+               : 1.0;
+  }
+};
+
+/// True when `candidate` still reproduces the failure being minimized. The
+/// predicate owns all validity checking: it must return false for programs
+/// that no longer parse or run.
+using ShrinkPredicate = std::function<bool(const std::string &candidate)>;
+
+/// Minimizes `source` under `stillFails`. `source` itself must satisfy the
+/// predicate; when it does not (or does not parse), it is returned
+/// unchanged.
+[[nodiscard]] ShrinkResult shrinkProgram(const std::string &source,
+                                         const ShrinkPredicate &stillFails,
+                                         const ShrinkOptions &options = {});
+
+/// Number of non-compound statements in the program (0 when parsing
+/// fails) — the metric behind ShrinkResult's statement counts.
+[[nodiscard]] unsigned countStatements(const std::string &source);
+
+} // namespace ompdart::gen

@@ -1528,6 +1528,71 @@ Interpreter::MapItem Interpreter::mapItemFor(const OmpObject &ompObject,
   return item;
 }
 
+void Interpreter::coalesceMapItems(std::vector<MapItem> &items) {
+  // OpenMP 5.2 / libomptarget semantics: list items of ONE construct that
+  // refer to the same storage behave as a single entry whose map type is
+  // the union of the item types (to + from = tofrom). Applying them
+  // sequentially instead would let the present-table reference count
+  // suppress every copy after the first — the aliased-pointer-parameter
+  // bug class the differential oracle caught (map(to: src) map(from: dst)
+  // with src == dst left the device image uninitialized).
+  // Only OVERLAPPING slices merge: unioning disjoint sections would copy
+  // (and charge) bytes neither item listed. Disjoint same-object items
+  // stay separate entries against the per-object present table — a
+  // pre-existing modeling granularity, not made worse here. A merge can
+  // grow a slice into overlap with an earlier entry, so iterate to a
+  // fixpoint (each pass shrinks the list or terminates).
+  std::size_t before = items.size() + 1;
+  while (items.size() < before) {
+    before = items.size();
+    std::vector<MapItem> merged;
+    for (const MapItem &item : items) {
+      MapItem *existing = nullptr;
+      for (MapItem &candidate : merged) {
+        if (candidate.objectId != item.objectId)
+          continue;
+        const bool overlaps =
+            candidate.sliceLo < item.sliceLo + item.sliceLen &&
+            item.sliceLo < candidate.sliceLo + candidate.sliceLen;
+        if (overlaps)
+          existing = &candidate;
+      }
+      if (existing == nullptr) {
+        merged.push_back(item);
+        continue;
+      }
+      existing->kind = joinMapKind(existing->kind, item.kind);
+      const std::uint64_t lo = std::min(existing->sliceLo, item.sliceLo);
+      const std::uint64_t end = std::max(
+          existing->sliceLo + existing->sliceLen,
+          item.sliceLo + item.sliceLen);
+      existing->sliceLo = lo;
+      existing->sliceLen = end - lo;
+      existing->bytes = existing->sliceLen * object(item.objectId).elemBytes;
+    }
+    items = std::move(merged);
+  }
+}
+
+sim::MapKind Interpreter::joinMapKind(sim::MapKind a, sim::MapKind b) {
+  using sim::MapKind;
+  // Unmapping kinds never strengthen movement; the movement operand wins.
+  const auto isUnmap = [](MapKind kind) {
+    return kind == MapKind::Release || kind == MapKind::Delete;
+  };
+  if (isUnmap(a))
+    return b;
+  if (isUnmap(b))
+    return a;
+  if (a == MapKind::Alloc)
+    return b;
+  if (b == MapKind::Alloc)
+    return a;
+  if (a == b)
+    return a;
+  return MapKind::ToFrom; // to ⊔ from (or either ⊔ tofrom)
+}
+
 void Interpreter::copySlice(MemoryObject &obj, bool toDevice,
                             std::uint64_t lo, std::uint64_t len) {
   if (!obj.deviceAllocated)
@@ -1572,6 +1637,7 @@ void Interpreter::enterOverlayRegion(const PlanOverlay::Region &region) {
   std::vector<MapItem> items;
   for (const PlanOverlay::MapEntry &entry : region.maps)
     items.push_back(mapItemFor(entry.object, toSimMapKind(entry.mapType)));
+  coalesceMapItems(items);
   for (const MapItem &item : items)
     applyMapEnter(item);
   overlayRegionStack_.emplace_back(&region, std::move(items));
@@ -1633,6 +1699,7 @@ void Interpreter::execOmp(const OmpDirectiveStmt *directive) {
       for (const OmpObject &object : clause.objects)
         items.push_back(mapItemFor(object, toSimMapKind(clause.mapType)));
     }
+    coalesceMapItems(items);
     for (const MapItem &item : items)
       applyMapEnter(item);
     execStmt(directive->associated());
@@ -1641,21 +1708,29 @@ void Interpreter::execOmp(const OmpDirectiveStmt *directive) {
     return;
   }
   case OmpDirectiveKind::TargetEnterData: {
+    std::vector<MapItem> items;
     for (const OmpClause &clause : directive->clauses()) {
       if (clause.kind != OmpClauseKind::Map)
         continue;
       for (const OmpObject &object : clause.objects)
-        applyMapEnter(mapItemFor(object, toSimMapKind(clause.mapType)));
+        items.push_back(mapItemFor(object, toSimMapKind(clause.mapType)));
     }
+    coalesceMapItems(items);
+    for (const MapItem &item : items)
+      applyMapEnter(item);
     return;
   }
   case OmpDirectiveKind::TargetExitData: {
+    std::vector<MapItem> items;
     for (const OmpClause &clause : directive->clauses()) {
       if (clause.kind != OmpClauseKind::Map)
         continue;
       for (const OmpObject &object : clause.objects)
-        applyMapExit(mapItemFor(object, toSimMapKind(clause.mapType)));
+        items.push_back(mapItemFor(object, toSimMapKind(clause.mapType)));
     }
+    coalesceMapItems(items);
+    for (const MapItem &item : items)
+      applyMapExit(item);
     return;
   }
   case OmpDirectiveKind::TargetUpdate: {
@@ -1738,6 +1813,7 @@ void Interpreter::execKernel(const OmpDirectiveStmt *directive) {
       if (fp.kernel == directive && fp.var != nullptr)
         firstprivateVars.insert(fp.var);
   }
+  coalesceMapItems(explicitItems);
 
   // Implicit data-mapping rules (OpenMP 5.2): unmapped aggregates referenced
   // by the kernel map tofrom for the kernel's duration; unmapped scalars are

@@ -176,6 +176,10 @@ private:
   };
   MapItem mapItemFor(const OmpObject &object, sim::MapKind kind);
   MapItem wholeObjectItem(int objectId, sim::MapKind kind);
+  /// Merges same-object items of one construct into a single entry with
+  /// the union of their map types (OpenMP 5.2 same-storage rule).
+  void coalesceMapItems(std::vector<MapItem> &items);
+  static sim::MapKind joinMapKind(sim::MapKind a, sim::MapKind b);
   void applyMapEnter(const MapItem &item);
   void applyMapExit(const MapItem &item);
   void copySlice(MemoryObject &obj, bool toDevice, std::uint64_t lo,

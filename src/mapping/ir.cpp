@@ -333,6 +333,7 @@ json::Value MappingIr::toJson() const {
       entry.set("item", map.item);
       entry.set("extent", extentToJson(map.extent));
       entry.set("approxBytes", map.approxBytes);
+      entry.set("coldEntries", map.coldEntries);
       mapsJson.push(std::move(entry));
     }
     regionJson.set("maps", std::move(mapsJson));
@@ -429,6 +430,8 @@ std::optional<MappingIr> MappingIr::fromJson(const json::Value &value,
               return std::nullopt;
           }
           map.approxBytes = entry.uintOr("approxBytes");
+          // Older documents predate per-item accounting: every entry cold.
+          map.coldEntries = entry.uintOr("coldEntries", region.entryCount);
           region.maps.push_back(std::move(map));
         }
       }
@@ -627,9 +630,11 @@ MappingIr liftPlan(const MappingPlan &plan, const std::string &fileName) {
       MapItem item;
       item.symbol = symbols.intern(spec.var);
       item.type = liftMapType(spec.mapType);
+      item.modifiers = spec.modifiers;
       item.item = itemSpelling(spec.var, spec.section);
       item.extent = spec.extent;
       item.approxBytes = spec.approxBytes;
+      item.coldEntries = spec.coldEntries;
       out.maps.push_back(std::move(item));
     }
 

@@ -176,11 +176,20 @@ struct MapItem {
   Extent extent;
   /// Estimated bytes this mapping moves one way (reports / cost models).
   std::uint64_t approxBytes = 0;
+  /// Of the region's provable entries, how many pay this item's
+  /// present-table 0->1/1->0 transition copies. Defaults to the region's
+  /// entryCount; the planner's warm-callee accounting lowers it for
+  /// entries that provably execute inside an enclosing caller region that
+  /// already maps the object (refcount 1->2 transitions move nothing).
+  /// 0 means every entry is warm — such items also carry the `present`
+  /// modifier.
+  std::uint64_t coldEntries = 1;
 
   [[nodiscard]] bool operator==(const MapItem &other) const {
     return symbol == other.symbol && type == other.type &&
            modifiers == other.modifiers && item == other.item &&
-           extent == other.extent && approxBytes == other.approxBytes;
+           extent == other.extent && approxBytes == other.approxBytes &&
+           coldEntries == other.coldEntries;
   }
 };
 

@@ -23,6 +23,17 @@ enum class UpdateDirection { To, From };
 struct MapSpec {
   VarDecl *var = nullptr;
   OmpMapType mapType = OmpMapType::ToFrom;
+  /// Map-type modifiers. `present` is set by the planner's warm-callee
+  /// post-pass when every call site of the region's function provably
+  /// executes inside an enclosing caller region that already maps this
+  /// object — such maps are reference-count transitions (1->2 / 2->1) that
+  /// move no bytes, and the transfer predictor skips them.
+  ir::MapModifiers modifiers;
+  /// Provable region entries that pay this item's transition copies (see
+  /// ir::MapItem::coldEntries). Initialized to the region's entryCount;
+  /// the warm-callee post-pass subtracts entries arriving through call
+  /// sites that sit inside a caller region already mapping the object.
+  std::uint64_t coldEntries = 1;
   /// Item spelling including array section, e.g. "a[0:n]"; plain variable
   /// name when empty.
   std::string section;

@@ -39,7 +39,151 @@ MappingPlanner::plan(const std::vector<std::unique_ptr<AstCfg>> &cfgs) {
       continue;
     planFunction(cfg->function(), *cfg, result);
   }
+  markPresentMaps(result);
   return result;
+}
+
+void MappingPlanner::markPresentMaps(MappingPlan &plan) const {
+  // Warm-callee post-pass: a region entry reached through a call site that
+  // sits inside an enclosing caller region already mapping the object is
+  // warm — its map is a pure reference-count transition (1->2 on entry,
+  // 2->1 on exit) that moves no bytes. Per map item, subtract the provable
+  // executions of every warm call site from `coldEntries` (the transfer
+  // predictor charges transition copies per COLD entry only); when every
+  // site is warm, additionally mark the item `present` so the emitted
+  // clause documents the invariant. The oracle's predicted==simulated
+  // reconciliation found both halves: a hotspot-style staged kernel called
+  // from inside main's region was charged cold per call, and mixed
+  // inside/outside call sites need the per-site split.
+  //
+  // The proof needs every call site, so it only applies when this TU is
+  // the whole program (it defines main and no cross-TU imports exist).
+  if (options_.imports != nullptr)
+    return;
+  const FunctionDecl *mainFn = unit_.findFunction("main");
+  if (mainFn == nullptr || mainFn->body() == nullptr)
+    return;
+
+  // Per-caller parent maps, built lazily (site execution estimates walk
+  // the caller's loop chain — the same formula the weighted call graph
+  // fed to estimateExecutions, one level unrolled).
+  std::unordered_map<const FunctionDecl *,
+                     std::unordered_map<const Stmt *, const Stmt *>>
+      parentsByCaller;
+  auto callerParents = [&](const FunctionDecl *caller)
+      -> const std::unordered_map<const Stmt *, const Stmt *> & {
+    auto it = parentsByCaller.find(caller);
+    if (it == parentsByCaller.end()) {
+      ParentMap parents(caller);
+      it = parentsByCaller.emplace(caller, parents.takeLinks()).first;
+    }
+    return it->second;
+  };
+
+  for (RegionPlan &region : plan.regions) {
+    const FunctionDecl *fn = region.function;
+    if (fn == nullptr || fn == mainFn)
+      continue;
+
+    // The per-site split reconstructs entryCount = fnExec * startTrips; a
+    // guarded region start collapses entries to the floor of one, where
+    // per-site attribution is ambiguous — stay conservative (all cold).
+    const ProvableMultiplier startMult =
+        provableMultiplierOf(callerParents(fn), region.startStmt);
+    if (startMult.guarded)
+      continue;
+
+    // Every host-side call site of fn, paired with its caller.
+    struct Site {
+      const FunctionDecl *caller = nullptr;
+      const CallSite *site = nullptr;
+      std::uint64_t executions = 0; ///< provable executions of the call
+    };
+    std::vector<Site> sites;
+    bool allSitesVisible = true;
+    for (const FunctionDecl *caller : unit_.functions) {
+      const FunctionAccessInfo *info = interproc_.accessesFor(caller);
+      if (info == nullptr)
+        continue;
+      for (const CallSite &site : info->callSites) {
+        if (site.call == nullptr || site.call->callee() != fn)
+          continue;
+        if (site.onDevice || site.stmt == nullptr) {
+          allSitesVisible = false; // in-kernel calls: no region proof
+          continue;
+        }
+        const ProvableMultiplier mult =
+            provableMultiplierOf(callerParents(caller), site.stmt);
+        auto execIt = fnExecutions_.find(caller);
+        const std::uint64_t callerExec =
+            execIt != fnExecutions_.end()
+                ? std::max<std::uint64_t>(1, execIt->second)
+                : 1;
+        Site entry;
+        entry.caller = caller;
+        entry.site = &site;
+        entry.executions =
+            mult.guarded ? 1 : saturatingMul(callerExec, mult.trips);
+        sites.push_back(entry);
+      }
+    }
+    if (!allSitesVisible || sites.empty())
+      continue;
+
+    for (MapSpec &spec : region.maps) {
+      if (spec.mapType == OmpMapType::Alloc)
+        continue; // nothing to suppress
+      std::uint64_t warmEntries = 0;
+      bool warmEverywhere = true;
+      for (const Site &entry : sites) {
+        bool warm = false;
+        const RegionPlan *callerRegion = plan.regionFor(entry.caller);
+        if (callerRegion != nullptr && !callerRegion->appendsToKernel() &&
+            callerRegion->startStmt != nullptr &&
+            callerRegion->endStmt != nullptr) {
+          const std::size_t callOffset =
+              entry.site->stmt->range().begin.offset;
+          const bool inRegion =
+              callOffset >= callerRegion->startStmt->range().begin.offset &&
+              callOffset < callerRegion->endStmt->range().end.offset;
+          if (inRegion) {
+            // Resolve the mapped variable to the caller-side object at
+            // this site: params through the argument expression, globals
+            // directly.
+            VarDecl *callerObject = spec.var;
+            if (spec.var != nullptr && spec.var->isParam()) {
+              const auto &params = fn->params();
+              std::size_t index = params.size();
+              for (std::size_t i = 0; i < params.size(); ++i)
+                if (params[i] == spec.var)
+                  index = i;
+              callerObject =
+                  index < entry.site->call->args().size()
+                      ? argumentObject(entry.site->call->args()[index])
+                      : nullptr;
+            }
+            if (callerObject != nullptr) {
+              for (const MapSpec &callerSpec : callerRegion->maps)
+                if (callerSpec.var == callerObject &&
+                    callerSpec.extent.kind == ir::Extent::Kind::Whole)
+                  warm = true;
+            }
+          }
+        }
+        if (warm)
+          warmEntries += saturatingMul(entry.executions, startMult.trips);
+        else
+          warmEverywhere = false;
+      }
+      spec.coldEntries = warmEntries >= spec.coldEntries
+                             ? 0
+                             : spec.coldEntries - warmEntries;
+      if (warmEverywhere) {
+        spec.coldEntries = 0;
+        spec.modifiers.present = true;
+      }
+    }
+  }
 }
 
 void MappingPlanner::estimateFunctionExecutions(
@@ -245,6 +389,15 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
         if (stmt->kind() == StmtKind::Compound) {
           for (const Stmt *sub :
                static_cast<const CompoundStmt *>(stmt)->body()) {
+            // The descent below may have found AND finished the region in a
+            // nested compound (sole kernel inside a branch); without this
+            // re-check the walk would continue into the statements after
+            // that branch with `active` still set, treating post-region
+            // host accesses as in-region dependencies (the oracle caught
+            // this as a dead post-region update-from replacing the map's
+            // `from` leg).
+            if (done)
+              return;
             if (sub == start)
               active = true;
             if (active)
@@ -352,6 +505,7 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
     spec.section = section.spelling;
     spec.extent = section.extent;
     spec.approxBytes = section.bytes;
+    spec.coldEntries = regionEntryCount_;
     if (facts.needsTo && needsFrom)
       spec.mapType = OmpMapType::ToFrom;
     else if (facts.needsTo)
@@ -516,8 +670,19 @@ void MappingPlanner::walkStmt(const Stmt *stmt, WalkContext &ctx,
         break;
     }
     ctx.loops.pop_back();
-    // for/while bodies may not execute: merge with the entry state.
-    if (stmt->kind() != StmtKind::Do)
+    // for/while bodies may not execute: merge with the entry state. A for
+    // loop with provably positive constant trips is the exception — its
+    // body definitely runs, so its kills stand (a host loop that fully
+    // overwrites an array must count as a kill, or the region exit pays a
+    // dead from-copy plus the update-to guarding it; oracle invariant 2).
+    bool definitelyExecutes = false;
+    if (const auto *forStmt = dynamic_cast<const ForStmt *>(stmt)) {
+      const LoopBounds bounds = analyzeForLoop(forStmt);
+      definitelyExecutes = bounds.valid && bounds.upperConst &&
+                           bounds.lowerConst &&
+                           *bounds.upperConst > *bounds.lowerConst;
+    }
+    if (stmt->kind() != StmtKind::Do && !definitelyExecutes)
       mergeStates(ctx.state, entryState);
     return;
   }
@@ -586,7 +751,7 @@ void MappingPlanner::processLeafEvents(const Stmt *stmt, WalkContext &ctx,
       if (reads)
         handleHostRead(event, ctx, region);
       if (writes)
-        handleHostWrite(event, ctx);
+        handleHostWrite(event, ctx, region);
     }
   }
 }
@@ -724,6 +889,30 @@ void MappingPlanner::handleHostRead(const AccessEvent &event,
   SourceLocation locLim;
   if (state.lastDeviceWriteKernel != nullptr)
     locLim = state.lastDeviceWriteKernel->range().end;
+  const bool loopCarried =
+      state.lastDeviceWriteKernel != nullptr && event.stmt != nullptr &&
+      state.lastDeviceWriteKernel->range().begin.offset >
+          event.stmt->range().begin.offset;
+  if (loopCarried) {
+    // Loop-carried dependency: the producing kernel sits AFTER this read
+    // in source, so the value flows around an enclosing loop. The
+    // producer-end hoist limit is meaningless here (the producer ran last
+    // iteration); the real bound is the body of the innermost loop
+    // carrying the dependency.
+    for (const Stmt *loop : ctx.loops) { // outermost-first
+      if (!contains(loop, state.lastDeviceWriteKernel))
+        continue;
+      const Stmt *body = nullptr;
+      if (loop->kind() == StmtKind::For)
+        body = static_cast<const ForStmt *>(loop)->body();
+      else if (loop->kind() == StmtKind::While)
+        body = static_cast<const WhileStmt *>(loop)->body();
+      else if (loop->kind() == StmtKind::Do)
+        body = static_cast<const DoStmt *>(loop)->body();
+      if (body != nullptr && body->range().isValid())
+        locLim = body->range().begin; // innermost carrier wins
+    }
+  }
   const Stmt *pos = event.stmt;
   bool hoisted = false;
   if (options_.hoistUpdates) {
@@ -772,6 +961,14 @@ void MappingPlanner::handleHostRead(const AccessEvent &event,
     if (producerInsideLoop || pos->kind() == StmtKind::Do)
       placement = UpdatePlacement::BodyEnd;
   }
+  // A loop-carried update firing BEFORE its anchor executes ahead of the
+  // producer on the first trip — the device image must already be valid,
+  // so the map needs its `to` leg (without it the first firing copies
+  // uninitialized device memory over live host data; oracle invariant 1
+  // caught that). BodyEnd placements fire after the in-loop producer and
+  // need no entry copy (bfs's stop_flag stays map(alloc)).
+  if (loopCarried && placement == UpdatePlacement::Before)
+    facts_[var].needsTo = true;
   addUpdate(var, UpdateDirection::From, pos, placement, hoisted, region);
   state.hostValid = true;
 }
@@ -808,9 +1005,41 @@ const Stmt *MappingPlanner::hoistAfterHostWrite(
 }
 
 void MappingPlanner::handleHostWrite(const AccessEvent &event,
-                                     WalkContext &ctx) {
+                                     WalkContext &ctx, RegionPlan &region) {
   VarDecl *var = event.var;
   VarState &state = ctx.state[var];
+
+  // A host write only KILLS the variable when it provably overwrites every
+  // element; a partial write of device-valid data must sync the untouched
+  // elements down first (device->host RAW: exactly a host read), or later
+  // host reads of those elements see stale values. Direct writes prove
+  // coverage against the enclosing loop bounds; call-synthesized writes
+  // carry the interprocedural proof (callee full sweep whose bound equals
+  // the argument's extent at the site).
+  bool fullCoverage;
+  if (!isAggregateLike(var)) {
+    fullCoverage = !event.conditional;
+  } else if (event.fromCall) {
+    fullCoverage = event.provenFullCoverage;
+  } else {
+    const ExtentInfo extent = effectiveExtent(var);
+    // Single-slot objects (scalars behind [1]-arrays, structs written
+    // whole) are covered by any unconditional element write.
+    if (extent.constElems && *extent.constElems == 1)
+      fullCoverage = !event.conditional;
+    else {
+      std::vector<const Stmt *> loops;
+      if (const auto *enclosing = cfg_->enclosingLoops(event.stmt))
+        loops = *enclosing;
+      fullCoverage = isFullCoverageWrite(event, var, extent, loops);
+    }
+  }
+  if (!fullCoverage && !state.hostValid) {
+    AccessEvent asRead = event;
+    asRead.kind = AccessKind::Read;
+    handleHostRead(asRead, ctx, region);
+  }
+
   state.hostValid = true;
   state.devValid = false;
   state.hostWroteSinceEntry = true;

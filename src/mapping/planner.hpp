@@ -97,6 +97,12 @@ private:
   void planFunction(const FunctionDecl *fn, const AstCfg &cfg,
                     MappingPlan &outPlan);
 
+  /// Warm-callee post-pass: marks map items `present` when every call site
+  /// of the region's function provably executes inside an enclosing caller
+  /// region that already maps the object (refcount 1->2 transitions move
+  /// no bytes; the transfer predictor skips present items).
+  void markPresentMaps(MappingPlan &plan) const;
+
   /// Region extent selection (step 1).
   bool chooseRegionExtent(const AstCfg &cfg, RegionPlan &region);
 
@@ -110,7 +116,8 @@ private:
                          RegionPlan &region);
   void handleHostRead(const AccessEvent &event, WalkContext &ctx,
                       RegionPlan &region);
-  void handleHostWrite(const AccessEvent &event, WalkContext &ctx);
+  void handleHostWrite(const AccessEvent &event, WalkContext &ctx,
+                       RegionPlan &region);
   void mergeStates(std::map<VarDecl *, VarState> &into,
                    const std::map<VarDecl *, VarState> &branch);
 

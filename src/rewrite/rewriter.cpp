@@ -7,9 +7,11 @@
 
 namespace ompdart {
 
-void SourceRewriter::insert(std::size_t offset, std::string text) {
-  edits_.push_back(
-      Edit{offset, static_cast<unsigned>(edits_.size()), std::move(text)});
+void SourceRewriter::insert(std::size_t offset, std::string text,
+                            Priority priority) {
+  edits_.push_back(Edit{offset, static_cast<int>(priority),
+                        static_cast<unsigned>(edits_.size()),
+                        std::move(text)});
 }
 
 std::string SourceRewriter::apply() const {
@@ -18,6 +20,8 @@ std::string SourceRewriter::apply() const {
                    [](const Edit &a, const Edit &b) {
                      if (a.offset != b.offset)
                        return a.offset < b.offset;
+                     if (a.priority != b.priority)
+                       return a.priority < b.priority;
                      return a.sequence < b.sequence;
                    });
   const std::string &original = sourceManager_.text();
@@ -115,11 +119,14 @@ void PlanRewriter::rewriteRegion(const ir::Region &region,
   const std::size_t startLine = lineStartFor(region.start.beginOffset);
   const std::string indent =
       sourceManager_.indentationAt(region.start.beginOffset);
-  rewriter.insert(startLine, indent + "#pragma omp target data" + clauses +
-                                 "\n" + indent + "{\n");
+  rewriter.insert(startLine,
+                  indent + "#pragma omp target data" + clauses + "\n" +
+                      indent + "{\n",
+                  SourceRewriter::Priority::RegionOpen);
   const std::size_t endLine = lineEndFor(
       region.end.endOffset > 0 ? region.end.endOffset - 1 : 0);
-  rewriter.insert(endLine, indent + "}\n");
+  rewriter.insert(endLine, indent + "}\n",
+                  SourceRewriter::Priority::RegionClose);
 }
 
 std::size_t updateInsertionOffset(const SourceManager &sourceManager,
@@ -144,13 +151,15 @@ std::size_t updateInsertionOffset(const SourceManager &sourceManager,
         anchor.hasBody ? anchor.bodyEndOffset : anchor.endOffset;
     const bool bodyIsCompound = anchor.hasBody && anchor.bodyIsCompound;
     if (update.placement == ir::UpdatePlacement::BodyBegin) {
-      // Just after the opening brace (or before a braceless body).
-      return bodyIsCompound ? lineEndFor(bodyBegin)
-                            : lineStartFor(bodyBegin);
+      // Just after the opening brace, or — for a braceless body, which
+      // gains a brace pair at these exact offsets — right at the body's
+      // first byte, regardless of whether it shares the loop header's
+      // line.
+      return bodyIsCompound ? lineEndFor(bodyBegin) : bodyBegin;
     }
     // Just before the closing brace (or after a braceless body).
     return bodyIsCompound ? lineStartFor(bodyEnd > 0 ? bodyEnd - 1 : 0)
-                          : lineEndFor(bodyEnd > 0 ? bodyEnd - 1 : 0);
+                          : bodyEnd;
   }
   }
   return lineStartFor(anchor.beginOffset);
@@ -164,24 +173,55 @@ void PlanRewriter::emitUpdates(const ir::Region &region,
     std::size_t offset;
     ir::UpdateDirection direction;
     std::string indent;
+    /// Braceless-body insertion: the offset is mid-line (the body's exact
+    /// begin/end byte), so the directive line needs a leading newline
+    /// (BodyEnd) or follows the freshly inserted `{\n` (BodyBegin).
+    bool inlineBegin = false;
+    bool inlineEnd = false;
     std::vector<std::string> items;
   };
   std::map<std::pair<std::size_t, int>, Point> points;
+  // Braceless loop bodies hosting a BodyBegin/BodyEnd directive must gain
+  // braces, or the inserted pragma line either becomes the body itself
+  // (BodyBegin, pushing the real body out of the loop) or lands after the
+  // loop entirely (BodyEnd). Braces land at the body's exact byte range —
+  // a body sharing the loop header's line must not wrap the whole loop.
+  // One brace pair per anchor, shared by all its updates.
+  std::map<std::pair<std::size_t, std::size_t>, std::string> braceWraps;
 
   for (const ir::UpdateItem &update : region.updates) {
     const ir::StmtAnchor &anchor = update.anchor;
     const std::size_t offset = updateInsertionOffset(sourceManager_, update);
     std::string indent = sourceManager_.indentationAt(anchor.beginOffset);
-    if (update.placement == ir::UpdatePlacement::BodyBegin ||
-        update.placement == ir::UpdatePlacement::BodyEnd)
+    const bool bodyPlacement =
+        update.placement == ir::UpdatePlacement::BodyBegin ||
+        update.placement == ir::UpdatePlacement::BodyEnd;
+    const bool braceless =
+        bodyPlacement && anchor.hasBody && !anchor.bodyIsCompound;
+    if (bodyPlacement) {
+      if (braceless)
+        braceWraps[{anchor.bodyBeginOffset, anchor.bodyEndOffset}] = indent;
       indent += "  ";
+    }
     auto &point = points[{offset, static_cast<int>(update.direction)}];
     point.offset = offset;
     point.direction = update.direction;
     point.indent = indent;
+    point.inlineBegin =
+        point.inlineBegin ||
+        (braceless && update.placement == ir::UpdatePlacement::BodyBegin);
+    point.inlineEnd =
+        point.inlineEnd ||
+        (braceless && update.placement == ir::UpdatePlacement::BodyEnd);
     if (std::find(point.items.begin(), point.items.end(), update.item) ==
         point.items.end())
       point.items.push_back(update.item);
+  }
+
+  for (const auto &[body, indent] : braceWraps) {
+    rewriter.insert(body.first, "{\n", SourceRewriter::Priority::BodyOpen);
+    rewriter.insert(body.second, "\n" + indent + "}",
+                    SourceRewriter::Priority::BodyClose);
   }
 
   for (const auto &[key, point] : points) {
@@ -191,10 +231,21 @@ void PlanRewriter::emitUpdates(const ir::Region &region,
         items += ", ";
       items += item;
     }
-    std::string text =
-        point.indent + "#pragma omp target update " +
-        (point.direction == ir::UpdateDirection::To ? "to(" : "from(") +
-        items + ")\n";
+    const std::string directive =
+        "#pragma omp target update " +
+        std::string(point.direction == ir::UpdateDirection::To ? "to("
+                                                               : "from(") +
+        items + ")";
+    std::string text;
+    if (point.inlineEnd) {
+      // After the body's last byte, before the inserted `\n<indent>}`.
+      text = "\n" + point.indent + directive;
+    } else if (point.inlineBegin) {
+      // After the inserted `{\n`, before the body's first byte.
+      text = point.indent + directive + "\n" + point.indent;
+    } else {
+      text = point.indent + directive + "\n";
+    }
     rewriter.insert(point.offset, std::move(text));
   }
 }

@@ -26,13 +26,26 @@ namespace ompdart {
 struct MappingPlan;
 
 /// Offset-keyed insert-only text editor. Edits at the same offset apply in
-/// the order they were added.
+/// priority order (then insertion order): structural nesting at one line —
+/// region open, body-wrapping brace open, directives, body-wrapping brace
+/// close, region close — must hold regardless of which emission phase ran
+/// first.
 class SourceRewriter {
 public:
+  /// Same-offset ordering classes, outermost-open first.
+  enum class Priority {
+    RegionOpen = 0, ///< `#pragma omp target data ... {`
+    BodyOpen = 1,   ///< brace wrapping a braceless loop body
+    Directive = 2,  ///< updates, clause appends (the default)
+    BodyClose = 3,
+    RegionClose = 4,
+  };
+
   explicit SourceRewriter(const SourceManager &sourceManager)
       : sourceManager_(sourceManager) {}
 
-  void insert(std::size_t offset, std::string text);
+  void insert(std::size_t offset, std::string text,
+              Priority priority = Priority::Directive);
 
   /// Applies all edits and returns the rewritten buffer.
   [[nodiscard]] std::string apply() const;
@@ -44,6 +57,7 @@ public:
 private:
   struct Edit {
     std::size_t offset;
+    int priority;
     unsigned sequence;
     std::string text;
   };

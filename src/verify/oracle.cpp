@@ -1,0 +1,239 @@
+#include "verify/oracle.hpp"
+
+#include "exp/experiment.hpp"
+#include "frontend/parser.hpp"
+#include "gen/generator.hpp"
+#include "mapping/backend.hpp"
+#include "rewrite/rewriter.hpp"
+
+#include <sstream>
+
+namespace ompdart::verify {
+
+namespace {
+
+/// Invariant (3) needs every planned transfer to have a statically known
+/// byte size. A map or update whose extent stayed symbolic (e.g. call
+/// sites disagree on a pointer parameter's element count, so the planner
+/// took the conservative path and `approxBytes` is 0) is correct but not
+/// byte-predictable — the same category as an unprovable loop trip.
+bool byteExactPredictable(const ir::MappingIr &ir) {
+  for (const ir::Region &region : ir.regions) {
+    for (const ir::MapItem &map : region.maps) {
+      const bool moves = map.type == ir::MapType::To ||
+                         map.type == ir::MapType::From ||
+                         map.type == ir::MapType::ToFrom;
+      if (moves && !map.modifiers.present && map.approxBytes == 0)
+        return false;
+    }
+    for (const ir::UpdateItem &update : region.updates)
+      if (update.approxBytes == 0)
+        return false;
+  }
+  return true;
+}
+
+/// Shared comparison core: both baseline and planned runs exist; fill the
+/// verdict from the ledgers and invariant checks.
+void judge(OracleVerdict &verdict, const interp::RunResult &baseline,
+           const interp::RunResult &planned, std::uint64_t predicted,
+           bool provableTrips, bool checkPredicted) {
+  verdict.baselineBytes = baseline.ledger.totalBytes();
+  verdict.planBytes = planned.ledger.totalBytes();
+  verdict.predictedBytes = predicted;
+  verdict.baselineCalls = baseline.ledger.totalCalls();
+  verdict.planCalls = planned.ledger.totalCalls();
+  verdict.baselineOutput = baseline.output;
+  verdict.planOutput = planned.output;
+
+  verdict.outputsMatch = baseline.output == planned.output &&
+                         baseline.exitCode == planned.exitCode;
+  verdict.transferBounded = verdict.planBytes <= verdict.baselineBytes;
+  verdict.predictedChecked = checkPredicted && provableTrips;
+  verdict.predictedMatches =
+      !verdict.predictedChecked || verdict.predictedBytes == verdict.planBytes;
+  verdict.ok = verdict.pipelineOk && verdict.outputsMatch &&
+               verdict.transferBounded && verdict.predictedMatches &&
+               verdict.rewriteMatches;
+}
+
+/// Optional rewritten-source leg: rewrite -> reparse -> run must reproduce
+/// the baseline output byte-for-byte as well.
+void judgeRewrite(OracleVerdict &verdict, const SourceManager &sm,
+                  const ir::MappingIr &ir, const interp::RunResult &baseline,
+                  const interp::InterpOptions &interpOptions) {
+  verdict.rewriteChecked = true;
+  const std::string transformed = applyMappingIr(sm, ir);
+  const interp::RunResult run =
+      interp::runProgram(transformed, interpOptions);
+  if (!run.ok) {
+    verdict.rewriteMatches = false;
+    verdict.error = "rewritten source failed to run: " + run.error;
+    return;
+  }
+  verdict.rewriteMatches = run.output == baseline.output &&
+                           run.exitCode == baseline.exitCode;
+  if (!verdict.rewriteMatches)
+    verdict.error = "rewritten source diverges\n--- baseline ---\n" +
+                    baseline.output + "--- rewritten ---\n" + run.output;
+}
+
+} // namespace
+
+std::string OracleVerdict::divergence() const {
+  if (ok)
+    return "";
+  std::ostringstream out;
+  if (!pipelineOk)
+    return "pipeline failure: " + error;
+  if (!outputsMatch) {
+    out << "invariant 1 violated: outputs differ\n--- baseline ---\n"
+        << baselineOutput << "--- planned ---\n"
+        << planOutput;
+    return out.str();
+  }
+  if (!transferBounded) {
+    out << "invariant 2 violated: plan moved " << planBytes
+        << " bytes > baseline " << baselineBytes << " bytes";
+    return out.str();
+  }
+  if (!predictedMatches) {
+    out << "invariant 3 violated: predicted " << predictedBytes
+        << " bytes != simulated " << planBytes << " bytes";
+    return out.str();
+  }
+  out << "rewritten-source leg violated: " << error;
+  return out.str();
+}
+
+json::Value OracleVerdict::toJson() const {
+  json::Value out = json::Value::object();
+  out.set("ok", ok);
+  out.set("pipelineOk", pipelineOk);
+  if (!error.empty())
+    out.set("error", error);
+  out.set("outputsMatch", outputsMatch);
+  out.set("transferBounded", transferBounded);
+  out.set("predictedChecked", predictedChecked);
+  out.set("predictedMatches", predictedMatches);
+  out.set("rewriteChecked", rewriteChecked);
+  out.set("rewriteMatches", rewriteMatches);
+  out.set("baselineBytes", baselineBytes);
+  out.set("planBytes", planBytes);
+  out.set("predictedBytes", predictedBytes);
+  out.set("baselineCalls", baselineCalls);
+  out.set("planCalls", planCalls);
+  out.set("irFingerprint", irFingerprint);
+  return out;
+}
+
+OracleVerdict runOracle(const std::string &name, const std::string &source,
+                        bool provableTrips, const OracleOptions &options) {
+  OracleVerdict verdict;
+
+  PipelineConfig config = options.pipeline;
+  config.stopAfter = Stage::Plan;
+  config.includeOutputInReport = false;
+  Session session(name, source, config);
+  if (!session.run()) {
+    std::string detail;
+    for (const Diagnostic &diag : session.diagnostics().sortedDiagnostics())
+      detail += diag.str() + "\n";
+    verdict.error = "pipeline failed: " + detail;
+    verdict.cacheStatus = session.planCacheStatus();
+    return verdict;
+  }
+  verdict.cacheStatus = session.planCacheStatus();
+  verdict.irFingerprint = session.ir().fingerprint();
+
+  // After a plan-cache hit parse() lazily re-parses the (content-identical)
+  // source, so the overlay always has a live unit to resolve against.
+  const TranslationUnit &unit = session.parse().unit();
+  if (!session.parseSucceeded()) {
+    verdict.error = "parse failed after plan";
+    return verdict;
+  }
+
+  interp::Interpreter baselineRun(unit, options.interp);
+  const interp::RunResult baseline = baselineRun.run();
+  if (!baseline.ok) {
+    verdict.error = "baseline run failed: " + baseline.error;
+    return verdict;
+  }
+
+  ApplyToInterpBackend backend(options.interp);
+  PlanConsumerInput input;
+  input.ir = &session.ir();
+  input.source = &session.sourceManager();
+  input.unit = &unit;
+  if (!backend.consume(input)) {
+    verdict.error = "overlay backend failed: " + backend.error();
+    return verdict;
+  }
+  const interp::RunResult &planned = backend.result();
+  if (!planned.ok) {
+    verdict.error = "planned run failed: " + planned.error;
+    return verdict;
+  }
+
+  verdict.pipelineOk = true;
+  if (options.checkRewrite)
+    judgeRewrite(verdict, session.sourceManager(), session.ir(), baseline,
+                 options.interp);
+  judge(verdict, baseline, planned,
+        exp::predictedTransferBytes(session.ir()), provableTrips,
+        options.checkPredicted && byteExactPredictable(session.ir()));
+  return verdict;
+}
+
+OracleVerdict runOracle(const gen::GeneratedProgram &program,
+                        const OracleOptions &options) {
+  return runOracle(program.name + ".c", program.combined(),
+                   program.provableTrips, options);
+}
+
+OracleVerdict verifyIr(const std::string &name, const std::string &source,
+                       const ir::MappingIr &ir, bool provableTrips,
+                       const OracleOptions &options) {
+  OracleVerdict verdict;
+  verdict.irFingerprint = ir.fingerprint();
+
+  SourceManager sm(name, source);
+  ASTContext context;
+  DiagnosticEngine diags;
+  if (!parseSource(sm, context, diags) || diags.hasErrors()) {
+    verdict.error = "parse failed: " + diags.summary();
+    return verdict;
+  }
+
+  interp::Interpreter baselineRun(context.unit(), options.interp);
+  const interp::RunResult baseline = baselineRun.run();
+  if (!baseline.ok) {
+    verdict.error = "baseline run failed: " + baseline.error;
+    return verdict;
+  }
+
+  ApplyToInterpBackend backend(options.interp);
+  PlanConsumerInput input;
+  input.ir = &ir;
+  input.source = &sm;
+  input.unit = &context.unit();
+  if (!backend.consume(input)) {
+    verdict.error = "overlay backend failed: " + backend.error();
+    return verdict;
+  }
+  const interp::RunResult &planned = backend.result();
+  if (!planned.ok) {
+    verdict.error = "planned run failed: " + planned.error;
+    return verdict;
+  }
+
+  verdict.pipelineOk = true;
+  if (options.checkRewrite)
+    judgeRewrite(verdict, sm, ir, baseline, options.interp);
+  judge(verdict, baseline, planned, exp::predictedTransferBytes(ir),
+        provableTrips, options.checkPredicted && byteExactPredictable(ir));
+  return verdict;
+}
+
+} // namespace ompdart::verify

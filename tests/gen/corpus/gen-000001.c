@@ -1,0 +1,68 @@
+struct cfg_t {
+  double scale;
+  double bias;
+};
+
+double arr0[40];
+double arr1[32];
+double arr2[40];
+struct cfg_t cfg;
+
+void init_data() {
+  srand(1001);
+  for (int i = 0; i < 40; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 32; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 40; ++i) {
+    arr2[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  cfg.scale = 1.25;
+  cfg.bias = 0.5;
+}
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  acc0 = 0.0;
+  #pragma omp target teams distribute parallel for reduction(+: acc0)
+  for (int i = 0; i < 40; ++i) {
+    acc0 += arr0[i] * 0.1875;
+  }
+  checksum += acc0;
+  for (int i = 0; i < 20; ++i) {
+    arr0[i] = i * 0.25 + 2.5000;
+  }
+  acc2 = 0.0;
+  #pragma omp target teams distribute parallel for reduction(+: acc2)
+  for (int i = 0; i < 40; ++i) {
+    acc2 += arr0[i] * 0.0625;
+  }
+  checksum += acc2;
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += arr2[i];
+  }
+  printf("arr2=%.6f\n", tail);
+  printf("cfg=%.6f %.6f\n", cfg.scale, cfg.bias);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

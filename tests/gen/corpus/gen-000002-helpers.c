@@ -1,0 +1,17 @@
+extern double arr0[32];
+extern double arr1[40];
+extern double arr2[24];
+
+void init_data() {
+  srand(1002);
+  for (int i = 0; i < 32; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 40; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 24; ++i) {
+    arr2[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+}
+

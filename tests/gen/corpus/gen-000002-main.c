@@ -1,0 +1,48 @@
+double arr0[32];
+double arr1[40];
+double arr2[24];
+
+void init_data();
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 32; ++i) {
+    arr0[i] = arr0[i] * 1.3750;
+  }
+  for (int i = 0; i < 16; ++i) {
+    arr0[i] = i * 0.25 + 2.5000;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 32; ++i) {
+    if (arr0[i] > 0.2000) {
+      arr1[i] = arr0[i] - 0.2500;
+    } else {
+      arr1[i] = arr0[i] * scale;
+    }
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    tail += arr2[i];
+  }
+  printf("arr2=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

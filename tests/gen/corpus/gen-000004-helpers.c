@@ -1,0 +1,13 @@
+extern double arr0[24];
+extern double arr1[24];
+
+void init_data() {
+  srand(1004);
+  for (int i = 0; i < 24; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 24; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+}
+

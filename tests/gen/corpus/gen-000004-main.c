@@ -1,0 +1,42 @@
+double arr0[24];
+double arr1[24];
+
+void init_data();
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 24; ++i) {
+    arr1[i] = arr0[i] * 1.3750;
+  }
+  for (int i = 0; i < 12; ++i) {
+    arr0[i] = i * 0.25 + 2.5000;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 24; ++i) {
+    if (arr1[i] > 0.2000) {
+      arr0[i] = arr1[i] - 0.2500;
+    } else {
+      arr0[i] = arr1[i] * scale;
+    }
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

@@ -1,0 +1,82 @@
+double arr0[48];
+double arr1[12];
+
+double mixv(double a, double b) {
+  if (a > b) {
+    return a - b;
+  }
+  return a + b * 0.5;
+}
+
+double host_sum(double *a, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    s = s + a[i];
+  }
+  return s;
+}
+
+void init_data() {
+  srand(1007);
+  for (int i = 0; i < 48; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 12; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+}
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    arr1[i] = i * 0.25 + 3.5000;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 12; ++i) {
+    if (arr0[i] > 0.3000) {
+      arr1[i] = arr0[i] - 0.3750;
+    } else {
+      arr1[i] = arr0[i] * scale;
+    }
+  }
+  for (int i = 0; i < 48; ++i) {
+    checksum += arr0[i];
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 48; ++i) {
+    if (arr0[i] > 0.8000) {
+      arr0[i] = arr0[i] - 1.0000;
+    } else {
+      arr0[i] = arr0[i] * scale;
+    }
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 48; ++i) {
+    arr0[i] = mixv(arr0[i], scale);
+  }
+  for (int i = 0; i < 48; ++i) {
+    checksum += arr0[i];
+  }
+  for (int i = 0; i < 24; ++i) {
+    arr0[i] = i * 0.25 + 2.0000;
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

@@ -1,0 +1,67 @@
+double arr0[16];
+double arr1[24];
+int iarr2[16];
+
+void host_fill(double *a, int n, double v);
+void stage(double *src, double *dst, int n, double w);
+void init_data();
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    checksum += arr0[i];
+  }
+  acc1 = 0.0;
+  #pragma omp target teams distribute parallel for reduction(+: acc1)
+  for (int i = 0; i < 24; ++i) {
+    acc1 += arr1[i] * 0.0625;
+  }
+  checksum += acc1;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) {
+    arr0[i] += arr1[i] * 0.0625;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) {
+    if (arr0[i] > 0.8000) {
+      arr0[i] = arr0[i] - 1.0000;
+    } else {
+      arr0[i] = arr0[i] * scale;
+    }
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) {
+    arr0[i] = arr0[i] * 1.4375;
+  }
+  for (int i = 0; i < 16; ++i) {
+    checksum += arr0[i];
+  }
+  for (int i = 0; i < 8; ++i) {
+    arr0[i] = i * 0.25 + 2.0000;
+  }
+  scale = scale + 0.1406;
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    tail += iarr2[i];
+  }
+  printf("iarr2=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

@@ -1,0 +1,86 @@
+double arr0[24];
+double arr1[16];
+double arr2[20];
+double cold3[32];
+
+double mixv(double a, double b) {
+  if (a > b) {
+    return a - b;
+  }
+  return a + b * 0.5;
+}
+
+double host_sum(double *a, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    s = s + a[i];
+  }
+  return s;
+}
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+void init_data() {
+  srand(1010);
+  for (int i = 0; i < 24; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 16; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 20; ++i) {
+    arr2[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 32; ++i) {
+    cold3[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+}
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  scale = scale + 0.0625;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) {
+    arr2[i] = arr1[i] + 2.2500 + arr2[i] * 0.25;
+  }
+  acc2 = 0.0;
+  #pragma omp target teams distribute parallel for reduction(+: acc2)
+  for (int i = 0; i < 24; ++i) {
+    acc2 += arr0[i] * 0.0625;
+  }
+  checksum += acc2;
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    tail += arr2[i];
+  }
+  printf("arr2=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    tail += cold3[i];
+  }
+  printf("cold3=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

@@ -1,0 +1,37 @@
+extern double arr0[32];
+extern double arr1[48];
+extern int iarr2[32];
+
+double mixv(double a, double b) {
+  if (a > b) {
+    return a - b;
+  }
+  return a + b * 0.5;
+}
+
+void host_fill(double *a, int n, double v) {
+  for (int i = 0; i < n; ++i) {
+    a[i] = v + i * 0.5;
+  }
+}
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+void init_data() {
+  srand(1013);
+  for (int i = 0; i < 32; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 48; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 32; ++i) {
+    iarr2[i] = rand() % 50;
+  }
+}
+

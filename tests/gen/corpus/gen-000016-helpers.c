@@ -1,0 +1,32 @@
+extern double arr0[24];
+extern double arr1[16];
+extern double cold2[48];
+
+double host_sum(double *a, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    s = s + a[i];
+  }
+  return s;
+}
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+void init_data() {
+  srand(1016);
+  for (int i = 0; i < 24; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 16; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 48; ++i) {
+    cold2[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+}
+

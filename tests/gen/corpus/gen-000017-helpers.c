@@ -1,0 +1,24 @@
+extern double arr0[16];
+extern double arr1[32];
+extern int iarr2[48];
+
+double mixv(double a, double b) {
+  if (a > b) {
+    return a - b;
+  }
+  return a + b * 0.5;
+}
+
+void init_data() {
+  srand(1017);
+  for (int i = 0; i < 16; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 32; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 48; ++i) {
+    iarr2[i] = rand() % 50;
+  }
+}
+

@@ -1,0 +1,24 @@
+extern double arr0[32];
+extern double arr1[48];
+extern double cold2[48];
+
+double mixv(double a, double b) {
+  if (a > b) {
+    return a - b;
+  }
+  return a + b * 0.5;
+}
+
+void init_data() {
+  srand(1018);
+  for (int i = 0; i < 32; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 48; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 48; ++i) {
+    cold2[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+}
+

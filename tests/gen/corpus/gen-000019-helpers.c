@@ -1,0 +1,20 @@
+extern double arr0[48];
+extern double arr1[12];
+
+double mixv(double a, double b) {
+  if (a > b) {
+    return a - b;
+  }
+  return a + b * 0.5;
+}
+
+void init_data() {
+  srand(1019);
+  for (int i = 0; i < 48; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 12; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+}
+

@@ -1,0 +1,63 @@
+double arr0[48];
+double arr1[12];
+
+double mixv(double a, double b);
+void init_data();
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 48; ++i) {
+      arr0[i] = arr0[i] * scale + 2.0000 + arr0[i] * 0.25;
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 12; ++i) {
+      if (arr1[i] > 0.1000) {
+        arr1[i] = arr1[i] - 0.1250;
+      } else {
+        arr1[i] = arr1[i] * scale;
+      }
+    }
+    acc2 = 0.0;
+    #pragma omp target teams distribute parallel for reduction(+: acc2)
+    for (int i = 0; i < 48; ++i) {
+      acc2 += arr0[i] * 0.2188;
+    }
+    checksum += acc2;
+    acc0 = 0.0;
+    #pragma omp target teams distribute parallel for reduction(+: acc0)
+    for (int i = 0; i < 48; ++i) {
+      acc0 += arr0[i] * 0.1562;
+    }
+    checksum += acc0;
+    for (int i = 0; i < 12; ++i) {
+      arr1[i] = i * 0.25 + 2.0000;
+    }
+    for (int i = 0; i < 48; ++i) {
+      checksum += arr0[i];
+    }
+    for (int i = 0; i < 12; ++i) {
+      checksum += arr1[i];
+    }
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

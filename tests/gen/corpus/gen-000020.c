@@ -1,0 +1,95 @@
+struct cfg_t {
+  double scale;
+  double bias;
+};
+
+double arr0[12];
+double arr1[48];
+int iarr2[48];
+struct cfg_t cfg;
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+void init_data() {
+  srand(1020);
+  for (int i = 0; i < 12; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 48; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 48; ++i) {
+    iarr2[i] = rand() % 50;
+  }
+  cfg.scale = 1.25;
+  cfg.bias = 0.5;
+}
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  int iter = 0;
+  while (iter < 4) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 12; ++i) {
+      arr0[i] += arr1[i] * 0.0625;
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 12; ++i) {
+      if (arr0[i] > 0.8000) {
+        arr0[i] = arr0[i] - 1.0000;
+      } else {
+        arr0[i] = arr0[i] * scale;
+      }
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 12; ++i) {
+      arr0[i] = arr0[i] * 1.4375;
+    }
+    for (int i = 0; i < 12; ++i) {
+      checksum += arr0[i];
+    }
+    for (int i = 0; i < 12; ++i) {
+      arr0[i] = i * 0.25 + 2.0000;
+    }
+    for (int i = 0; i < 48; ++i) {
+      checksum += arr1[i];
+    }
+    acc0 = 0.0;
+    #pragma omp target teams distribute parallel for reduction(+: acc0)
+    for (int i = 0; i < 12; ++i) {
+      acc0 += arr0[i] * 0.2812;
+    }
+    checksum += acc0;
+    iter = iter + 1;
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    tail += iarr2[i];
+  }
+  printf("iarr2=%.6f\n", tail);
+  printf("cfg=%.6f %.6f\n", cfg.scale, cfg.bias);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

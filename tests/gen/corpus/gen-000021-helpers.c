@@ -1,0 +1,28 @@
+extern double arr0[48];
+extern double arr1[48];
+extern double arr2[40];
+extern int iarr3[20];
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+void init_data() {
+  srand(1021);
+  for (int i = 0; i < 48; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 48; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 40; ++i) {
+    arr2[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 20; ++i) {
+    iarr3[i] = rand() % 50;
+  }
+}
+

@@ -1,0 +1,72 @@
+double arr0[48];
+double arr1[48];
+double arr2[40];
+int iarr3[20];
+
+void stage(double *src, double *dst, int n, double w);
+void init_data();
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    acc0 = 0.0;
+    #pragma omp target teams distribute parallel for reduction(+: acc0)
+    for (int i = 0; i < 48; ++i) {
+      acc0 += arr0[i] * 0.0312;
+    }
+    checksum += acc0;
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 40; ++i) {
+      if (arr1[i] > 0.7000) {
+        arr2[i] = arr1[i] - 0.8750;
+      } else {
+        arr2[i] = arr1[i] * scale + arr2[i] * 0.25;
+      }
+    }
+    acc2 = 0.0;
+    #pragma omp target teams distribute parallel for reduction(+: acc2)
+    for (int i = 0; i < 48; ++i) {
+      acc2 += arr1[i] * 0.1562;
+    }
+    checksum += acc2;
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 20; ++i) {
+      iarr3[i] = iarr3[i] * 1 + i % 5;
+    }
+    acc1 = 0.0;
+    #pragma omp target teams distribute parallel for reduction(+: acc1)
+    for (int i = 0; i < 48; ++i) {
+      acc1 += arr0[i] * 0.0625;
+    }
+    checksum += acc1;
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += arr2[i];
+  }
+  printf("arr2=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    tail += iarr3[i];
+  }
+  printf("iarr3=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

@@ -1,0 +1,86 @@
+struct cfg_t {
+  double scale;
+  double bias;
+};
+
+double arr0[32];
+double arr1[20];
+struct cfg_t cfg;
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+void init_data() {
+  srand(1024);
+  for (int i = 0; i < 32; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 20; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  cfg.scale = 1.25;
+  cfg.bias = 0.5;
+}
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 20; ++i) {
+      if (arr1[i] > 0.1000) {
+        arr1[i] = arr1[i] - 0.1250;
+      } else {
+        arr1[i] = arr1[i] * scale + arr0[i] * 0.25;
+      }
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 32; ++i) {
+      if (arr0[i] > 0.7000) {
+        arr0[i] = arr0[i] - 0.8750;
+      } else {
+        arr0[i] = arr0[i] * scale + arr0[i] * 0.25;
+      }
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 32; ++i) {
+      if (arr0[i] > 0.5000) {
+        arr0[i] = arr0[i] - 0.6250;
+      } else {
+        arr0[i] = arr0[i] * scale;
+      }
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 20; ++i) {
+      if (arr1[i] > 0.4000) {
+        arr1[i] = arr1[i] - 0.5000;
+      } else {
+        arr1[i] = arr1[i] * scale;
+      }
+    }
+    cfg.bias = cfg.bias + 0.5000;
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  printf("cfg=%.6f %.6f\n", cfg.scale, cfg.bias);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

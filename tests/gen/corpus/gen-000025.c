@@ -1,0 +1,74 @@
+double arr0[20];
+double arr1[40];
+int iarr2[32];
+
+double host_sum(double *a, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    s = s + a[i];
+  }
+  return s;
+}
+
+void host_fill(double *a, int n, double v) {
+  for (int i = 0; i < n; ++i) {
+    a[i] = v + i * 0.5;
+  }
+}
+
+void init_data() {
+  srand(1025);
+  for (int i = 0; i < 20; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 40; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 32; ++i) {
+    iarr2[i] = rand() % 50;
+  }
+}
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  checksum += host_sum(arr0, 20);
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 20; ++i) {
+    arr0[i] = arr0[i] * 1.4375;
+  }
+  for (int i = 0; i < 20; ++i) {
+    checksum += arr0[i];
+  }
+  for (int i = 0; i < 10; ++i) {
+    arr0[i] = i * 0.25 + 2.0000;
+  }
+  scale = scale + 0.1406;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 20; ++i) {
+    arr0[i] = arr1[i] * 1.4375 + arr0[i] * 0.25;
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    tail += iarr2[i];
+  }
+  printf("iarr2=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

@@ -1,0 +1,59 @@
+double arr0[40];
+double arr1[32];
+double arr2[20];
+
+double mixv(double a, double b);
+double host_sum(double *a, int n);
+void stage(double *src, double *dst, int n, double w);
+void init_data();
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    checksum += arr2[i];
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 20; ++i) {
+    if (arr0[i] > 0.5000) {
+      arr0[i] = arr0[i] - 0.6250;
+    } else {
+      arr0[i] = arr0[i] * scale + arr2[i] * 0.25;
+    }
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 20; ++i) {
+    if (arr2[i] > 0.4000) {
+      arr2[i] = arr2[i] - 0.5000;
+    } else {
+      arr2[i] = arr2[i] * scale;
+    }
+  }
+  stage(arr0, arr2, 20, scale);
+  stage(arr2, arr2, 20, scale);
+  checksum += host_sum(arr2, 20);
+  stage(arr2, arr2, 20, scale);
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    tail += arr2[i];
+  }
+  printf("arr2=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

@@ -1,0 +1,36 @@
+extern double arr0[20];
+extern double arr1[20];
+extern int iarr2[40];
+extern double cold3[48];
+
+double host_sum(double *a, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    s = s + a[i];
+  }
+  return s;
+}
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+void init_data() {
+  srand(1031);
+  for (int i = 0; i < 20; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 20; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 40; ++i) {
+    iarr2[i] = rand() % 50;
+  }
+  for (int i = 0; i < 48; ++i) {
+    cold3[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+}
+

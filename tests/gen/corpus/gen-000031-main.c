@@ -1,0 +1,64 @@
+double arr0[20];
+double arr1[20];
+int iarr2[40];
+double cold3[48];
+
+double host_sum(double *a, int n);
+void stage(double *src, double *dst, int n, double w);
+void init_data();
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  for (int t = 0; t < 2; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 20; ++i) {
+      arr1[i] += arr0[i] * 0.2500;
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 20; ++i) {
+      arr0[i] = arr0[i] + 2.0000;
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 40; ++i) {
+      iarr2[i] = iarr2[i] + 4;
+    }
+    acc0 = 0.0;
+    #pragma omp target teams distribute parallel for reduction(+: acc0)
+    for (int i = 0; i < 20; ++i) {
+      acc0 += arr1[i] * 0.2188;
+    }
+    checksum += acc0;
+    for (int i = 0; i < 20; ++i) {
+      checksum += arr1[i];
+    }
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += iarr2[i];
+  }
+  printf("iarr2=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    tail += cold3[i];
+  }
+  printf("cold3=%.6f\n", tail);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

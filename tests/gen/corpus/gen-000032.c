@@ -1,0 +1,86 @@
+struct cfg_t {
+  double scale;
+  double bias;
+};
+
+double arr0[20];
+double arr1[40];
+double cold2[32];
+struct cfg_t cfg;
+
+double host_sum(double *a, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    s = s + a[i];
+  }
+  return s;
+}
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+void init_data() {
+  srand(1032);
+  for (int i = 0; i < 20; ++i) {
+    arr0[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 40; ++i) {
+    arr1[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  for (int i = 0; i < 32; ++i) {
+    cold2[i] = (double)(rand() % 100) * 0.01 + 0.5;
+  }
+  cfg.scale = 1.25;
+  cfg.bias = 0.5;
+}
+
+int main() {
+  init_data();
+  double checksum = 0.0;
+  double scale = 1.5;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double tail = 0.0;
+  for (int t = 0; t < 2; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 20; ++i) {
+      arr1[i] += arr0[i] * 0.2500;
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 20; ++i) {
+      arr0[i] = arr0[i] * cfg.scale + cfg.bias;
+    }
+    stage(arr0, arr1, 20, scale);
+    cfg.scale = cfg.scale + 0.3125;
+    acc1 = 0.0;
+    #pragma omp target teams distribute parallel for reduction(+: acc1)
+    for (int i = 0; i < 20; ++i) {
+      acc1 += arr0[i] * 0.2500;
+    }
+    checksum += acc1;
+  }
+  checksum += acc0 + acc1 + acc2;
+  tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    tail += arr0[i];
+  }
+  printf("arr0=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += arr1[i];
+  }
+  printf("arr1=%.6f\n", tail);
+  tail = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    tail += cold2[i];
+  }
+  printf("cold2=%.6f\n", tail);
+  printf("cfg=%.6f %.6f\n", cfg.scale, cfg.bias);
+  printf("scale=%.6f checksum=%.6f\n", scale, checksum);
+  return 0;
+}

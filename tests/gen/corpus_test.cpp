@@ -1,0 +1,100 @@
+// Golden-corpus pinning: tests/gen/corpus/ holds 32 seeded programs plus a
+// manifest with source hashes and plan-IR fingerprints. Any generator
+// drift (program text changes for a pinned seed) or planner drift (the
+// plan for a pinned program changes) fails tier-1 deterministically; an
+// intentional change regenerates the corpus with
+//   ./build/ompdart_cli --fuzz=32 --gen-seed=1 -o tests/gen/corpus
+#include "gen/generator.hpp"
+
+#include "support/hash.hpp"
+#include "support/json.hpp"
+#include "verify/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef OMPDART_REPO_DIR
+#define OMPDART_REPO_DIR "."
+#endif
+
+namespace ompdart {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpusDir() {
+  return fs::path(OMPDART_REPO_DIR) / "tests" / "gen" / "corpus";
+}
+
+json::Value loadManifest() {
+  std::ifstream in(corpusDir() / "manifest.json");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto parsed = json::Value::parse(buffer.str(), &error);
+  EXPECT_TRUE(parsed.has_value()) << error;
+  return parsed.value_or(json::Value());
+}
+
+std::string readFile(const fs::path &path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(GoldenCorpusTest, ThirtyTwoProgramsPinned) {
+  const json::Value manifest = loadManifest();
+  const json::Value *programs = manifest.find("programs");
+  ASSERT_NE(programs, nullptr);
+  EXPECT_EQ(programs->items().size(), 32u);
+  EXPECT_EQ(manifest.uintOr("baseSeed"), 1u);
+}
+
+TEST(GoldenCorpusTest, GeneratorReproducesEveryPinnedProgram) {
+  const json::Value manifest = loadManifest();
+  const json::Value *programs = manifest.find("programs");
+  ASSERT_NE(programs, nullptr);
+  for (const json::Value &entry : programs->items()) {
+    const std::uint64_t seed = entry.uintOr("seed");
+    const gen::GeneratedProgram program = gen::generateProgram(seed);
+    SCOPED_TRACE(program.name);
+    // TU-by-TU byte equality against the checked-in files.
+    const json::Value *files = entry.find("files");
+    ASSERT_NE(files, nullptr);
+    ASSERT_EQ(files->items().size(), program.tus.size());
+    for (std::size_t i = 0; i < program.tus.size(); ++i) {
+      EXPECT_EQ(files->items()[i].asString(), program.tus[i].name);
+      EXPECT_EQ(readFile(corpusDir() / program.tus[i].name),
+                program.tus[i].source)
+          << "generator drift for " << program.tus[i].name;
+    }
+    EXPECT_EQ(entry.stringOr("sourceHash"),
+              hash::fingerprint(program.combined()));
+    EXPECT_EQ(entry.boolOr("provableTrips"), program.provableTrips);
+    EXPECT_EQ(entry.boolOr("multiTu"), program.multiTu());
+  }
+}
+
+TEST(GoldenCorpusTest, PlannerReproducesEveryPinnedIrFingerprint) {
+  const json::Value manifest = loadManifest();
+  const json::Value *programs = manifest.find("programs");
+  ASSERT_NE(programs, nullptr);
+  for (const json::Value &entry : programs->items()) {
+    const std::uint64_t seed = entry.uintOr("seed");
+    const gen::GeneratedProgram program = gen::generateProgram(seed);
+    SCOPED_TRACE(program.name);
+    verify::OracleOptions options;
+    options.checkRewrite = true;
+    const verify::OracleVerdict verdict = verify::runOracle(program, options);
+    EXPECT_TRUE(verdict.ok) << verdict.divergence();
+    EXPECT_EQ(entry.stringOr("irFingerprint"), verdict.irFingerprint)
+        << "plan drift for " << program.name;
+  }
+}
+
+} // namespace
+} // namespace ompdart

@@ -1,0 +1,91 @@
+// Shrinker contract tests: a failure reachable from one statement reduces
+// past the 25% gate, non-failing inputs come back untouched, every kept
+// intermediate (and the result) still satisfies the predicate, and the
+// statement counter ignores the holes deletion leaves behind.
+#include "gen/shrink.hpp"
+
+#include "gen/generator.hpp"
+#include "interp/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ompdart {
+namespace {
+
+std::string injectedFailure(std::uint64_t seed) {
+  gen::GeneratedProgram victim = gen::generateProgram(seed);
+  std::string bugged = victim.combined();
+  const std::string tail = "  return 0;\n}";
+  const auto at = bugged.rfind(tail);
+  EXPECT_NE(at, std::string::npos);
+  bugged.insert(at, "  printf(\"FUZZBUG\\n\");\n");
+  return bugged;
+}
+
+bool printsMarker(const std::string &source) {
+  const auto run = interp::runProgram(source);
+  return run.ok && run.output.find("FUZZBUG") != std::string::npos;
+}
+
+TEST(ShrinkTest, ReducesInjectedFailureBelowQuarter) {
+  for (std::uint64_t seed : {4ull, 12ull, 31ull}) {
+    const std::string bugged = injectedFailure(seed);
+    const gen::ShrinkResult shrunk =
+        gen::shrinkProgram(bugged, printsMarker);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + shrunk.source);
+    EXPECT_GT(shrunk.originalStatements, 0u);
+    EXPECT_LE(shrunk.finalStatements * 4, shrunk.originalStatements)
+        << "shrinker left " << shrunk.finalStatements << " of "
+        << shrunk.originalStatements;
+    // The minimized program still reproduces.
+    EXPECT_TRUE(printsMarker(shrunk.source));
+  }
+}
+
+TEST(ShrinkTest, NonFailingInputComesBackUnchanged) {
+  const std::string healthy = gen::generateProgram(4).combined();
+  const gen::ShrinkResult shrunk =
+      gen::shrinkProgram(healthy, printsMarker); // marker never printed
+  EXPECT_EQ(shrunk.source, healthy);
+  EXPECT_EQ(shrunk.finalStatements, shrunk.originalStatements);
+  EXPECT_EQ(shrunk.deletions, 0u);
+}
+
+TEST(ShrinkTest, UnparseableInputComesBackUnchanged) {
+  const std::string garbage = "int main( {";
+  const gen::ShrinkResult shrunk =
+      gen::shrinkProgram(garbage, [](const std::string &) { return true; });
+  EXPECT_EQ(shrunk.source, garbage);
+  EXPECT_EQ(shrunk.originalStatements, 0u);
+}
+
+TEST(ShrinkTest, EveryAcceptedDeletionSatisfiedThePredicate) {
+  // The predicate sees every candidate; count how many the shrinker kept
+  // and verify the final source is among the accepted ones semantically.
+  unsigned accepted = 0;
+  const std::string bugged = injectedFailure(4);
+  const gen::ShrinkResult shrunk =
+      gen::shrinkProgram(bugged, [&](const std::string &candidate) {
+        const bool pass = printsMarker(candidate);
+        if (pass)
+          ++accepted;
+        return pass;
+      });
+  EXPECT_GT(shrunk.deletions, 0u);
+  EXPECT_GE(accepted, shrunk.deletions); // includes the initial check
+  EXPECT_LE(shrunk.attempts, 6000u);
+}
+
+TEST(ShrinkTest, CountStatementsIgnoresNullHoles) {
+  EXPECT_EQ(gen::countStatements("int main() { return 0; }"), 1u);
+  EXPECT_EQ(gen::countStatements("int main() { ; ; return 0; }"), 1u);
+  EXPECT_EQ(gen::countStatements(
+                "int main() { int x = 1; if (x) { x = 2; } return x; }"),
+            4u);
+  EXPECT_EQ(gen::countStatements("not c"), 0u);
+}
+
+} // namespace
+} // namespace ompdart

@@ -1,0 +1,328 @@
+// SourceRewriteBackend edge cases the generator + oracle exposed:
+//   - zero-map regions must not emit an (invalid) empty `target data`
+//     directive while still emitting their updates and firstprivates,
+//   - directives whose insertion points share one source line must nest
+//     structurally (update inside body braces inside region braces),
+//   - BodyBegin/BodyEnd updates at loop-body boundaries must wrap
+//     braceless bodies in braces instead of dropping the directive outside
+//     the loop (or displacing the body).
+#include "mapping/backend.hpp"
+
+#include "common/test_util.hpp"
+#include "driver/pipeline.hpp"
+#include "interp/interp.hpp"
+#include "rewrite/rewriter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ompdart {
+namespace {
+
+/// Symbol + whole-object map helper for hand-built IRs.
+ir::Symbol makeSymbol(ir::SymbolId id, const std::string &name,
+                      std::size_t declOffset) {
+  ir::Symbol symbol;
+  symbol.id = id;
+  symbol.name = name;
+  symbol.declOffset = declOffset;
+  symbol.isGlobal = true;
+  symbol.elemBytes = 8;
+  return symbol;
+}
+
+TEST(RewriteEdgeTest, ZeroMapRegionEmitsNoDataDirective) {
+  // A region whose maps are empty (everything became firstprivate or
+  // updates) must not render `#pragma omp target data` with no clauses —
+  // that is not valid OpenMP. Updates and firstprivates still render.
+  const std::string source = R"(
+double a[8];
+
+int main() {
+  a[0] = 1.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 8; ++i) {
+    a[i] = a[i] + 1.0;
+  }
+  printf("%.1f\n", a[0]);
+  return 0;
+}
+)";
+  SourceManager sm("zero.c", source);
+
+  ir::MappingIr ir;
+  ir.file = "zero.c";
+  ir.symbols.push_back(makeSymbol(0, "a", source.find("double a[8]")));
+
+  ir::Region region;
+  region.function = "main";
+  const std::size_t hostWrite = source.find("a[0] = 1.0;");
+  const std::size_t kernelEnd = source.find("printf");
+  region.start.beginOffset = hostWrite;
+  region.start.line = 5;
+  region.end.endOffset = kernelEnd;
+  region.end.endLine = 10;
+  // No maps at all; one update + one firstprivate.
+  ir::UpdateItem update;
+  update.symbol = 0;
+  update.direction = ir::UpdateDirection::To;
+  update.placement = ir::UpdatePlacement::After;
+  update.item = "a";
+  update.anchor.beginOffset = hostWrite;
+  update.anchor.endOffset = hostWrite + std::string("a[0] = 1.0;").size();
+  region.updates.push_back(update);
+  ir::FirstprivateItem fp;
+  fp.symbol = 0;
+  fp.var = "n_like";
+  fp.kernelPragmaEndOffset =
+      source.find("parallel for") + std::string("parallel for").size();
+  region.firstprivates.push_back(fp);
+  ir.regions.push_back(region);
+
+  const std::string out = applyMappingIr(sm, ir);
+  EXPECT_EQ(out.find("#pragma omp target data"), std::string::npos) << out;
+  EXPECT_NE(out.find("#pragma omp target update to(a)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("firstprivate(n_like)"), std::string::npos) << out;
+}
+
+TEST(RewriteEdgeTest, BracelessWhileBodyGainsBracesAroundBodyEndUpdate) {
+  // Full pipeline on a braceless while body: the BodyEnd update must land
+  // inside new braces, inside the region — and the transformed program
+  // must behave identically.
+  const std::string source = R"(
+int stop[1];
+double a[8];
+
+int main() {
+  stop[0] = 0;
+  for (int i = 0; i < 8; ++i) {
+    a[i] = 0.5;
+  }
+  int t = 0;
+  while (stop[0] == 0 && t < 20)
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 8; ++i) {
+      a[i] = a[i] + 1.0;
+      if (a[i] > 3.0) {
+        stop[0] = 1;
+      }
+      t = t + 1;
+    }
+  double sum = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    sum += a[i];
+  }
+  printf("%.6f %d\n", sum, stop[0]);
+  return 0;
+}
+)";
+  Session session("braceless.c", source);
+  ASSERT_TRUE(session.run());
+  const std::string out = session.rewrite();
+  SCOPED_TRACE(out);
+
+  // Structural nesting on the shared line: update, then body close, then
+  // region close.
+  const std::size_t update = out.find("#pragma omp target update from(");
+  ASSERT_NE(update, std::string::npos);
+  const std::size_t bodyClose = out.find("}", update);
+  ASSERT_NE(bodyClose, std::string::npos);
+  const std::size_t regionClose = out.find("}", bodyClose + 1);
+  ASSERT_NE(regionClose, std::string::npos);
+  EXPECT_LT(update, bodyClose);
+  EXPECT_LT(bodyClose, regionClose);
+  // An opening brace now precedes the kernel pragma inside the while.
+  const std::size_t whilePos = out.find("while (stop[0]");
+  const std::size_t bodyOpen = out.find("{", whilePos);
+  const std::size_t pragma = out.find("#pragma omp target teams", whilePos);
+  EXPECT_LT(bodyOpen, pragma);
+
+  // The transformed program re-parses and reproduces the baseline output.
+  const auto parsed = test::parse(out, "braceless_out.c");
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+  const auto baseline = interp::runProgram(source);
+  const auto transformed = interp::runProgram(out);
+  ASSERT_TRUE(baseline.ok) << baseline.error;
+  ASSERT_TRUE(transformed.ok) << transformed.error;
+  EXPECT_EQ(baseline.output, transformed.output);
+  EXPECT_LE(transformed.ledger.totalBytes(), baseline.ledger.totalBytes());
+}
+
+TEST(RewriteEdgeTest, BracelessForBodyGainsBracesAroundBodyBeginUpdate) {
+  // Hand-built IR: a BodyBegin update on a for loop whose body is a single
+  // statement. The rewriter must add braces so the directive does not
+  // *become* the loop body.
+  const std::string source = R"(
+double a[4];
+
+int main() {
+  a[0] = 1.0;
+  for (int i = 0; i < 3; ++i)
+    a[0] = a[0] * 2.0;
+  printf("%.1f\n", a[0]);
+  return 0;
+}
+)";
+  SourceManager sm("bodybegin.c", source);
+
+  ir::MappingIr ir;
+  ir.file = "bodybegin.c";
+  ir.symbols.push_back(makeSymbol(0, "a", source.find("double a[4]")));
+  ir::Region region;
+  region.function = "main";
+  const std::size_t loopAt = source.find("for (int i = 0; i < 3");
+  const std::size_t bodyAt = source.find("a[0] = a[0] * 2.0;");
+  const std::size_t bodyEnd = bodyAt + std::string("a[0] = a[0] * 2.0;").size();
+  region.start.beginOffset = loopAt;
+  region.start.line = 6;
+  region.end.endOffset = bodyEnd;
+  region.end.endLine = 7;
+  ir::MapItem map;
+  map.symbol = 0;
+  map.type = ir::MapType::To;
+  map.item = "a";
+  map.approxBytes = 32;
+  map.coldEntries = 1;
+  region.maps.push_back(map);
+  ir::UpdateItem update;
+  update.symbol = 0;
+  update.direction = ir::UpdateDirection::To;
+  update.placement = ir::UpdatePlacement::BodyBegin;
+  update.item = "a";
+  update.anchor.beginOffset = loopAt;
+  update.anchor.endOffset = bodyEnd;
+  update.anchor.hasBody = true;
+  update.anchor.bodyIsCompound = false;
+  update.anchor.bodyBeginOffset = bodyAt;
+  update.anchor.bodyEndOffset = bodyEnd;
+  region.updates.push_back(update);
+  ir.regions.push_back(region);
+
+  const std::string out = applyMappingIr(sm, ir);
+  SCOPED_TRACE(out);
+  const auto parsed = test::parse(out, "bodybegin_out.c");
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+
+  // Brace opens after the for header, then the update, then the body.
+  const std::size_t forPos = out.find("for (int i = 0; i < 3");
+  const std::size_t open = out.find("{", forPos);
+  const std::size_t directive = out.find("#pragma omp target update to(a)");
+  const std::size_t body = out.find("a[0] = a[0] * 2.0;");
+  ASSERT_NE(open, std::string::npos);
+  ASSERT_NE(directive, std::string::npos);
+  EXPECT_LT(forPos, open);
+  EXPECT_LT(open, directive);
+  EXPECT_LT(directive, body);
+  // The update now executes once per iteration: semantics preserved when
+  // interpreted.
+  const auto run = interp::runProgram(out);
+  EXPECT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.output, interp::runProgram(source).output);
+}
+
+TEST(RewriteEdgeTest, BodyOnLoopHeaderLineWrapsOnlyTheBody) {
+  // The body shares the loop header's line: the brace pair must wrap the
+  // body's exact byte range, not the whole header line (which would hoist
+  // the directive outside the loop, or wrap the loop itself).
+  const std::string source = R"(
+double a[4];
+
+int main() {
+  a[0] = 1.0;
+  for (int i = 0; i < 3; ++i) a[0] = a[0] * 2.0;
+  printf("%.1f\n", a[0]);
+  return 0;
+}
+)";
+  SourceManager sm("inline_body.c", source);
+
+  ir::MappingIr ir;
+  ir.file = "inline_body.c";
+  ir.symbols.push_back(makeSymbol(0, "a", source.find("double a[4]")));
+  ir::Region region;
+  region.function = "main";
+  const std::size_t loopAt = source.find("for (int i = 0; i < 3");
+  const std::size_t bodyAt = source.find("a[0] = a[0] * 2.0;");
+  const std::size_t bodyEnd = bodyAt + std::string("a[0] = a[0] * 2.0;").size();
+  region.start.beginOffset = loopAt;
+  region.start.line = 6;
+  region.end.endOffset = bodyEnd;
+  region.end.endLine = 6;
+  ir::MapItem map;
+  map.symbol = 0;
+  map.type = ir::MapType::To;
+  map.item = "a";
+  map.approxBytes = 32;
+  map.coldEntries = 1;
+  region.maps.push_back(map);
+  ir::UpdateItem update;
+  update.symbol = 0;
+  update.direction = ir::UpdateDirection::To;
+  update.placement = ir::UpdatePlacement::BodyEnd;
+  update.item = "a";
+  update.anchor.beginOffset = loopAt;
+  update.anchor.endOffset = bodyEnd;
+  update.anchor.hasBody = true;
+  update.anchor.bodyIsCompound = false;
+  update.anchor.bodyBeginOffset = bodyAt;
+  update.anchor.bodyEndOffset = bodyEnd;
+  region.updates.push_back(update);
+  ir.regions.push_back(region);
+
+  const std::string out = applyMappingIr(sm, ir);
+  SCOPED_TRACE(out);
+  const auto parsed = test::parse(out, "inline_body_out.c");
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+
+  // Nesting on the single original line: header, open brace, body,
+  // directive, close brace — the directive is INSIDE the loop.
+  const std::size_t forPos = out.find("for (int i = 0; i < 3");
+  const std::size_t open = out.find("{", forPos);
+  const std::size_t body = out.find("a[0] = a[0] * 2.0;");
+  const std::size_t directive = out.find("#pragma omp target update to(a)");
+  const std::size_t close = out.find("}", directive);
+  ASSERT_NE(directive, std::string::npos);
+  EXPECT_LT(forPos, open);
+  EXPECT_LT(open, body);
+  EXPECT_LT(body, directive);
+  EXPECT_LT(directive, close);
+  const auto run = interp::runProgram(out);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.output, interp::runProgram(source).output);
+}
+
+TEST(RewriteEdgeTest, UpdateAndClauseAppendSharingTheKernelLine) {
+  // A Before-update anchored at the kernel statement inserts at the
+  // pragma's line start while firstprivate/map appends insert at the
+  // pragma's end — one source line, three edits, all must compose.
+  const std::string source = R"(
+double a[8];
+
+int main() {
+  double s = 1.5;
+  a[0] = 2.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 8; ++i) {
+    a[i] = a[i] * s;
+  }
+  printf("%.1f\n", a[0]);
+  return 0;
+}
+)";
+  Session session("shared_line.c", source);
+  ASSERT_TRUE(session.run());
+  const std::string out = session.rewrite();
+  SCOPED_TRACE(out);
+  const auto parsed = test::parse(out, "shared_line_out.c");
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+  EXPECT_NE(out.find("firstprivate(s)"), std::string::npos);
+  const auto baseline = interp::runProgram(source);
+  const auto transformed = interp::runProgram(out);
+  ASSERT_TRUE(transformed.ok) << transformed.error;
+  EXPECT_EQ(baseline.output, transformed.output);
+}
+
+} // namespace
+} // namespace ompdart

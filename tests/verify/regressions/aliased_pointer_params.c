@@ -1,0 +1,30 @@
+// oracle-regression: provable=1
+// Found by the differential oracle (invariant 1): stage(data, data, ...)
+// aliases src and dst through two pointer parameters, so the kernel's
+// map(to: src) map(from: dst) clauses name the SAME storage. Sequential
+// reference-counted application suppressed every copy after the first,
+// leaving the device image uninitialized. Fix (interp): same-construct map
+// items of one object coalesce into the union of their map types
+// (to + from = tofrom), matching libomptarget.
+double data[16];
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+int main() {
+  for (int i = 0; i < 16; ++i) {
+    data[i] = i * 0.5;
+  }
+  stage(data, data, 16, 2.0);
+  stage(data, data, 16, 2.0);
+  double tail = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    tail += data[i];
+  }
+  printf("data=%.6f\n", tail);
+  return 0;
+}

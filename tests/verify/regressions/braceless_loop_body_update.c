@@ -1,0 +1,33 @@
+// oracle-regression: provable=0
+// Found by the oracle's rewritten-source leg: a BodyEnd update directive
+// anchored at a while loop whose body is a single (braceless) statement
+// was inserted AFTER the loop — outside both the loop and the data region
+// — so the loop condition kept reading stale host data. Fix (rewriter):
+// braceless loop bodies hosting BodyBegin/BodyEnd directives gain a brace
+// pair, and same-offset edits order structurally (region open, body open,
+// directives, body close, region close).
+int stop[1];
+double a[8];
+
+int main() {
+  stop[0] = 0;
+  for (int i = 0; i < 8; ++i) {
+    a[i] = 0.5;
+  }
+  int t = 0;
+  while (stop[0] == 0 && t < 20)
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 8; ++i) {
+      a[i] = a[i] + 1.0;
+      if (a[i] > 3.0) {
+        stop[0] = 1;
+      }
+      t = t + 1;
+    }
+  double sum = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    sum += a[i];
+  }
+  printf("%.6f %d\n", sum, stop[0]);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// oracle-regression: provable=1
+// Found by the differential oracle (invariant 2): the host loop fully
+// overwrites `a` after the kernel, so the kernel's device write is dead —
+// yet the planner kept a from-leg plus the update-to guarding it, moving
+// MORE bytes than the implicit baseline. Fix (planner): a for loop with
+// provably positive constant trips definitely executes, so its full-
+// coverage host writes kill the variable (no zero-trip merge).
+double a[16];
+double b[16];
+
+int main() {
+  for (int i = 0; i < 16; ++i) {
+    a[i] = i * 0.5;
+    b[i] = i * 0.25;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) {
+    a[i] = a[i] * 1.5;
+  }
+  for (int i = 0; i < 16; ++i) {
+    a[i] = i * 0.125 + 1.0;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) {
+    b[i] = b[i] + 2.0;
+  }
+  double tail = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    tail += a[i] + b[i];
+  }
+  printf("%.6f\n", tail);
+  return 0;
+}

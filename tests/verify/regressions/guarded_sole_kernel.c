@@ -1,0 +1,30 @@
+// oracle-regression: provable=0
+// Found by the differential oracle (invariant 1): with the sole kernel
+// nested inside an if, the planner's region walker finished the region in
+// the nested compound but kept walking the statements AFTER the branch as
+// if they were in-region. The post-region host read then became an
+// in-region dependency "satisfied" by a dead post-region update-from, and
+// the kernel's map lost its from-leg — the kernel's writes were silently
+// dropped. Fix (planner): the region walk stops at every nesting level
+// once the region end statement has been processed.
+double a[24];
+int flag[1];
+
+int main() {
+  flag[0] = 0;
+  for (int i = 0; i < 24; ++i) {
+    a[i] = i * 0.5;
+  }
+  if (flag[0] == 0) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 12; ++i) {
+      a[i] = a[i] * 2.0;
+    }
+  }
+  double tail = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    tail += a[i];
+  }
+  printf("%.6f\n", tail);
+  return 0;
+}

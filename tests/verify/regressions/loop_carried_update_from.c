@@ -1,0 +1,29 @@
+// oracle-regression: provable=1
+// Found by the differential oracle (invariant 1): the host read at the top
+// of the t-loop consumes values the kernel wrote in the PREVIOUS
+// iteration (a loop-carried device->host dependency). The planner placed
+// an update-from before the read, but on the first trip no kernel has run
+// yet — without a to-leg on the map the update copied uninitialized
+// device memory over live host data. Fix (planner): a loop-carried
+// update-from with Before placement forces the map's `to` leg, and its
+// hoist limit is the carrying loop's body (the producer-end limit is
+// meaningless across iterations).
+double a[16];
+
+int main() {
+  for (int i = 0; i < 16; ++i) {
+    a[i] = i * 0.5;
+  }
+  double sum = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < 16; ++i) {
+      sum += a[i];
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 16; ++i) {
+      a[i] = a[i] + 1.0;
+    }
+  }
+  printf("%.6f\n", sum);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// oracle-regression: provable=1
+// Found by the differential oracle (invariant 3): stage() is called both
+// INSIDE main's data region (warm: arguments already mapped) and AFTER it
+// (cold: pays the transition copies). All-or-nothing `present` marking
+// cannot express the mix — the per-map-item coldEntries split charges
+// exactly the cold call sites.
+double a[16];
+double b[16];
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+int main() {
+  for (int i = 0; i < 16; ++i) {
+    a[i] = i * 0.5;
+    b[i] = 0.0;
+  }
+  double scale = 1.5;
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) {
+    b[i] = a[i] * scale;
+  }
+  stage(a, b, 16, scale);
+  for (int i = 0; i < 16; ++i) {
+    sum += b[i];
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 16; ++i) {
+    a[i] = b[i] + 1.0;
+  }
+  stage(a, b, 16, scale);
+  for (int i = 0; i < 16; ++i) {
+    sum += a[i] + b[i];
+  }
+  printf("%.6f\n", sum);
+  return 0;
+}

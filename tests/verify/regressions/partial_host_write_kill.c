@@ -1,0 +1,29 @@
+// oracle-regression: provable=1
+// Found by code review of the full-coverage kill logic (and reachable by
+// the oracle): the host loop overwrites only HALF of `a` after the kernel
+// wrote all of it, yet a whole-object kill dropped the from-leg — the
+// final host read of a[20..39] saw stale pre-kernel values. Fix (planner):
+// a host write only kills when its coverage is provably full (direct
+// writes against the enclosing loop bounds, call-synthesized writes via
+// the callee's interprocedural full-sweep proof); partial writes of
+// device-valid data sync the untouched elements down first.
+double a[40];
+
+int main() {
+  for (int i = 0; i < 40; ++i) {
+    a[i] = i * 0.5;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 40; ++i) {
+    a[i] = a[i] * 3.0;
+  }
+  for (int i = 0; i < 20; ++i) {
+    a[i] = 0.25;
+  }
+  double tail = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    tail += a[i];
+  }
+  printf("%.6f\n", tail);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// oracle-regression: provable=1
+// Found by the differential oracle (invariant 3): every stage() call
+// executes inside main's data region, where both argument arrays are
+// already present — the callee kernel's maps are reference-count
+// transitions that move nothing, but the transfer predictor charged them
+// as cold entries. Fix (planner): the warm-callee post-pass marks such
+// map items `present` and zeroes their coldEntries; the predictor charges
+// transition copies per cold entry only.
+double a[16];
+double b[16];
+
+void stage(double *src, double *dst, int n, double w) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; ++i) {
+    dst[i] = src[i] * w + 0.75;
+  }
+}
+
+int main() {
+  for (int i = 0; i < 16; ++i) {
+    a[i] = i * 0.5;
+    b[i] = 0.0;
+  }
+  double scale = 1.5;
+  double sum = 0.0;
+  for (int t = 0; t < 2; ++t) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < 16; ++i) {
+      b[i] = a[i] * scale;
+    }
+    stage(a, b, 16, scale);
+    stage(b, a, 16, scale);
+    for (int i = 0; i < 16; ++i) {
+      sum += b[i];
+    }
+  }
+  printf("%.6f\n", sum);
+  return 0;
+}
