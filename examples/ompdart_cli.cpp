@@ -18,8 +18,12 @@
 #include "driver/project.hpp"
 #include "frontend/ast_printer.hpp"
 #include "frontend/parser.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "support/hash.hpp"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -28,6 +32,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -71,7 +76,16 @@ void usage(const char *argv0) {
       "                       --emit=json prints the full fuzz report)\n"
       "  --gen-seed=<K>       first seed of the fuzz corpus (default: 1)\n"
       "  --shrink             minimize failing programs to statement-minimal\n"
-      "                       repros (written as <name>.shrunk.c under -o)\n",
+      "                       repros (written as <name>.shrunk.c under -o)\n"
+      "  --serve=<socket>     plan-server daemon on a Unix socket: the plan\n"
+      "                       cache and project summaries stay hot across\n"
+      "                       requests (NDJSON protocol; see README)\n"
+      "  --workers=<N>        connection worker threads for --serve\n"
+      "  --connect=<socket>   client mode: plan the positional file (or\n"
+      "                       --project manifest) via a running server\n"
+      "  --request=<file|->   with --connect: replay raw NDJSON request\n"
+      "                       lines and print each response line\n"
+      "  --shutdown           with --connect: ask the server to stop\n",
       argv0, argv0, joined(emitKinds()).c_str(),
       joined(ompdart::costModelNames()).c_str());
 }
@@ -332,6 +346,250 @@ int runFuzzMode(unsigned count, std::uint64_t baseSeed, bool shrink,
   return result.allPassed() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Plan-server modes
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t gStopRequested = 0;
+
+void handleStopSignal(int) { gStopRequested = 1; }
+
+/// Daemon mode: serve plan requests on a Unix socket until a "shutdown"
+/// request or SIGINT/SIGTERM arrives.
+int runServeMode(const std::string &socketPath, unsigned workers,
+                 ompdart::PipelineConfig config) {
+  namespace server = ompdart::server;
+  server::ServerOptions options;
+  options.socketPath = socketPath;
+  options.workers = workers;
+  options.service.config = std::move(config);
+
+  server::PlanServer planServer(std::move(options));
+  std::string error;
+  if (!planServer.start(&error)) {
+    std::fprintf(stderr, "cannot start plan server: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "plan server listening on %s\n", socketPath.c_str());
+
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+  // The signal handler only flips a flag; the main thread polls it so the
+  // actual stop runs in normal (signal-safe) context.
+  while (planServer.running() && gStopRequested == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  planServer.stop();
+  planServer.wait();
+
+  const server::ServiceStats stats = planServer.service().stats();
+  std::fprintf(stderr,
+               "plan server stopped: %llu requests, %llu TUs planned, "
+               "%llu TUs reused, %llu connections\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.tusPlanned),
+               static_cast<unsigned long long>(stats.tusReused),
+               static_cast<unsigned long long>(
+                   planServer.connectionsServed()));
+  return 0;
+}
+
+/// The planning switches of this invocation as a request "config" override
+/// object, so a server with different defaults still plans what the client
+/// asked for.
+ompdart::json::Value configOverrides(const ompdart::PipelineConfig &config) {
+  ompdart::json::Value overrides = ompdart::json::Value::object();
+  overrides.set("costModel", config.costModel);
+  overrides.set("firstprivate", config.planner.useFirstprivate);
+  overrides.set("hoistUpdates", config.planner.hoistUpdates);
+  overrides.set("regionOverLoops", config.planner.extendRegionOverLoops);
+  overrides.set("interprocedural", config.planner.interprocedural);
+  return overrides;
+}
+
+/// Client mode: plan the given file / project through a running server, or
+/// replay a raw NDJSON request script.
+int runConnectMode(const std::string &socketPath,
+                   const std::string &inputPath, const std::string &source,
+                   const std::string &projectPath,
+                   const std::string &requestScript, bool shutdown,
+                   const std::string &outputPath, const std::string &emit,
+                   const ompdart::PipelineConfig &config) {
+  namespace fs = std::filesystem;
+  namespace json = ompdart::json;
+  namespace server = ompdart::server;
+
+  server::PlanClient client;
+  std::string error;
+  if (!client.connect(socketPath, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  if (!requestScript.empty()) {
+    // Raw replay: one response line per request line, verbatim.
+    std::istream *in = &std::cin;
+    std::ifstream file;
+    if (requestScript != "-") {
+      file.open(requestScript);
+      if (!file) {
+        std::fprintf(stderr, "cannot open '%s'\n", requestScript.c_str());
+        return 1;
+      }
+      in = &file;
+    }
+    std::string line;
+    bool anyFailed = false;
+    while (std::getline(*in, line)) {
+      if (line.empty())
+        continue;
+      const auto response = client.callRaw(line, &error);
+      if (!response) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      std::printf("%s\n", response->c_str());
+      const auto parsed = json::Value::parse(*response);
+      anyFailed = anyFailed || !parsed || !parsed->boolOr("ok");
+    }
+    return anyFailed ? 1 : 0;
+  }
+
+  if (shutdown) {
+    json::Value request = json::Value::object();
+    request.set("method", "shutdown");
+    const auto response = client.call(request, &error);
+    if (!response || !response->boolOr("ok")) {
+      std::fprintf(stderr, "shutdown failed: %s\n", error.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (!projectPath.empty()) {
+    auto manifest = ompdart::ProjectManifest::fromJsonFile(projectPath,
+                                                           &error);
+    if (!manifest) {
+      std::fprintf(stderr, "cannot load project '%s': %s\n",
+                   projectPath.c_str(), error.c_str());
+      return 1;
+    }
+    json::Value request = json::Value::object();
+    request.set("method", "project");
+    request.set("project", manifest->name);
+    request.set("config", configOverrides(config));
+    if (emit == "json")
+      request.set("report", true);
+    json::Value tus = json::Value::array();
+    for (const ompdart::ProjectTu &tu : manifest->tus) {
+      json::Value tuJson = json::Value::object();
+      tuJson.set("name", tu.name);
+      tuJson.set("file", tu.fileName);
+      tuJson.set("source", tu.source);
+      tus.push(std::move(tuJson));
+    }
+    request.set("tus", std::move(tus));
+
+    const auto response = client.call(request, &error);
+    if (!response) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (!response->boolOr("ok")) {
+      std::fprintf(stderr, "server error: %s\n",
+                   response->stringOr("error").c_str());
+      return 1;
+    }
+    const json::Value *result = response->find("result");
+    if (emit == "json") {
+      std::printf("%s\n", result->dump(/*pretty=*/true).c_str());
+      return result->boolOr("success") ? 0 : 1;
+    }
+    const json::Value *tusJson = result->find("tus");
+    bool ok = result->boolOr("success");
+    for (const json::Value &tu : tusJson->items()) {
+      const std::string name = tu.stringOr("name");
+      const std::string output = tu.stringOr("output");
+      if (outputPath.empty()) {
+        std::printf("// ===== %s =====\n%s", name.c_str(), output.c_str());
+        if (!output.empty() && output.back() != '\n')
+          std::printf("\n");
+      } else {
+        std::error_code ec;
+        fs::create_directories(outputPath, ec);
+        std::string flat = name;
+        for (char &c : flat)
+          if (c == '/' || c == '\\')
+            c = '_';
+        std::ofstream out(fs::path(outputPath) / flat);
+        out << output;
+        out.flush();
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", flat.c_str());
+          ok = false;
+        }
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  json::Value request = json::Value::object();
+  request.set("method", "plan");
+  request.set("file", inputPath);
+  request.set("source", source);
+  request.set("config", configOverrides(config));
+  if (emit != "source")
+    request.set("report", true);
+  const auto response = client.call(request, &error);
+  if (!response) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (!response->boolOr("ok")) {
+    std::fprintf(stderr, "server error: %s\n",
+                 response->stringOr("error").c_str());
+    return 1;
+  }
+  const json::Value *result = response->find("result");
+  std::fprintf(stderr, "plan cache: %s\n",
+               result->stringOr("cache").c_str());
+  const bool ok = result->boolOr("success");
+
+  std::string payload;
+  if (emit == "json") {
+    const json::Value *report = result->find("report");
+    payload = (report != nullptr ? *report : json::Value()).dump(true);
+  } else if (emit == "plan" || emit == "ir") {
+    const json::Value *report = result->find("report");
+    std::string decodeError;
+    std::optional<ompdart::Report> decoded;
+    if (report != nullptr)
+      decoded = ompdart::Report::fromJson(*report, &decodeError);
+    if (!decoded) {
+      std::fprintf(stderr, "cannot decode server report: %s\n",
+                   decodeError.c_str());
+      return 1;
+    }
+    payload = emit == "plan" ? renderPlanSummaryFor(*decoded)
+                             : decoded->plan.toJson().dump(/*pretty=*/true);
+  } else {
+    if (!ok)
+      return 1;
+    payload = result->stringOr("output");
+  }
+  if (outputPath.empty()) {
+    std::printf("%s", payload.c_str());
+  } else {
+    std::ofstream out(outputPath);
+    out << payload;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", outputPath.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -350,6 +608,11 @@ int main(int argc, char **argv) {
   std::uint64_t genSeed = 1;
   bool genSeedExplicit = false;
   bool shrink = false;
+  std::string servePath;
+  std::string connectPath;
+  std::string requestScript;
+  unsigned serveWorkers = 0;
+  bool shutdownRequest = false;
   ompdart::PipelineConfig config;
   auto parseUnsigned = [](const std::string &text,
                           std::uint64_t &value) -> bool {
@@ -439,6 +702,24 @@ int main(int argc, char **argv) {
       genSeedExplicit = true;
     } else if (arg == "--shrink") {
       shrink = true;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      servePath = arg.substr(8);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connectPath = arg.substr(10);
+    } else if (arg.rfind("--request=", 0) == 0) {
+      requestScript = arg.substr(10);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      std::uint64_t parsed = 0;
+      if (!parseUnsigned(arg.substr(10), parsed) || parsed == 0 ||
+          parsed > 256) {
+        std::fprintf(stderr,
+                     "--workers needs a thread count in 1..256, got '%s'\n",
+                     arg.substr(10).c_str());
+        return 1;
+      }
+      serveWorkers = static_cast<unsigned>(parsed);
+    } else if (arg == "--shutdown") {
+      shutdownRequest = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -454,6 +735,41 @@ int main(int argc, char **argv) {
                  genSeedExplicit ? "--gen-seed" : "--shrink");
     return 1;
   }
+  const bool serveMode = !servePath.empty();
+  const bool connectMode = !connectPath.empty();
+  if (serveMode && (fuzzMode || connectMode || !inputPath.empty() ||
+                    !projectPath.empty() || dumpAst)) {
+    std::fprintf(stderr,
+                 "--serve is a standalone mode; drop the input file, "
+                 "--project, --fuzz, --connect and --dump-ast\n");
+    return 1;
+  }
+  if (serveWorkers != 0 && !serveMode) {
+    std::fprintf(stderr, "--workers requires --serve=<socket>\n");
+    return 1;
+  }
+  if ((!requestScript.empty() || shutdownRequest) && !connectMode) {
+    std::fprintf(stderr, "%s requires --connect=<socket>\n",
+                 requestScript.empty() ? "--shutdown" : "--request");
+    return 1;
+  }
+  if (connectMode) {
+    if (fuzzMode || dumpAst) {
+      std::fprintf(stderr,
+                   "--connect cannot combine with --fuzz or --dump-ast\n");
+      return 1;
+    }
+    const int payloads = (inputPath.empty() ? 0 : 1) +
+                         (projectPath.empty() ? 0 : 1) +
+                         (requestScript.empty() ? 0 : 1) +
+                         (shutdownRequest ? 1 : 0);
+    if (payloads != 1) {
+      std::fprintf(stderr,
+                   "--connect needs exactly one of: an input file, "
+                   "--project, --request, --shutdown\n");
+      return 1;
+    }
+  }
   if (fuzzMode && (!inputPath.empty() || !projectPath.empty())) {
     std::fprintf(stderr,
                  "--fuzz generates its own inputs; drop the positional "
@@ -464,7 +780,8 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "--fuzz supports --emit=json only\n");
     return 1;
   }
-  if (inputPath.empty() && projectPath.empty() && !fuzzMode) {
+  if (inputPath.empty() && projectPath.empty() && !fuzzMode && !serveMode &&
+      !connectMode) {
     usage(argv[0]);
     return 1;
   }
@@ -487,7 +804,7 @@ int main(int argc, char **argv) {
   }
 
   std::string source;
-  if (projectPath.empty() && !fuzzMode) {
+  if (!inputPath.empty() && projectPath.empty() && !fuzzMode) {
     std::ifstream in(inputPath);
     if (!in) {
       std::fprintf(stderr, "cannot open '%s'\n", inputPath.c_str());
@@ -524,6 +841,12 @@ int main(int argc, char **argv) {
       config.cacheMode == ompdart::cache::CacheMode::Off)
     config.cacheDir.clear();
 
+  if (serveMode)
+    return runServeMode(servePath, serveWorkers, std::move(config));
+  if (connectMode)
+    return runConnectMode(connectPath, inputPath, source, projectPath,
+                          requestScript, shutdownRequest, outputPath, emit,
+                          config);
   if (fuzzMode)
     return runFuzzMode(fuzzCount, genSeed, shrink, outputPath, emit, config);
   if (!projectPath.empty())

@@ -2,11 +2,13 @@
 
 #include "support/hash.hpp"
 
-#include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 namespace ompdart::cache {
@@ -16,6 +18,10 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr unsigned kEntryFormatVersion = 1;
+/// Memo caps: bound a long-lived server's footprint. Plan entries carry a
+/// whole Mapping IR, summaries a small JSON document, hence the asymmetry.
+constexpr std::size_t kEntryMemoCap = 16384;
+constexpr std::size_t kSummaryMemoCap = 65536;
 
 std::optional<std::string> readFile(const fs::path &path) {
   std::ifstream in(path, std::ios::binary);
@@ -69,6 +75,31 @@ bool writeFileAtomic(const fs::path &path, const std::string &content) {
 /// get their own rows and never unlink each other's (still valid) entries.
 std::string indexKeyFor(const CacheKey &key, const std::string &fileName) {
   return fileName + "\n" + key.configHash + "\n" + key.toolVersion;
+}
+
+/// Reads one index document (a shard file or the legacy monolithic
+/// index.json) into `rows` for the rows `accept` admits; existing rows are
+/// kept (caller decides precedence by read order).
+void readIndexDocument(const fs::path &path,
+                       std::map<std::string, std::string> &rows,
+                       const std::set<std::string> &skip,
+                       unsigned acceptShard) {
+  const auto text = readFile(path);
+  if (!text)
+    return;
+  const auto doc = json::Value::parse(*text);
+  if (!doc || !doc->isObject())
+    return;
+  for (const auto &[rowKey, id] : doc->members()) {
+    if (id.kind() != json::Value::Kind::String)
+      continue;
+    if (skip.count(rowKey) != 0)
+      continue;
+    if (PlanCache::shardOf(rowKey) != acceptShard)
+      continue;
+    if (rows.count(rowKey) == 0)
+      rows[rowKey] = id.asString();
+  }
 }
 
 } // namespace
@@ -213,10 +244,12 @@ json::Value CacheStats::toJson() const {
   out.set("misses", misses);
   out.set("stores", stores);
   out.set("invalidations", invalidations);
+  out.set("memoHits", memoHits);
   out.set("summaryLookups", summaryLookups);
   out.set("summaryHits", summaryHits);
   out.set("summaryMisses", summaryMisses);
   out.set("summaryStores", summaryStores);
+  out.set("summaryMemoHits", summaryMemoHits);
   return out;
 }
 
@@ -227,55 +260,112 @@ std::string PlanCache::entryPathFor(const CacheKey &key) const {
   return (fs::path(directory_) / "plans" / (key.id() + ".json")).string();
 }
 
-void PlanCache::loadIndexLocked() {
-  if (indexLoaded_)
-    return;
-  indexLoaded_ = true;
-  const auto text = readFile(fs::path(directory_) / "index.json");
-  if (!text)
-    return;
-  const auto doc = json::Value::parse(*text);
-  if (!doc || !doc->isObject())
-    return;
-  for (const auto &[file, id] : doc->members())
-    if (id.kind() == json::Value::Kind::String)
-      index_[file] = id.asString();
+std::string PlanCache::indexShardPath(unsigned shard) const {
+  std::string name = "index-";
+  name += static_cast<char>('0' + shard / 10);
+  name += static_cast<char>('0' + shard % 10);
+  name += ".json";
+  return (fs::path(directory_) / name).string();
 }
 
-void PlanCache::mergeDiskIndexLocked() {
+unsigned PlanCache::shardOf(const std::string &row) {
+  // Stable across processes and platforms (hash::Hasher is pinned), so
+  // every writer sharing the directory files a row under the same shard.
+  hash::Hasher hasher;
+  hasher.update(row);
+  return static_cast<unsigned>(hasher.low() % kIndexShards);
+}
+
+void PlanCache::loadShardLocked(unsigned shard) {
+  IndexShard &stripe = shards_[shard];
+  if (stripe.loaded)
+    return;
+  stripe.loaded = true;
+  static const std::set<std::string> kSkipNone;
+  readIndexDocument(indexShardPath(shard), stripe.rows, kSkipNone, shard);
+  // Legacy migration: a pre-sharding cache kept every row in one
+  // index.json. Adopt its rows for this shard unless the shard file
+  // already has a (fresher) value; adopting any marks the shard dirty so
+  // the next flush persists the migrated rows into the shard file. The
+  // legacy file itself is left in place and never rewritten — rows for
+  // shards this process never touches stay readable there.
+  const std::size_t beforeLegacy = stripe.rows.size();
+  readIndexDocument(fs::path(directory_) / "index.json", stripe.rows,
+                    kSkipNone, shard);
+  if (writable() && stripe.rows.size() != beforeLegacy)
+    stripe.dirty = true;
+}
+
+void PlanCache::mergeDiskShardLocked(unsigned shard) {
   // Another process sharing this directory may have stored or updated rows
-  // since our load. Rows this process touched (ownedRows_) keep our value
+  // since our load. Rows this process touched (ownedRows) keep our value
   // — including deliberate erasures, which must not resurrect — and every
   // other row adopts the disk state, so concurrent processes never clobber
   // each other's updates.
-  const auto text = readFile(fs::path(directory_) / "index.json");
-  if (!text)
-    return;
-  const auto doc = json::Value::parse(*text);
-  if (!doc || !doc->isObject())
-    return;
-  for (const auto &[rowKey, id] : doc->members())
-    if (id.kind() == json::Value::Kind::String &&
-        ownedRows_.count(rowKey) == 0)
-      index_[rowKey] = id.asString();
+  IndexShard &stripe = shards_[shard];
+  std::map<std::string, std::string> disk;
+  readIndexDocument(indexShardPath(shard), disk, stripe.ownedRows, shard);
+  for (auto &[rowKey, id] : disk)
+    stripe.rows[rowKey] = std::move(id);
 }
 
-void PlanCache::saveIndexLocked() {
-  mergeDiskIndexLocked();
+void PlanCache::saveShardLocked(unsigned shard) {
+  // The per-shard mutex serializes saves within this instance, but other
+  // instances — worker threads holding their own PlanCache, or separate
+  // CLI processes sharing the directory — can run this read-merge-write
+  // cycle concurrently on the same shard file. Without a cross-instance
+  // lock, two writers can both read, then both rename, and the second
+  // rename silently drops every row only the first writer held. An
+  // advisory flock on a sidecar (never-renamed) lock file makes the whole
+  // cycle atomic across instances AND processes; writeFileAtomic's rename
+  // alone only guards against torn reads, not lost merges.
+  const std::string lockPath = indexShardPath(shard) + ".lock";
+  const int lockFd =
+      ::open(lockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lockFd >= 0)
+    while (::flock(lockFd, LOCK_EX) != 0 && errno == EINTR) {
+    }
+  mergeDiskShardLocked(shard);
+  IndexShard &stripe = shards_[shard];
   json::Value doc = json::Value::object();
-  for (const auto &[rowKey, id] : index_)
+  for (const auto &[rowKey, id] : stripe.rows)
     doc.set(rowKey, id);
-  if (writeFileAtomic(fs::path(directory_) / "index.json", doc.dump(true)))
-    indexDirty_ = false;
+  if (writeFileAtomic(indexShardPath(shard), doc.dump(true)))
+    stripe.dirty = false;
+  if (lockFd >= 0) {
+    ::flock(lockFd, LOCK_UN);
+    ::close(lockFd);
+  }
 }
 
 void PlanCache::flushIndex() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (indexDirty_)
-    saveIndexLocked();
+  for (unsigned shard = 0; shard < kIndexShards; ++shard) {
+    std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+    if (shards_[shard].dirty)
+      saveShardLocked(shard);
+  }
 }
 
 PlanCache::~PlanCache() { flushIndex(); }
+
+void PlanCache::memoizeEntry(const std::string &id, const CacheEntry &entry) {
+  std::lock_guard<std::mutex> lock(memoMutex_);
+  if (entryMemo_.size() < kEntryMemoCap)
+    entryMemo_.emplace(id, entry);
+}
+
+void PlanCache::memoizeSummary(const std::string &id,
+                               const json::Value &payload) {
+  std::lock_guard<std::mutex> lock(memoMutex_);
+  if (summaryMemo_.size() < kSummaryMemoCap)
+    summaryMemo_.emplace(id, payload);
+}
+
+void PlanCache::dropMemos() {
+  std::lock_guard<std::mutex> lock(memoMutex_);
+  entryMemo_.clear();
+  summaryMemo_.clear();
+}
 
 std::optional<CacheEntry> PlanCache::lookup(const CacheKey &key,
                                             const std::string &fileName) {
@@ -283,36 +373,55 @@ std::optional<CacheEntry> PlanCache::lookup(const CacheKey &key,
     return std::nullopt;
   const std::string id = key.id();
 
-  // File read, JSON parse, IR deserialization and fingerprint verification
-  // touch no shared state — keep them outside the mutex so a warm batch's
-  // lookups run concurrently instead of serializing on the lock.
+  // Memo first: entries are immutable by content address, so a memoized
+  // value validated once never goes stale — warm server traffic skips the
+  // disk read, JSON parse and fingerprint check entirely.
   std::optional<CacheEntry> entry;
-  if (const auto text = readFile(entryPathFor(key))) {
-    if (const auto doc = json::Value::parse(*text))
-      entry = CacheEntry::fromJson(*doc, key);
+  bool fromMemo = false;
+  {
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    auto it = entryMemo_.find(id);
+    if (it != entryMemo_.end()) {
+      entry = it->second;
+      fromMemo = true;
+    }
+  }
+  // File read, JSON parse, IR deserialization and fingerprint verification
+  // touch no shared state — keep them outside every lock so a warm batch's
+  // lookups run concurrently instead of serializing.
+  if (!entry) {
+    if (const auto text = readFile(entryPathFor(key))) {
+      if (const auto doc = json::Value::parse(*text))
+        entry = CacheEntry::fromJson(*doc, key);
+    }
+    if (entry)
+      memoizeEntry(id, *entry);
   }
 
   const std::string row = indexKeyFor(key, fileName);
-  std::lock_guard<std::mutex> lock(mutex_);
-  loadIndexLocked();
-  ++stats_.lookups;
+  IndexShard &stripe = shards_[shardOf(row)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  loadShardLocked(shardOf(row));
+  counters_.lookups.fetch_add(1, std::memory_order_relaxed);
   if (entry) {
-    ++stats_.hits;
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    if (fromMemo)
+      counters_.memoHits.fetch_add(1, std::memory_order_relaxed);
     // Register this file+config against the entry it resolves to
     // (identical sources share one content-addressed entry), so every
     // combination currently served by an entry is visible in the index.
     if (writable()) {
-      auto indexIt = index_.find(row);
-      if (indexIt == index_.end() || indexIt->second != id) {
-        index_[row] = id;
-        ownedRows_.insert(row);
-        indexDirty_ = true;
+      auto indexIt = stripe.rows.find(row);
+      if (indexIt == stripe.rows.end() || indexIt->second != id) {
+        stripe.rows[row] = id;
+        stripe.ownedRows.insert(row);
+        stripe.dirty = true;
       }
     }
     return entry;
   }
 
-  ++stats_.misses;
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
   // Stale detection: the index knows a different entry for this
   // file+config+tool row, so the file's content changed since the store.
   // Count the transition once and (read-write) drop the row — the re-plan
@@ -321,14 +430,14 @@ std::optional<CacheEntry> PlanCache::lookup(const CacheKey &key,
   // flipping the file back to earlier content (branch switches, A-B edits)
   // re-hits it, and identical-content twins or other configs sharing the
   // entry are never robbed of it.
-  auto indexIt = index_.find(row);
-  if (indexIt != index_.end() && indexIt->second != id) {
-    if (countedStale_.insert({row, indexIt->second}).second)
-      ++stats_.invalidations;
+  auto indexIt = stripe.rows.find(row);
+  if (indexIt != stripe.rows.end() && indexIt->second != id) {
+    if (stripe.countedStale.insert({row, indexIt->second}).second)
+      counters_.invalidations.fetch_add(1, std::memory_order_relaxed);
     if (writable()) {
-      index_.erase(indexIt);
-      ownedRows_.insert(row);
-      indexDirty_ = true;
+      stripe.rows.erase(indexIt);
+      stripe.ownedRows.insert(row);
+      stripe.dirty = true;
     }
   }
   return std::nullopt;
@@ -338,17 +447,20 @@ void PlanCache::store(const CacheKey &key, const CacheEntry &entry) {
   if (!writable())
     return;
   // The entry write touches no shared state (the path is content-addressed
-  // and the rename atomic) — only stats and the index need the lock.
+  // and the rename atomic) — only stats and the index need a lock.
   if (!writeFileAtomic(entryPathFor(key), entry.toJson(key).dump(true)))
     return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  loadIndexLocked();
-  ++stats_.stores;
+  const std::string id = key.id();
+  memoizeEntry(id, entry);
+  counters_.stores.fetch_add(1, std::memory_order_relaxed);
   if (!entry.fileName.empty()) {
     const std::string row = indexKeyFor(key, entry.fileName);
-    index_[row] = key.id();
-    ownedRows_.insert(row);
-    indexDirty_ = true;
+    IndexShard &stripe = shards_[shardOf(row)];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    loadShardLocked(shardOf(row));
+    stripe.rows[row] = id;
+    stripe.ownedRows.insert(row);
+    stripe.dirty = true;
   }
 }
 
@@ -359,7 +471,18 @@ std::string PlanCache::summaryPathFor(const CacheKey &key) const {
 std::optional<json::Value> PlanCache::lookupSummary(const CacheKey &key) {
   if (!enabled())
     return std::nullopt;
-  // Like plan lookups, the file read and parse stay outside the mutex.
+  const std::string id = key.id();
+  counters_.summaryLookups.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    auto it = summaryMemo_.find(id);
+    if (it != summaryMemo_.end()) {
+      counters_.summaryHits.fetch_add(1, std::memory_order_relaxed);
+      counters_.summaryMemoHits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Like plan lookups, the file read and parse stay outside every lock.
   std::optional<json::Value> payload;
   if (const auto text = readFile(summaryPathFor(key))) {
     if (auto doc = json::Value::parse(*text); doc && doc->isObject()) {
@@ -377,16 +500,21 @@ std::optional<json::Value> PlanCache::lookupSummary(const CacheKey &key) {
       }
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.summaryLookups;
-  if (payload)
-    ++stats_.summaryHits;
-  else
-    ++stats_.summaryMisses;
+  if (payload) {
+    counters_.summaryHits.fetch_add(1, std::memory_order_relaxed);
+    memoizeSummary(id, *payload);
+  } else {
+    counters_.summaryMisses.fetch_add(1, std::memory_order_relaxed);
+  }
   return payload;
 }
 
 void PlanCache::storeSummary(const CacheKey &key, const json::Value &payload) {
+  if (!enabled())
+    return;
+  // Memoize regardless of writability: a read-only server still keeps its
+  // extracted summaries hot in memory (disk state is untouched).
+  memoizeSummary(key.id(), payload);
   if (!writable())
     return;
   json::Value doc = json::Value::object();
@@ -399,13 +527,28 @@ void PlanCache::storeSummary(const CacheKey &key, const json::Value &payload) {
   doc.set("summary", payload);
   if (!writeFileAtomic(summaryPathFor(key), doc.dump(true)))
     return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.summaryStores;
+  counters_.summaryStores.fetch_add(1, std::memory_order_relaxed);
 }
 
 CacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats out;
+  out.lookups = counters_.lookups.load(std::memory_order_relaxed);
+  out.hits = counters_.hits.load(std::memory_order_relaxed);
+  out.misses = counters_.misses.load(std::memory_order_relaxed);
+  out.stores = counters_.stores.load(std::memory_order_relaxed);
+  out.invalidations =
+      counters_.invalidations.load(std::memory_order_relaxed);
+  out.memoHits = counters_.memoHits.load(std::memory_order_relaxed);
+  out.summaryLookups =
+      counters_.summaryLookups.load(std::memory_order_relaxed);
+  out.summaryHits = counters_.summaryHits.load(std::memory_order_relaxed);
+  out.summaryMisses =
+      counters_.summaryMisses.load(std::memory_order_relaxed);
+  out.summaryStores =
+      counters_.summaryStores.load(std::memory_order_relaxed);
+  out.summaryMemoHits =
+      counters_.summaryMemoHits.load(std::memory_order_relaxed);
+  return out;
 }
 
 } // namespace ompdart::cache

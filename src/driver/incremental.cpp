@@ -1,0 +1,273 @@
+#include "driver/incremental.hpp"
+
+#include "support/hash.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace ompdart {
+
+namespace {
+
+/// Runs `worker` on up to `threads` threads (inline when <= 1). Workers
+/// pull indices from a shared cursor, so callers pass a closure that loops.
+void runPool(unsigned threads, std::size_t jobs,
+             const std::function<void()> &worker) {
+  if (threads > jobs)
+    threads = static_cast<unsigned>(jobs);
+  if (threads <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    pool.emplace_back(worker);
+  for (std::thread &thread : pool)
+    thread.join();
+}
+
+} // namespace
+
+const char *replanReasonName(ReplanReason reason) {
+  switch (reason) {
+  case ReplanReason::Reused:
+    return "reused";
+  case ReplanReason::Initial:
+    return "initial";
+  case ReplanReason::SourceChanged:
+    return "source-changed";
+  case ReplanReason::ImportsChanged:
+    return "imports-changed";
+  }
+  return "unknown";
+}
+
+json::Value IncrementalResult::toJson() const {
+  json::Value doc = json::Value::object();
+  doc.set("success", success);
+  doc.set("linkPasses", linkPasses);
+  doc.set("summariesExtracted", summariesExtracted);
+  doc.set("summariesReused", summariesReused);
+  doc.set("tusReplanned", tusReplanned);
+  doc.set("tusReused", tusReused);
+  doc.set("wallSeconds", wallSeconds);
+
+  json::Value scheduleJson = json::Value::array();
+  for (const std::string &name : scheduleOrder)
+    scheduleJson.push(name);
+  doc.set("schedule", std::move(scheduleJson));
+
+  json::Value runsJson = json::Value::object();
+  for (const Stage stage : allStages())
+    runsJson.set(stageName(stage), stageRuns[static_cast<unsigned>(stage)]);
+  doc.set("stageRuns", std::move(runsJson));
+
+  json::Value linkDiagsJson = json::Value::array();
+  for (const Diagnostic &diag : linkDiagnostics)
+    linkDiagsJson.push(diagnosticToJson(diag));
+  doc.set("linkDiagnostics", std::move(linkDiagsJson));
+
+  json::Value tusJson = json::Value::array();
+  for (const IncrementalTuResult &tu : tus) {
+    json::Value tuJson = json::Value::object();
+    tuJson.set("name", tu.name);
+    tuJson.set("reason", replanReasonName(tu.reason));
+    tuJson.set("summaryReused", tu.summaryReused);
+    tuJson.set("success", tu.item.success);
+    tusJson.push(std::move(tuJson));
+  }
+  doc.set("tus", std::move(tusJson));
+  return doc;
+}
+
+IncrementalProject::IncrementalProject(PipelineConfig config,
+                                       Options options)
+    : config_(std::move(config)), options_(options) {}
+
+IncrementalProject::IncrementalProject(PipelineConfig config)
+    : IncrementalProject(std::move(config), Options()) {}
+
+cache::PlanCache *IncrementalProject::activeCache() {
+  if (config_.planCache != nullptr)
+    return config_.planCache;
+  if (ownedCache_ == nullptr && !config_.cacheDir.empty() &&
+      config_.cacheMode != cache::CacheMode::Off)
+    ownedCache_ = std::make_unique<cache::PlanCache>(config_.cacheDir,
+                                                     config_.cacheMode);
+  return ownedCache_.get();
+}
+
+void IncrementalProject::invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_.clear();
+}
+
+std::size_t IncrementalProject::heldTus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.size();
+}
+
+IncrementalResult
+IncrementalProject::replan(const std::vector<ProjectTu> &tus) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto wallStart = std::chrono::steady_clock::now();
+
+  IncrementalResult result;
+  result.tus.resize(tus.size());
+  if (tus.empty()) {
+    result.success = true;
+    return result;
+  }
+
+  cache::PlanCache *cache = activeCache();
+
+  // Phase 1 — summaries: reuse the held ModuleSummary when the source hash
+  // is unchanged; otherwise extract (via the summary cache) in parallel.
+  std::vector<std::string> sourceHashes(tus.size());
+  std::vector<summary::ModuleSummary> modules(tus.size());
+  std::vector<char> summaryReused(tus.size(), 0);
+  std::atomic<std::size_t> cursor{0};
+  runPool(options_.threads, tus.size(), [&]() {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= tus.size())
+        return;
+      const ProjectTu &tu = tus[i];
+      sourceHashes[i] = hash::fingerprint(tu.source);
+      const auto held = state_.find(tu.name);
+      if (held != state_.end() && held->second.sourceHash == sourceHashes[i]) {
+        modules[i] = held->second.module;
+        modules[i].rebindFile(tu.fileName);
+        summaryReused[i] = 1;
+        continue;
+      }
+      modules[i] = loadOrExtractModuleSummary(cache, tu.fileName, tu.source);
+    }
+  });
+
+  // Phase 2 — link fixed point over the full summary set (sequential: it
+  // is a whole-program fixed point), then per-TU import slices.
+  const summary::LinkResult link = summary::linkProgram(modules);
+  result.linkPasses = link.passes;
+  result.linkDiagnostics = link.diagnostics;
+
+  std::vector<summary::TuImports> imports;
+  imports.reserve(tus.size());
+  for (const summary::ModuleSummary &module : modules)
+    imports.push_back(summary::buildTuImports(module, link));
+
+  // Phase 3 — decide reuse per TU. The decision mirrors the plan-cache key
+  // (source hash + imports fingerprint; config fixed per instance), so a
+  // reused item equals what a fresh Session would emit.
+  std::vector<std::string> importsFingerprints(tus.size());
+  std::vector<std::size_t> toPlan;
+  for (std::size_t i = 0; i < tus.size(); ++i) {
+    importsFingerprints[i] = imports[i].fingerprint();
+    IncrementalTuResult &tu = result.tus[i];
+    tu.name = tus[i].name;
+    tu.summaryReused = summaryReused[i] != 0;
+    const auto held = state_.find(tus[i].name);
+    if (held == state_.end()) {
+      tu.reason = ReplanReason::Initial;
+    } else if (held->second.sourceHash != sourceHashes[i]) {
+      tu.reason = ReplanReason::SourceChanged;
+    } else if (held->second.importsFingerprint != importsFingerprints[i]) {
+      tu.reason = ReplanReason::ImportsChanged;
+    } else {
+      tu.reason = ReplanReason::Reused;
+      tu.item = held->second.item;
+      continue;
+    }
+    toPlan.push_back(i);
+  }
+
+  // Phase 4 — plan the invalidated TUs in reverse topological call-graph
+  // order (callees first, matching ProjectSession), over the worker pool.
+  const std::vector<std::size_t> topo =
+      summary::reverseTopologicalOrder(modules);
+  std::vector<char> needsPlan(tus.size(), 0);
+  for (const std::size_t index : toPlan)
+    needsPlan[index] = 1;
+  std::vector<std::size_t> planOrder;
+  planOrder.reserve(toPlan.size());
+  for (const std::size_t index : topo)
+    if (needsPlan[index] != 0)
+      planOrder.push_back(index);
+  for (const std::size_t index : planOrder)
+    result.scheduleOrder.push_back(tus[index].name);
+
+  std::vector<std::array<unsigned, kStageCount>> sessionRuns(
+      planOrder.size());
+  std::atomic<std::size_t> planCursor{0};
+  runPool(options_.threads, planOrder.size(), [&]() {
+    while (true) {
+      const std::size_t slot = planCursor.fetch_add(1);
+      if (slot >= planOrder.size())
+        return;
+      const std::size_t index = planOrder[slot];
+      const ProjectTu &tu = tus[index];
+      PipelineConfig config = config_;
+      config.imports = &imports[index];
+      if (cache != nullptr)
+        config.planCache = cache;
+      Session session(tu.fileName, tu.source, config);
+      ProjectItem &item = result.tus[index].item;
+      item.name = tu.name;
+      item.summaryFromCache = summaryReused[index] != 0;
+      item.summaryFingerprint = modules[index].fingerprint();
+      item.success = session.run();
+      item.report = session.report();
+      item.cacheStatus = session.planCacheStatus();
+      if (session.stageRuns(Stage::Rewrite) > 0)
+        item.output = session.rewrite();
+      for (const Stage stage : allStages())
+        sessionRuns[slot][static_cast<unsigned>(stage)] =
+            session.stageRuns(stage);
+    }
+  });
+
+  // Phase 5 — fold results and refresh the held state.
+  for (const auto &runs : sessionRuns)
+    for (unsigned stage = 0; stage < kStageCount; ++stage)
+      result.stageRuns[stage] += runs[stage];
+
+  result.success = true;
+  for (std::size_t i = 0; i < tus.size(); ++i) {
+    IncrementalTuResult &tu = result.tus[i];
+    if (tu.replanned())
+      ++result.tusReplanned;
+    else
+      ++result.tusReused;
+    if (tu.summaryReused)
+      ++result.summariesReused;
+    else
+      ++result.summariesExtracted;
+    result.success = result.success && tu.item.success;
+  }
+  for (const Diagnostic &diag : link.diagnostics)
+    if (diag.severity == Severity::Error)
+      result.success = false;
+
+  std::map<std::string, TuState> nextState;
+  for (std::size_t i = 0; i < tus.size(); ++i) {
+    TuState held;
+    held.sourceHash = std::move(sourceHashes[i]);
+    held.module = std::move(modules[i]);
+    held.importsFingerprint = std::move(importsFingerprints[i]);
+    held.item = result.tus[i].item;
+    nextState[tus[i].name] = std::move(held);
+  }
+  // Replacing (not merging) drops TUs that left the project.
+  state_ = std::move(nextState);
+
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wallStart)
+          .count();
+  return result;
+}
+
+} // namespace ompdart

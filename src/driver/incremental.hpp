@@ -1,0 +1,138 @@
+// Incremental whole-program replanning (the plan server's project engine).
+//
+// `ProjectSession` is one-shot: every `project` request re-extracts every
+// TU's summary (or at least re-reads the artifact), re-links, and runs a
+// Session per TU — even when the request differs from the previous one by a
+// single edit. `IncrementalProject` is the long-lived counterpart: it holds
+// the previous replan's per-TU state (source hash, module summary, imports
+// fingerprint, planned item) and on the next request
+//
+//   1. re-extracts summaries ONLY for TUs whose source hash changed
+//      (unchanged TUs reuse the held ModuleSummary object — no parse, no
+//      disk, no JSON),
+//   2. re-runs the link fixed point over the full summary set (the fixed
+//      point is whole-program by definition, but it is cheap next to
+//      planning),
+//   3. re-plans ONLY the TUs whose source hash or imports fingerprint
+//      changed; every other TU's item is served from the held state with
+//      zero pipeline stage executions.
+//
+// The reuse decision mirrors the plan-cache key exactly (source hash +
+// imports fingerprint; the config is fixed per instance), so a served-from-
+// state item is byte-identical to what a fresh Session would produce — the
+// cache-key equality IS the proof. tests/driver/incremental_test.cpp pins
+// this against ProjectSession outputs.
+#pragma once
+
+#include "driver/pipeline.hpp"
+#include "driver/project.hpp"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ompdart {
+
+/// Why a TU ran (or skipped) a pipeline Session during a replan.
+enum class ReplanReason {
+  Reused,         ///< source and imports unchanged: served from held state
+  Initial,        ///< first time this TU name was seen
+  SourceChanged,  ///< the TU's own source hash changed
+  ImportsChanged, ///< a dependency's facts changed this TU's imports
+};
+
+[[nodiscard]] const char *replanReasonName(ReplanReason reason);
+
+/// Per-TU outcome of one replan, in request order.
+struct IncrementalTuResult {
+  std::string name;
+  ReplanReason reason = ReplanReason::Initial;
+  /// The TU's module summary was reused from held state (no extraction and
+  /// no summary-cache lookup happened this replan).
+  bool summaryReused = false;
+  ProjectItem item;
+
+  [[nodiscard]] bool replanned() const {
+    return reason != ReplanReason::Reused;
+  }
+};
+
+/// Outcome of one replan request.
+struct IncrementalResult {
+  bool success = false;
+  std::vector<IncrementalTuResult> tus; ///< request order
+  /// Names of the TUs that actually ran a Session, in the (reverse
+  /// topological) order they were scheduled.
+  std::vector<std::string> scheduleOrder;
+  /// Link-level diagnostics of this replan's fixed point.
+  std::vector<Diagnostic> linkDiagnostics;
+  unsigned linkPasses = 0;
+  unsigned summariesExtracted = 0; ///< summaries refreshed (parse or cache)
+  unsigned summariesReused = 0;    ///< summaries served from held state
+  unsigned tusReplanned = 0;
+  unsigned tusReused = 0;
+  /// Pipeline stage executions across THIS replan's sessions only; reused
+  /// TUs contribute zero by construction — the observable proof the replan
+  /// was incremental.
+  std::array<unsigned, kStageCount> stageRuns{};
+  double wallSeconds = 0.0;
+
+  [[nodiscard]] const IncrementalTuResult *
+  find(const std::string &name) const {
+    for (const IncrementalTuResult &tu : tus)
+      if (tu.name == name)
+        return &tu;
+    return nullptr;
+  }
+  [[nodiscard]] json::Value toJson() const;
+};
+
+/// Long-lived whole-program replanner. Thread-safe: replans serialize on an
+/// internal mutex (the per-TU phases inside one replan still fan out over
+/// the worker pool).
+class IncrementalProject {
+public:
+  struct Options {
+    /// Worker threads for the summary and plan phases; 0/1 = sequential.
+    unsigned threads = 1;
+  };
+
+  IncrementalProject(PipelineConfig config, Options options);
+  explicit IncrementalProject(PipelineConfig config);
+
+  IncrementalProject(const IncrementalProject &) = delete;
+  IncrementalProject &operator=(const IncrementalProject &) = delete;
+
+  /// Replans `tus` as one program against the held state. TUs are matched
+  /// to held state by name; names that disappeared are dropped, new names
+  /// plan as Initial.
+  [[nodiscard]] IncrementalResult replan(const std::vector<ProjectTu> &tus);
+
+  /// Drops all held state: the next replan is a full plan.
+  void invalidate();
+
+  /// Number of TUs currently held.
+  [[nodiscard]] std::size_t heldTus() const;
+
+private:
+  struct TuState {
+    std::string sourceHash;
+    summary::ModuleSummary module;
+    std::string importsFingerprint;
+    ProjectItem item;
+  };
+
+  [[nodiscard]] cache::PlanCache *activeCache();
+
+  PipelineConfig config_;
+  Options options_;
+  std::unique_ptr<cache::PlanCache> ownedCache_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TuState> state_;
+};
+
+} // namespace ompdart

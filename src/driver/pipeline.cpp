@@ -555,10 +555,12 @@ Report Session::buildReport() {
       cacheReport.misses = stats.misses;
       cacheReport.stores = stats.stores;
       cacheReport.invalidations = stats.invalidations;
+      cacheReport.memoHits = stats.memoHits;
       cacheReport.summaryLookups = stats.summaryLookups;
       cacheReport.summaryHits = stats.summaryHits;
       cacheReport.summaryMisses = stats.summaryMisses;
       cacheReport.summaryStores = stats.summaryStores;
+      cacheReport.summaryMemoHits = stats.summaryMemoHits;
     }
     report.planCache = std::move(cacheReport);
   }

@@ -40,6 +40,45 @@ std::optional<std::string> readFileText(const fs::path &path) {
 
 } // namespace
 
+summary::ModuleSummary
+loadOrExtractModuleSummary(cache::PlanCache *cache,
+                           const std::string &fileName,
+                           const std::string &source, bool *fromCache) {
+  if (fromCache != nullptr)
+    *fromCache = false;
+  const cache::CacheKey key = summaryKeyFor(source);
+  if (cache != nullptr && cache->enabled()) {
+    if (const auto payload = cache->lookupSummary(key)) {
+      if (auto module = summary::ModuleSummary::fromJson(*payload)) {
+        // The cached artifact may carry another path for identical
+        // content; the facts are path-independent, but the labels —
+        // including the file-qualified prefixes of static-function
+        // linked names — must follow this project's TU.
+        module->rebindFile(fileName);
+        if (fromCache != nullptr)
+          *fromCache = true;
+        return std::move(*module);
+      }
+    }
+  }
+  // Link-phase parse: summary extraction only (the plan phase's Session
+  // owns the authoritative parse and its diagnostics).
+  SourceManager sourceManager(fileName, source);
+  ASTContext context;
+  DiagnosticEngine diags;
+  summary::ModuleSummary module;
+  module.file = fileName;
+  if (parseSource(sourceManager, context, diags) && !diags.hasErrors()) {
+    module = summary::extractModuleSummary(context.unit(), fileName);
+    // enabled(), not writable(): a read-only cache still memoizes the
+    // artifact in memory, so a long-lived process re-extracts a given
+    // source hash at most once.
+    if (cache != nullptr && cache->enabled())
+      cache->storeSummary(key, module.toJson());
+  }
+  return module;
+}
+
 std::optional<ProjectManifest>
 ProjectManifest::fromJsonFile(const std::string &path, std::string *error) {
   const auto text = readFileText(path);
@@ -136,34 +175,10 @@ void ProjectSession::loadOrExtractSummaries(cache::PlanCache *cache) {
       if (i >= manifest_.tus.size())
         return;
       const ProjectTu &tu = manifest_.tus[i];
-      const cache::CacheKey key = summaryKeyFor(tu.source);
-      if (cache != nullptr && cache->enabled()) {
-        if (const auto payload = cache->lookupSummary(key)) {
-          if (auto module = summary::ModuleSummary::fromJson(*payload)) {
-            // The cached artifact may carry another path for identical
-            // content; the facts are path-independent, but the labels —
-            // including the file-qualified prefixes of static-function
-            // linked names — must follow this project's TU.
-            module->rebindFile(tu.fileName);
-            modules_[i] = std::move(*module);
-            summaryCached_[i] = true;
-            continue;
-          }
-        }
-      }
-      // Link-phase parse: summary extraction only (the plan phase's
-      // Session owns the authoritative parse and its diagnostics).
-      SourceManager sourceManager(tu.fileName, tu.source);
-      ASTContext context;
-      DiagnosticEngine diags;
-      summary::ModuleSummary module;
-      module.file = tu.fileName;
-      if (parseSource(sourceManager, context, diags) && !diags.hasErrors()) {
-        module = summary::extractModuleSummary(context.unit(), tu.fileName);
-        if (cache != nullptr && cache->writable())
-          cache->storeSummary(key, module.toJson());
-      }
-      modules_[i] = std::move(module);
+      bool fromCache = false;
+      modules_[i] = loadOrExtractModuleSummary(cache, tu.fileName,
+                                               tu.source, &fromCache);
+      summaryCached_[i] = fromCache;
     }
   };
   unsigned threadCount = options_.threads;

@@ -43,6 +43,18 @@
 
 namespace ompdart {
 
+/// Loads one TU's module summary from the plan cache's summary store (the
+/// in-memory memo or disk) by source hash, or extracts it from a fresh
+/// parse on a miss, storing the artifact back so the next caller skips the
+/// parse. Shared by ProjectSession and the incremental replanner; safe to
+/// call concurrently (the cache is thread-safe and everything else is
+/// local).
+[[nodiscard]] summary::ModuleSummary
+loadOrExtractModuleSummary(cache::PlanCache *cache,
+                           const std::string &fileName,
+                           const std::string &source,
+                           bool *fromCache = nullptr);
+
 /// One translation unit of a project.
 struct ProjectTu {
   std::string name;     ///< label used in results (defaults to fileName)
@@ -147,7 +159,9 @@ private:
   std::unique_ptr<cache::PlanCache> ownedCache_;
 
   std::vector<summary::ModuleSummary> modules_;
-  std::vector<bool> summaryCached_;
+  /// char, not bool: worker threads write distinct elements concurrently,
+  /// which vector<bool>'s bit packing would turn into a data race.
+  std::vector<char> summaryCached_;
   summary::LinkResult link_;
   /// Stable storage: sessions hold non-owning pointers into this.
   std::vector<summary::TuImports> imports_;

@@ -78,10 +78,12 @@ json::Value Report::toJson() const {
     cacheJson.set("misses", planCache->misses);
     cacheJson.set("stores", planCache->stores);
     cacheJson.set("invalidations", planCache->invalidations);
+    cacheJson.set("memoHits", planCache->memoHits);
     cacheJson.set("summaryLookups", planCache->summaryLookups);
     cacheJson.set("summaryHits", planCache->summaryHits);
     cacheJson.set("summaryMisses", planCache->summaryMisses);
     cacheJson.set("summaryStores", planCache->summaryStores);
+    cacheJson.set("summaryMemoHits", planCache->summaryMemoHits);
     out.set("planCache", std::move(cacheJson));
   }
   return out;
@@ -154,10 +156,12 @@ std::optional<Report> Report::fromJson(const json::Value &value,
     cache.misses = cacheJson->uintOr("misses");
     cache.stores = cacheJson->uintOr("stores");
     cache.invalidations = cacheJson->uintOr("invalidations");
+    cache.memoHits = cacheJson->uintOr("memoHits");
     cache.summaryLookups = cacheJson->uintOr("summaryLookups");
     cache.summaryHits = cacheJson->uintOr("summaryHits");
     cache.summaryMisses = cacheJson->uintOr("summaryMisses");
     cache.summaryStores = cacheJson->uintOr("summaryStores");
+    cache.summaryMemoHits = cacheJson->uintOr("summaryMemoHits");
     report.planCache = std::move(cache);
   }
 

@@ -79,20 +79,24 @@ struct PlanCacheReport {
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t invalidations = 0;
+  std::uint64_t memoHits = 0;
   std::uint64_t summaryLookups = 0;
   std::uint64_t summaryHits = 0;
   std::uint64_t summaryMisses = 0;
   std::uint64_t summaryStores = 0;
+  std::uint64_t summaryMemoHits = 0;
 
   [[nodiscard]] bool operator==(const PlanCacheReport &other) const {
     return status == other.status && keyId == other.keyId &&
            lookups == other.lookups && hits == other.hits &&
            misses == other.misses && stores == other.stores &&
            invalidations == other.invalidations &&
+           memoHits == other.memoHits &&
            summaryLookups == other.summaryLookups &&
            summaryHits == other.summaryHits &&
            summaryMisses == other.summaryMisses &&
-           summaryStores == other.summaryStores;
+           summaryStores == other.summaryStores &&
+           summaryMemoHits == other.summaryMemoHits;
   }
 };
 

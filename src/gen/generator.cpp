@@ -542,6 +542,110 @@ GeneratedProgram generateProgram(std::uint64_t seed,
   return program;
 }
 
+GeneratedTu generateScaleTu(std::uint64_t seed, unsigned index,
+                            unsigned tuCount, unsigned variant) {
+  if (tuCount < 2)
+    tuCount = 2;
+  char nameBuffer[48];
+  std::ostringstream out;
+
+  if (index == 0) {
+    std::snprintf(nameBuffer, sizeof nameBuffer, "scale-%06llu-main.c",
+                  static_cast<unsigned long long>(seed));
+    for (unsigned k = 1; k < tuCount; ++k) {
+      out << "void stage_" << k << "_init();\n";
+      out << "double stage_" << k << "_run(double w);\n";
+    }
+    out << "\nint main() {\n";
+    out << "  double checksum = 0.0;\n";
+    out << "  double scale = 1.5;\n";
+    for (unsigned k = 1; k < tuCount; ++k)
+      out << "  stage_" << k << "_init();\n";
+    for (unsigned k = 1; k < tuCount; ++k)
+      out << "  checksum += stage_" << k << "_run(scale);\n";
+    out << "  printf(\"checksum=%.6f\\n\", checksum);\n";
+    out << "  return 0;\n}\n";
+    return {nameBuffer, out.str()};
+  }
+
+  // One stage: own globals, one or two offload kernels, a host read-back.
+  // The rng draws depend only on (seed, index) so `variant` moves nothing
+  // but the trip counts — the minimal summary-visible fact edit.
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ull + index * 0xd1342543de82ef95ull +
+                 0x243f6a8885a308d3ull);
+  static const int kExtents[] = {16, 20, 24, 32, 40, 48, 64};
+  const int extent = kExtents[rng.pick(0, 6)];
+  const int c = rng.pick(1, 9);
+  const bool accumKernel = rng.chance(40);
+  const bool hostBump = rng.chance(30);
+  // Odd variants flip the main kernel from map (read a, write b) to an
+  // in-place update of a (read-write a): array `a` gains a device write the
+  // even variant never has — also under the optional accum kernel, which
+  // only reads a — so the stage's portable summary (the per-global access
+  // effects main imports) is guaranteed to change while the TU's shape and
+  // array set stay fixed.
+  const bool inPlaceKernel = variant % 2u == 1;
+  const int trip = extent;
+
+  std::snprintf(nameBuffer, sizeof nameBuffer, "scale-%06llu-stage%04u.c",
+                static_cast<unsigned long long>(seed), index);
+  const std::string a = "s" + std::to_string(index) + "_a";
+  const std::string b = "s" + std::to_string(index) + "_b";
+  out << "double " << a << "[" << extent << "];\n";
+  out << "double " << b << "[" << extent << "];\n\n";
+
+  out << "void stage_" << index << "_init() {\n";
+  out << "  for (int i = 0; i < " << extent << "; ++i) {\n";
+  out << "    " << a << "[i] = i * 0.25 + " << literal(c * 0.5) << ";\n";
+  out << "    " << b << "[i] = 0.0;\n";
+  out << "  }\n}\n\n";
+
+  out << "double stage_" << index << "_run(double w) {\n";
+  out << "  double acc = 0.0;\n";
+  if (hostBump)
+    out << "  w = w + " << literal(c * 0.015625) << ";\n";
+  out << "  #pragma omp target teams distribute parallel for\n";
+  out << "  for (int i = 0; i < " << trip << "; ++i) {\n";
+  if (inPlaceKernel)
+    out << "    " << a << "[i] = " << a << "[i] * w + " << literal(c * 0.25)
+        << ";\n";
+  else
+    out << "    " << b << "[i] = " << a << "[i] * w + " << literal(c * 0.25)
+        << ";\n";
+  out << "  }\n";
+  if (accumKernel) {
+    out << "  #pragma omp target teams distribute parallel for\n";
+    out << "  for (int i = 0; i < " << trip << "; ++i) {\n";
+    out << "    " << b << "[i] += " << a << "[i] * "
+        << literal(c * 0.0625) << ";\n";
+    out << "  }\n";
+  }
+  out << "  for (int i = 0; i < " << trip << "; ++i) {\n";
+  out << "    acc += " << b << "[i];\n";
+  out << "  }\n";
+  out << "  return acc;\n}\n";
+  return {nameBuffer, out.str()};
+}
+
+GeneratedProgram generateScaleProject(std::uint64_t seed, unsigned tuCount) {
+  if (tuCount < 2)
+    tuCount = 2;
+  GeneratedProgram program;
+  program.seed = seed;
+  char nameBuffer[32];
+  std::snprintf(nameBuffer, sizeof nameBuffer, "scale-%06llu",
+                static_cast<unsigned long long>(seed));
+  program.name = nameBuffer;
+  program.provableTrips = true;
+  program.tus.reserve(tuCount);
+  for (unsigned index = 0; index < tuCount; ++index)
+    program.tus.push_back(generateScaleTu(seed, index, tuCount));
+  program.stats.arrays = 2 * (tuCount - 1);
+  program.stats.kernels = tuCount - 1; // at least one per stage
+  program.stats.hostSegments = tuCount - 1;
+  return program;
+}
+
 std::vector<GeneratedProgram> generateCorpus(std::uint64_t baseSeed,
                                              unsigned count,
                                              const GenOptions &options) {

@@ -100,6 +100,42 @@ struct GeneratedProgram {
 generateCorpus(std::uint64_t baseSeed, unsigned count,
                const GenOptions &options = {});
 
+// ---------------------------------------------------------------------------
+// Scale projects (plan-server benchmarking)
+// ---------------------------------------------------------------------------
+//
+// A scale project is a deterministic N-TU program with a FLAT call graph:
+// TU 0 ("main") calls `stage_k_init()` / `stage_k_run()` for every stage
+// TU k in 1..N-1, and each stage TU defines its own global arrays and
+// offload kernels, touching nothing from any other stage. The flat shape
+// keeps the whole-program link fixed point shallow no matter how large N
+// grows (call depth 2, far under the link pass cap) while still giving the
+// plan server N independent planning problems plus one TU — main — whose
+// imports cover every stage summary.
+//
+// That import edge is the incremental-replan test fixture: re-emitting one
+// stage with a different `variant` changes that stage's kernel access
+// effects (a summary-visible fact), so a replan must re-plan exactly the
+// edited stage + main; a comment-only edit changes the source hash but not
+// the summary, so exactly the edited stage replans. All trips are provable
+// and the TU concatenation in index order is one valid single-TU program,
+// like every other generator output.
+
+/// Emits one TU of a scale project. Index 0 is main (ignores `variant`);
+/// indices 1..tuCount-1 are stages. Odd `variant` values flip the stage's
+/// main kernel from map (read a, write b) to an in-place update of a — a
+/// summary-visible fact edit (a gains a device write) that leaves the TU's
+/// shape and array set untouched. Deterministic in (seed, index, tuCount,
+/// variant).
+[[nodiscard]] GeneratedTu generateScaleTu(std::uint64_t seed, unsigned index,
+                                          unsigned tuCount,
+                                          unsigned variant = 0);
+
+/// Assembles the full project (all TUs at variant 0). `tuCount` is clamped
+/// to at least 2 (main + one stage).
+[[nodiscard]] GeneratedProgram generateScaleProject(std::uint64_t seed,
+                                                    unsigned tuCount);
+
 /// splitmix64 — the pinned PRNG behind the generator (exposed so tests can
 /// assert the stream itself never drifts).
 class SplitMix64 {

@@ -1,0 +1,124 @@
+#include "server/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ompdart::server {
+
+PlanClient::~PlanClient() { close(); }
+
+bool PlanClient::connect(const std::string &socketPath, std::string *error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr)
+      *error = "socket path too long: " + socketPath;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr)
+      *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+    if (error != nullptr)
+      *error = "connect(" + socketPath + "): " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  framer_ = LineFramer();
+  return true;
+}
+
+void PlanClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool PlanClient::sendAll(const std::string &data, std::string *error) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR)
+        continue;
+      if (error != nullptr)
+        *error = std::string("send(): ") + std::strerror(errno);
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> PlanClient::readLine(std::string *error) {
+  while (true) {
+    if (std::optional<std::string> line = framer_.next())
+      return line;
+    char buffer[64 * 1024];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR)
+        continue;
+      if (error != nullptr)
+        *error = std::string("recv(): ") + std::strerror(errno);
+      close();
+      return std::nullopt;
+    }
+    if (n == 0) {
+      if (error != nullptr)
+        *error = "server closed the connection";
+      close();
+      return std::nullopt;
+    }
+    if (!framer_.feed(buffer, static_cast<std::size_t>(n))) {
+      if (error != nullptr)
+        *error = "response line exceeds size limit";
+      close();
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<std::string> PlanClient::callRaw(const std::string &line,
+                                               std::string *error) {
+  if (fd_ < 0) {
+    if (error != nullptr)
+      *error = "not connected";
+    return std::nullopt;
+  }
+  std::string wire = line;
+  wire.push_back('\n');
+  if (!sendAll(wire, error))
+    return std::nullopt;
+  return readLine(error);
+}
+
+std::optional<json::Value> PlanClient::call(const json::Value &request,
+                                            std::string *error) {
+  const std::optional<std::string> line = callRaw(request.dump(false), error);
+  if (!line.has_value())
+    return std::nullopt;
+  std::string parseError;
+  std::optional<json::Value> response =
+      json::Value::parse(*line, &parseError);
+  if (!response.has_value() && error != nullptr)
+    *error = "malformed response: " + parseError;
+  return response;
+}
+
+} // namespace ompdart::server

@@ -1,0 +1,49 @@
+// Blocking NDJSON client for the plan server. One instance = one
+// connection; call() writes a request line and blocks for its response
+// line, so callers get strict request/response pairing (the server answers
+// in order per connection). Used by the CLI's `--connect` mode, the server
+// tests, and bench_scale.
+#pragma once
+
+#include "server/protocol.hpp"
+#include "support/json.hpp"
+
+#include <optional>
+#include <string>
+
+namespace ompdart::server {
+
+class PlanClient {
+public:
+  PlanClient() = default;
+  ~PlanClient();
+
+  PlanClient(const PlanClient &) = delete;
+  PlanClient &operator=(const PlanClient &) = delete;
+
+  /// Connects to a listening plan server. Returns false (and sets `error`)
+  /// when nobody listens on `socketPath`.
+  [[nodiscard]] bool connect(const std::string &socketPath,
+                             std::string *error = nullptr);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request object and blocks for its response. nullopt (and
+  /// `error`) on transport failure — the connection is closed then.
+  [[nodiscard]] std::optional<json::Value> call(const json::Value &request,
+                                                std::string *error = nullptr);
+
+  /// Raw variant for protocol tests: sends `line` verbatim (a '\n' is
+  /// appended) and returns the next response line.
+  [[nodiscard]] std::optional<std::string>
+  callRaw(const std::string &line, std::string *error = nullptr);
+
+private:
+  [[nodiscard]] bool sendAll(const std::string &data, std::string *error);
+  [[nodiscard]] std::optional<std::string> readLine(std::string *error);
+
+  int fd_ = -1;
+  LineFramer framer_;
+};
+
+} // namespace ompdart::server

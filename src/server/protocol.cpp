@@ -1,0 +1,67 @@
+#include "server/protocol.hpp"
+
+namespace ompdart::server {
+
+bool LineFramer::feed(const char *data, std::size_t size) {
+  if (overflowed_)
+    return false;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (data[i] != '\n')
+      continue;
+    partial_.append(data + begin, i - begin);
+    begin = i + 1;
+    if (partial_.size() > kMaxLineBytes) {
+      overflowed_ = true;
+      partial_.clear();
+      return false;
+    }
+    // Tolerate CRLF peers.
+    if (!partial_.empty() && partial_.back() == '\r')
+      partial_.pop_back();
+    ready_.push_back(std::move(partial_));
+    partial_.clear();
+  }
+  partial_.append(data + begin, size - begin);
+  if (partial_.size() > kMaxLineBytes) {
+    overflowed_ = true;
+    partial_.clear();
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> LineFramer::next() {
+  if (ready_.empty())
+    return std::nullopt;
+  std::string line = std::move(ready_.front());
+  ready_.pop_front();
+  return line;
+}
+
+json::Value makeOkResponse(const json::Value *id, json::Value result) {
+  json::Value response = json::Value::object();
+  if (id != nullptr && !id->isNull())
+    response.set("id", *id);
+  response.set("ok", true);
+  response.set("result", std::move(result));
+  return response;
+}
+
+json::Value makeErrorResponse(const json::Value *id,
+                              const std::string &message) {
+  json::Value response = json::Value::object();
+  if (id != nullptr && !id->isNull())
+    response.set("id", *id);
+  response.set("ok", false);
+  response.set("error", message);
+  return response;
+}
+
+std::string toWireLine(const json::Value &response) {
+  std::string line = response.dump(false);
+  line.push_back('\n');
+  return line;
+}
+
+} // namespace ompdart::server

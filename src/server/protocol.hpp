@@ -1,0 +1,70 @@
+// Wire protocol of the plan server: newline-delimited JSON (NDJSON) over a
+// local stream socket.
+//
+// Each request is one JSON object on one line; the server answers each with
+// exactly one JSON object line, in request order per connection:
+//
+//   -> {"id": 1, "method": "plan", "file": "a.c", "source": "..."}
+//   <- {"id": 1, "ok": true, "result": {"success": true, "output": "...",
+//       "cache": "miss", "stageRuns": {...}}}
+//
+// Methods: "ping", "plan", "batch", "project", "invalidate", "stats",
+// "shutdown" — see src/server/service.hpp for per-method semantics. The
+// optional "id" member is echoed verbatim into the response so clients can
+// pipeline requests. Malformed JSON never kills the connection: the server
+// replies {"ok": false, "error": "..."} (no id — it could not be parsed)
+// and keeps reading.
+//
+// This header owns the framing (LineFramer: incremental byte feed ->
+// complete lines, with an oversize guard) and the response envelope
+// builders; it knows nothing about sockets or the pipeline.
+#pragma once
+
+#include "support/json.hpp"
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace ompdart::server {
+
+/// Upper bound on one request/response line. Generous (a project request
+/// carries whole source trees) but finite, so a protocol error or a
+/// malicious peer cannot balloon the server's memory.
+constexpr std::size_t kMaxLineBytes = 256ull * 1024 * 1024;
+
+/// Incremental NDJSON framing: feed() raw bytes as they arrive, next()
+/// yields complete lines (without the terminating '\n') in order.
+class LineFramer {
+public:
+  /// Appends received bytes. Returns false when the in-progress line
+  /// exceeded kMaxLineBytes — the connection is poisoned and should close
+  /// (the pending oversize data is discarded).
+  bool feed(const char *data, std::size_t size);
+
+  /// Next complete line, if any arrived.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// True when feed() ever overflowed the line guard.
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
+
+private:
+  std::string partial_;
+  std::deque<std::string> ready_;
+  bool overflowed_ = false;
+};
+
+/// {"ok": true, "result": <result>} (+ echoed "id" when the request had
+/// one).
+[[nodiscard]] json::Value makeOkResponse(const json::Value *id,
+                                         json::Value result);
+
+/// {"ok": false, "error": <message>} (+ echoed "id" when available).
+[[nodiscard]] json::Value makeErrorResponse(const json::Value *id,
+                                            const std::string &message);
+
+/// Serializes a response onto one wire line (compact dump + '\n').
+[[nodiscard]] std::string toWireLine(const json::Value &response);
+
+} // namespace ompdart::server

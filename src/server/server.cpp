@@ -1,0 +1,281 @@
+#include "server/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ompdart::server {
+
+namespace {
+
+/// Poll interval for blocking reads/accepts: the longest a stop request can
+/// go unnoticed by an idle thread.
+constexpr int kPollMillis = 100;
+
+bool fillSockaddr(const std::string &path, sockaddr_un *addr,
+                  std::string *error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr)
+      *error = "socket path too long (" + std::to_string(path.size()) +
+               " bytes, max " +
+               std::to_string(sizeof(addr->sun_path) - 1) + "): " + path;
+    return false;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// Writes all of `data`, retrying on EINTR and partial sends. MSG_NOSIGNAL
+/// turns a vanished peer into EPIPE instead of killing the process.
+bool sendAll(int fd, const std::string &data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+} // namespace
+
+bool isSocketLive(const std::string &path) {
+  sockaddr_un addr{};
+  if (!fillSockaddr(path, &addr, nullptr))
+    return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return false;
+  const bool live =
+      ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                sizeof(addr)) == 0;
+  ::close(fd);
+  return live;
+}
+
+PlanServer::PlanServer(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+  if (options_.workers == 0) {
+    unsigned hardware = std::thread::hardware_concurrency();
+    if (hardware == 0)
+      hardware = 1;
+    options_.workers = hardware < 4 ? hardware : 4;
+  }
+}
+
+PlanServer::~PlanServer() {
+  stop();
+  wait();
+}
+
+bool PlanServer::start(std::string *error) {
+  if (started_) {
+    if (error != nullptr)
+      *error = "server already started";
+    return false;
+  }
+
+  sockaddr_un addr{};
+  if (!fillSockaddr(options_.socketPath, &addr, error))
+    return false;
+
+  // Stale-socket cleanup: a socket file left by a crashed server refuses
+  // connections, so a probe distinguishes it from a live daemon. Anything
+  // else at the path (regular file, directory) is never deleted.
+  struct stat st {};
+  if (::lstat(options_.socketPath.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      if (error != nullptr)
+        *error = "path exists and is not a socket: " + options_.socketPath;
+      return false;
+    }
+    if (isSocketLive(options_.socketPath)) {
+      if (error != nullptr)
+        *error = "another server is live on " + options_.socketPath;
+      return false;
+    }
+    ::unlink(options_.socketPath.c_str());
+  }
+
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    if (error != nullptr)
+      *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr)
+      *error = std::string("bind(): ") + std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+  if (::listen(listenFd_, 64) != 0) {
+    if (error != nullptr)
+      *error = std::string("listen(): ") + std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(options_.socketPath.c_str());
+    return false;
+  }
+
+  started_ = true;
+  stopping_.store(false, std::memory_order_release);
+  acceptThread_ = std::thread([this]() { acceptLoop(); });
+  workerThreads_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i)
+    workerThreads_.emplace_back([this]() { workerLoop(); });
+  return true;
+}
+
+void PlanServer::stop() {
+  if (!started_)
+    return;
+  if (stopping_.exchange(true, std::memory_order_acq_rel))
+    return;
+  queueCv_.notify_all();
+}
+
+void PlanServer::wait() {
+  if (!started_)
+    return;
+  if (acceptThread_.joinable())
+    acceptThread_.join();
+  for (std::thread &worker : workerThreads_)
+    if (worker.joinable())
+      worker.join();
+  workerThreads_.clear();
+
+  // Threads are down; release the socket.
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  ::unlink(options_.socketPath.c_str());
+
+  // Drop connections that were accepted but never picked up by a worker.
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  for (const int fd : pendingFds_)
+    ::close(fd);
+  pendingFds_.clear();
+  started_ = false;
+}
+
+void PlanServer::acceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listenFd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (ready == 0)
+      continue;
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queueMutex_);
+      pendingFds_.push_back(fd);
+    }
+    queueCv_.notify_one();
+  }
+}
+
+void PlanServer::workerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueCv_.wait(lock, [this]() {
+        return !pendingFds_.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (pendingFds_.empty()) {
+        // stopping_ and nothing queued: done.
+        return;
+      }
+      fd = pendingFds_.front();
+      pendingFds_.pop_front();
+    }
+    handleConnection(fd);
+    connectionsServed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanServer::handleConnection(int fd) {
+  LineFramer framer;
+  char buffer[64 * 1024];
+  bool open = true;
+  while (open) {
+    // Serve every fully received line before reading more; a request that
+    // arrived before a stop still gets its response (graceful shutdown
+    // finishes in-flight work).
+    while (std::optional<std::string> line = framer.next()) {
+      if (line->empty())
+        continue;
+      const json::Value response = service_.handleLine(*line);
+      if (!sendAll(fd, toWireLine(response))) {
+        open = false;
+        break;
+      }
+      if (service_.shutdownRequested()) {
+        stop();
+        open = false;
+        break;
+      }
+    }
+    if (!open)
+      break;
+    if (stopping_.load(std::memory_order_acquire))
+      break;
+
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (ready == 0)
+      continue;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR)
+        continue;
+      break; // EOF or error: peer is gone.
+    }
+    if (!framer.feed(buffer, static_cast<std::size_t>(n))) {
+      // Oversized line: report once and drop the connection.
+      sendAll(fd, toWireLine(makeErrorResponse(
+                      nullptr, "request line exceeds size limit")));
+      break;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+} // namespace ompdart::server

@@ -1,0 +1,107 @@
+// Persistent plan-server daemon over a Unix-domain stream socket.
+//
+// `PlanServer` binds `ServerOptions::socketPath`, accepts connections on a
+// dedicated thread, and fans them out to a pool of connection workers. Each
+// worker reads NDJSON request lines (src/server/protocol.hpp), dispatches
+// them through the shared `PlanService` — where the plan cache and the
+// incremental project replanners stay hot across requests AND across
+// connections — and writes one response line per request, in order.
+//
+// Lifecycle:
+//   start()   stale-socket cleanup + bind + listen + spawn threads. A
+//             leftover socket file from a crashed server is detected by a
+//             connect probe: connection refused means nobody is listening,
+//             so the file is unlinked and the path rebound; a successful
+//             probe means a live server owns the path and start() fails.
+//   stop()    graceful: stop accepting, wake idle workers, let in-flight
+//             requests finish and their responses flush; queued-but-unread
+//             connections are closed unserved. Idempotent, callable from
+//             any thread — including a worker that just served a
+//             "shutdown" request.
+//   wait()    joins the accept and worker threads; returns after stop()
+//             (or a "shutdown" request) completed.
+//
+// The socket file is unlinked on stop, so a clean shutdown leaves nothing
+// behind.
+#pragma once
+
+#include "server/service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ompdart::server {
+
+struct ServerOptions {
+  /// Filesystem path of the listening socket (sockaddr_un, so at most
+  /// ~100 bytes).
+  std::string socketPath;
+  /// Connection-handling worker threads; 0 = min(4, hardware).
+  unsigned workers = 0;
+  ServiceOptions service;
+};
+
+class PlanServer {
+public:
+  explicit PlanServer(ServerOptions options);
+  ~PlanServer();
+
+  PlanServer(const PlanServer &) = delete;
+  PlanServer &operator=(const PlanServer &) = delete;
+
+  /// Binds and starts serving. Returns false (and sets `error`) when the
+  /// path is too long for sockaddr_un, another server is live on it, or a
+  /// socket syscall fails.
+  [[nodiscard]] bool start(std::string *error);
+
+  /// Blocks until the server stopped (via stop() or a "shutdown" request)
+  /// and every thread joined.
+  void wait();
+
+  /// Requests a graceful stop (see file comment). Safe to call from any
+  /// thread, any number of times.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return started_ && !stopping_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] PlanService &service() { return service_; }
+  [[nodiscard]] const std::string &socketPath() const {
+    return options_.socketPath;
+  }
+  /// Connections fully served since start.
+  [[nodiscard]] std::uint64_t connectionsServed() const {
+    return connectionsServed_.load(std::memory_order_relaxed);
+  }
+
+private:
+  void acceptLoop();
+  void workerLoop();
+  void handleConnection(int fd);
+
+  ServerOptions options_;
+  PlanService service_;
+
+  int listenFd_ = -1;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connectionsServed_{0};
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<int> pendingFds_;
+
+  std::thread acceptThread_;
+  std::vector<std::thread> workerThreads_;
+};
+
+/// True when a socket file exists at `path` with a live listener behind it
+/// (used by start()'s stale-socket cleanup and by tests).
+[[nodiscard]] bool isSocketLive(const std::string &path);
+
+} // namespace ompdart::server

@@ -1,0 +1,135 @@
+// Request dispatch of the plan server, independent of any transport.
+//
+// `PlanService` owns the hot state that makes a daemon worth running — one
+// shared PlanCache (sharded index + in-memory plan/summary memos) and one
+// `IncrementalProject` per served project — and maps protocol requests onto
+// the existing drivers:
+//
+//   "ping"        liveness + tool version
+//   "plan"        one TU through a Session          {file, source, [name],
+//                                                    [report], [config]}
+//   "batch"       N independent TUs via BatchDriver {tus: [...], [config]}
+//   "project"     N TUs as ONE program via the incremental replanner
+//                 {tus: [...], [project], [report], [config]} — repeated
+//                 requests for the same project replan only what changed
+//   "invalidate"  drop held project state (+ cache memos) {[project]}
+//   "stats"       server counters + cache counters, snapshot-consistent
+//   "shutdown"    ask the hosting server to stop accepting
+//
+// The service is thread-safe: concurrent handle() calls may interleave
+// freely (the cache is lock-striped, projects serialize per instance, and
+// service counters are atomics). Transports (src/server/server.cpp) and
+// tests call `handleLine`/`handle` directly — the wire layer adds nothing
+// but framing.
+#pragma once
+
+#include "driver/batch.hpp"
+#include "driver/incremental.hpp"
+#include "driver/pipeline.hpp"
+#include "server/protocol.hpp"
+#include "support/json.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ompdart::server {
+
+struct ServiceOptions {
+  /// Base pipeline configuration. Requests may override the planning
+  /// switches per call via their "config" member; cache wiring
+  /// (cacheDir/cacheMode) is fixed at service construction.
+  PipelineConfig config;
+  /// Worker threads for batch/project requests; 0 = hardware concurrency.
+  unsigned threads = 0;
+};
+
+/// Request counters, readable while requests are in flight.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;      ///< error responses (including parse errors)
+  std::uint64_t parseErrors = 0; ///< lines that were not valid JSON
+  std::uint64_t pingRequests = 0;
+  std::uint64_t planRequests = 0;
+  std::uint64_t batchRequests = 0;
+  std::uint64_t projectRequests = 0;
+  std::uint64_t invalidateRequests = 0;
+  std::uint64_t statsRequests = 0;
+  std::uint64_t shutdownRequests = 0;
+  std::uint64_t tusPlanned = 0; ///< TUs that ran a pipeline Session
+  std::uint64_t tusReused = 0;  ///< project TUs served from held state
+
+  [[nodiscard]] json::Value toJson() const;
+};
+
+class PlanService {
+public:
+  explicit PlanService(ServiceOptions options);
+  ~PlanService();
+
+  PlanService(const PlanService &) = delete;
+  PlanService &operator=(const PlanService &) = delete;
+
+  /// Parses one wire line and dispatches it. Invalid JSON yields an
+  /// {"ok": false} reply (with no id — it could not be recovered) and
+  /// counts as a parse error; the connection stays usable.
+  [[nodiscard]] json::Value handleLine(const std::string &line);
+
+  /// Dispatches one parsed request object.
+  [[nodiscard]] json::Value handle(const json::Value &request);
+
+  /// True once a "shutdown" request was accepted. The hosting transport
+  /// polls this after each request.
+  [[nodiscard]] bool shutdownRequested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// The shared cache (null when the service runs cacheless).
+  [[nodiscard]] cache::PlanCache *cache() { return cache_; }
+
+  [[nodiscard]] ServiceStats stats() const;
+  /// Number of (project, config) replanner instances currently held.
+  [[nodiscard]] std::size_t heldProjects() const;
+
+private:
+  struct Counters;
+
+  [[nodiscard]] json::Value dispatch(const json::Value &request,
+                                     const json::Value *id);
+  [[nodiscard]] json::Value handlePing();
+  [[nodiscard]] json::Value handlePlan(const json::Value &request,
+                                       std::string *error);
+  [[nodiscard]] json::Value handleBatch(const json::Value &request,
+                                        std::string *error);
+  [[nodiscard]] json::Value handleProject(const json::Value &request,
+                                          std::string *error);
+  [[nodiscard]] json::Value handleInvalidate(const json::Value &request);
+  [[nodiscard]] json::Value handleStats();
+
+  /// Base config + per-request "config" overrides, wired to the shared
+  /// cache. Returns false (and sets `error`) on unknown override keys.
+  [[nodiscard]] bool requestConfig(const json::Value &request,
+                                   PipelineConfig *config,
+                                   std::string *error);
+  [[nodiscard]] IncrementalProject &projectFor(const std::string &name,
+                                               const PipelineConfig &config);
+
+  ServiceOptions options_;
+  unsigned threads_ = 1;
+  std::unique_ptr<cache::PlanCache> ownedCache_;
+  cache::PlanCache *cache_ = nullptr;
+
+  mutable std::mutex projectsMutex_;
+  /// Keyed by project name + '\n' + plan fingerprint: the replanner's reuse
+  /// proof requires a fixed config per instance, so each override set gets
+  /// its own.
+  std::map<std::string, std::unique_ptr<IncrementalProject>> projects_;
+
+  std::atomic<bool> shutdown_{false};
+  std::unique_ptr<Counters> counters_;
+};
+
+} // namespace ompdart::server

@@ -11,9 +11,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <set>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace ompdart {
 namespace {
@@ -509,6 +516,200 @@ TEST(BatchCacheTest, SecondBatchIsFullyWarmWithIdenticalOutputs) {
               cold.items[i].report.diagnostics)
         << cold.items[i].name;
   }
+}
+
+// -------------------------------------------------------------------------
+// Sharded index layout
+// -------------------------------------------------------------------------
+
+cache::CacheKey syntheticKey(int i) {
+  cache::CacheKey key;
+  key.sourceHash = "source-" + std::to_string(i);
+  key.configHash = "config";
+  key.toolVersion = kToolVersion;
+  return key;
+}
+
+cache::CacheEntry syntheticEntry(int i) {
+  cache::CacheEntry entry;
+  entry.fileName = "file-" + std::to_string(i) + ".c";
+  entry.irFingerprint = entry.ir.fingerprint();
+  return entry;
+}
+
+/// Parses every index-NN.json under `dir`; returns row -> id across all
+/// shards, asserting each row lives in the shard its stable hash selects.
+std::map<std::string, std::string> readShardRows(const fs::path &dir) {
+  std::map<std::string, std::string> rows;
+  for (unsigned shard = 0; shard < cache::PlanCache::kIndexShards;
+       ++shard) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "index-%02u.json", shard);
+    std::ifstream in(dir / name);
+    if (!in.is_open())
+      continue;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto doc = json::Value::parse(buffer.str());
+    if (!doc.has_value() || !doc->isObject())
+      continue;
+    for (const auto &[row, id] : doc->members()) {
+      EXPECT_EQ(cache::PlanCache::shardOf(row), shard) << row;
+      rows[row] = id.asString();
+    }
+  }
+  return rows;
+}
+
+TEST(ShardedIndexTest, ShardAssignmentIsStableAndInRange) {
+  for (int i = 0; i < 256; ++i) {
+    const std::string row = "file-" + std::to_string(i) + ".c\nconfig";
+    const unsigned shard = cache::PlanCache::shardOf(row);
+    EXPECT_LT(shard, cache::PlanCache::kIndexShards);
+    // Pure function of the row bytes: every process sharing a cache
+    // directory must compute the same shard.
+    EXPECT_EQ(cache::PlanCache::shardOf(row), shard);
+  }
+  // The hash must actually stripe: 256 distinct rows landing in one shard
+  // would mean the striping (and the per-shard locking) is decorative.
+  std::set<unsigned> used;
+  for (int i = 0; i < 256; ++i)
+    used.insert(cache::PlanCache::shardOf("row-" + std::to_string(i)));
+  EXPECT_GT(used.size(), cache::PlanCache::kIndexShards / 2);
+}
+
+TEST(ShardedIndexTest, RowsRoundTripThroughShardFiles) {
+  TempDir dir("shard-roundtrip");
+  constexpr int kEntries = 40;
+  {
+    cache::PlanCache cacheA(dir.str(), cache::CacheMode::ReadWrite);
+    for (int i = 0; i < kEntries; ++i)
+      cacheA.store(syntheticKey(i), syntheticEntry(i));
+  } // destructor flushes the index shards
+
+  ASSERT_FALSE(fs::exists(dir.path / "index.json"));
+  const std::map<std::string, std::string> rows = readShardRows(dir.path);
+  EXPECT_EQ(rows.size(), static_cast<std::size_t>(kEntries));
+
+  cache::PlanCache cacheB(dir.str(), cache::CacheMode::Read);
+  for (int i = 0; i < kEntries; ++i) {
+    const auto entry =
+        cacheB.lookup(syntheticKey(i), syntheticEntry(i).fileName);
+    EXPECT_TRUE(entry.has_value()) << i;
+  }
+  EXPECT_EQ(cacheB.stats().hits, static_cast<std::uint64_t>(kEntries));
+}
+
+TEST(ShardedIndexTest, ConcurrentWritersMergeLosslessly) {
+  TempDir dir("shard-merge");
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 25;
+  {
+    // Each writer is its own PlanCache instance on the shared directory —
+    // the multi-process topology, compressed into threads. Every row must
+    // survive the merge-on-save; a clobbering writer would drop rows.
+    std::vector<std::unique_ptr<cache::PlanCache>> writers;
+    for (int w = 0; w < kWriters; ++w)
+      writers.push_back(std::make_unique<cache::PlanCache>(
+          dir.str(), cache::CacheMode::ReadWrite));
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        for (int i = 0; i < kPerWriter; ++i) {
+          const int id = w * kPerWriter + i;
+          writers[w]->store(syntheticKey(id), syntheticEntry(id));
+          if (i % 8 == 0)
+            writers[w]->flushIndex(); // interleave disk merges mid-stream
+        }
+      });
+    }
+    for (std::thread &t : threads)
+      t.join();
+  } // all writers flush on destruction, merging each other's rows
+
+  const std::map<std::string, std::string> rows = readShardRows(dir.path);
+  EXPECT_EQ(rows.size(), static_cast<std::size_t>(kWriters * kPerWriter));
+
+  cache::PlanCache reader(dir.str(), cache::CacheMode::Read);
+  for (int id = 0; id < kWriters * kPerWriter; ++id)
+    EXPECT_TRUE(
+        reader.lookup(syntheticKey(id), syntheticEntry(id).fileName)
+            .has_value())
+        << id;
+}
+
+TEST(ShardedIndexTest, LegacyMonolithicIndexIsMigrated) {
+  TempDir dir("shard-legacy");
+  constexpr int kEntries = 6;
+  {
+    cache::PlanCache writer(dir.str(), cache::CacheMode::ReadWrite);
+    for (int i = 0; i < kEntries; ++i)
+      writer.store(syntheticKey(i), syntheticEntry(i));
+  }
+  // Rewind the layout to the pre-shard era: consolidate every shard file
+  // into one monolithic index.json and delete the shards.
+  const std::map<std::string, std::string> rows = readShardRows(dir.path);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(kEntries));
+  json::Value legacy = json::Value::object();
+  for (const auto &[row, id] : rows)
+    legacy.set(row, json::Value(id));
+  {
+    std::ofstream out(dir.path / "index.json");
+    out << legacy.dump(true);
+  }
+  for (unsigned shard = 0; shard < cache::PlanCache::kIndexShards;
+       ++shard) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "index-%02u.json", shard);
+    fs::remove(dir.path / name);
+  }
+  ASSERT_TRUE(readShardRows(dir.path).empty());
+
+  // The index rows power stale detection: a lookup with a changed source
+  // hash only counts an invalidation when the old row is visible — which
+  // after the rewind requires the legacy migration to have adopted it.
+  cache::PlanCache migrated(dir.str(), cache::CacheMode::ReadWrite);
+  cache::CacheKey editedKey = syntheticKey(0);
+  editedKey.sourceHash = "source-0-edited";
+  EXPECT_FALSE(
+      migrated.lookup(editedKey, syntheticEntry(0).fileName).has_value());
+  EXPECT_EQ(migrated.stats().invalidations, 1u);
+  // Unedited entries still hit through the migrated rows.
+  EXPECT_TRUE(
+      migrated.lookup(syntheticKey(1), syntheticEntry(1).fileName)
+          .has_value());
+  migrated.store(editedKey, syntheticEntry(0));
+  migrated.flushIndex();
+  // Migration is per-shard-on-load: the two shards this cache touched
+  // (entry 0's row was updated, entry 1's was adopted from the legacy
+  // file) persist their rows into shard files; untouched rows stay
+  // readable through the legacy file.
+  EXPECT_GE(readShardRows(dir.path).size(), 2u);
+  cache::PlanCache reader(dir.str(), cache::CacheMode::Read);
+  EXPECT_TRUE(reader.lookup(editedKey, syntheticEntry(0).fileName)
+                  .has_value());
+  for (int i = 1; i < kEntries; ++i)
+    EXPECT_TRUE(
+        reader.lookup(syntheticKey(i), syntheticEntry(i).fileName)
+            .has_value())
+        << i;
+}
+
+TEST(ShardedIndexTest, MemoServesRepeatLookupsAndDropMemosForcesDisk) {
+  TempDir dir("shard-memo");
+  cache::PlanCache planCache(dir.str(), cache::CacheMode::ReadWrite);
+  planCache.store(syntheticKey(0), syntheticEntry(0));
+  // store() memoizes, so the first lookup is already a memo hit.
+  EXPECT_TRUE(planCache.lookup(syntheticKey(0), "file-0.c").has_value());
+  EXPECT_EQ(planCache.stats().memoHits, 1u);
+  planCache.dropMemos();
+  // Post-drop the lookup revalidates against disk (no new memo hit) and
+  // re-memoizes, so the one after is served from memory again.
+  EXPECT_TRUE(planCache.lookup(syntheticKey(0), "file-0.c").has_value());
+  EXPECT_EQ(planCache.stats().memoHits, 1u);
+  EXPECT_TRUE(planCache.lookup(syntheticKey(0), "file-0.c").has_value());
+  EXPECT_EQ(planCache.stats().memoHits, 2u);
+  EXPECT_EQ(planCache.stats().hits, 3u);
 }
 
 TEST(BatchCacheTest, WarmupPassesPrepopulateTheMeasuredRun) {

@@ -190,6 +190,50 @@ TEST(BatchProjectTest, ProjectModeSchedulesAndSucceeds) {
             std::string::npos);
 }
 
+// A repeated runProject over a shared cache must not re-extract summaries
+// for TUs whose source hash is unchanged: the second pass serves every
+// summary from the cache (the in-memory memo — no parse, no disk), and an
+// edit to one TU re-extracts exactly one.
+TEST(BatchProjectTest, RepeatRunProjectSkipsSummaryReExtraction) {
+  const suite::ProjectBenchmarkDef &def = suite::xsbenchProject();
+  std::vector<BatchJob> jobs;
+  for (const auto &tu : def.tus)
+    jobs.push_back({tu.name, tu.name, tu.source});
+  const unsigned tuCount = static_cast<unsigned>(jobs.size());
+
+  const fs::path cacheDir = freshDir("runproject-cache");
+  cache::PlanCache shared(cacheDir.string(), cache::CacheMode::ReadWrite);
+  BatchDriver::Options options;
+  options.config.planCache = &shared;
+  options.config.includeOutputInReport = false;
+  BatchDriver driver(options);
+
+  const BatchResult cold = driver.runProject(jobs);
+  EXPECT_EQ(cold.stats.succeeded, cold.stats.jobs);
+  const cache::CacheStats afterCold = shared.stats();
+  EXPECT_EQ(afterCold.summaryMisses, tuCount);
+  EXPECT_EQ(afterCold.summaryStores, tuCount);
+
+  const BatchResult warm = driver.runProject(jobs);
+  const cache::CacheStats afterWarm = shared.stats();
+  // Zero re-extractions: no new misses, every lookup a (memo) hit.
+  EXPECT_EQ(afterWarm.summaryMisses, afterCold.summaryMisses);
+  EXPECT_EQ(afterWarm.summaryHits - afterCold.summaryHits, tuCount);
+  EXPECT_GE(afterWarm.summaryMemoHits, tuCount);
+  ASSERT_EQ(warm.items.size(), cold.items.size());
+  for (std::size_t i = 0; i < warm.items.size(); ++i)
+    EXPECT_EQ(warm.items[i].output, cold.items[i].output)
+        << cold.items[i].name;
+
+  // Edit one TU: exactly one summary re-extracts, the rest stay served.
+  jobs[1].source = "// one-TU edit\n" + jobs[1].source;
+  const BatchResult edited = driver.runProject(jobs);
+  EXPECT_EQ(edited.stats.succeeded, edited.stats.jobs);
+  const cache::CacheStats afterEdit = shared.stats();
+  EXPECT_EQ(afterEdit.summaryMisses - afterWarm.summaryMisses, 1u);
+  EXPECT_EQ(afterEdit.summaryHits - afterWarm.summaryHits, tuCount - 1);
+}
+
 // Incremental whole-program builds: a warm project run is 100% plan-cache
 // hits; editing one TU's *comments* re-extracts only that TU's summary
 // (its source hash changed) while every TU re-hits its cached plan (the

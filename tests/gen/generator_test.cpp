@@ -138,5 +138,62 @@ TEST(GeneratorTest, MultiTuSplitConcatenatesToTheSameProgram) {
   EXPECT_GE(checked, 3u);
 }
 
+// -------------------------------------------------------------------------
+// Scale projects (plan-server fixture)
+// -------------------------------------------------------------------------
+
+TEST(ScaleProjectTest, SameSeedIsByteIdentical) {
+  const auto first = gen::generateScaleProject(33, 12);
+  const auto second = gen::generateScaleProject(33, 12);
+  ASSERT_EQ(first.tus.size(), second.tus.size());
+  for (std::size_t i = 0; i < first.tus.size(); ++i) {
+    EXPECT_EQ(first.tus[i].name, second.tus[i].name);
+    EXPECT_EQ(first.tus[i].source, second.tus[i].source);
+  }
+  EXPECT_TRUE(first.provableTrips);
+}
+
+TEST(ScaleProjectTest, ShapeIsMainPlusStagesAndClamped) {
+  const auto program = gen::generateScaleProject(33, 5);
+  ASSERT_EQ(program.tus.size(), 5u);
+  EXPECT_NE(program.tus[0].name.find("main"), std::string::npos);
+  for (std::size_t i = 1; i < program.tus.size(); ++i)
+    EXPECT_NE(program.tus[i].name.find("stage"), std::string::npos) << i;
+  // tuCount is clamped to main + at least one stage.
+  EXPECT_EQ(gen::generateScaleProject(33, 0).tus.size(), 2u);
+  // Per-TU emission matches the assembled project (the incremental tests
+  // edit single TUs through generateScaleTu and rely on this).
+  for (unsigned i = 0; i < 5; ++i) {
+    const gen::GeneratedTu tu = gen::generateScaleTu(33, i, 5);
+    EXPECT_EQ(tu.name, program.tus[i].name);
+    EXPECT_EQ(tu.source, program.tus[i].source);
+  }
+}
+
+TEST(ScaleProjectTest, OddVariantEditsOnlyTheStageKernel) {
+  const gen::GeneratedTu base = gen::generateScaleTu(33, 2, 5);
+  const gen::GeneratedTu edited = gen::generateScaleTu(33, 2, 5, 1);
+  EXPECT_EQ(base.name, edited.name);
+  EXPECT_NE(base.source, edited.source);
+  // Even variants re-emit the base TU; main ignores the variant entirely.
+  EXPECT_EQ(gen::generateScaleTu(33, 2, 5, 2).source, base.source);
+  EXPECT_EQ(gen::generateScaleTu(33, 0, 5, 1).source,
+            gen::generateScaleTu(33, 0, 5).source);
+  // Both variants stay in the parseable subset.
+  EXPECT_TRUE(test::parse(base.source).ok);
+  EXPECT_TRUE(test::parse(edited.source).ok);
+}
+
+TEST(ScaleProjectTest, ConcatenationParsesAndRunsDeterministically) {
+  const auto program = gen::generateScaleProject(34, 6);
+  const auto parsed = test::parse(program.combined());
+  ASSERT_TRUE(parsed.ok) << parsed.diags->summary();
+  const auto first = interp::runProgram(program.combined());
+  ASSERT_TRUE(first.ok) << first.error;
+  const auto second = interp::runProgram(program.combined());
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(first.output, second.output);
+}
+
 } // namespace
 } // namespace ompdart
