@@ -499,12 +499,22 @@ int runConnectMode(const std::string &socketPath,
                    response->stringOr("error").c_str());
       return 1;
     }
+    // An ok:true reply can still be missing members (protocol skew, an
+    // older server) — report it instead of dereferencing null.
     const json::Value *result = response->find("result");
+    if (result == nullptr) {
+      std::fprintf(stderr, "malformed server response: missing \"result\"\n");
+      return 1;
+    }
     if (emit == "json") {
       std::printf("%s\n", result->dump(/*pretty=*/true).c_str());
       return result->boolOr("success") ? 0 : 1;
     }
     const json::Value *tusJson = result->find("tus");
+    if (tusJson == nullptr) {
+      std::fprintf(stderr, "malformed server response: missing \"tus\"\n");
+      return 1;
+    }
     bool ok = result->boolOr("success");
     for (const json::Value &tu : tusJson->items()) {
       const std::string name = tu.stringOr("name");
@@ -550,6 +560,10 @@ int runConnectMode(const std::string &socketPath,
     return 1;
   }
   const json::Value *result = response->find("result");
+  if (result == nullptr) {
+    std::fprintf(stderr, "malformed server response: missing \"result\"\n");
+    return 1;
+  }
   std::fprintf(stderr, "plan cache: %s\n",
                result->stringOr("cache").c_str());
   const bool ok = result->boolOr("success");

@@ -282,13 +282,20 @@ void PlanCache::loadShardLocked(unsigned shard) {
     return;
   stripe.loaded = true;
   static const std::set<std::string> kSkipNone;
+  std::error_code ec;
+  const bool shardFileExists = fs::exists(indexShardPath(shard), ec);
   readIndexDocument(indexShardPath(shard), stripe.rows, kSkipNone, shard);
   // Legacy migration: a pre-sharding cache kept every row in one
-  // index.json. Adopt its rows for this shard unless the shard file
-  // already has a (fresher) value; adopting any marks the shard dirty so
-  // the next flush persists the migrated rows into the shard file. The
-  // legacy file itself is left in place and never rewritten — rows for
-  // shards this process never touches stay readable there.
+  // index.json. Every shard-file save includes the migrated rows (adoption
+  // marks the shard dirty), so once the shard file exists it is the
+  // authoritative superset of the legacy rows AND of later erasures — a
+  // row a writable cache deliberately dropped (stale detection) must not
+  // be resurrected from the legacy file on every fresh load. Only a shard
+  // that was never flushed adopts legacy rows. The legacy file itself is
+  // left in place and never rewritten — rows for shards no writable
+  // process has flushed yet stay readable there.
+  if (shardFileExists)
+    return;
   const std::size_t beforeLegacy = stripe.rows.size();
   readIndexDocument(fs::path(directory_) / "index.json", stripe.rows,
                     kSkipNone, shard);

@@ -25,7 +25,9 @@
 // independent locks and rewrites 1/N of the index per flush instead of one
 // monolithic index.json. Row-to-shard assignment uses the stable content
 // hash, so every process agrees on the layout; a legacy single-file
-// index.json is migrated shard-by-shard on first load.
+// index.json is migrated shard-by-shard on first load (and ignored for a
+// shard once a flush has written that shard's file, which then carries the
+// migrated rows).
 // Because entries are content-addressed, editing a source never corrupts a
 // cache: the edit changes the key, the lookup misses, and the superseded
 // entry for that file+config row is counted as an invalidation (the row is

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <utility>
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -50,6 +52,30 @@ bool sendAll(int fd, const std::string &data) {
   return true;
 }
 
+/// Advisory flock on a sidecar file, held for the object's lifetime (same
+/// pattern as the cache shard saves). Blocks until acquired; acquisition
+/// failure (unwritable directory) degrades to running unlocked.
+class FileLock {
+public:
+  explicit FileLock(const std::string &path) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0)
+      while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+      }
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+private:
+  int fd_ = -1;
+};
+
 } // namespace
 
 bool isSocketLive(const std::string &path) {
@@ -94,7 +120,13 @@ bool PlanServer::start(std::string *error) {
 
   // Stale-socket cleanup: a socket file left by a crashed server refuses
   // connections, so a probe distinguishes it from a live daemon. Anything
-  // else at the path (regular file, directory) is never deleted.
+  // else at the path (regular file, directory) is never deleted. The
+  // probe-unlink-bind-listen sequence runs under an flock so two daemons
+  // launched concurrently cannot both see a dead socket — the second's
+  // unlink+bind would silently orphan the first's already-bound listener.
+  // The second entrant blocks until the first has listen()ed, then its
+  // probe finds the live daemon and errors out.
+  const FileLock startLock(options_.socketPath + ".lock");
   struct stat st {};
   if (::lstat(options_.socketPath.c_str(), &st) == 0) {
     if (!S_ISSOCK(st.st_mode)) {

@@ -361,19 +361,23 @@ json::Value PlanService::handleBatch(const json::Value &request,
   return result;
 }
 
-IncrementalProject &PlanService::projectFor(const std::string &name,
-                                            const PipelineConfig &config) {
+std::shared_ptr<IncrementalProject>
+PlanService::projectFor(const std::string &name,
+                        const PipelineConfig &config) {
   // Keyed by name + plan fingerprint: the replanner's reuse proof requires
   // one fixed config per instance, so each override set replans separately.
+  // The shared_ptr copy leaves the lock with the caller: a concurrent
+  // "invalidate" erasing the map entry must not destroy an instance that is
+  // mid-replan on another worker.
   const std::string key = name + "\n" + planFingerprint(config);
   std::lock_guard<std::mutex> lock(projectsMutex_);
-  std::unique_ptr<IncrementalProject> &slot = projects_[key];
+  std::shared_ptr<IncrementalProject> &slot = projects_[key];
   if (slot == nullptr) {
     IncrementalProject::Options options;
     options.threads = threads_;
-    slot = std::make_unique<IncrementalProject>(config, options);
+    slot = std::make_shared<IncrementalProject>(config, options);
   }
-  return *slot;
+  return slot;
 }
 
 json::Value PlanService::handleProject(const json::Value &request,
@@ -390,8 +394,9 @@ json::Value PlanService::handleProject(const json::Value &request,
   if (projectName.empty())
     projectName = "default";
 
-  IncrementalProject &project = projectFor(projectName, config);
-  const IncrementalResult replan = project.replan(tus);
+  const std::shared_ptr<IncrementalProject> project =
+      projectFor(projectName, config);
+  const IncrementalResult replan = project->replan(tus);
   counters_->tusPlanned.fetch_add(replan.tusReplanned,
                                   std::memory_order_relaxed);
   counters_->tusReused.fetch_add(replan.tusReused,

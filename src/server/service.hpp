@@ -114,8 +114,8 @@ private:
   [[nodiscard]] bool requestConfig(const json::Value &request,
                                    PipelineConfig *config,
                                    std::string *error);
-  [[nodiscard]] IncrementalProject &projectFor(const std::string &name,
-                                               const PipelineConfig &config);
+  [[nodiscard]] std::shared_ptr<IncrementalProject>
+  projectFor(const std::string &name, const PipelineConfig &config);
 
   ServiceOptions options_;
   unsigned threads_ = 1;
@@ -125,8 +125,10 @@ private:
   mutable std::mutex projectsMutex_;
   /// Keyed by project name + '\n' + plan fingerprint: the replanner's reuse
   /// proof requires a fixed config per instance, so each override set gets
-  /// its own.
-  std::map<std::string, std::unique_ptr<IncrementalProject>> projects_;
+  /// its own. Held by shared_ptr: handlers copy the pointer out under the
+  /// lock and replan WITHOUT it, so a concurrent "invalidate" only drops
+  /// the map reference and the instance outlives any in-flight replan.
+  std::map<std::string, std::shared_ptr<IncrementalProject>> projects_;
 
   std::atomic<bool> shutdown_{false};
   std::unique_ptr<Counters> counters_;

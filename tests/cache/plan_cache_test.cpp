@@ -695,6 +695,52 @@ TEST(ShardedIndexTest, LegacyMonolithicIndexIsMigrated) {
         << i;
 }
 
+TEST(ShardedIndexTest, ErasedStaleRowIsNotResurrectedFromLegacyIndex) {
+  TempDir dir("shard-legacy-erase");
+  // A pre-shard cache knew entry 0: its row lives only in legacy
+  // index.json (no shard files on disk).
+  {
+    cache::PlanCache writer(dir.str(), cache::CacheMode::ReadWrite);
+    writer.store(syntheticKey(0), syntheticEntry(0));
+  }
+  const std::map<std::string, std::string> rows = readShardRows(dir.path);
+  ASSERT_EQ(rows.size(), 1u);
+  json::Value legacy = json::Value::object();
+  for (const auto &[row, id] : rows)
+    legacy.set(row, json::Value(id));
+  {
+    std::ofstream out(dir.path / "index.json");
+    out << legacy.dump(true);
+  }
+  for (unsigned shard = 0; shard < cache::PlanCache::kIndexShards;
+       ++shard) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "index-%02u.json", shard);
+    fs::remove(dir.path / name);
+  }
+
+  // An edited source misses, counts ONE invalidation, and erases the
+  // stale row; the destructor's flush persists the erasure into the row's
+  // shard file.
+  cache::CacheKey editedKey = syntheticKey(0);
+  editedKey.sourceHash = "source-0-edited";
+  {
+    cache::PlanCache cacheA(dir.str(), cache::CacheMode::ReadWrite);
+    EXPECT_FALSE(
+        cacheA.lookup(editedKey, syntheticEntry(0).fileName).has_value());
+    EXPECT_EQ(cacheA.stats().invalidations, 1u);
+  }
+
+  // The shard file now exists and is authoritative. A fresh cache must
+  // NOT re-adopt the erased row from the (never-rewritten) legacy file —
+  // that would resurrect it and re-count the invalidation once per
+  // process lifetime, forever.
+  cache::PlanCache cacheB(dir.str(), cache::CacheMode::ReadWrite);
+  EXPECT_FALSE(
+      cacheB.lookup(editedKey, syntheticEntry(0).fileName).has_value());
+  EXPECT_EQ(cacheB.stats().invalidations, 0u);
+}
+
 TEST(ShardedIndexTest, MemoServesRepeatLookupsAndDropMemosForcesDisk) {
   TempDir dir("shard-memo");
   cache::PlanCache planCache(dir.str(), cache::CacheMode::ReadWrite);

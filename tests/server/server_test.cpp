@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -283,6 +284,54 @@ TEST(PlanServiceTest, ProjectRequestsReplanIncrementally) {
   ASSERT_TRUE(dropped.boolOr("ok", false));
   EXPECT_EQ(dropped.find("result")->uintOr("projectsDropped", 0), 1u);
   EXPECT_EQ(service.heldProjects(), 0u);
+}
+
+TEST(PlanServiceTest, InvalidateDuringConcurrentProjectRequestsIsSafe) {
+  PlanService service(ServiceOptions{});
+
+  // Regression: "invalidate" used to destroy a held IncrementalProject
+  // (erase its map slot) while another worker was mid-replan on the same
+  // instance — a use-after-free. The service now copies a shared_ptr out
+  // under the lock, so the instance outlives every in-flight replan and
+  // hammering both methods concurrently must stay clean (ASan/TSan builds
+  // would flag the old behavior here).
+  constexpr int kPlanners = 3;
+  constexpr int kRequests = 6;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kPlanners; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRequests; ++i) {
+        json::Value request = json::Value::object();
+        request.set("method", json::Value("project"));
+        request.set("project", json::Value("app"));
+        json::Value tus = json::Value::array();
+        json::Value tu = json::Value::object();
+        tu.set("file", json::Value("main.c"));
+        // Distinct comment suffixes force real replans each round.
+        tu.set("source",
+               json::Value(std::string(kKernelSource) + "// t" +
+                           std::to_string(t) + "i" + std::to_string(i) +
+                           "\n"));
+        tus.push(tu);
+        request.set("tus", tus);
+        if (!service.handle(request).boolOr("ok", false))
+          failed.store(true);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kPlanners * kRequests; ++i) {
+      json::Value request = json::Value::object();
+      request.set("method", json::Value("invalidate"));
+      if (!service.handle(request).boolOr("ok", false))
+        failed.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (std::thread &thread : threads)
+    thread.join();
+  EXPECT_FALSE(failed.load());
 }
 
 // -------------------------------------------------------------------------
