@@ -1,0 +1,247 @@
+// Checker gate: precision and soundness for the static plan-safety checker
+// (src/check/), the two properties ISSUE 8 requires of the analysis. Writes
+// BENCH_check.json and exits non-zero unless both gates hold:
+//
+//   PRECISION — the checker reports ZERO findings across the 500-seed
+//   oracle-passing fuzz corpus and all nine paper benchmarks. The planner's
+//   own plans are correct by the differential oracle (bench_fuzz), so any
+//   finding on them is a checker false positive.
+//
+//   SOUNDNESS — the plan-mutation battery (src/check/mutate.hpp: drop a
+//   from-leg, drop an update, weaken a map type, shift an update insertion
+//   point, zero an entry count, break the present contract) applied to
+//   every corpus plan must be flagged >= 99% of the time, and the verdicts
+//   must be oracle-concordant: every mutant the dynamic oracle fails, the
+//   checker flags. (The reverse is not required — a flagged mutant the
+//   oracle passes is a latent issue the executed trace did not reach, e.g.
+//   a dead transfer wastes bytes without corrupting output.)
+#include "check/checker.hpp"
+#include "check/mutate.hpp"
+#include "driver/pipeline.hpp"
+#include "gen/generator.hpp"
+#include "suite/benchmarks.hpp"
+#include "support/json.hpp"
+#include "verify/oracle.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr unsigned kPrograms = 500;
+constexpr std::uint64_t kBaseSeed = 1;
+constexpr double kMinKillRate = 0.99;
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PerKind {
+  unsigned mutants = 0;
+  unsigned flagged = 0;
+};
+
+} // namespace
+
+int main() {
+  namespace json = ompdart::json;
+  using ompdart::PipelineConfig;
+  using ompdart::Session;
+  using ompdart::check::Mutation;
+
+  const auto started = Clock::now();
+  bool ok = true;
+
+  // ---- precision: corpus + paper benchmarks -----------------------------
+
+  const auto corpus = ompdart::gen::generateCorpus(kBaseSeed, kPrograms);
+
+  unsigned precisionFindings = 0;
+  unsigned regionsChecked = 0;
+  unsigned programsChecked = 0;
+
+  // Sessions are kept per program so the soundness pass can re-check
+  // mutants against the already-built front-end artifacts.
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.reserve(corpus.size());
+
+  for (const ompdart::gen::GeneratedProgram &program : corpus) {
+    auto session = std::make_unique<Session>(program.name + ".c",
+                                             program.combined(),
+                                             PipelineConfig{});
+    const ompdart::check::CheckResult &result = session->check();
+    ++programsChecked;
+    regionsChecked += result.regionsChecked;
+    if (!result.findings.empty()) {
+      precisionFindings += static_cast<unsigned>(result.findings.size());
+      for (const ompdart::check::Finding &finding : result.findings)
+        std::fprintf(stderr, "precision FP %s: [%s] %s\n",
+                     program.name.c_str(),
+                     ompdart::check::findingCodeName(finding.code),
+                     finding.message.c_str());
+    }
+    sessions.push_back(std::move(session));
+  }
+
+  unsigned benchmarkFindings = 0;
+  for (const ompdart::suite::BenchmarkDef &def :
+       ompdart::suite::allBenchmarks()) {
+    Session session(def.name + ".c", def.unoptimized, PipelineConfig{});
+    const ompdart::check::CheckResult &result = session.check();
+    regionsChecked += result.regionsChecked;
+    if (!result.findings.empty()) {
+      benchmarkFindings += static_cast<unsigned>(result.findings.size());
+      for (const ompdart::check::Finding &finding : result.findings)
+        std::fprintf(stderr, "precision FP %s: [%s] %s\n", def.name.c_str(),
+                     ompdart::check::findingCodeName(finding.code),
+                     finding.message.c_str());
+    }
+  }
+
+  if (precisionFindings + benchmarkFindings > 0) {
+    std::fprintf(stderr,
+                 "precision gate FAILED: %u corpus + %u benchmark findings "
+                 "on oracle-correct plans\n",
+                 precisionFindings, benchmarkFindings);
+    ok = false;
+  }
+  if (regionsChecked == 0) {
+    std::fprintf(stderr, "precision gate vacuous: no region was checked\n");
+    ok = false;
+  }
+
+  // ---- soundness: mutation battery --------------------------------------
+
+  unsigned totalMutants = 0;
+  unsigned flaggedMutants = 0;
+  unsigned oracleFailed = 0;
+  unsigned oracleFailedFlagged = 0;
+  unsigned oracleRuns = 0;
+  std::map<std::string, PerKind> byKind;
+  std::vector<std::string> survivors;
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const ompdart::gen::GeneratedProgram &program = corpus[i];
+    Session &session = *sessions[i];
+    const ompdart::ir::MappingIr &ir = session.ir();
+    if (ir.empty())
+      continue;
+
+    const auto mutations = ompdart::check::enumerateMutations(ir);
+    for (const Mutation &mutation : mutations) {
+      const ompdart::ir::MappingIr mutant =
+          ompdart::check::applyMutation(ir, mutation);
+      const ompdart::check::CheckResult result = ompdart::check::checkPlan(
+          session.parse().unit(), session.cfg(), session.interproc(),
+          mutant);
+      const bool flagged = !result.findings.empty();
+
+      ++totalMutants;
+      PerKind &kind = byKind[ompdart::check::mutationKindName(mutation.kind)];
+      ++kind.mutants;
+      if (flagged) {
+        ++flaggedMutants;
+        ++kind.flagged;
+      } else if (survivors.size() < 25) {
+        survivors.push_back(program.name + ": " + mutation.describe(ir));
+      }
+
+      // Oracle cross-check: a mutant the dynamic run catches MUST also be
+      // caught statically.
+      const ompdart::verify::OracleVerdict verdict = ompdart::verify::verifyIr(
+          program.name, program.combined(), mutant, program.provableTrips);
+      ++oracleRuns;
+      if (!verdict.ok) {
+        ++oracleFailed;
+        if (flagged) {
+          ++oracleFailedFlagged;
+        } else {
+          std::fprintf(stderr,
+                       "DISCORDANT %s %s: oracle fails (%s) but checker is "
+                       "silent\n",
+                       program.name.c_str(),
+                       mutation.describe(ir).c_str(),
+                       verdict.divergence().substr(0, 160).c_str());
+        }
+      }
+    }
+  }
+
+  const double killRate =
+      totalMutants == 0 ? 0.0
+                        : static_cast<double>(flaggedMutants) / totalMutants;
+  if (totalMutants == 0) {
+    std::fprintf(stderr, "soundness gate vacuous: no mutants generated\n");
+    ok = false;
+  }
+  if (killRate < kMinKillRate) {
+    std::fprintf(stderr,
+                 "soundness gate FAILED: %u/%u mutants flagged (%.2f%% < "
+                 "%.0f%%)\n",
+                 flaggedMutants, totalMutants, killRate * 100.0,
+                 kMinKillRate * 100.0);
+    for (const std::string &survivor : survivors)
+      std::fprintf(stderr, "  survivor: %s\n", survivor.c_str());
+    ok = false;
+  }
+  if (oracleFailedFlagged != oracleFailed) {
+    std::fprintf(stderr,
+                 "soundness gate FAILED: %u oracle-failing mutants escaped "
+                 "the checker (%u/%u concordant)\n",
+                 oracleFailed - oracleFailedFlagged, oracleFailedFlagged,
+                 oracleFailed);
+    ok = false;
+  }
+
+  // ---- report -----------------------------------------------------------
+
+  json::Value report = json::Value::object();
+  report.set("bench", "check");
+  json::Value precision = json::Value::object();
+  precision.set("corpusPrograms", programsChecked);
+  precision.set("benchmarks",
+                static_cast<std::uint64_t>(
+                    ompdart::suite::allBenchmarks().size()));
+  precision.set("regionsChecked", regionsChecked);
+  precision.set("findings", precisionFindings + benchmarkFindings);
+  report.set("precision", std::move(precision));
+
+  json::Value soundness = json::Value::object();
+  soundness.set("mutants", totalMutants);
+  soundness.set("flagged", flaggedMutants);
+  soundness.set("killRate", killRate);
+  soundness.set("oracleRuns", oracleRuns);
+  soundness.set("oracleFailed", oracleFailed);
+  soundness.set("oracleFailedFlagged", oracleFailedFlagged);
+  json::Value kinds = json::Value::object();
+  for (const auto &[name, stats] : byKind) {
+    json::Value entry = json::Value::object();
+    entry.set("mutants", stats.mutants);
+    entry.set("flagged", stats.flagged);
+    kinds.set(name, std::move(entry));
+  }
+  soundness.set("byKind", std::move(kinds));
+  report.set("soundness", std::move(soundness));
+  report.set("seconds", secondsSince(started));
+  report.set("pass", ok);
+
+  std::ofstream out("BENCH_check.json");
+  out << report.dump(/*pretty=*/true);
+  out.flush();
+
+  std::printf("check: precision %u findings over %u programs + %zu "
+              "benchmarks (%u regions); soundness %u/%u mutants flagged "
+              "(%.2f%%), %u/%u oracle-concordant; %.1fs — %s\n",
+              precisionFindings + benchmarkFindings, programsChecked,
+              ompdart::suite::allBenchmarks().size(), regionsChecked,
+              flaggedMutants, totalMutants, killRate * 100.0,
+              oracleFailedFlagged, oracleFailed, secondsSince(started),
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

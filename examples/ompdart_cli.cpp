@@ -50,6 +50,13 @@ std::string joined(const std::vector<std::string> &names) {
   return out;
 }
 
+std::vector<std::string> stageNames() {
+  std::vector<std::string> names;
+  for (const ompdart::Stage stage : ompdart::allStages())
+    names.emplace_back(ompdart::stageName(stage));
+  return names;
+}
+
 void usage(const char *argv0) {
   std::printf(
       "usage: %s <input.c> [options]\n"
@@ -59,9 +66,13 @@ void usage(const char *argv0) {
       "                       as one program; -o names an output DIRECTORY\n"
       "  -o <file>            write output to <file> instead of stdout\n"
       "  --emit=<kind>        %s (default: source)\n"
-      "  --stop-after=<stage> parse | cfg | interproc | plan | rewrite |"
-      " metrics\n"
+      "  --stop-after=<stage> %s\n"
       "  --cost-model=<name>  %s (default: paper-greedy)\n"
+      "  --check              report plan-safety findings (stale-device-read,\n"
+      "                       stale-host-read, dead-transfer, double-transfer,\n"
+      "                       exit-without-entry) as warnings\n"
+      "  --check=error        promote plan-safety findings to errors (the\n"
+      "                       pipeline stops before the rewrite stage)\n"
       "  --dump-ast           print the AST instead of transforming\n"
       "  --no-firstprivate    disable the firstprivate optimization\n"
       "  --no-hoist           disable Algorithm 1 update hoisting\n"
@@ -87,6 +98,7 @@ void usage(const char *argv0) {
       "                       lines and print each response line\n"
       "  --shutdown           with --connect: ask the server to stop\n",
       argv0, argv0, joined(emitKinds()).c_str(),
+      joined(stageNames()).c_str(),
       joined(ompdart::costModelNames()).c_str());
 }
 
@@ -664,7 +676,8 @@ int main(int argc, char **argv) {
       const std::string stage = arg.substr(13);
       config.stopAfter = ompdart::stageFromName(stage);
       if (!config.stopAfter) {
-        std::fprintf(stderr, "unknown stage '%s'\n", stage.c_str());
+        std::fprintf(stderr, "unknown stage '%s' (valid stages: %s)\n",
+                     stage.c_str(), joined(stageNames()).c_str());
         return 1;
       }
     } else if (arg.rfind("--cost-model=", 0) == 0) {
@@ -675,6 +688,15 @@ int main(int argc, char **argv) {
                      joined(ompdart::costModelNames()).c_str());
         return 1;
       }
+    } else if (arg == "--check") {
+      config.check = true;
+    } else if (arg == "--check=error") {
+      config.checkErrors = true;
+    } else if (arg.rfind("--check=", 0) == 0) {
+      std::fprintf(stderr,
+                   "unknown check mode '%s' (use --check or --check=error)\n",
+                   arg.substr(8).c_str());
+      return 1;
     } else if (arg == "--no-firstprivate") {
       config.planner.useFirstprivate = false;
     } else if (arg == "--no-hoist") {

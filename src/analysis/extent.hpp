@@ -1,0 +1,94 @@
+// Shared mapped-extent resolution: declared/malloc extents with Guo-style
+// inference from device-access loop bounds and interprocedural call-site
+// propagation. Extracted from the mapping planner so other plan consumers
+// (the static plan-safety checker in src/check) prove full-coverage writes
+// against exactly the extents the planner planned with — a checker that
+// re-derived extents its own way would disagree with the planner precisely
+// on the programs where inference matters.
+//
+// The resolver is stateless across functions except for per-function
+// context (the function's augmented access stream and AST-CFG), installed
+// via `setFunctionContext` before queries. Diagnostics are optional: the
+// planner passes its engine so call-site disagreements are reported once;
+// the checker passes nullptr and resolves silently (the plan stage already
+// reported them).
+#pragma once
+
+#include "analysis/bounds.hpp"
+#include "analysis/interproc.hpp"
+#include "analysis/summary.hpp"
+#include "cfg/cfg.hpp"
+#include "support/diagnostics.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ompdart {
+
+class ExtentResolver {
+public:
+  ExtentResolver(const TranslationUnit &unit,
+                 const InterproceduralResult &interproc,
+                 const MallocExtents &mallocExtents,
+                 const summary::TuImports *imports, DiagnosticEngine *diags);
+
+  /// Installs the per-function context subsequent queries resolve against.
+  void setFunctionContext(const FunctionAccessInfo *accesses,
+                          const AstCfg *cfg) {
+    accesses_ = accesses;
+    cfg_ = cfg;
+  }
+
+  /// Declared/malloc extent, falling back to inference from the loop bounds
+  /// of the function's accesses when the allocation size is invisible.
+  [[nodiscard]] ExtentInfo effectiveExtent(VarDecl *var) const;
+
+  /// Extent of a pointer parameter derived from agreeing call-site
+  /// arguments (interprocedural propagation).
+  [[nodiscard]] ExtentInfo callSiteExtent(VarDecl *var) const;
+
+  /// Constant value of a symbolic pointer extent, resolved by folding the
+  /// extent expression, or — when it names a parameter — by folding the
+  /// agreeing argument at every call site.
+  [[nodiscard]] std::optional<std::uint64_t>
+  symbolicExtentElems(const ExtentInfo &extent) const;
+
+  /// Constant value a parameter holds across all call sites — local ones
+  /// plus imported cross-TU records (nullopt when any call passes a
+  /// non-constant or the sites disagree; disagreement additionally emits a
+  /// diagnostic naming the call sites when a DiagnosticEngine is attached).
+  [[nodiscard]] std::optional<std::int64_t>
+  paramConstAcrossCallSites(const VarDecl *param) const;
+
+  /// The function owning `param` and its index, or {nullptr, -1}.
+  [[nodiscard]] std::pair<const FunctionDecl *, int>
+  paramOwner(const VarDecl *param) const;
+
+private:
+  void reportCallSiteDisagreement(const VarDecl *param,
+                                  const FunctionDecl *owner,
+                                  const std::string &what,
+                                  const std::vector<std::string> &sites) const;
+
+  const TranslationUnit &unit_;
+  const InterproceduralResult &interproc_;
+  const MallocExtents &mallocExtents_;
+  const summary::TuImports *imports_;
+  DiagnosticEngine *diags_;
+
+  // Per-function context.
+  const FunctionAccessInfo *accesses_ = nullptr;
+  const AstCfg *cfg_ = nullptr;
+
+  /// Parameters whose call-site disagreement was already diagnosed (the
+  /// extent queries run once per mapped variable reference; the diagnostic
+  /// must not repeat).
+  mutable std::set<std::pair<const VarDecl *, std::string>>
+      disagreementDiagnosed_;
+};
+
+} // namespace ompdart

@@ -1,0 +1,94 @@
+#include "check/finding.hpp"
+
+namespace ompdart::check {
+
+const char *findingCodeName(FindingCode code) {
+  switch (code) {
+  case FindingCode::StaleDeviceRead:
+    return "stale-device-read";
+  case FindingCode::StaleHostRead:
+    return "stale-host-read";
+  case FindingCode::DeadTransfer:
+    return "dead-transfer";
+  case FindingCode::DoubleTransfer:
+    return "double-transfer";
+  case FindingCode::ExitWithoutEntry:
+    return "exit-without-entry";
+  }
+  return "unknown";
+}
+
+std::optional<FindingCode> findingCodeFromName(const std::string &name) {
+  static const FindingCode codes[] = {
+      FindingCode::StaleDeviceRead, FindingCode::StaleHostRead,
+      FindingCode::DeadTransfer, FindingCode::DoubleTransfer,
+      FindingCode::ExitWithoutEntry};
+  for (const FindingCode code : codes)
+    if (name == findingCodeName(code))
+      return code;
+  return std::nullopt;
+}
+
+json::Value Finding::toJson() const {
+  json::Value out = json::Value::object();
+  out.set("code", findingCodeName(code));
+  out.set("symbol", symbol);
+  out.set("function", function);
+  if (location.isValid()) {
+    out.set("offset", static_cast<std::uint64_t>(location.offset));
+    out.set("line", location.line);
+    out.set("column", location.column);
+  }
+  out.set("message", message);
+  return out;
+}
+
+std::optional<Finding> Finding::fromJson(const json::Value &value) {
+  if (!value.isObject())
+    return std::nullopt;
+  const std::optional<FindingCode> code =
+      findingCodeFromName(value.stringOr("code"));
+  if (!code)
+    return std::nullopt;
+  Finding finding;
+  finding.code = *code;
+  finding.symbol = value.stringOr("symbol");
+  finding.function = value.stringOr("function");
+  if (value.find("offset") != nullptr) {
+    finding.location.offset =
+        static_cast<std::size_t>(value.uintOr("offset"));
+    finding.location.line = static_cast<unsigned>(value.uintOr("line"));
+    finding.location.column = static_cast<unsigned>(value.uintOr("column"));
+  }
+  finding.message = value.stringOr("message");
+  return finding;
+}
+
+json::Value CheckResult::toJson() const {
+  json::Value out = json::Value::object();
+  out.set("regionsChecked", regionsChecked);
+  json::Value list = json::Value::array();
+  for (const Finding &finding : findings)
+    list.push(finding.toJson());
+  out.set("findings", std::move(list));
+  return out;
+}
+
+std::optional<CheckResult> CheckResult::fromJson(const json::Value &value) {
+  if (!value.isObject())
+    return std::nullopt;
+  CheckResult result;
+  result.regionsChecked =
+      static_cast<unsigned>(value.uintOr("regionsChecked"));
+  if (const json::Value *list = value.find("findings")) {
+    for (const json::Value &entry : list->items()) {
+      std::optional<Finding> finding = Finding::fromJson(entry);
+      if (!finding)
+        return std::nullopt;
+      result.findings.push_back(std::move(*finding));
+    }
+  }
+  return result;
+}
+
+} // namespace ompdart::check

@@ -1,0 +1,94 @@
+// Static plan-safety findings: the value-semantic result of the `check`
+// pipeline stage. Kept deliberately light (no AST or CFG dependencies) so
+// `driver/report.hpp` can embed a CheckResult in the per-session Report and
+// round-trip it through `--emit=json` like every other stage artifact.
+//
+// Each finding carries a stable machine-readable code (the table below is
+// documented in the README), the symbol and function it concerns, and a
+// source anchor into the original buffer.
+//
+//   stale-device-read   a kernel (or update-from / region-exit copy-out)
+//                       consumes the device copy after the host produced a
+//                       newer value that was never synchronized down
+//   stale-host-read     host code (or an update-to / region-entry copy-in,
+//                       or code after the region) consumes the host copy
+//                       after the device produced a newer value that was
+//                       never copied back
+//   dead-transfer       a map leg that provably moves no live data: a
+//                       to-leg whose device copy is never read, or a
+//                       from-leg that is never device-written or whose
+//                       copied-out value is never host-read
+//   double-transfer     an update directive every execution of which copies
+//                       data that is already identical on both sides
+//   exit-without-entry  reference-count shape mismatch in the plan itself:
+//                       zero region entries, more cold entries than
+//                       entries, or a present/cold-entry contradiction
+#pragma once
+
+#include "support/json.hpp"
+#include "support/source_location.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ompdart::check {
+
+enum class FindingCode {
+  StaleDeviceRead,
+  StaleHostRead,
+  DeadTransfer,
+  DoubleTransfer,
+  ExitWithoutEntry,
+};
+
+[[nodiscard]] const char *findingCodeName(FindingCode code);
+[[nodiscard]] std::optional<FindingCode>
+findingCodeFromName(const std::string &name);
+
+/// One consistency violation the checker proved against the plan.
+struct Finding {
+  FindingCode code = FindingCode::StaleDeviceRead;
+  std::string symbol;   ///< variable name the finding concerns
+  std::string function; ///< function owning the region
+  SourceLocation location;
+  std::string message; ///< human-readable explanation (code not included)
+
+  [[nodiscard]] json::Value toJson() const;
+  [[nodiscard]] static std::optional<Finding>
+  fromJson(const json::Value &value);
+
+  [[nodiscard]] bool operator==(const Finding &other) const {
+    return code == other.code && symbol == other.symbol &&
+           function == other.function &&
+           location.offset == other.location.offset &&
+           location.line == other.location.line &&
+           location.column == other.location.column &&
+           message == other.message;
+  }
+};
+
+/// Result of the check stage for one translation unit.
+struct CheckResult {
+  std::vector<Finding> findings;
+  unsigned regionsChecked = 0;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  [[nodiscard]] bool hasCode(FindingCode code) const {
+    for (const Finding &finding : findings)
+      if (finding.code == code)
+        return true;
+    return false;
+  }
+
+  [[nodiscard]] json::Value toJson() const;
+  [[nodiscard]] static std::optional<CheckResult>
+  fromJson(const json::Value &value);
+
+  [[nodiscard]] bool operator==(const CheckResult &other) const {
+    return findings == other.findings &&
+           regionsChecked == other.regionsChecked;
+  }
+};
+
+} // namespace ompdart::check

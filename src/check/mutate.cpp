@@ -1,0 +1,162 @@
+#include "check/mutate.hpp"
+
+namespace ompdart::check {
+
+namespace {
+
+using ir::MapItem;
+using ir::MappingIr;
+using ir::MapType;
+using ir::Region;
+using ir::UpdateItem;
+using ir::UpdatePlacement;
+
+/// A from-leg drop or map-type weakening is only a real bug when the lost
+/// movement was load-bearing; items the planner marked warm (coldEntries ==
+/// 0) move nothing at entry/exit themselves, so breaking them is invisible
+/// to any execution. Skip those to keep the battery free of equivalent
+/// mutants.
+bool coldItem(const MapItem &map) { return map.coldEntries > 0; }
+
+} // namespace
+
+const char *mutationKindName(Mutation::Kind kind) {
+  switch (kind) {
+  case Mutation::Kind::DropFromLeg:
+    return "drop-from-leg";
+  case Mutation::Kind::DropUpdate:
+    return "drop-update";
+  case Mutation::Kind::WeakenMapType:
+    return "weaken-map-type";
+  case Mutation::Kind::ShiftUpdate:
+    return "shift-update";
+  case Mutation::Kind::ZeroEntryCount:
+    return "zero-entry-count";
+  case Mutation::Kind::BreakPresent:
+    return "break-present";
+  }
+  return "?";
+}
+
+std::string Mutation::describe(const MappingIr &ir) const {
+  std::string label = mutationKindName(kind);
+  label += " r" + std::to_string(region);
+  if (region >= ir.regions.size())
+    return label;
+  const Region &reg = ir.regions[region];
+  switch (kind) {
+  case Kind::DropFromLeg:
+  case Kind::WeakenMapType:
+  case Kind::BreakPresent:
+    if (item < reg.maps.size())
+      label += " map[" + reg.maps[item].item + "]";
+    break;
+  case Kind::DropUpdate:
+  case Kind::ShiftUpdate:
+    if (item < reg.updates.size())
+      label += " update[" + reg.updates[item].item + "]";
+    break;
+  case Kind::ZeroEntryCount:
+    break;
+  }
+  return label;
+}
+
+std::vector<Mutation> enumerateMutations(const MappingIr &ir) {
+  std::vector<Mutation> mutations;
+  for (std::size_t r = 0; r < ir.regions.size(); ++r) {
+    const Region &region = ir.regions[r];
+    for (std::size_t m = 0; m < region.maps.size(); ++m) {
+      const MapItem &map = region.maps[m];
+      if (!coldItem(map))
+        continue;
+      if (map.type == MapType::ToFrom || map.type == MapType::From)
+        mutations.push_back({Mutation::Kind::DropFromLeg, r, m});
+      if (map.type == MapType::To || map.type == MapType::ToFrom)
+        mutations.push_back({Mutation::Kind::WeakenMapType, r, m});
+      // The present contract: present <=> every entry is warm. Claiming
+      // presence on a cold item is always a shape break.
+      mutations.push_back({Mutation::Kind::BreakPresent, r, m});
+    }
+    for (std::size_t u = 0; u < region.updates.size(); ++u) {
+      mutations.push_back({Mutation::Kind::DropUpdate, r, u});
+      mutations.push_back({Mutation::Kind::ShiftUpdate, r, u});
+    }
+    if (region.entryCount > 0)
+      mutations.push_back({Mutation::Kind::ZeroEntryCount, r, 0});
+  }
+  return mutations;
+}
+
+MappingIr applyMutation(const MappingIr &ir, const Mutation &mutation) {
+  MappingIr mutant = ir;
+  if (mutation.region >= mutant.regions.size())
+    return mutant;
+  Region &region = mutant.regions[mutation.region];
+  switch (mutation.kind) {
+  case Mutation::Kind::DropFromLeg: {
+    if (mutation.item >= region.maps.size())
+      break;
+    MapItem &map = region.maps[mutation.item];
+    if (map.type == MapType::ToFrom)
+      map.type = MapType::To;
+    else if (map.type == MapType::From)
+      map.type = MapType::Alloc;
+    break;
+  }
+  case Mutation::Kind::WeakenMapType: {
+    if (mutation.item >= region.maps.size())
+      break;
+    MapItem &map = region.maps[mutation.item];
+    if (map.type == MapType::ToFrom)
+      map.type = MapType::From;
+    else if (map.type == MapType::To)
+      map.type = MapType::Alloc;
+    break;
+  }
+  case Mutation::Kind::DropUpdate:
+    if (mutation.item < region.updates.size())
+      region.updates.erase(region.updates.begin() +
+                           static_cast<std::ptrdiff_t>(mutation.item));
+    break;
+  case Mutation::Kind::ShiftUpdate: {
+    if (mutation.item >= region.updates.size())
+      break;
+    UpdateItem &update = region.updates[mutation.item];
+    switch (update.placement) {
+    case UpdatePlacement::Before:
+      update.placement = UpdatePlacement::After;
+      break;
+    case UpdatePlacement::After:
+      update.placement = UpdatePlacement::Before;
+      break;
+    // Body placements shift OUT of the loop (the per-iteration refresh
+    // becomes a one-shot), the classic braceless-body regression. The
+    // reverse flip (BodyBegin <-> BodyEnd) is often equivalent for
+    // loop-carried updates, so it is not generated.
+    case UpdatePlacement::BodyBegin:
+      update.placement = UpdatePlacement::Before;
+      update.hoisted = false;
+      break;
+    case UpdatePlacement::BodyEnd:
+      update.placement = UpdatePlacement::After;
+      update.hoisted = false;
+      break;
+    }
+    break;
+  }
+  case Mutation::Kind::ZeroEntryCount:
+    region.entryCount = 0;
+    break;
+  case Mutation::Kind::BreakPresent: {
+    if (mutation.item >= region.maps.size())
+      break;
+    MapItem &map = region.maps[mutation.item];
+    map.modifiers.present = !map.modifiers.present;
+    break;
+  }
+  }
+  return mutant;
+}
+
+} // namespace ompdart::check

@@ -1,0 +1,61 @@
+// Plan-mutation battery for the checker's soundness gate.
+//
+// Each mutation takes a correct Mapping IR and breaks exactly one transfer
+// decision in a way that mirrors a real planner bug class: dropping a
+// from-leg loses a copy-back, dropping an update loses a refresh, weakening
+// a map type loses a copy-in, shifting an update insertion point reorders a
+// refresh against the access it serves, zeroing an entry count breaks the
+// refcount shape, and flipping the present contract claims warmth that the
+// entry accounting does not prove. bench_check applies every enumerable
+// mutant of every corpus plan and requires the checker to flag >= 99% of
+// them, cross-checked against the dynamic oracle's verdict on the same
+// mutants (every oracle-failing mutant MUST be flagged; a flagged mutant
+// the oracle happens to pass is a latent issue the executed trace did not
+// reach — dead transfers never corrupt output, they only waste bytes).
+//
+// Enumeration is deliberately conservative about equivalent mutants: a
+// mutation is only generated where the changed decision is observable
+// (e.g. from-legs only weaken on regions whose data outlives them), so the
+// kill-rate denominator measures real bugs, not no-op edits.
+#pragma once
+
+#include "mapping/ir.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ompdart::check {
+
+/// One single-decision break of a Mapping IR.
+struct Mutation {
+  enum class Kind {
+    DropFromLeg,    ///< ToFrom -> To, From -> Alloc (lose the copy-back)
+    DropUpdate,     ///< remove one target-update directive
+    WeakenMapType,  ///< To -> Alloc, ToFrom -> From (lose the copy-in)
+    ShiftUpdate,    ///< move an update across its anchor (Before <-> After,
+                    ///< BodyBegin -> Before, BodyEnd -> After)
+    ZeroEntryCount, ///< region.entryCount = 0 (refcount shape break)
+    BreakPresent,   ///< toggle the present <-> coldEntries==0 contract
+  };
+
+  Kind kind = Kind::DropFromLeg;
+  std::size_t region = 0; ///< index into MappingIr::regions
+  std::size_t item = 0;   ///< map/update index within the region (when used)
+
+  /// Human-readable label, e.g. "drop-from-leg r0 map[a]".
+  [[nodiscard]] std::string describe(const ir::MappingIr &ir) const;
+};
+
+[[nodiscard]] const char *mutationKindName(Mutation::Kind kind);
+
+/// All applicable single-decision mutations of `ir`, in deterministic
+/// order. Empty for plans with no regions.
+[[nodiscard]] std::vector<Mutation>
+enumerateMutations(const ir::MappingIr &ir);
+
+/// Applies one mutation to a copy of `ir`. The input is never modified.
+[[nodiscard]] ir::MappingIr applyMutation(const ir::MappingIr &ir,
+                                          const Mutation &mutation);
+
+} // namespace ompdart::check

@@ -1,5 +1,6 @@
 #include "driver/pipeline.hpp"
 
+#include "check/checker.hpp"
 #include "frontend/parser.hpp"
 #include "mapping/backend.hpp"
 #include "support/hash.hpp"
@@ -321,6 +322,41 @@ void Session::ensurePlan() {
     storePlanCacheEntry();
 }
 
+void Session::ensureCheck() {
+  if (done(Stage::Check))
+    return;
+  ensurePlan();
+  const bool wanted = config_.check || config_.checkErrors;
+  // Checking needs the front-end artifacts a cache hit skipped; rebuilding
+  // them would forfeit the hit's entire point, so after a hit the stage
+  // only runs when explicitly requested (it then lazily re-parses, with
+  // ensureParse deduplicating the replayed diagnostics).
+  if (planFromCache_ && !wanted) {
+    done_[static_cast<unsigned>(Stage::Check)] = true;
+    return;
+  }
+  if (planFromCache_) {
+    ensureCfg();
+    ensureInterproc();
+  }
+  StageTimer timer(*this, Stage::Check);
+  if (!parseOk_ || diags_.hasErrors())
+    return;
+  checkResult_ = check::checkPlan(ast_->unit(), cfgs_, interproc_, ir_,
+                                  config_.imports);
+  if (!wanted)
+    return;
+  for (const check::Finding &finding : checkResult_.findings) {
+    const std::string message =
+        std::string("plan check [") + check::findingCodeName(finding.code) +
+        "]: " + finding.message;
+    if (config_.checkErrors)
+      diags_.error(finding.location, message);
+    else
+      diags_.warning(finding.location, message);
+  }
+}
+
 void Session::ensureRewrite() {
   if (done(Stage::Rewrite))
     return;
@@ -411,6 +447,9 @@ void Session::ensureStage(Stage stage) {
   case Stage::Plan:
     ensurePlan();
     return;
+  case Stage::Check:
+    ensureCheck();
+    return;
   case Stage::Rewrite:
     ensureRewrite();
     return;
@@ -443,6 +482,11 @@ const MappingPlan &Session::plan() {
 const ir::MappingIr &Session::ir() {
   ensurePlan();
   return ir_;
+}
+
+const check::CheckResult &Session::check() {
+  ensureCheck();
+  return checkResult_;
 }
 
 const std::string &Session::rewrite() {
@@ -522,6 +566,11 @@ Report Session::buildReport() {
 
   if (done(Stage::Plan))
     report.plan = ir_;
+
+  // Check findings surface only when the stage actually executed (it is
+  // marked done-without-running after a cache hit without config.check).
+  if (stageRuns(Stage::Check) > 0)
+    report.check = checkResult_;
 
   if (done(Stage::Rewrite) && config_.includeOutputInReport)
     report.output = rewritten_;

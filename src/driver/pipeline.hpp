@@ -57,6 +57,16 @@ struct PipelineConfig {
   /// `run()`/`report()` execute stages only up to this one; nullopt runs
   /// the full pipeline.
   std::optional<Stage> stopAfter;
+  /// Surface plan-safety findings (the check stage) as warning diagnostics.
+  /// The stage itself runs on every fresh plan regardless and records its
+  /// findings in the report; this flag only controls diagnostic emission —
+  /// and forces the stage after a plan-cache hit, where it is otherwise
+  /// skipped (checking needs the front end the hit avoided). Excluded from
+  /// the plan fingerprint: findings never change the plan.
+  bool check = false;
+  /// Promote plan-safety findings to errors; `run()` then stops before the
+  /// rewrite stage. Implies the diagnostics of `check`.
+  bool checkErrors = false;
   /// Embed the transformed source in `report().output` (and its JSON).
   bool includeOutputInReport = true;
   /// Plan-cache directory; with a non-Off mode the Session consults a
@@ -119,6 +129,9 @@ public:
   /// same stage). Serializable, AST-free, consumable by any PlanConsumer
   /// backend.
   const ir::MappingIr &ir();
+  /// Plan-safety findings (empty when the stage was skipped after a
+  /// cache hit without `config.check`, or when planning failed).
+  const check::CheckResult &check();
   /// Transformed source; the original text when the pipeline failed.
   /// Produced by the SourceRewriteBackend over `ir()`.
   const std::string &rewrite();
@@ -182,6 +195,7 @@ private:
   void ensureCfg();
   void ensureInterproc();
   void ensurePlan();
+  void ensureCheck();
   void ensureRewrite();
   void ensureMetrics();
   void ensureStage(Stage stage);
@@ -227,6 +241,9 @@ private:
   InterproceduralResult interproc_;
   MappingPlan plan_;
   ir::MappingIr ir_;
+  /// Findings of the check stage; empty before it runs (and when it was
+  /// skipped after a cache hit).
+  check::CheckResult checkResult_;
   /// Owns the cost model named by `config.costModel` for the plan stage.
   std::unique_ptr<CostModel> costModel_;
   std::string rewritten_;

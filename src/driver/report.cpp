@@ -3,9 +3,9 @@
 namespace ompdart {
 
 const std::vector<Stage> &allStages() {
-  static const std::vector<Stage> stages = {Stage::Parse,   Stage::Cfg,
-                                            Stage::Interproc, Stage::Plan,
-                                            Stage::Rewrite, Stage::Metrics};
+  static const std::vector<Stage> stages = {
+      Stage::Parse, Stage::Cfg,     Stage::Interproc, Stage::Plan,
+      Stage::Check, Stage::Rewrite, Stage::Metrics};
   return stages;
 }
 
@@ -19,6 +19,8 @@ const char *stageName(Stage stage) {
     return "interproc";
   case Stage::Plan:
     return "plan";
+  case Stage::Check:
+    return "check";
   case Stage::Rewrite:
     return "rewrite";
   case Stage::Metrics:
@@ -86,6 +88,9 @@ json::Value Report::toJson() const {
     cacheJson.set("summaryMemoHits", planCache->summaryMemoHits);
     out.set("planCache", std::move(cacheJson));
   }
+
+  if (check)
+    out.set("check", check->toJson());
   return out;
 }
 
@@ -165,6 +170,16 @@ std::optional<Report> Report::fromJson(const json::Value &value,
     report.planCache = std::move(cache);
   }
 
+  if (const json::Value *checkJson = value.find("check")) {
+    std::optional<check::CheckResult> result =
+        check::CheckResult::fromJson(*checkJson);
+    if (!result) {
+      json::setFirstError(error, "check entry is not a valid check result");
+      return std::nullopt;
+    }
+    report.check = std::move(*result);
+  }
+
   return report;
 }
 
@@ -173,7 +188,8 @@ bool Report::operator==(const Report &other) const {
          stoppedAfter == other.stoppedAfter && metrics == other.metrics &&
          timings == other.timings && totalSeconds == other.totalSeconds &&
          diagnostics == other.diagnostics && plan == other.plan &&
-         output == other.output && planCache == other.planCache;
+         output == other.output && planCache == other.planCache &&
+         check == other.check;
 }
 
 } // namespace ompdart

@@ -10,6 +10,7 @@
 // or a full report.
 #pragma once
 
+#include "check/finding.hpp"
 #include "mapping/ir.hpp"
 #include "support/diagnostics.hpp"
 #include "support/json.hpp"
@@ -21,12 +22,13 @@
 
 namespace ompdart {
 
-/// The pipeline stages of paper Fig. 1, in execution order. `Rewrite`
-/// precedes `Metrics` because metrics are measurement-only and the
+/// The pipeline stages of paper Fig. 1, in execution order, plus the static
+/// plan-safety `Check` stage that validates the plan before it is consumed.
+/// `Rewrite` precedes `Metrics` because metrics are measurement-only and the
 /// transformed source is the tool's primary artifact.
-enum class Stage { Parse, Cfg, Interproc, Plan, Rewrite, Metrics };
+enum class Stage { Parse, Cfg, Interproc, Plan, Check, Rewrite, Metrics };
 
-inline constexpr unsigned kStageCount = 6;
+inline constexpr unsigned kStageCount = 7;
 
 /// All stages in execution order.
 [[nodiscard]] const std::vector<Stage> &allStages();
@@ -120,6 +122,8 @@ struct Report {
   /// Plan-cache probe outcome + counters; absent when no cache was
   /// configured for the producing session.
   std::optional<PlanCacheReport> planCache;
+  /// Static plan-safety findings; absent when the check stage did not run.
+  std::optional<check::CheckResult> check;
 
   [[nodiscard]] bool hasErrors() const {
     for (const Diagnostic &diag : diagnostics)

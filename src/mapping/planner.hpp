@@ -18,6 +18,7 @@
 #pragma once
 
 #include "analysis/bounds.hpp"
+#include "analysis/extent.hpp"
 #include "analysis/interproc.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/summary.hpp"
@@ -180,12 +181,9 @@ private:
   [[nodiscard]] SectionInfo sectionFor(VarDecl *var) const;
 
   /// Declared/malloc extent, falling back to inference from the loop bounds
-  /// of device accesses when the allocation size is invisible.
+  /// of device accesses when the allocation size is invisible. Delegates to
+  /// the shared ExtentResolver (also used by the plan-safety checker).
   [[nodiscard]] ExtentInfo effectiveExtent(VarDecl *var) const;
-
-  /// Extent of a pointer parameter derived from agreeing call-site
-  /// arguments (interprocedural propagation).
-  [[nodiscard]] ExtentInfo callSiteExtent(VarDecl *var) const;
 
   /// True for variables declared inside an offload kernel (device-private).
   [[nodiscard]] bool isKernelLocal(const VarDecl *var) const;
@@ -195,26 +193,9 @@ private:
 
   /// Constant value of a symbolic pointer extent, resolved by folding the
   /// extent expression, or — when it names a parameter — by folding the
-  /// agreeing argument at every call site.
+  /// agreeing argument at every call site. Delegates to the ExtentResolver.
   [[nodiscard]] std::optional<std::uint64_t>
   symbolicExtentElems(const ExtentInfo &extent) const;
-
-  /// Constant value a parameter holds across all call sites — local ones
-  /// plus imported cross-TU records (nullopt when any call passes a
-  /// non-constant or the sites disagree; disagreement additionally emits a
-  /// diagnostic naming the call sites).
-  [[nodiscard]] std::optional<std::int64_t>
-  paramConstAcrossCallSites(const VarDecl *param) const;
-
-  /// The function owning `param` and its index, or {nullptr, -1}.
-  [[nodiscard]] std::pair<const FunctionDecl *, int>
-  paramOwner(const VarDecl *param) const;
-
-  /// Emits the call-site disagreement diagnostic once per parameter.
-  void reportCallSiteDisagreement(const VarDecl *param,
-                                  const FunctionDecl *owner,
-                                  const std::string &what,
-                                  const std::vector<std::string> &sites) const;
 
   const TranslationUnit &unit_;
   const InterproceduralResult &interproc_;
@@ -222,6 +203,9 @@ private:
   PlannerOptions options_;
   PaperGreedyCostModel defaultCostModel_;
   MallocExtents mallocExtents_;
+  /// Shared mapped-extent resolution (declared after mallocExtents_: the
+  /// resolver holds a reference to it).
+  ExtentResolver extents_;
 
   /// Interprocedural execution-count estimates (estimateFunctionExecutions).
   std::map<const FunctionDecl *, std::uint64_t> fnExecutions_;
@@ -239,10 +223,6 @@ private:
   /// Child -> parent statement links of the current function, for walking
   /// the loop chain above an arbitrary update anchor.
   std::unordered_map<const Stmt *, const Stmt *> stmtParents_;
-  /// Parameters whose call-site disagreement was already diagnosed (the
-  /// extent queries run once per mapped variable reference; the diagnostic
-  /// must not repeat).
-  mutable std::set<std::pair<const VarDecl *, std::string>> disagreementDiagnosed_;
 };
 
 /// Convenience: full pipeline for a parsed unit. When `cfgs` is non-null the
