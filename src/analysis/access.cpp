@@ -387,11 +387,16 @@ private:
 
   void beginStmt(const Stmt *stmt) {
     currentStmt_ = stmt;
-    current_ = StmtAccesses{};
+    // clear() keeps the vectors' capacity: statements repeat similar event
+    // counts, so the buffers stop reallocating after the first few.
+    current_.reads.clear();
+    current_.writes.clear();
   }
 
   void endStmt(const Stmt *stmt) {
     auto &bucket = info_.byStmt[stmt];
+    bucket.reserve(bucket.size() + current_.reads.size() +
+                   current_.writes.size());
     for (AccessEvent &event : current_.reads) {
       // ReadWrite events appear in both lists; normalize the read copy.
       AccessEvent read = event;

@@ -114,19 +114,21 @@ ProvableMultiplier provableMultiplierOf(
 
 std::map<std::string, std::uint64_t>
 estimateExecutions(const WeightedCallGraph &graph) {
-  std::map<std::string, std::uint64_t> executions;
-  auto seedOf = [&](const std::string &fn) -> std::uint64_t {
-    return (graph.called.count(fn) == 0 || fn == "main") ? 1 : 0;
+  // The DFS runs entirely over interned ids; names are only spelled back
+  // out into the (name-sorted, deterministic) result map at the end.
+  const SymbolId mainSym = internSymbol("main");
+  std::unordered_map<SymbolId, std::uint64_t> counts;
+  auto seedOf = [&](SymbolId fn) -> std::uint64_t {
+    return (graph.called.count(fn) == 0 || fn == mainSym) ? 1 : 0;
   };
   enum class State { Gray, Done };
-  std::map<std::string, State> state;
-  std::function<std::uint64_t(const std::string &)> eval =
-      [&](const std::string &fn) -> std::uint64_t {
+  std::unordered_map<SymbolId, State> state;
+  std::function<std::uint64_t(SymbolId)> eval = [&](SymbolId fn) -> std::uint64_t {
     auto stateIt = state.find(fn);
     if (stateIt != state.end()) {
       if (stateIt->second == State::Gray)
         return 0; // back-edge of a cycle: unprovable, charge nothing
-      return executions[fn];
+      return counts[fn];
     }
     state[fn] = State::Gray;
     std::uint64_t total = seedOf(fn);
@@ -141,11 +143,14 @@ estimateExecutions(const WeightedCallGraph &graph) {
       }
     }
     state[fn] = State::Done;
-    executions[fn] = total;
+    counts[fn] = total;
     return total;
   };
-  for (const std::string &fn : graph.functions)
+  for (const SymbolId fn : graph.functions)
     eval(fn);
+  std::map<std::string, std::uint64_t> executions;
+  for (const auto &[sym, count] : counts)
+    executions[symbolName(sym)] = count;
   return executions;
 }
 

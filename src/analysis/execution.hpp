@@ -18,12 +18,13 @@
 #pragma once
 
 #include "frontend/ast.hpp"
+#include "support/intern.hpp"
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace ompdart {
@@ -68,44 +69,48 @@ struct ProvableMultiplier {
 /// Name-keyed, AST-free call graph with provable edge weights. Built from a
 /// translation unit's call sites (planner) or from serialized module
 /// summaries (Project link); both feed the same estimator so per-TU and
-/// whole-program execution counts cannot diverge.
+/// whole-program execution counts cannot diverge. Names are interned on
+/// insertion so the estimator's memoized DFS hashes and compares integer
+/// ids, not strings.
 struct WeightedCallGraph {
   struct Edge {
-    std::string caller;
+    SymbolId caller = 0;
     std::uint64_t trips = 1;
     bool guarded = false;
   };
-  /// Host-side caller edges per callee name.
-  std::map<std::string, std::vector<Edge>> callersOf;
+  /// Host-side caller edges per callee.
+  std::unordered_map<SymbolId, std::vector<Edge>> callersOf;
   /// Every callee any analyzed call site targets (host or device): such
   /// functions are not program entries.
-  std::set<std::string> called;
-  /// All function names to produce estimates for, in insertion order.
+  std::unordered_set<SymbolId> called;
+  /// All functions to produce estimates for, in insertion order.
   /// Order matters: it decides where the memoized DFS cuts call-graph
   /// cycles, so it must stay the declaration order the planner always
   /// used (the link inserts in manifest × declaration order, which
   /// degenerates to the same thing for one TU).
-  std::vector<std::string> functions;
+  std::vector<SymbolId> functions;
 
-  void addFunction(const std::string &name) {
-    if (known_.insert(name).second)
-      functions.push_back(name);
+  void addFunction(SymbolId sym) {
+    if (known_.insert(sym).second)
+      functions.push_back(sym);
   }
+  void addFunction(const std::string &name) { addFunction(internSymbol(name)); }
   void addCall(const std::string &caller, const std::string &callee,
                std::uint64_t trips, bool guarded, bool onDevice) {
-    called.insert(callee);
-    addFunction(callee);
+    const SymbolId calleeSym = internSymbol(callee);
+    called.insert(calleeSym);
+    addFunction(calleeSym);
     if (onDevice)
       return;
     Edge edge;
-    edge.caller = caller;
+    edge.caller = internSymbol(caller);
     edge.trips = trips;
     edge.guarded = guarded;
-    callersOf[callee].push_back(edge);
+    callersOf[calleeSym].push_back(edge);
   }
 
 private:
-  std::set<std::string> known_;
+  std::unordered_set<SymbolId> known_;
 };
 
 /// exec(F) = seed(F) + sum over callers of exec(caller) * trips, where

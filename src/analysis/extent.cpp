@@ -16,6 +16,15 @@ ExtentResolver::ExtentResolver(const TranslationUnit &unit,
       imports_(imports), diags_(diags) {}
 
 ExtentInfo ExtentResolver::effectiveExtent(VarDecl *var) const {
+  auto it = extentMemo_.find(var);
+  if (it != extentMemo_.end())
+    return it->second;
+  ExtentInfo extent = computeEffectiveExtent(var);
+  extentMemo_.emplace(var, extent);
+  return extent;
+}
+
+ExtentInfo ExtentResolver::computeEffectiveExtent(VarDecl *var) const {
   ExtentInfo extent = dataExtent(var, mallocExtents_);
   if (extent.known())
     return extent;

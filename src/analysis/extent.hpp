@@ -24,6 +24,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,10 +38,13 @@ public:
                  const summary::TuImports *imports, DiagnosticEngine *diags);
 
   /// Installs the per-function context subsequent queries resolve against.
+  /// Resets the extent memo: loop-bound inference depends on the installed
+  /// access stream and CFG.
   void setFunctionContext(const FunctionAccessInfo *accesses,
                           const AstCfg *cfg) {
     accesses_ = accesses;
     cfg_ = cfg;
+    extentMemo_.clear();
   }
 
   /// Declared/malloc extent, falling back to inference from the loop bounds
@@ -69,6 +73,8 @@ public:
   paramOwner(const VarDecl *param) const;
 
 private:
+  [[nodiscard]] ExtentInfo computeEffectiveExtent(VarDecl *var) const;
+
   void reportCallSiteDisagreement(const VarDecl *param,
                                   const FunctionDecl *owner,
                                   const std::string &what,
@@ -89,6 +95,15 @@ private:
   /// must not repeat).
   mutable std::set<std::pair<const VarDecl *, std::string>>
       disagreementDiagnosed_;
+
+  /// effectiveExtent is pure for a fixed function context but costs a full
+  /// scan of the access stream (plus loop-bound analysis per enclosing
+  /// loop, and call-site walks for parameters); the planner and checker
+  /// query it once per candidate, so memoize per variable until the
+  /// context changes. Disagreement diagnostics stay correct: they are
+  /// deduplicated independently above, so dropping repeat computations
+  /// never drops a first-time report.
+  mutable std::unordered_map<VarDecl *, ExtentInfo> extentMemo_;
 };
 
 } // namespace ompdart

@@ -124,8 +124,17 @@ json::Value PortableSummary::toJson() const {
     paramsJson.push(effect.toJson());
   doc.set("params", std::move(paramsJson));
   json::Value globalsJson = json::Value::object();
-  for (const auto &[name, effect] : globals)
-    globalsJson.set(name, effect.toJson());
+  // The in-memory map is id-keyed (interning order); the serialized form
+  // must stay sorted by name so fingerprints and documents are stable
+  // across processes with different interning histories.
+  std::vector<std::pair<const std::string *, const ObjectEffect *>> sorted;
+  sorted.reserve(globals.size());
+  for (const auto &[sym, effect] : globals)
+    sorted.emplace_back(&symbolName(sym), &effect);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto &a, const auto &b) { return *a.first < *b.first; });
+  for (const auto &[name, effect] : sorted)
+    globalsJson.set(*name, effect->toJson());
   doc.set("globals", std::move(globalsJson));
   return doc;
 }
@@ -150,7 +159,7 @@ PortableSummary::fromJson(const json::Value &value, std::string *error) {
       summary.params.push_back(ObjectEffect::fromJson(item));
   if (const json::Value *globalsJson = value.find("globals"))
     for (const auto &[name, effectJson] : globalsJson->members())
-      summary.globals[name] = ObjectEffect::fromJson(effectJson);
+      summary.globals[internSymbol(name)] = ObjectEffect::fromJson(effectJson);
   return summary;
 }
 
@@ -168,7 +177,7 @@ PortableSummary portableSummaryOf(const FunctionSummary &summary) {
   // same-named global elsewhere.
   for (const auto &[global, effect] : summary.globals)
     if (global != nullptr && !global->isStatic())
-      portable.globals[global->name()].mergeFrom(effect);
+      portable.globals[internSymbol(global->name())].mergeFrom(effect);
   return portable;
 }
 
@@ -183,7 +192,8 @@ FunctionSummary bindImportedSummary(const PortableSummary &portable,
   for (std::size_t i = 0;
        i < portable.params.size() && i < summary.params.size(); ++i)
     summary.params[i] = portable.params[i];
-  for (const auto &[name, effect] : portable.globals) {
+  for (const auto &[sym, effect] : portable.globals) {
+    const std::string &name = symbolName(sym);
     for (VarDecl *global : unit.globals) {
       // A local `static` global is a different object than the externally
       // visible one the summary refers to — never bind onto it.

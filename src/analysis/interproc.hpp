@@ -19,6 +19,7 @@
 
 #include "analysis/access.hpp"
 #include "frontend/ast.hpp"
+#include "support/intern.hpp"
 #include "support/json.hpp"
 
 #include <map>
@@ -105,7 +106,10 @@ struct PortableSummary {
   bool defined = false;
   bool launchesKernels = false;
   std::vector<ObjectEffect> params;
-  std::map<std::string, ObjectEffect> globals;
+  /// Keyed by the *interned* global name, so the whole-program fixed point
+  /// merges and compares these maps with integer keys. The serialized form
+  /// stays name-keyed (sorted by name — toJson spells the symbols out).
+  std::map<SymbolId, ObjectEffect> globals;
 
   [[nodiscard]] bool operator==(const PortableSummary &other) const {
     return function == other.function && signature == other.signature &&

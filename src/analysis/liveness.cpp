@@ -2,8 +2,6 @@
 
 namespace ompdart {
 
-const std::set<const VarDecl *> LivenessAnalysis::kEmpty;
-
 bool LivenessAnalysis::eventReads(const AccessEvent &event) {
   // Device-side reads do not keep a variable live on the *host*; only host
   // reads (and unknowns) do.
@@ -34,9 +32,10 @@ LivenessAnalysis::LivenessAnalysis(const AstCfg &cfg,
         escaping_.insert(param);
   }
 
-  // Per-block use/kill, walking elements in order.
+  // Number the variables that participate in host liveness (globals escape
+  // instead; they never enter the bitsets).
+  blockCount_ = cfg.blocks().size();
   for (const auto &block : cfg.blocks()) {
-    BlockSets &sets = sets_[block.get()];
     for (const Stmt *stmt : block->elements()) {
       auto it = accesses.byStmt.find(stmt);
       if (it == accesses.byStmt.end())
@@ -48,33 +47,69 @@ LivenessAnalysis::LivenessAnalysis(const AstCfg &cfg,
           escaping_.insert(event.var);
           continue;
         }
-        if (eventReads(event) && !sets.kill.count(event.var))
-          sets.use.insert(event.var);
+        if (eventReads(event) || eventKills(event))
+          varIndex_.emplace(event.var,
+                            static_cast<std::uint32_t>(varIndex_.size()));
+      }
+    }
+  }
+  if (varIndex_.empty() || blockCount_ == 0)
+    return;
+
+  words_ = (varIndex_.size() + 63) / 64;
+  bits_.assign(4 * blockCount_ * words_, 0);
+
+  // Per-block use/kill, walking elements in order.
+  for (const auto &block : cfg.blocks()) {
+    std::uint64_t *use = setWords(kUse, block->id());
+    std::uint64_t *kill = setWords(kKill, block->id());
+    for (const Stmt *stmt : block->elements()) {
+      auto it = accesses.byStmt.find(stmt);
+      if (it == accesses.byStmt.end())
+        continue;
+      for (const AccessEvent &event : it->second) {
+        if (event.var == nullptr || event.var->isGlobal())
+          continue;
+        auto varIt = varIndex_.find(event.var);
+        if (varIt == varIndex_.end())
+          continue;
+        const std::size_t word = varIt->second / 64;
+        const std::uint64_t bit = 1ull << (varIt->second % 64);
+        if (eventReads(event) && (kill[word] & bit) == 0)
+          use[word] |= bit;
         if (eventKills(event))
-          sets.kill.insert(event.var);
+          kill[word] |= bit;
       }
     }
   }
 
-  // Standard backward fixed point.
+  // Standard backward fixed point; reverse block order converges in few
+  // passes because blocks are created in roughly source order.
+  std::vector<std::uint64_t> out(words_);
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const auto &block : cfg.blocks()) {
-      BlockSets &sets = sets_[block.get()];
-      std::set<const VarDecl *> liveOut;
+    const auto &blocks = cfg.blocks();
+    for (auto blockIt = blocks.rbegin(); blockIt != blocks.rend();
+         ++blockIt) {
+      const BasicBlock *block = blockIt->get();
+      std::fill(out.begin(), out.end(), 0);
       for (const CfgEdge &edge : block->successors()) {
-        const BlockSets &succ = sets_[edge.target];
-        liveOut.insert(succ.liveIn.begin(), succ.liveIn.end());
+        const std::uint64_t *succIn = setWords(kLiveIn, edge.target->id());
+        for (std::size_t w = 0; w < words_; ++w)
+          out[w] |= succIn[w];
       }
-      std::set<const VarDecl *> liveIn = sets.use;
-      for (const VarDecl *var : liveOut)
-        if (!sets.kill.count(var))
-          liveIn.insert(var);
-      if (liveIn != sets.liveIn || liveOut != sets.liveOut) {
-        sets.liveIn = std::move(liveIn);
-        sets.liveOut = std::move(liveOut);
-        changed = true;
+      std::uint64_t *liveOut = setWords(kLiveOut, block->id());
+      std::uint64_t *liveIn = setWords(kLiveIn, block->id());
+      const std::uint64_t *use = setWords(kUse, block->id());
+      const std::uint64_t *kill = setWords(kKill, block->id());
+      for (std::size_t w = 0; w < words_; ++w) {
+        const std::uint64_t in = use[w] | (out[w] & ~kill[w]);
+        if (out[w] != liveOut[w] || in != liveIn[w]) {
+          liveOut[w] = out[w];
+          liveIn[w] = in;
+          changed = true;
+        }
       }
     }
   }
@@ -97,10 +132,6 @@ bool LivenessAnalysis::isLiveAfter(const Stmt *stmt,
   const BasicBlock *block = cfg_.blockOf(stmt);
   if (block == nullptr)
     return true; // unknown placement: be conservative
-  auto setsIt = sets_.find(block);
-  if (setsIt == sets_.end())
-    return true;
-  const BlockSets &sets = setsIt->second;
 
   // Walk the remainder of the block after `stmt`.
   bool after = false;
@@ -123,19 +154,14 @@ bool LivenessAnalysis::isLiveAfter(const Stmt *stmt,
         return false;
     }
   }
-  return sets.liveOut.count(var) > 0;
-}
 
-const std::set<const VarDecl *> &
-LivenessAnalysis::liveIn(const BasicBlock *block) const {
-  auto it = sets_.find(block);
-  return it != sets_.end() ? it->second.liveIn : kEmpty;
-}
-
-const std::set<const VarDecl *> &
-LivenessAnalysis::liveOut(const BasicBlock *block) const {
-  auto it = sets_.find(block);
-  return it != sets_.end() ? it->second.liveOut : kEmpty;
+  auto varIt = varIndex_.find(var);
+  if (varIt == varIndex_.end())
+    return false; // never read nor killed anywhere: dead after the block
+  if (bits_.empty())
+    return false;
+  const std::uint64_t *liveOut = setWords(kLiveOut, block->id());
+  return (liveOut[varIt->second / 64] & (1ull << (varIt->second % 64))) != 0;
 }
 
 } // namespace ompdart

@@ -16,7 +16,7 @@ namespace ompdart::summary {
 
 bool ArgBinding::operator==(const ArgBinding &other) const {
   return kind == other.kind && paramIndex == other.paramIndex &&
-         globalName == other.globalName &&
+         global == other.global &&
          isPointerArg == other.isPointerArg &&
          pointeeConst == other.pointeeConst &&
          constValue == other.constValue && extentKnown == other.extentKnown &&
@@ -36,7 +36,7 @@ json::Value ArgBinding::toJson() const {
     break;
   case Kind::Global:
     doc.set("binds", "global");
-    doc.set("global", globalName);
+    doc.set("global", symbolName(global));
     break;
   }
   doc.set("isPointerArg", isPointerArg);
@@ -59,7 +59,7 @@ ArgBinding ArgBinding::fromJson(const json::Value &value) {
     binding.paramIndex = static_cast<int>(value.intOr("paramIndex", -1));
   } else if (kindName == "global") {
     binding.kind = Kind::Global;
-    binding.globalName = value.stringOr("global");
+    binding.global = internSymbol(value.stringOr("global"));
   }
   binding.isPointerArg = value.boolOr("isPointerArg");
   binding.pointeeConst = value.boolOr("pointeeConst");
@@ -297,7 +297,7 @@ ModuleSummary extractModuleSummary(const TranslationUnit &unit,
         if (VarDecl *object = argumentObject(args[i])) {
           if (object->isGlobal()) {
             binding.kind = ArgBinding::Kind::Global;
-            binding.globalName = object->name();
+            binding.global = internSymbol(object->name());
           } else {
             for (std::size_t p = 0; p < fn->params().size(); ++p) {
               if (fn->params()[p] == object) {
@@ -358,7 +358,7 @@ void mergeOntoBinding(PortableSummary &caller, const ArgBinding &binding,
           effect);
     return;
   case ArgBinding::Kind::Global:
-    caller.globals[binding.globalName].mergeFrom(effect);
+    caller.globals[binding.global].mergeFrom(effect);
     return;
   case ArgBinding::Kind::None:
     return;
@@ -439,43 +439,75 @@ LinkResult linkProgram(const std::vector<ModuleSummary> &modules,
     }
   }
 
-  // Whole-program §IV-C fixed point over the serialized artifacts.
+  // Whole-program §IV-C fixed point over the serialized artifacts. The set
+  // of linked functions is fixed before the passes start, so every name
+  // lookup the inner loop used to do — which callee summary an edge merges
+  // from, whether the declaring file's signature mismatched — is resolved
+  // ONCE here to a plain pointer (null = pessimistic rule). The passes
+  // then touch no string-keyed containers at all: merges land in
+  // SymbolId-keyed globals maps and convergence compares integer keys.
+  struct EdgeWork {
+    const CallEdge *edge = nullptr;
+    /// Closed summary of the callee; null applies the pessimistic rule.
+    const PortableSummary *callee = nullptr;
+  };
+  struct FunctionWork {
+    const FunctionArtifact *artifact = nullptr;
+    PortableSummary *current = nullptr; ///< slot in result.closed
+    std::vector<EdgeWork> edges;
+  };
+  std::vector<FunctionWork> work;
+  for (std::size_t moduleIndex = 0; moduleIndex < modules.size();
+       ++moduleIndex) {
+    const ModuleSummary &module = modules[moduleIndex];
+    const std::set<std::string> *mismatches = nullptr;
+    auto mismatchIt = result.signatureMismatches.find(module.file);
+    if (mismatchIt != result.signatureMismatches.end())
+      mismatches = &mismatchIt->second;
+    for (const FunctionArtifact &artifact : module.functions) {
+      const std::string &name = artifact.direct.function;
+      if (!owns(name, moduleIndex))
+        continue; // duplicate loser
+      FunctionWork fn;
+      fn.artifact = &artifact;
+      fn.current = &result.closed.at(name);
+      fn.edges.reserve(artifact.calls.size());
+      for (const CallEdge &edge : artifact.calls) {
+        EdgeWork ew;
+        ew.edge = &edge;
+        if (mismatches == nullptr || mismatches->count(edge.callee) == 0) {
+          auto calleeIt = result.closed.find(edge.callee);
+          if (calleeIt != result.closed.end())
+            ew.callee = &calleeIt->second;
+        }
+        fn.edges.push_back(ew);
+      }
+      work.push_back(std::move(fn));
+    }
+  }
   for (unsigned pass = 0; pass < options.maxPasses; ++pass) {
     ++result.passes;
     bool changed = false;
-    for (std::size_t moduleIndex = 0; moduleIndex < modules.size();
-         ++moduleIndex) {
-      const ModuleSummary &module = modules[moduleIndex];
-      for (const FunctionArtifact &artifact : module.functions) {
-        const std::string &name = artifact.direct.function;
-        if (!owns(name, moduleIndex))
-          continue; // duplicate loser
-        PortableSummary next = artifact.direct;
-        for (const CallEdge &edge : artifact.calls) {
-          auto calleeIt = result.closed.find(edge.callee);
-          const bool mismatched =
-              result.signatureMismatches.count(module.file) > 0 &&
-              result.signatureMismatches.at(module.file).count(edge.callee) >
-                  0;
-          if (calleeIt == result.closed.end() || mismatched) {
-            mergePessimisticEdge(next, edge);
-            continue;
-          }
-          const PortableSummary &callee = calleeIt->second;
-          next.launchesKernels |= callee.launchesKernels;
-          for (std::size_t i = 0;
-               i < callee.params.size() && i < edge.args.size(); ++i)
-            mergeOntoBinding(next, edge.args[i], callee.params[i]);
-          for (const auto &[globalName, effect] : callee.globals) {
-            if (effect.any())
-              next.globals[globalName].mergeFrom(effect);
-          }
+    for (const FunctionWork &fn : work) {
+      PortableSummary next = fn.artifact->direct;
+      for (const EdgeWork &ew : fn.edges) {
+        if (ew.callee == nullptr) {
+          mergePessimisticEdge(next, *ew.edge);
+          continue;
         }
-        PortableSummary &current = result.closed[name];
-        if (!(current == next)) {
-          current = std::move(next);
-          changed = true;
+        const PortableSummary &callee = *ew.callee;
+        next.launchesKernels |= callee.launchesKernels;
+        for (std::size_t i = 0;
+             i < callee.params.size() && i < ew.edge->args.size(); ++i)
+          mergeOntoBinding(next, ew.edge->args[i], callee.params[i]);
+        for (const auto &[globalSym, effect] : callee.globals) {
+          if (effect.any())
+            next.globals[globalSym].mergeFrom(effect);
         }
+      }
+      if (!(*fn.current == next)) {
+        *fn.current = std::move(next);
+        changed = true;
       }
     }
     if (!changed)

@@ -39,8 +39,10 @@ namespace ompdart::summary {
 struct ArgBinding {
   enum class Kind { None, Param, Global };
   Kind kind = Kind::None;
-  int paramIndex = -1;     ///< caller parameter index when kind == Param
-  std::string globalName;  ///< caller global name when kind == Global
+  int paramIndex = -1; ///< caller parameter index when kind == Param
+  /// Interned caller global name when kind == Global (spelled out in JSON),
+  /// so the link fixed point merges effects under integer keys.
+  SymbolId global = 0;
   /// Static facts about the argument expression (for cross-TU extent and
   /// constant propagation into the callee's planner).
   bool isPointerArg = false;

@@ -65,6 +65,12 @@ json::Value IncrementalResult::toJson() const {
     runsJson.set(stageName(stage), stageRuns[static_cast<unsigned>(stage)]);
   doc.set("stageRuns", std::move(runsJson));
 
+  json::Value secondsJson = json::Value::object();
+  for (const Stage stage : allStages())
+    secondsJson.set(stageName(stage),
+                    stageSeconds[static_cast<unsigned>(stage)]);
+  doc.set("stageSeconds", std::move(secondsJson));
+
   json::Value linkDiagsJson = json::Value::array();
   for (const Diagnostic &diag : linkDiagnostics)
     linkDiagsJson.push(diagnosticToJson(diag));
@@ -201,6 +207,8 @@ IncrementalProject::replan(const std::vector<ProjectTu> &tus) {
 
   std::vector<std::array<unsigned, kStageCount>> sessionRuns(
       planOrder.size());
+  std::vector<std::array<double, kStageCount>> sessionSeconds(
+      planOrder.size());
   std::atomic<std::size_t> planCursor{0};
   runPool(options_.threads, planOrder.size(), [&]() {
     while (true) {
@@ -223,9 +231,12 @@ IncrementalProject::replan(const std::vector<ProjectTu> &tus) {
       item.cacheStatus = session.planCacheStatus();
       if (session.stageRuns(Stage::Rewrite) > 0)
         item.output = session.rewrite();
-      for (const Stage stage : allStages())
+      for (const Stage stage : allStages()) {
         sessionRuns[slot][static_cast<unsigned>(stage)] =
             session.stageRuns(stage);
+        sessionSeconds[slot][static_cast<unsigned>(stage)] =
+            session.stageSeconds(stage);
+      }
     }
   });
 
@@ -233,6 +244,9 @@ IncrementalProject::replan(const std::vector<ProjectTu> &tus) {
   for (const auto &runs : sessionRuns)
     for (unsigned stage = 0; stage < kStageCount; ++stage)
       result.stageRuns[stage] += runs[stage];
+  for (const auto &seconds : sessionSeconds)
+    for (unsigned stage = 0; stage < kStageCount; ++stage)
+      result.stageSeconds[stage] += seconds[stage];
 
   result.success = true;
   for (std::size_t i = 0; i < tus.size(); ++i) {

@@ -79,6 +79,8 @@ struct IncrementalResult {
   /// TUs contribute zero by construction — the observable proof the replan
   /// was incremental.
   std::array<unsigned, kStageCount> stageRuns{};
+  /// Wall seconds per stage summed across this replan's sessions.
+  std::array<double, kStageCount> stageSeconds{};
   double wallSeconds = 0.0;
 
   [[nodiscard]] const IncrementalTuResult *

@@ -5,11 +5,12 @@
 #pragma once
 
 #include "frontend/type.hpp"
+#include "support/arena.hpp"
 #include "support/source_location.hpp"
 
 #include <cstdint>
-#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace ompdart {
@@ -736,7 +737,12 @@ struct TranslationUnit {
   }
 };
 
-/// Arena owning every AST node, declaration and type for one parse.
+/// Owns every AST node and declaration for one parse via a per-TU bump
+/// arena (support/arena.hpp): nodes are raw non-owning pointers into the
+/// arena and die wholesale with the context — no per-node unique_ptr
+/// bookkeeping, no individual frees at Session teardown. Code that must
+/// hold nodes across stages keeps the ASTContext alive (the Session's
+/// shared_ptr; see README "Memory model").
 class ASTContext {
 public:
   ASTContext() = default;
@@ -747,48 +753,34 @@ public:
   [[nodiscard]] const TypeContext &types() const { return types_; }
   [[nodiscard]] TranslationUnit &unit() { return unit_; }
   [[nodiscard]] const TranslationUnit &unit() const { return unit_; }
+  [[nodiscard]] const BumpArena &arena() const { return arena_; }
 
   template <typename T, typename... Args> T *createExpr(Args &&...args) {
-    auto node = std::make_unique<T>(std::forward<Args>(args)...);
-    T *raw = node.get();
-    exprs_.push_back(std::move(node));
-    return raw;
+    static_assert(std::is_base_of_v<Expr, T>);
+    return arena_.create<T>(std::forward<Args>(args)...);
   }
   template <typename T, typename... Args> T *createStmt(Args &&...args) {
-    auto node = std::make_unique<T>(std::forward<Args>(args)...);
-    T *raw = node.get();
-    stmts_.push_back(std::move(node));
-    return raw;
+    static_assert(std::is_base_of_v<Stmt, T>);
+    return arena_.create<T>(std::forward<Args>(args)...);
   }
   VarDecl *createVar(std::string name, const Type *type) {
-    auto decl = std::make_unique<VarDecl>(std::move(name), type);
-    VarDecl *raw = decl.get();
-    vars_.push_back(std::move(decl));
-    return raw;
+    return arena_.create<VarDecl>(std::move(name), type);
   }
   FunctionDecl *createFunction(std::string name, const Type *returnType,
                                std::vector<VarDecl *> params) {
-    auto decl = std::make_unique<FunctionDecl>(std::move(name), returnType,
-                                               std::move(params));
-    FunctionDecl *raw = decl.get();
-    functions_.push_back(std::move(decl));
-    return raw;
+    return arena_.create<FunctionDecl>(std::move(name), returnType,
+                                       std::move(params));
   }
   RecordDecl *createRecord(std::string name) {
-    auto decl = std::make_unique<RecordDecl>(std::move(name));
-    RecordDecl *raw = decl.get();
-    records_.push_back(std::move(decl));
-    return raw;
+    return arena_.create<RecordDecl>(std::move(name));
   }
 
 private:
   TypeContext types_;
   TranslationUnit unit_;
-  std::vector<std::unique_ptr<Expr>> exprs_;
-  std::vector<std::unique_ptr<Stmt>> stmts_;
-  std::vector<std::unique_ptr<VarDecl>> vars_;
-  std::vector<std::unique_ptr<FunctionDecl>> functions_;
-  std::vector<std::unique_ptr<RecordDecl>> records_;
+  /// Declared after unit_ so nodes outlive the unit's pointer vectors
+  /// during destruction.
+  BumpArena arena_;
 };
 
 } // namespace ompdart

@@ -49,11 +49,13 @@ private:
   char advance();
   [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
   [[nodiscard]] Token makeToken(TokenKind kind, std::size_t beginOffset,
-                                std::string text) const;
+                                std::string text);
 
   const SourceManager &sourceManager_;
   DiagnosticEngine &diags_;
   const std::string &text_;
+  /// Forward-moving line lookup for token locations (amortized O(1)).
+  LocationCursor cursor_;
   std::size_t pos_ = 0;
   bool atLineStart_ = true;
   bool inPragma_ = false;

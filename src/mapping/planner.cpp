@@ -334,6 +334,7 @@ void MappingPlanner::planFunction(const FunctionDecl *fn, const AstCfg &cfg,
   extents_.setFunctionContext(accesses_, cfg_);
   facts_.clear();
   updateKeys_.clear();
+  sectionMemo_.clear();
   liveness_ = std::make_unique<LivenessAnalysis>(cfg, *accesses_);
 
   // Child->parent links for this function: region-extent selection walks
@@ -1092,12 +1093,30 @@ ExtentInfo MappingPlanner::effectiveExtent(VarDecl *var) const {
 }
 
 MappingPlanner::SectionInfo MappingPlanner::sectionFor(VarDecl *var) const {
+  auto it = sectionMemo_.find(var);
+  if (it == sectionMemo_.end()) {
+    SectionMemo memo;
+    memo.info = computeSectionFor(var, memo.warned);
+    it = sectionMemo_.emplace(var, std::move(memo)).first;
+    return it->second.info;
+  }
+  if (it->second.warned) {
+    diags_.warning(var->range().begin,
+                   "cannot determine extent of pointer '" + var->name() +
+                       "'; mapping requires a known allocation size");
+  }
+  return it->second.info;
+}
+
+MappingPlanner::SectionInfo
+MappingPlanner::computeSectionFor(VarDecl *var, bool &warned) const {
   const ExtentInfo extent = effectiveExtent(var);
   const Type *base = scalarBaseType(var->type());
   const std::uint64_t elemSize = base != nullptr ? base->sizeInBytes() : 1;
 
   if (var->type()->isPointer()) {
     if (!extent.known()) {
+      warned = true;
       diags_.warning(var->range().begin,
                      "cannot determine extent of pointer '" + var->name() +
                          "'; mapping requires a known allocation size");

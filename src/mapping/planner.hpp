@@ -178,7 +178,15 @@ private:
     std::uint64_t bytes = 0;
     ir::Extent extent;
   };
+  /// Memoized per variable for the current function (candidate enumeration
+  /// queries it several times per event); the unknown-pointer-extent
+  /// warning is replayed on every call, exactly as the uncached computation
+  /// emitted it.
   [[nodiscard]] SectionInfo sectionFor(VarDecl *var) const;
+  /// Uncached computation; sets `warned` when it emitted the
+  /// unknown-pointer-extent warning (so cache hits can replay it).
+  [[nodiscard]] SectionInfo computeSectionFor(VarDecl *var,
+                                              bool &warned) const;
 
   /// Declared/malloc extent, falling back to inference from the loop bounds
   /// of device accesses when the allocation size is invisible. Delegates to
@@ -216,6 +224,14 @@ private:
   const AstCfg *cfg_ = nullptr;
   std::map<VarDecl *, VarFacts> facts_;
   std::set<std::tuple<VarDecl *, UpdateDirection, const Stmt *>> updateKeys_;
+  /// sectionFor memo for the current function; `warned` records whether the
+  /// original computation emitted the unknown-extent warning, so cache hits
+  /// reproduce the diagnostic stream of the uncached planner.
+  struct SectionMemo {
+    SectionInfo info;
+    bool warned = false;
+  };
+  mutable std::unordered_map<VarDecl *, SectionMemo> sectionMemo_;
   std::size_t regionBeginOffset_ = 0;
   std::size_t regionEndOffset_ = 0;
   /// Provable entries of the current region (planFunction).

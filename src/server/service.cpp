@@ -85,6 +85,15 @@ json::Value ServiceStats::toJson() const {
   doc.set("shutdownRequests", shutdownRequests);
   doc.set("tusPlanned", tusPlanned);
   doc.set("tusReused", tusReused);
+  json::Value stagesJson = json::Value::object();
+  for (const Stage stage : allStages()) {
+    const auto index = static_cast<unsigned>(stage);
+    json::Value entry = json::Value::object();
+    entry.set("seconds", stageSeconds[index]);
+    entry.set("runs", stageRuns[index]);
+    stagesJson.set(stageName(stage), std::move(entry));
+  }
+  doc.set("stages", std::move(stagesJson));
   return doc;
 }
 
@@ -104,6 +113,17 @@ struct PlanService::Counters {
   std::atomic<std::uint64_t> shutdownRequests{0};
   std::atomic<std::uint64_t> tusPlanned{0};
   std::atomic<std::uint64_t> tusReused{0};
+  /// Per-stage totals; seconds accumulate as integer nanoseconds so the
+  /// counters stay lock-free atomics like everything else here.
+  std::array<std::atomic<std::uint64_t>, kStageCount> stageNanos{};
+  std::array<std::atomic<std::uint64_t>, kStageCount> stageRuns{};
+
+  void addStage(unsigned stage, double seconds, std::uint64_t runs) {
+    stageNanos[stage].fetch_add(
+        static_cast<std::uint64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+    stageRuns[stage].fetch_add(runs, std::memory_order_relaxed);
+  }
 };
 
 PlanService::PlanService(ServiceOptions options)
@@ -144,6 +164,11 @@ ServiceStats PlanService::stats() const {
   stats.shutdownRequests = load(counters_->shutdownRequests);
   stats.tusPlanned = load(counters_->tusPlanned);
   stats.tusReused = load(counters_->tusReused);
+  for (unsigned stage = 0; stage < kStageCount; ++stage) {
+    stats.stageSeconds[stage] =
+        static_cast<double>(load(counters_->stageNanos[stage])) * 1e-9;
+    stats.stageRuns[stage] = load(counters_->stageRuns[stage]);
+  }
   return stats;
 }
 
@@ -301,6 +326,10 @@ json::Value PlanService::handlePlan(const json::Value &request,
   Session session(fileName, source->asString(), config);
   const bool success = session.run();
   counters_->tusPlanned.fetch_add(1, std::memory_order_relaxed);
+  for (const Stage stage : allStages())
+    counters_->addStage(static_cast<unsigned>(stage),
+                        session.stageSeconds(stage),
+                        session.stageRuns(stage));
 
   json::Value result = json::Value::object();
   result.set("name", name);
@@ -340,6 +369,9 @@ json::Value PlanService::handleBatch(const json::Value &request,
   const BatchResult batch = BatchDriver(std::move(options)).run(jobs);
   counters_->tusPlanned.fetch_add(batch.items.size(),
                                   std::memory_order_relaxed);
+  for (unsigned stage = 0; stage < kStageCount; ++stage)
+    counters_->addStage(stage, batch.stats.stageSeconds[stage],
+                        batch.stats.stageRuns[stage]);
 
   json::Value result = json::Value::object();
   json::Value itemsJson = json::Value::array();
@@ -401,6 +433,9 @@ json::Value PlanService::handleProject(const json::Value &request,
                                   std::memory_order_relaxed);
   counters_->tusReused.fetch_add(replan.tusReused,
                                  std::memory_order_relaxed);
+  for (unsigned stage = 0; stage < kStageCount; ++stage)
+    counters_->addStage(stage, replan.stageSeconds[stage],
+                        replan.stageRuns[stage]);
 
   json::Value result = replan.toJson();
   result.set("project", projectName);

@@ -29,6 +29,7 @@
 #include "server/protocol.hpp"
 #include "support/json.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -61,6 +62,11 @@ struct ServiceStats {
   std::uint64_t shutdownRequests = 0;
   std::uint64_t tusPlanned = 0; ///< TUs that ran a pipeline Session
   std::uint64_t tusReused = 0;  ///< project TUs served from held state
+  /// Cumulative per-stage pipeline wall seconds / executions across every
+  /// Session this service ran (plan, batch and project requests), indexed
+  /// by Stage. Serialized as the "stages" breakdown of the stats response.
+  std::array<double, kStageCount> stageSeconds{};
+  std::array<std::uint64_t, kStageCount> stageRuns{};
 
   [[nodiscard]] json::Value toJson() const;
 };

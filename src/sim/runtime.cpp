@@ -40,19 +40,26 @@ double CostModel::totalSeconds(const TransferLedger &ledger) const {
          deviceSecPerOp * static_cast<double>(ledger.deviceOps());
 }
 
+unsigned &DeviceDataEnvironment::slot(int objectId) {
+  const auto index = static_cast<std::size_t>(objectId);
+  if (index >= refCounts_.size())
+    refCounts_.resize(index + 1, 0);
+  return refCounts_[index];
+}
+
 MapEnterAction DeviceDataEnvironment::mapEnter(int objectId, MapKind kind,
                                                std::uint64_t bytes,
                                                const std::string &tag) {
   MapEnterAction action;
-  Entry &entry = entries_[objectId];
-  if (entry.refCount == 0) {
+  unsigned &refCount = slot(objectId);
+  if (refCount == 0) {
     action.allocate = true;
     if (kind == MapKind::To || kind == MapKind::ToFrom) {
       action.copyToDevice = true;
       ledger_.record(TransferDir::HtoD, bytes, tag);
     }
   }
-  ++entry.refCount;
+  ++refCount;
   return action;
 }
 
@@ -60,15 +67,14 @@ MapExitAction DeviceDataEnvironment::mapExit(int objectId, MapKind kind,
                                              std::uint64_t bytes,
                                              const std::string &tag) {
   MapExitAction action;
-  auto it = entries_.find(objectId);
-  if (it == entries_.end())
+  if (refCount(objectId) == 0)
     return action; // exit without matching entry: no-op
-  Entry &entry = it->second;
-  if (entry.refCount > 0)
-    --entry.refCount;
+  unsigned &refCount = slot(objectId);
+  if (refCount > 0)
+    --refCount;
   if (kind == MapKind::Delete)
-    entry.refCount = 0;
-  if (entry.refCount == 0) {
+    refCount = 0;
+  if (refCount == 0) {
     // Data is only copied back when the reference count reaches zero — the
     // exact trap of the paper's Listing 3.
     if (kind == MapKind::From || kind == MapKind::ToFrom) {
@@ -76,7 +82,6 @@ MapExitAction DeviceDataEnvironment::mapExit(int objectId, MapKind kind,
       ledger_.record(TransferDir::DtoH, bytes, tag);
     }
     action.deallocate = true;
-    entries_.erase(it);
   }
   return action;
 }

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -103,6 +102,11 @@ struct MapExitAction {
 /// The device data environment: present table with reference counts.
 /// Objects are identified by opaque ids (the interpreter's memory-object
 /// ids); `bytes` is the size of the mapped section for transfer accounting.
+///
+/// Ids are dense (the interpreter allocates them sequentially), so the
+/// table is a flat refcount vector rather than a map: `isPresent` sits on
+/// the interpreter's load/store path (every device-mode slot access picks
+/// a buffer by presence), making the probe an array read matters.
 class DeviceDataEnvironment {
 public:
   explicit DeviceDataEnvironment(TransferLedger &ledger) : ledger_(ledger) {}
@@ -120,21 +124,22 @@ public:
   bool updateFrom(int objectId, std::uint64_t bytes, const std::string &tag);
 
   [[nodiscard]] bool isPresent(int objectId) const {
-    return entries_.count(objectId) > 0;
+    return refCount(objectId) > 0;
   }
   [[nodiscard]] unsigned refCount(int objectId) const {
-    auto it = entries_.find(objectId);
-    return it != entries_.end() ? it->second.refCount : 0;
+    const auto index = static_cast<std::size_t>(objectId);
+    return objectId >= 0 && index < refCounts_.size() ? refCounts_[index]
+                                                      : 0;
   }
 
   [[nodiscard]] TransferLedger &ledger() { return ledger_; }
 
 private:
-  struct Entry {
-    unsigned refCount = 0;
-  };
+  /// Refcount slot for `objectId`, growing the table on demand.
+  [[nodiscard]] unsigned &slot(int objectId);
+
   TransferLedger &ledger_;
-  std::map<int, Entry> entries_;
+  std::vector<unsigned> refCounts_;
 };
 
 [[nodiscard]] const char *mapKindSpelling(MapKind kind);

@@ -1,0 +1,103 @@
+// Bump-pointer arena for per-TU node allocation (AST nodes, declarations).
+//
+// The front end allocates hundreds of thousands of small polymorphic nodes
+// per translation unit and frees them all at once when the Session is torn
+// down. A general-purpose heap pays per-node malloc/free plus a
+// unique_ptr bookkeeping slot for every node; the arena replaces that with
+// pointer bumps into 64 KiB slabs and a wholesale drop at destruction.
+//
+// Ownership rules (see README "Memory model"):
+//   - `create<T>()` returns a pointer that lives exactly as long as the
+//     arena. Nodes are never freed individually.
+//   - Types with non-trivial destructors (std::string/std::vector members —
+//     most AST nodes) are tracked and destroyed, in reverse creation order,
+//     when the arena dies. Trivially-destructible types skip the list
+//     entirely.
+//   - The arena is not thread-safe: one arena belongs to one Session, and
+//     a Session is confined to one thread (driver/pipeline.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ompdart {
+
+class BumpArena {
+public:
+  BumpArena() = default;
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+
+  ~BumpArena() { reset(); }
+
+  /// Constructs a T inside the arena. The result is valid until the arena
+  /// is destroyed or reset; never delete it.
+  template <typename T, typename... Args> T *create(Args &&...args) {
+    void *memory = allocate(sizeof(T), alignof(T));
+    T *object = ::new (memory) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      destructors_.push_back(
+          {object, [](void *raw) { static_cast<T *>(raw)->~T(); }});
+    return object;
+  }
+
+  /// Raw aligned storage without construction (callers placement-new).
+  [[nodiscard]] void *allocate(std::size_t size, std::size_t align) {
+    std::size_t current = reinterpret_cast<std::uintptr_t>(cursor_);
+    std::size_t aligned = (current + (align - 1)) & ~(align - 1);
+    std::size_t padded = aligned - current + size;
+    if (padded > static_cast<std::size_t>(end_ - cursor_)) {
+      newSlab(size + align);
+      current = reinterpret_cast<std::uintptr_t>(cursor_);
+      aligned = (current + (align - 1)) & ~(align - 1);
+      padded = aligned - current + size;
+    }
+    cursor_ += padded;
+    bytesAllocated_ += padded;
+    return reinterpret_cast<void *>(aligned);
+  }
+
+  /// Destroys every tracked object (reverse creation order) and releases
+  /// all slabs.
+  void reset() {
+    for (auto it = destructors_.rbegin(); it != destructors_.rend(); ++it)
+      it->destroy(it->object);
+    destructors_.clear();
+    slabs_.clear();
+    cursor_ = nullptr;
+    end_ = nullptr;
+    bytesAllocated_ = 0;
+  }
+
+  /// Bytes handed out (including alignment padding) since construction or
+  /// the last reset.
+  [[nodiscard]] std::size_t bytesAllocated() const { return bytesAllocated_; }
+  [[nodiscard]] std::size_t slabCount() const { return slabs_.size(); }
+
+private:
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  struct DestructorEntry {
+    void *object;
+    void (*destroy)(void *);
+  };
+
+  void newSlab(std::size_t atLeast) {
+    const std::size_t size = atLeast > kSlabBytes ? atLeast : kSlabBytes;
+    slabs_.push_back(std::make_unique<char[]>(size));
+    cursor_ = slabs_.back().get();
+    end_ = cursor_ + size;
+  }
+
+  std::vector<std::unique_ptr<char[]>> slabs_;
+  char *cursor_ = nullptr;
+  char *end_ = nullptr;
+  std::vector<DestructorEntry> destructors_;
+  std::size_t bytesAllocated_ = 0;
+};
+
+} // namespace ompdart

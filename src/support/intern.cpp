@@ -1,0 +1,42 @@
+#include "support/intern.hpp"
+
+#include <cassert>
+#include <mutex>
+
+namespace ompdart {
+
+SymbolTable &SymbolTable::global() {
+  static SymbolTable table;
+  return table;
+}
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = index_.find(name);
+    if (it != index_.end())
+      return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  // Re-check: another thread may have interned it between the locks.
+  const auto it = index_.find(name);
+  if (it != index_.end())
+    return it->second;
+  const auto id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+const std::string &SymbolTable::name(SymbolId id) const {
+  std::shared_lock lock(mutex_);
+  assert(id < names_.size() && "unknown SymbolId");
+  return names_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+} // namespace ompdart

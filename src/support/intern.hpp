@@ -1,0 +1,67 @@
+// Global-per-process symbol interner.
+//
+// Cross-TU analysis artifacts (module summaries, the link fixed point, the
+// execution-count call graph, cache memo keys) are name-keyed: at project
+// scale the same function and global names are hashed and compared as
+// std::strings millions of times. The interner maps each distinct name to a
+// dense u32 `SymbolId` once; everything downstream then compares and hashes
+// ints. Serialized artifacts (PortableSummary JSON, cache entries) stay
+// name-keyed on disk — names are interned on load and spelled back out on
+// save, so the on-disk format is unchanged.
+//
+// Semantics:
+//   - One table per process (`SymbolTable::global()`), thread-safe: lookups
+//     take a shared lock, first-time interning takes an exclusive lock.
+//     Concurrent server workers may intern freely.
+//   - Ids are stable for the lifetime of the process (append-only table)
+//     and start at 0 in interning order. They are NOT stable across
+//     processes — never serialize a SymbolId; spell the name.
+//   - `symbolName` returns a reference valid for the process lifetime
+//     (names are never freed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ompdart {
+
+/// Dense process-lifetime id of an interned name.
+using SymbolId = std::uint32_t;
+
+class SymbolTable {
+public:
+  /// The process-wide table.
+  [[nodiscard]] static SymbolTable &global();
+
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable &) = delete;
+  SymbolTable &operator=(const SymbolTable &) = delete;
+
+  /// Returns the id for `name`, interning it on first sight. Thread-safe.
+  [[nodiscard]] SymbolId intern(std::string_view name);
+
+  /// Spelling of an interned id; the reference lives as long as the table.
+  [[nodiscard]] const std::string &name(SymbolId id) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+private:
+  mutable std::shared_mutex mutex_;
+  /// Keys are views into names_ (std::deque never moves elements).
+  std::unordered_map<std::string_view, SymbolId> index_;
+  std::deque<std::string> names_;
+};
+
+/// Shorthands over the global table.
+[[nodiscard]] inline SymbolId internSymbol(std::string_view name) {
+  return SymbolTable::global().intern(name);
+}
+[[nodiscard]] inline const std::string &symbolName(SymbolId id) {
+  return SymbolTable::global().name(id);
+}
+
+} // namespace ompdart

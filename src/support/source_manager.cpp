@@ -25,6 +25,24 @@ SourceLocation SourceManager::locationFor(std::size_t offset) const {
   return loc;
 }
 
+SourceLocation SourceManager::locationWithHint(std::size_t offset,
+                                               unsigned &hintLine) const {
+  if (offset > text_.size())
+    offset = text_.size();
+  if (hintLine < 1 || hintLine > lineOffsets_.size() ||
+      lineOffsets_[hintLine - 1] > offset) {
+    hintLine = lineNumber(offset);
+  } else {
+    while (hintLine < lineOffsets_.size() && lineOffsets_[hintLine] <= offset)
+      ++hintLine;
+  }
+  SourceLocation loc;
+  loc.offset = offset;
+  loc.line = hintLine;
+  loc.column = static_cast<unsigned>(offset - lineOffsets_[hintLine - 1]) + 1;
+  return loc;
+}
+
 unsigned SourceManager::lineNumber(std::size_t offset) const {
   auto it = std::upper_bound(lineOffsets_.begin(), lineOffsets_.end(), offset);
   return static_cast<unsigned>(it - lineOffsets_.begin());

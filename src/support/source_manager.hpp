@@ -24,6 +24,13 @@ public:
   /// Builds a full SourceLocation (line/column) for a byte offset.
   [[nodiscard]] SourceLocation locationFor(std::size_t offset) const;
 
+  /// Like `locationFor`, but starts the line search at `hintLine` (1-based)
+  /// and updates it — amortized O(1) for monotonically increasing offsets
+  /// (the lexer's access pattern). Offsets before the hinted line fall back
+  /// to the binary search.
+  [[nodiscard]] SourceLocation locationWithHint(std::size_t offset,
+                                                unsigned &hintLine) const;
+
   /// 1-based line number containing `offset`.
   [[nodiscard]] unsigned lineNumber(std::size_t offset) const;
 
@@ -50,6 +57,23 @@ private:
   std::string text_;
   /// lineOffsets_[i] = byte offset where line i+1 starts.
   std::vector<std::size_t> lineOffsets_;
+};
+
+/// Forward-moving location queries: remembers the last line so a run of
+/// monotonically increasing offsets (one lexer pass) costs amortized O(1)
+/// instead of a binary search per token.
+class LocationCursor {
+public:
+  explicit LocationCursor(const SourceManager &sourceManager)
+      : sourceManager_(&sourceManager) {}
+
+  [[nodiscard]] SourceLocation at(std::size_t offset) {
+    return sourceManager_->locationWithHint(offset, line_);
+  }
+
+private:
+  const SourceManager *sourceManager_;
+  unsigned line_ = 1;
 };
 
 } // namespace ompdart

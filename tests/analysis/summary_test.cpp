@@ -39,8 +39,8 @@ void producer(double *out) {
   // Direct effects: writes out's pointee on the host, reads global shared.
   ASSERT_EQ(producer.direct.params.size(), 1u);
   EXPECT_TRUE(producer.direct.params[0].writeHost);
-  ASSERT_EQ(producer.direct.globals.count("shared"), 1u);
-  EXPECT_TRUE(producer.direct.globals.at("shared").readHost);
+  ASSERT_EQ(producer.direct.globals.count(internSymbol("shared")), 1u);
+  EXPECT_TRUE(producer.direct.globals.at(internSymbol("shared")).readHost);
   // The helper edge: 4 provable trips, arg 0 binds parameter 0.
   ASSERT_EQ(producer.calls.size(), 1u);
   const CallEdge &edge = producer.calls.front();
@@ -350,8 +350,8 @@ void f() {
                                            "m.c");
   const LinkResult link = linkProgram({module});
   const PortableSummary &f = link.closed.at("f");
-  EXPECT_EQ(f.globals.count("hidden"), 0u);
-  EXPECT_EQ(f.globals.count("visible"), 1u);
+  EXPECT_EQ(f.globals.count(internSymbol("hidden")), 0u);
+  EXPECT_EQ(f.globals.count(internSymbol("visible")), 1u);
 }
 
 TEST(ScheduleTest, ReverseTopologicalOrderPutsCalleesFirst) {

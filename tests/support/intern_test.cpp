@@ -1,0 +1,133 @@
+// Tests for the process-global symbol interner: id stability within a
+// process, agreement under concurrent interning (the plan server's worker
+// threads intern from parallel batch/project requests), and the
+// PortableSummary JSON round trip that spells interned ids back out as
+// sorted names on disk.
+#include "analysis/interproc.hpp"
+#include "support/intern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ompdart {
+namespace {
+
+TEST(InternTest, SameSpellingYieldsSameId) {
+  const SymbolId a = internSymbol("intern_test_alpha");
+  const SymbolId b = internSymbol("intern_test_alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, internSymbol(std::string("intern_test_alpha")));
+}
+
+TEST(InternTest, DistinctSpellingsYieldDistinctIds) {
+  const SymbolId a = internSymbol("intern_test_left");
+  const SymbolId b = internSymbol("intern_test_right");
+  EXPECT_NE(a, b);
+}
+
+TEST(InternTest, NameRoundTripsThroughId) {
+  const SymbolId id = internSymbol("intern_test_roundtrip");
+  EXPECT_EQ(symbolName(id), "intern_test_roundtrip");
+  // The id is stable: a later intern of the same spelling still maps to the
+  // same storage.
+  EXPECT_EQ(symbolName(internSymbol("intern_test_roundtrip")),
+            "intern_test_roundtrip");
+}
+
+TEST(InternTest, EmptyAndEmbeddedNulByteSpellingsAreDistinctSymbols) {
+  const SymbolId empty = internSymbol("");
+  const std::string withNul("a\0b", 3);
+  const SymbolId nul = internSymbol(withNul);
+  EXPECT_NE(empty, nul);
+  EXPECT_EQ(symbolName(empty), "");
+  EXPECT_EQ(symbolName(nul), withNul);
+}
+
+TEST(InternTest, ConcurrentInterningAgreesOnIds) {
+  // Server workers intern the same global/function names from concurrent
+  // requests. Every thread interns an overlapping window of names and
+  // records the ids it observed; afterwards all observations of one name
+  // must agree, and every id must spell back to its name.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 200;
+  std::vector<std::map<std::string, SymbolId>> observed(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &observed]() {
+      // Offset start so threads race on different names at any instant but
+      // cover the same full set.
+      for (int i = 0; i < kNames; ++i) {
+        const int n = (i + t * 17) % kNames;
+        const std::string name =
+            "intern_test_concurrent_" + std::to_string(n);
+        observed[static_cast<std::size_t>(t)][name] = internSymbol(name);
+      }
+    });
+  }
+  for (std::thread &worker : workers)
+    worker.join();
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(observed[0], observed[static_cast<std::size_t>(t)]);
+  for (const auto &[name, id] : observed[0])
+    EXPECT_EQ(symbolName(id), name);
+}
+
+TEST(InternTest, PortableSummaryGlobalsRoundTripByName) {
+  PortableSummary summary;
+  summary.function = "touches_globals";
+  summary.signature = "void(int *)";
+  summary.defined = true;
+  summary.launchesKernels = true;
+  summary.params.resize(1);
+  summary.params[0].readHost = true;
+  // Interning order deliberately differs from name order: serialization
+  // must sort by spelled name, not id.
+  ObjectEffect zig;
+  zig.writeHost = true;
+  ObjectEffect alpha;
+  alpha.readDevice = true;
+  summary.globals[internSymbol("zig_global")] = zig;
+  summary.globals[internSymbol("alpha_global")] = alpha;
+
+  const json::Value doc = summary.toJson();
+  const std::string dumped = doc.dump();
+  // Name-keyed and name-sorted on the wire.
+  const std::size_t alphaPos = dumped.find("alpha_global");
+  const std::size_t zigPos = dumped.find("zig_global");
+  ASSERT_NE(alphaPos, std::string::npos);
+  ASSERT_NE(zigPos, std::string::npos);
+  EXPECT_LT(alphaPos, zigPos);
+
+  std::string error;
+  const std::optional<PortableSummary> parsed =
+      PortableSummary::fromJson(doc, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, summary);
+  EXPECT_TRUE(parsed->globals.at(internSymbol("zig_global")).writeHost);
+  EXPECT_TRUE(parsed->globals.at(internSymbol("alpha_global")).readDevice);
+}
+
+TEST(InternTest, PortableSummaryJsonIsByteStableAcrossInterningOrder) {
+  // Two summaries with the same content but opposite interning order must
+  // serialize to identical bytes (the plan cache keys and the identity
+  // digest both hash serialized summaries).
+  PortableSummary first;
+  first.function = "f";
+  first.globals[internSymbol("intern_bytes_b")].writeHost = true;
+  first.globals[internSymbol("intern_bytes_a")].readHost = true;
+
+  PortableSummary second;
+  second.function = "f";
+  second.globals[internSymbol("intern_bytes_a")].readHost = true;
+  second.globals[internSymbol("intern_bytes_b")].writeHost = true;
+
+  EXPECT_EQ(first.toJson().dump(), second.toJson().dump());
+}
+
+} // namespace
+} // namespace ompdart
